@@ -1,0 +1,121 @@
+// Ablation for section 2.2.3's design choice: the custom per-generation
+// sigma-annealing (x0.85) that motivated re-implementing LEAP's nsga2()
+// pipeline, deliberately without the 1/5 success rule.  Compares annealed vs
+// fixed mutation across seeds on final-generation quality, and also ablates
+// the sorting backend inside the full driver.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "moo/pareto.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace dpho;
+
+struct AblationOutcome {
+  double median_force = 0.0;
+  double hypervolume = 0.0;
+  std::size_t accurate = 0;
+};
+
+AblationOutcome run_config(bool anneal, std::uint64_t seed) {
+  const core::SurrogateEvaluator evaluator;
+  core::DriverConfig config;
+  config.population_size = 60;
+  config.generations = 6;
+  config.anneal_enabled = anneal;
+  config.farm.real_threads = 2;
+  core::Nsga2Driver driver(config, evaluator);
+  const core::RunRecord run = driver.run(seed);
+
+  AblationOutcome outcome;
+  std::vector<double> forces;
+  std::vector<moo::ObjectiveVector> objectives;
+  const core::ChemicalAccuracy limits;
+  for (const core::EvalRecord& record : run.final_population) {
+    if (record.status != ea::EvalStatus::kOk) continue;
+    forces.push_back(record.fitness[1]);
+    objectives.push_back(record.fitness);
+    if (limits.accurate(record)) ++outcome.accurate;
+  }
+  outcome.median_force = util::quantile(forces, 0.5);
+  outcome.hypervolume = moo::hypervolume_2d(objectives, {0.01, 0.2});
+  return outcome;
+}
+
+void print_ablation() {
+  bench::print_header("Annealing ablation",
+                      "x0.85 sigma-annealing (section 2.2.3) vs fixed sigma");
+  std::printf("seed | annealed: medF  HV     #acc | fixed: medF   HV     #acc\n");
+  std::printf("-----+------------------------------+---------------------------\n");
+  double annealed_hv = 0.0, fixed_hv = 0.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const AblationOutcome annealed = run_config(true, seed);
+    const AblationOutcome fixed = run_config(false, seed);
+    annealed_hv += annealed.hypervolume;
+    fixed_hv += fixed.hypervolume;
+    std::printf("%4llu | %13.4f %7.5f %4zu | %12.4f %7.5f %4zu\n",
+                static_cast<unsigned long long>(seed), annealed.median_force,
+                annealed.hypervolume, annealed.accurate, fixed.median_force,
+                fixed.hypervolume, fixed.accurate);
+  }
+  std::printf("\nmean hypervolume: annealed %.5f vs fixed %.5f (%+.1f%%)\n",
+              annealed_hv / 5.0, fixed_hv / 5.0,
+              100.0 * (annealed_hv - fixed_hv) / fixed_hv);
+  std::printf("(annealing concentrates late-generation search around the basin\n"
+              " found early, trading exploration for refinement)\n");
+}
+
+void BM_AnnealedRun(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_config(true, 1));
+  }
+}
+BENCHMARK(BM_AnnealedRun);
+
+void BM_FixedSigmaRun(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_config(false, 1));
+  }
+}
+BENCHMARK(BM_FixedSigmaRun);
+
+void BM_DriverWithDebSort(benchmark::State& state) {
+  const core::SurrogateEvaluator evaluator;
+  core::DriverConfig config;
+  config.population_size = 100;
+  config.generations = 3;
+  config.sort_backend = moo::SortBackend::kFastNondominated;
+  config.farm.real_threads = 2;
+  for (auto _ : state) {
+    core::Nsga2Driver driver(config, evaluator);
+    benchmark::DoNotOptimize(driver.run(2));
+  }
+}
+BENCHMARK(BM_DriverWithDebSort);
+
+void BM_DriverWithRankOrdinalSort(benchmark::State& state) {
+  const core::SurrogateEvaluator evaluator;
+  core::DriverConfig config;
+  config.population_size = 100;
+  config.generations = 3;
+  config.sort_backend = moo::SortBackend::kRankOrdinal;
+  config.farm.real_threads = 2;
+  for (auto _ : state) {
+    core::Nsga2Driver driver(config, evaluator);
+    benchmark::DoNotOptimize(driver.run(2));
+  }
+}
+BENCHMARK(BM_DriverWithRankOrdinalSort);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_ablation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

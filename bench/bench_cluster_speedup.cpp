@@ -1,0 +1,105 @@
+// Section 2.1.2 claims: GPU training on a Summit node is ~65x faster than the
+// CPU-only build (2 hours vs ~7 days for a 250k-frame potential), and the
+// deployment scales one Dask worker per node.  This bench reproduces both as
+// properties of the simulated cluster, plus the section 2.2.5 worker
+// placement ablation (batch node vs compute node).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "hpc/taskfarm.hpp"
+
+namespace {
+
+using namespace dpho;
+
+void print_speedup_table() {
+  bench::print_header("Cluster model",
+                      "GPU speedup, node scaling and worker placement (sections 2.1.2/2.2.5)");
+  const hpc::ClusterSpec summit = hpc::ClusterSpec::summit();
+  std::printf("cluster: %s, %zu nodes x %zu GPUs (+%zu cores), gpu speedup %.0fx\n\n",
+              summit.name.c_str(), summit.total_nodes, summit.gpus_per_node,
+              summit.cores_per_node, summit.gpu_speedup);
+
+  // A 2-hour GPU training replayed on the CPU-only build.
+  const double gpu_minutes = 110.0;
+  const double cpu_minutes = gpu_minutes * summit.gpu_speedup;
+  std::printf("one 40k-step training: %.0f min on 6 GPUs -> %.1f days CPU-only"
+              " (paper: <2 h vs ~7 days)\n\n",
+              gpu_minutes, cpu_minutes / 60.0 / 24.0);
+
+  // Generation makespan vs allocated nodes for a 100-individual population.
+  std::printf("nodes | generation makespan (min) for 100 evaluations of ~70 min\n");
+  std::printf("------+------------------------------------------------------\n");
+  for (std::size_t nodes : {10u, 25u, 50u, 100u}) {
+    hpc::FarmConfig config;
+    config.job.nodes = nodes;
+    config.real_threads = 2;
+    hpc::DaskCluster farm(summit, config);
+    const auto report = farm.run_batch(
+        100, [](std::size_t) { return hpc::WorkResult{{0.0, 0.0}, 70.0, false}; });
+    std::printf("%5zu | %7.0f\n", nodes, report.makespan_minutes);
+  }
+  std::printf("(the paper allocates nodes == population size, so every generation"
+              " is one wave)\n\n");
+
+  // Worker placement ablation: compute-node workers lose every task after
+  // their first MPI_init (the problem the paper had to engineer around).
+  for (hpc::WorkerPlacement placement :
+       {hpc::WorkerPlacement::kComputeNode, hpc::WorkerPlacement::kBatchNode}) {
+    hpc::FarmConfig config;
+    config.job.nodes = 10;
+    config.job.placement = placement;
+    config.real_threads = 2;
+    hpc::DaskCluster farm(summit, config);
+    const auto report = farm.run_batch(
+        30, [](std::size_t) { return hpc::WorkResult{{0.0, 0.0}, 70.0, false}; });
+    std::size_t ok = 0;
+    for (const auto& task : report.tasks) {
+      if (task.status == hpc::TaskStatus::kOk) ++ok;
+    }
+    std::printf("workers on %s: %zu/30 trainings succeed\n",
+                placement == hpc::WorkerPlacement::kBatchNode ? "batch node (paper fix)"
+                                                              : "compute nodes",
+                ok);
+  }
+}
+
+void BM_BatchScheduling(benchmark::State& state) {
+  const auto tasks = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    hpc::FarmConfig config;
+    config.job.nodes = 100;
+    config.real_threads = 2;
+    hpc::DaskCluster farm(hpc::ClusterSpec::summit(), config);
+    benchmark::DoNotOptimize(farm.run_batch(
+        tasks, [](std::size_t i) {
+          return hpc::WorkResult{{0.0, 0.0}, 60.0 + static_cast<double>(i % 7), false};
+        }));
+  }
+}
+BENCHMARK(BM_BatchScheduling)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_FailureRecoveryScheduling(benchmark::State& state) {
+  for (auto _ : state) {
+    hpc::FarmConfig config;
+    config.job.nodes = 100;
+    config.node_failure_probability = 0.02;
+    config.real_threads = 2;
+    config.seed = 11;
+    hpc::DaskCluster farm(hpc::ClusterSpec::summit(), config);
+    benchmark::DoNotOptimize(farm.run_batch(
+        500, [](std::size_t) { return hpc::WorkResult{{0.0, 0.0}, 60.0, false}; }));
+  }
+}
+BENCHMARK(BM_FailureRecoveryScheduling);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_speedup_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Engine validation: NSGA-II on the ZDT suite -- hypervolume reached vs the
+// analytic fronts, plus optimizer throughput.  Establishes that the
+// multiobjective machinery driving the hyperparameter search is sound.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "moo/nsga2.hpp"
+#include "moo/pareto.hpp"
+
+namespace {
+
+using namespace dpho;
+
+void print_zdt_table() {
+  bench::print_header("NSGA-II validation", "hypervolume vs analytic ZDT fronts");
+  std::printf("problem | pop x gens | achieved HV | ideal HV | fraction\n");
+  std::printf("--------+------------+-------------+----------+---------\n");
+  for (const moo::Problem& problem : moo::zdt_suite()) {
+    moo::Nsga2Optimizer::Config config;
+    config.population_size = 100;
+    config.generations = 250;
+    config.seed = 7;
+    moo::Nsga2Optimizer optimizer(problem, config);
+    const auto population = optimizer.run();
+    std::vector<moo::ObjectiveVector> objectives;
+    for (const auto& s : population) objectives.push_back(s.objectives);
+    const moo::ObjectiveVector reference = {1.1, 1.1};
+    const double achieved = moo::hypervolume_2d(objectives, reference);
+    const double ideal = moo::hypervolume_2d(problem.true_front(500), reference);
+    std::printf("%-7s | 100 x 250  | %11.4f | %8.4f | %7.1f%%\n", problem.name.c_str(),
+                achieved, ideal, 100.0 * achieved / ideal);
+  }
+}
+
+void BM_Nsga2Zdt1(benchmark::State& state) {
+  const moo::Problem problem = moo::zdt1(12);
+  for (auto _ : state) {
+    moo::Nsga2Optimizer::Config config;
+    config.population_size = static_cast<std::size_t>(state.range(0));
+    config.generations = 50;
+    config.seed = 3;
+    moo::Nsga2Optimizer optimizer(problem, config);
+    benchmark::DoNotOptimize(optimizer.run());
+  }
+}
+BENCHMARK(BM_Nsga2Zdt1)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_CrowdingDistance(benchmark::State& state) {
+  util::Rng rng(6);
+  std::vector<moo::ObjectiveVector> objectives;
+  for (int i = 0; i < 1000; ++i) objectives.push_back({rng.uniform(), rng.uniform()});
+  const auto fronts = moo::rank_ordinal_sort(objectives);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(moo::crowding_distance(objectives, fronts));
+  }
+}
+BENCHMARK(BM_CrowdingDistance);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_zdt_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// One-at-a-time sensitivity analysis of the training landscape -- the study
+// the paper's introduction notes had never been reported for DeePMD-kit.
+// Prints per-parameter response curves around the Table-3 baseline and a
+// ranking by force-error effect size.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/sensitivity.hpp"
+
+namespace {
+
+using namespace dpho;
+
+void print_sensitivity() {
+  bench::print_header("Sensitivity analysis",
+                      "one-at-a-time sweeps around the Table-3 baseline");
+  const core::SensitivityAnalysis analysis;
+  const auto sweeps = analysis.run();
+
+  for (const auto& sweep : sweeps) {
+    std::printf("\n%s (force dynamic range %.4f eV/A, energy %.5f eV/atom):\n",
+                sweep.parameter.c_str(), sweep.force_dynamic_range(),
+                sweep.energy_dynamic_range());
+    for (const auto& point : sweep.points) {
+      if (point.outcome.failed) {
+        std::printf("  %-12s -> FAILED (invalid/diverged)\n", point.decoded.c_str());
+      } else {
+        std::printf("  %-12s -> F %.4f  E %.5f  rt %.0f min\n", point.decoded.c_str(),
+                    point.outcome.rmse_f, point.outcome.rmse_e,
+                    point.outcome.runtime_minutes);
+      }
+    }
+  }
+
+  std::printf("\nparameters ranked by force-error effect size:\n  ");
+  for (const auto& name : core::SensitivityAnalysis::ranking(sweeps)) {
+    std::printf("%s  ", name.c_str());
+  }
+  std::printf("\n");
+}
+
+void BM_FullSensitivityAnalysis(benchmark::State& state) {
+  const core::SensitivityAnalysis analysis;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis.run());
+  }
+}
+BENCHMARK(BM_FullSensitivityAnalysis);
+
+void BM_SensitivityCsvExport(benchmark::State& state) {
+  const core::SensitivityAnalysis analysis;
+  const auto sweeps = analysis.run();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::SensitivityAnalysis::to_csv(sweeps));
+  }
+}
+BENCHMARK(BM_SensitivityCsvExport);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_sensitivity();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

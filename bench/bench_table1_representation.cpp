@@ -1,0 +1,61 @@
+// Table 1: initialization parameters of the seven-gene representation --
+// ranges for random individuals and initial Gaussian-mutation sigmas.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/deepmd_repr.hpp"
+#include "ea/ops.hpp"
+
+namespace {
+
+using namespace dpho;
+
+void print_table1() {
+  bench::print_header("Table 1", "initialization ranges and mutation sigmas");
+  const core::DeepMDRepresentation repr;
+  std::fputs(repr.table1().c_str(), stdout);
+  std::printf("(paper Table 1: start_lr (3.51e-8, 0.01)/0.001; stop_lr"
+              " (3.51e-8, 0.0001)/0.0001;\n rcut (6, 12)/0.0625; rcut_smth"
+              " (2, 6)/0.0625; categorical genes /0.0625)\n");
+}
+
+void BM_RandomGenome(benchmark::State& state) {
+  const core::DeepMDRepresentation repr;
+  util::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(repr.representation().random_genome(rng));
+  }
+}
+BENCHMARK(BM_RandomGenome);
+
+void BM_Decode(benchmark::State& state) {
+  const core::DeepMDRepresentation repr;
+  util::Rng rng(2);
+  const auto genome = repr.representation().random_genome(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(repr.decode(genome));
+  }
+}
+BENCHMARK(BM_Decode);
+
+void BM_GaussianMutation(benchmark::State& state) {
+  const core::DeepMDRepresentation repr;
+  util::Rng rng(3);
+  ea::Context context;
+  context.mutation_std() = repr.representation().initial_stds();
+  const auto mutate = ea::mutate_gaussian(context, repr.representation().bounds(), rng);
+  ea::Individual parent = repr.representation().create_individual(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mutate(parent));
+  }
+}
+BENCHMARK(BM_GaussianMutation);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

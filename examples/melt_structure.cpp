@@ -1,0 +1,70 @@
+// Structural validation of the synthetic reference system: pair distribution
+// functions and mean-squared displacement of the molten AlCl3-KCl model.
+// This is the evidence that the classical stand-in for the paper's DFT melt
+// actually behaves like a charge-ordered liquid (DESIGN.md substitution 1).
+//
+// Usage: ./examples/melt_structure [kcl_units] [frames]
+#include <cstdio>
+#include <cstdlib>
+
+#include "md/analysis.hpp"
+#include "md/simulation.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dpho;
+  const std::size_t units = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 4;
+  const std::size_t frames = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 80;
+
+  md::SimulationConfig config;
+  config.spec = md::SystemSpec::scaled_system(units);
+  config.num_frames = frames;
+  config.equilibration_steps = 400;
+  config.sample_interval = 5;
+  config.seed = 3;
+  std::printf("simulating %zu atoms at %.0f K (box %.2f A)...\n",
+              config.spec.total_atoms(), config.temperature_k,
+              config.spec.box_length());
+  md::Simulation simulation(config);
+  const md::FrameDataset trajectory = simulation.run();
+
+  const double r_max = 0.48 * config.spec.box_length();
+  struct PairSpec {
+    const char* label;
+    std::optional<md::Species> a, b;
+  };
+  const PairSpec pairs[] = {
+      {"Al-Cl (counter-ion)", md::Species::kAl, md::Species::kCl},
+      {"K-Cl  (counter-ion)", md::Species::kK, md::Species::kCl},
+      {"Cl-Cl (like-ion)", md::Species::kCl, md::Species::kCl},
+      {"all-all", std::nullopt, std::nullopt},
+  };
+  std::printf("\npair distribution functions (r_max %.2f A):\n", r_max);
+  for (const PairSpec& pair : pairs) {
+    const md::Rdf rdf = md::radial_distribution(trajectory, pair.a, pair.b, r_max, 60);
+    const auto peak = rdf.first_peak(1.0);
+    if (peak) {
+      std::printf("  %-20s first peak at %.2f A (g = %.2f), tail -> %.2f\n",
+                  pair.label, peak->r, peak->height, rdf.tail_mean());
+    } else {
+      std::printf("  %-20s no peak found (tail -> %.2f)\n", pair.label,
+                  rdf.tail_mean());
+    }
+  }
+  std::printf("(charge ordering: counter-ion peaks precede like-ion peaks)\n");
+
+  const auto msd = md::mean_squared_displacement(trajectory, frames / 2);
+  const double dt_ps =
+      static_cast<double>(config.sample_interval) * config.dt_fs / 1000.0;
+  std::printf("\nmean-squared displacement (liquid = keeps growing):\n");
+  for (std::size_t lag = 2; lag < msd.size(); lag += msd.size() / 6) {
+    std::printf("  t = %5.2f ps   msd = %6.3f A^2\n",
+                static_cast<double>(lag) * dt_ps, msd[lag]);
+  }
+  // Crude diffusion constant from the last half of the curve: D = msd/(6t).
+  const std::size_t tail = msd.size() - 1;
+  const double diffusion =
+      msd[tail] / (6.0 * static_cast<double>(tail) * dt_ps);  // A^2/ps
+  std::printf("apparent diffusion constant: %.3f A^2/ps (%.2e cm^2/s)\n", diffusion,
+              diffusion * 1e-4);
+  return 0;
+}

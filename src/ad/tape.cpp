@@ -1,0 +1,264 @@
+#include "ad/tape.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dpho::ad {
+
+namespace {
+
+double stable_softplus(double x) {
+  // log(1 + e^x) without overflow for large |x|.
+  if (x > 30.0) return x;
+  if (x < -30.0) return std::exp(x);
+  return std::log1p(std::exp(x));
+}
+
+double stable_sigmoid(double x) {
+  if (x >= 0.0) {
+    const double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  const double z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+void check_same_tape(Var a, Var b) {
+  if (a.tape() != b.tape()) {
+    throw util::ValueError("ad: operands belong to different tapes");
+  }
+}
+
+}  // namespace
+
+double Var::value() const {
+  if (tape_ == nullptr) throw util::ValueError("ad: value() on a null Var");
+  return tape_->value_at(index_);
+}
+
+double Tape::value_at(std::uint32_t index) const {
+  if (index >= nodes_.size()) throw util::ValueError("ad: node index out of range");
+  return nodes_[index].value;
+}
+
+Var Tape::push(Op op, double value, std::uint32_t a, std::uint32_t b, double aux) {
+  nodes_.push_back(Node{op, a, b, value, aux});
+  return Var(this, static_cast<std::uint32_t>(nodes_.size() - 1));
+}
+
+Var Tape::input(double value) { return push(Op::kLeaf, value); }
+
+Var Tape::constant(double value) { return push(Op::kConst, value); }
+
+void Tape::reset() { nodes_.clear(); }
+
+Var Tape::add(Var a, Var b) {
+  check_same_tape(a, b);
+  return push(Op::kAdd, value_of(a.index()) + value_of(b.index()), a.index(), b.index());
+}
+
+Var Tape::sub(Var a, Var b) {
+  check_same_tape(a, b);
+  return push(Op::kSub, value_of(a.index()) - value_of(b.index()), a.index(), b.index());
+}
+
+Var Tape::mul(Var a, Var b) {
+  check_same_tape(a, b);
+  return push(Op::kMul, value_of(a.index()) * value_of(b.index()), a.index(), b.index());
+}
+
+Var Tape::div(Var a, Var b) {
+  check_same_tape(a, b);
+  return push(Op::kDiv, value_of(a.index()) / value_of(b.index()), a.index(), b.index());
+}
+
+Var Tape::neg(Var a) { return push(Op::kNeg, -value_of(a.index()), a.index()); }
+
+Var Tape::exp_(Var a) { return push(Op::kExp, std::exp(value_of(a.index())), a.index()); }
+
+Var Tape::log_(Var a) { return push(Op::kLog, std::log(value_of(a.index())), a.index()); }
+
+Var Tape::sqrt_(Var a) {
+  return push(Op::kSqrt, std::sqrt(value_of(a.index())), a.index());
+}
+
+Var Tape::pow_const(Var a, double exponent) {
+  return push(Op::kPowC, std::pow(value_of(a.index()), exponent), a.index(), 0, exponent);
+}
+
+Var Tape::tanh_(Var a) {
+  return push(Op::kTanh, std::tanh(value_of(a.index())), a.index());
+}
+
+Var Tape::sigmoid_(Var a) {
+  return push(Op::kSigmoid, stable_sigmoid(value_of(a.index())), a.index());
+}
+
+Var Tape::softplus_(Var a) {
+  return push(Op::kSoftplus, stable_softplus(value_of(a.index())), a.index());
+}
+
+Var Tape::relu_(Var a) {
+  const double x = value_of(a.index());
+  return push(Op::kRelu, x > 0.0 ? x : 0.0, a.index());
+}
+
+Var Tape::relu6_(Var a) {
+  const double x = value_of(a.index());
+  return push(Op::kRelu6, x <= 0.0 ? 0.0 : (x >= 6.0 ? 6.0 : x), a.index());
+}
+
+Var Tape::step_(Var a) {
+  return push(Op::kStep, value_of(a.index()) > 0.0 ? 1.0 : 0.0, a.index());
+}
+
+Var Tape::box_step(Var a, double hi) {
+  const double x = value_of(a.index());
+  return push(Op::kBoxStep, (x > 0.0 && x < hi) ? 1.0 : 0.0, a.index(), 0, hi);
+}
+
+std::vector<Var> Tape::gradient(Var output, const std::vector<Var>& inputs) {
+  if (output.tape() != this) throw util::ValueError("ad: output not on this tape");
+  for (Var in : inputs) {
+    if (in.tape() != this) throw util::ValueError("ad: input not on this tape");
+  }
+  const std::uint32_t out_index = output.index();
+  // Adjoint per node up to (and including) the output; nodes appended during
+  // this backward pass never need adjoints of their own here.
+  const std::size_t frontier = static_cast<std::size_t>(out_index) + 1;
+  std::vector<Var> adjoint(frontier);  // default-invalid == zero
+  adjoint[out_index] = constant(1.0);
+
+  const auto accumulate = [&](std::uint32_t node, Var delta) {
+    if (node >= frontier) return;  // constant created during backward
+    if (!adjoint[node].valid()) {
+      adjoint[node] = delta;
+    } else {
+      adjoint[node] = add(adjoint[node], delta);
+    }
+  };
+
+  for (std::size_t raw = frontier; raw-- > 0;) {
+    const auto i = static_cast<std::uint32_t>(raw);
+    if (!adjoint[raw].valid()) continue;
+    const Var g = adjoint[raw];
+    // Snapshot the node: pushes below may reallocate nodes_.
+    const Node node = nodes_[raw];
+    const Var self(this, i);
+    const Var a_var(this, node.a);
+    const Var b_var(this, node.b);
+    switch (node.op) {
+      case Op::kLeaf:
+      case Op::kConst:
+        break;
+      case Op::kAdd:
+        accumulate(node.a, g);
+        accumulate(node.b, g);
+        break;
+      case Op::kSub:
+        accumulate(node.a, g);
+        accumulate(node.b, neg(g));
+        break;
+      case Op::kMul:
+        accumulate(node.a, mul(g, b_var));
+        accumulate(node.b, mul(g, a_var));
+        break;
+      case Op::kDiv:
+        // d(a/b)/da = 1/b ; d(a/b)/db = -(a/b)/b
+        accumulate(node.a, div(g, b_var));
+        accumulate(node.b, neg(div(mul(g, self), b_var)));
+        break;
+      case Op::kNeg:
+        accumulate(node.a, neg(g));
+        break;
+      case Op::kExp:
+        accumulate(node.a, mul(g, self));
+        break;
+      case Op::kLog:
+        accumulate(node.a, div(g, a_var));
+        break;
+      case Op::kSqrt:
+        // d sqrt(a)/da = 1 / (2 sqrt(a))
+        accumulate(node.a, div(g, mul(constant(2.0), self)));
+        break;
+      case Op::kPowC: {
+        // d a^k / da = k a^(k-1)
+        const Var powered = pow_const(a_var, node.aux - 1.0);
+        accumulate(node.a, mul(g, mul(constant(node.aux), powered)));
+        break;
+      }
+      case Op::kTanh: {
+        // 1 - tanh^2
+        const Var one_minus = sub(constant(1.0), mul(self, self));
+        accumulate(node.a, mul(g, one_minus));
+        break;
+      }
+      case Op::kSigmoid: {
+        // s (1 - s)
+        const Var deriv = mul(self, sub(constant(1.0), self));
+        accumulate(node.a, mul(g, deriv));
+        break;
+      }
+      case Op::kSoftplus:
+        // d softplus(a)/da = sigmoid(a)
+        accumulate(node.a, mul(g, sigmoid_(a_var)));
+        break;
+      case Op::kRelu:
+        accumulate(node.a, mul(g, step_(a_var)));
+        break;
+      case Op::kRelu6:
+        accumulate(node.a, mul(g, box_step(a_var, 6.0)));
+        break;
+      case Op::kStep:
+      case Op::kBoxStep:
+        break;  // derivative defined as zero everywhere
+    }
+  }
+
+  std::vector<Var> result;
+  result.reserve(inputs.size());
+  for (Var in : inputs) {
+    if (in.index() < frontier && adjoint[in.index()].valid()) {
+      result.push_back(adjoint[in.index()]);
+    } else {
+      result.push_back(constant(0.0));
+    }
+  }
+  return result;
+}
+
+Var operator+(Var a, Var b) { return a.tape()->add(a, b); }
+Var operator-(Var a, Var b) { return a.tape()->sub(a, b); }
+Var operator*(Var a, Var b) { return a.tape()->mul(a, b); }
+Var operator/(Var a, Var b) { return a.tape()->div(a, b); }
+Var operator-(Var a) { return a.tape()->neg(a); }
+Var operator+(Var a, double b) { return a + a.tape()->constant(b); }
+Var operator+(double a, Var b) { return b.tape()->constant(a) + b; }
+Var operator-(Var a, double b) { return a - a.tape()->constant(b); }
+Var operator-(double a, Var b) { return b.tape()->constant(a) - b; }
+Var operator*(Var a, double b) { return a * a.tape()->constant(b); }
+Var operator*(double a, Var b) { return b.tape()->constant(a) * b; }
+Var operator/(Var a, double b) { return a / a.tape()->constant(b); }
+Var operator/(double a, Var b) { return b.tape()->constant(a) / b; }
+
+Var exp(Var a) { return a.tape()->exp_(a); }
+Var log(Var a) { return a.tape()->log_(a); }
+Var sqrt(Var a) { return a.tape()->sqrt_(a); }
+Var pow(Var a, double exponent) { return a.tape()->pow_const(a, exponent); }
+Var tanh(Var a) { return a.tape()->tanh_(a); }
+Var sigmoid(Var a) { return a.tape()->sigmoid_(a); }
+Var softplus(Var a) { return a.tape()->softplus_(a); }
+Var relu(Var a) { return a.tape()->relu_(a); }
+Var relu6(Var a) { return a.tape()->relu6_(a); }
+
+double finite_difference(const std::vector<double>& point, std::size_t index,
+                         double (*fn)(const std::vector<double>&), double h) {
+  std::vector<double> plus = point;
+  std::vector<double> minus = point;
+  plus[index] += h;
+  minus[index] -= h;
+  return (fn(plus) - fn(minus)) / (2.0 * h);
+}
+
+}  // namespace dpho::ad

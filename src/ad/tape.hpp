@@ -1,0 +1,140 @@
+// Reverse-mode automatic differentiation on a dynamic tape.
+//
+// This is the stand-in for TensorFlow's autodiff in the DeePMD training stack:
+// atomic forces are gradients of the predicted energy with respect to
+// coordinates (F = -dE/dx), and the training loss contains those forces, so
+// optimizing the loss requires differentiating *through* a gradient.  To
+// support that, Tape::gradient() expresses every local derivative in terms of
+// new tape nodes -- the backward pass extends the computation graph -- which
+// makes second (and higher) order derivatives available by calling gradient()
+// on the result of a previous gradient().
+//
+// Values are computed eagerly as nodes are created, so Var::value() is a
+// constant-time lookup and no separate "forward pass" is needed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dpho::ad {
+
+class Tape;
+
+/// Lightweight handle to a tape node.  Copyable; valid until the owning tape
+/// is reset or destroyed.
+class Var {
+ public:
+  Var() = default;
+  Var(Tape* tape, std::uint32_t index) : tape_(tape), index_(index) {}
+
+  double value() const;
+  Tape* tape() const { return tape_; }
+  std::uint32_t index() const { return index_; }
+  bool valid() const { return tape_ != nullptr; }
+
+ private:
+  Tape* tape_ = nullptr;
+  std::uint32_t index_ = 0;
+};
+
+/// The growable computation record.
+class Tape {
+ public:
+  Tape() = default;
+  explicit Tape(std::size_t reserve_nodes) { nodes_.reserve(reserve_nodes); }
+
+  /// Creates a leaf variable (differentiable input).
+  Var input(double value);
+
+  /// Creates a constant (gradient is identically zero).
+  Var constant(double value);
+
+  /// Number of live nodes; useful for memory accounting in tests/benches.
+  std::size_t size() const { return nodes_.size(); }
+
+  /// Discards every node.  All outstanding Vars become invalid.
+  void reset();
+
+  /// Value stored at a node index (bounds-checked).
+  double value_at(std::uint32_t index) const;
+
+  /// Reverse-mode gradient of `output` with respect to each of `inputs`.
+  ///
+  /// The returned adjoints are themselves tape variables, so they can be
+  /// combined into new expressions and differentiated again (higher-order).
+  /// Inputs that `output` does not depend on get a zero-constant adjoint.
+  std::vector<Var> gradient(Var output, const std::vector<Var>& inputs);
+
+  // -- primitive operations (free operators below forward to these) --
+  Var add(Var a, Var b);
+  Var sub(Var a, Var b);
+  Var mul(Var a, Var b);
+  Var div(Var a, Var b);
+  Var neg(Var a);
+  Var exp_(Var a);
+  Var log_(Var a);
+  Var sqrt_(Var a);
+  Var pow_const(Var a, double exponent);
+  Var tanh_(Var a);
+  Var sigmoid_(Var a);
+  Var softplus_(Var a);
+  Var relu_(Var a);
+  Var relu6_(Var a);
+  /// Heaviside step of a (0 for a<=0, 1 for a>0); derivative defined as 0.
+  Var step_(Var a);
+  /// Indicator of 0 < a < hi; derivative defined as 0 (used by relu6).
+  Var box_step(Var a, double hi);
+
+ private:
+  enum class Op : std::uint8_t {
+    kLeaf, kConst, kAdd, kSub, kMul, kDiv, kNeg, kExp, kLog, kSqrt, kPowC,
+    kTanh, kSigmoid, kSoftplus, kRelu, kRelu6, kStep, kBoxStep,
+  };
+
+  struct Node {
+    Op op = Op::kLeaf;
+    std::uint32_t a = 0;
+    std::uint32_t b = 0;
+    double value = 0.0;
+    double aux = 0.0;  // exponent for kPowC, upper bound for kBoxStep
+  };
+
+  Var push(Op op, double value, std::uint32_t a = 0, std::uint32_t b = 0,
+           double aux = 0.0);
+  double value_of(std::uint32_t index) const { return nodes_[index].value; }
+
+  std::vector<Node> nodes_;
+};
+
+// Operator sugar.  Mixed Var/double forms promote the double to a constant on
+// the Var's tape.
+Var operator+(Var a, Var b);
+Var operator-(Var a, Var b);
+Var operator*(Var a, Var b);
+Var operator/(Var a, Var b);
+Var operator-(Var a);
+Var operator+(Var a, double b);
+Var operator+(double a, Var b);
+Var operator-(Var a, double b);
+Var operator-(double a, Var b);
+Var operator*(Var a, double b);
+Var operator*(double a, Var b);
+Var operator/(Var a, double b);
+Var operator/(double a, Var b);
+
+Var exp(Var a);
+Var log(Var a);
+Var sqrt(Var a);
+Var pow(Var a, double exponent);
+Var tanh(Var a);
+Var sigmoid(Var a);
+Var softplus(Var a);
+Var relu(Var a);
+Var relu6(Var a);
+
+/// Numerically checks d output / d input via central differences; used by the
+/// test-suite but exposed here so downstream models can self-verify.
+double finite_difference(const std::vector<double>& point, std::size_t index,
+                         double (*fn)(const std::vector<double>&), double h = 1e-6);
+
+}  // namespace dpho::ad

@@ -1,0 +1,162 @@
+#include "core/analysis.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "moo/pareto.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+
+namespace dpho::core {
+
+std::vector<EvalRecord> last_generation_solutions(const std::vector<RunRecord>& runs) {
+  std::vector<EvalRecord> out;
+  for (const RunRecord& run : runs) {
+    out.insert(out.end(), run.final_population.begin(), run.final_population.end());
+  }
+  return out;
+}
+
+std::vector<EvalRecord> generation_solutions(const std::vector<RunRecord>& runs,
+                                             int generation) {
+  std::vector<EvalRecord> out;
+  for (const RunRecord& run : runs) {
+    for (const GenerationRecord& gen : run.generations) {
+      if (gen.generation == generation) {
+        out.insert(out.end(), gen.evaluated.begin(), gen.evaluated.end());
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<EvalRecord> successful(const std::vector<EvalRecord>& records) {
+  std::vector<EvalRecord> out;
+  for (const EvalRecord& record : records) {
+    if (record.status == ea::EvalStatus::kOk && record.fitness.size() >= 2) {
+      out.push_back(record);
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> pareto_front(const std::vector<EvalRecord>& records) {
+  // Build objective vectors for successful records, remembering origin.
+  std::vector<moo::ObjectiveVector> objectives;
+  std::vector<std::size_t> origin;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (records[i].status == ea::EvalStatus::kOk && records[i].fitness.size() >= 2) {
+      objectives.push_back(records[i].fitness);
+      origin.push_back(i);
+    }
+  }
+  std::vector<std::size_t> front;
+  for (std::size_t local : moo::pareto_front_indices(objectives)) {
+    front.push_back(origin[local]);
+  }
+  std::sort(front.begin(), front.end(), [&](std::size_t a, std::size_t b) {
+    return records[a].fitness[1] < records[b].fitness[1];  // ascending force error
+  });
+  return front;
+}
+
+std::vector<EvalRecord> chemically_accurate(const std::vector<EvalRecord>& records,
+                                            const ChemicalAccuracy& limits) {
+  std::vector<EvalRecord> out;
+  for (const EvalRecord& record : records) {
+    if (limits.accurate(record)) out.push_back(record);
+  }
+  return out;
+}
+
+Table3Selection select_table3(const std::vector<EvalRecord>& records,
+                              const ChemicalAccuracy& limits) {
+  Table3Selection selection;
+  for (const EvalRecord& record : records) {
+    if (!limits.accurate(record)) continue;
+    if (!selection.lowest_force ||
+        record.fitness[1] < selection.lowest_force->fitness[1]) {
+      selection.lowest_force = record;
+    }
+    if (!selection.lowest_energy ||
+        record.fitness[0] < selection.lowest_energy->fitness[0]) {
+      selection.lowest_energy = record;
+    }
+    if (!selection.lowest_runtime ||
+        record.runtime_minutes < selection.lowest_runtime->runtime_minutes) {
+      selection.lowest_runtime = record;
+    }
+  }
+  return selection;
+}
+
+std::string parallel_coordinates_csv(const std::vector<EvalRecord>& records,
+                                     const DeepMDRepresentation& representation,
+                                     const ChemicalAccuracy& limits) {
+  const std::vector<std::size_t> front = pareto_front(records);
+  std::vector<bool> on_front(records.size(), false);
+  for (std::size_t i : front) on_front[i] = true;
+
+  std::ostringstream out;
+  util::CsvWriter writer(out);
+  writer.write_row({"uuid", "start_lr", "stop_lr", "rcut", "rcut_smth",
+                    "scale_by_worker", "desc_activ_func", "fitting_activ_func",
+                    "runtime_minutes", "rmse_e", "rmse_f", "chemically_accurate",
+                    "on_pareto_front", "status"});
+  const auto fmt = util::CsvWriter::format;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const EvalRecord& record = records[i];
+    if (record.status != ea::EvalStatus::kOk || record.fitness.size() < 2) continue;
+    const HyperParams hp = representation.decode(record.genome);
+    writer.write_row({record.uuid, fmt(hp.start_lr), fmt(hp.stop_lr), fmt(hp.rcut),
+                      fmt(hp.rcut_smth), nn::to_string(hp.scale_by_worker),
+                      nn::to_string(hp.desc_activ_func),
+                      nn::to_string(hp.fitting_activ_func),
+                      fmt(record.runtime_minutes), fmt(record.fitness[0]),
+                      fmt(record.fitness[1]), limits.accurate(record) ? "1" : "0",
+                      on_front[i] ? "1" : "0", to_string(record.status)});
+  }
+  return out.str();
+}
+
+AxisMarginals axis_marginals(const std::vector<EvalRecord>& records,
+                             const DeepMDRepresentation& representation,
+                             const ChemicalAccuracy& limits) {
+  AxisMarginals marginals;
+  marginals.scaling_counts_accurate.assign(nn::kNumCandidateScalings, 0);
+  marginals.desc_activation_counts_accurate.assign(nn::kNumCandidateActivations, 0);
+  marginals.fitting_activation_counts_accurate.assign(nn::kNumCandidateActivations, 0);
+  marginals.min_rcut_accurate = 1e300;
+  std::vector<double> smth_accurate;
+
+  for (const EvalRecord& record : records) {
+    if (record.status != ea::EvalStatus::kOk || record.fitness.size() < 2) continue;
+    ++marginals.num_total;
+    marginals.max_runtime = std::max(marginals.max_runtime, record.runtime_minutes);
+    if (!limits.accurate(record)) continue;
+    ++marginals.num_accurate;
+    const HyperParams hp = representation.decode(record.genome);
+    marginals.min_rcut_accurate = std::min(marginals.min_rcut_accurate, hp.rcut);
+    smth_accurate.push_back(hp.rcut_smth);
+    for (int s = 0; s < nn::kNumCandidateScalings; ++s) {
+      if (nn::kCandidateScalings[s] == hp.scale_by_worker) {
+        ++marginals.scaling_counts_accurate[s];
+      }
+    }
+    for (int a = 0; a < nn::kNumCandidateActivations; ++a) {
+      if (nn::kCandidateActivations[a] == hp.desc_activ_func) {
+        ++marginals.desc_activation_counts_accurate[a];
+      }
+      if (nn::kCandidateActivations[a] == hp.fitting_activ_func) {
+        ++marginals.fitting_activation_counts_accurate[a];
+      }
+    }
+  }
+  if (!smth_accurate.empty()) {
+    marginals.median_rcut_smth_accurate = util::quantile(smth_accurate, 0.5);
+  }
+  if (marginals.num_accurate == 0) marginals.min_rcut_accurate = 0.0;
+  return marginals;
+}
+
+}  // namespace dpho::core

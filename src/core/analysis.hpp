@@ -1,0 +1,83 @@
+// Post-hoc analysis of experiment results (section 3 of the paper).
+//
+// Provides the computations behind every results table and figure:
+//   * Figure 1: per-generation energy/force loss distributions;
+//   * Figure 2 / Table 2: exact Pareto frontier of the aggregated last
+//     generations;
+//   * Figure 3: parallel-coordinates export + per-axis marginals, with the
+//     chemical-accuracy classification (E < 0.004 eV/atom, F < 0.04 eV/A);
+//   * Table 3: chemically accurate solutions with lowest force loss, lowest
+//     energy loss, and lowest runtime.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/deepmd_repr.hpp"
+#include "core/driver.hpp"
+
+namespace dpho::core {
+
+/// The paper's chemical-accuracy limits (section 3.2).
+struct ChemicalAccuracy {
+  double energy_limit = 0.004;  // eV/atom
+  double force_limit = 0.04;    // eV/A
+
+  bool accurate(const EvalRecord& record) const {
+    return record.status == ea::EvalStatus::kOk && record.fitness.size() >= 2 &&
+           record.fitness[0] < energy_limit && record.fitness[1] < force_limit;
+  }
+};
+
+/// The union of the final parent populations of all runs ("the combined last
+/// generations from all runs").
+std::vector<EvalRecord> last_generation_solutions(const std::vector<RunRecord>& runs);
+
+/// Every evaluation of a given generation across all runs (Figure 1 data).
+std::vector<EvalRecord> generation_solutions(const std::vector<RunRecord>& runs,
+                                             int generation);
+
+/// Successful (non-failed) records only.
+std::vector<EvalRecord> successful(const std::vector<EvalRecord>& records);
+
+/// Indices of the exact Pareto frontier (failures excluded), sorted by
+/// ascending force error like Table 2.
+std::vector<std::size_t> pareto_front(const std::vector<EvalRecord>& records);
+
+/// Subset passing the chemical-accuracy limits.
+std::vector<EvalRecord> chemically_accurate(const std::vector<EvalRecord>& records,
+                                            const ChemicalAccuracy& limits = {});
+
+/// Table 3: the chemically accurate solutions with the lowest force loss,
+/// lowest energy loss, and lowest runtime (empty when none qualify).
+struct Table3Selection {
+  std::optional<EvalRecord> lowest_force;
+  std::optional<EvalRecord> lowest_energy;
+  std::optional<EvalRecord> lowest_runtime;
+};
+Table3Selection select_table3(const std::vector<EvalRecord>& records,
+                              const ChemicalAccuracy& limits = {});
+
+/// Parallel-coordinates CSV (Figure 3): decoded hyperparameters per solution
+/// plus runtime, losses, accuracy flag and Pareto membership.
+std::string parallel_coordinates_csv(const std::vector<EvalRecord>& records,
+                                     const DeepMDRepresentation& representation,
+                                     const ChemicalAccuracy& limits = {});
+
+/// Per-axis marginal statistics of Figure 3 used in the text of section 3.2.
+struct AxisMarginals {
+  double min_rcut_accurate = 0.0;        // paper: no accurate solution below 8.5
+  double median_rcut_smth_accurate = 0.0;
+  std::vector<std::size_t> scaling_counts_accurate;     // by decode order
+  std::vector<std::size_t> desc_activation_counts_accurate;
+  std::vector<std::size_t> fitting_activation_counts_accurate;
+  double max_runtime = 0.0;              // paper: all below ~80 minutes
+  std::size_t num_accurate = 0;
+  std::size_t num_total = 0;
+};
+AxisMarginals axis_marginals(const std::vector<EvalRecord>& records,
+                             const DeepMDRepresentation& representation,
+                             const ChemicalAccuracy& limits = {});
+
+}  // namespace dpho::core

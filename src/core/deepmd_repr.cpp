@@ -1,0 +1,84 @@
+#include "core/deepmd_repr.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "ea/decoder.hpp"
+#include "util/error.hpp"
+
+namespace dpho::core {
+
+namespace {
+
+// Table 1 of the paper.
+constexpr double kStartLrLo = 3.51e-8, kStartLrHi = 0.01, kStartLrStd = 0.001;
+constexpr double kStopLrLo = 3.51e-8, kStopLrHi = 0.0001, kStopLrStd = 0.0001;
+constexpr double kRcutLo = 6.0, kRcutHi = 12.0, kRcutStd = 0.0625;
+constexpr double kRcutSmthLo = 2.0, kRcutSmthHi = 6.0, kRcutSmthStd = 0.0625;
+constexpr double kScaleLo = 0.0, kScaleHi = 3.0, kScaleStd = 0.0625;
+constexpr double kActivLo = 0.0, kActivHi = 5.0, kActivStd = 0.0625;
+
+}  // namespace
+
+DeepMDRepresentation::DeepMDRepresentation() {
+  using Gene = ea::Representation::Gene;
+  representation_.add_gene(Gene{"start_lr", {kStartLrLo, kStartLrHi}, kStartLrStd,
+                                {kStartLrLo, kStartLrHi}});
+  representation_.add_gene(Gene{"stop_lr", {kStopLrLo, kStopLrHi}, kStopLrStd,
+                                {kStopLrLo, kStopLrHi}});
+  representation_.add_gene(Gene{"rcut", {kRcutLo, kRcutHi}, kRcutStd,
+                                {kRcutLo, kRcutHi}});
+  representation_.add_gene(Gene{"rcut_smth", {kRcutSmthLo, kRcutSmthHi}, kRcutSmthStd,
+                                {kRcutSmthLo, kRcutSmthHi}});
+  representation_.add_gene(Gene{"scale_by_worker", {kScaleLo, kScaleHi}, kScaleStd,
+                                {kScaleLo, kScaleHi}});
+  representation_.add_gene(Gene{"desc_activ_func", {kActivLo, kActivHi}, kActivStd,
+                                {kActivLo, kActivHi}});
+  representation_.add_gene(Gene{"fitting_activ_func", {kActivLo, kActivHi}, kActivStd,
+                                {kActivLo, kActivHi}});
+}
+
+const std::vector<std::string>& DeepMDRepresentation::scaling_choices() {
+  static const std::vector<std::string> kChoices = {"linear", "sqrt", "none"};
+  return kChoices;
+}
+
+const std::vector<std::string>& DeepMDRepresentation::activation_choices() {
+  static const std::vector<std::string> kChoices = {"relu", "relu6", "softplus",
+                                                    "sigmoid", "tanh"};
+  return kChoices;
+}
+
+HyperParams DeepMDRepresentation::decode(const std::vector<double>& genome) const {
+  if (genome.size() != kGenomeLength) {
+    throw util::ValueError("deepmd genome must have 7 genes");
+  }
+  HyperParams hp;
+  hp.start_lr = genome[kStartLr];
+  hp.stop_lr = genome[kStopLr];
+  hp.rcut = genome[kRcut];
+  hp.rcut_smth = genome[kRcutSmth];
+  hp.scale_by_worker = nn::lr_scaling_from_string(
+      ea::decode_categorical(genome[kScaleByWorker], scaling_choices()));
+  hp.desc_activ_func = nn::activation_from_string(
+      ea::decode_categorical(genome[kDescActivFunc], activation_choices()));
+  hp.fitting_activ_func = nn::activation_from_string(
+      ea::decode_categorical(genome[kFittingActivFunc], activation_choices()));
+  return hp;
+}
+
+std::string DeepMDRepresentation::table1() const {
+  std::ostringstream out;
+  out << "hyperparameter      | initialization range | mutation std\n";
+  out << "--------------------+----------------------+-------------\n";
+  for (const auto& gene : representation_.genes()) {
+    char line[128];
+    std::snprintf(line, sizeof line, "%-19s | (%.3g, %.3g)%*s | %.4g\n",
+                  gene.name.c_str(), gene.init_range.lo, gene.init_range.hi,
+                  0, "", gene.mutation_std);
+    out << line;
+  }
+  return out.str();
+}
+
+}  // namespace dpho::core

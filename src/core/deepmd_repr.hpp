@@ -1,0 +1,52 @@
+// The genome <-> hyperparameter representation of Table 1.
+//
+// Each individual is a seven-element real-valued vector:
+//   [start_lr, stop_lr, rcut, rcut_smth, scale_by_worker, desc_activ_func,
+//    fitting_activ_func]
+// with the last three decoded to strings by floor-modulus (section 2.2.2).
+// Initialization ranges and initial Gaussian-mutation standard deviations are
+// the paper's Table 1 values; hard mutation bounds equal the initialization
+// ranges so annealed mutation cannot push learning rates negative.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/hyperparams.hpp"
+#include "ea/representation.hpp"
+
+namespace dpho::core {
+
+class DeepMDRepresentation {
+ public:
+  DeepMDRepresentation();
+
+  /// Gene order in the genome.
+  enum GeneIndex : std::size_t {
+    kStartLr = 0,
+    kStopLr,
+    kRcut,
+    kRcutSmth,
+    kScaleByWorker,
+    kDescActivFunc,
+    kFittingActivFunc,
+    kGenomeLength,
+  };
+
+  const ea::Representation& representation() const { return representation_; }
+
+  /// The LEAP-style decode: genome -> phenotype (section 2.2.2).
+  HyperParams decode(const std::vector<double>& genome) const;
+
+  /// The string choice lists, in decode order.
+  static const std::vector<std::string>& scaling_choices();
+  static const std::vector<std::string>& activation_choices();
+
+  /// Renders Table 1 (initialization ranges and mutation sigmas).
+  std::string table1() const;
+
+ private:
+  ea::Representation representation_;
+};
+
+}  // namespace dpho::core

@@ -1,0 +1,138 @@
+#include "core/evaluator.hpp"
+
+#include <sys/wait.h>
+
+#include <chrono>
+#include <cstdlib>
+
+#include "dp/lcurve.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace dpho::core {
+
+SurrogateEvaluator::SurrogateEvaluator(SurrogateConfig config)
+    : surrogate_(config) {}
+
+hpc::WorkResult SurrogateEvaluator::evaluate(const ea::Individual& individual,
+                                             std::uint64_t eval_seed) const {
+  const HyperParams hp = representation_.decode(individual.genome);
+  const SurrogateOutcome outcome = surrogate_.evaluate(hp, eval_seed);
+  hpc::WorkResult result;
+  result.sim_minutes = outcome.runtime_minutes;
+  result.training_error = outcome.failed;
+  if (!outcome.failed) {
+    result.fitness = {outcome.rmse_e, outcome.rmse_f};
+  }
+  return result;
+}
+
+RealTrainingEvaluator::RealTrainingEvaluator(const md::FrameDataset& train,
+                                             const md::FrameDataset& validation,
+                                             RealEvalOptions options)
+    : train_(train), validation_(validation), options_(std::move(options)) {
+  if (options_.workspace_dir) workspace_.emplace(*options_.workspace_dir);
+}
+
+hpc::WorkResult RealTrainingEvaluator::evaluate(const ea::Individual& individual,
+                                                std::uint64_t eval_seed) const {
+  hpc::WorkResult result;
+  HyperParams hp;
+  try {
+    hp = representation_.decode(individual.genome);
+    dp::TrainInput input = hp.apply_to(options_.base);
+    input.training.seed = eval_seed;
+    if (workspace_) workspace_->prepare(individual, hp);
+
+    dp::TrainerOptions trainer_options;
+    trainer_options.wall_limit_seconds = options_.wall_limit_seconds;
+    dp::Trainer trainer(input, train_, validation_, trainer_options);
+    const dp::TrainResult train_result = trainer.train();
+
+    result.sim_minutes =
+        train_result.wall_seconds * options_.sim_minutes_per_real_second;
+    if (workspace_) {
+      // Persist and re-read the lcurve: the fitness comes from the artifact,
+      // exactly like the paper's step 4c.
+      const auto lcurve_path = workspace_->lcurve_path(individual);
+      train_result.lcurve.write(lcurve_path);
+      const auto [rmse_e, rmse_f] = dp::LcurveReader::final_validation_losses(lcurve_path);
+      result.fitness = {rmse_e, rmse_f};
+    } else {
+      result.fitness = {train_result.rmse_e_val, train_result.rmse_f_val};
+    }
+  } catch (const util::TimeoutError& e) {
+    util::log_info() << "evaluation timeout for " << individual.uuid.str() << ": "
+                     << e.what();
+    // Let the task farm classify it: report a runtime beyond any limit.
+    result.sim_minutes = 1e9;
+    result.fitness.clear();
+  } catch (const std::exception& e) {
+    util::log_info() << "evaluation failed for " << individual.uuid.str() << ": "
+                     << e.what();
+    result.training_error = true;
+    result.sim_minutes = 1.0;
+    result.fitness.clear();
+  }
+  return result;
+}
+
+SubprocessEvaluator::SubprocessEvaluator(SubprocessEvalOptions options)
+    : options_(std::move(options)),
+      workspace_(options_.workspace_dir,
+                 options_.input_template.empty() ? default_input_template()
+                                                 : options_.input_template) {
+  if (options_.dp_train_binary.empty()) {
+    throw util::ValueError("subprocess evaluator needs the dp_train binary path");
+  }
+}
+
+hpc::WorkResult SubprocessEvaluator::evaluate(const ea::Individual& individual,
+                                              std::uint64_t /*eval_seed*/) const {
+  hpc::WorkResult result;
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    const HyperParams hp = representation_.decode(individual.genome);
+    const auto input_path = workspace_.prepare(individual, hp);
+    const auto run_dir = workspace_.run_dir(individual);
+    // The per-training launch (the paper's jsrun-wrapped `dp` subprocess).
+    const std::string command =
+        "'" + options_.dp_train_binary.string() + "' '" + input_path.string() +
+        "' '" + options_.train_data_dir.string() + "' '" +
+        options_.validation_data_dir.string() + "' --out '" + run_dir.string() +
+        "' --wall-limit " + std::to_string(options_.wall_limit_seconds) +
+        " > '" + (run_dir / "stdout.log").string() + "' 2>&1";
+    const int status = std::system(command.c_str());
+    const int code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    result.sim_minutes = seconds * options_.sim_minutes_per_real_second;
+
+    if (code == 0) {
+      // Step 4c: the last rmse_e_val / rmse_f_val values from lcurve.out.
+      const auto [rmse_e, rmse_f] =
+          dp::LcurveReader::final_validation_losses(workspace_.lcurve_path(individual));
+      result.fitness = {rmse_e, rmse_f};
+    } else if (code == 3) {
+      // TimeoutError from the subprocess: report past any task limit so the
+      // farm classifies it as a timeout.
+      result.sim_minutes = 1e9;
+      result.fitness.clear();
+    } else {
+      util::log_info() << "dp_train subprocess for " << individual.uuid.str()
+                       << " exited with code " << code;
+      result.training_error = true;
+      result.fitness.clear();
+    }
+  } catch (const std::exception& e) {
+    util::log_info() << "subprocess evaluation failed for " << individual.uuid.str()
+                     << ": " << e.what();
+    result.training_error = true;
+    result.fitness.clear();
+    result.sim_minutes = 1.0;
+  }
+  return result;
+}
+
+}  // namespace dpho::core

@@ -1,0 +1,112 @@
+// Fitness evaluation backends.
+//
+// Both backends implement the paper's evaluation contract (section 2.2.4):
+// decode the 7-gene genome, run "a DeePMD training", and report the final
+// validation losses [rmse_e_val, rmse_f_val] plus a runtime; failures
+// (timeouts, divergence, invalid configs) surface as statuses that the
+// driver converts to MAXINT fitnesses.
+//
+//   * SurrogateEvaluator -- the calibrated response surface; used for the
+//     paper-scale experiments (100x7x5 evaluations) on the simulated cluster.
+//   * RealTrainingEvaluator -- actually trains the dpho::dp model on
+//     dpho::md reference data at reduced scale; used by examples, tests and
+//     the surrogate cross-check.  It optionally writes the full artifact
+//     trail (UUID dir, input.json, lcurve.out) through a Workspace and reads
+//     the fitness back from lcurve.out, exactly like the paper's workflow.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/deepmd_repr.hpp"
+#include "core/surrogate.hpp"
+#include "core/workspace.hpp"
+#include "dp/trainer.hpp"
+#include "ea/individual.hpp"
+#include "hpc/taskfarm.hpp"
+#include "md/simulation.hpp"
+
+namespace dpho::core {
+
+/// Abstract evaluation backend; implementations must be thread-safe.
+class Evaluator {
+ public:
+  virtual ~Evaluator() = default;
+
+  /// Computes the work result for one individual.  `eval_seed` individualizes
+  /// stochastic terms; derive it deterministically from run id + uuid.
+  virtual hpc::WorkResult evaluate(const ea::Individual& individual,
+                                   std::uint64_t eval_seed) const = 0;
+};
+
+/// Surrogate-backed evaluation (paper-scale runs).
+class SurrogateEvaluator : public Evaluator {
+ public:
+  explicit SurrogateEvaluator(SurrogateConfig config = {});
+
+  hpc::WorkResult evaluate(const ea::Individual& individual,
+                           std::uint64_t eval_seed) const override;
+
+  const TrainingSurrogate& surrogate() const { return surrogate_; }
+  const DeepMDRepresentation& representation() const { return representation_; }
+
+ private:
+  DeepMDRepresentation representation_;
+  TrainingSurrogate surrogate_;
+};
+
+/// Real-training evaluation at laptop scale.
+struct RealEvalOptions {
+  dp::TrainInput base;                     // network sizes, step budget, ...
+  double wall_limit_seconds = 120.0;       // per-training cap (the 2h analogue)
+  double sim_minutes_per_real_second = 1.0;
+  std::optional<std::filesystem::path> workspace_dir;  // artifact trail
+};
+
+class RealTrainingEvaluator : public Evaluator {
+ public:
+  /// The datasets must outlive the evaluator.
+  RealTrainingEvaluator(const md::FrameDataset& train, const md::FrameDataset& validation,
+                        RealEvalOptions options);
+
+  hpc::WorkResult evaluate(const ea::Individual& individual,
+                           std::uint64_t eval_seed) const override;
+
+ private:
+  const md::FrameDataset& train_;
+  const md::FrameDataset& validation_;
+  RealEvalOptions options_;
+  DeepMDRepresentation representation_;
+  std::optional<Workspace> workspace_;
+};
+
+/// The paper's workflow verbatim (section 2.2.4): every evaluation launches
+/// the training executable as a *subprocess* in the individual's UUID-named
+/// run directory (their per-training jsrun), with the hyperparameters passed
+/// through the templated input.json on disk and the fitness read back from
+/// lcurve.out.  Exit code 3 (wall limit) maps to a timeout, any other
+/// non-zero exit to a training error.
+struct SubprocessEvalOptions {
+  std::filesystem::path dp_train_binary;   // path to the dp_train executable
+  std::filesystem::path train_data_dir;    // saved FrameDataset directories
+  std::filesystem::path validation_data_dir;
+  std::filesystem::path workspace_dir;     // UUID run dirs are created here
+  std::string input_template;              // ${...} template for input.json
+  double wall_limit_seconds = 7200.0;      // the paper's two hours
+  double sim_minutes_per_real_second = 1.0;
+};
+
+class SubprocessEvaluator : public Evaluator {
+ public:
+  explicit SubprocessEvaluator(SubprocessEvalOptions options);
+
+  hpc::WorkResult evaluate(const ea::Individual& individual,
+                           std::uint64_t eval_seed) const override;
+
+ private:
+  SubprocessEvalOptions options_;
+  DeepMDRepresentation representation_;
+  Workspace workspace_;
+};
+
+}  // namespace dpho::core

@@ -1,0 +1,45 @@
+#include "core/hyperparams.hpp"
+
+#include <cstdio>
+
+#include "util/csv.hpp"
+
+namespace dpho::core {
+
+dp::TrainInput HyperParams::apply_to(dp::TrainInput base) const {
+  base.learning_rate.start_lr = start_lr;
+  base.learning_rate.stop_lr = stop_lr;
+  base.learning_rate.scale_by_worker = scale_by_worker;
+  base.descriptor.rcut = rcut;
+  base.descriptor.rcut_smth = rcut_smth;
+  base.descriptor.activation = desc_activ_func;
+  base.fitting.activation = fitting_activ_func;
+  base.validate();
+  return base;
+}
+
+std::string HyperParams::describe() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "start_lr=%.4g stop_lr=%.4g rcut=%.2f rcut_smth=%.2f scale=%s "
+                "desc=%s fit=%s",
+                start_lr, stop_lr, rcut, rcut_smth,
+                nn::to_string(scale_by_worker).c_str(),
+                nn::to_string(desc_activ_func).c_str(),
+                nn::to_string(fitting_activ_func).c_str());
+  return buf;
+}
+
+std::map<std::string, std::string> HyperParams::template_variables() const {
+  return {
+      {"start_lr", util::CsvWriter::format(start_lr)},
+      {"stop_lr", util::CsvWriter::format(stop_lr)},
+      {"rcut", util::CsvWriter::format(rcut)},
+      {"rcut_smth", util::CsvWriter::format(rcut_smth)},
+      {"scale_by_worker", nn::to_string(scale_by_worker)},
+      {"desc_activ_func", nn::to_string(desc_activ_func)},
+      {"fitting_activ_func", nn::to_string(fitting_activ_func)},
+  };
+}
+
+}  // namespace dpho::core

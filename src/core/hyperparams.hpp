@@ -1,0 +1,37 @@
+// The seven tuned DeePMD training hyperparameters (paper section 2.2.1).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "dp/config.hpp"
+#include "nn/activation.hpp"
+#include "nn/schedule.hpp"
+
+namespace dpho::core {
+
+/// A decoded phenotype: directly usable training settings.
+struct HyperParams {
+  double start_lr = 0.001;
+  double stop_lr = 1e-8;
+  double rcut = 6.0;       // Angstrom
+  double rcut_smth = 0.5;  // Angstrom
+  nn::LrScaling scale_by_worker = nn::LrScaling::kLinear;
+  nn::Activation desc_activ_func = nn::Activation::kTanh;
+  nn::Activation fitting_activ_func = nn::Activation::kTanh;
+
+  /// True when DeePMD would accept this configuration (rcut ordering etc.).
+  bool config_valid() const { return rcut_smth > 0.0 && rcut_smth < rcut; }
+
+  /// Applies these hyperparameters onto a base training input.
+  dp::TrainInput apply_to(dp::TrainInput base) const;
+
+  /// Human-readable one-liner for reports.
+  std::string describe() const;
+
+  /// The template variables used for input.json substitution, keyed by the
+  /// placeholder names of the workspace template.
+  std::map<std::string, std::string> template_variables() const;
+};
+
+}  // namespace dpho::core

@@ -1,0 +1,101 @@
+#include "core/nas.hpp"
+
+#include <sstream>
+
+#include "dp/trainer.hpp"
+#include "ea/decoder.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace dpho::core {
+
+dp::TrainInput NasParams::apply_to(dp::TrainInput base) const {
+  base.descriptor.neuron = embedding_neuron;
+  // Keep the axis filter within the (possibly narrower) final embedding width.
+  base.descriptor.axis_neuron =
+      std::min(base.descriptor.axis_neuron, embedding_neuron.back());
+  base.fitting.neuron = fitting_neuron;
+  return hp.apply_to(std::move(base));
+}
+
+std::string NasParams::describe() const {
+  std::ostringstream out;
+  out << hp.describe() << " embed={";
+  for (std::size_t i = 0; i < embedding_neuron.size(); ++i) {
+    out << (i ? "," : "") << embedding_neuron[i];
+  }
+  out << "} fit={";
+  for (std::size_t i = 0; i < fitting_neuron.size(); ++i) {
+    out << (i ? "," : "") << fitting_neuron[i];
+  }
+  out << "}";
+  return out.str();
+}
+
+NasRepresentation::NasRepresentation(NasSpace space) : space_(std::move(space)) {
+  if (space_.embedding_choices.empty() || space_.fitting_choices.empty()) {
+    throw util::ValueError("nas: choice lists must be non-empty");
+  }
+  for (const auto& widths : space_.embedding_choices) {
+    if (widths.empty()) throw util::ValueError("nas: empty embedding preset");
+  }
+  for (const auto& widths : space_.fitting_choices) {
+    if (widths.empty()) throw util::ValueError("nas: empty fitting preset");
+  }
+  representation_ = base_.representation();
+  using Gene = ea::Representation::Gene;
+  const auto n_embed = static_cast<double>(space_.embedding_choices.size());
+  const auto n_fit = static_cast<double>(space_.fitting_choices.size());
+  representation_.add_gene(
+      Gene{"embedding_arch", {0.0, n_embed}, 0.0625, {0.0, n_embed}});
+  representation_.add_gene(
+      Gene{"fitting_arch", {0.0, n_fit}, 0.0625, {0.0, n_fit}});
+}
+
+NasParams NasRepresentation::decode(const std::vector<double>& genome) const {
+  if (genome.size() != kNasGenomeLength) {
+    throw util::ValueError("nas genome must have 9 genes");
+  }
+  NasParams params;
+  params.hp = base_.decode(
+      std::vector<double>(genome.begin(), genome.begin() + kEmbeddingArch));
+  params.embedding_neuron = space_.embedding_choices[ea::categorical_index(
+      genome[kEmbeddingArch], space_.embedding_choices.size())];
+  params.fitting_neuron = space_.fitting_choices[ea::categorical_index(
+      genome[kFittingArch], space_.fitting_choices.size())];
+  return params;
+}
+
+NasRealEvaluator::NasRealEvaluator(const md::FrameDataset& train,
+                                   const md::FrameDataset& validation,
+                                   RealEvalOptions options, NasSpace space)
+    : train_(train), validation_(validation), options_(std::move(options)),
+      representation_(std::move(space)) {}
+
+hpc::WorkResult NasRealEvaluator::evaluate(const ea::Individual& individual,
+                                           std::uint64_t eval_seed) const {
+  hpc::WorkResult result;
+  try {
+    const NasParams params = representation_.decode(individual.genome);
+    dp::TrainInput input = params.apply_to(options_.base);
+    input.training.seed = eval_seed;
+    dp::TrainerOptions trainer_options;
+    trainer_options.wall_limit_seconds = options_.wall_limit_seconds;
+    dp::Trainer trainer(input, train_, validation_, trainer_options);
+    const dp::TrainResult train_result = trainer.train();
+    result.fitness = {train_result.rmse_e_val, train_result.rmse_f_val};
+    result.sim_minutes =
+        train_result.wall_seconds * options_.sim_minutes_per_real_second;
+  } catch (const util::TimeoutError&) {
+    result.sim_minutes = 1e9;
+    result.fitness.clear();
+  } catch (const std::exception& e) {
+    util::log_info() << "nas evaluation failed: " << e.what();
+    result.training_error = true;
+    result.sim_minutes = 1.0;
+    result.fitness.clear();
+  }
+  return result;
+}
+
+}  // namespace dpho::core

@@ -1,0 +1,83 @@
+// Neural-architecture-search extension (the paper's stated future work).
+//
+// Section 4: "model fidelity may also be further improved by incorporating
+// neural architecture searching on the two DeePMD neural networks".  This
+// module extends the seven-gene representation with two categorical
+// architecture genes -- one selecting the embedding-network shape, one the
+// fitting-network shape -- decoded with the same floor-modulus scheme as the
+// other categorical hyperparameters, so the unchanged NSGA-II pipeline
+// optimizes architecture and training hyperparameters jointly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/deepmd_repr.hpp"
+#include "core/evaluator.hpp"
+
+namespace dpho::core {
+
+/// The architecture search space: candidate layer-width vectors for both
+/// networks.  Defaults are paper-scale; tests/examples pass laptop-scale
+/// presets.
+struct NasSpace {
+  std::vector<std::vector<std::size_t>> embedding_choices = {
+      {20, 40, 80}, {25, 50, 100}, {32, 64, 128}};
+  std::vector<std::vector<std::size_t>> fitting_choices = {
+      {120, 120, 120}, {240, 240, 240}, {240, 240, 240, 240}};
+};
+
+/// A decoded NAS phenotype: training hyperparameters plus architectures.
+struct NasParams {
+  HyperParams hp;
+  std::vector<std::size_t> embedding_neuron;
+  std::vector<std::size_t> fitting_neuron;
+
+  /// Applies hyperparameters AND architecture onto a base config.
+  dp::TrainInput apply_to(dp::TrainInput base) const;
+
+  std::string describe() const;
+};
+
+/// The 9-gene representation: Table 1's seven genes + two architecture genes.
+class NasRepresentation {
+ public:
+  explicit NasRepresentation(NasSpace space = {});
+
+  enum GeneIndex : std::size_t {
+    kEmbeddingArch = DeepMDRepresentation::kGenomeLength,
+    kFittingArch,
+    kNasGenomeLength,
+  };
+
+  const ea::Representation& representation() const { return representation_; }
+  const NasSpace& space() const { return space_; }
+
+  NasParams decode(const std::vector<double>& genome) const;
+
+ private:
+  DeepMDRepresentation base_;
+  NasSpace space_;
+  ea::Representation representation_;
+};
+
+/// Real-training evaluator over the 9-gene genome: trains the actual dp
+/// stack with the decoded architecture.
+class NasRealEvaluator : public Evaluator {
+ public:
+  NasRealEvaluator(const md::FrameDataset& train, const md::FrameDataset& validation,
+                   RealEvalOptions options, NasSpace space);
+
+  hpc::WorkResult evaluate(const ea::Individual& individual,
+                           std::uint64_t eval_seed) const override;
+
+  const NasRepresentation& representation() const { return representation_; }
+
+ private:
+  const md::FrameDataset& train_;
+  const md::FrameDataset& validation_;
+  RealEvalOptions options_;
+  NasRepresentation representation_;
+};
+
+}  // namespace dpho::core

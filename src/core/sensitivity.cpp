@@ -1,0 +1,128 @@
+#include "core/sensitivity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "ea/decoder.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace dpho::core {
+
+namespace {
+
+double finite_range(const std::vector<SensitivityPoint>& points,
+                    double SurrogateOutcome::*member) {
+  double lo = 1e300, hi = -1e300;
+  for (const SensitivityPoint& p : points) {
+    if (p.outcome.failed) continue;
+    lo = std::min(lo, p.outcome.*member);
+    hi = std::max(hi, p.outcome.*member);
+  }
+  return hi >= lo ? hi - lo : 0.0;
+}
+
+}  // namespace
+
+double SensitivitySweep::force_dynamic_range() const {
+  return finite_range(points, &SurrogateOutcome::rmse_f);
+}
+
+double SensitivitySweep::energy_dynamic_range() const {
+  return finite_range(points, &SurrogateOutcome::rmse_e);
+}
+
+SensitivityAnalysis::SensitivityAnalysis(TrainingSurrogate surrogate,
+                                         SensitivityConfig config)
+    : surrogate_(surrogate), config_(std::move(config)) {
+  if (config_.baseline.size() != DeepMDRepresentation::kGenomeLength) {
+    throw util::ValueError("sensitivity baseline must have 7 genes");
+  }
+  if (config_.samples_per_parameter < 2) {
+    throw util::ValueError("sensitivity needs >= 2 samples per parameter");
+  }
+}
+
+std::vector<SensitivitySweep> SensitivityAnalysis::run() const {
+  std::vector<SensitivitySweep> sweeps;
+  const auto& genes = representation_.representation().genes();
+  for (std::size_t g = 0; g < genes.size(); ++g) {
+    SensitivitySweep sweep;
+    sweep.parameter = genes[g].name;
+    const bool categorical = g >= DeepMDRepresentation::kScaleByWorker;
+    std::vector<double> values;
+    if (categorical) {
+      const std::size_t choices =
+          g == DeepMDRepresentation::kScaleByWorker
+              ? DeepMDRepresentation::scaling_choices().size()
+              : DeepMDRepresentation::activation_choices().size();
+      for (std::size_t c = 0; c < choices; ++c) {
+        values.push_back(static_cast<double>(c) + 0.5);
+      }
+    } else {
+      const auto range = genes[g].init_range;
+      for (std::size_t s = 0; s < config_.samples_per_parameter; ++s) {
+        const double t = static_cast<double>(s) /
+                         static_cast<double>(config_.samples_per_parameter - 1);
+        values.push_back(range.lo + t * (range.hi - range.lo));
+      }
+    }
+    for (double value : values) {
+      std::vector<double> genome = config_.baseline;
+      genome[g] = value;
+      const HyperParams hp = representation_.decode(genome);
+      SensitivityPoint point;
+      point.gene_value = value;
+      switch (g) {
+        case DeepMDRepresentation::kScaleByWorker:
+          point.decoded = nn::to_string(hp.scale_by_worker);
+          break;
+        case DeepMDRepresentation::kDescActivFunc:
+          point.decoded = nn::to_string(hp.desc_activ_func);
+          break;
+        case DeepMDRepresentation::kFittingActivFunc:
+          point.decoded = nn::to_string(hp.fitting_activ_func);
+          break;
+        default:
+          point.decoded = util::CsvWriter::format(value);
+      }
+      point.outcome = surrogate_.evaluate_mean(hp);
+      sweep.points.push_back(std::move(point));
+    }
+    sweeps.push_back(std::move(sweep));
+  }
+  return sweeps;
+}
+
+std::string SensitivityAnalysis::to_csv(const std::vector<SensitivitySweep>& sweeps) {
+  std::ostringstream out;
+  util::CsvWriter writer(out);
+  writer.write_row({"parameter", "gene_value", "decoded", "rmse_e", "rmse_f",
+                    "runtime_minutes", "failed"});
+  const auto fmt = util::CsvWriter::format;
+  for (const SensitivitySweep& sweep : sweeps) {
+    for (const SensitivityPoint& point : sweep.points) {
+      writer.write_row({sweep.parameter, fmt(point.gene_value), point.decoded,
+                        fmt(point.outcome.rmse_e), fmt(point.outcome.rmse_f),
+                        fmt(point.outcome.runtime_minutes),
+                        point.outcome.failed ? "1" : "0"});
+    }
+  }
+  return out.str();
+}
+
+std::vector<std::string> SensitivityAnalysis::ranking(
+    const std::vector<SensitivitySweep>& sweeps) {
+  std::vector<std::size_t> order(sweeps.size());
+  for (std::size_t i = 0; i < sweeps.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return sweeps[a].force_dynamic_range() > sweeps[b].force_dynamic_range();
+  });
+  std::vector<std::string> names;
+  names.reserve(order.size());
+  for (std::size_t i : order) names.push_back(sweeps[i].parameter);
+  return names;
+}
+
+}  // namespace dpho::core

@@ -1,0 +1,66 @@
+// One-at-a-time hyperparameter sensitivity analysis.
+//
+// The paper's introduction motivates the search by noting that "neither a
+// detailed sensitivity analysis nor a hyperparameter optimization has been
+// reported" for DeePMD-kit training.  This module provides the former over
+// any Evaluator-compatible landscape: sweep each of the seven hyperparameters
+// across its Table-1 range around a baseline configuration and record the
+// response of both objectives and the runtime.  Used by bench_sensitivity
+// and available to downstream users for their own datasets.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/deepmd_repr.hpp"
+#include "core/surrogate.hpp"
+
+namespace dpho::core {
+
+/// One sample of a sweep.
+struct SensitivityPoint {
+  double gene_value = 0.0;      // raw genome value swept
+  std::string decoded;          // human-readable decoded value
+  SurrogateOutcome outcome;     // noise-free response
+};
+
+/// The sweep of one hyperparameter.
+struct SensitivitySweep {
+  std::string parameter;
+  std::vector<SensitivityPoint> points;
+
+  /// max/min of the finite force responses -- a crude effect size.
+  double force_dynamic_range() const;
+  double energy_dynamic_range() const;
+};
+
+/// Full one-at-a-time analysis configuration.
+struct SensitivityConfig {
+  /// Baseline genome; defaults to the paper's Table-3 solution 1.
+  std::vector<double> baseline = {0.0047, 0.0001, 11.32, 2.42, 2.3, 4.6, 4.2};
+  std::size_t samples_per_parameter = 13;
+};
+
+class SensitivityAnalysis {
+ public:
+  explicit SensitivityAnalysis(TrainingSurrogate surrogate = TrainingSurrogate(),
+                               SensitivityConfig config = {});
+
+  /// Sweeps every gene of the representation; continuous genes sample the
+  /// initialization range uniformly, categorical genes enumerate choices.
+  std::vector<SensitivitySweep> run() const;
+
+  /// Renders all sweeps as a CSV (parameter, value, decoded, rmse_e, rmse_f,
+  /// runtime, failed).
+  static std::string to_csv(const std::vector<SensitivitySweep>& sweeps);
+
+  /// Sweeps ranked by force-error dynamic range (most influential first).
+  static std::vector<std::string> ranking(const std::vector<SensitivitySweep>& sweeps);
+
+ private:
+  DeepMDRepresentation representation_;
+  TrainingSurrogate surrogate_;
+  SensitivityConfig config_;
+};
+
+}  // namespace dpho::core

@@ -1,0 +1,175 @@
+#include "core/surrogate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace dpho::core {
+
+namespace {
+
+/// Multiplicative quality of each activation, per network role.  Encodes the
+/// paper's section-3 observations; 1.0 is neutral, larger is worse.
+double descriptor_activation_penalty(nn::Activation activation) {
+  switch (activation) {
+    case nn::Activation::kTanh: return 1.00;
+    case nn::Activation::kSoftplus: return 1.015;
+    case nn::Activation::kRelu: return 1.22;   // non-smooth s -> rough forces
+    case nn::Activation::kRelu6: return 1.26;
+    case nn::Activation::kSigmoid: return 1.38; // saturating; never accurate
+    default: return 1.0;
+  }
+}
+
+double fitting_activation_penalty(nn::Activation activation) {
+  switch (activation) {
+    case nn::Activation::kTanh: return 1.00;
+    case nn::Activation::kSoftplus: return 1.01;
+    case nn::Activation::kSigmoid: return 1.03;  // still excellent for fitting
+    case nn::Activation::kRelu: return 1.45;     // dies out of the final pool
+    case nn::Activation::kRelu6: return 1.52;
+    default: return 1.0;
+  }
+}
+
+/// Relative per-step cost of the descriptor activation (softplus is the
+/// costly one; relus are cheap), seen in the Table-3 runtimes.
+double descriptor_activation_cost(nn::Activation activation) {
+  switch (activation) {
+    case nn::Activation::kSoftplus: return 1.08;
+    case nn::Activation::kSigmoid: return 1.03;
+    case nn::Activation::kRelu: return 0.94;
+    case nn::Activation::kRelu6: return 0.94;
+    default: return 1.0;  // tanh
+  }
+}
+
+double clamp01(double x) { return std::clamp(x, 0.0, 1.0); }
+
+}  // namespace
+
+TrainingSurrogate::TrainingSurrogate(SurrogateConfig config) : config_(config) {}
+
+SurrogateOutcome TrainingSurrogate::evaluate(const HyperParams& hp,
+                                             std::uint64_t seed) const {
+  return evaluate_impl(hp, seed, /*with_noise=*/true);
+}
+
+SurrogateOutcome TrainingSurrogate::evaluate_mean(const HyperParams& hp) const {
+  return evaluate_impl(hp, 0, /*with_noise=*/false);
+}
+
+SurrogateOutcome TrainingSurrogate::evaluate_impl(const HyperParams& hp,
+                                                  std::uint64_t seed,
+                                                  bool with_noise) const {
+  util::Rng rng(seed);
+  SurrogateOutcome outcome;
+  const SurrogateConfig& c = config_;
+
+  // --- configuration validity: DeePMD rejects rcut_smth >= rcut outright ---
+  if (!hp.config_valid() || hp.rcut_smth >= hp.rcut - 0.05) {
+    outcome.failed = true;
+    outcome.runtime_minutes =
+        with_noise ? rng.uniform(c.failed_runtime_lo, c.failed_runtime_hi)
+                   : c.failed_runtime_lo;
+    return outcome;
+  }
+
+  const double eff_lr =
+      hp.start_lr * nn::scaling_factor(hp.scale_by_worker, c.num_workers);
+
+  // --- divergence: too-aggressive effective learning rate ---
+  if (eff_lr > c.diverge_lr_soft) {
+    const double risk = clamp01((eff_lr - c.diverge_lr_soft) /
+                                (c.diverge_lr_hard - c.diverge_lr_soft));
+    const double draw = with_noise ? rng.uniform() : 0.5;
+    if (draw < risk) {
+      outcome.failed = true;
+      outcome.runtime_minutes =
+          with_noise ? rng.uniform(c.failed_runtime_lo, c.failed_runtime_hi)
+                     : c.failed_runtime_lo;
+      return outcome;
+    }
+  }
+  // --- rare unexplained failures (flaky node software, OOM, ...) ---
+  if (with_noise && rng.bernoulli(c.base_failure_rate)) {
+    outcome.failed = true;
+    outcome.runtime_minutes = rng.uniform(c.failed_runtime_lo, c.failed_runtime_hi);
+    return outcome;
+  }
+
+  // --- trained-model error surface ---
+  const double log_eff = std::log10(eff_lr);
+  const double log_stop = std::log10(hp.stop_lr);
+
+  const double lr_term_f =
+      c.lr_curvature_f * (log_eff - c.lr_optimum_log10) * (log_eff - c.lr_optimum_log10);
+  const double lr_term_e =
+      c.lr_curvature_e * (log_eff - c.lr_optimum_log10) * (log_eff - c.lr_optimum_log10);
+  const double stop_gap = std::max(0.0, c.stop_lr_best_log10 - log_stop);
+  const double stop_term_f = c.stop_lr_penalty_f * stop_gap * stop_gap;
+  const double stop_term_e = c.stop_lr_penalty_e * stop_gap * stop_gap;
+
+  const double rcut_term_f =
+      c.force_rcut_amp * std::exp(-(hp.rcut - 6.0) / c.force_rcut_decay);
+  const double rcut_term_e =
+      c.energy_rcut_amp * std::exp(-(hp.rcut - 6.0) / c.energy_rcut_decay);
+  const double smth_term =
+      c.force_smth_penalty * std::max(0.0, hp.rcut_smth - c.smth_threshold);
+
+  // balance in [0,1]: high stop_lr keeps the force-dominated phase of the
+  // loss-prefactor schedule longer -> better forces, worse energies.
+  const double balance = clamp01((log_stop - c.balance_lo_log10) / c.balance_span);
+
+  // Near-divergence instability: runs that survive an aggressive effective
+  // LR still show degraded, spiky losses, so selection drives the population
+  // away from the divergence cliff (this is why the paper's last generations
+  // contain no failures at all).
+  const double instability = std::max(0.0, eff_lr / c.diverge_lr_soft - 0.6);
+  const double instability_mult = 1.0 + 0.8 * instability * instability;
+
+  double rmse_f = (c.force_floor + rcut_term_f + smth_term + lr_term_f + stop_term_f) *
+                  descriptor_activation_penalty(hp.desc_activ_func) *
+                  fitting_activation_penalty(hp.fitting_activ_func) *
+                  (1.0 + c.tradeoff_force_gain * (0.7 - balance)) * instability_mult;
+  double rmse_e = (c.energy_floor + rcut_term_e + lr_term_e + stop_term_e) *
+                  std::sqrt(descriptor_activation_penalty(hp.desc_activ_func) *
+                            fitting_activation_penalty(hp.fitting_activ_func)) *
+                  (c.tradeoff_energy_base + c.tradeoff_energy_gain * balance) *
+                  instability_mult;
+
+  // --- under-training blend: with a tiny learning budget the model never
+  //     leaves its initialization (the scattered gen-0 cloud of Fig. 1).
+  //     Mean LR of an exponential decay from a to b is (a-b)/ln(a/b). ---
+  const double lr_span = std::max(eff_lr / hp.stop_lr, 1.0 + 1e-12);
+  const double mean_lr = eff_lr > hp.stop_lr
+                             ? (eff_lr - hp.stop_lr) / std::log(lr_span)
+                             : eff_lr;
+  const double budget = mean_lr * c.train_steps;
+  const double alpha = clamp01(std::log10(std::max(budget / c.budget_floor, 1e-12)) / 2.0);
+  rmse_f = alpha * rmse_f + (1.0 - alpha) * c.untrained_force;
+  rmse_e = alpha * rmse_e + (1.0 - alpha) * c.untrained_energy;
+
+  if (with_noise) {
+    rmse_f *= std::exp(rng.normal(0.0, c.noise_sigma));
+    rmse_e *= std::exp(rng.normal(0.0, 1.8 * c.noise_sigma));
+  }
+
+  // --- runtime model ---
+  const double rcut_ratio = hp.rcut / c.runtime_rcut_ref;
+  double runtime = (c.runtime_base + c.runtime_rcut_amp * rcut_ratio * rcut_ratio *
+                                         rcut_ratio) *
+                   descriptor_activation_cost(hp.desc_activ_func);
+  if (with_noise) {
+    runtime *= 1.0 + std::clamp(rng.normal(0.0, c.runtime_noise), -2.5 * c.runtime_noise,
+                                2.5 * c.runtime_noise);
+  }
+
+  outcome.rmse_e = rmse_e;
+  outcome.rmse_f = rmse_f;
+  outcome.runtime_minutes = runtime;
+  return outcome;
+}
+
+}  // namespace dpho::core

@@ -1,0 +1,73 @@
+#include "core/workspace.hpp"
+
+#include "util/fs.hpp"
+#include "util/str_template.hpp"
+
+namespace dpho::core {
+
+const std::string& default_input_template() {
+  static const std::string kTemplate = R"({
+  "model": {
+    "type_map": ["Al", "K", "Cl"],
+    "descriptor": {
+      "type": "se_e2_a",
+      "rcut": ${rcut},
+      "rcut_smth": ${rcut_smth},
+      "neuron": [25, 50, 100],
+      "axis_neuron": 4,
+      "activation_function": "${desc_activ_func}"
+    },
+    "fitting_net": {
+      "neuron": [240, 240, 240],
+      "activation_function": "${fitting_activ_func}"
+    }
+  },
+  "learning_rate": {
+    "type": "exp",
+    "start_lr": ${start_lr},
+    "stop_lr": ${stop_lr},
+    "scale_by_worker": "${scale_by_worker}"
+  },
+  "loss": {
+    "start_pref_e": 0.02,
+    "limit_pref_e": 1,
+    "start_pref_f": 1000,
+    "limit_pref_f": 1
+  },
+  "training": {
+    "numb_steps": 40000,
+    "batch_size": 1,
+    "disp_freq": 100,
+    "seed": 1
+  },
+  "num_workers": 6
+}
+)";
+  return kTemplate;
+}
+
+Workspace::Workspace(std::filesystem::path base, std::string input_template)
+    : base_(std::move(base)), input_template_(std::move(input_template)) {
+  std::filesystem::create_directories(base_);
+}
+
+std::filesystem::path Workspace::run_dir(const ea::Individual& individual) const {
+  return base_ / individual.uuid.str();
+}
+
+std::filesystem::path Workspace::prepare(const ea::Individual& individual,
+                                         const HyperParams& hp) const {
+  const std::filesystem::path dir = run_dir(individual);
+  std::filesystem::create_directories(dir);
+  const util::StrTemplate input_template(input_template_);
+  const std::string rendered = input_template.substitute(hp.template_variables());
+  const std::filesystem::path input_path = dir / "input.json";
+  util::write_file(input_path, rendered);
+  return input_path;
+}
+
+std::filesystem::path Workspace::lcurve_path(const ea::Individual& individual) const {
+  return run_dir(individual) / "lcurve.out";
+}
+
+}  // namespace dpho::core

@@ -1,0 +1,46 @@
+// Per-individual run directories and input.json templating.
+//
+// Mirrors the evaluation workflow of section 2.2.4, steps 2-3: every
+// individual gets a directory named after its UUID, and an input.json is
+// produced by string.Template substitution of the decoded gene values into a
+// JSON-formatted template.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "core/hyperparams.hpp"
+#include "ea/individual.hpp"
+
+namespace dpho::core {
+
+/// The built-in input.json template with ${...} placeholders for the seven
+/// tuned hyperparameters (everything else fixed per section 2.1.2).
+const std::string& default_input_template();
+
+class Workspace {
+ public:
+  /// `base` is created if missing; pass a custom template to override the
+  /// built-in one.
+  explicit Workspace(std::filesystem::path base,
+                     std::string input_template = default_input_template());
+
+  const std::filesystem::path& base() const { return base_; }
+
+  /// The run directory of an individual (created on demand).
+  std::filesystem::path run_dir(const ea::Individual& individual) const;
+
+  /// Steps 2-3 of the workflow: creates the UUID directory and writes the
+  /// substituted input.json.  Returns the input.json path.
+  std::filesystem::path prepare(const ea::Individual& individual,
+                                const HyperParams& hp) const;
+
+  /// Path of the lcurve the training is expected to produce.
+  std::filesystem::path lcurve_path(const ea::Individual& individual) const;
+
+ private:
+  std::filesystem::path base_;
+  std::string input_template_;
+};
+
+}  // namespace dpho::core

@@ -1,0 +1,163 @@
+#include "dp/config.hpp"
+
+#include "util/error.hpp"
+
+namespace dpho::dp {
+
+namespace {
+
+std::vector<std::size_t> parse_widths(const util::Json& json) {
+  std::vector<std::size_t> widths;
+  for (const util::Json& item : json.as_array()) {
+    const std::int64_t w = item.as_int();
+    if (w <= 0) throw util::ValueError("network widths must be positive");
+    widths.push_back(static_cast<std::size_t>(w));
+  }
+  if (widths.empty()) throw util::ValueError("network needs at least one layer");
+  return widths;
+}
+
+util::Json widths_to_json(const std::vector<std::size_t>& widths) {
+  util::JsonArray array;
+  for (std::size_t w : widths) array.emplace_back(w);
+  return util::Json(std::move(array));
+}
+
+}  // namespace
+
+TrainInput TrainInput::from_json(const util::Json& json) {
+  TrainInput input;
+  if (json.contains("model")) {
+    const util::Json& model = json.at("model");
+    if (model.contains("descriptor")) {
+      const util::Json& desc = model.at("descriptor");
+      input.descriptor.rcut = desc.number_or("rcut", input.descriptor.rcut);
+      input.descriptor.rcut_smth =
+          desc.number_or("rcut_smth", input.descriptor.rcut_smth);
+      if (desc.contains("neuron")) input.descriptor.neuron = parse_widths(desc.at("neuron"));
+      if (desc.contains("axis_neuron")) {
+        input.descriptor.axis_neuron =
+            static_cast<std::size_t>(desc.at("axis_neuron").as_int());
+      }
+      if (desc.contains("sel")) {
+        input.descriptor.sel = static_cast<std::size_t>(desc.at("sel").as_int());
+      }
+      if (desc.contains("activation_function")) {
+        input.descriptor.activation =
+            nn::activation_from_string(desc.at("activation_function").as_string());
+      }
+    }
+    if (model.contains("fitting_net")) {
+      const util::Json& fit = model.at("fitting_net");
+      if (fit.contains("neuron")) input.fitting.neuron = parse_widths(fit.at("neuron"));
+      if (fit.contains("activation_function")) {
+        input.fitting.activation =
+            nn::activation_from_string(fit.at("activation_function").as_string());
+      }
+    }
+  }
+  if (json.contains("learning_rate")) {
+    const util::Json& lr = json.at("learning_rate");
+    input.learning_rate.start_lr = lr.number_or("start_lr", input.learning_rate.start_lr);
+    input.learning_rate.stop_lr = lr.number_or("stop_lr", input.learning_rate.stop_lr);
+    if (lr.contains("decay_steps")) {
+      input.learning_rate.decay_steps =
+          static_cast<std::size_t>(lr.at("decay_steps").as_int());
+    }
+    if (lr.contains("scale_by_worker")) {
+      input.learning_rate.scale_by_worker =
+          nn::lr_scaling_from_string(lr.at("scale_by_worker").as_string());
+    }
+  }
+  if (json.contains("loss")) {
+    const util::Json& loss = json.at("loss");
+    input.loss.start_pref_e = loss.number_or("start_pref_e", input.loss.start_pref_e);
+    input.loss.limit_pref_e = loss.number_or("limit_pref_e", input.loss.limit_pref_e);
+    input.loss.start_pref_f = loss.number_or("start_pref_f", input.loss.start_pref_f);
+    input.loss.limit_pref_f = loss.number_or("limit_pref_f", input.loss.limit_pref_f);
+  }
+  if (json.contains("training")) {
+    const util::Json& training = json.at("training");
+    if (training.contains("numb_steps")) {
+      input.training.numb_steps =
+          static_cast<std::size_t>(training.at("numb_steps").as_int());
+    }
+    if (training.contains("batch_size")) {
+      input.training.batch_size =
+          static_cast<std::size_t>(training.at("batch_size").as_int());
+    }
+    if (training.contains("disp_freq")) {
+      input.training.disp_freq =
+          static_cast<std::size_t>(training.at("disp_freq").as_int());
+    }
+    if (training.contains("seed")) {
+      input.training.seed = static_cast<std::uint64_t>(training.at("seed").as_int());
+    }
+  }
+  if (json.contains("num_workers")) {
+    input.num_workers = static_cast<std::size_t>(json.at("num_workers").as_int());
+  }
+  input.validate();
+  return input;
+}
+
+TrainInput TrainInput::from_json_text(const std::string& text) {
+  return from_json(util::Json::parse(text));
+}
+
+util::Json TrainInput::to_json() const {
+  util::Json json;
+  util::Json& desc = json["model"]["descriptor"];
+  desc["type"] = "se_e2_a";
+  desc["rcut"] = descriptor.rcut;
+  desc["rcut_smth"] = descriptor.rcut_smth;
+  desc["neuron"] = widths_to_json(descriptor.neuron);
+  desc["axis_neuron"] = descriptor.axis_neuron;
+  desc["sel"] = descriptor.sel;
+  desc["activation_function"] = nn::to_string(descriptor.activation);
+  util::Json& fit = json["model"]["fitting_net"];
+  fit["neuron"] = widths_to_json(fitting.neuron);
+  fit["activation_function"] = nn::to_string(fitting.activation);
+  util::Json& lr = json["learning_rate"];
+  lr["type"] = "exp";
+  lr["start_lr"] = learning_rate.start_lr;
+  lr["stop_lr"] = learning_rate.stop_lr;
+  if (learning_rate.decay_steps > 0) lr["decay_steps"] = learning_rate.decay_steps;
+  lr["scale_by_worker"] = nn::to_string(learning_rate.scale_by_worker);
+  util::Json& loss_json = json["loss"];
+  loss_json["start_pref_e"] = loss.start_pref_e;
+  loss_json["limit_pref_e"] = loss.limit_pref_e;
+  loss_json["start_pref_f"] = loss.start_pref_f;
+  loss_json["limit_pref_f"] = loss.limit_pref_f;
+  util::Json& training_json = json["training"];
+  training_json["numb_steps"] = training.numb_steps;
+  training_json["batch_size"] = training.batch_size;
+  training_json["disp_freq"] = training.disp_freq;
+  training_json["seed"] = training.seed;
+  json["num_workers"] = num_workers;
+  return json;
+}
+
+void TrainInput::validate() const {
+  if (!(descriptor.rcut_smth > 0.0) || !(descriptor.rcut_smth < descriptor.rcut)) {
+    throw util::ValueError("config: require 0 < rcut_smth < rcut");
+  }
+  if (descriptor.axis_neuron == 0 ||
+      descriptor.axis_neuron > descriptor.neuron.back()) {
+    throw util::ValueError("config: axis_neuron must be in [1, last embedding width]");
+  }
+  if (descriptor.sel == 0) throw util::ValueError("config: sel must be positive");
+  if (learning_rate.start_lr <= 0.0 || learning_rate.stop_lr <= 0.0) {
+    throw util::ValueError("config: learning rates must be positive");
+  }
+  if (training.numb_steps == 0) throw util::ValueError("config: numb_steps must be > 0");
+  if (training.batch_size == 0) throw util::ValueError("config: batch_size must be > 0");
+  if (num_workers == 0) throw util::ValueError("config: num_workers must be > 0");
+}
+
+double TrainInput::scaled_start_lr() const {
+  return learning_rate.start_lr *
+         nn::scaling_factor(learning_rate.scale_by_worker, num_workers);
+}
+
+}  // namespace dpho::dp

@@ -1,0 +1,85 @@
+// Training-input configuration mirroring the DeePMD-kit input.json schema.
+//
+// Only the fields relevant to the paper are modelled.  The seven tuned
+// hyperparameters (section 2.2.1) all live here: start_lr, stop_lr, rcut,
+// rcut_smth, scale_by_worker, and the descriptor/fitting activation
+// functions.  The fixed settings from section 2.1.2 are the defaults:
+// embedding {25,50,100}, fitting {240,240,240}, loss prefactors
+// (0.02, 1000, 1, 1) for (pe_start, pf_start, pe_limit, pf_limit).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/activation.hpp"
+#include "nn/schedule.hpp"
+#include "util/json.hpp"
+
+namespace dpho::dp {
+
+/// Descriptor (embedding network) settings.
+struct DescriptorConfig {
+  double rcut = 6.0;        // Angstrom (DeePMD default)
+  double rcut_smth = 0.5;   // Angstrom (DeePMD default; the paper searches >= 2)
+  std::vector<std::size_t> neuron = {25, 50, 100};
+  std::size_t axis_neuron = 4;  // M2: columns kept for the axis filter
+  std::size_t sel = 128;        // expected max neighbors; descriptor 1/sel norm
+  nn::Activation activation = nn::Activation::kTanh;
+};
+
+/// Fitting network settings.
+struct FittingConfig {
+  std::vector<std::size_t> neuron = {240, 240, 240};
+  nn::Activation activation = nn::Activation::kTanh;
+};
+
+/// Learning-rate block.
+struct LearningRateConfig {
+  double start_lr = 0.001;
+  double stop_lr = 1e-8;
+  std::size_t decay_steps = 0;  // 0 -> derived from numb_steps
+  nn::LrScaling scale_by_worker = nn::LrScaling::kLinear;  // DeePMD/Horovod default
+};
+
+/// Loss prefactor block.
+struct LossConfig {
+  double start_pref_e = 0.02;
+  double limit_pref_e = 1.0;
+  double start_pref_f = 1000.0;
+  double limit_pref_f = 1.0;
+};
+
+/// Training-loop block.
+struct TrainingConfig {
+  std::size_t numb_steps = 40000;  // the paper's fixed step budget
+  std::size_t batch_size = 1;
+  std::size_t disp_freq = 100;     // lcurve output interval
+  std::size_t valid_numb_batch = 4;
+  std::uint64_t seed = 1;
+};
+
+/// The full input.json model.
+struct TrainInput {
+  DescriptorConfig descriptor;
+  FittingConfig fitting;
+  LearningRateConfig learning_rate;
+  LossConfig loss;
+  TrainingConfig training;
+  std::size_t num_workers = 6;  // simulated data-parallel GPUs per node
+
+  /// Parses the subset of the DeePMD input.json schema shown in to_json();
+  /// unknown keys are ignored, malformed values throw.
+  static TrainInput from_json(const util::Json& json);
+  static TrainInput from_json_text(const std::string& text);
+
+  util::Json to_json() const;
+
+  /// Validates ranges (rcut ordering, positive learning rates, ...).
+  void validate() const;
+
+  /// The effective starting learning rate after worker scaling.
+  double scaled_start_lr() const;
+};
+
+}  // namespace dpho::dp

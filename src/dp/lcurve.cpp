@@ -1,0 +1,75 @@
+#include "dp/lcurve.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+namespace dpho::dp {
+
+std::string LcurveWriter::render() const {
+  std::ostringstream out;
+  out << "#  step      rmse_e_val    rmse_e_trn    rmse_f_val    rmse_f_trn         lr\n";
+  for (const LcurveRow& row : rows_) {
+    char line[160];
+    std::snprintf(line, sizeof line, "%8zu  %12.4e  %12.4e  %12.4e  %12.4e  %9.2e\n",
+                  row.step, row.rmse_e_val, row.rmse_e_trn, row.rmse_f_val,
+                  row.rmse_f_trn, row.lr);
+    out << line;
+  }
+  return out.str();
+}
+
+void LcurveWriter::write(const std::filesystem::path& path) const {
+  util::write_file(path, render());
+}
+
+std::vector<LcurveRow> LcurveReader::parse(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::vector<std::string> columns;
+  std::vector<LcurveRow> rows;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      columns.clear();
+      std::istringstream header(line.substr(1));
+      std::string name;
+      while (header >> name) columns.push_back(name);
+      continue;
+    }
+    std::istringstream fields(line);
+    std::vector<double> values;
+    double v = 0.0;
+    while (fields >> v) values.push_back(v);
+    if (values.empty()) continue;
+    if (columns.empty() || values.size() != columns.size()) {
+      throw util::ParseError("lcurve row does not match header");
+    }
+    LcurveRow row;
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      if (columns[c] == "step") row.step = static_cast<std::size_t>(values[c]);
+      else if (columns[c] == "rmse_e_val") row.rmse_e_val = values[c];
+      else if (columns[c] == "rmse_e_trn") row.rmse_e_trn = values[c];
+      else if (columns[c] == "rmse_f_val") row.rmse_f_val = values[c];
+      else if (columns[c] == "rmse_f_trn") row.rmse_f_trn = values[c];
+      else if (columns[c] == "lr") row.lr = values[c];
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<LcurveRow> LcurveReader::read(const std::filesystem::path& path) {
+  return parse(util::read_file(path));
+}
+
+std::pair<double, double> LcurveReader::final_validation_losses(
+    const std::filesystem::path& path) {
+  const std::vector<LcurveRow> rows = read(path);
+  if (rows.empty()) throw util::ParseError("lcurve has no data rows: " + path.string());
+  return {rows.back().rmse_e_val, rows.back().rmse_f_val};
+}
+
+}  // namespace dpho::dp

@@ -1,0 +1,35 @@
+#include "dp/md_interface.hpp"
+
+#include "util/error.hpp"
+
+namespace dpho::dp {
+
+md::ForceProvider make_force_provider(const DeepPotModel& model) {
+  return [&model](const md::SystemState& state) -> md::ForceEnergy {
+    if (state.size() != model.num_atoms()) {
+      throw util::ValueError("nnp force provider: atom count mismatch");
+    }
+    md::Frame frame;
+    frame.positions = state.positions;
+    frame.forces.resize(state.size());
+    frame.box_length = state.box_length;
+    return model.energy_forces(frame);
+  };
+}
+
+std::vector<double> run_nnp_md(const DeepPotModel& model, md::SystemState& state,
+                               double dt_fs, std::size_t steps) {
+  const md::ForceProvider provider = make_force_provider(model);
+  const md::VelocityVerlet integrator(dt_fs);
+  md::ForceEnergy current = provider(state);
+  std::vector<double> total_energy;
+  total_energy.reserve(steps + 1);
+  total_energy.push_back(current.energy + md::kinetic_energy(state));
+  for (std::size_t step = 0; step < steps; ++step) {
+    current = integrator.step(state, provider, current);
+    total_energy.push_back(current.energy + md::kinetic_energy(state));
+  }
+  return total_energy;
+}
+
+}  // namespace dpho::dp

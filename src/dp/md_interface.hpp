@@ -1,0 +1,27 @@
+// Deploying a trained potential in molecular dynamics.
+//
+// The entire point of the paper's optimization is a potential that can drive
+// MD at near-first-principles accuracy (section 1).  This adapter exposes a
+// trained DeepPotModel as an md::ForceProvider so the velocity-Verlet
+// integrator can propagate on the learned surface.  Because forces are exact
+// autodiff gradients of the learned energy and the descriptor is smooth at
+// the cutoff, NVE dynamics on the model conserves energy to integrator
+// error -- which the test-suite verifies (the force-consistency property
+// section 3.2 calls out as critical for stable dynamics).
+#pragma once
+
+#include "dp/model.hpp"
+#include "md/integrator.hpp"
+
+namespace dpho::dp {
+
+/// Wraps a model as a force field for the md integrators.  The model's atom
+/// typing must match the simulated system; checked on every call.
+md::ForceProvider make_force_provider(const DeepPotModel& model);
+
+/// Convenience: run `steps` of NVE velocity-Verlet on the learned surface.
+/// Returns per-step total energies (potential + kinetic) for drift analysis.
+std::vector<double> run_nnp_md(const DeepPotModel& model, md::SystemState& state,
+                               double dt_fs, std::size_t steps);
+
+}  // namespace dpho::dp

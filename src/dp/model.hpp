@@ -1,0 +1,97 @@
+// DeepPot-SE style neural-network interatomic potential.
+//
+// Architecture (Zhang et al., "End-to-end symmetry preserving inter-atomic
+// potential energy model", the model behind DeePMD-kit's se_e2_a descriptor):
+//
+//   for every atom i:
+//     for every neighbor j within rcut:
+//       s_ij = switching(r_ij)                       (smooth, 0 at rcut)
+//       R_ij = [s, s x/r, s y/r, s z/r]              (1x4 local frame row)
+//       g_ij = Embed_{t_i,t_j}(s_ij)                 (M1-vector, per type pair)
+//     T_i  = (1/sel) sum_j g_ij^T R_ij               (M1 x 4)
+//     D_i  = T_i T2_i^T, T2 = first M2 rows of T_i   (M1 x M2 descriptor)
+//     E_i  = Fit_{t_i}(vec(D_i)) + bias_{t_i}
+//   E = sum_i E_i,  F = -dE/dx (by autodiff)
+//
+// The descriptor is invariant to translation, rigid rotation, and permutation
+// of like atoms, and smooth as neighbors enter/leave the cutoff sphere; the
+// test-suite verifies each of those properties.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ad/tape.hpp"
+#include "dp/config.hpp"
+#include "dp/switching.hpp"
+#include "md/dataset.hpp"
+#include "md/potential.hpp"
+#include "nn/mlp.hpp"
+
+namespace dpho::dp {
+
+/// Fixed neighbor topology of one frame: for each atom, its neighbors and the
+/// constant periodic-image shift such that displacement = (x_j + shift) - x_i.
+struct NeighborTopology {
+  struct Entry {
+    std::size_t j = 0;
+    md::Vec3 shift{};
+  };
+  std::vector<std::vector<Entry>> entries;
+};
+
+/// The trainable potential.
+class DeepPotModel {
+ public:
+  /// `types` fixes the atom ordering the model is trained on;
+  /// `energy_bias_per_atom` centres predictions on the dataset mean.
+  DeepPotModel(const TrainInput& config, std::vector<md::Species> types,
+               double energy_bias_per_atom, std::uint64_t seed);
+
+  const TrainInput& config() const { return config_; }
+  std::size_t num_atoms() const { return types_.size(); }
+
+  // -- flat parameter space (embedding nets then fitting nets) --
+  std::size_t num_params() const { return num_params_; }
+  std::vector<double> gather_params() const;
+  void scatter_params(std::span<const double> params);
+
+  /// Neighbor topology for a frame (uses the frame's own box length).
+  NeighborTopology build_topology(const md::Frame& frame) const;
+
+  /// Fast double-only energy prediction.
+  double energy(const md::Frame& frame) const;
+
+  /// Energy + forces via first-order reverse-mode autodiff.
+  md::ForceEnergy energy_forces(const md::Frame& frame) const;
+
+  /// Full differentiable graph for one frame: used by the trainer, which
+  /// needs gradients of a force-containing loss with respect to parameters.
+  struct FrameGraph {
+    ad::Var energy;                  // total predicted energy
+    std::vector<ad::Var> forces;     // 3*N flattened predicted forces
+    std::vector<ad::Var> params;     // bound parameters (gather_params order)
+  };
+  FrameGraph build_graph(ad::Tape& tape, const md::Frame& frame) const;
+
+  /// Serialization (the dp_train tool writes a model checkpoint).
+  util::Json save() const;
+  static DeepPotModel load(const util::Json& json);
+
+ private:
+  const nn::Mlp& embedding(md::Species center, md::Species neighbor) const;
+  nn::Mlp& embedding(md::Species center, md::Species neighbor);
+  const nn::Mlp& fitting(md::Species center) const;
+  nn::Mlp& fitting(md::Species center);
+
+  TrainInput config_;
+  std::vector<md::Species> types_;
+  double energy_bias_per_atom_ = 0.0;
+  SwitchingFunction switching_;
+  double sel_norm_ = 1.0;  // 1/sel descriptor normalization
+  std::vector<nn::Mlp> embeddings_;  // kNumSpecies^2 nets
+  std::vector<nn::Mlp> fittings_;    // kNumSpecies nets
+  std::size_t num_params_ = 0;
+};
+
+}  // namespace dpho::dp

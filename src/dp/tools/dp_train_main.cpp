@@ -1,0 +1,72 @@
+// dp_train: command-line trainer, the stand-in for DeePMD-kit's `dp` binary.
+//
+// The paper's evaluation workflow invokes `dp` as a subprocess in a
+// per-individual run directory containing an input.json, and then reads the
+// final rmse_e_val / rmse_f_val from lcurve.out (section 2.2.4).  This tool
+// provides exactly that contract:
+//
+//   dp_train <input.json> <train_data_dir> <validation_data_dir>
+//            [--out DIR] [--wall-limit SECONDS]
+//
+// Outputs (in --out, default "."): lcurve.out, model.json.
+// Exit codes: 0 success, 2 bad usage, 3 timeout, 4 diverged/failed training.
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "dp/lcurve.hpp"
+#include "dp/trainer.hpp"
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: dp_train <input.json> <train_data_dir> <validation_data_dir>"
+               " [--out DIR] [--wall-limit SECONDS]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dpho;
+  if (argc < 4) return usage();
+  const std::filesystem::path input_path = argv[1];
+  const std::filesystem::path train_dir = argv[2];
+  const std::filesystem::path valid_dir = argv[3];
+  std::filesystem::path out_dir = ".";
+  dp::TrainerOptions options;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--wall-limit") == 0 && i + 1 < argc) {
+      options.wall_limit_seconds = std::stod(argv[++i]);
+    } else {
+      return usage();
+    }
+  }
+
+  try {
+    const dp::TrainInput config =
+        dp::TrainInput::from_json_text(util::read_file(input_path));
+    const md::FrameDataset train = md::FrameDataset::load(train_dir);
+    const md::FrameDataset validation = md::FrameDataset::load(valid_dir);
+    dp::Trainer trainer(config, train, validation, options);
+    const dp::TrainResult result = trainer.train();
+    result.lcurve.write(out_dir / "lcurve.out");
+    util::write_file(out_dir / "model.json", trainer.model().save().dump(2));
+    std::cout << "training finished: steps=" << result.steps_completed
+              << " rmse_e_val=" << result.rmse_e_val
+              << " rmse_f_val=" << result.rmse_f_val
+              << " wall_s=" << result.wall_seconds << "\n";
+    return 0;
+  } catch (const util::TimeoutError& e) {
+    std::cerr << "dp_train: " << e.what() << "\n";
+    return 3;
+  } catch (const std::exception& e) {
+    std::cerr << "dp_train: " << e.what() << "\n";
+    return 4;
+  }
+}

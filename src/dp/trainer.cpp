@@ -1,0 +1,138 @@
+#include "dp/trainer.hpp"
+
+#include <cmath>
+
+#include "dp/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace dpho::dp {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Per-frame squared errors of a prediction.
+struct FrameErrors {
+  double energy_sq_per_atom = 0.0;  // (dE/N)^2
+  double force_sq = 0.0;            // mean over 3N components of dF^2
+};
+
+FrameErrors frame_errors(const DeepPotModel& model, const md::Frame& frame) {
+  const md::ForceEnergy prediction = model.energy_forces(frame);
+  const auto n = static_cast<double>(frame.positions.size());
+  FrameErrors errors;
+  const double de = (prediction.energy - frame.energy) / n;
+  errors.energy_sq_per_atom = de * de;
+  double ss = 0.0;
+  for (std::size_t a = 0; a < frame.forces.size(); ++a) {
+    for (std::size_t k = 0; k < 3; ++k) {
+      const double df = prediction.forces[a][k] - frame.forces[a][k];
+      ss += df * df;
+    }
+  }
+  errors.force_sq = ss / (3.0 * n);
+  return errors;
+}
+
+}  // namespace
+
+Trainer::Trainer(const TrainInput& config, const md::FrameDataset& train,
+                 const md::FrameDataset& validation, TrainerOptions options)
+    : config_(config),
+      train_data_(train),
+      validation_data_(validation),
+      options_(options),
+      model_(config, train.types(), train.mean_energy_per_atom(),
+             util::hash_combine(config.training.seed, 0xDEE9)) {
+  if (train.empty()) throw util::ValueError("trainer: empty training set");
+  if (validation.empty()) throw util::ValueError("trainer: empty validation set");
+}
+
+std::pair<double, double> Trainer::validation_rmse() const {
+  const std::size_t count =
+      std::min(options_.max_validation_frames, validation_data_.size());
+  double sum_e = 0.0;
+  double sum_f = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const FrameErrors errors = frame_errors(model_, validation_data_.frame(i));
+    sum_e += errors.energy_sq_per_atom;
+    sum_f += errors.force_sq;
+  }
+  const auto denom = static_cast<double>(count);
+  return {std::sqrt(sum_e / denom), std::sqrt(sum_f / denom)};
+}
+
+TrainResult Trainer::train() {
+  const auto start_time = Clock::now();
+  const std::size_t total_steps = config_.training.numb_steps;
+  const nn::ExponentialDecay schedule(config_.scaled_start_lr(),
+                                      config_.learning_rate.stop_lr, total_steps,
+                                      config_.learning_rate.decay_steps);
+  const DeepmdLoss loss(config_.loss, schedule);
+
+  std::vector<double> params = model_.gather_params();
+  nn::Adam optimizer(params.size());
+  std::vector<double> grad(params.size(), 0.0);
+  util::Rng rng(util::hash_combine(config_.training.seed, 0xBA7C));
+
+  TrainResult result;
+  ad::Tape tape;
+  const auto record_row = [&](std::size_t step) {
+    const auto [e_val, f_val] = validation_rmse();
+    // Training metrics from the first training frame (cheap proxy, the same
+    // role DeePMD's rmse_*_trn columns play).
+    const FrameErrors trn = frame_errors(model_, train_data_.frame(0));
+    result.lcurve.add(LcurveRow{step, e_val, std::sqrt(trn.energy_sq_per_atom), f_val,
+                                std::sqrt(trn.force_sq), schedule.lr(step)});
+  };
+
+  for (std::size_t step = 0; step < total_steps; ++step) {
+    if (options_.wall_limit_seconds &&
+        seconds_since(start_time) > *options_.wall_limit_seconds) {
+      throw util::TimeoutError("training exceeded wall budget at step " +
+                               std::to_string(step));
+    }
+    const LossWeights weights = loss.weights_at(step);
+    std::fill(grad.begin(), grad.end(), 0.0);
+    double batch_loss = 0.0;
+    for (std::size_t b = 0; b < config_.training.batch_size; ++b) {
+      const std::size_t frame_index = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(train_data_.size()) - 1));
+      const md::Frame& frame = train_data_.frame(frame_index);
+      tape.reset();
+      const DeepPotModel::FrameGraph graph = model_.build_graph(tape, frame);
+      const ad::Var frame_loss =
+          loss.build(tape, graph.energy, frame.energy, graph.forces, frame.forces,
+                     frame.positions.size(), weights);
+      batch_loss += frame_loss.value();
+      const std::vector<ad::Var> dloss = tape.gradient(frame_loss, graph.params);
+      const double inv_batch = 1.0 / static_cast<double>(config_.training.batch_size);
+      for (std::size_t p = 0; p < grad.size(); ++p) {
+        grad[p] += dloss[p].value() * inv_batch;
+      }
+    }
+    if (!std::isfinite(batch_loss)) {
+      throw util::ValueError("training diverged: non-finite loss at step " +
+                             std::to_string(step));
+    }
+    optimizer.step(params, grad, schedule.lr(step));
+    model_.scatter_params(params);
+    if (step % config_.training.disp_freq == 0) record_row(step);
+    result.steps_completed = step + 1;
+  }
+  record_row(total_steps);
+  const auto [e_val, f_val] = validation_rmse();
+  result.rmse_e_val = e_val;
+  result.rmse_f_val = f_val;
+  result.wall_seconds = seconds_since(start_time);
+  return result;
+}
+
+}  // namespace dpho::dp

@@ -1,0 +1,62 @@
+// The training loop: the stand-in for `dp train`.
+//
+// Minimizes the DeePMD loss with Adam under the exponential learning-rate
+// decay, recording an lcurve and honouring a wall-clock budget (the paper
+// caps every training at two hours; individuals that exceed it are "unfit",
+// section 2.2.4).  The trainer is deterministic for a given seed.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+
+#include "dp/config.hpp"
+#include "dp/lcurve.hpp"
+#include "dp/model.hpp"
+#include "md/dataset.hpp"
+
+namespace dpho::dp {
+
+/// Outcome of a completed training run.
+struct TrainResult {
+  double rmse_e_val = 0.0;  // final per-atom energy RMSE on validation, eV/atom
+  double rmse_f_val = 0.0;  // final force-component RMSE on validation, eV/A
+  std::size_t steps_completed = 0;
+  double wall_seconds = 0.0;
+  LcurveWriter lcurve;
+};
+
+/// Options beyond the input.json config.
+struct TrainerOptions {
+  /// Hard wall-clock budget in seconds; exceeded -> util::TimeoutError,
+  /// matching the subprocess TimeoutError in the paper's workflow.
+  std::optional<double> wall_limit_seconds;
+  /// How many validation frames to score per lcurve row (cost control).
+  std::size_t max_validation_frames = 8;
+};
+
+class Trainer {
+ public:
+  Trainer(const TrainInput& config, const md::FrameDataset& train,
+          const md::FrameDataset& validation, TrainerOptions options = {});
+
+  /// Runs the full step budget; throws util::TimeoutError when the wall
+  /// budget is exhausted and util::ValueError when the loss diverges to
+  /// non-finite values (a "failed training" in the paper's terms).
+  TrainResult train();
+
+  /// The model being trained (valid after construction; trained after train()).
+  const DeepPotModel& model() const { return model_; }
+
+ private:
+  /// Validation RMSEs over (at most) max_validation_frames frames.
+  std::pair<double, double> validation_rmse() const;
+
+  TrainInput config_;
+  const md::FrameDataset& train_data_;
+  const md::FrameDataset& validation_data_;
+  TrainerOptions options_;
+  DeepPotModel model_;
+};
+
+}  // namespace dpho::dp

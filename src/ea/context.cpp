@@ -1,0 +1,12 @@
+#include "ea/context.hpp"
+
+#include "util/error.hpp"
+
+namespace dpho::ea {
+
+void Context::anneal_mutation_std(double factor) {
+  if (factor <= 0.0) throw util::ValueError("annealing factor must be positive");
+  for (double& sigma : mutation_std_) sigma *= factor;
+}
+
+}  // namespace dpho::ea

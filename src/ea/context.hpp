@@ -1,0 +1,34 @@
+// Run-time state shared by pipeline operators.
+//
+// LEAP exposes a global `context` dictionary; the paper stores the annealed
+// per-gene mutation standard deviations in context['std'] and multiplies them
+// by 0.85 after each generation (section 2.2.3).  We scope the state to the
+// run instead of the process, but keep the same access pattern.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dpho::ea {
+
+/// Mutable key-value run state for pipeline operators.
+class Context {
+ public:
+  /// The per-gene Gaussian-mutation sigmas (context['std'] in the paper).
+  std::vector<double>& mutation_std() { return mutation_std_; }
+  const std::vector<double>& mutation_std() const { return mutation_std_; }
+
+  /// Multiplies every sigma by `factor` (the paper's 0.85 annealing).
+  void anneal_mutation_std(double factor);
+
+  /// Generic named scalars (generation counter, bookkeeping).
+  double& scalar(const std::string& key) { return scalars_[key]; }
+  bool has_scalar(const std::string& key) const { return scalars_.contains(key); }
+
+ private:
+  std::vector<double> mutation_std_;
+  std::map<std::string, double> scalars_;
+};
+
+}  // namespace dpho::ea

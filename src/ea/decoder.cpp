@@ -1,0 +1,23 @@
+#include "ea/decoder.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dpho::ea {
+
+std::size_t categorical_index(double gene, std::size_t num_choices) {
+  if (num_choices == 0) throw util::ValueError("categorical gene needs choices");
+  if (!std::isfinite(gene)) throw util::ValueError("categorical gene is not finite");
+  const auto floored = static_cast<long long>(std::floor(gene));
+  const auto n = static_cast<long long>(num_choices);
+  const long long mod = ((floored % n) + n) % n;
+  return static_cast<std::size_t>(mod);
+}
+
+const std::string& decode_categorical(double gene,
+                                      const std::vector<std::string>& choices) {
+  return choices.at(categorical_index(gene, choices.size()));
+}
+
+}  // namespace dpho::ea

@@ -1,0 +1,25 @@
+// Genome decoding: real-valued genes to phenotypic values.
+//
+// Most genes are used directly, but categorical hyperparameters (learning-rate
+// scaling, activation functions) are encoded as unconstrained real values and
+// mapped to strings by taking floor(gene) modulo the number of choices
+// (paper section 2.2.2).  Example from the paper: gene 5.78 over 3 choices
+// -> floor(5.78) % 3 == 2 -> "none".  This keeps Gaussian mutation valid for
+// categorical genes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dpho::ea {
+
+/// floor-then-modulus index mapping for categorical genes.  Handles negative
+/// gene values with a true mathematical modulus (result always in [0, n)).
+std::size_t categorical_index(double gene, std::size_t num_choices);
+
+/// Maps a gene to one of the given string choices via categorical_index.
+const std::string& decode_categorical(double gene,
+                                      const std::vector<std::string>& choices);
+
+}  // namespace dpho::ea

@@ -1,0 +1,34 @@
+#include "ea/individual.hpp"
+
+#include "util/error.hpp"
+
+namespace dpho::ea {
+
+std::string to_string(EvalStatus status) {
+  switch (status) {
+    case EvalStatus::kOk: return "ok";
+    case EvalStatus::kTimeout: return "timeout";
+    case EvalStatus::kTrainingError: return "training_error";
+    case EvalStatus::kNodeFailure: return "node_failure";
+  }
+  throw util::ValueError("invalid eval status");
+}
+
+Individual Individual::create(std::vector<double> genome, util::Rng& rng,
+                              int birth_generation) {
+  Individual individual;
+  individual.genome = std::move(genome);
+  individual.uuid = util::Uuid::random(rng);
+  individual.birth_generation = birth_generation;
+  return individual;
+}
+
+Individual Individual::clone(util::Rng& rng) const {
+  Individual copy;
+  copy.genome = genome;
+  copy.uuid = util::Uuid::random(rng);
+  copy.birth_generation = birth_generation;
+  return copy;
+}
+
+}  // namespace dpho::ea

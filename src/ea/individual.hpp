@@ -1,0 +1,65 @@
+// Evolutionary-algorithm individuals.
+//
+// Mirrors LEAP's DistributedIndividual (paper section 2.2.4): a real-valued
+// genome, a multiobjective fitness vector, a UUID assigned at creation (used
+// to name the per-individual training directory), NSGA-II bookkeeping fields
+// (rank, crowding distance), and evaluation metadata (runtime, failure).
+//
+// The paper is explicit that failed evaluations must be assigned MAXINT -- not
+// NaN -- because sorting fitnesses containing NaN is undefined; kFailureFitness
+// reproduces that choice and a regression test demonstrates the NaN problem.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/uuid.hpp"
+
+namespace dpho::ea {
+
+/// The MAXINT fitness assigned to failed evaluations (paper section 2.2.4).
+inline constexpr double kFailureFitness =
+    static_cast<double>(std::numeric_limits<std::int32_t>::max());
+
+/// Why an evaluation produced no usable fitness.
+enum class EvalStatus : std::uint8_t {
+  kOk = 0,
+  kTimeout,        // exceeded the two-hour training budget
+  kTrainingError,  // diverged / invalid hyperparameter combination
+  kNodeFailure,    // simulated hardware fault
+};
+
+std::string to_string(EvalStatus status);
+
+/// One member of the population.
+struct Individual {
+  std::vector<double> genome;
+  std::vector<double> fitness;  // empty until evaluated; minimization objectives
+  util::Uuid uuid;
+
+  // NSGA-II bookkeeping (filled by rank sorting / crowding distance).
+  int rank = -1;
+  double crowding_distance = 0.0;
+
+  // Evaluation metadata.
+  EvalStatus status = EvalStatus::kOk;
+  double eval_runtime_minutes = 0.0;
+  int birth_generation = 0;
+
+  bool evaluated() const { return !fitness.empty(); }
+  bool failed() const { return status != EvalStatus::kOk; }
+
+  /// Creates an unevaluated individual with a fresh UUID.
+  static Individual create(std::vector<double> genome, util::Rng& rng,
+                           int birth_generation = 0);
+
+  /// Clone with a *new* UUID (LEAP clones get their own identity).
+  Individual clone(util::Rng& rng) const;
+};
+
+using Population = std::vector<Individual>;
+
+}  // namespace dpho::ea

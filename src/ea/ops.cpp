@@ -1,0 +1,91 @@
+#include "ea/ops.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dpho::ea {
+
+SourceOp random_selection(const Population& parents, util::Rng& rng) {
+  if (parents.empty()) throw util::ValueError("random_selection: empty parents");
+  return [&parents, &rng]() -> Individual {
+    const auto i = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(parents.size()) - 1));
+    return parents[i];
+  };
+}
+
+StreamOp clone_op(util::Rng& rng) {
+  return [&rng](Individual parent) -> Individual { return parent.clone(rng); };
+}
+
+StreamOp mutate_gaussian(Context& context, const std::vector<Range>& hard_bounds,
+                         util::Rng& rng) {
+  return [&context, hard_bounds, &rng](Individual child) -> Individual {
+    const std::vector<double>& stds = context.mutation_std();
+    if (stds.size() != child.genome.size() ||
+        hard_bounds.size() != child.genome.size()) {
+      throw util::ValueError("mutate_gaussian: sigma/bounds length mismatch");
+    }
+    for (std::size_t g = 0; g < child.genome.size(); ++g) {
+      double value = child.genome[g] + rng.normal(0.0, stds[g]);
+      value = std::clamp(value, hard_bounds[g].lo, hard_bounds[g].hi);
+      child.genome[g] = value;
+    }
+    child.fitness.clear();
+    child.status = EvalStatus::kOk;
+    return child;
+  };
+}
+
+PoolOp eval_pool(std::size_t size,
+                 const std::function<void(std::vector<Individual*>&)>& evaluate) {
+  return [size, evaluate](const SourceOp& source) -> Population {
+    Population pool;
+    pool.reserve(size);
+    for (std::size_t i = 0; i < size; ++i) pool.push_back(source());
+    std::vector<Individual*> pending;
+    pending.reserve(pool.size());
+    for (Individual& individual : pool) pending.push_back(&individual);
+    evaluate(pending);
+    for (const Individual& individual : pool) {
+      if (!individual.evaluated()) {
+        throw util::ValueError("eval_pool: evaluator left an individual unscored");
+      }
+    }
+    return pool;
+  };
+}
+
+Population pipe(const SourceOp& source, const std::vector<StreamOp>& stream_ops,
+                const PoolOp& pool, const std::vector<PopulationOp>& population_ops) {
+  SourceOp chained = source;
+  for (const StreamOp& op : stream_ops) {
+    SourceOp previous = chained;
+    chained = [previous, op]() -> Individual { return op(previous()); };
+  }
+  Population population = pool(chained);
+  for (const PopulationOp& op : population_ops) {
+    population = op(std::move(population));
+  }
+  return population;
+}
+
+PopulationOp truncation_selection(std::size_t size) {
+  return [size](Population population) -> Population {
+    if (population.size() < size) {
+      throw util::ValueError("truncation_selection: population smaller than size");
+    }
+    // key = (-rank, distance), take the `size` largest, i.e. lowest rank and
+    // largest crowding distance first.
+    std::stable_sort(population.begin(), population.end(),
+                     [](const Individual& a, const Individual& b) {
+                       if (a.rank != b.rank) return a.rank < b.rank;
+                       return a.crowding_distance > b.crowding_distance;
+                     });
+    population.resize(size);
+    return population;
+  };
+}
+
+}  // namespace dpho::ea

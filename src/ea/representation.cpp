@@ -1,0 +1,41 @@
+#include "ea/representation.hpp"
+
+#include "util/error.hpp"
+
+namespace dpho::ea {
+
+std::size_t Representation::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < genes_.size(); ++i) {
+    if (genes_[i].name == name) return i;
+  }
+  throw util::ValueError("representation has no gene named " + name);
+}
+
+std::vector<double> Representation::random_genome(util::Rng& rng) const {
+  std::vector<double> genome;
+  genome.reserve(genes_.size());
+  for (const Gene& gene : genes_) {
+    genome.push_back(rng.uniform(gene.init_range.lo, gene.init_range.hi));
+  }
+  return genome;
+}
+
+Individual Representation::create_individual(util::Rng& rng, int generation) const {
+  return Individual::create(random_genome(rng), rng, generation);
+}
+
+std::vector<double> Representation::initial_stds() const {
+  std::vector<double> stds;
+  stds.reserve(genes_.size());
+  for (const Gene& gene : genes_) stds.push_back(gene.mutation_std);
+  return stds;
+}
+
+std::vector<Range> Representation::bounds() const {
+  std::vector<Range> out;
+  out.reserve(genes_.size());
+  for (const Gene& gene : genes_) out.push_back(gene.hard_bounds);
+  return out;
+}
+
+}  // namespace dpho::ea

@@ -1,0 +1,60 @@
+// Problem representation: initialization ranges, hard bounds, mutation scales.
+//
+// Mirrors the LEAP Representation concept.  Table 1 of the paper is exactly
+// one of these: per-gene initialization ranges and the initial standard
+// deviations of the Gaussian mutation operator.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ea/individual.hpp"
+#include "util/rng.hpp"
+
+namespace dpho::ea {
+
+/// Inclusive-exclusive range [lo, hi).
+struct Range {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+/// Declarative description of a real-valued genome.
+class Representation {
+ public:
+  struct Gene {
+    std::string name;
+    Range init_range;
+    double mutation_std = 0.0;  // initial sigma for Gaussian mutation
+    Range hard_bounds{-1e300, 1e300};
+  };
+
+  Representation() = default;
+  explicit Representation(std::vector<Gene> genes) : genes_(std::move(genes)) {}
+
+  void add_gene(Gene gene) { genes_.push_back(std::move(gene)); }
+  std::size_t genome_length() const { return genes_.size(); }
+  const std::vector<Gene>& genes() const { return genes_; }
+  const Gene& gene(std::size_t i) const { return genes_.at(i); }
+
+  /// Index of the gene named `name`; throws ValueError when absent.
+  std::size_t index_of(const std::string& name) const;
+
+  /// Uniform-random genome inside the initialization ranges.
+  std::vector<double> random_genome(util::Rng& rng) const;
+
+  /// Fresh unevaluated individual.
+  Individual create_individual(util::Rng& rng, int generation = 0) const;
+
+  /// The initial per-gene mutation standard deviations (Table 1, column 3).
+  std::vector<double> initial_stds() const;
+
+  /// Per-gene hard bounds in genome order.
+  std::vector<Range> bounds() const;
+
+ private:
+  std::vector<Gene> genes_;
+};
+
+}  // namespace dpho::ea

@@ -1,0 +1,74 @@
+#include "ea/variation.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dpho::ea {
+
+SourceOp tournament_selection(const Population& parents, std::size_t tournament_size,
+                              util::Rng& rng) {
+  if (parents.empty()) throw util::ValueError("tournament: empty parents");
+  if (tournament_size == 0) throw util::ValueError("tournament: size must be >= 1");
+  return [&parents, tournament_size, &rng]() -> Individual {
+    const auto draw = [&]() -> const Individual& {
+      const auto i = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(parents.size()) - 1));
+      return parents[i];
+    };
+    const Individual* best = &draw();
+    for (std::size_t k = 1; k < tournament_size; ++k) {
+      const Individual& challenger = draw();
+      const bool better =
+          challenger.rank != best->rank
+              ? challenger.rank < best->rank
+              : challenger.crowding_distance > best->crowding_distance;
+      if (better) best = &challenger;
+    }
+    return *best;
+  };
+}
+
+StreamOp uniform_crossover(const Population& parents, double swap_probability,
+                           util::Rng& rng) {
+  if (parents.empty()) throw util::ValueError("crossover: empty parents");
+  if (swap_probability < 0.0 || swap_probability > 1.0) {
+    throw util::ValueError("crossover: probability must be in [0,1]");
+  }
+  return [&parents, swap_probability, &rng](Individual child) -> Individual {
+    const auto i = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(parents.size()) - 1));
+    const Individual& other = parents[i];
+    if (other.genome.size() != child.genome.size()) {
+      throw util::ValueError("crossover: genome length mismatch");
+    }
+    for (std::size_t g = 0; g < child.genome.size(); ++g) {
+      if (rng.bernoulli(swap_probability)) child.genome[g] = other.genome[g];
+    }
+    child.fitness.clear();
+    return child;
+  };
+}
+
+StreamOp blend_crossover(const Population& parents, double alpha, util::Rng& rng) {
+  if (parents.empty()) throw util::ValueError("crossover: empty parents");
+  if (alpha < 0.0) throw util::ValueError("crossover: alpha must be >= 0");
+  return [&parents, alpha, &rng](Individual child) -> Individual {
+    const auto i = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(parents.size()) - 1));
+    const Individual& other = parents[i];
+    if (other.genome.size() != child.genome.size()) {
+      throw util::ValueError("crossover: genome length mismatch");
+    }
+    for (std::size_t g = 0; g < child.genome.size(); ++g) {
+      const double lo = std::min(child.genome[g], other.genome[g]);
+      const double hi = std::max(child.genome[g], other.genome[g]);
+      const double span = hi - lo;
+      child.genome[g] = rng.uniform(lo - alpha * span, hi + alpha * span);
+    }
+    child.fitness.clear();
+    return child;
+  };
+}
+
+}  // namespace dpho::ea

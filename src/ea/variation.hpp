@@ -1,0 +1,30 @@
+// Additional LEAP-style variation and selection operators.
+//
+// The paper's pipeline uses only random selection + Gaussian mutation
+// (Listing 1), but LEAP offers more; these are provided for downstream users
+// and for ablation studies on the reproduction (e.g. does crossover or
+// selection pressure change convergence of the hyperparameter search?).
+#pragma once
+
+#include "ea/individual.hpp"
+#include "ea/ops.hpp"
+#include "util/rng.hpp"
+
+namespace dpho::ea {
+
+/// k-way tournament selection on multiobjective rank/crowding annotations
+/// (lower rank wins; ties broken by larger crowding distance).  Individuals
+/// must already carry rank and crowding_distance.
+SourceOp tournament_selection(const Population& parents, std::size_t tournament_size,
+                              util::Rng& rng);
+
+/// Uniform crossover: draws a second parent from the source and swaps each
+/// gene with probability `swap_probability`.
+StreamOp uniform_crossover(const Population& parents, double swap_probability,
+                           util::Rng& rng);
+
+/// Blend (BLX-alpha) crossover: each child gene is drawn uniformly from the
+/// interval spanned by the two parents, extended by `alpha` on both sides.
+StreamOp blend_crossover(const Population& parents, double alpha, util::Rng& rng);
+
+}  // namespace dpho::ea

@@ -1,0 +1,144 @@
+#include "hpc/taskfarm.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace dpho::hpc {
+
+std::string to_string(TaskStatus status) {
+  switch (status) {
+    case TaskStatus::kOk: return "ok";
+    case TaskStatus::kTimeout: return "timeout";
+    case TaskStatus::kTrainingError: return "training_error";
+    case TaskStatus::kNodeFailure: return "node_failure";
+  }
+  throw util::ValueError("invalid task status");
+}
+
+DaskCluster::DaskCluster(const ClusterSpec& cluster, const FarmConfig& config)
+    : cluster_(cluster), config_(config), rng_(config.seed),
+      pool_(std::max<std::size_t>(config.real_threads, 1)),
+      live_workers_(config.job.nodes),
+      tasks_run_on_node_(config.job.nodes, 0) {
+  if (config.job.nodes == 0) throw util::ValueError("job needs at least one node");
+  if (config.job.nodes > cluster.total_nodes) {
+    throw util::ValueError("job requests more nodes than the cluster has");
+  }
+}
+
+double DaskCluster::remaining_minutes() const {
+  return std::max(0.0, config_.job.wall_limit_minutes - clock_minutes_);
+}
+
+BatchReport DaskCluster::run_batch(std::size_t num_tasks, const WorkFn& work) {
+  BatchReport report;
+  report.tasks.resize(num_tasks);
+  if (num_tasks == 0) {
+    report.workers_remaining = live_workers_;
+    return report;
+  }
+  if (live_workers_ == 0) throw util::ValueError("no live workers remain");
+
+  // 1. Execute the real payloads in parallel: the CPU work is independent of
+  //    the simulated timeline.
+  std::vector<WorkResult> results(num_tasks);
+  pool_.parallel_for(num_tasks, [&](std::size_t i) { results[i] = work(i); });
+
+  // 2. Discrete-event replay onto the simulated workers.
+  struct WorkerSlot {
+    double free_at = 0.0;
+    std::size_t node = 0;
+    bool operator>(const WorkerSlot& other) const { return free_at > other.free_at; }
+  };
+  std::priority_queue<WorkerSlot, std::vector<WorkerSlot>, std::greater<>> workers;
+  std::size_t live = 0;
+  for (std::size_t node = 0; node < tasks_run_on_node_.size(); ++node) {
+    if (tasks_run_on_node_[node] == static_cast<std::size_t>(-1)) continue;  // dead
+    workers.push(WorkerSlot{0.0, node});
+    ++live;
+  }
+
+  std::queue<std::pair<std::size_t, std::size_t>> pending;  // task, attempt
+  for (std::size_t i = 0; i < num_tasks; ++i) pending.emplace(i, 1);
+
+  double makespan = 0.0;
+  while (!pending.empty()) {
+    if (workers.empty()) {
+      // Every node died; remaining tasks are unrecoverable.
+      while (!pending.empty()) {
+        TaskReport& tr = report.tasks[pending.front().first];
+        tr.status = TaskStatus::kNodeFailure;
+        tr.attempts = pending.front().second;
+        pending.pop();
+      }
+      break;
+    }
+    auto [task, attempt] = pending.front();
+    pending.pop();
+    WorkerSlot slot = workers.top();
+    workers.pop();
+
+    TaskReport& tr = report.tasks[task];
+    tr.attempts = attempt;
+    tr.node = slot.node;
+    const WorkResult& result = results[task];
+
+    // Node-failure injection (nannies disabled: the node never comes back).
+    if (rng_.bernoulli(config_.node_failure_probability)) {
+      const double elapsed =
+          rng_.uniform(0.0, std::min(result.sim_minutes, config_.task_timeout_minutes));
+      makespan = std::max(makespan, slot.free_at + elapsed);
+      tasks_run_on_node_[slot.node] = static_cast<std::size_t>(-1);
+      --live;
+      ++report.node_failures;
+      util::log_info() << "taskfarm: node " << slot.node << " died; reassigning task "
+                       << task;
+      if (attempt < config_.max_attempts) {
+        pending.emplace(task, attempt + 1);
+      } else {
+        tr.status = TaskStatus::kNodeFailure;
+        tr.finish_minute = clock_minutes_ + slot.free_at + elapsed;
+      }
+      continue;
+    }
+
+    // The MPI-relaunch rule: workers resident on compute nodes cannot start a
+    // second MPI_init-based training (section 2.2.5).
+    const bool mpi_blocked = config_.job.placement == WorkerPlacement::kComputeNode &&
+                             tasks_run_on_node_[slot.node] > 0;
+
+    if (mpi_blocked || result.training_error) {
+      // Fast failure: the dp subprocess exits almost immediately.
+      const double failure_minutes = std::min(1.0, result.sim_minutes);
+      slot.free_at += failure_minutes;
+      tr.status = TaskStatus::kTrainingError;
+      tr.sim_minutes = failure_minutes;
+      tr.finish_minute = clock_minutes_ + slot.free_at;
+    } else if (result.sim_minutes > config_.task_timeout_minutes) {
+      slot.free_at += config_.task_timeout_minutes;
+      tr.status = TaskStatus::kTimeout;
+      tr.sim_minutes = config_.task_timeout_minutes;
+      tr.finish_minute = clock_minutes_ + slot.free_at;
+    } else {
+      slot.free_at += result.sim_minutes;
+      tr.status = TaskStatus::kOk;
+      tr.sim_minutes = result.sim_minutes;
+      tr.fitness = result.fitness;
+      tr.finish_minute = clock_minutes_ + slot.free_at;
+    }
+    ++tasks_run_on_node_[slot.node];
+    makespan = std::max(makespan, slot.free_at);
+    workers.push(slot);
+  }
+
+  live_workers_ = live;
+  report.workers_remaining = live;
+  report.makespan_minutes = makespan;
+  clock_minutes_ += makespan;
+  return report;
+}
+
+}  // namespace dpho::hpc

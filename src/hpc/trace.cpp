@@ -1,0 +1,67 @@
+#include "hpc/trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/csv.hpp"
+
+namespace dpho::hpc {
+
+std::string trace_csv(const BatchReport& report) {
+  std::ostringstream out;
+  util::CsvWriter writer(out);
+  writer.write_row({"task", "node", "start_minute", "finish_minute", "sim_minutes",
+                    "attempts", "status"});
+  const auto fmt = util::CsvWriter::format;
+  for (std::size_t t = 0; t < report.tasks.size(); ++t) {
+    const TaskReport& task = report.tasks[t];
+    writer.write_row({std::to_string(t), std::to_string(task.node),
+                      fmt(task.finish_minute - task.sim_minutes),
+                      fmt(task.finish_minute), fmt(task.sim_minutes),
+                      std::to_string(task.attempts), to_string(task.status)});
+  }
+  return out.str();
+}
+
+std::string gantt_art(const BatchReport& report, std::size_t columns) {
+  if (report.tasks.empty() || columns == 0) return "";
+  double t_min = 1e300, t_max = -1e300;
+  std::map<std::size_t, std::vector<const TaskReport*>> by_node;
+  for (const TaskReport& task : report.tasks) {
+    t_min = std::min(t_min, task.finish_minute - task.sim_minutes);
+    t_max = std::max(t_max, task.finish_minute);
+    by_node[task.node].push_back(&task);
+  }
+  if (!(t_max > t_min)) t_max = t_min + 1.0;
+  const double scale = static_cast<double>(columns) / (t_max - t_min);
+
+  const auto glyph = [](TaskStatus status) {
+    switch (status) {
+      case TaskStatus::kOk: return '#';
+      case TaskStatus::kTimeout: return 'T';
+      case TaskStatus::kTrainingError: return 'x';
+      case TaskStatus::kNodeFailure: return '!';
+    }
+    return '?';
+  };
+
+  std::ostringstream out;
+  for (const auto& [node, tasks] : by_node) {
+    std::string row(columns, '.');
+    for (const TaskReport* task : tasks) {
+      const double start = task->finish_minute - task->sim_minutes;
+      auto c0 = static_cast<std::size_t>((start - t_min) * scale);
+      auto c1 = static_cast<std::size_t>((task->finish_minute - t_min) * scale);
+      c0 = std::min(c0, columns - 1);
+      c1 = std::min(std::max(c1, c0 + 1), columns);
+      for (std::size_t c = c0; c < c1; ++c) row[c] = glyph(task->status);
+    }
+    char label[32];
+    std::snprintf(label, sizeof label, "node %4zu |", node);
+    out << label << row << "|\n";
+  }
+  return out.str();
+}
+
+}  // namespace dpho::hpc

@@ -1,0 +1,23 @@
+// Task-trace export: per-task Gantt rows for batch reports.
+//
+// The paper's runs were tuned by watching where generation wall-clock went
+// (section 2.2.5 discusses the Dask dashboard being impractical at this
+// scale); this text trace is the equivalent artifact for the simulated
+// cluster -- one row per task with node, start/finish minutes, and status.
+#pragma once
+
+#include <string>
+
+#include "hpc/taskfarm.hpp"
+
+namespace dpho::hpc {
+
+/// CSV rows: task, node, start_minute, finish_minute, sim_minutes, attempts,
+/// status.  Start is derived as finish - sim_minutes.
+std::string trace_csv(const BatchReport& report);
+
+/// Character-art Gantt chart (one row per node, time binned across columns).
+/// Compact diagnostic for examples and logs.
+std::string gantt_art(const BatchReport& report, std::size_t columns = 64);
+
+}  // namespace dpho::hpc

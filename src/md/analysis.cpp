@@ -1,0 +1,123 @@
+#include "md/analysis.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "md/box.hpp"
+#include "util/error.hpp"
+
+namespace dpho::md {
+
+std::optional<Rdf::Peak> Rdf::first_peak(double min_r) const {
+  for (std::size_t i = 1; i + 1 < g.size(); ++i) {
+    if (r[i] < min_r) continue;
+    if (g[i] > 1.0 && g[i] >= g[i - 1] && g[i] >= g[i + 1]) {
+      return Peak{r[i], g[i]};
+    }
+  }
+  return std::nullopt;
+}
+
+double Rdf::tail_mean() const {
+  if (g.empty()) return 0.0;
+  const std::size_t start = 3 * g.size() / 4;
+  double total = 0.0;
+  for (std::size_t i = start; i < g.size(); ++i) total += g[i];
+  return total / static_cast<double>(g.size() - start);
+}
+
+Rdf radial_distribution(const FrameDataset& frames, std::optional<Species> first,
+                        std::optional<Species> second, double r_max,
+                        std::size_t bins) {
+  if (frames.empty()) throw util::ValueError("rdf: empty dataset");
+  if (bins == 0 || r_max <= 0.0) throw util::ValueError("rdf: bad binning");
+
+  Rdf rdf;
+  rdf.r_max = r_max;
+  rdf.bin_width = r_max / static_cast<double>(bins);
+  rdf.r.resize(bins);
+  rdf.g.assign(bins, 0.0);
+  for (std::size_t b = 0; b < bins; ++b) {
+    rdf.r[b] = (static_cast<double>(b) + 0.5) * rdf.bin_width;
+  }
+
+  const auto& types = frames.types();
+  std::vector<std::size_t> centers, others;
+  for (std::size_t i = 0; i < types.size(); ++i) {
+    if (!first || types[i] == *first) centers.push_back(i);
+    if (!second || types[i] == *second) others.push_back(i);
+  }
+  if (centers.empty() || others.empty()) {
+    throw util::ValueError("rdf: no atoms of the requested species");
+  }
+
+  std::vector<double> counts(bins, 0.0);
+  double volume = 0.0;
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    const Frame& frame = frames.frame(f);
+    const Box box(frame.box_length);
+    if (r_max > box.max_cutoff() + 1e-9) {
+      throw util::ValueError("rdf: r_max exceeds half the box edge");
+    }
+    volume += box.volume();
+    for (std::size_t i : centers) {
+      for (std::size_t j : others) {
+        if (i == j) continue;
+        const double dist = box.distance(frame.positions[i], frame.positions[j]);
+        if (dist >= r_max) continue;
+        counts[static_cast<std::size_t>(dist / rdf.bin_width)] += 1.0;
+      }
+    }
+  }
+  volume /= static_cast<double>(frames.size());
+
+  // Normalize by the ideal-gas shell population.
+  const double pair_density = static_cast<double>(centers.size()) *
+                              static_cast<double>(others.size()) / volume;
+  for (std::size_t b = 0; b < bins; ++b) {
+    const double r_lo = static_cast<double>(b) * rdf.bin_width;
+    const double r_hi = r_lo + rdf.bin_width;
+    const double shell =
+        4.0 / 3.0 * std::numbers::pi * (r_hi * r_hi * r_hi - r_lo * r_lo * r_lo);
+    const double ideal = pair_density * shell * static_cast<double>(frames.size());
+    rdf.g[b] = ideal > 0.0 ? counts[b] / ideal : 0.0;
+  }
+  return rdf;
+}
+
+std::vector<double> mean_squared_displacement(const FrameDataset& frames,
+                                              std::size_t max_lag) {
+  if (frames.size() < 2) throw util::ValueError("msd: need at least two frames");
+  max_lag = std::min(max_lag, frames.size() - 1);
+  const std::size_t n_atoms = frames.num_atoms();
+
+  // Unwrap trajectories via minimum-image displacement increments.
+  std::vector<std::vector<Vec3>> unwrapped(frames.size(),
+                                           std::vector<Vec3>(n_atoms));
+  unwrapped[0] = frames.frame(0).positions;
+  for (std::size_t f = 1; f < frames.size(); ++f) {
+    const Box box(frames.frame(f).box_length);
+    for (std::size_t a = 0; a < n_atoms; ++a) {
+      const Vec3 step = box.displacement(frames.frame(f - 1).positions[a],
+                                         frames.frame(f).positions[a]);
+      unwrapped[f][a] = unwrapped[f - 1][a] + step;
+    }
+  }
+
+  std::vector<double> msd(max_lag + 1, 0.0);
+  for (std::size_t lag = 1; lag <= max_lag; ++lag) {
+    double total = 0.0;
+    std::size_t samples = 0;
+    for (std::size_t origin = 0; origin + lag < frames.size(); ++origin) {
+      for (std::size_t a = 0; a < n_atoms; ++a) {
+        const Vec3 d = unwrapped[origin + lag][a] - unwrapped[origin][a];
+        total += dot(d, d);
+        ++samples;
+      }
+    }
+    msd[lag] = total / static_cast<double>(samples);
+  }
+  return msd;
+}
+
+}  // namespace dpho::md

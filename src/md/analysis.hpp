@@ -1,0 +1,49 @@
+// Structural and dynamical analysis of trajectories.
+//
+// Used to verify that the synthetic reference system really behaves like the
+// molten salt it stands in for (section 2.1.3): pair distribution functions
+// g(r) with liquid-like ordering and diffusive mean-squared displacements.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "md/dataset.hpp"
+#include "md/system.hpp"
+
+namespace dpho::md {
+
+/// Radial distribution function g(r) for one (or any) species pair.
+struct Rdf {
+  double r_max = 0.0;
+  double bin_width = 0.0;
+  std::vector<double> r;    // bin centers
+  std::vector<double> g;    // g(r) values
+
+  /// First maximum of g(r) beyond `min_r` (typical nearest-neighbor peak).
+  struct Peak {
+    double r = 0.0;
+    double height = 0.0;
+  };
+  std::optional<Peak> first_peak(double min_r = 0.5) const;
+
+  /// Mean of g(r) over the outer quarter of the range (should be ~1 for a
+  /// homogeneous liquid).
+  double tail_mean() const;
+};
+
+/// Computes g(r) over all frames of a dataset.  Pass std::nullopt for either
+/// species to include all atoms on that side.
+Rdf radial_distribution(const FrameDataset& frames, std::optional<Species> first,
+                        std::optional<Species> second, double r_max,
+                        std::size_t bins = 100);
+
+/// Mean-squared displacement vs frame lag, averaged over atoms and time
+/// origins.  Positions must be unwrapped or sampled densely enough that no
+/// atom moves more than half a box between consecutive frames (the routine
+/// unwraps using minimum-image increments).
+std::vector<double> mean_squared_displacement(const FrameDataset& frames,
+                                              std::size_t max_lag);
+
+}  // namespace dpho::md

@@ -1,0 +1,32 @@
+// Cubic periodic simulation box with minimum-image displacement.
+#pragma once
+
+#include "md/system.hpp"
+
+namespace dpho::md {
+
+/// Cubic box with periodic boundary conditions on all three axes.
+class Box {
+ public:
+  explicit Box(double length);
+
+  double length() const { return length_; }
+  double volume() const { return length_ * length_ * length_; }
+  /// Largest physically meaningful interaction cutoff (half the edge).
+  double max_cutoff() const { return 0.5 * length_; }
+
+  /// Minimum-image displacement r_j - r_i.
+  Vec3 displacement(const Vec3& ri, const Vec3& rj) const;
+
+  /// Minimum-image distance.
+  double distance(const Vec3& ri, const Vec3& rj) const;
+
+  /// Wraps a position into [0, L)^3.
+  Vec3 wrap(const Vec3& r) const;
+
+ private:
+  double length_;
+  double inv_length_;
+};
+
+}  // namespace dpho::md

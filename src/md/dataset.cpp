@@ -1,0 +1,133 @@
+#include "md/dataset.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "md/npy.hpp"
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+namespace dpho::md {
+
+namespace fs = std::filesystem;
+
+void FrameDataset::add(Frame frame) {
+  if (frame.positions.size() != types_.size() ||
+      frame.forces.size() != types_.size()) {
+    throw util::ValueError("frame size does not match dataset atom count");
+  }
+  frames_.push_back(std::move(frame));
+}
+
+void FrameDataset::shuffle(util::Rng& rng) {
+  const auto perm = rng.permutation(frames_.size());
+  std::vector<Frame> shuffled;
+  shuffled.reserve(frames_.size());
+  for (std::size_t i : perm) shuffled.push_back(std::move(frames_[i]));
+  frames_ = std::move(shuffled);
+}
+
+std::pair<FrameDataset, FrameDataset> FrameDataset::split(
+    double validation_fraction) const {
+  if (validation_fraction < 0.0 || validation_fraction >= 1.0) {
+    throw util::ValueError("validation fraction must be in [0,1)");
+  }
+  const auto n_val = static_cast<std::size_t>(
+      validation_fraction * static_cast<double>(frames_.size()));
+  const std::size_t n_train = frames_.size() - n_val;
+  FrameDataset train(types_);
+  FrameDataset validation(types_);
+  for (std::size_t i = 0; i < n_train; ++i) train.add(frames_[i]);
+  for (std::size_t i = n_train; i < frames_.size(); ++i) validation.add(frames_[i]);
+  return {std::move(train), std::move(validation)};
+}
+
+void FrameDataset::save(const fs::path& dir) const {
+  fs::create_directories(dir);
+  // type_map.raw: element name per type id; type.raw: type id per atom.
+  util::write_file(dir / "type_map.raw", "Al\nK\nCl\n");
+  std::ostringstream type_ids;
+  for (Species s : types_) type_ids << static_cast<int>(s) << '\n';
+  util::write_file(dir / "type.raw", type_ids.str());
+
+  const std::size_t n_frames = frames_.size();
+  const std::size_t n_atoms = types_.size();
+  NpyArray coord{{n_frames, n_atoms * 3}, {}};
+  NpyArray force{{n_frames, n_atoms * 3}, {}};
+  NpyArray energy{{n_frames}, {}};
+  NpyArray box{{n_frames, 9}, {}};
+  coord.data.reserve(n_frames * n_atoms * 3);
+  force.data.reserve(n_frames * n_atoms * 3);
+  energy.data.reserve(n_frames);
+  box.data.reserve(n_frames * 9);
+  for (const Frame& f : frames_) {
+    for (const Vec3& r : f.positions) {
+      coord.data.insert(coord.data.end(), r.begin(), r.end());
+    }
+    for (const Vec3& g : f.forces) {
+      force.data.insert(force.data.end(), g.begin(), g.end());
+    }
+    energy.data.push_back(f.energy);
+    const double L = f.box_length;
+    const double cell[9] = {L, 0, 0, 0, L, 0, 0, 0, L};
+    box.data.insert(box.data.end(), cell, cell + 9);
+  }
+  const fs::path set_dir = dir / "set.000";
+  write_npy(set_dir / "coord.npy", coord);
+  write_npy(set_dir / "force.npy", force);
+  write_npy(set_dir / "energy.npy", energy);
+  write_npy(set_dir / "box.npy", box);
+}
+
+FrameDataset FrameDataset::load(const fs::path& dir) {
+  const std::string type_text = util::read_file(dir / "type.raw");
+  std::vector<Species> types;
+  std::istringstream type_stream(type_text);
+  int id = 0;
+  while (type_stream >> id) {
+    if (id < 0 || id >= static_cast<int>(kNumSpecies)) {
+      throw util::ParseError("type.raw contains invalid type id");
+    }
+    types.push_back(static_cast<Species>(id));
+  }
+  FrameDataset dataset(types);
+
+  const fs::path set_dir = dir / "set.000";
+  const NpyArray coord = read_npy(set_dir / "coord.npy");
+  const NpyArray force = read_npy(set_dir / "force.npy");
+  const NpyArray energy = read_npy(set_dir / "energy.npy");
+  const NpyArray box = read_npy(set_dir / "box.npy");
+  const std::size_t n_frames = energy.rows();
+  const std::size_t n_atoms = types.size();
+  if (coord.rows() != n_frames || force.rows() != n_frames || box.rows() != n_frames) {
+    throw util::ParseError("dataset arrays disagree on frame count");
+  }
+  if (coord.row_width() != n_atoms * 3 || force.row_width() != n_atoms * 3) {
+    throw util::ParseError("dataset arrays disagree on atom count");
+  }
+  for (std::size_t f = 0; f < n_frames; ++f) {
+    Frame frame;
+    frame.energy = energy.data[f];
+    frame.box_length = box.data[f * 9];
+    frame.positions.resize(n_atoms);
+    frame.forces.resize(n_atoms);
+    for (std::size_t a = 0; a < n_atoms; ++a) {
+      for (std::size_t k = 0; k < 3; ++k) {
+        frame.positions[a][k] = coord.data[(f * n_atoms + a) * 3 + k];
+        frame.forces[a][k] = force.data[(f * n_atoms + a) * 3 + k];
+      }
+    }
+    dataset.add(std::move(frame));
+  }
+  return dataset;
+}
+
+double FrameDataset::mean_energy_per_atom() const {
+  if (frames_.empty() || types_.empty()) return 0.0;
+  double total = 0.0;
+  for (const Frame& f : frames_) total += f.energy;
+  return total / static_cast<double>(frames_.size()) /
+         static_cast<double>(types_.size());
+}
+
+}  // namespace dpho::md

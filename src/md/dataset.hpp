@@ -1,0 +1,62 @@
+// Training-data frames and dataset management.
+//
+// Mirrors the DeePMD on-disk data model: a system directory holds
+// `type.raw` (per-atom type ids), `type_map.raw` (id -> element), and one or
+// more `set.NNN/` subdirectories with coord.npy [nframes, natoms*3],
+// energy.npy [nframes], force.npy [nframes, natoms*3] and box.npy
+// [nframes, 9].  Section 2.1.3: frames are shuffled and 25% withheld as the
+// validation set.
+#pragma once
+
+#include <filesystem>
+#include <vector>
+
+#include "md/system.hpp"
+#include "util/rng.hpp"
+
+namespace dpho::md {
+
+/// One labelled configuration.
+struct Frame {
+  std::vector<Vec3> positions;
+  std::vector<Vec3> forces;
+  double energy = 0.0;      // total potential energy, eV
+  double box_length = 0.0;  // cubic box edge, Angstrom
+};
+
+/// A set of frames sharing one atom-type vector.
+class FrameDataset {
+ public:
+  FrameDataset() = default;
+  explicit FrameDataset(std::vector<Species> types) : types_(std::move(types)) {}
+
+  const std::vector<Species>& types() const { return types_; }
+  std::size_t num_atoms() const { return types_.size(); }
+  std::size_t size() const { return frames_.size(); }
+  bool empty() const { return frames_.empty(); }
+
+  void add(Frame frame);
+  const Frame& frame(std::size_t i) const { return frames_.at(i); }
+
+  /// In-place Fisher-Yates shuffle of the frame order.
+  void shuffle(util::Rng& rng);
+
+  /// Splits off the last `fraction` of frames as a second dataset
+  /// (call shuffle() first for a random split).
+  std::pair<FrameDataset, FrameDataset> split(double validation_fraction) const;
+
+  /// Writes the DeePMD-style directory layout described above.
+  void save(const std::filesystem::path& dir) const;
+
+  /// Loads a dataset previously written by save().
+  static FrameDataset load(const std::filesystem::path& dir);
+
+  /// Mean energy per atom over all frames (used to normalize training).
+  double mean_energy_per_atom() const;
+
+ private:
+  std::vector<Species> types_;
+  std::vector<Frame> frames_;
+};
+
+}  // namespace dpho::md

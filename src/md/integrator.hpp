@@ -1,0 +1,62 @@
+// Time integration: velocity Verlet with optional thermostats.
+#pragma once
+
+#include <functional>
+
+#include "md/potential.hpp"
+#include "md/system.hpp"
+#include "util/rng.hpp"
+
+namespace dpho::md {
+
+/// Computes potential energy and forces for the current positions.
+using ForceProvider = std::function<ForceEnergy(const SystemState&)>;
+
+/// Thermostat selection for the MD driver.
+enum class Thermostat { kNone, kLangevin, kBerendsen };
+
+/// Velocity-Verlet integrator (NVE when no thermostat is attached).
+class VelocityVerlet {
+ public:
+  /// `dt` in femtoseconds.
+  explicit VelocityVerlet(double dt);
+
+  double dt() const { return dt_; }
+
+  /// Advances one step in place given the force field; returns the potential
+  /// energy/forces evaluated at the *new* positions.
+  ForceEnergy step(SystemState& state, const ForceProvider& forces,
+                   const ForceEnergy& current) const;
+
+ private:
+  double dt_;
+};
+
+/// Stochastic Langevin velocity update (applied after each Verlet step).
+class LangevinThermostat {
+ public:
+  /// `friction` in 1/fs; typical molten-salt values 0.01-0.1.
+  LangevinThermostat(double temperature_k, double friction, util::Rng rng);
+
+  void apply(SystemState& state, double dt);
+
+ private:
+  double temperature_k_;
+  double friction_;
+  util::Rng rng_;
+};
+
+/// Deterministic Berendsen velocity rescaling.
+class BerendsenThermostat {
+ public:
+  /// `tau` in fs; the relaxation time of the weak coupling.
+  BerendsenThermostat(double temperature_k, double tau);
+
+  void apply(SystemState& state, double dt);
+
+ private:
+  double temperature_k_;
+  double tau_;
+};
+
+}  // namespace dpho::md

@@ -1,0 +1,127 @@
+#include "md/neighbor.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dpho::md {
+
+NeighborList::NeighborList(const Box& box, const std::vector<Vec3>& positions,
+                           double cutoff)
+    : cutoff_(cutoff), lists_(positions.size()) {
+  if (cutoff <= 0.0) throw util::ValueError("neighbor cutoff must be positive");
+  if (cutoff > box.max_cutoff() + 1e-12) {
+    throw util::ValueError("neighbor cutoff exceeds half the box edge");
+  }
+  const auto cells_per_side = static_cast<std::size_t>(box.length() / cutoff);
+  if (cells_per_side >= 3) {
+    build_cells(box, positions);
+    used_cells_ = true;
+  } else {
+    build_brute_force(box, positions);
+  }
+}
+
+void NeighborList::build_brute_force(const Box& box,
+                                     const std::vector<Vec3>& positions) {
+  const double cutoff_sq = cutoff_ * cutoff_;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    for (std::size_t j = i + 1; j < positions.size(); ++j) {
+      const Vec3 d = box.displacement(positions[i], positions[j]);
+      const double dist_sq = dot(d, d);
+      if (dist_sq >= cutoff_sq || dist_sq == 0.0) continue;
+      const double dist = std::sqrt(dist_sq);
+      lists_[i].push_back(Neighbor{j, d, dist});
+      lists_[j].push_back(Neighbor{i, Vec3{-d[0], -d[1], -d[2]}, dist});
+    }
+  }
+}
+
+void NeighborList::build_cells(const Box& box, const std::vector<Vec3>& positions) {
+  const auto cells = static_cast<long>(box.length() / cutoff_);
+  const double cell_size = box.length() / static_cast<double>(cells);
+  const auto cell_of = [&](const Vec3& r) {
+    const Vec3 w = box.wrap(r);
+    long cx = static_cast<long>(w[0] / cell_size);
+    long cy = static_cast<long>(w[1] / cell_size);
+    long cz = static_cast<long>(w[2] / cell_size);
+    cx = std::min(cx, cells - 1);
+    cy = std::min(cy, cells - 1);
+    cz = std::min(cz, cells - 1);
+    return (cx * cells + cy) * cells + cz;
+  };
+
+  std::vector<std::vector<std::size_t>> bins(
+      static_cast<std::size_t>(cells * cells * cells));
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    bins[static_cast<std::size_t>(cell_of(positions[i]))].push_back(i);
+  }
+
+  const double cutoff_sq = cutoff_ * cutoff_;
+  const auto wrap_cell = [&](long c) { return ((c % cells) + cells) % cells; };
+  for (long cx = 0; cx < cells; ++cx) {
+    for (long cy = 0; cy < cells; ++cy) {
+      for (long cz = 0; cz < cells; ++cz) {
+        const auto home =
+            static_cast<std::size_t>((cx * cells + cy) * cells + cz);
+        for (long dx = -1; dx <= 1; ++dx) {
+          for (long dy = -1; dy <= 1; ++dy) {
+            for (long dz = -1; dz <= 1; ++dz) {
+              const auto other = static_cast<std::size_t>(
+                  (wrap_cell(cx + dx) * cells + wrap_cell(cy + dy)) * cells +
+                  wrap_cell(cz + dz));
+              if (other < home) continue;  // visit each cell pair once
+              for (std::size_t a : bins[home]) {
+                for (std::size_t b : bins[other]) {
+                  if (home == other && b <= a) continue;
+                  const Vec3 d = box.displacement(positions[a], positions[b]);
+                  const double dist_sq = dot(d, d);
+                  if (dist_sq >= cutoff_sq || dist_sq == 0.0) continue;
+                  const double dist = std::sqrt(dist_sq);
+                  lists_[a].push_back(Neighbor{b, d, dist});
+                  lists_[b].push_back(Neighbor{a, Vec3{-d[0], -d[1], -d[2]}, dist});
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+VerletList::VerletList(const Box& box, double cutoff, double skin)
+    : box_(box), cutoff_(cutoff), skin_(skin) {
+  if (skin < 0.0) throw util::ValueError("verlet skin must be >= 0");
+  if (cutoff + skin > box.max_cutoff() + 1e-12) {
+    throw util::ValueError("verlet cutoff + skin exceeds half the box edge");
+  }
+}
+
+bool VerletList::needs_rebuild(const std::vector<Vec3>& positions) const {
+  if (!list_ || positions.size() != reference_positions_.size()) return true;
+  const double threshold_sq = 0.25 * skin_ * skin_;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const Vec3 d = box_.displacement(reference_positions_[i], positions[i]);
+    if (dot(d, d) > threshold_sq) return true;
+  }
+  return false;
+}
+
+const NeighborList& VerletList::update(const std::vector<Vec3>& positions) {
+  if (needs_rebuild(positions)) {
+    list_ = std::make_unique<NeighborList>(box_, positions, cutoff_ + skin_);
+    reference_positions_ = positions;
+    ++rebuilds_;
+  }
+  return *list_;
+}
+
+double NeighborList::mean_neighbors() const {
+  if (lists_.empty()) return 0.0;
+  std::size_t total = 0;
+  for (const auto& list : lists_) total += list.size();
+  return static_cast<double>(total) / static_cast<double>(lists_.size());
+}
+
+}  // namespace dpho::md

@@ -1,0 +1,119 @@
+#include "md/npy.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace dpho::md {
+
+namespace {
+
+constexpr char kMagic[] = "\x93NUMPY";
+
+std::string shape_to_header(const std::vector<std::size_t>& shape) {
+  std::ostringstream out;
+  out << "{'descr': '<f8', 'fortran_order': False, 'shape': (";
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    out << shape[i];
+    if (shape.size() == 1 || i + 1 < shape.size()) out << ",";
+    if (i + 1 < shape.size()) out << " ";
+  }
+  out << "), }";
+  return out.str();
+}
+
+}  // namespace
+
+std::size_t NpyArray::row_width() const {
+  if (shape.size() < 2) return 1;
+  std::size_t width = 1;
+  for (std::size_t i = 1; i < shape.size(); ++i) width *= shape[i];
+  return width;
+}
+
+void write_npy(const std::filesystem::path& path, const NpyArray& array) {
+  std::size_t expected = array.shape.empty() ? 0 : 1;
+  for (std::size_t dim : array.shape) expected *= dim;
+  if (expected != array.data.size()) {
+    throw util::ValueError("npy: shape does not match data size");
+  }
+  if (path.has_parent_path()) std::filesystem::create_directories(path.parent_path());
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw util::IoError("npy: cannot open for writing: " + path.string());
+
+  std::string header = shape_to_header(array.shape);
+  // Pad so that magic(6) + version(2) + len(2) + header is a multiple of 64.
+  const std::size_t unpadded = 6 + 2 + 2 + header.size() + 1;  // +1 for '\n'
+  const std::size_t padding = (64 - unpadded % 64) % 64;
+  header.append(padding, ' ');
+  header.push_back('\n');
+
+  out.write(kMagic, 6);
+  const char version[2] = {1, 0};
+  out.write(version, 2);
+  const auto header_len = static_cast<std::uint16_t>(header.size());
+  const char len_bytes[2] = {static_cast<char>(header_len & 0xff),
+                             static_cast<char>(header_len >> 8)};
+  out.write(len_bytes, 2);
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+  out.write(reinterpret_cast<const char*>(array.data.data()),
+            static_cast<std::streamsize>(array.data.size() * sizeof(double)));
+  if (!out) throw util::IoError("npy: short write: " + path.string());
+}
+
+NpyArray read_npy(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw util::IoError("npy: cannot open for reading: " + path.string());
+
+  char magic[6];
+  in.read(magic, 6);
+  if (!in || std::memcmp(magic, kMagic, 6) != 0) {
+    throw util::ParseError("npy: bad magic in " + path.string());
+  }
+  char version[2];
+  in.read(version, 2);
+  if (!in || version[0] != 1) {
+    throw util::ParseError("npy: unsupported version in " + path.string());
+  }
+  char len_bytes[2];
+  in.read(len_bytes, 2);
+  const std::size_t header_len = static_cast<unsigned char>(len_bytes[0]) |
+                                 (static_cast<unsigned char>(len_bytes[1]) << 8);
+  std::string header(header_len, '\0');
+  in.read(header.data(), static_cast<std::streamsize>(header_len));
+  if (!in) throw util::ParseError("npy: truncated header in " + path.string());
+
+  if (header.find("'<f8'") == std::string::npos) {
+    throw util::ParseError("npy: only '<f8' arrays supported");
+  }
+  if (header.find("'fortran_order': False") == std::string::npos) {
+    throw util::ParseError("npy: only C-order arrays supported");
+  }
+  const std::size_t open = header.find('(');
+  const std::size_t close = header.find(')', open);
+  if (open == std::string::npos || close == std::string::npos) {
+    throw util::ParseError("npy: missing shape tuple");
+  }
+  NpyArray array;
+  std::string token;
+  for (std::size_t i = open + 1; i <= close; ++i) {
+    const char c = header[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      token.push_back(c);
+    } else if (!token.empty()) {
+      array.shape.push_back(std::stoull(token));
+      token.clear();
+    }
+  }
+  std::size_t total = array.shape.empty() ? 0 : 1;
+  for (std::size_t dim : array.shape) total *= dim;
+  array.data.resize(total);
+  in.read(reinterpret_cast<char*>(array.data.data()),
+          static_cast<std::streamsize>(total * sizeof(double)));
+  if (!in) throw util::ParseError("npy: truncated data in " + path.string());
+  return array;
+}
+
+}  // namespace dpho::md

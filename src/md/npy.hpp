@@ -1,0 +1,31 @@
+// Minimal NumPy .npy (format version 1.0) reader/writer for float64 arrays.
+//
+// The paper converts FPMD output to "energy, force, box values in Numpy
+// arrays" for DeePMD (section 2.1.3); we persist datasets in the same on-disk
+// layout so the pipeline shape is faithful and files are inspectable with
+// NumPy itself.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <vector>
+
+namespace dpho::md {
+
+/// A dense little-endian float64 array with a shape.
+struct NpyArray {
+  std::vector<std::size_t> shape;
+  std::vector<double> data;
+
+  std::size_t rows() const { return shape.empty() ? 0 : shape[0]; }
+  std::size_t row_width() const;
+  std::size_t size() const { return data.size(); }
+};
+
+/// Writes `array` as an .npy v1.0 file ('<f8', C order).
+void write_npy(const std::filesystem::path& path, const NpyArray& array);
+
+/// Reads an .npy file; accepts only '<f8' C-order arrays.
+NpyArray read_npy(const std::filesystem::path& path);
+
+}  // namespace dpho::md

@@ -1,0 +1,140 @@
+#include "md/potential.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace dpho::md {
+
+namespace {
+
+// Per-species dispersion strength sqrt-combined into C_ij = c_i * c_j, chosen
+// to give Tosi-Fumi-like magnitudes (C_ClCl ~ 120 eV A^6).
+constexpr double kDispersion[kNumSpecies] = {/*Al*/ 2.0, /*K*/ 6.0, /*Cl*/ 11.0};
+// Chosen so the Born repulsion balances the (charge-scaled) Coulomb
+// attraction near physical bond distances (Al-Cl ~ 2.1 A, K-Cl ~ 2.9 A);
+// weaker values let counter-ions collapse and destabilize the melt.
+constexpr double kBornPrefactor = 0.8;  // eV
+constexpr double kBornRho = 0.32;        // Angstrom
+
+std::size_t pair_index(Species a, Species b) {
+  return static_cast<std::size_t>(a) * kNumSpecies + static_cast<std::size_t>(b);
+}
+
+}  // namespace
+
+ReferencePotential::ReferencePotential(double cutoff, double wolf_alpha)
+    : cutoff_(cutoff), wolf_alpha_(wolf_alpha) {
+  if (cutoff <= 0.0) throw util::ValueError("potential cutoff must be positive");
+  for (std::size_t a = 0; a < kNumSpecies; ++a) {
+    for (std::size_t b = 0; b < kNumSpecies; ++b) {
+      const auto sa = static_cast<Species>(a);
+      const auto sb = static_cast<Species>(b);
+      PairParams p;
+      p.bmh_a = kBornPrefactor;
+      p.bmh_sigma = species_info(sa).radius_ang + species_info(sb).radius_ang;
+      p.bmh_rho = kBornRho;
+      p.dispersion_c = kDispersion[a] * kDispersion[b];
+      p.charge_product = species_info(sa).charge_e * species_info(sb).charge_e;
+      pair_params_[pair_index(sa, sb)] = p;
+    }
+  }
+  // Precompute shifted-force constants per pair type.
+  for (std::size_t a = 0; a < kNumSpecies; ++a) {
+    for (std::size_t b = 0; b < kNumSpecies; ++b) {
+      const auto sa = static_cast<Species>(a);
+      const auto sb = static_cast<Species>(b);
+      shift_energy_[pair_index(sa, sb)] = raw_pair_energy(sa, sb, cutoff_);
+      shift_slope_[pair_index(sa, sb)] =
+          raw_pair_energy_derivative(sa, sb, cutoff_);
+    }
+  }
+}
+
+const PairParams& ReferencePotential::params(Species a, Species b) const {
+  return pair_params_[pair_index(a, b)];
+}
+
+namespace {
+// Short-range damping of the r^-6 dispersion: C/(r^6 + d^6) stays finite at
+// contact, so the Born wall always dominates below the ionic radii (the raw
+// -C/r^6 would otherwise swallow the repulsion and let ions collapse).
+constexpr double kDispersionDamp6 = 1.5 * 1.5 * 1.5 * 1.5 * 1.5 * 1.5;  // d=1.5 A
+}  // namespace
+
+double ReferencePotential::raw_pair_energy(Species a, Species b, double r) const {
+  const PairParams& p = params(a, b);
+  const double born = p.bmh_a * std::exp((p.bmh_sigma - r) / p.bmh_rho);
+  const double dispersion =
+      -p.dispersion_c / (std::pow(r, 6) + kDispersionDamp6);
+  const double coulomb =
+      kCoulombEvAng * p.charge_product * std::erfc(wolf_alpha_ * r) / r;
+  return born + dispersion + coulomb;
+}
+
+double ReferencePotential::raw_pair_energy_derivative(Species a, Species b,
+                                                      double r) const {
+  const PairParams& p = params(a, b);
+  const double born = -p.bmh_a / p.bmh_rho * std::exp((p.bmh_sigma - r) / p.bmh_rho);
+  const double denom = std::pow(r, 6) + kDispersionDamp6;
+  const double dispersion = 6.0 * p.dispersion_c * std::pow(r, 5) / (denom * denom);
+  const double erfc_term = std::erfc(wolf_alpha_ * r);
+  const double gauss_term = 2.0 * wolf_alpha_ / std::sqrt(std::numbers::pi) *
+                            std::exp(-wolf_alpha_ * wolf_alpha_ * r * r);
+  const double coulomb = kCoulombEvAng * p.charge_product *
+                         (-erfc_term / (r * r) - gauss_term / r);
+  return born + dispersion + coulomb;
+}
+
+double ReferencePotential::pair_energy(Species a, Species b, double r) const {
+  if (r >= cutoff_) return 0.0;
+  const std::size_t idx = pair_index(a, b);
+  return raw_pair_energy(a, b, r) - shift_energy_[idx] -
+         (r - cutoff_) * shift_slope_[idx];
+}
+
+double ReferencePotential::pair_force(Species a, Species b, double r) const {
+  if (r >= cutoff_) return 0.0;
+  const std::size_t idx = pair_index(a, b);
+  return -(raw_pair_energy_derivative(a, b, r) - shift_slope_[idx]);
+}
+
+ForceEnergy ReferencePotential::compute(const SystemState& state,
+                                        const NeighborList& neighbors) const {
+  if (neighbors.cutoff() < cutoff_ - 1e-12) {
+    throw util::ValueError("neighbor list cutoff smaller than potential cutoff");
+  }
+  // Displacements are recomputed from the *current* positions so the list may
+  // be a stale Verlet list (pair identities complete, distances outdated).
+  const Box box(state.box_length);
+  ForceEnergy out;
+  out.forces.assign(state.size(), Vec3{0.0, 0.0, 0.0});
+  double energy = 0.0;
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    for (const Neighbor& nb : neighbors.neighbors_of(i)) {
+      if (nb.index < i) continue;  // each pair once
+      const Vec3 d = box.displacement(state.positions[i], state.positions[nb.index]);
+      const double r = norm(d);
+      if (r >= cutoff_) continue;
+      const Species si = state.types[i];
+      const Species sj = state.types[nb.index];
+      energy += pair_energy(si, sj, r);
+      // F_i = U'(r) * d / r with d = r_j - r_i (see derivation in tests).
+      const double magnitude = -pair_force(si, sj, r) / r;
+      const Vec3 fi = d * magnitude;
+      out.forces[i] = out.forces[i] + fi;
+      out.forces[nb.index] = out.forces[nb.index] - fi;
+    }
+  }
+  out.energy = energy;
+  return out;
+}
+
+ForceEnergy ReferencePotential::compute(const SystemState& state) const {
+  const Box box(state.box_length);
+  const NeighborList neighbors(box, state.positions, cutoff_);
+  return compute(state, neighbors);
+}
+
+}  // namespace dpho::md

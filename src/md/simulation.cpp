@@ -1,0 +1,69 @@
+#include "md/simulation.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace dpho::md {
+
+Simulation::Simulation(const SimulationConfig& config)
+    : config_(config),
+      potential_(std::min(8.5, 0.5 * config.spec.box_length() - 1e-9)),
+      state_() {
+  util::Rng rng(config_.seed);
+  state_ = config_.spec.create_initial_state(config_.temperature_k, rng);
+}
+
+FrameDataset Simulation::run() {
+  util::Rng rng(util::hash_combine(config_.seed, 0xd1f7));
+  const Box box(state_.box_length);
+  // Verlet list with whatever skin the box affords (0 = rebuild every step).
+  const double skin =
+      std::max(0.0, std::min(0.8, box.max_cutoff() - potential_.cutoff() - 1e-9));
+  VerletList verlet(box, potential_.cutoff(), skin);
+  const ForceProvider provider = [this, &verlet](const SystemState& s) {
+    return potential_.compute(s, verlet.update(s.positions));
+  };
+  VelocityVerlet integrator(config_.dt_fs);
+  LangevinThermostat thermostat(config_.temperature_k, config_.langevin_friction,
+                                rng.spawn(1));
+
+  ForceEnergy current = provider(state_);
+  for (std::size_t step = 0; step < config_.equilibration_steps; ++step) {
+    current = integrator.step(state_, provider, current);
+    thermostat.apply(state_, config_.dt_fs);
+  }
+  util::log_info() << "md: equilibrated at T=" << kinetic_temperature(state_) << " K";
+
+  FrameDataset dataset(state_.types);
+  std::size_t produced = 0;
+  std::size_t step = 0;
+  while (produced < config_.num_frames) {
+    current = integrator.step(state_, provider, current);
+    thermostat.apply(state_, config_.dt_fs);
+    ++step;
+    if (step % config_.sample_interval == 0) {
+      Frame frame;
+      frame.positions = state_.positions;
+      for (auto& r : frame.positions) r = box.wrap(r);
+      frame.forces = current.forces;
+      frame.energy = current.energy;
+      frame.box_length = state_.box_length;
+      dataset.add(std::move(frame));
+      ++produced;
+    }
+  }
+  return dataset;
+}
+
+LabelledData generate_reference_data(const SimulationConfig& config,
+                                     double validation_fraction) {
+  Simulation simulation(config);
+  FrameDataset dataset = simulation.run();
+  util::Rng rng(util::hash_combine(config.seed, 0x5eed));
+  dataset.shuffle(rng);
+  auto [train, validation] = dataset.split(validation_fraction);
+  return LabelledData{std::move(train), std::move(validation)};
+}
+
+}  // namespace dpho::md

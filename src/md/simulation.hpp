@@ -1,0 +1,55 @@
+// End-to-end reference-data generation: equilibrate, sample, label.
+//
+// This is the stand-in for the paper's CADES/CP2K FPMD campaign
+// (section 2.1.3): run thermostatted MD of the molten salt and emit labelled
+// frames (positions, total energy, forces) ready for potential training.
+#pragma once
+
+#include <cstddef>
+
+#include "md/dataset.hpp"
+#include "md/integrator.hpp"
+#include "md/potential.hpp"
+#include "md/system.hpp"
+
+namespace dpho::md {
+
+/// Configuration of a data-generation run.
+struct SimulationConfig {
+  SystemSpec spec = SystemSpec::paper_system();
+  double temperature_k = 498.0;
+  double dt_fs = 1.0;
+  std::size_t equilibration_steps = 200;
+  std::size_t sample_interval = 5;  // steps between recorded frames
+  std::size_t num_frames = 100;
+  double langevin_friction = 0.02;  // 1/fs
+  std::uint64_t seed = 42;
+};
+
+/// Thermostatted MD driver that records labelled frames.
+class Simulation {
+ public:
+  explicit Simulation(const SimulationConfig& config);
+
+  /// Runs equilibration + production and returns the labelled frames.
+  FrameDataset run();
+
+  /// Current instantaneous state (after run(), the final configuration).
+  const SystemState& state() const { return state_; }
+
+ private:
+  SimulationConfig config_;
+  ReferencePotential potential_;
+  SystemState state_;
+};
+
+/// Convenience wrapper used by examples and the evaluation backend:
+/// generates a shuffled dataset and splits off 25% for validation.
+struct LabelledData {
+  FrameDataset train;
+  FrameDataset validation;
+};
+LabelledData generate_reference_data(const SimulationConfig& config,
+                                     double validation_fraction = 0.25);
+
+}  // namespace dpho::md

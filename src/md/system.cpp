@@ -1,0 +1,142 @@
+#include "md/system.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dpho::md {
+
+std::string to_string(Species species) {
+  switch (species) {
+    case Species::kAl: return "Al";
+    case Species::kK: return "K";
+    case Species::kCl: return "Cl";
+  }
+  throw util::ValueError("invalid species enum");
+}
+
+Species species_from_string(const std::string& name) {
+  if (name == "Al") return Species::kAl;
+  if (name == "K") return Species::kK;
+  if (name == "Cl") return Species::kCl;
+  throw util::ValueError("unknown species: " + name);
+}
+
+const SpeciesInfo& species_info(Species species) {
+  // Shannon ionic radii; formal charges x 0.7 (charge-scaled rigid-ion model).
+  static const SpeciesInfo kTable[kNumSpecies] = {
+      /*Al*/ {26.9815385, +3.0 * 0.7, 0.535},
+      /*K */ {39.0983, +1.0 * 0.7, 1.38},
+      /*Cl*/ {35.453, -1.0 * 0.7, 1.81},
+  };
+  return kTable[static_cast<std::size_t>(species)];
+}
+
+double norm(const Vec3& a) { return std::sqrt(dot(a, a)); }
+
+SystemSpec::SystemSpec(std::size_t n_al, std::size_t n_k, std::size_t n_cl,
+                       double box_length)
+    : n_al_(n_al), n_k_(n_k), n_cl_(n_cl), box_length_(box_length) {
+  if (box_length <= 0.0) throw util::ValueError("box length must be positive");
+  if (total_atoms() == 0) throw util::ValueError("system must contain atoms");
+}
+
+SystemSpec SystemSpec::paper_system() { return SystemSpec(32, 16, 112, 17.84); }
+
+SystemSpec SystemSpec::scaled_system(std::size_t kcl_units) {
+  if (kcl_units == 0) throw util::ValueError("scaled_system needs >= 1 unit");
+  const std::size_t n_k = kcl_units;
+  const std::size_t n_al = 2 * kcl_units;
+  const std::size_t n_cl = 6 * kcl_units + kcl_units;  // 3 per AlCl3 + 1 per KCl
+  const std::size_t atoms = n_al + n_k + n_cl;
+  // Match the paper's number density: 160 atoms in 17.84^3 A^3.
+  const double density = 160.0 / (17.84 * 17.84 * 17.84);
+  const double box = std::cbrt(static_cast<double>(atoms) / density);
+  return SystemSpec(n_al, n_k, n_cl, box);
+}
+
+double SystemSpec::net_charge() const {
+  return static_cast<double>(n_al_) * species_info(Species::kAl).charge_e +
+         static_cast<double>(n_k_) * species_info(Species::kK).charge_e +
+         static_cast<double>(n_cl_) * species_info(Species::kCl).charge_e;
+}
+
+SystemState SystemSpec::create_initial_state(double temperature_k,
+                                             util::Rng& rng) const {
+  SystemState state;
+  state.box_length = box_length_;
+  const std::size_t n = total_atoms();
+
+  state.types.reserve(n);
+  for (std::size_t i = 0; i < n_al_; ++i) state.types.push_back(Species::kAl);
+  for (std::size_t i = 0; i < n_k_; ++i) state.types.push_back(Species::kK);
+  for (std::size_t i = 0; i < n_cl_; ++i) state.types.push_back(Species::kCl);
+  // Shuffle species over lattice sites so cations/anions are intermixed.
+  const auto perm = rng.permutation(n);
+  std::vector<Species> shuffled(n);
+  for (std::size_t i = 0; i < n; ++i) shuffled[i] = state.types[perm[i]];
+  state.types = std::move(shuffled);
+
+  // Jittered simple-cubic lattice covering the box.
+  auto cells = static_cast<std::size_t>(std::ceil(std::cbrt(static_cast<double>(n))));
+  if (cells == 0) cells = 1;
+  const double spacing = box_length_ / static_cast<double>(cells);
+  state.positions.reserve(n);
+  std::size_t placed = 0;
+  for (std::size_t x = 0; x < cells && placed < n; ++x) {
+    for (std::size_t y = 0; y < cells && placed < n; ++y) {
+      for (std::size_t z = 0; z < cells && placed < n; ++z) {
+        const double jitter = 0.1 * spacing;
+        state.positions.push_back(
+            Vec3{(static_cast<double>(x) + 0.5) * spacing + rng.uniform(-jitter, jitter),
+                 (static_cast<double>(y) + 0.5) * spacing + rng.uniform(-jitter, jitter),
+                 (static_cast<double>(z) + 0.5) * spacing + rng.uniform(-jitter, jitter)});
+        ++placed;
+      }
+    }
+  }
+
+  // Maxwell-Boltzmann velocities; remove center-of-mass drift, then rescale
+  // to the exact requested kinetic temperature.
+  state.velocities.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double mass = species_info(state.types[i]).mass_amu;
+    const double sigma = std::sqrt(kBoltzmannEv * temperature_k * kForceToAccel / mass);
+    state.velocities[i] = Vec3{rng.normal(0.0, sigma), rng.normal(0.0, sigma),
+                               rng.normal(0.0, sigma)};
+  }
+  Vec3 momentum{0.0, 0.0, 0.0};
+  double total_mass = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double mass = species_info(state.types[i]).mass_amu;
+    momentum = momentum + state.velocities[i] * mass;
+    total_mass += mass;
+  }
+  const Vec3 drift = momentum * (1.0 / total_mass);
+  for (auto& v : state.velocities) v = v - drift;
+  const double temp_now = kinetic_temperature(state);
+  if (temp_now > 0.0) {
+    const double scale = std::sqrt(temperature_k / temp_now);
+    for (auto& v : state.velocities) v = v * scale;
+  }
+  return state;
+}
+
+double kinetic_energy(const SystemState& state) {
+  // KE = 1/2 m v^2; with v in A/fs and m in amu the product is in
+  // amu A^2/fs^2, converted to eV by dividing by kForceToAccel.
+  double twice_ke = 0.0;
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    const double mass = species_info(state.types[i]).mass_amu;
+    twice_ke += mass * dot(state.velocities[i], state.velocities[i]);
+  }
+  return 0.5 * twice_ke / kForceToAccel;
+}
+
+double kinetic_temperature(const SystemState& state) {
+  if (state.size() == 0) return 0.0;
+  const double dof = 3.0 * static_cast<double>(state.size());
+  return 2.0 * kinetic_energy(state) / (dof * kBoltzmannEv);
+}
+
+}  // namespace dpho::md

@@ -1,0 +1,124 @@
+// Atomistic system specification for the molten-salt reference simulations.
+//
+// The paper's training data comes from CP2K DFT FPMD of a molten
+// AlCl3-KCl mixture (66.7/33.3 mol%), 160 atoms in a 17.84 Angstrom cubic box
+// at 498 K (section 2.1.3).  We reproduce that exact composition:
+//   32 AlCl3 units + 16 KCl units = 32 Al + 16 K + 112 Cl = 160 atoms,
+// net charge zero with formal charges +3/+1/-1.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dpho::md {
+
+/// Chemical species present in the reference system.
+enum class Species : std::uint8_t { kAl = 0, kK = 1, kCl = 2 };
+inline constexpr std::size_t kNumSpecies = 3;
+
+std::string to_string(Species species);
+Species species_from_string(const std::string& name);
+
+/// Per-species physical constants.
+struct SpeciesInfo {
+  double mass_amu = 0.0;    // atomic mass
+  double charge_e = 0.0;    // (scaled) ionic charge in elementary charges
+  double radius_ang = 0.0;  // ionic radius, used by the BMH parameterization
+};
+
+/// Returns the built-in species table.  Charges are formal charges scaled by
+/// 0.7, a common choice for non-polarizable molten-salt force fields that
+/// compensates for missing electronic screening.
+const SpeciesInfo& species_info(Species species);
+
+/// 3-vector used throughout the md/dp modules.  A named struct (not an alias
+/// of std::array) so the arithmetic operators are found by ADL from any
+/// namespace.
+struct Vec3 {
+  std::array<double, 3> v{};
+
+  Vec3() = default;
+  Vec3(double x, double y, double z) : v{x, y, z} {}
+
+  double& operator[](std::size_t i) { return v[i]; }
+  double operator[](std::size_t i) const { return v[i]; }
+  auto begin() { return v.begin(); }
+  auto end() { return v.end(); }
+  auto begin() const { return v.begin(); }
+  auto end() const { return v.end(); }
+};
+
+inline Vec3 operator+(const Vec3& a, const Vec3& b) {
+  return {a[0] + b[0], a[1] + b[1], a[2] + b[2]};
+}
+inline Vec3 operator-(const Vec3& a, const Vec3& b) {
+  return {a[0] - b[0], a[1] - b[1], a[2] - b[2]};
+}
+inline Vec3 operator*(const Vec3& a, double s) {
+  return {a[0] * s, a[1] * s, a[2] * s};
+}
+inline Vec3 operator*(double s, const Vec3& a) { return a * s; }
+inline double dot(const Vec3& a, const Vec3& b) {
+  return a[0] * b[0] + a[1] * b[1] + a[2] * b[2];
+}
+double norm(const Vec3& a);
+
+/// The mutable state of a simulation: types never change, positions and
+/// velocities do.
+struct SystemState {
+  std::vector<Species> types;
+  std::vector<Vec3> positions;   // Angstrom
+  std::vector<Vec3> velocities;  // Angstrom / fs
+  double box_length = 0.0;       // cubic box edge, Angstrom
+
+  std::size_t size() const { return types.size(); }
+};
+
+/// Composition + construction of initial configurations.
+class SystemSpec {
+ public:
+  /// The paper's system: 32 Al + 16 K + 112 Cl in a 17.84 Angstrom box.
+  static SystemSpec paper_system();
+
+  /// A smaller system with the same 2:1 AlCl3:KCl composition, for tests and
+  /// laptop-scale training runs.  `units` is the number of KCl formula units;
+  /// atoms = 10 * units (2 AlCl3 + 1 KCl per "motif" = 10 atoms).
+  static SystemSpec scaled_system(std::size_t kcl_units);
+
+  SystemSpec(std::size_t n_al, std::size_t n_k, std::size_t n_cl, double box_length);
+
+  std::size_t n_al() const { return n_al_; }
+  std::size_t n_k() const { return n_k_; }
+  std::size_t n_cl() const { return n_cl_; }
+  std::size_t total_atoms() const { return n_al_ + n_k_ + n_cl_; }
+  double box_length() const { return box_length_; }
+
+  /// Net charge in elementary charges (zero for valid compositions).
+  double net_charge() const;
+
+  /// Places ions on a jittered simple-cubic lattice with species shuffled,
+  /// and draws Maxwell-Boltzmann velocities at `temperature_k`.
+  SystemState create_initial_state(double temperature_k, util::Rng& rng) const;
+
+ private:
+  std::size_t n_al_, n_k_, n_cl_;
+  double box_length_;
+};
+
+/// Instantaneous kinetic temperature in Kelvin.
+double kinetic_temperature(const SystemState& state);
+
+/// Total kinetic energy in eV.
+double kinetic_energy(const SystemState& state);
+
+/// Boltzmann constant in eV/K.
+inline constexpr double kBoltzmannEv = 8.617333262e-5;
+
+/// Acceleration conversion: (eV/Angstrom)/amu -> Angstrom/fs^2.
+inline constexpr double kForceToAccel = 9.648533212e-3;
+
+}  // namespace dpho::md

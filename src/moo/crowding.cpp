@@ -1,0 +1,51 @@
+#include "moo/crowding.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace dpho::moo {
+
+std::vector<double> crowding_distance(const std::vector<ObjectiveVector>& objectives,
+                                      const FrontAssignment& assignment) {
+  if (objectives.size() != assignment.size()) {
+    throw util::ValueError("crowding: assignment size mismatch");
+  }
+  std::vector<double> distance(objectives.size(), 0.0);
+  const Fronts fronts = group_fronts(assignment);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  for (const auto& front : fronts) {
+    if (front.empty()) continue;
+    if (front.size() <= 2) {
+      for (std::size_t i : front) distance[i] = kInf;
+      continue;
+    }
+    const std::size_t m = objectives[front.front()].size();
+    std::vector<std::size_t> order(front);
+    for (std::size_t obj = 0; obj < m; ++obj) {
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return objectives[a][obj] < objectives[b][obj];
+      });
+      const double lo = objectives[order.front()][obj];
+      const double hi = objectives[order.back()][obj];
+      distance[order.front()] = kInf;
+      distance[order.back()] = kInf;
+      if (hi <= lo) continue;  // degenerate objective: no interior contribution
+      for (std::size_t k = 1; k + 1 < order.size(); ++k) {
+        if (distance[order[k]] == kInf) continue;
+        distance[order[k]] +=
+            (objectives[order[k + 1]][obj] - objectives[order[k - 1]][obj]) / (hi - lo);
+      }
+    }
+  }
+  return distance;
+}
+
+std::vector<double> crowding_distance(const std::vector<ObjectiveVector>& objectives) {
+  return crowding_distance(objectives, FrontAssignment(objectives.size(), 0));
+}
+
+}  // namespace dpho::moo

@@ -1,0 +1,19 @@
+// NSGA-II crowding distance.
+#pragma once
+
+#include <vector>
+
+#include "moo/domination.hpp"
+#include "moo/sorting.hpp"
+
+namespace dpho::moo {
+
+/// Crowding distance of every solution, computed within its own front.
+/// Boundary solutions of each front get +infinity.
+std::vector<double> crowding_distance(const std::vector<ObjectiveVector>& objectives,
+                                      const FrontAssignment& fronts);
+
+/// Convenience for a single front (all solutions together).
+std::vector<double> crowding_distance(const std::vector<ObjectiveVector>& objectives);
+
+}  // namespace dpho::moo

@@ -1,0 +1,27 @@
+#include "moo/domination.hpp"
+
+#include "util/error.hpp"
+
+namespace dpho::moo {
+
+bool dominates(std::span<const double> a, std::span<const double> b) {
+  return compare(a, b) == Dominance::kADominatesB;
+}
+
+Dominance compare(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size() || a.empty()) {
+    throw util::ValueError("dominance: objective vectors must match and be non-empty");
+  }
+  bool a_better = false;
+  bool b_better = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < b[i]) a_better = true;
+    if (b[i] < a[i]) b_better = true;
+  }
+  if (a_better && !b_better) return Dominance::kADominatesB;
+  if (b_better && !a_better) return Dominance::kBDominatesA;
+  if (!a_better && !b_better) return Dominance::kEqual;
+  return Dominance::kNonDominated;
+}
+
+}  // namespace dpho::moo

@@ -1,0 +1,20 @@
+// Pareto-dominance primitives (minimization convention throughout).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace dpho::moo {
+
+/// Objective vectors; every objective is minimized.
+using ObjectiveVector = std::vector<double>;
+
+/// True when `a` dominates `b`: a <= b in every objective and a < b in at
+/// least one.
+bool dominates(std::span<const double> a, std::span<const double> b);
+
+/// Three-way comparison used by the sorting algorithms.
+enum class Dominance { kADominatesB, kBDominatesA, kNonDominated, kEqual };
+Dominance compare(std::span<const double> a, std::span<const double> b);
+
+}  // namespace dpho::moo

@@ -1,0 +1,68 @@
+#include "moo/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dpho::moo {
+
+namespace {
+
+double euclidean(const ObjectiveVector& a, const ObjectiveVector& b) {
+  double ss = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) ss += (a[i] - b[i]) * (a[i] - b[i]);
+  return std::sqrt(ss);
+}
+
+}  // namespace
+
+double spread_delta(std::vector<ObjectiveVector> front,
+                    const ObjectiveVector& ideal_extreme_low_f1,
+                    const ObjectiveVector& ideal_extreme_high_f1) {
+  if (front.size() < 2) throw util::ValueError("spread: need >= 2 front points");
+  for (const auto& p : front) {
+    if (p.size() != 2) throw util::ValueError("spread: 2 objectives only");
+  }
+  std::sort(front.begin(), front.end());
+
+  const double d_first = euclidean(front.front(), ideal_extreme_low_f1);
+  const double d_last = euclidean(front.back(), ideal_extreme_high_f1);
+  std::vector<double> gaps;
+  gaps.reserve(front.size() - 1);
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    gaps.push_back(euclidean(front[i - 1], front[i]));
+  }
+  double mean_gap = 0.0;
+  for (double gap : gaps) mean_gap += gap;
+  mean_gap /= static_cast<double>(gaps.size());
+  double deviation = 0.0;
+  for (double gap : gaps) deviation += std::abs(gap - mean_gap);
+  const double denom =
+      d_first + d_last + mean_gap * static_cast<double>(gaps.size());
+  if (denom <= 0.0) return 0.0;
+  return (d_first + d_last + deviation) / denom;
+}
+
+double additive_epsilon(const std::vector<ObjectiveVector>& front,
+                        const std::vector<ObjectiveVector>& reference_front) {
+  if (front.empty() || reference_front.empty()) {
+    throw util::ValueError("epsilon: empty fronts");
+  }
+  double epsilon = -1e300;
+  for (const ObjectiveVector& ref : reference_front) {
+    double best = 1e300;
+    for (const ObjectiveVector& p : front) {
+      if (p.size() != ref.size()) throw util::ValueError("epsilon: dim mismatch");
+      double worst = -1e300;
+      for (std::size_t k = 0; k < ref.size(); ++k) {
+        worst = std::max(worst, p[k] - ref[k]);
+      }
+      best = std::min(best, worst);
+    }
+    epsilon = std::max(epsilon, best);
+  }
+  return epsilon;
+}
+
+}  // namespace dpho::moo

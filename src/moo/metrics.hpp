@@ -1,0 +1,23 @@
+// Additional multiobjective quality indicators.
+#pragma once
+
+#include <vector>
+
+#include "moo/domination.hpp"
+
+namespace dpho::moo {
+
+/// Deb's spread indicator (Delta) for a 2-objective front: measures how
+/// evenly solutions cover the front and how close the extremes come to the
+/// reference extremes.  0 is a perfectly uniform covering; larger is worse.
+double spread_delta(std::vector<ObjectiveVector> front,
+                    const ObjectiveVector& ideal_extreme_low_f1,
+                    const ObjectiveVector& ideal_extreme_high_f1);
+
+/// Additive epsilon indicator: the smallest eps such that every reference
+/// point is weakly dominated by some front point shifted by eps.  0 means the
+/// front covers the reference; larger is worse.
+double additive_epsilon(const std::vector<ObjectiveVector>& front,
+                        const std::vector<ObjectiveVector>& reference_front);
+
+}  // namespace dpho::moo

@@ -1,0 +1,165 @@
+#include "moo/nsga2.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace dpho::moo {
+
+RankAnnotation assign_rank_and_crowding(const std::vector<ObjectiveVector>& objectives,
+                                        SortBackend backend) {
+  RankAnnotation annotation;
+  annotation.rank = backend == SortBackend::kRankOrdinal
+                        ? rank_ordinal_sort(objectives)
+                        : fast_nondominated_sort(objectives);
+  annotation.crowding = crowding_distance(objectives, annotation.rank);
+  return annotation;
+}
+
+std::vector<std::size_t> nsga2_select(const std::vector<ObjectiveVector>& objectives,
+                                      std::size_t mu, SortBackend backend) {
+  if (mu > objectives.size()) throw util::ValueError("nsga2_select: mu > population");
+  const RankAnnotation annotation = assign_rank_and_crowding(objectives, backend);
+  std::vector<std::size_t> order(objectives.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (annotation.rank[a] != annotation.rank[b]) {
+      return annotation.rank[a] < annotation.rank[b];
+    }
+    return annotation.crowding[a] > annotation.crowding[b];
+  });
+  order.resize(mu);
+  return order;
+}
+
+Nsga2Optimizer::Nsga2Optimizer(Problem problem, Config config)
+    : problem_(std::move(problem)), config_(config) {
+  if (config_.population_size < 4) {
+    throw util::ValueError("nsga2: population must be >= 4");
+  }
+  if (config_.mutation_probability < 0.0) {
+    config_.mutation_probability = 1.0 / static_cast<double>(problem_.num_variables);
+  }
+}
+
+std::vector<double> Nsga2Optimizer::sbx_child(const std::vector<double>& a,
+                                              const std::vector<double>& b,
+                                              util::Rng& rng) const {
+  std::vector<double> child(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (rng.uniform() < 0.5) {
+      child[i] = a[i];
+      continue;
+    }
+    const double u = rng.uniform();
+    const double eta = config_.eta_crossover;
+    const double beta = u <= 0.5 ? std::pow(2.0 * u, 1.0 / (eta + 1.0))
+                                 : std::pow(1.0 / (2.0 * (1.0 - u)), 1.0 / (eta + 1.0));
+    // SBX yields two symmetric children; keep either with equal probability
+    // (always keeping the a-biased one loses diversity).
+    const double sign = rng.uniform() < 0.5 ? 1.0 : -1.0;
+    child[i] = 0.5 * ((1.0 + sign * beta) * a[i] + (1.0 - sign * beta) * b[i]);
+    child[i] = std::clamp(child[i], problem_.lower[i], problem_.upper[i]);
+  }
+  return child;
+}
+
+void Nsga2Optimizer::polynomial_mutation(std::vector<double>& x, util::Rng& rng) const {
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (rng.uniform() >= config_.mutation_probability) continue;
+    const double lo = problem_.lower[i];
+    const double hi = problem_.upper[i];
+    const double u = rng.uniform();
+    const double eta = config_.eta_mutation;
+    double delta = 0.0;
+    if (u < 0.5) {
+      delta = std::pow(2.0 * u, 1.0 / (eta + 1.0)) - 1.0;
+    } else {
+      delta = 1.0 - std::pow(2.0 * (1.0 - u), 1.0 / (eta + 1.0));
+    }
+    x[i] = std::clamp(x[i] + delta * (hi - lo), lo, hi);
+  }
+}
+
+std::vector<Nsga2Optimizer::Solution> Nsga2Optimizer::run() {
+  util::Rng rng(config_.seed);
+  const std::size_t mu = config_.population_size;
+
+  std::vector<Solution> population;
+  population.reserve(2 * mu);
+  for (std::size_t i = 0; i < mu; ++i) {
+    Solution s;
+    s.variables.resize(problem_.num_variables);
+    for (std::size_t v = 0; v < problem_.num_variables; ++v) {
+      s.variables[v] = rng.uniform(problem_.lower[v], problem_.upper[v]);
+    }
+    s.objectives = problem_.evaluate(s.variables);
+    population.push_back(std::move(s));
+  }
+
+  for (std::size_t gen = 0; gen < config_.generations; ++gen) {
+    std::vector<ObjectiveVector> parent_objectives;
+    parent_objectives.reserve(population.size());
+    for (const Solution& s : population) parent_objectives.push_back(s.objectives);
+    const RankAnnotation annotation = assign_rank_and_crowding(
+        parent_objectives, config_.sort_backend);
+
+    const auto tournament = [&]() -> const Solution& {
+      const auto a = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(population.size()) - 1));
+      const auto b = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(population.size()) - 1));
+      if (annotation.rank[a] != annotation.rank[b]) {
+        return population[annotation.rank[a] < annotation.rank[b] ? a : b];
+      }
+      return population[annotation.crowding[a] > annotation.crowding[b] ? a : b];
+    };
+
+    std::vector<Solution> offspring;
+    offspring.reserve(mu);
+    while (offspring.size() < mu) {
+      const Solution& p1 = tournament();
+      const Solution& p2 = tournament();
+      Solution child;
+      if (rng.uniform() < config_.crossover_probability) {
+        child.variables = sbx_child(p1.variables, p2.variables, rng);
+      } else {
+        child.variables = p1.variables;
+      }
+      polynomial_mutation(child.variables, rng);
+      child.objectives = problem_.evaluate(child.variables);
+      offspring.push_back(std::move(child));
+    }
+
+    // (mu + lambda) elitist survivor selection.
+    std::vector<Solution> combined = std::move(population);
+    combined.insert(combined.end(), std::make_move_iterator(offspring.begin()),
+                    std::make_move_iterator(offspring.end()));
+    std::vector<ObjectiveVector> combined_objectives;
+    combined_objectives.reserve(combined.size());
+    for (const Solution& s : combined) combined_objectives.push_back(s.objectives);
+    const std::vector<std::size_t> survivors =
+        nsga2_select(combined_objectives, mu, config_.sort_backend);
+    population.clear();
+    population.reserve(mu);
+    for (std::size_t i : survivors) population.push_back(std::move(combined[i]));
+  }
+  return population;
+}
+
+std::vector<Nsga2Optimizer::Solution> Nsga2Optimizer::pareto_subset(
+    const std::vector<Solution>& population) {
+  std::vector<ObjectiveVector> objectives;
+  objectives.reserve(population.size());
+  for (const Solution& s : population) objectives.push_back(s.objectives);
+  const FrontAssignment ranks = rank_ordinal_sort(objectives);
+  std::vector<Solution> front;
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    if (ranks[i] == 0) front.push_back(population[i]);
+  }
+  return front;
+}
+
+}  // namespace dpho::moo

@@ -1,0 +1,75 @@
+// NSGA-II (Deb et al. 2002) as a reusable optimizer.
+//
+// Two layers:
+//   * assign_rank_and_crowding(): rank + crowding annotation used by the
+//     LEAP-style pipeline in dpho::core (which supplies its own variation);
+//   * Nsga2Optimizer: the textbook loop (binary tournament, simulated binary
+//     crossover, polynomial mutation, elitist (mu+lambda) survivor selection)
+//     used to validate the engine on the ZDT/DTLZ suite.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "moo/crowding.hpp"
+#include "moo/problems.hpp"
+#include "moo/sorting.hpp"
+#include "util/rng.hpp"
+
+namespace dpho::moo {
+
+/// Which non-dominated sorting implementation to use.
+enum class SortBackend { kFastNondominated, kRankOrdinal };
+
+/// Result of annotating a set of objective vectors.
+struct RankAnnotation {
+  FrontAssignment rank;
+  std::vector<double> crowding;
+};
+
+RankAnnotation assign_rank_and_crowding(const std::vector<ObjectiveVector>& objectives,
+                                        SortBackend backend = SortBackend::kRankOrdinal);
+
+/// Survivor selection: indices of the best `mu` solutions by
+/// (rank ascending, crowding descending) -- the NSGA-II truncation.
+std::vector<std::size_t> nsga2_select(const std::vector<ObjectiveVector>& objectives,
+                                      std::size_t mu,
+                                      SortBackend backend = SortBackend::kRankOrdinal);
+
+/// Textbook NSGA-II over a box-bounded Problem.
+class Nsga2Optimizer {
+ public:
+  struct Config {
+    std::size_t population_size = 100;
+    std::size_t generations = 100;
+    double crossover_probability = 0.9;
+    double eta_crossover = 15.0;
+    double mutation_probability = -1.0;  // <0 -> 1/num_variables
+    double eta_mutation = 20.0;
+    std::uint64_t seed = 1;
+    SortBackend sort_backend = SortBackend::kRankOrdinal;
+  };
+
+  struct Solution {
+    std::vector<double> variables;
+    ObjectiveVector objectives;
+  };
+
+  Nsga2Optimizer(Problem problem, Config config);
+
+  /// Runs the full loop; returns the final population.
+  std::vector<Solution> run();
+
+  /// The first front of a finished run.
+  static std::vector<Solution> pareto_subset(const std::vector<Solution>& population);
+
+ private:
+  std::vector<double> sbx_child(const std::vector<double>& a,
+                                const std::vector<double>& b, util::Rng& rng) const;
+  void polynomial_mutation(std::vector<double>& x, util::Rng& rng) const;
+
+  Problem problem_;
+  Config config_;
+};
+
+}  // namespace dpho::moo

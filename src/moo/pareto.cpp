@@ -1,0 +1,66 @@
+#include "moo/pareto.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "moo/sorting.hpp"
+#include "util/error.hpp"
+
+namespace dpho::moo {
+
+std::vector<std::size_t> pareto_front_indices(
+    const std::vector<ObjectiveVector>& objectives) {
+  std::vector<std::size_t> front;
+  if (objectives.empty()) return front;
+  const FrontAssignment ranks = rank_ordinal_sort(objectives);
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    if (ranks[i] == 0) front.push_back(i);
+  }
+  return front;
+}
+
+double hypervolume_2d(const std::vector<ObjectiveVector>& front,
+                      const ObjectiveVector& reference) {
+  if (reference.size() != 2) throw util::ValueError("hypervolume_2d: 2 objectives only");
+  // Keep points strictly better than the reference in both objectives.
+  std::vector<ObjectiveVector> points;
+  for (const ObjectiveVector& p : front) {
+    if (p.size() != 2) throw util::ValueError("hypervolume_2d: 2 objectives only");
+    if (p[0] < reference[0] && p[1] < reference[1]) points.push_back(p);
+  }
+  if (points.empty()) return 0.0;
+  // Sort by f1 ascending; sweep keeping the best (lowest) f2 so far.
+  std::sort(points.begin(), points.end());
+  double volume = 0.0;
+  double prev_f2 = reference[1];
+  for (const ObjectiveVector& p : points) {
+    if (p[1] < prev_f2) {
+      volume += (reference[0] - p[0]) * (prev_f2 - p[1]);
+      prev_f2 = p[1];
+    }
+  }
+  return volume;
+}
+
+double igd(const std::vector<ObjectiveVector>& front,
+           const std::vector<ObjectiveVector>& reference_front) {
+  if (front.empty() || reference_front.empty()) {
+    throw util::ValueError("igd: empty fronts");
+  }
+  double total = 0.0;
+  for (const ObjectiveVector& ref : reference_front) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const ObjectiveVector& p : front) {
+      if (p.size() != ref.size()) throw util::ValueError("igd: dimension mismatch");
+      double ss = 0.0;
+      for (std::size_t k = 0; k < ref.size(); ++k) {
+        ss += (p[k] - ref[k]) * (p[k] - ref[k]);
+      }
+      best = std::min(best, ss);
+    }
+    total += std::sqrt(best);
+  }
+  return total / static_cast<double>(reference_front.size());
+}
+
+}  // namespace dpho::moo

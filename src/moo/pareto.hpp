@@ -1,0 +1,27 @@
+// Pareto-front utilities and quality indicators.
+#pragma once
+
+#include <vector>
+
+#include "moo/domination.hpp"
+
+namespace dpho::moo {
+
+/// Indices of the non-dominated solutions (the exact Pareto frontier of the
+/// given finite set), as used for Figure 2 / Table 2 of the paper.
+std::vector<std::size_t> pareto_front_indices(
+    const std::vector<ObjectiveVector>& objectives);
+
+/// Exact 2-D hypervolume dominated by `front` with respect to `reference`
+/// (both objectives minimized; points not dominating the reference are
+/// ignored).  Used to validate NSGA-II on the ZDT suite.
+double hypervolume_2d(const std::vector<ObjectiveVector>& front,
+                      const ObjectiveVector& reference);
+
+/// Inverted generational distance of `front` against `reference_front`
+/// (mean Euclidean distance from each reference point to its nearest
+/// solution).  Lower is better.
+double igd(const std::vector<ObjectiveVector>& front,
+           const std::vector<ObjectiveVector>& reference_front);
+
+}  // namespace dpho::moo

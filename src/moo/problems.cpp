@@ -1,0 +1,182 @@
+#include "moo/problems.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace dpho::moo {
+
+namespace {
+
+std::vector<ObjectiveVector> convex_front(std::size_t n) {
+  std::vector<ObjectiveVector> front;
+  front.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double f1 = static_cast<double>(i) / static_cast<double>(n - 1);
+    front.push_back({f1, 1.0 - std::sqrt(f1)});
+  }
+  return front;
+}
+
+std::vector<ObjectiveVector> concave_front(std::size_t n) {
+  std::vector<ObjectiveVector> front;
+  front.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double f1 = static_cast<double>(i) / static_cast<double>(n - 1);
+    front.push_back({f1, 1.0 - f1 * f1});
+  }
+  return front;
+}
+
+Problem zdt_base(std::string name, std::size_t num_variables) {
+  Problem p;
+  p.name = std::move(name);
+  p.num_variables = num_variables;
+  p.num_objectives = 2;
+  p.lower.assign(num_variables, 0.0);
+  p.upper.assign(num_variables, 1.0);
+  return p;
+}
+
+}  // namespace
+
+Problem zdt1(std::size_t num_variables) {
+  Problem p = zdt_base("ZDT1", num_variables);
+  p.evaluate = [num_variables](std::span<const double> x) -> ObjectiveVector {
+    double g = 0.0;
+    for (std::size_t i = 1; i < num_variables; ++i) g += x[i];
+    g = 1.0 + 9.0 * g / static_cast<double>(num_variables - 1);
+    const double f1 = x[0];
+    return {f1, g * (1.0 - std::sqrt(f1 / g))};
+  };
+  p.true_front = convex_front;
+  return p;
+}
+
+Problem zdt2(std::size_t num_variables) {
+  Problem p = zdt_base("ZDT2", num_variables);
+  p.evaluate = [num_variables](std::span<const double> x) -> ObjectiveVector {
+    double g = 0.0;
+    for (std::size_t i = 1; i < num_variables; ++i) g += x[i];
+    g = 1.0 + 9.0 * g / static_cast<double>(num_variables - 1);
+    const double f1 = x[0];
+    return {f1, g * (1.0 - (f1 / g) * (f1 / g))};
+  };
+  p.true_front = concave_front;
+  return p;
+}
+
+Problem zdt3(std::size_t num_variables) {
+  Problem p = zdt_base("ZDT3", num_variables);
+  p.evaluate = [num_variables](std::span<const double> x) -> ObjectiveVector {
+    double g = 0.0;
+    for (std::size_t i = 1; i < num_variables; ++i) g += x[i];
+    g = 1.0 + 9.0 * g / static_cast<double>(num_variables - 1);
+    const double f1 = x[0];
+    const double ratio = f1 / g;
+    return {f1, g * (1.0 - std::sqrt(ratio) -
+                     ratio * std::sin(10.0 * std::numbers::pi * f1))};
+  };
+  p.true_front = [](std::size_t n) {
+    // Dense sample filtered to the non-dominated part of the discontinuous front.
+    std::vector<ObjectiveVector> samples;
+    for (std::size_t i = 0; i < 20 * n; ++i) {
+      const double f1 = static_cast<double>(i) / static_cast<double>(20 * n - 1);
+      samples.push_back(
+          {f1, 1.0 - std::sqrt(f1) - f1 * std::sin(10.0 * std::numbers::pi * f1)});
+    }
+    std::vector<ObjectiveVector> front;
+    for (const auto& candidate : samples) {
+      bool dominated = false;
+      for (const auto& other : samples) {
+        if (dominates(other, candidate)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) front.push_back(candidate);
+    }
+    return front;
+  };
+  return p;
+}
+
+Problem zdt4(std::size_t num_variables) {
+  Problem p = zdt_base("ZDT4", num_variables);
+  p.lower.assign(num_variables, -5.0);
+  p.upper.assign(num_variables, 5.0);
+  p.lower[0] = 0.0;
+  p.upper[0] = 1.0;
+  p.evaluate = [num_variables](std::span<const double> x) -> ObjectiveVector {
+    double g = 1.0 + 10.0 * static_cast<double>(num_variables - 1);
+    for (std::size_t i = 1; i < num_variables; ++i) {
+      g += x[i] * x[i] - 10.0 * std::cos(4.0 * std::numbers::pi * x[i]);
+    }
+    const double f1 = x[0];
+    return {f1, g * (1.0 - std::sqrt(f1 / g))};
+  };
+  p.true_front = convex_front;
+  return p;
+}
+
+Problem zdt6(std::size_t num_variables) {
+  Problem p = zdt_base("ZDT6", num_variables);
+  p.evaluate = [num_variables](std::span<const double> x) -> ObjectiveVector {
+    const double f1 = 1.0 - std::exp(-4.0 * x[0]) *
+                                std::pow(std::sin(6.0 * std::numbers::pi * x[0]), 6);
+    double g = 0.0;
+    for (std::size_t i = 1; i < num_variables; ++i) g += x[i];
+    g = 1.0 + 9.0 * std::pow(g / static_cast<double>(num_variables - 1), 0.25);
+    return {f1, g * (1.0 - (f1 / g) * (f1 / g))};
+  };
+  p.true_front = [](std::size_t n) {
+    std::vector<ObjectiveVector> front;
+    for (std::size_t i = 0; i < n; ++i) {
+      // f1 range of ZDT6 starts at ~0.2807.
+      const double f1 = 0.2807753191 + (1.0 - 0.2807753191) * static_cast<double>(i) /
+                                           static_cast<double>(n - 1);
+      front.push_back({f1, 1.0 - f1 * f1});
+    }
+    return front;
+  };
+  return p;
+}
+
+Problem dtlz2(std::size_t num_variables, std::size_t num_objectives) {
+  if (num_objectives < 2 || num_variables < num_objectives) {
+    throw util::ValueError("dtlz2: need num_variables >= num_objectives >= 2");
+  }
+  Problem p;
+  p.name = "DTLZ2";
+  p.num_variables = num_variables;
+  p.num_objectives = num_objectives;
+  p.lower.assign(num_variables, 0.0);
+  p.upper.assign(num_variables, 1.0);
+  p.evaluate = [num_variables, num_objectives](
+                   std::span<const double> x) -> ObjectiveVector {
+    const std::size_t k = num_variables - num_objectives + 1;
+    double g = 0.0;
+    for (std::size_t i = num_variables - k; i < num_variables; ++i) {
+      g += (x[i] - 0.5) * (x[i] - 0.5);
+    }
+    ObjectiveVector f(num_objectives, 1.0 + g);
+    for (std::size_t i = 0; i < num_objectives; ++i) {
+      for (std::size_t j = 0; j + i + 1 < num_objectives; ++j) {
+        f[i] *= std::cos(x[j] * std::numbers::pi / 2.0);
+      }
+      if (i > 0) {
+        f[i] *= std::sin(x[num_objectives - i - 1] * std::numbers::pi / 2.0);
+      }
+    }
+    return f;
+  };
+  p.true_front = nullptr;  // 3-D front; tests use the unit-sphere property
+  return p;
+}
+
+std::vector<Problem> zdt_suite() {
+  return {zdt1(), zdt2(), zdt3(), zdt4(), zdt6()};
+}
+
+}  // namespace dpho::moo

@@ -1,0 +1,39 @@
+// Standard multiobjective benchmark problems (ZDT, DTLZ).
+//
+// Used to validate the NSGA-II engine against fronts with known geometry
+// before trusting it on the hyperparameter-optimization problem.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "moo/domination.hpp"
+
+namespace dpho::moo {
+
+/// A box-bounded multiobjective minimization problem.
+struct Problem {
+  std::string name;
+  std::size_t num_variables = 0;
+  std::size_t num_objectives = 2;
+  std::vector<double> lower;  // per-variable bounds
+  std::vector<double> upper;
+  std::function<ObjectiveVector(std::span<const double>)> evaluate;
+
+  /// Samples `n` points from the true Pareto front (2-objective problems).
+  std::function<std::vector<ObjectiveVector>(std::size_t)> true_front;
+};
+
+Problem zdt1(std::size_t num_variables = 30);
+Problem zdt2(std::size_t num_variables = 30);
+Problem zdt3(std::size_t num_variables = 30);
+Problem zdt4(std::size_t num_variables = 10);
+Problem zdt6(std::size_t num_variables = 10);
+Problem dtlz2(std::size_t num_variables = 12, std::size_t num_objectives = 3);
+
+/// All 2-objective problems above, for parameterized tests.
+std::vector<Problem> zdt_suite();
+
+}  // namespace dpho::moo

@@ -1,0 +1,157 @@
+#include "moo/sorting.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace dpho::moo {
+
+namespace {
+
+void check_rectangular(const std::vector<ObjectiveVector>& objectives) {
+  if (objectives.empty()) return;
+  const std::size_t m = objectives.front().size();
+  if (m == 0) throw util::ValueError("sorting: empty objective vectors");
+  for (const ObjectiveVector& row : objectives) {
+    if (row.size() != m) throw util::ValueError("sorting: ragged objective matrix");
+  }
+}
+
+}  // namespace
+
+FrontAssignment fast_nondominated_sort(const std::vector<ObjectiveVector>& objectives) {
+  check_rectangular(objectives);
+  const std::size_t n = objectives.size();
+  FrontAssignment rank(n, -1);
+  std::vector<std::vector<std::size_t>> dominated(n);
+  std::vector<int> domination_count(n, 0);
+  std::vector<std::size_t> current;
+
+  for (std::size_t p = 0; p < n; ++p) {
+    for (std::size_t q = p + 1; q < n; ++q) {
+      switch (compare(objectives[p], objectives[q])) {
+        case Dominance::kADominatesB:
+          dominated[p].push_back(q);
+          ++domination_count[q];
+          break;
+        case Dominance::kBDominatesA:
+          dominated[q].push_back(p);
+          ++domination_count[p];
+          break;
+        case Dominance::kNonDominated:
+        case Dominance::kEqual:
+          break;
+      }
+    }
+    if (domination_count[p] == 0) {
+      rank[p] = 0;
+      current.push_back(p);
+    }
+  }
+
+  int front = 0;
+  while (!current.empty()) {
+    std::vector<std::size_t> next;
+    for (std::size_t p : current) {
+      for (std::size_t q : dominated[p]) {
+        if (--domination_count[q] == 0) {
+          rank[q] = front + 1;
+          next.push_back(q);
+        }
+      }
+    }
+    ++front;
+    current = std::move(next);
+  }
+  return rank;
+}
+
+FrontAssignment rank_ordinal_sort(const std::vector<ObjectiveVector>& objectives) {
+  check_rectangular(objectives);
+  const std::size_t n = objectives.size();
+  FrontAssignment rank(n, -1);
+  if (n == 0) return rank;
+  const std::size_t m = objectives.front().size();
+
+  // 1. Compress every objective to ordinal ranks (equal values share a rank)
+  //    so all subsequent comparisons are on small integers.
+  std::vector<std::vector<std::size_t>> ordinal(n, std::vector<std::size_t>(m));
+  {
+    std::vector<std::size_t> order(n);
+    for (std::size_t obj = 0; obj < m; ++obj) {
+      std::iota(order.begin(), order.end(), 0);
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return objectives[a][obj] < objectives[b][obj];
+      });
+      std::size_t next_rank = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (i > 0 && objectives[order[i]][obj] != objectives[order[i - 1]][obj]) {
+          next_rank = i;
+        }
+        ordinal[order[i]][obj] = next_rank;
+      }
+    }
+  }
+
+  const auto dominates_ordinal = [&](std::size_t a, std::size_t b) {
+    bool strictly = false;
+    for (std::size_t obj = 0; obj < m; ++obj) {
+      if (ordinal[a][obj] > ordinal[b][obj]) return false;
+      if (ordinal[a][obj] < ordinal[b][obj]) strictly = true;
+    }
+    return strictly;
+  };
+
+  // 2. Process solutions in lexicographic order of their rank vectors: a
+  //    solution can only be dominated by solutions that precede it.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return ordinal[a] < ordinal[b];
+  });
+
+  // 3. Insert into fronts with a binary search over fronts (ENS-BS): if some
+  //    member of front k dominates s, then s is also dominated in every
+  //    earlier front, so the feasible fronts form a suffix.
+  std::vector<std::vector<std::size_t>> fronts;
+  const auto dominated_in_front = [&](std::size_t solution, std::size_t front) {
+    const auto& members = fronts[front];
+    for (auto it = members.rbegin(); it != members.rend(); ++it) {
+      if (dominates_ordinal(*it, solution)) return true;
+    }
+    return false;
+  };
+
+  for (std::size_t s : order) {
+    std::size_t lo = 0;
+    std::size_t hi = fronts.size();  // candidate front in [lo, hi]
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (dominated_in_front(s, mid)) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo == fronts.size()) fronts.emplace_back();
+    fronts[lo].push_back(s);
+    rank[s] = static_cast<int>(lo);
+  }
+  return rank;
+}
+
+Fronts group_fronts(const FrontAssignment& assignment) {
+  Fronts fronts;
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    const int f = assignment[i];
+    if (f < 0) throw util::ValueError("group_fronts: unassigned solution");
+    if (static_cast<std::size_t>(f) >= fronts.size()) {
+      fronts.resize(static_cast<std::size_t>(f) + 1);
+    }
+    fronts[static_cast<std::size_t>(f)].push_back(i);
+  }
+  return fronts;
+}
+
+}  // namespace dpho::moo

@@ -1,0 +1,34 @@
+// Activation functions tunable by the hyperparameter search.
+//
+// The paper's genome selects the descriptor-network and fitting-network
+// activation functions from {"relu", "relu6", "softplus", "sigmoid", "tanh"}
+// (section 2.2.1).  Every one of them is implemented for both plain doubles
+// (fast inference) and tape variables (training with autodiff).
+#pragma once
+
+#include <string>
+
+#include "ad/tape.hpp"
+
+namespace dpho::nn {
+
+enum class Activation { kRelu, kRelu6, kSoftplus, kSigmoid, kTanh, kIdentity };
+
+/// The five candidate activations, in the genome's decode order.
+inline constexpr Activation kCandidateActivations[] = {
+    Activation::kRelu, Activation::kRelu6, Activation::kSoftplus,
+    Activation::kSigmoid, Activation::kTanh};
+inline constexpr int kNumCandidateActivations = 5;
+
+/// Parses "relu"/"relu6"/"softplus"/"sigmoid"/"tanh"/"identity"; throws
+/// ValueError otherwise.
+Activation activation_from_string(const std::string& name);
+std::string to_string(Activation activation);
+
+double apply(Activation activation, double x);
+ad::Var apply(Activation activation, ad::Var x);
+
+/// Analytical first derivative (for the double-based fast path's tests).
+double derivative(Activation activation, double x);
+
+}  // namespace dpho::nn

@@ -1,0 +1,104 @@
+#include "nn/mlp.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dpho::nn {
+
+Mlp::Mlp(std::size_t input_width, const std::vector<std::size_t>& widths,
+         Activation hidden_activation, Activation output_activation) {
+  if (input_width == 0) throw util::ValueError("mlp input width must be positive");
+  if (widths.empty()) throw util::ValueError("mlp needs at least one layer");
+  std::size_t in = input_width;
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    const bool last = (i + 1 == widths.size());
+    layers_.push_back(LayerSpec{in, widths[i], last ? output_activation : hidden_activation});
+    in = widths[i];
+  }
+  std::size_t total = 0;
+  for (const LayerSpec& layer : layers_) total += layer.in * layer.out + layer.out;
+  params_.assign(total, 0.0);
+}
+
+void Mlp::init_xavier(util::Rng& rng) {
+  std::size_t offset = 0;
+  for (const LayerSpec& layer : layers_) {
+    const double bound = std::sqrt(6.0 / static_cast<double>(layer.in + layer.out));
+    for (std::size_t i = 0; i < layer.in * layer.out; ++i) {
+      params_[offset + i] = rng.uniform(-bound, bound);
+    }
+    offset += layer.in * layer.out;
+    for (std::size_t i = 0; i < layer.out; ++i) params_[offset + i] = 0.0;
+    offset += layer.out;
+  }
+}
+
+std::size_t Mlp::input_width() const { return layers_.front().in; }
+
+std::size_t Mlp::output_width() const { return layers_.back().out; }
+
+std::vector<double> Mlp::forward(std::span<const double> x) const {
+  if (x.size() != input_width()) throw util::ValueError("mlp forward: bad input width");
+  std::vector<double> current(x.begin(), x.end());
+  std::vector<double> next;
+  std::size_t offset = 0;
+  for (const LayerSpec& layer : layers_) {
+    next.assign(layer.out, 0.0);
+    const double* weights = params_.data() + offset;
+    const double* biases = params_.data() + offset + layer.in * layer.out;
+    for (std::size_t o = 0; o < layer.out; ++o) {
+      double sum = biases[o];
+      const double* row = weights + o * layer.in;
+      for (std::size_t i = 0; i < layer.in; ++i) sum += row[i] * current[i];
+      next[o] = apply(layer.activation, sum);
+    }
+    current.swap(next);
+    offset += layer.in * layer.out + layer.out;
+  }
+  return current;
+}
+
+std::vector<ad::Var> Mlp::bind_params(ad::Tape& tape) const {
+  std::vector<ad::Var> bound;
+  bound.reserve(params_.size());
+  for (double p : params_) bound.push_back(tape.input(p));
+  return bound;
+}
+
+std::vector<ad::Var> Mlp::forward(ad::Tape& tape, std::span<const ad::Var> bound_params,
+                                  std::span<const ad::Var> x) const {
+  if (bound_params.size() != params_.size()) {
+    throw util::ValueError("mlp forward: bound parameter count mismatch");
+  }
+  if (x.size() != input_width()) throw util::ValueError("mlp forward: bad input width");
+  std::vector<ad::Var> current(x.begin(), x.end());
+  std::vector<ad::Var> next;
+  std::size_t offset = 0;
+  for (const LayerSpec& layer : layers_) {
+    next.clear();
+    next.reserve(layer.out);
+    const auto weights = bound_params.subspan(offset, layer.in * layer.out);
+    const auto biases = bound_params.subspan(offset + layer.in * layer.out, layer.out);
+    for (std::size_t o = 0; o < layer.out; ++o) {
+      ad::Var sum = biases[o];
+      for (std::size_t i = 0; i < layer.in; ++i) {
+        sum = sum + weights[o * layer.in + i] * current[i];
+      }
+      next.push_back(apply(layer.activation, sum));
+    }
+    current.swap(next);
+    offset += layer.in * layer.out + layer.out;
+  }
+  (void)tape;
+  return current;
+}
+
+void Mlp::load_params(std::span<const double> params) {
+  if (params.size() != params_.size()) {
+    throw util::ValueError("mlp load: parameter count mismatch");
+  }
+  params_.assign(params.begin(), params.end());
+}
+
+}  // namespace dpho::nn

@@ -1,0 +1,42 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dpho::nn {
+
+void Sgd::step(std::span<double> params, std::span<const double> grad, double lr) {
+  if (params.size() != num_params_ || grad.size() != num_params_) {
+    throw util::ValueError("sgd: size mismatch");
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) params[i] -= lr * grad[i];
+}
+
+Adam::Adam(std::size_t num_params, double beta1, double beta2, double epsilon)
+    : beta1_(beta1), beta2_(beta2), epsilon_(epsilon), m_(num_params, 0.0),
+      v_(num_params, 0.0) {}
+
+void Adam::step(std::span<double> params, std::span<const double> grad, double lr) {
+  if (params.size() != m_.size() || grad.size() != m_.size()) {
+    throw util::ValueError("adam: size mismatch");
+  }
+  ++t_;
+  const double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    m_[i] = beta1_ * m_[i] + (1.0 - beta1_) * grad[i];
+    v_[i] = beta2_ * v_[i] + (1.0 - beta2_) * grad[i] * grad[i];
+    const double m_hat = m_[i] / bias1;
+    const double v_hat = v_[i] / bias2;
+    params[i] -= lr * m_hat / (std::sqrt(v_hat) + epsilon_);
+  }
+}
+
+void Adam::reset() {
+  m_.assign(m_.size(), 0.0);
+  v_.assign(v_.size(), 0.0);
+  t_ = 0;
+}
+
+}  // namespace dpho::nn

@@ -1,0 +1,41 @@
+// First-order optimizers over a flat parameter vector.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace dpho::nn {
+
+/// Plain stochastic gradient descent.
+class Sgd {
+ public:
+  explicit Sgd(std::size_t num_params) : num_params_(num_params) {}
+
+  /// params -= lr * grad
+  void step(std::span<double> params, std::span<const double> grad, double lr);
+
+ private:
+  std::size_t num_params_;
+};
+
+/// Adam (Kingma & Ba 2015), the optimizer DeePMD-kit trains with.
+class Adam {
+ public:
+  explicit Adam(std::size_t num_params, double beta1 = 0.9, double beta2 = 0.999,
+                double epsilon = 1e-8);
+
+  /// One update with the given (externally scheduled) learning rate.
+  void step(std::span<double> params, std::span<const double> grad, double lr);
+
+  /// Resets the moment estimates and timestep.
+  void reset();
+
+  std::size_t timestep() const { return t_; }
+
+ private:
+  double beta1_, beta2_, epsilon_;
+  std::vector<double> m_, v_;
+  std::size_t t_ = 0;
+};
+
+}  // namespace dpho::nn

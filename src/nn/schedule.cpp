@@ -1,0 +1,60 @@
+#include "nn/schedule.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dpho::nn {
+
+LrScaling lr_scaling_from_string(const std::string& name) {
+  if (name == "linear") return LrScaling::kLinear;
+  if (name == "sqrt") return LrScaling::kSqrt;
+  if (name == "none") return LrScaling::kNone;
+  throw util::ValueError("unknown lr scaling: " + name);
+}
+
+std::string to_string(LrScaling scaling) {
+  switch (scaling) {
+    case LrScaling::kLinear: return "linear";
+    case LrScaling::kSqrt: return "sqrt";
+    case LrScaling::kNone: return "none";
+  }
+  throw util::ValueError("invalid lr scaling enum");
+}
+
+double scaling_factor(LrScaling scaling, std::size_t num_workers) {
+  if (num_workers == 0) throw util::ValueError("scaling_factor: zero workers");
+  switch (scaling) {
+    case LrScaling::kLinear: return static_cast<double>(num_workers);
+    case LrScaling::kSqrt: return std::sqrt(static_cast<double>(num_workers));
+    case LrScaling::kNone: return 1.0;
+  }
+  throw util::ValueError("invalid lr scaling enum");
+}
+
+ExponentialDecay::ExponentialDecay(double start_lr, double stop_lr,
+                                   std::size_t total_steps, std::size_t decay_steps,
+                                   bool staircase)
+    : start_lr_(start_lr), stop_lr_(stop_lr), staircase_(staircase) {
+  if (start_lr <= 0.0 || stop_lr <= 0.0) {
+    throw util::ValueError("learning rates must be positive");
+  }
+  if (total_steps == 0) throw util::ValueError("total_steps must be positive");
+  if (decay_steps == 0) {
+    // DeePMD default heuristic: about 100 decays over the run, at least 1 step.
+    decay_steps = total_steps / 100;
+    if (decay_steps == 0) decay_steps = 1;
+  }
+  decay_steps_ = decay_steps;
+  const double exponent =
+      static_cast<double>(decay_steps_) / static_cast<double>(total_steps);
+  rate_ = std::pow(stop_lr_ / start_lr_, exponent);
+}
+
+double ExponentialDecay::lr(std::size_t step) const {
+  double cycles = static_cast<double>(step) / static_cast<double>(decay_steps_);
+  if (staircase_) cycles = std::floor(cycles);
+  return start_lr_ * std::pow(rate_, cycles);
+}
+
+}  // namespace dpho::nn

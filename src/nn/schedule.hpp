@@ -1,0 +1,71 @@
+// Learning-rate schedules and the DeePMD loss-prefactor schedule.
+//
+// DeePMD-kit decays the learning rate exponentially from start_lr toward
+// stop_lr over the training-step budget, and couples the energy/force loss
+// prefactors to that decay: the force prefactor dominates early and decays
+// toward its limit, while the energy prefactor grows (paper section 2.2.1).
+//
+// The hyperparameter search also tunes `scale_by_worker`, the function used
+// to scale the starting learning rate by the number of data-parallel workers
+// (Horovod ranks / GPUs): one of {"linear", "sqrt", "none"}.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace dpho::nn {
+
+/// Learning-rate scaling scheme for distributed data-parallel training.
+enum class LrScaling { kLinear, kSqrt, kNone };
+
+/// Decode order used by the genome: {"linear", "sqrt", "none"}.
+inline constexpr LrScaling kCandidateScalings[] = {LrScaling::kLinear, LrScaling::kSqrt,
+                                                   LrScaling::kNone};
+inline constexpr int kNumCandidateScalings = 3;
+
+LrScaling lr_scaling_from_string(const std::string& name);
+std::string to_string(LrScaling scaling);
+
+/// Multiplier applied to start_lr for `num_workers` data-parallel workers.
+double scaling_factor(LrScaling scaling, std::size_t num_workers);
+
+/// Exponential decay: lr(step) = start * rate^(step/decay_steps), with rate
+/// chosen so lr(total_steps) == stop.  `staircase` floors the exponent like
+/// TensorFlow's exponential_decay(staircase=True), which DeePMD-kit uses.
+class ExponentialDecay {
+ public:
+  ExponentialDecay(double start_lr, double stop_lr, std::size_t total_steps,
+                   std::size_t decay_steps = 0, bool staircase = true);
+
+  double lr(std::size_t step) const;
+  double start_lr() const { return start_lr_; }
+  double stop_lr() const { return stop_lr_; }
+  double decay_rate() const { return rate_; }
+  std::size_t decay_steps() const { return decay_steps_; }
+
+ private:
+  double start_lr_;
+  double stop_lr_;
+  double rate_;
+  std::size_t decay_steps_;
+  bool staircase_;
+};
+
+/// DeePMD loss prefactors: pref(t) = limit*(1 - lr(t)/lr0) + start*(lr(t)/lr0).
+class LossPrefactorSchedule {
+ public:
+  LossPrefactorSchedule(double start_pref, double limit_pref)
+      : start_(start_pref), limit_(limit_pref) {}
+
+  /// `lr_ratio` = lr(step) / lr(0), in (0, 1].
+  double at(double lr_ratio) const { return limit_ * (1.0 - lr_ratio) + start_ * lr_ratio; }
+
+  double start_pref() const { return start_; }
+  double limit_pref() const { return limit_; }
+
+ private:
+  double start_;
+  double limit_;
+};
+
+}  // namespace dpho::nn

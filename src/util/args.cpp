@@ -1,0 +1,90 @@
+#include "util/args.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace dpho::util {
+
+ArgParser& ArgParser::add_flag(const std::string& name, const std::string& help,
+                               bool takes_value) {
+  if (name.rfind("--", 0) != 0) throw ValueError("flags must start with --");
+  specs_[name] = Spec{help, takes_value};
+  return *this;
+}
+
+void ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(token));
+      continue;
+    }
+    std::string name = token;
+    std::optional<std::string> inline_value;
+    const std::size_t equals = token.find('=');
+    if (equals != std::string::npos) {
+      name = token.substr(0, equals);
+      inline_value = token.substr(equals + 1);
+    }
+    const auto spec = specs_.find(name);
+    if (spec == specs_.end()) throw ParseError("unknown flag: " + name);
+    if (!spec->second.takes_value) {
+      if (inline_value) throw ParseError("flag takes no value: " + name);
+      values_[name] = "1";
+      continue;
+    }
+    if (inline_value) {
+      values_[name] = *inline_value;
+    } else {
+      if (i + 1 >= argc) throw ParseError("missing value for " + name);
+      values_[name] = argv[++i];
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& name) const { return values_.contains(name); }
+
+std::string ArgParser::get(const std::string& name, const std::string& fallback) const {
+  const auto found = values_.find(name);
+  return found == values_.end() ? fallback : found->second;
+}
+
+double ArgParser::get(const std::string& name, double fallback) const {
+  const auto found = values_.find(name);
+  if (found == values_.end()) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(found->second.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    throw ParseError("flag " + name + " expects a number, got " + found->second);
+  }
+  return value;
+}
+
+std::int64_t ArgParser::get(const std::string& name, std::int64_t fallback) const {
+  const auto found = values_.find(name);
+  if (found == values_.end()) return fallback;
+  char* end = nullptr;
+  const long long value = std::strtoll(found->second.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    throw ParseError("flag " + name + " expects an integer, got " + found->second);
+  }
+  return value;
+}
+
+std::string ArgParser::usage(const std::string& program) const {
+  std::ostringstream out;
+  out << "usage: " << program;
+  for (const auto& [name, spec] : specs_) {
+    out << " [" << name << (spec.takes_value ? " <value>" : "") << "]";
+  }
+  out << "\n";
+  for (const auto& [name, spec] : specs_) {
+    out << "  " << name << (spec.takes_value ? " <value>" : "") << "  " << spec.help
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace dpho::util

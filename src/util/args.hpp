@@ -1,0 +1,44 @@
+// Minimal command-line flag parser for the tools and examples.
+//
+// Supports "--name value", "--name=value", bare "--flag" booleans, and
+// positional arguments, with typed accessors and a generated usage string.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dpho::util {
+
+class ArgParser {
+ public:
+  /// Declares a flag; `help` feeds usage(). Declare before parse().
+  ArgParser& add_flag(const std::string& name, const std::string& help,
+                      bool takes_value = true);
+
+  /// Parses argv; throws ParseError on unknown flags or missing values.
+  void parse(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback) const;
+  double get(const std::string& name, double fallback) const;
+  std::int64_t get(const std::string& name, std::int64_t fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// "usage: <program> [--flag ...]" plus one line per declared flag.
+  std::string usage(const std::string& program) const;
+
+ private:
+  struct Spec {
+    std::string help;
+    bool takes_value = true;
+  };
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dpho::util

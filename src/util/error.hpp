@@ -1,0 +1,39 @@
+// Common exception hierarchy for the dpho library.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dpho::util {
+
+/// Base class for every error thrown by dpho code.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed input (bad JSON, bad template, bad config value).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+/// A value violated a documented precondition.
+class ValueError : public Error {
+ public:
+  explicit ValueError(const std::string& what) : Error("value error: " + what) {}
+};
+
+/// I/O failure (missing file, unwritable directory, ...).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error("io error: " + what) {}
+};
+
+/// A simulated or real evaluation exceeded its wall-clock budget.
+class TimeoutError : public Error {
+ public:
+  explicit TimeoutError(const std::string& what) : Error("timeout: " + what) {}
+};
+
+}  // namespace dpho::util

@@ -1,0 +1,55 @@
+#include "util/fs.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace dpho::util {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open for reading: " + path.string());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const fs::path& path, const std::string& contents) {
+  if (path.has_parent_path()) fs::create_directories(path.parent_path());
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw IoError("cannot open for writing: " + path.string());
+  out << contents;
+  if (!out) throw IoError("short write: " + path.string());
+}
+
+fs::path make_run_dir(const fs::path& base, const std::string& name) {
+  const fs::path dir = base / name;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) throw IoError("cannot create run dir " + dir.string() + ": " + ec.message());
+  return dir;
+}
+
+namespace {
+std::atomic<unsigned> g_tempdir_counter{0};
+}
+
+TempDir::TempDir(const std::string& prefix) {
+  const unsigned id = g_tempdir_counter.fetch_add(1);
+  path_ = fs::temp_directory_path() /
+          (prefix + "-" + std::to_string(::getpid()) + "-" + std::to_string(id));
+  fs::create_directories(path_);
+}
+
+TempDir::~TempDir() {
+  std::error_code ec;
+  fs::remove_all(path_, ec);  // best effort; never throw from a destructor
+}
+
+}  // namespace dpho::util

@@ -1,0 +1,77 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// All stochastic components of dpho take an explicit 64-bit seed so that
+// experiments ("Summit runs") are bit-for-bit reproducible.  The generator is
+// xoshiro256++ seeded through splitmix64, which is fast, high quality, and
+// trivially portable -- no dependence on the standard library's unspecified
+// distribution algorithms for the distributions we implement ourselves.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace dpho::util {
+
+/// xoshiro256++ engine with convenience distributions.
+///
+/// Satisfies UniformRandomBitGenerator so it can also be handed to
+/// std::shuffle and friends.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a single 64-bit seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  /// Next raw 64-bit value.
+  result_type operator()();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box-Muller (cached pair).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Index in [0, weights.size()) drawn proportionally to weights.
+  std::size_t categorical(const std::vector<double>& weights);
+
+  /// Derive an independent child generator; stream `i` is decorrelated from
+  /// stream `j` for i != j and from the parent.
+  Rng spawn(std::uint64_t stream);
+
+  /// Fisher-Yates shuffle of an index range [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+  std::uint64_t seed_ = 0;  // retained for spawn()
+};
+
+/// splitmix64 step; exposed for hashing genomes into per-evaluation seeds.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Stateless one-shot mix of a value (useful to hash several ids together).
+std::uint64_t hash_mix(std::uint64_t value);
+
+/// Combine two hashes into one (order-dependent).
+std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b);
+
+}  // namespace dpho::util

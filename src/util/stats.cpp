@@ -1,0 +1,120 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace dpho::util {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double total = 0.0;
+  for (double x : xs) total += x;
+  return total / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return ss / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) throw ValueError("quantile of empty sample");
+  if (q < 0.0 || q > 1.0) throw ValueError("quantile q must be in [0,1]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - std::floor(pos);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::span<const double> xs) {
+  if (xs.empty()) throw ValueError("summarize of empty sample");
+  Summary s;
+  s.count = xs.size();
+  s.mean = mean(xs);
+  s.stddev = stddev(xs);
+  s.min = *std::min_element(xs.begin(), xs.end());
+  s.max = *std::max_element(xs.begin(), xs.end());
+  s.median = quantile(xs, 0.5);
+  s.q25 = quantile(xs, 0.25);
+  s.q75 = quantile(xs, 0.75);
+  return s;
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size()) throw ValueError("pearson requires equal-length samples");
+  if (xs.size() < 2) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+Histogram2d::Histogram2d(double x_lo, double x_hi, std::size_t x_bins, double y_lo,
+                         double y_hi, std::size_t y_bins)
+    : x_lo_(x_lo), x_hi_(x_hi), y_lo_(y_lo), y_hi_(y_hi), x_bins_(x_bins),
+      y_bins_(y_bins), counts_(x_bins * y_bins, 0) {
+  if (x_bins == 0 || y_bins == 0) throw ValueError("histogram needs at least one bin");
+  if (!(x_lo < x_hi) || !(y_lo < y_hi)) throw ValueError("histogram bounds inverted");
+}
+
+void Histogram2d::add(double x, double y) {
+  ++total_;
+  if (x < x_lo_ || x >= x_hi_ || y < y_lo_ || y >= y_hi_) {
+    ++overflow_;
+    return;
+  }
+  const auto xi = static_cast<std::size_t>((x - x_lo_) / (x_hi_ - x_lo_) *
+                                           static_cast<double>(x_bins_));
+  const auto yi = static_cast<std::size_t>((y - y_lo_) / (y_hi_ - y_lo_) *
+                                           static_cast<double>(y_bins_));
+  ++counts_[std::min(yi, y_bins_ - 1) * x_bins_ + std::min(xi, x_bins_ - 1)];
+}
+
+std::size_t Histogram2d::at(std::size_t xi, std::size_t yi) const {
+  if (xi >= x_bins_ || yi >= y_bins_) throw ValueError("histogram index out of range");
+  return counts_[yi * x_bins_ + xi];
+}
+
+std::string Histogram2d::render() const {
+  static const char kRamp[] = " .:-=+*%@#";
+  std::size_t peak = 0;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  out.reserve((x_bins_ + 1) * y_bins_);
+  // Render with y increasing upward, matching a conventional scatter plot.
+  for (std::size_t row = y_bins_; row-- > 0;) {
+    for (std::size_t col = 0; col < x_bins_; ++col) {
+      const std::size_t c = at(col, row);
+      if (peak == 0 || c == 0) {
+        out.push_back(kRamp[0]);
+      } else {
+        const std::size_t level =
+            1 + (c - 1) * (sizeof(kRamp) - 3) / std::max<std::size_t>(peak, 1);
+        out.push_back(kRamp[std::min<std::size_t>(level, sizeof(kRamp) - 2)]);
+      }
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace dpho::util

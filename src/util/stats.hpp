@@ -1,0 +1,62 @@
+// Descriptive statistics used by the analysis and benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dpho::util {
+
+/// Summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n-1), 0 for n < 2
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double q25 = 0.0;
+  double q75 = 0.0;
+};
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);  // sample variance, 0 for n < 2
+double stddev(std::span<const double> xs);
+
+/// Linear-interpolated quantile, q in [0,1]; throws ValueError on empty input.
+double quantile(std::span<const double> xs, double q);
+
+/// Full summary; throws ValueError on empty input.
+Summary summarize(std::span<const double> xs);
+
+/// Pearson correlation; returns 0 when either side is constant.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Fixed-bin 2-D histogram, used to print the Figure-1 style level plots.
+class Histogram2d {
+ public:
+  Histogram2d(double x_lo, double x_hi, std::size_t x_bins, double y_lo, double y_hi,
+              std::size_t y_bins);
+
+  /// Adds a point; out-of-range points are counted in `overflow()`.
+  void add(double x, double y);
+
+  std::size_t at(std::size_t xi, std::size_t yi) const;
+  std::size_t x_bins() const { return x_bins_; }
+  std::size_t y_bins() const { return y_bins_; }
+  std::size_t total() const { return total_; }
+  std::size_t overflow() const { return overflow_; }
+
+  /// Renders a coarse character-art level plot (highest density = '#').
+  std::string render() const;
+
+ private:
+  double x_lo_, x_hi_, y_lo_, y_hi_;
+  std::size_t x_bins_, y_bins_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  std::size_t overflow_ = 0;
+};
+
+}  // namespace dpho::util

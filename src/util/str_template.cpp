@@ -1,0 +1,129 @@
+#include "util/str_template.hpp"
+
+#include <cctype>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace dpho::util {
+
+namespace {
+
+bool is_identifier_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_identifier_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+std::string StrTemplate::render(const std::map<std::string, std::string>& mapping,
+                                bool strict) const {
+  std::string out;
+  out.reserve(text_.size());
+  for (std::size_t i = 0; i < text_.size();) {
+    const char c = text_[i];
+    if (c != '$') {
+      out.push_back(c);
+      ++i;
+      continue;
+    }
+    if (i + 1 >= text_.size()) {
+      if (strict) throw ParseError("dangling '$' at end of template");
+      out.push_back('$');
+      break;
+    }
+    const char next = text_[i + 1];
+    if (next == '$') {  // $$ -> literal $
+      out.push_back('$');
+      i += 2;
+      continue;
+    }
+    std::string name;
+    std::size_t consumed = 0;
+    if (next == '{') {
+      const std::size_t close = text_.find('}', i + 2);
+      if (close == std::string::npos) {
+        if (strict) throw ParseError("unterminated '${' placeholder");
+        out.push_back('$');
+        ++i;
+        continue;
+      }
+      name = text_.substr(i + 2, close - (i + 2));
+      consumed = close - i + 1;
+    } else if (is_identifier_start(next)) {
+      std::size_t end = i + 1;
+      while (end < text_.size() && is_identifier_char(text_[end])) ++end;
+      name = text_.substr(i + 1, end - (i + 1));
+      consumed = end - i;
+    } else {
+      if (strict) throw ParseError("invalid placeholder after '$'");
+      out.push_back('$');
+      ++i;
+      continue;
+    }
+    const auto found = mapping.find(name);
+    if (found != mapping.end()) {
+      out += found->second;
+    } else if (strict) {
+      throw ParseError("no substitution for placeholder '" + name + "'");
+    } else {
+      out += text_.substr(i, consumed);
+    }
+    i += consumed;
+  }
+  return out;
+}
+
+std::string StrTemplate::substitute(
+    const std::map<std::string, std::string>& mapping) const {
+  return render(mapping, /*strict=*/true);
+}
+
+std::string StrTemplate::safe_substitute(
+    const std::map<std::string, std::string>& mapping) const {
+  return render(mapping, /*strict=*/false);
+}
+
+std::vector<std::string> StrTemplate::placeholders() const {
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < text_.size();) {
+    if (text_[i] != '$' || i + 1 >= text_.size()) {
+      ++i;
+      continue;
+    }
+    const char next = text_[i + 1];
+    if (next == '$') {
+      i += 2;
+      continue;
+    }
+    std::string name;
+    if (next == '{') {
+      const std::size_t close = text_.find('}', i + 2);
+      if (close == std::string::npos) break;
+      name = text_.substr(i + 2, close - (i + 2));
+      i = close + 1;
+    } else if (is_identifier_start(next)) {
+      std::size_t end = i + 1;
+      while (end < text_.size() && is_identifier_char(text_[end])) ++end;
+      name = text_.substr(i + 1, end - (i + 1));
+      i = end;
+    } else {
+      ++i;
+      continue;
+    }
+    bool seen = false;
+    for (const auto& existing : names) {
+      if (existing == name) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace dpho::util

@@ -1,0 +1,36 @@
+// Python string.Template-style substitution.
+//
+// The evaluation workflow reads a JSON-formatted input template and performs
+// variable substitution with decoded gene values (paper section 2.2.4 step 3b),
+// mirroring Python's string.Template: `$name`, `${name}`, and `$$` escape.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dpho::util {
+
+/// A parsed substitution template.
+class StrTemplate {
+ public:
+  explicit StrTemplate(std::string text) : text_(std::move(text)) {}
+
+  /// Substitutes every placeholder; throws ParseError when a placeholder has
+  /// no mapping (like Template.substitute).
+  std::string substitute(const std::map<std::string, std::string>& mapping) const;
+
+  /// Substitutes known placeholders and leaves unknown ones untouched
+  /// (like Template.safe_substitute).
+  std::string safe_substitute(const std::map<std::string, std::string>& mapping) const;
+
+  /// Placeholder identifiers appearing in the template, in order of first use.
+  std::vector<std::string> placeholders() const;
+
+ private:
+  std::string render(const std::map<std::string, std::string>& mapping, bool strict) const;
+
+  std::string text_;
+};
+
+}  // namespace dpho::util

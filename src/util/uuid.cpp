@@ -1,0 +1,73 @@
+#include "util/uuid.hpp"
+
+#include <cctype>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dpho::util {
+
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+Uuid Uuid::random(Rng& rng) {
+  Uuid id;
+  for (std::size_t i = 0; i < 16; i += 8) {
+    const std::uint64_t word = rng();
+    for (std::size_t b = 0; b < 8; ++b) {
+      id.bytes_[i + b] = static_cast<std::uint8_t>(word >> (8 * b));
+    }
+  }
+  id.bytes_[6] = static_cast<std::uint8_t>((id.bytes_[6] & 0x0f) | 0x40);  // version 4
+  id.bytes_[8] = static_cast<std::uint8_t>((id.bytes_[8] & 0x3f) | 0x80);  // variant 1
+  return id;
+}
+
+Uuid Uuid::parse(const std::string& text) {
+  if (text.size() != 36) throw ParseError("uuid must be 36 chars: " + text);
+  Uuid id;
+  std::size_t byte = 0;
+  for (std::size_t i = 0; i < text.size();) {
+    if (i == 8 || i == 13 || i == 18 || i == 23) {
+      if (text[i] != '-') throw ParseError("uuid missing '-' at position " + std::to_string(i));
+      ++i;
+      continue;
+    }
+    const int hi = hex_value(text[i]);
+    const int lo = hex_value(text[i + 1]);
+    if (hi < 0 || lo < 0) throw ParseError("uuid has non-hex digit: " + text);
+    id.bytes_[byte++] = static_cast<std::uint8_t>((hi << 4) | lo);
+    i += 2;
+  }
+  return id;
+}
+
+std::string Uuid::str() const {
+  std::string out;
+  out.reserve(36);
+  for (std::size_t i = 0; i < 16; ++i) {
+    if (i == 4 || i == 6 || i == 8 || i == 10) out.push_back('-');
+    out.push_back(kHexDigits[bytes_[i] >> 4]);
+    out.push_back(kHexDigits[bytes_[i] & 0x0f]);
+  }
+  return out;
+}
+
+bool Uuid::is_nil() const {
+  for (auto b : bytes_) {
+    if (b != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace dpho::util

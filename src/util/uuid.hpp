@@ -1,0 +1,39 @@
+// RFC-4122 version-4 UUIDs.
+//
+// Each EA individual receives a UUID on creation; the evaluation workflow
+// creates a per-individual run directory named after it (paper section 2.2.4).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace dpho::util {
+
+class Rng;
+
+/// 128-bit version-4 UUID.
+class Uuid {
+ public:
+  /// The nil UUID (all zero).
+  Uuid() = default;
+
+  /// Draws a random version-4 UUID from the given generator.
+  static Uuid random(Rng& rng);
+
+  /// Parses the canonical 8-4-4-4-12 hex form; throws ParseError otherwise.
+  static Uuid parse(const std::string& text);
+
+  /// Canonical lowercase 8-4-4-4-12 representation.
+  std::string str() const;
+
+  bool is_nil() const;
+
+  friend bool operator==(const Uuid&, const Uuid&) = default;
+  friend auto operator<=>(const Uuid&, const Uuid&) = default;
+
+ private:
+  std::array<std::uint8_t, 16> bytes_{};
+};
+
+}  // namespace dpho::util

@@ -1,0 +1,144 @@
+// Grad-of-grad: the capability the force-training loss depends on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ad/tape.hpp"
+
+namespace dpho::ad {
+namespace {
+
+TEST(HigherOrder, SecondDerivativeOfCube) {
+  Tape tape;
+  const Var x = tape.input(2.0);
+  const Var y = x * x * x;
+  const Var dy = tape.gradient(y, {x})[0];
+  EXPECT_DOUBLE_EQ(dy.value(), 12.0);  // 3x^2
+  const Var d2y = tape.gradient(dy, {x})[0];
+  EXPECT_DOUBLE_EQ(d2y.value(), 12.0);  // 6x
+  const Var d3y = tape.gradient(d2y, {x})[0];
+  EXPECT_DOUBLE_EQ(d3y.value(), 6.0);
+  const Var d4y = tape.gradient(d3y, {x})[0];
+  EXPECT_DOUBLE_EQ(d4y.value(), 0.0);
+}
+
+TEST(HigherOrder, SecondDerivativeOfTanh) {
+  const double x0 = 0.7;
+  Tape tape;
+  const Var x = tape.input(x0);
+  const Var y = tanh(x);
+  const Var dy = tape.gradient(y, {x})[0];
+  const Var d2y = tape.gradient(dy, {x})[0];
+  const double t = std::tanh(x0);
+  EXPECT_NEAR(dy.value(), 1.0 - t * t, 1e-12);
+  EXPECT_NEAR(d2y.value(), -2.0 * t * (1.0 - t * t), 1e-12);
+}
+
+TEST(HigherOrder, SecondDerivativeOfExpAndLog) {
+  Tape tape;
+  const Var x = tape.input(1.3);
+  const Var y = exp(x) + log(x);
+  const Var dy = tape.gradient(y, {x})[0];
+  const Var d2y = tape.gradient(dy, {x})[0];
+  EXPECT_NEAR(d2y.value(), std::exp(1.3) - 1.0 / (1.3 * 1.3), 1e-10);
+}
+
+TEST(HigherOrder, MixedPartials) {
+  // f = x^2 y + y^3; d2f/dxdy = 2x; d2f/dy2 = 6y.
+  Tape tape;
+  const Var x = tape.input(1.5);
+  const Var y = tape.input(-0.5);
+  const Var f = x * x * y + y * y * y;
+  const std::vector<Var> g = tape.gradient(f, {x, y});
+  const Var dfdx = g[0];
+  const Var dfdy = g[1];
+  EXPECT_NEAR(tape.gradient(dfdx, {y})[0].value(), 2.0 * 1.5, 1e-12);
+  EXPECT_NEAR(tape.gradient(dfdy, {x})[0].value(), 2.0 * 1.5, 1e-12);
+  EXPECT_NEAR(tape.gradient(dfdy, {y})[0].value(), 6.0 * -0.5, 1e-12);
+}
+
+TEST(HigherOrder, ForceStyleLoss) {
+  // The exact structure of force training: L = (dE/dx - f_ref)^2 and we need
+  // dL/dw where E = w * x^2.  Analytically dE/dx = 2wx,
+  // L = (2wx - f)^2, dL/dw = 2(2wx - f) * 2x.
+  const double w0 = 0.8, x0 = 1.2, f_ref = 1.0;
+  Tape tape;
+  const Var w = tape.input(w0);
+  const Var x = tape.input(x0);
+  const Var energy = w * x * x;
+  const Var force = tape.gradient(energy, {x})[0];
+  const Var diff = force - f_ref;
+  const Var loss = diff * diff;
+  const Var dloss_dw = tape.gradient(loss, {w})[0];
+  EXPECT_NEAR(dloss_dw.value(), 2.0 * (2.0 * w0 * x0 - f_ref) * 2.0 * x0, 1e-12);
+}
+
+TEST(HigherOrder, ForceStyleLossThroughNonlinearity) {
+  // E = tanh(w x); F = dE/dx = w sech^2(wx); L = F^2; check dL/dw numerically.
+  const double w0 = 0.6, x0 = 0.9;
+  const auto loss_value = [&](double w_val) {
+    Tape tape;
+    const Var w = tape.input(w_val);
+    const Var x = tape.input(x0);
+    const Var energy = tanh(w * x);
+    const Var force = tape.gradient(energy, {x})[0];
+    return (force * force).value();
+  };
+  Tape tape;
+  const Var w = tape.input(w0);
+  const Var x = tape.input(x0);
+  const Var energy = tanh(w * x);
+  const Var force = tape.gradient(energy, {x})[0];
+  const Var loss = force * force;
+  const double analytic = tape.gradient(loss, {w})[0].value();
+  const double h = 1e-6;
+  const double numeric = (loss_value(w0 + h) - loss_value(w0 - h)) / (2.0 * h);
+  EXPECT_NEAR(analytic, numeric, 1e-6 * std::max(1.0, std::abs(numeric)));
+}
+
+TEST(HigherOrder, SecondDerivativeOfSoftplusMatchesSigmoidDerivative) {
+  const double x0 = -0.4;
+  Tape tape;
+  const Var x = tape.input(x0);
+  const Var y = softplus(x);
+  const Var dy = tape.gradient(y, {x})[0];
+  const Var d2y = tape.gradient(dy, {x})[0];
+  const double s = 1.0 / (1.0 + std::exp(-x0));
+  EXPECT_NEAR(dy.value(), s, 1e-12);
+  EXPECT_NEAR(d2y.value(), s * (1.0 - s), 1e-12);
+}
+
+TEST(HigherOrder, ReluSecondDerivativeIsZero) {
+  Tape tape;
+  const Var x = tape.input(2.0);
+  const Var y = relu(x) * relu(x);
+  const Var dy = tape.gradient(y, {x})[0];
+  EXPECT_DOUBLE_EQ(dy.value(), 4.0);
+  // d2y/dx2 = 2 away from the kink (from the product rule on x^2), and the
+  // step's own derivative contributes zero.
+  const Var d2y = tape.gradient(dy, {x})[0];
+  EXPECT_DOUBLE_EQ(d2y.value(), 2.0);
+}
+
+TEST(HigherOrder, DivisionSecondDerivative) {
+  // y = 1/x; y'' = 2/x^3.
+  Tape tape;
+  const Var x = tape.input(2.0);
+  const Var y = 1.0 / x;
+  const Var dy = tape.gradient(y, {x})[0];
+  const Var d2y = tape.gradient(dy, {x})[0];
+  EXPECT_NEAR(d2y.value(), 2.0 / 8.0, 1e-12);
+}
+
+TEST(HigherOrder, SqrtSecondDerivative) {
+  // y = sqrt(x); y'' = -1/(4 x^{3/2}).
+  Tape tape;
+  const Var x = tape.input(4.0);
+  const Var y = sqrt(x);
+  const Var dy = tape.gradient(y, {x})[0];
+  const Var d2y = tape.gradient(dy, {x})[0];
+  EXPECT_NEAR(d2y.value(), -1.0 / (4.0 * 8.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace dpho::ad

@@ -1,0 +1,178 @@
+#include "ad/tape.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace dpho::ad {
+namespace {
+
+/// Central-difference derivative of a scalar function built on a fresh tape.
+double numeric_grad(const std::function<Var(Tape&, std::vector<Var>&)>& fn,
+                    std::vector<double> point, std::size_t index, double h = 1e-6) {
+  const auto eval = [&](double delta) {
+    Tape tape;
+    std::vector<Var> inputs;
+    for (std::size_t i = 0; i < point.size(); ++i) {
+      inputs.push_back(tape.input(point[i] + (i == index ? delta : 0.0)));
+    }
+    return fn(tape, inputs).value();
+  };
+  return (eval(h) - eval(-h)) / (2.0 * h);
+}
+
+void expect_grad_matches(const std::function<Var(Tape&, std::vector<Var>&)>& fn,
+                         std::vector<double> point, double tol = 1e-6) {
+  Tape tape;
+  std::vector<Var> inputs;
+  for (double v : point) inputs.push_back(tape.input(v));
+  const Var out = fn(tape, inputs);
+  const std::vector<Var> grads = tape.gradient(out, inputs);
+  for (std::size_t i = 0; i < point.size(); ++i) {
+    const double numeric = numeric_grad(fn, point, i);
+    EXPECT_NEAR(grads[i].value(), numeric,
+                tol * std::max(1.0, std::abs(numeric)))
+        << "input " << i;
+  }
+}
+
+TEST(Tape, ValuesComputedEagerly) {
+  Tape tape;
+  const Var x = tape.input(3.0);
+  const Var y = x * x + 1.0;
+  EXPECT_DOUBLE_EQ(y.value(), 10.0);
+  EXPECT_DOUBLE_EQ((x / y).value(), 0.3);
+}
+
+TEST(Tape, ArithmeticGradients) {
+  expect_grad_matches(
+      [](Tape&, std::vector<Var>& v) {
+        return v[0] * v[1] + v[0] / v[1] - v[1] + 2.0 * v[0];
+      },
+      {1.7, -2.3});
+}
+
+TEST(Tape, ChainedExpressionGradient) {
+  expect_grad_matches(
+      [](Tape&, std::vector<Var>& v) {
+        return tanh(v[0] * v[1]) * sigmoid(v[0] - v[1]) + softplus(v[1]);
+      },
+      {0.8, -0.4});
+}
+
+TEST(Tape, TranscendentalGradients) {
+  expect_grad_matches(
+      [](Tape&, std::vector<Var>& v) {
+        return exp(v[0]) + log(v[1]) + sqrt(v[1]) + pow(v[1], 3.5);
+      },
+      {0.3, 1.9});
+}
+
+TEST(Tape, ReluGradients) {
+  // Away from the kink, relu gradients are exact.
+  expect_grad_matches([](Tape&, std::vector<Var>& v) { return relu(v[0]) * v[1]; },
+                      {1.5, 2.0});
+  expect_grad_matches([](Tape&, std::vector<Var>& v) { return relu(v[0]) * v[1]; },
+                      {-1.5, 2.0});
+}
+
+TEST(Tape, Relu6Values) {
+  Tape tape;
+  EXPECT_DOUBLE_EQ(relu6(tape.input(-1.0)).value(), 0.0);
+  EXPECT_DOUBLE_EQ(relu6(tape.input(3.0)).value(), 3.0);
+  EXPECT_DOUBLE_EQ(relu6(tape.input(9.0)).value(), 6.0);
+}
+
+TEST(Tape, Relu6GradientRegions) {
+  for (double x : {-2.0, 3.0, 8.0}) {
+    Tape tape;
+    const Var in = tape.input(x);
+    const Var out = relu6(in);
+    const double g = tape.gradient(out, {in})[0].value();
+    EXPECT_DOUBLE_EQ(g, (x > 0.0 && x < 6.0) ? 1.0 : 0.0) << x;
+  }
+}
+
+TEST(Tape, FanOutAccumulatesAdjoints) {
+  Tape tape;
+  const Var x = tape.input(2.0);
+  const Var y = x * x + x * x * x;  // dy/dx = 2x + 3x^2 = 16
+  EXPECT_DOUBLE_EQ(tape.gradient(y, {x})[0].value(), 16.0);
+}
+
+TEST(Tape, IndependentInputGetsZeroGradient) {
+  Tape tape;
+  const Var x = tape.input(1.0);
+  const Var z = tape.input(5.0);
+  const Var y = x * 3.0;
+  const std::vector<Var> g = tape.gradient(y, {x, z});
+  EXPECT_DOUBLE_EQ(g[0].value(), 3.0);
+  EXPECT_DOUBLE_EQ(g[1].value(), 0.0);
+}
+
+TEST(Tape, ConstantsHaveNoGradientPath) {
+  Tape tape;
+  const Var x = tape.input(1.0);
+  const Var c = tape.constant(4.0);
+  const Var y = x + c;
+  EXPECT_DOUBLE_EQ(tape.gradient(y, {x})[0].value(), 1.0);
+}
+
+TEST(Tape, GradientOfInputItself) {
+  Tape tape;
+  const Var x = tape.input(3.0);
+  EXPECT_DOUBLE_EQ(tape.gradient(x, {x})[0].value(), 1.0);
+}
+
+TEST(Tape, ResetInvalidatesAndReusable) {
+  Tape tape;
+  const Var x = tape.input(1.0);
+  (void)x;
+  EXPECT_GT(tape.size(), 0u);
+  tape.reset();
+  EXPECT_EQ(tape.size(), 0u);
+  const Var y = tape.input(2.0);
+  EXPECT_DOUBLE_EQ(y.value(), 2.0);
+}
+
+TEST(Tape, MixedTapeOperandsThrow) {
+  Tape tape_a;
+  Tape tape_b;
+  const Var a = tape_a.input(1.0);
+  const Var b = tape_b.input(2.0);
+  EXPECT_THROW(a + b, util::ValueError);
+}
+
+TEST(Tape, NullVarThrowsOnValue) {
+  Var v;
+  EXPECT_THROW(v.value(), util::ValueError);
+}
+
+TEST(Tape, GradientOfWrongTapeThrows) {
+  Tape tape_a;
+  Tape tape_b;
+  const Var a = tape_a.input(1.0);
+  const Var b = tape_b.input(1.0);
+  EXPECT_THROW(tape_a.gradient(b, {b}), util::ValueError);
+  EXPECT_THROW(tape_a.gradient(a, {b}), util::ValueError);
+}
+
+TEST(Tape, LargeExpressionGradient) {
+  // Sum of 100 terms x_i^2; gradient is 2 x_i.
+  Tape tape;
+  std::vector<Var> inputs;
+  for (int i = 0; i < 100; ++i) inputs.push_back(tape.input(0.01 * i));
+  Var sum = tape.constant(0.0);
+  for (const Var& x : inputs) sum = sum + x * x;
+  const std::vector<Var> g = tape.gradient(sum, inputs);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NEAR(g[i].value(), 2.0 * 0.01 * i, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace dpho::ad

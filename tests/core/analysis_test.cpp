@@ -1,0 +1,165 @@
+#include "core/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/csv.hpp"
+
+namespace dpho::core {
+namespace {
+
+EvalRecord make_record(double rmse_e, double rmse_f, double runtime = 60.0,
+                       ea::EvalStatus status = ea::EvalStatus::kOk) {
+  EvalRecord record;
+  record.genome = {0.0047, 0.0001, 11.0, 2.4, 2.3, 4.6, 4.2};
+  record.fitness = {rmse_e, rmse_f};
+  record.runtime_minutes = runtime;
+  record.status = status;
+  record.uuid = "test-uuid";
+  return record;
+}
+
+TEST(Analysis, SuccessfulFiltersFailures) {
+  std::vector<EvalRecord> records = {
+      make_record(0.001, 0.036),
+      make_record(ea::kFailureFitness, ea::kFailureFitness, 1.0,
+                  ea::EvalStatus::kTimeout),
+      make_record(0.002, 0.05),
+  };
+  EXPECT_EQ(successful(records).size(), 2u);
+}
+
+TEST(Analysis, ParetoFrontSortedByForce) {
+  // Table-2-like data: a frontier plus dominated points.
+  std::vector<EvalRecord> records = {
+      make_record(0.0016, 0.0357), make_record(0.0004, 0.0409),
+      make_record(0.0012, 0.0363), make_record(0.01, 0.05),  // dominated
+      make_record(ea::kFailureFitness, ea::kFailureFitness, 1.0,
+                  ea::EvalStatus::kNodeFailure),
+  };
+  const auto front = pareto_front(records);
+  ASSERT_EQ(front.size(), 3u);
+  EXPECT_DOUBLE_EQ(records[front[0]].fitness[1], 0.0357);
+  EXPECT_DOUBLE_EQ(records[front[1]].fitness[1], 0.0363);
+  EXPECT_DOUBLE_EQ(records[front[2]].fitness[1], 0.0409);
+}
+
+TEST(Analysis, ChemicalAccuracyLimitsFromSection32) {
+  const ChemicalAccuracy limits;
+  EXPECT_DOUBLE_EQ(limits.energy_limit, 0.004);
+  EXPECT_DOUBLE_EQ(limits.force_limit, 0.04);
+  EXPECT_TRUE(limits.accurate(make_record(0.0016, 0.0357)));
+  EXPECT_FALSE(limits.accurate(make_record(0.0016, 0.0409)));  // force too high
+  EXPECT_FALSE(limits.accurate(make_record(0.005, 0.0357)));   // energy too high
+  EXPECT_FALSE(limits.accurate(make_record(0.001, 0.001, 1.0,
+                                           ea::EvalStatus::kTrainingError)));
+}
+
+TEST(Analysis, Table3SelectsThreeCriteria) {
+  std::vector<EvalRecord> records = {
+      make_record(0.0016, 0.0357, 68.7),  // lowest force
+      make_record(0.0005, 0.0374, 74.1),  // lowest energy
+      make_record(0.0019, 0.0370, 68.1),  // lowest runtime
+      make_record(0.0030, 0.0390, 50.0),  // accurate but wins nothing? lowest rt!
+      make_record(0.0001, 0.0500, 30.0),  // not accurate (force)
+  };
+  const Table3Selection selection = select_table3(records);
+  ASSERT_TRUE(selection.lowest_force.has_value());
+  EXPECT_DOUBLE_EQ(selection.lowest_force->fitness[1], 0.0357);
+  EXPECT_DOUBLE_EQ(selection.lowest_energy->fitness[0], 0.0005);
+  EXPECT_DOUBLE_EQ(selection.lowest_runtime->runtime_minutes, 50.0);
+}
+
+TEST(Analysis, Table3EmptyWhenNothingAccurate) {
+  std::vector<EvalRecord> records = {make_record(0.01, 0.1)};
+  const Table3Selection selection = select_table3(records);
+  EXPECT_FALSE(selection.lowest_force.has_value());
+  EXPECT_FALSE(selection.lowest_energy.has_value());
+  EXPECT_FALSE(selection.lowest_runtime.has_value());
+}
+
+TEST(Analysis, ParallelCoordinatesCsvStructure) {
+  const DeepMDRepresentation repr;
+  std::vector<EvalRecord> records = {make_record(0.0016, 0.0357),
+                                     make_record(0.01, 0.08)};
+  const std::string csv = parallel_coordinates_csv(records, repr);
+  const auto rows = util::CsvReader::parse(csv);
+  ASSERT_EQ(rows.size(), 3u);  // header + 2 solutions
+  // Header has the Figure-3 axes.
+  const auto& header = rows[0];
+  EXPECT_NE(std::find(header.begin(), header.end(), "rcut"), header.end());
+  EXPECT_NE(std::find(header.begin(), header.end(), "chemically_accurate"),
+            header.end());
+  EXPECT_NE(std::find(header.begin(), header.end(), "on_pareto_front"),
+            header.end());
+  // First record is accurate and on the front.
+  const std::size_t acc_col = static_cast<std::size_t>(
+      std::find(header.begin(), header.end(), "chemically_accurate") -
+      header.begin());
+  EXPECT_EQ(rows[1][acc_col], "1");
+  EXPECT_EQ(rows[2][acc_col], "0");
+}
+
+TEST(Analysis, ParallelCoordinatesDecodesCategoricalAxes) {
+  const DeepMDRepresentation repr;
+  std::vector<EvalRecord> records = {make_record(0.0016, 0.0357)};
+  const std::string csv = parallel_coordinates_csv(records, repr);
+  EXPECT_NE(csv.find("none"), std::string::npos);  // scale gene 2.3
+  EXPECT_NE(csv.find("tanh"), std::string::npos);  // activation genes 4.x
+}
+
+TEST(Analysis, AxisMarginalsComputeCounts) {
+  const DeepMDRepresentation repr;
+  std::vector<EvalRecord> records;
+  // Accurate solution with rcut 11, scale none (gene 2.3), tanh/tanh.
+  records.push_back(make_record(0.0016, 0.0357, 68.0));
+  // Accurate with rcut 9.5, scale sqrt (gene 1.5), softplus desc (2.5).
+  EvalRecord second = make_record(0.0010, 0.0380, 75.0);
+  second.genome = {0.003, 0.0001, 9.5, 3.0, 1.5, 2.5, 4.2};
+  records.push_back(second);
+  // Inaccurate.
+  records.push_back(make_record(0.02, 0.3, 40.0));
+
+  const AxisMarginals marginals = axis_marginals(records, repr);
+  EXPECT_EQ(marginals.num_total, 3u);
+  EXPECT_EQ(marginals.num_accurate, 2u);
+  EXPECT_DOUBLE_EQ(marginals.min_rcut_accurate, 9.5);
+  EXPECT_DOUBLE_EQ(marginals.max_runtime, 75.0);
+  // scaling counts: linear, sqrt, none.
+  EXPECT_EQ(marginals.scaling_counts_accurate[1], 1u);
+  EXPECT_EQ(marginals.scaling_counts_accurate[2], 1u);
+  // descriptor activations: relu, relu6, softplus, sigmoid, tanh.
+  EXPECT_EQ(marginals.desc_activation_counts_accurate[2], 1u);
+  EXPECT_EQ(marginals.desc_activation_counts_accurate[4], 1u);
+}
+
+TEST(Analysis, GenerationSolutionsSelectsAcrossRuns) {
+  RunRecord run_a;
+  run_a.seed = 1;
+  GenerationRecord gen0;
+  gen0.generation = 0;
+  gen0.evaluated = {make_record(0.001, 0.05)};
+  GenerationRecord gen1;
+  gen1.generation = 1;
+  gen1.evaluated = {make_record(0.002, 0.04), make_record(0.003, 0.06)};
+  run_a.generations = {gen0, gen1};
+  RunRecord run_b = run_a;
+  run_b.seed = 2;
+
+  const std::vector<RunRecord> runs = {run_a, run_b};
+  EXPECT_EQ(generation_solutions(runs, 0).size(), 2u);
+  EXPECT_EQ(generation_solutions(runs, 1).size(), 4u);
+  EXPECT_TRUE(generation_solutions(runs, 5).empty());
+}
+
+TEST(Analysis, LastGenerationSolutionsConcatenatesFinalPopulations) {
+  RunRecord run_a;
+  run_a.final_population = {make_record(0.001, 0.04), make_record(0.002, 0.05)};
+  RunRecord run_b;
+  run_b.final_population = {make_record(0.003, 0.06)};
+  EXPECT_EQ(last_generation_solutions({run_a, run_b}).size(), 3u);
+}
+
+}  // namespace
+}  // namespace dpho::core

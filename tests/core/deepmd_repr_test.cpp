@@ -1,0 +1,136 @@
+#include "core/deepmd_repr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dpho::core {
+namespace {
+
+TEST(DeepMDRepr, SevenGenesInTable1Order) {
+  const DeepMDRepresentation repr;
+  const auto& genes = repr.representation().genes();
+  ASSERT_EQ(genes.size(), 7u);
+  EXPECT_EQ(genes[0].name, "start_lr");
+  EXPECT_EQ(genes[1].name, "stop_lr");
+  EXPECT_EQ(genes[2].name, "rcut");
+  EXPECT_EQ(genes[3].name, "rcut_smth");
+  EXPECT_EQ(genes[4].name, "scale_by_worker");
+  EXPECT_EQ(genes[5].name, "desc_activ_func");
+  EXPECT_EQ(genes[6].name, "fitting_activ_func");
+}
+
+TEST(DeepMDRepr, Table1RangesAndSigmas) {
+  const DeepMDRepresentation repr;
+  const auto& genes = repr.representation().genes();
+  EXPECT_DOUBLE_EQ(genes[0].init_range.lo, 3.51e-8);
+  EXPECT_DOUBLE_EQ(genes[0].init_range.hi, 0.01);
+  EXPECT_DOUBLE_EQ(genes[0].mutation_std, 0.001);
+  EXPECT_DOUBLE_EQ(genes[1].init_range.hi, 0.0001);
+  EXPECT_DOUBLE_EQ(genes[1].mutation_std, 0.0001);
+  EXPECT_DOUBLE_EQ(genes[2].init_range.lo, 6.0);
+  EXPECT_DOUBLE_EQ(genes[2].init_range.hi, 12.0);
+  EXPECT_DOUBLE_EQ(genes[2].mutation_std, 0.0625);
+  EXPECT_DOUBLE_EQ(genes[3].init_range.lo, 2.0);
+  EXPECT_DOUBLE_EQ(genes[3].init_range.hi, 6.0);
+  EXPECT_DOUBLE_EQ(genes[4].init_range.hi, 3.0);
+  EXPECT_DOUBLE_EQ(genes[5].init_range.hi, 5.0);
+  EXPECT_DOUBLE_EQ(genes[6].mutation_std, 0.0625);
+}
+
+TEST(DeepMDRepr, DecodePaperSolution1) {
+  // Table 3, solution 1.
+  const DeepMDRepresentation repr;
+  const std::vector<double> genome = {0.0047, 0.0001, 11.32, 2.42,
+                                      2.3,     4.6,    4.2};
+  const HyperParams hp = repr.decode(genome);
+  EXPECT_DOUBLE_EQ(hp.start_lr, 0.0047);
+  EXPECT_DOUBLE_EQ(hp.stop_lr, 0.0001);
+  EXPECT_DOUBLE_EQ(hp.rcut, 11.32);
+  EXPECT_DOUBLE_EQ(hp.rcut_smth, 2.42);
+  EXPECT_EQ(hp.scale_by_worker, nn::LrScaling::kNone);      // floor(2.3)%3=2
+  EXPECT_EQ(hp.desc_activ_func, nn::Activation::kTanh);     // floor(4.6)%5=4
+  EXPECT_EQ(hp.fitting_activ_func, nn::Activation::kTanh);  // floor(4.2)%5=4
+}
+
+TEST(DeepMDRepr, DecodePaperExampleGene578) {
+  // Section 2.2.2's worked example: 5.78 -> "none".
+  const DeepMDRepresentation repr;
+  const std::vector<double> genome = {0.001, 1e-5, 8.0, 2.0, 5.78, 0.0, 0.0};
+  EXPECT_EQ(repr.decode(genome).scale_by_worker, nn::LrScaling::kNone);
+}
+
+TEST(DeepMDRepr, DecodeAllScalingChoices) {
+  const DeepMDRepresentation repr;
+  std::vector<double> genome = {0.001, 1e-5, 8.0, 2.0, 0.5, 0.0, 0.0};
+  EXPECT_EQ(repr.decode(genome).scale_by_worker, nn::LrScaling::kLinear);
+  genome[4] = 1.5;
+  EXPECT_EQ(repr.decode(genome).scale_by_worker, nn::LrScaling::kSqrt);
+  genome[4] = 2.5;
+  EXPECT_EQ(repr.decode(genome).scale_by_worker, nn::LrScaling::kNone);
+}
+
+TEST(DeepMDRepr, DecodeAllActivationChoices) {
+  const DeepMDRepresentation repr;
+  const nn::Activation expected[5] = {nn::Activation::kRelu, nn::Activation::kRelu6,
+                                      nn::Activation::kSoftplus,
+                                      nn::Activation::kSigmoid, nn::Activation::kTanh};
+  for (int i = 0; i < 5; ++i) {
+    std::vector<double> genome = {0.001, 1e-5, 8.0, 2.0, 0.0, i + 0.5, i + 0.5};
+    const HyperParams hp = repr.decode(genome);
+    EXPECT_EQ(hp.desc_activ_func, expected[i]);
+    EXPECT_EQ(hp.fitting_activ_func, expected[i]);
+  }
+}
+
+TEST(DeepMDRepr, DecodeRejectsWrongLength) {
+  const DeepMDRepresentation repr;
+  EXPECT_THROW(repr.decode({1.0, 2.0}), util::ValueError);
+}
+
+TEST(DeepMDRepr, RandomIndividualsDecodeCleanly) {
+  const DeepMDRepresentation repr;
+  util::Rng rng(21);
+  for (int i = 0; i < 500; ++i) {
+    const auto genome = repr.representation().random_genome(rng);
+    const HyperParams hp = repr.decode(genome);
+    EXPECT_GT(hp.start_lr, 0.0);
+    EXPECT_LE(hp.start_lr, 0.01);
+    EXPECT_GE(hp.rcut, 6.0);
+    EXPECT_LE(hp.rcut, 12.0);
+    EXPECT_GE(hp.rcut_smth, 2.0);
+    EXPECT_LE(hp.rcut_smth, 6.0);
+  }
+}
+
+TEST(DeepMDRepr, HardBoundsEqualInitRanges) {
+  // Mutation can never push learning rates negative or cutoffs out of range.
+  const DeepMDRepresentation repr;
+  for (const auto& gene : repr.representation().genes()) {
+    EXPECT_DOUBLE_EQ(gene.hard_bounds.lo, gene.init_range.lo) << gene.name;
+    EXPECT_DOUBLE_EQ(gene.hard_bounds.hi, gene.init_range.hi) << gene.name;
+  }
+}
+
+TEST(DeepMDRepr, Table1RendersAllRows) {
+  const DeepMDRepresentation repr;
+  const std::string table = repr.table1();
+  for (const char* name : {"start_lr", "stop_lr", "rcut", "rcut_smth",
+                           "scale_by_worker", "desc_activ_func",
+                           "fitting_activ_func"}) {
+    EXPECT_NE(table.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(table.find("0.0625"), std::string::npos);
+}
+
+TEST(DeepMDRepr, ChoiceListsMatchPaper) {
+  EXPECT_EQ(DeepMDRepresentation::scaling_choices(),
+            (std::vector<std::string>{"linear", "sqrt", "none"}));
+  EXPECT_EQ(DeepMDRepresentation::activation_choices(),
+            (std::vector<std::string>{"relu", "relu6", "softplus", "sigmoid",
+                                      "tanh"}));
+}
+
+}  // namespace
+}  // namespace dpho::core

@@ -1,0 +1,75 @@
+#include "core/hyperparams.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace dpho::core {
+namespace {
+
+HyperParams sample() {
+  HyperParams hp;
+  hp.start_lr = 0.0047;
+  hp.stop_lr = 1e-4;
+  hp.rcut = 11.32;
+  hp.rcut_smth = 2.42;
+  hp.scale_by_worker = nn::LrScaling::kNone;
+  hp.desc_activ_func = nn::Activation::kTanh;
+  hp.fitting_activ_func = nn::Activation::kTanh;
+  return hp;
+}
+
+TEST(HyperParams, ConfigValidity) {
+  HyperParams hp = sample();
+  EXPECT_TRUE(hp.config_valid());
+  hp.rcut_smth = hp.rcut;
+  EXPECT_FALSE(hp.config_valid());
+  hp.rcut_smth = hp.rcut + 1.0;
+  EXPECT_FALSE(hp.config_valid());
+  hp.rcut_smth = 0.0;
+  EXPECT_FALSE(hp.config_valid());
+}
+
+TEST(HyperParams, ApplyToOverridesOnlyTunedFields) {
+  const HyperParams hp = sample();
+  dp::TrainInput base;
+  base.training.numb_steps = 40000;
+  const dp::TrainInput applied = hp.apply_to(base);
+  EXPECT_DOUBLE_EQ(applied.learning_rate.start_lr, 0.0047);
+  EXPECT_DOUBLE_EQ(applied.learning_rate.stop_lr, 1e-4);
+  EXPECT_DOUBLE_EQ(applied.descriptor.rcut, 11.32);
+  EXPECT_DOUBLE_EQ(applied.descriptor.rcut_smth, 2.42);
+  EXPECT_EQ(applied.descriptor.activation, nn::Activation::kTanh);
+  EXPECT_EQ(applied.learning_rate.scale_by_worker, nn::LrScaling::kNone);
+  // Fixed section-2.1.2 settings untouched.
+  EXPECT_EQ(applied.descriptor.neuron, (std::vector<std::size_t>{25, 50, 100}));
+  EXPECT_EQ(applied.fitting.neuron, (std::vector<std::size_t>{240, 240, 240}));
+  EXPECT_EQ(applied.training.numb_steps, 40000u);
+}
+
+TEST(HyperParams, ApplyToValidatesResult) {
+  HyperParams hp = sample();
+  hp.rcut_smth = 12.0;  // > rcut
+  EXPECT_THROW(hp.apply_to(dp::TrainInput{}), util::ValueError);
+}
+
+TEST(HyperParams, TemplateVariablesCoverAllSevenGenes) {
+  const auto vars = sample().template_variables();
+  EXPECT_EQ(vars.size(), 7u);
+  EXPECT_EQ(vars.at("scale_by_worker"), "none");
+  EXPECT_EQ(vars.at("desc_activ_func"), "tanh");
+  EXPECT_EQ(vars.at("fitting_activ_func"), "tanh");
+  EXPECT_EQ(vars.at("rcut"), "11.32");
+  EXPECT_EQ(vars.at("start_lr"), "0.0047");
+}
+
+TEST(HyperParams, DescribeMentionsEverything) {
+  const std::string text = sample().describe();
+  for (const char* token : {"start_lr", "stop_lr", "rcut", "rcut_smth", "none",
+                            "tanh", "11.32"}) {
+    EXPECT_NE(text.find(token), std::string::npos) << token;
+  }
+}
+
+}  // namespace
+}  // namespace dpho::core

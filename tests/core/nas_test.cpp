@@ -1,0 +1,153 @@
+#include "core/nas.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dpho::core {
+namespace {
+
+NasSpace tiny_space() {
+  NasSpace space;
+  space.embedding_choices = {{4, 6}, {4, 8}};
+  space.fitting_choices = {{8}, {12, 12}};
+  return space;
+}
+
+TEST(Nas, NineGenesExtendTable1) {
+  const NasRepresentation repr(tiny_space());
+  const auto& genes = repr.representation().genes();
+  ASSERT_EQ(genes.size(), 9u);
+  EXPECT_EQ(genes[7].name, "embedding_arch");
+  EXPECT_EQ(genes[8].name, "fitting_arch");
+  EXPECT_DOUBLE_EQ(genes[7].init_range.hi, 2.0);
+  EXPECT_DOUBLE_EQ(genes[7].mutation_std, 0.0625);
+  // The original seven genes are unchanged.
+  EXPECT_EQ(genes[0].name, "start_lr");
+  EXPECT_DOUBLE_EQ(genes[2].init_range.hi, 12.0);
+}
+
+TEST(Nas, DecodeSelectsArchitectures) {
+  const NasRepresentation repr(tiny_space());
+  const std::vector<double> genome = {0.0047, 0.0001, 11.32, 2.42, 2.3,
+                                      4.6,    4.2,    0.5,   1.5};
+  const NasParams params = repr.decode(genome);
+  EXPECT_EQ(params.embedding_neuron, (std::vector<std::size_t>{4, 6}));
+  EXPECT_EQ(params.fitting_neuron, (std::vector<std::size_t>{12, 12}));
+  EXPECT_DOUBLE_EQ(params.hp.rcut, 11.32);  // base decode unchanged
+  EXPECT_EQ(params.hp.scale_by_worker, nn::LrScaling::kNone);
+}
+
+TEST(Nas, FloorModWrapsArchitectureGenes) {
+  const NasRepresentation repr(tiny_space());
+  std::vector<double> genome = {0.0047, 0.0001, 11.32, 2.42, 2.3, 4.6, 4.2,
+                                2.5,    -0.5};
+  const NasParams params = repr.decode(genome);
+  EXPECT_EQ(params.embedding_neuron, (std::vector<std::size_t>{4, 6}));   // 2%2=0
+  EXPECT_EQ(params.fitting_neuron, (std::vector<std::size_t>{12, 12}));   // -1%2=1
+}
+
+TEST(Nas, ApplyToSetsNetworkShapes) {
+  const NasRepresentation repr(tiny_space());
+  const std::vector<double> genome = {0.0047, 0.0001, 8.0, 2.42, 2.3,
+                                      4.6,    4.2,    1.5, 0.5};
+  const NasParams params = repr.decode(genome);
+  dp::TrainInput base;
+  base.descriptor.axis_neuron = 4;
+  const dp::TrainInput applied = params.apply_to(base);
+  EXPECT_EQ(applied.descriptor.neuron, (std::vector<std::size_t>{4, 8}));
+  EXPECT_EQ(applied.fitting.neuron, (std::vector<std::size_t>{8}));
+  // axis_neuron clamped to the final embedding width.
+  EXPECT_EQ(applied.descriptor.axis_neuron, 4u);
+}
+
+TEST(Nas, AxisNeuronClampedForNarrowEmbeddings) {
+  NasSpace space = tiny_space();
+  space.embedding_choices = {{2, 3}};
+  const NasRepresentation repr(space);
+  const std::vector<double> genome = {0.0047, 0.0001, 8.0, 2.42, 2.3,
+                                      4.6,    4.2,    0.5, 0.5};
+  dp::TrainInput base;
+  base.descriptor.axis_neuron = 4;
+  const dp::TrainInput applied = repr.decode(genome).apply_to(base);
+  EXPECT_EQ(applied.descriptor.axis_neuron, 3u);
+  EXPECT_NO_THROW(applied.validate());
+}
+
+TEST(Nas, DescribeMentionsArchitecture) {
+  const NasRepresentation repr(tiny_space());
+  const std::vector<double> genome = {0.0047, 0.0001, 8.0, 2.42, 2.3,
+                                      4.6,    4.2,    0.5, 1.5};
+  const std::string text = repr.decode(genome).describe();
+  EXPECT_NE(text.find("embed={4,6}"), std::string::npos);
+  EXPECT_NE(text.find("fit={12,12}"), std::string::npos);
+}
+
+TEST(Nas, DecodeRejectsWrongLength) {
+  const NasRepresentation repr(tiny_space());
+  EXPECT_THROW(repr.decode({1.0, 2.0}), util::ValueError);
+}
+
+TEST(Nas, SpaceValidation) {
+  NasSpace empty_list;
+  empty_list.embedding_choices.clear();
+  EXPECT_THROW(NasRepresentation{empty_list}, util::ValueError);
+  NasSpace empty_preset;
+  empty_preset.fitting_choices = {{}};
+  EXPECT_THROW(NasRepresentation{empty_preset}, util::ValueError);
+}
+
+TEST(Nas, RandomGenomesDecodeCleanly) {
+  const NasRepresentation repr(tiny_space());
+  util::Rng rng(77);
+  for (int i = 0; i < 200; ++i) {
+    const auto genome = repr.representation().random_genome(rng);
+    EXPECT_NO_THROW(repr.decode(genome));
+  }
+}
+
+TEST(Nas, RealEvaluatorTrainsWithSelectedArchitecture) {
+  md::SimulationConfig sim;
+  sim.spec = md::SystemSpec::scaled_system(1);
+  sim.num_frames = 8;
+  sim.equilibration_steps = 60;
+  sim.seed = 61;
+  const md::LabelledData data = md::generate_reference_data(sim, 0.25);
+
+  RealEvalOptions options;
+  options.base.descriptor.axis_neuron = 2;
+  options.base.descriptor.sel = 24;
+  options.base.training.numb_steps = 4;
+  options.base.training.disp_freq = 4;
+  options.wall_limit_seconds = 120.0;
+  const NasRealEvaluator evaluator(data.train, data.validation, options, tiny_space());
+
+  util::Rng rng(5);
+  // rcut gene 3.2 fits the 10-atom box; architecture genes select preset 1/0.
+  const ea::Individual individual = ea::Individual::create(
+      {0.004, 0.001, 3.2, 2.0, 2.3, 4.6, 4.2, 1.5, 0.5}, rng);
+  const hpc::WorkResult result = evaluator.evaluate(individual, 9);
+  EXPECT_FALSE(result.training_error);
+  ASSERT_EQ(result.fitness.size(), 2u);
+  EXPECT_GT(result.fitness[1], 0.0);
+}
+
+TEST(Nas, RealEvaluatorReportsFailuresForInvalidRcut) {
+  md::SimulationConfig sim;
+  sim.spec = md::SystemSpec::scaled_system(1);
+  sim.num_frames = 6;
+  sim.equilibration_steps = 50;
+  sim.seed = 62;
+  const md::LabelledData data = md::generate_reference_data(sim, 0.25);
+  RealEvalOptions options;
+  options.base.training.numb_steps = 4;
+  const NasRealEvaluator evaluator(data.train, data.validation, options, tiny_space());
+  util::Rng rng(6);
+  const ea::Individual individual = ea::Individual::create(
+      {0.004, 0.001, 11.0, 2.0, 2.3, 4.6, 4.2, 0.5, 0.5}, rng);
+  EXPECT_TRUE(evaluator.evaluate(individual, 9).training_error);
+}
+
+}  // namespace
+}  // namespace dpho::core

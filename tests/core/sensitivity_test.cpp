@@ -1,0 +1,114 @@
+#include "core/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace dpho::core {
+namespace {
+
+TEST(Sensitivity, SweepsAllSevenParameters) {
+  const SensitivityAnalysis analysis;
+  const auto sweeps = analysis.run();
+  ASSERT_EQ(sweeps.size(), 7u);
+  EXPECT_EQ(sweeps[0].parameter, "start_lr");
+  EXPECT_EQ(sweeps[6].parameter, "fitting_activ_func");
+}
+
+TEST(Sensitivity, ContinuousSweepsCoverTheTable1Range) {
+  SensitivityConfig config;
+  config.samples_per_parameter = 5;
+  const SensitivityAnalysis analysis(TrainingSurrogate(), config);
+  const auto sweeps = analysis.run();
+  const auto& rcut = sweeps[2];
+  ASSERT_EQ(rcut.points.size(), 5u);
+  EXPECT_DOUBLE_EQ(rcut.points.front().gene_value, 6.0);
+  EXPECT_DOUBLE_EQ(rcut.points.back().gene_value, 12.0);
+}
+
+TEST(Sensitivity, CategoricalSweepsEnumerateChoices) {
+  const SensitivityAnalysis analysis;
+  const auto sweeps = analysis.run();
+  const auto& scaling = sweeps[4];
+  ASSERT_EQ(scaling.points.size(), 3u);
+  EXPECT_EQ(scaling.points[0].decoded, "linear");
+  EXPECT_EQ(scaling.points[1].decoded, "sqrt");
+  EXPECT_EQ(scaling.points[2].decoded, "none");
+  const auto& fitting = sweeps[6];
+  ASSERT_EQ(fitting.points.size(), 5u);
+  EXPECT_EQ(fitting.points[0].decoded, "relu");
+  EXPECT_EQ(fitting.points[4].decoded, "tanh");
+}
+
+TEST(Sensitivity, RcutDominatesForceSensitivity) {
+  // The paper's central physical finding: the radial cutoff has the largest
+  // force-error effect of the continuous parameters around a good baseline.
+  const SensitivityAnalysis analysis;
+  const auto sweeps = analysis.run();
+  const auto ranking = SensitivityAnalysis::ranking(sweeps);
+  // start_lr spans down to 3.5e-8 (untrained regime), so it and rcut carry
+  // the largest dynamic ranges; rcut_smth is among the mildest.
+  const auto position = [&](const std::string& name) {
+    for (std::size_t i = 0; i < ranking.size(); ++i) {
+      if (ranking[i] == name) return i;
+    }
+    return ranking.size();
+  };
+  EXPECT_LT(position("rcut"), position("rcut_smth"));
+  EXPECT_LT(position("start_lr"), position("rcut_smth"));
+}
+
+TEST(Sensitivity, FittingActivationSweepShowsReluPenalty) {
+  const SensitivityAnalysis analysis;
+  const auto sweeps = analysis.run();
+  const auto& fitting = sweeps[6];
+  const double relu_f = fitting.points[0].outcome.rmse_f;
+  const double tanh_f = fitting.points[4].outcome.rmse_f;
+  EXPECT_GT(relu_f, 1.2 * tanh_f);
+}
+
+TEST(Sensitivity, CsvHasHeaderAndAllRows) {
+  const SensitivityAnalysis analysis;
+  const auto sweeps = analysis.run();
+  const auto rows = util::CsvReader::parse(SensitivityAnalysis::to_csv(sweeps));
+  std::size_t expected = 1;  // header
+  for (const auto& sweep : sweeps) expected += sweep.points.size();
+  EXPECT_EQ(rows.size(), expected);
+  EXPECT_EQ(rows[0][0], "parameter");
+}
+
+TEST(Sensitivity, DynamicRangeOfConstantSweepIsZero) {
+  SensitivitySweep sweep;
+  for (int i = 0; i < 3; ++i) {
+    SensitivityPoint point;
+    point.outcome.rmse_f = 0.04;
+    point.outcome.rmse_e = 0.001;
+    sweep.points.push_back(point);
+  }
+  EXPECT_DOUBLE_EQ(sweep.force_dynamic_range(), 0.0);
+  EXPECT_DOUBLE_EQ(sweep.energy_dynamic_range(), 0.0);
+}
+
+TEST(Sensitivity, FailedPointsExcludedFromRange) {
+  SensitivitySweep sweep;
+  SensitivityPoint good;
+  good.outcome.rmse_f = 0.04;
+  SensitivityPoint failed;
+  failed.outcome.failed = true;
+  failed.outcome.rmse_f = 0.0;
+  sweep.points = {good, failed};
+  EXPECT_DOUBLE_EQ(sweep.force_dynamic_range(), 0.0);
+}
+
+TEST(Sensitivity, ValidatesConfig) {
+  SensitivityConfig bad;
+  bad.baseline = {1.0};
+  EXPECT_THROW(SensitivityAnalysis(TrainingSurrogate(), bad), util::ValueError);
+  SensitivityConfig too_few;
+  too_few.samples_per_parameter = 1;
+  EXPECT_THROW(SensitivityAnalysis(TrainingSurrogate(), too_few), util::ValueError);
+}
+
+}  // namespace
+}  // namespace dpho::core

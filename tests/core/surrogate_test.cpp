@@ -1,0 +1,234 @@
+// Property tests that the surrogate's error surface encodes the paper's
+// section-3 findings.  All checks use evaluate_mean() (noise-free) unless
+// stochasticity is the point.
+#include "core/surrogate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace dpho::core {
+namespace {
+
+HyperParams good_hp() {
+  HyperParams hp;
+  hp.start_lr = 0.0047;
+  hp.stop_lr = 1e-4;
+  hp.rcut = 11.0;
+  hp.rcut_smth = 2.4;
+  hp.scale_by_worker = nn::LrScaling::kNone;
+  hp.desc_activ_func = nn::Activation::kTanh;
+  hp.fitting_activ_func = nn::Activation::kTanh;
+  return hp;
+}
+
+TEST(Surrogate, GoodConfigurationIsChemicallyAccurate) {
+  const TrainingSurrogate surrogate;
+  const SurrogateOutcome outcome = surrogate.evaluate_mean(good_hp());
+  EXPECT_FALSE(outcome.failed);
+  EXPECT_LT(outcome.rmse_f, 0.04);   // the paper's force limit
+  EXPECT_LT(outcome.rmse_e, 0.004);  // the paper's energy limit
+  EXPECT_LT(outcome.runtime_minutes, 80.0);
+}
+
+TEST(Surrogate, ForceErrorDecreasesWithRcut) {
+  const TrainingSurrogate surrogate;
+  HyperParams hp = good_hp();
+  double prev = 1e9;
+  for (double rcut : {6.5, 7.5, 8.5, 9.5, 10.5, 11.5}) {
+    hp.rcut = rcut;
+    const double f = surrogate.evaluate_mean(hp).rmse_f;
+    EXPECT_LT(f, prev) << rcut;
+    prev = f;
+  }
+}
+
+TEST(Surrogate, RuntimeGrowsWithRcut) {
+  const TrainingSurrogate surrogate;
+  HyperParams hp = good_hp();
+  hp.rcut = 7.0;
+  const double small = surrogate.evaluate_mean(hp).runtime_minutes;
+  hp.rcut = 12.0;
+  const double large = surrogate.evaluate_mean(hp).runtime_minutes;
+  EXPECT_GT(large, small);
+  EXPECT_LT(large, 80.0);  // still under the paper's observed ceiling
+}
+
+TEST(Surrogate, SmallRcutNotChemicallyAccurate) {
+  // Section 3.2: no accurate solution below rcut ~ 8.5 A.
+  const TrainingSurrogate surrogate;
+  HyperParams hp = good_hp();
+  hp.rcut = 7.0;
+  EXPECT_GT(surrogate.evaluate_mean(hp).rmse_f, 0.04);
+}
+
+TEST(Surrogate, ReluFittingWorseThanTanh) {
+  const TrainingSurrogate surrogate;
+  HyperParams tanh_hp = good_hp();
+  HyperParams relu_hp = good_hp();
+  relu_hp.fitting_activ_func = nn::Activation::kRelu;
+  HyperParams relu6_hp = good_hp();
+  relu6_hp.fitting_activ_func = nn::Activation::kRelu6;
+  const double tanh_f = surrogate.evaluate_mean(tanh_hp).rmse_f;
+  EXPECT_GT(surrogate.evaluate_mean(relu_hp).rmse_f, 1.2 * tanh_f);
+  EXPECT_GT(surrogate.evaluate_mean(relu6_hp).rmse_f, 1.2 * tanh_f);
+  // relu fitting is never chemically accurate -> it dies out of the pool.
+  EXPECT_GT(surrogate.evaluate_mean(relu_hp).rmse_f, 0.04);
+}
+
+TEST(Surrogate, SigmoidDescriptorNeverAccurate) {
+  const TrainingSurrogate surrogate;
+  HyperParams hp = good_hp();
+  hp.desc_activ_func = nn::Activation::kSigmoid;
+  EXPECT_GT(surrogate.evaluate_mean(hp).rmse_f, 0.04);
+}
+
+TEST(Surrogate, SoftplusAndSigmoidFineForFitting) {
+  // Section 3.2: "softplus and sigmoid for the fitting activation function
+  // provided excellent results".
+  const TrainingSurrogate surrogate;
+  for (nn::Activation act : {nn::Activation::kSoftplus, nn::Activation::kSigmoid}) {
+    HyperParams hp = good_hp();
+    hp.fitting_activ_func = act;
+    EXPECT_LT(surrogate.evaluate_mean(hp).rmse_f, 0.04) << nn::to_string(act);
+  }
+}
+
+TEST(Surrogate, LinearScalingOvershootsAtHighStartLr) {
+  // With 6 workers, linear scaling multiplies the LR by 6 and overshoots the
+  // optimum that "none" hits directly (the paper's hypothesis).
+  const TrainingSurrogate surrogate;
+  HyperParams none_hp = good_hp();  // start 0.0047, none -> eff 0.0047
+  HyperParams linear_hp = good_hp();
+  linear_hp.scale_by_worker = nn::LrScaling::kLinear;  // eff 0.028
+  const SurrogateOutcome none_out = surrogate.evaluate_mean(none_hp);
+  const SurrogateOutcome linear_out = surrogate.evaluate_mean(linear_hp);
+  EXPECT_FALSE(none_out.failed);
+  EXPECT_TRUE(linear_out.failed || linear_out.rmse_f > none_out.rmse_f);
+}
+
+TEST(Surrogate, SqrtScalingCompetitiveAtModerateStartLr) {
+  const TrainingSurrogate surrogate;
+  HyperParams hp = good_hp();
+  hp.start_lr = 0.0019;
+  hp.scale_by_worker = nn::LrScaling::kSqrt;  // eff ~ 0.0047
+  const SurrogateOutcome outcome = surrogate.evaluate_mean(hp);
+  EXPECT_FALSE(outcome.failed);
+  EXPECT_LT(outcome.rmse_f, 0.04);
+}
+
+TEST(Surrogate, StopLrTradeoffShapesThePareto) {
+  // High stop_lr: longer force-dominant phase -> better force, worse energy.
+  const TrainingSurrogate surrogate;
+  HyperParams high = good_hp();
+  high.stop_lr = 1e-4;
+  HyperParams low = good_hp();
+  low.stop_lr = 2e-5;
+  const SurrogateOutcome high_out = surrogate.evaluate_mean(high);
+  const SurrogateOutcome low_out = surrogate.evaluate_mean(low);
+  EXPECT_LT(high_out.rmse_f, low_out.rmse_f);
+  EXPECT_GT(high_out.rmse_e, low_out.rmse_e);
+}
+
+TEST(Surrogate, VeryLowStopLrUndertrains) {
+  const TrainingSurrogate surrogate;
+  HyperParams hp = good_hp();
+  hp.stop_lr = 3.51e-8;  // the paper's lower bound: decays far too fast
+  const SurrogateOutcome outcome = surrogate.evaluate_mean(hp);
+  EXPECT_GT(outcome.rmse_f, 0.04);  // not chemically accurate
+}
+
+TEST(Surrogate, TinyLearningRatesLeaveModelUntrained) {
+  // Gen-0 outliers of Figure 1: force error ~ O(1) eV/A.
+  const TrainingSurrogate surrogate;
+  HyperParams hp = good_hp();
+  hp.start_lr = 3.51e-8;
+  hp.stop_lr = 3.51e-8;
+  const SurrogateOutcome outcome = surrogate.evaluate_mean(hp);
+  EXPECT_GT(outcome.rmse_f, 0.6);
+  EXPECT_GT(outcome.rmse_e, 0.03);
+}
+
+TEST(Surrogate, InvalidCutoffOrderingFailsFast) {
+  const TrainingSurrogate surrogate;
+  HyperParams hp = good_hp();
+  hp.rcut = 6.0;
+  hp.rcut_smth = 6.0;  // possible under Table 1 ranges
+  const SurrogateOutcome outcome = surrogate.evaluate_mean(hp);
+  EXPECT_TRUE(outcome.failed);
+  EXPECT_LE(outcome.runtime_minutes, 6.0);  // "very short runtimes"
+}
+
+TEST(Surrogate, ExtremeEffectiveLrDiverges) {
+  const TrainingSurrogate surrogate;
+  HyperParams hp = good_hp();
+  hp.start_lr = 0.01;
+  hp.scale_by_worker = nn::LrScaling::kLinear;  // eff 0.06
+  std::size_t failures = 0;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    if (surrogate.evaluate(hp, seed).failed) ++failures;
+  }
+  EXPECT_GT(failures, 20u);  // substantial divergence risk
+}
+
+TEST(Surrogate, SmoothingPenaltyAboveThreshold) {
+  const TrainingSurrogate surrogate;
+  HyperParams low = good_hp();
+  low.rcut_smth = 3.0;
+  HyperParams high = good_hp();
+  high.rcut_smth = 5.8;
+  EXPECT_GT(surrogate.evaluate_mean(high).rmse_f,
+            surrogate.evaluate_mean(low).rmse_f);
+}
+
+TEST(Surrogate, SoftplusDescriptorSlowerThanTanh) {
+  // The Table-3 runtime signature.
+  const TrainingSurrogate surrogate;
+  HyperParams softplus_hp = good_hp();
+  softplus_hp.desc_activ_func = nn::Activation::kSoftplus;
+  EXPECT_GT(surrogate.evaluate_mean(softplus_hp).runtime_minutes,
+            surrogate.evaluate_mean(good_hp()).runtime_minutes);
+}
+
+TEST(Surrogate, DeterministicPerSeedAndVariesAcrossSeeds) {
+  const TrainingSurrogate surrogate;
+  const SurrogateOutcome a = surrogate.evaluate(good_hp(), 42);
+  const SurrogateOutcome b = surrogate.evaluate(good_hp(), 42);
+  EXPECT_DOUBLE_EQ(a.rmse_f, b.rmse_f);
+  EXPECT_DOUBLE_EQ(a.runtime_minutes, b.runtime_minutes);
+  const SurrogateOutcome c = surrogate.evaluate(good_hp(), 43);
+  EXPECT_NE(a.rmse_f, c.rmse_f);
+}
+
+TEST(Surrogate, NoiseCentredOnMeanSurface) {
+  const TrainingSurrogate surrogate;
+  const double mean_f = surrogate.evaluate_mean(good_hp()).rmse_f;
+  double total = 0.0;
+  int count = 0;
+  for (std::uint64_t seed = 0; seed < 400; ++seed) {
+    const SurrogateOutcome outcome = surrogate.evaluate(good_hp(), seed);
+    if (outcome.failed) continue;
+    total += outcome.rmse_f;
+    ++count;
+  }
+  EXPECT_GT(count, 390);
+  EXPECT_NEAR(total / count, mean_f, 0.08 * mean_f);
+}
+
+TEST(Surrogate, ParetoRangeMatchesTable2Scale) {
+  // The best reachable force error should sit near the paper's frontier
+  // (0.0357..0.0409 eV/A), not orders of magnitude away.
+  const TrainingSurrogate surrogate;
+  HyperParams hp = good_hp();
+  hp.rcut = 12.0;
+  const double best_f = surrogate.evaluate_mean(hp).rmse_f;
+  EXPECT_GT(best_f, 0.02);
+  EXPECT_LT(best_f, 0.05);
+  hp.stop_lr = 2e-5;
+  const double best_e = surrogate.evaluate_mean(hp).rmse_e;
+  EXPECT_GT(best_e, 0.0001);
+  EXPECT_LT(best_e, 0.002);
+}
+
+}  // namespace
+}  // namespace dpho::core

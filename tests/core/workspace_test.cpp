@@ -1,0 +1,108 @@
+#include "core/workspace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/deepmd_repr.hpp"
+#include "util/fs.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/str_template.hpp"
+
+namespace dpho::core {
+namespace {
+
+ea::Individual sample_individual(util::Rng& rng) {
+  const DeepMDRepresentation repr;
+  return repr.representation().create_individual(rng);
+}
+
+TEST(Workspace, RunDirNamedAfterUuid) {
+  util::TempDir dir;
+  const Workspace workspace(dir.path());
+  util::Rng rng(1);
+  const ea::Individual individual = sample_individual(rng);
+  EXPECT_EQ(workspace.run_dir(individual).filename().string(),
+            individual.uuid.str());
+}
+
+TEST(Workspace, PrepareWritesSubstitutedInputJson) {
+  util::TempDir dir;
+  const Workspace workspace(dir.path());
+  util::Rng rng(2);
+  const DeepMDRepresentation repr;
+  const ea::Individual individual = sample_individual(rng);
+  const HyperParams hp = repr.decode(individual.genome);
+  const auto input_path = workspace.prepare(individual, hp);
+  ASSERT_TRUE(std::filesystem::exists(input_path));
+
+  // The rendered file is valid JSON with the decoded values in place.
+  const util::Json doc = util::Json::parse(util::read_file(input_path));
+  EXPECT_NEAR(doc.at("model").at("descriptor").at("rcut").as_number(), hp.rcut, 1e-9);
+  EXPECT_NEAR(doc.at("learning_rate").at("start_lr").as_number(), hp.start_lr, 1e-12);
+  EXPECT_EQ(doc.at("model").at("descriptor").at("activation_function").as_string(),
+            nn::to_string(hp.desc_activ_func));
+  EXPECT_EQ(doc.at("learning_rate").at("scale_by_worker").as_string(),
+            nn::to_string(hp.scale_by_worker));
+}
+
+TEST(Workspace, PreparedInputJsonIsLoadableTrainConfig) {
+  util::TempDir dir;
+  const Workspace workspace(dir.path());
+  util::Rng rng(3);
+  const DeepMDRepresentation repr;
+  // Keep drawing until the genome decodes to a valid DeePMD config.
+  for (int i = 0; i < 50; ++i) {
+    const ea::Individual individual = sample_individual(rng);
+    const HyperParams hp = repr.decode(individual.genome);
+    if (!hp.config_valid()) continue;
+    const auto input_path = workspace.prepare(individual, hp);
+    const dp::TrainInput input =
+        dp::TrainInput::from_json_text(util::read_file(input_path));
+    EXPECT_DOUBLE_EQ(input.descriptor.rcut, hp.rcut);
+    EXPECT_EQ(input.fitting.activation, hp.fitting_activ_func);
+    EXPECT_EQ(input.training.numb_steps, 40000u);  // the paper's fixed budget
+    EXPECT_EQ(input.num_workers, 6u);
+    return;
+  }
+  FAIL() << "no valid genome drawn";
+}
+
+TEST(Workspace, DefaultTemplateHasAllSevenPlaceholders) {
+  const util::StrTemplate t(default_input_template());
+  const auto names = t.placeholders();
+  EXPECT_EQ(names.size(), 7u);
+}
+
+TEST(Workspace, CustomTemplateSupported) {
+  util::TempDir dir;
+  const Workspace workspace(dir.path(), "rcut=${rcut}");
+  util::Rng rng(4);
+  const DeepMDRepresentation repr;
+  const ea::Individual individual = sample_individual(rng);
+  HyperParams hp = repr.decode(individual.genome);
+  hp.rcut = 9.25;
+  const auto input_path = workspace.prepare(individual, hp);
+  EXPECT_EQ(util::read_file(input_path), "rcut=9.25");
+}
+
+TEST(Workspace, LcurvePathInsideRunDir) {
+  util::TempDir dir;
+  const Workspace workspace(dir.path());
+  util::Rng rng(5);
+  const ea::Individual individual = sample_individual(rng);
+  EXPECT_EQ(workspace.lcurve_path(individual).parent_path(),
+            workspace.run_dir(individual));
+  EXPECT_EQ(workspace.lcurve_path(individual).filename().string(), "lcurve.out");
+}
+
+TEST(Workspace, DistinctIndividualsGetDistinctDirs) {
+  util::TempDir dir;
+  const Workspace workspace(dir.path());
+  util::Rng rng(6);
+  const ea::Individual a = sample_individual(rng);
+  const ea::Individual b = sample_individual(rng);
+  EXPECT_NE(workspace.run_dir(a), workspace.run_dir(b));
+}
+
+}  // namespace
+}  // namespace dpho::core

@@ -1,0 +1,95 @@
+#include "dp/lcurve.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+namespace dpho::dp {
+namespace {
+
+LcurveWriter sample_writer() {
+  LcurveWriter writer;
+  writer.add(LcurveRow{0, 0.15, 0.14, 1.2, 1.1, 1e-3});
+  writer.add(LcurveRow{100, 0.05, 0.04, 0.5, 0.45, 5e-4});
+  writer.add(LcurveRow{200, 0.0016, 0.0015, 0.0357, 0.034, 1e-8});
+  return writer;
+}
+
+TEST(Lcurve, RenderParsesBack) {
+  const LcurveWriter writer = sample_writer();
+  const auto rows = LcurveReader::parse(writer.render());
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].step, 0u);
+  EXPECT_EQ(rows[2].step, 200u);
+  EXPECT_NEAR(rows[2].rmse_e_val, 0.0016, 1e-6);
+  EXPECT_NEAR(rows[2].rmse_f_val, 0.0357, 1e-6);
+  EXPECT_NEAR(rows[1].lr, 5e-4, 1e-9);
+}
+
+TEST(Lcurve, WriteReadRoundTrip) {
+  util::TempDir dir;
+  const auto path = dir.path() / "lcurve.out";
+  sample_writer().write(path);
+  const auto rows = LcurveReader::read(path);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_NEAR(rows[1].rmse_f_trn, 0.45, 1e-6);
+}
+
+TEST(Lcurve, FinalValidationLossesReadsLastRow) {
+  // The paper's step 4c: take the last rmse_e_val / rmse_f_val values.
+  util::TempDir dir;
+  const auto path = dir.path() / "lcurve.out";
+  sample_writer().write(path);
+  const auto [rmse_e, rmse_f] = LcurveReader::final_validation_losses(path);
+  EXPECT_NEAR(rmse_e, 0.0016, 1e-6);
+  EXPECT_NEAR(rmse_f, 0.0357, 1e-6);
+}
+
+TEST(Lcurve, EmptyFileThrows) {
+  util::TempDir dir;
+  const auto path = dir.path() / "lcurve.out";
+  util::write_file(path, "#  step      rmse_e_val rmse_e_trn rmse_f_val rmse_f_trn lr\n");
+  EXPECT_THROW(LcurveReader::final_validation_losses(path), util::ParseError);
+}
+
+TEST(Lcurve, ColumnsLocatedByHeaderNameNotPosition) {
+  // A reordered file (as other DeePMD versions emit) still parses correctly.
+  const std::string text =
+      "# step lr rmse_f_val rmse_e_val\n"
+      "10 0.001 0.5 0.05\n";
+  const auto rows = LcurveReader::parse(text);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_NEAR(rows[0].rmse_f_val, 0.5, 1e-12);
+  EXPECT_NEAR(rows[0].rmse_e_val, 0.05, 1e-12);
+  EXPECT_NEAR(rows[0].lr, 0.001, 1e-12);
+}
+
+TEST(Lcurve, RowHeaderMismatchThrows) {
+  const std::string text =
+      "# step rmse_e_val\n"
+      "10 0.1 0.2\n";  // extra column
+  EXPECT_THROW(LcurveReader::parse(text), util::ParseError);
+}
+
+TEST(Lcurve, MissingHeaderThrows) {
+  EXPECT_THROW(LcurveReader::parse("10 0.1 0.2\n"), util::ParseError);
+}
+
+TEST(Lcurve, ScientificNotationRendered) {
+  LcurveWriter writer;
+  writer.add(LcurveRow{40000, 3.51e-8, 0, 1.23e-2, 0, 1e-8});
+  const std::string text = writer.render();
+  EXPECT_NE(text.find("3.5100e-08"), std::string::npos);
+  EXPECT_NE(text.find("1.2300e-02"), std::string::npos);
+}
+
+TEST(Lcurve, BlankLinesIgnored) {
+  const std::string text =
+      "# step rmse_e_val rmse_e_trn rmse_f_val rmse_f_trn lr\n\n"
+      "0 1 1 1 1 0.001\n\n";
+  EXPECT_EQ(LcurveReader::parse(text).size(), 1u);
+}
+
+}  // namespace
+}  // namespace dpho::dp

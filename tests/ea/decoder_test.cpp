@@ -1,0 +1,72 @@
+#include "ea/decoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dpho::ea {
+namespace {
+
+TEST(Decoder, PaperExampleFloorMod) {
+  // Section 2.2.2: gene 5.78 over {"linear","sqrt","none"} ->
+  // floor(5.78) % 3 == 2 -> "none".
+  const std::vector<std::string> choices = {"linear", "sqrt", "none"};
+  EXPECT_EQ(categorical_index(5.78, 3), 2u);
+  EXPECT_EQ(decode_categorical(5.78, choices), "none");
+}
+
+TEST(Decoder, ZeroToOneMapsToFirstChoice) {
+  EXPECT_EQ(categorical_index(0.0, 5), 0u);
+  EXPECT_EQ(categorical_index(0.999, 5), 0u);
+}
+
+TEST(Decoder, IntegerBoundaries) {
+  EXPECT_EQ(categorical_index(1.0, 3), 1u);
+  EXPECT_EQ(categorical_index(2.0, 3), 2u);
+  EXPECT_EQ(categorical_index(3.0, 3), 0u);  // wraps
+  EXPECT_EQ(categorical_index(4.0, 3), 1u);
+}
+
+TEST(Decoder, NegativeGenesWrapPositively) {
+  // floor(-0.5) = -1; mathematical mod 3 -> 2.
+  EXPECT_EQ(categorical_index(-0.5, 3), 2u);
+  EXPECT_EQ(categorical_index(-1.0, 3), 2u);
+  EXPECT_EQ(categorical_index(-3.0, 3), 0u);
+  EXPECT_EQ(categorical_index(-4.2, 3), 1u);  // floor = -5, mod 3 = 1
+}
+
+TEST(Decoder, ResultAlwaysInRange) {
+  for (double gene = -20.0; gene < 20.0; gene += 0.37) {
+    EXPECT_LT(categorical_index(gene, 5), 5u) << gene;
+  }
+}
+
+TEST(Decoder, ActivationDecodeOrderMatchesPaper) {
+  const std::vector<std::string> acts = {"relu", "relu6", "softplus", "sigmoid",
+                                         "tanh"};
+  EXPECT_EQ(decode_categorical(0.3, acts), "relu");
+  EXPECT_EQ(decode_categorical(1.5, acts), "relu6");
+  EXPECT_EQ(decode_categorical(2.9, acts), "softplus");
+  EXPECT_EQ(decode_categorical(3.01, acts), "sigmoid");
+  EXPECT_EQ(decode_categorical(4.99, acts), "tanh");
+}
+
+TEST(Decoder, ErrorsOnBadInput) {
+  EXPECT_THROW(categorical_index(1.0, 0), util::ValueError);
+  EXPECT_THROW(categorical_index(std::nan(""), 3), util::ValueError);
+  EXPECT_THROW(categorical_index(INFINITY, 3), util::ValueError);
+}
+
+TEST(Decoder, GaussianMutationCompatibility) {
+  // The whole point of floor-mod decoding: any real value a Gaussian
+  // mutation can produce maps to a valid category.
+  const std::vector<std::string> choices = {"a", "b", "c"};
+  for (double gene : {-7.3, -0.0001, 0.0, 1.9999, 2.0001, 3.0, 1000.5}) {
+    EXPECT_NO_THROW(decode_categorical(gene, choices)) << gene;
+  }
+}
+
+}  // namespace
+}  // namespace dpho::ea

@@ -1,0 +1,70 @@
+#include "ea/individual.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace dpho::ea {
+namespace {
+
+TEST(Individual, CreateAssignsUuidAndGeneration) {
+  util::Rng rng(1);
+  const Individual a = Individual::create({1.0, 2.0}, rng, 3);
+  EXPECT_FALSE(a.uuid.is_nil());
+  EXPECT_EQ(a.birth_generation, 3);
+  EXPECT_FALSE(a.evaluated());
+  EXPECT_FALSE(a.failed());
+}
+
+TEST(Individual, CloneGetsFreshUuidSameGenome) {
+  util::Rng rng(2);
+  Individual parent = Individual::create({1.0, 2.0, 3.0}, rng);
+  parent.fitness = {0.5, 0.5};
+  const Individual child = parent.clone(rng);
+  EXPECT_EQ(child.genome, parent.genome);
+  EXPECT_NE(child.uuid, parent.uuid);
+  EXPECT_FALSE(child.evaluated());  // clone starts unevaluated
+}
+
+TEST(Individual, FailureFitnessIsMaxInt) {
+  EXPECT_DOUBLE_EQ(kFailureFitness, 2147483647.0);
+}
+
+TEST(Individual, StatusStrings) {
+  EXPECT_EQ(to_string(EvalStatus::kOk), "ok");
+  EXPECT_EQ(to_string(EvalStatus::kTimeout), "timeout");
+  EXPECT_EQ(to_string(EvalStatus::kTrainingError), "training_error");
+  EXPECT_EQ(to_string(EvalStatus::kNodeFailure), "node_failure");
+}
+
+TEST(Individual, MaxIntSortsDeterministicallyUnlikeNan) {
+  // The regression the paper describes (section 2.2.4): sorting fitnesses
+  // containing NaN is undefined; MAXINT keeps a strict weak ordering.
+  std::vector<double> with_nan = {0.5, std::nan(""), 0.1, std::nan(""), 0.3};
+  // std::sort with NaN violates strict weak ordering -- demonstrate that the
+  // comparator itself is inconsistent (the root cause).
+  const double nan_value = std::nan("");
+  EXPECT_FALSE(nan_value < 0.5);
+  EXPECT_FALSE(0.5 < nan_value);
+  EXPECT_FALSE(nan_value == 0.5);  // incomparable: breaks equivalence classes
+
+  std::vector<double> with_maxint = {0.5, kFailureFitness, 0.1, kFailureFitness, 0.3};
+  std::sort(with_maxint.begin(), with_maxint.end());
+  EXPECT_DOUBLE_EQ(with_maxint.front(), 0.1);
+  EXPECT_DOUBLE_EQ(with_maxint.back(), kFailureFitness);
+  EXPECT_DOUBLE_EQ(with_maxint[3], kFailureFitness);
+}
+
+TEST(Individual, EvaluatedAndFailedFlags) {
+  util::Rng rng(3);
+  Individual x = Individual::create({0.0}, rng);
+  x.fitness = {kFailureFitness, kFailureFitness};
+  x.status = EvalStatus::kTimeout;
+  EXPECT_TRUE(x.evaluated());
+  EXPECT_TRUE(x.failed());
+}
+
+}  // namespace
+}  // namespace dpho::ea

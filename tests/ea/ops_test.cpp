@@ -1,0 +1,202 @@
+#include "ea/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace dpho::ea {
+namespace {
+
+Population make_parents(std::size_t n, util::Rng& rng) {
+  Population parents;
+  for (std::size_t i = 0; i < n; ++i) {
+    Individual ind = Individual::create({static_cast<double>(i), 0.0}, rng);
+    ind.fitness = {static_cast<double>(i), static_cast<double>(n - i)};
+    parents.push_back(std::move(ind));
+  }
+  return parents;
+}
+
+TEST(Ops, RandomSelectionDrawsFromParents) {
+  util::Rng rng(1);
+  const Population parents = make_parents(5, rng);
+  const SourceOp source = random_selection(parents, rng);
+  std::set<double> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(source().genome[0]);
+  EXPECT_EQ(seen.size(), 5u);  // with replacement, all parents eventually drawn
+}
+
+TEST(Ops, RandomSelectionEmptyThrows) {
+  util::Rng rng(1);
+  const Population empty;
+  EXPECT_THROW(random_selection(empty, rng), util::ValueError);
+}
+
+TEST(Ops, CloneResetsIdentityAndFitness) {
+  util::Rng rng(2);
+  Population parents = make_parents(1, rng);
+  const StreamOp cloner = clone_op(rng);
+  const Individual child = cloner(parents[0]);
+  EXPECT_EQ(child.genome, parents[0].genome);
+  EXPECT_NE(child.uuid, parents[0].uuid);
+  EXPECT_FALSE(child.evaluated());
+}
+
+TEST(Ops, MutateGaussianPerturbsEveryGene) {
+  util::Rng rng(3);
+  Context context;
+  context.mutation_std() = {0.5, 0.5};
+  const std::vector<Range> bounds = {{-100, 100}, {-100, 100}};
+  const StreamOp mutate = mutate_gaussian(context, bounds, rng);
+  Individual parent = Individual::create({0.0, 0.0}, rng);
+  int moved0 = 0, moved1 = 0;
+  for (int i = 0; i < 50; ++i) {
+    const Individual child = mutate(parent);
+    if (child.genome[0] != 0.0) ++moved0;
+    if (child.genome[1] != 0.0) ++moved1;
+  }
+  EXPECT_EQ(moved0, 50);  // isotropic: every gene mutates every time
+  EXPECT_EQ(moved1, 50);
+}
+
+TEST(Ops, MutateGaussianRespectsHardBounds) {
+  util::Rng rng(4);
+  Context context;
+  context.mutation_std() = {10.0};
+  const std::vector<Range> bounds = {{-1.0, 1.0}};
+  const StreamOp mutate = mutate_gaussian(context, bounds, rng);
+  Individual parent = Individual::create({0.0}, rng);
+  for (int i = 0; i < 200; ++i) {
+    const Individual child = mutate(parent);
+    EXPECT_GE(child.genome[0], -1.0);
+    EXPECT_LE(child.genome[0], 1.0);
+  }
+}
+
+TEST(Ops, MutateGaussianStdScalesSpread) {
+  util::Rng rng(5);
+  Context context;
+  context.mutation_std() = {0.01};
+  const std::vector<Range> bounds = {{-1e9, 1e9}};
+  const StreamOp mutate = mutate_gaussian(context, bounds, rng);
+  Individual parent = Individual::create({0.0}, rng);
+  std::vector<double> small, large;
+  for (int i = 0; i < 500; ++i) small.push_back(mutate(parent).genome[0]);
+  context.mutation_std() = {1.0};
+  for (int i = 0; i < 500; ++i) large.push_back(mutate(parent).genome[0]);
+  EXPECT_LT(util::stddev(small) * 10.0, util::stddev(large));
+}
+
+TEST(Ops, MutateGaussianReadsAnnealedStdFromContext) {
+  // The paper multiplies context['std'] by 0.85 per generation; the operator
+  // must observe the updated values without being rebuilt.
+  util::Rng rng(6);
+  Context context;
+  context.mutation_std() = {1.0};
+  const std::vector<Range> bounds = {{-1e9, 1e9}};
+  const StreamOp mutate = mutate_gaussian(context, bounds, rng);
+  Individual parent = Individual::create({0.0}, rng);
+  for (int g = 0; g < 20; ++g) context.anneal_mutation_std(0.85);
+  EXPECT_NEAR(context.mutation_std()[0], std::pow(0.85, 20), 1e-12);
+  std::vector<double> samples;
+  for (int i = 0; i < 400; ++i) samples.push_back(mutate(parent).genome[0]);
+  EXPECT_NEAR(util::stddev(samples), std::pow(0.85, 20), 0.3 * std::pow(0.85, 20));
+}
+
+TEST(Ops, MutateGaussianSizeMismatchThrows) {
+  util::Rng rng(7);
+  Context context;
+  context.mutation_std() = {0.1};
+  const std::vector<Range> bounds = {{0, 1}, {0, 1}};
+  const StreamOp mutate = mutate_gaussian(context, bounds, rng);
+  Individual parent = Individual::create({0.0, 0.0}, rng);
+  EXPECT_THROW(mutate(parent), util::ValueError);
+}
+
+TEST(Ops, EvalPoolPullsExactlySizeAndEvaluates) {
+  util::Rng rng(8);
+  const Population parents = make_parents(3, rng);
+  const SourceOp source = random_selection(parents, rng);
+  std::size_t evaluated = 0;
+  const PoolOp pool = eval_pool(7, [&](std::vector<Individual*>& pending) {
+    evaluated = pending.size();
+    for (Individual* ind : pending) ind->fitness = {1.0, 2.0};
+  });
+  const Population out = pool(source);
+  EXPECT_EQ(out.size(), 7u);
+  EXPECT_EQ(evaluated, 7u);
+}
+
+TEST(Ops, EvalPoolRejectsUnscoredIndividuals) {
+  util::Rng rng(9);
+  const Population parents = make_parents(2, rng);
+  const SourceOp source = random_selection(parents, rng);
+  const PoolOp pool = eval_pool(2, [](std::vector<Individual*>& pending) {
+    pending[0]->fitness = {1.0};  // second one left unscored
+  });
+  // Parents are pre-evaluated; cloned-through individuals keep fitness, so
+  // strip it first via a clone op in the pipe.
+  const StreamOp cloner = clone_op(rng);
+  EXPECT_THROW(pipe(source, {cloner}, pool, {}), util::ValueError);
+}
+
+TEST(Ops, PipeComposesLeftToRight) {
+  util::Rng rng(10);
+  const Population parents = make_parents(4, rng);
+  Context context;
+  context.mutation_std() = {0.0625, 0.0625};
+  const std::vector<Range> bounds = {{-1e9, 1e9}, {-1e9, 1e9}};
+  const Population offspring = pipe(
+      random_selection(parents, rng), {clone_op(rng), mutate_gaussian(context, bounds, rng)},
+      eval_pool(8,
+                [](std::vector<Individual*>& pending) {
+                  for (Individual* ind : pending) {
+                    ind->fitness = {ind->genome[0], ind->genome[1]};
+                  }
+                }),
+      {});
+  EXPECT_EQ(offspring.size(), 8u);
+  for (const Individual& child : offspring) {
+    EXPECT_TRUE(child.evaluated());
+  }
+}
+
+TEST(Ops, TruncationSelectionKeyMatchesListing1) {
+  // key = (-rank, distance): lower rank first; within a rank, larger
+  // crowding distance first.
+  util::Rng rng(11);
+  Population population;
+  const auto add = [&](int rank, double distance) {
+    Individual ind = Individual::create({0.0}, rng);
+    ind.rank = rank;
+    ind.crowding_distance = distance;
+    ind.fitness = {0.0, 0.0};
+    population.push_back(std::move(ind));
+  };
+  add(1, 9.0);
+  add(0, 0.1);
+  add(0, 5.0);
+  add(2, 99.0);
+  add(1, 1.0);
+  const Population selected = truncation_selection(3)(population);
+  ASSERT_EQ(selected.size(), 3u);
+  EXPECT_EQ(selected[0].rank, 0);
+  EXPECT_DOUBLE_EQ(selected[0].crowding_distance, 5.0);
+  EXPECT_EQ(selected[1].rank, 0);
+  EXPECT_DOUBLE_EQ(selected[1].crowding_distance, 0.1);
+  EXPECT_EQ(selected[2].rank, 1);
+  EXPECT_DOUBLE_EQ(selected[2].crowding_distance, 9.0);
+}
+
+TEST(Ops, TruncationSelectionTooSmallThrows) {
+  util::Rng rng(12);
+  Population population = make_parents(2, rng);
+  EXPECT_THROW(truncation_selection(3)(population), util::ValueError);
+}
+
+}  // namespace
+}  // namespace dpho::ea

@@ -1,0 +1,68 @@
+#include "ea/representation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace dpho::ea {
+namespace {
+
+Representation sample_representation() {
+  Representation repr;
+  repr.add_gene({"x", {0.0, 1.0}, 0.1, {0.0, 1.0}});
+  repr.add_gene({"y", {-5.0, 5.0}, 0.5, {-10.0, 10.0}});
+  repr.add_gene({"cat", {0.0, 3.0}, 0.0625, {0.0, 3.0}});
+  return repr;
+}
+
+TEST(Representation, GenomeLengthAndLookup) {
+  const Representation repr = sample_representation();
+  EXPECT_EQ(repr.genome_length(), 3u);
+  EXPECT_EQ(repr.index_of("y"), 1u);
+  EXPECT_THROW(repr.index_of("z"), util::ValueError);
+}
+
+TEST(Representation, RandomGenomeInsideInitRanges) {
+  const Representation repr = sample_representation();
+  util::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const auto genome = repr.random_genome(rng);
+    ASSERT_EQ(genome.size(), 3u);
+    EXPECT_GE(genome[0], 0.0);
+    EXPECT_LT(genome[0], 1.0);
+    EXPECT_GE(genome[1], -5.0);
+    EXPECT_LT(genome[1], 5.0);
+    EXPECT_GE(genome[2], 0.0);
+    EXPECT_LT(genome[2], 3.0);
+  }
+}
+
+TEST(Representation, CreateIndividualHasUuidAndGeneration) {
+  const Representation repr = sample_representation();
+  util::Rng rng(6);
+  const Individual individual = repr.create_individual(rng, 4);
+  EXPECT_EQ(individual.genome.size(), 3u);
+  EXPECT_FALSE(individual.uuid.is_nil());
+  EXPECT_EQ(individual.birth_generation, 4);
+}
+
+TEST(Representation, InitialStdsMatchGenes) {
+  const Representation repr = sample_representation();
+  EXPECT_EQ(repr.initial_stds(), (std::vector<double>{0.1, 0.5, 0.0625}));
+}
+
+TEST(Representation, BoundsMatchGenes) {
+  const auto bounds = sample_representation().bounds();
+  ASSERT_EQ(bounds.size(), 3u);
+  EXPECT_DOUBLE_EQ(bounds[1].lo, -10.0);
+  EXPECT_DOUBLE_EQ(bounds[1].hi, 10.0);
+}
+
+TEST(Representation, RandomGenomesDiffer) {
+  const Representation repr = sample_representation();
+  util::Rng rng(7);
+  EXPECT_NE(repr.random_genome(rng), repr.random_genome(rng));
+}
+
+}  // namespace
+}  // namespace dpho::ea

@@ -1,0 +1,142 @@
+#include "ea/variation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.hpp"
+
+namespace dpho::ea {
+namespace {
+
+Population annotated_parents(util::Rng& rng) {
+  Population parents;
+  for (int i = 0; i < 6; ++i) {
+    Individual ind = Individual::create({static_cast<double>(i), 10.0 - i}, rng);
+    ind.rank = i / 2;                      // ranks 0,0,1,1,2,2
+    ind.crowding_distance = i % 2 ? 2.0 : 1.0;
+    parents.push_back(std::move(ind));
+  }
+  return parents;
+}
+
+TEST(Tournament, PrefersLowerRank) {
+  util::Rng rng(1);
+  const Population parents = annotated_parents(rng);
+  const SourceOp select = tournament_selection(parents, 4, rng);
+  int rank0 = 0;
+  const int draws = 400;
+  for (int i = 0; i < draws; ++i) {
+    if (select().rank == 0) ++rank0;
+  }
+  // With 4-way tournaments over ranks {0,0,1,1,2,2}, rank 0 should win the
+  // overwhelming majority.
+  EXPECT_GT(rank0, draws * 3 / 4);
+}
+
+TEST(Tournament, SizeOneIsUniform) {
+  util::Rng rng(2);
+  const Population parents = annotated_parents(rng);
+  const SourceOp select = tournament_selection(parents, 1, rng);
+  std::set<int> ranks_seen;
+  for (int i = 0; i < 300; ++i) ranks_seen.insert(select().rank);
+  EXPECT_EQ(ranks_seen.size(), 3u);  // every rank drawn
+}
+
+TEST(Tournament, BreaksTiesByCrowding) {
+  util::Rng rng(3);
+  Population parents;
+  Individual a = Individual::create({0.0}, rng);
+  a.rank = 0;
+  a.crowding_distance = 5.0;
+  Individual b = Individual::create({1.0}, rng);
+  b.rank = 0;
+  b.crowding_distance = 0.5;
+  parents.push_back(a);
+  parents.push_back(b);
+  const SourceOp select = tournament_selection(parents, 2, rng);
+  int crowded_wins = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (select().genome[0] == 0.0) ++crowded_wins;
+  }
+  EXPECT_GT(crowded_wins, 140);  // ties favour the less crowded individual
+}
+
+TEST(Tournament, Validation) {
+  util::Rng rng(4);
+  const Population empty;
+  EXPECT_THROW(tournament_selection(empty, 2, rng), util::ValueError);
+  const Population parents = annotated_parents(rng);
+  EXPECT_THROW(tournament_selection(parents, 0, rng), util::ValueError);
+}
+
+TEST(UniformCrossover, SwapProbabilityZeroKeepsChild) {
+  util::Rng rng(5);
+  const Population parents = annotated_parents(rng);
+  const StreamOp cross = uniform_crossover(parents, 0.0, rng);
+  Individual child = Individual::create({-7.0, -8.0}, rng);
+  const Individual out = cross(child);
+  EXPECT_EQ(out.genome, child.genome);
+}
+
+TEST(UniformCrossover, SwapProbabilityOneTakesDonor) {
+  util::Rng rng(6);
+  Population parents;
+  parents.push_back(Individual::create({42.0, 43.0}, rng));
+  const StreamOp cross = uniform_crossover(parents, 1.0, rng);
+  const Individual out = cross(Individual::create({0.0, 0.0}, rng));
+  EXPECT_EQ(out.genome, (std::vector<double>{42.0, 43.0}));
+}
+
+TEST(UniformCrossover, ClearsFitness) {
+  util::Rng rng(7);
+  const Population parents = annotated_parents(rng);
+  const StreamOp cross = uniform_crossover(parents, 0.5, rng);
+  Individual child = Individual::create({1.0, 2.0}, rng);
+  child.fitness = {0.1, 0.2};
+  EXPECT_FALSE(cross(child).evaluated());
+}
+
+TEST(UniformCrossover, GenomeLengthMismatchThrows) {
+  util::Rng rng(8);
+  Population parents;
+  parents.push_back(Individual::create({1.0}, rng));
+  const StreamOp cross = uniform_crossover(parents, 1.0, rng);
+  EXPECT_THROW(cross(Individual::create({1.0, 2.0}, rng)), util::ValueError);
+}
+
+TEST(BlendCrossover, AlphaZeroStaysInsideParentInterval) {
+  util::Rng rng(9);
+  Population parents;
+  parents.push_back(Individual::create({2.0, -1.0}, rng));
+  const StreamOp cross = blend_crossover(parents, 0.0, rng);
+  for (int i = 0; i < 100; ++i) {
+    const Individual out = cross(Individual::create({4.0, 1.0}, rng));
+    EXPECT_GE(out.genome[0], 2.0);
+    EXPECT_LE(out.genome[0], 4.0);
+    EXPECT_GE(out.genome[1], -1.0);
+    EXPECT_LE(out.genome[1], 1.0);
+  }
+}
+
+TEST(BlendCrossover, AlphaExtendsBeyondParents) {
+  util::Rng rng(10);
+  Population parents;
+  parents.push_back(Individual::create({0.0}, rng));
+  const StreamOp cross = blend_crossover(parents, 0.5, rng);
+  bool outside = false;
+  for (int i = 0; i < 300 && !outside; ++i) {
+    const Individual out = cross(Individual::create({1.0}, rng));
+    if (out.genome[0] < 0.0 || out.genome[0] > 1.0) outside = true;
+  }
+  EXPECT_TRUE(outside);
+}
+
+TEST(BlendCrossover, NegativeAlphaThrows) {
+  util::Rng rng(11);
+  const Population parents = annotated_parents(rng);
+  EXPECT_THROW(blend_crossover(parents, -0.1, rng), util::ValueError);
+}
+
+}  // namespace
+}  // namespace dpho::ea

@@ -1,0 +1,200 @@
+#include "hpc/taskfarm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dpho::hpc {
+namespace {
+
+FarmConfig basic_config(std::size_t nodes) {
+  FarmConfig config;
+  config.job.nodes = nodes;
+  config.job.wall_limit_minutes = 12 * 60;
+  config.task_timeout_minutes = 120.0;
+  config.real_threads = 2;
+  return config;
+}
+
+WorkFn constant_work(double minutes, double fitness = 1.0) {
+  return [minutes, fitness](std::size_t) {
+    return WorkResult{{fitness, fitness}, minutes, false};
+  };
+}
+
+TEST(TaskFarm, SummitSpecMatchesPaper) {
+  const ClusterSpec summit = ClusterSpec::summit();
+  EXPECT_EQ(summit.total_nodes, 4608u);
+  EXPECT_EQ(summit.gpus_per_node, 6u);
+  EXPECT_EQ(summit.cores_per_node, 42u);
+  EXPECT_NEAR(summit.gpu_speedup, 65.0, 1e-12);
+}
+
+TEST(TaskFarm, OneTaskPerNodeMakespanIsMaxRuntime) {
+  // The paper's configuration: population size == node count, so one wave.
+  DaskCluster farm(ClusterSpec::testbed(8), basic_config(8));
+  const WorkFn work = [](std::size_t i) {
+    return WorkResult{{0.0, 0.0}, 60.0 + static_cast<double>(i), false};
+  };
+  const BatchReport report = farm.run_batch(8, work);
+  EXPECT_DOUBLE_EQ(report.makespan_minutes, 67.0);
+  EXPECT_DOUBLE_EQ(farm.clock_minutes(), 67.0);
+  for (const auto& task : report.tasks) {
+    EXPECT_EQ(task.status, TaskStatus::kOk);
+  }
+}
+
+TEST(TaskFarm, MoreTasksThanNodesQueues) {
+  DaskCluster farm(ClusterSpec::testbed(2), basic_config(2));
+  const BatchReport report = farm.run_batch(6, constant_work(10.0));
+  // 6 tasks, 2 workers, 10 min each -> 3 waves.
+  EXPECT_DOUBLE_EQ(report.makespan_minutes, 30.0);
+}
+
+TEST(TaskFarm, FitnessPropagated) {
+  DaskCluster farm(ClusterSpec::testbed(2), basic_config(2));
+  const WorkFn work = [](std::size_t i) {
+    return WorkResult{{0.001 * static_cast<double>(i), 0.03}, 5.0, false};
+  };
+  const BatchReport report = farm.run_batch(3, work);
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_EQ(report.tasks[i].fitness.size(), 2u);
+    EXPECT_DOUBLE_EQ(report.tasks[i].fitness[0], 0.001 * static_cast<double>(i));
+  }
+}
+
+TEST(TaskFarm, TimeoutTasksMarkedAndCapped) {
+  // The paper's two-hour cap (section 2.2.4).
+  DaskCluster farm(ClusterSpec::testbed(2), basic_config(2));
+  const BatchReport report = farm.run_batch(2, constant_work(500.0));
+  for (const auto& task : report.tasks) {
+    EXPECT_EQ(task.status, TaskStatus::kTimeout);
+    EXPECT_DOUBLE_EQ(task.sim_minutes, 120.0);
+    EXPECT_TRUE(task.fitness.empty());
+  }
+  EXPECT_DOUBLE_EQ(report.makespan_minutes, 120.0);
+}
+
+TEST(TaskFarm, TrainingErrorsFailFast) {
+  DaskCluster farm(ClusterSpec::testbed(2), basic_config(2));
+  const WorkFn work = [](std::size_t) {
+    return WorkResult{{}, 70.0, true};  // diverged almost immediately
+  };
+  const BatchReport report = farm.run_batch(2, work);
+  for (const auto& task : report.tasks) {
+    EXPECT_EQ(task.status, TaskStatus::kTrainingError);
+    EXPECT_LE(task.sim_minutes, 1.0);  // "very short runtimes" for failures
+  }
+}
+
+TEST(TaskFarm, NodeFailuresReassignWithoutNanny) {
+  FarmConfig config = basic_config(10);
+  config.node_failure_probability = 0.2;
+  config.seed = 99;
+  DaskCluster farm(ClusterSpec::testbed(10), config);
+  const BatchReport report = farm.run_batch(30, constant_work(10.0));
+  EXPECT_GT(report.node_failures, 0u);
+  EXPECT_LT(report.workers_remaining, 10u);  // dead nodes never come back
+  std::size_t completed = 0;
+  for (const auto& task : report.tasks) {
+    if (task.status == TaskStatus::kOk) ++completed;
+  }
+  EXPECT_GT(completed, 20u);  // the scheduler routed around the failures
+}
+
+TEST(TaskFarm, RetriedTasksRecordAttempts) {
+  FarmConfig config = basic_config(4);
+  config.node_failure_probability = 0.35;
+  config.seed = 5;
+  DaskCluster farm(ClusterSpec::testbed(4), config);
+  const BatchReport report = farm.run_batch(12, constant_work(5.0));
+  bool saw_retry = false;
+  for (const auto& task : report.tasks) {
+    if (task.attempts > 1) saw_retry = true;
+  }
+  EXPECT_TRUE(saw_retry);
+}
+
+TEST(TaskFarm, AllNodesDeadMarksRemainingTasks) {
+  FarmConfig config = basic_config(2);
+  config.node_failure_probability = 1.0;  // every attempt kills its node
+  DaskCluster farm(ClusterSpec::testbed(2), config);
+  const BatchReport report = farm.run_batch(5, constant_work(5.0));
+  for (const auto& task : report.tasks) {
+    EXPECT_EQ(task.status, TaskStatus::kNodeFailure);
+  }
+  EXPECT_EQ(report.workers_remaining, 0u);
+  EXPECT_THROW(farm.run_batch(1, constant_work(1.0)), util::ValueError);
+}
+
+TEST(TaskFarm, ComputeNodeWorkersCannotRelaunchMpi) {
+  // Section 2.2.5: a worker on a compute node can run only its first
+  // MPI_init-based training; later tasks on that worker fail.
+  FarmConfig config = basic_config(2);
+  config.job.placement = WorkerPlacement::kComputeNode;
+  DaskCluster farm(ClusterSpec::testbed(2), config);
+  const BatchReport report = farm.run_batch(6, constant_work(10.0));
+  std::size_t ok = 0, failed = 0;
+  for (const auto& task : report.tasks) {
+    if (task.status == TaskStatus::kOk) ++ok;
+    if (task.status == TaskStatus::kTrainingError) ++failed;
+  }
+  EXPECT_EQ(ok, 2u);      // one per worker
+  EXPECT_EQ(failed, 4u);  // everything after the first MPI_init
+}
+
+TEST(TaskFarm, BatchNodeWorkersRelaunchFreely) {
+  FarmConfig config = basic_config(2);
+  config.job.placement = WorkerPlacement::kBatchNode;  // the paper's fix
+  DaskCluster farm(ClusterSpec::testbed(2), config);
+  const BatchReport report = farm.run_batch(6, constant_work(10.0));
+  for (const auto& task : report.tasks) {
+    EXPECT_EQ(task.status, TaskStatus::kOk);
+  }
+}
+
+TEST(TaskFarm, JobClockAccumulatesAcrossBatches) {
+  DaskCluster farm(ClusterSpec::testbed(4), basic_config(4));
+  farm.run_batch(4, constant_work(30.0));
+  farm.run_batch(4, constant_work(40.0));
+  EXPECT_DOUBLE_EQ(farm.clock_minutes(), 70.0);
+  EXPECT_DOUBLE_EQ(farm.remaining_minutes(), 12 * 60 - 70.0);
+}
+
+TEST(TaskFarm, DeterministicForSeed) {
+  FarmConfig config = basic_config(5);
+  config.node_failure_probability = 0.1;
+  config.seed = 77;
+  DaskCluster a(ClusterSpec::testbed(5), config);
+  DaskCluster b(ClusterSpec::testbed(5), config);
+  const BatchReport ra = a.run_batch(20, constant_work(7.0));
+  const BatchReport rb = b.run_batch(20, constant_work(7.0));
+  EXPECT_EQ(ra.node_failures, rb.node_failures);
+  EXPECT_DOUBLE_EQ(ra.makespan_minutes, rb.makespan_minutes);
+}
+
+TEST(TaskFarm, ValidatesConfiguration) {
+  EXPECT_THROW(DaskCluster(ClusterSpec::testbed(2), basic_config(0)),
+               util::ValueError);
+  EXPECT_THROW(DaskCluster(ClusterSpec::testbed(2), basic_config(3)),
+               util::ValueError);
+}
+
+TEST(TaskFarm, EmptyBatchIsNoOp) {
+  DaskCluster farm(ClusterSpec::testbed(2), basic_config(2));
+  const BatchReport report = farm.run_batch(0, constant_work(1.0));
+  EXPECT_TRUE(report.tasks.empty());
+  EXPECT_DOUBLE_EQ(farm.clock_minutes(), 0.0);
+}
+
+TEST(TaskFarm, StatusStrings) {
+  EXPECT_EQ(to_string(TaskStatus::kOk), "ok");
+  EXPECT_EQ(to_string(TaskStatus::kTimeout), "timeout");
+  EXPECT_EQ(to_string(TaskStatus::kTrainingError), "training_error");
+  EXPECT_EQ(to_string(TaskStatus::kNodeFailure), "node_failure");
+}
+
+}  // namespace
+}  // namespace dpho::hpc

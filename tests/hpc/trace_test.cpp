@@ -1,0 +1,67 @@
+#include "hpc/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/csv.hpp"
+
+namespace dpho::hpc {
+namespace {
+
+BatchReport sample_report() {
+  FarmConfig config;
+  config.job.nodes = 3;
+  config.real_threads = 2;
+  DaskCluster farm(ClusterSpec::testbed(3), config);
+  return farm.run_batch(7, [](std::size_t i) {
+    return WorkResult{{0.0, 0.0}, 30.0 + 5.0 * static_cast<double>(i % 3),
+                      i == 6};  // one training error
+  });
+}
+
+TEST(Trace, CsvHasOneRowPerTask) {
+  const BatchReport report = sample_report();
+  const auto rows = util::CsvReader::parse(trace_csv(report));
+  ASSERT_EQ(rows.size(), 8u);  // header + 7 tasks
+  EXPECT_EQ(rows[0][0], "task");
+  EXPECT_EQ(rows[0].back(), "status");
+}
+
+TEST(Trace, StartPlusDurationEqualsFinish) {
+  const BatchReport report = sample_report();
+  const auto rows = util::CsvReader::parse(trace_csv(report));
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    const double start = std::stod(rows[r][2]);
+    const double finish = std::stod(rows[r][3]);
+    const double duration = std::stod(rows[r][4]);
+    EXPECT_NEAR(start + duration, finish, 1e-9);
+  }
+}
+
+TEST(Trace, StatusColumnReflectsOutcomes) {
+  const BatchReport report = sample_report();
+  const std::string csv = trace_csv(report);
+  EXPECT_NE(csv.find("training_error"), std::string::npos);
+  EXPECT_NE(csv.find("ok"), std::string::npos);
+}
+
+TEST(Trace, GanttOneRowPerNode) {
+  const BatchReport report = sample_report();
+  const std::string art = gantt_art(report, 40);
+  std::size_t rows = 0;
+  for (char c : art) {
+    if (c == '\n') ++rows;
+  }
+  EXPECT_EQ(rows, 3u);
+  EXPECT_NE(art.find('#'), std::string::npos);   // successful work
+  EXPECT_NE(art.find('x'), std::string::npos);   // the failed task
+}
+
+TEST(Trace, GanttEmptyReport) {
+  BatchReport report;
+  EXPECT_TRUE(gantt_art(report).empty());
+  const auto rows = util::CsvReader::parse(trace_csv(report));
+  EXPECT_EQ(rows.size(), 1u);  // header only
+}
+
+}  // namespace
+}  // namespace dpho::hpc

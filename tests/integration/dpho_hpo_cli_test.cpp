@@ -1,0 +1,78 @@
+// The dpho_hpo production CLI end to end.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "util/csv.hpp"
+#include "util/fs.hpp"
+#include "util/json.hpp"
+
+#ifndef DPHO_HPO_BIN
+#define DPHO_HPO_BIN "dpho_hpo"
+#endif
+
+namespace dpho {
+namespace {
+
+int run_command(const std::string& command) {
+  return WEXITSTATUS(std::system(command.c_str()));
+}
+
+TEST(DphoHpoCli, RunsAndExportsArtifacts) {
+  util::TempDir dir;
+  const std::string out = (dir.path() / "results").string();
+  const int code = run_command(std::string(DPHO_HPO_BIN) +
+                               " --pop 12 --generations 2 --runs 2 --out " + out +
+                               " --quiet > /dev/null 2>&1");
+  ASSERT_EQ(code, 0);
+  for (const char* name : {"evaluations.csv", "parallel_coordinates.csv",
+                           "sensitivity.csv", "summary.json"}) {
+    EXPECT_TRUE(std::filesystem::exists(dir.path() / "results" / name)) << name;
+  }
+  const auto rows = util::CsvReader::parse(
+      util::read_file(dir.path() / "results" / "evaluations.csv"));
+  EXPECT_EQ(rows.size(), 1u + 2u * 3u * 12u);  // header + runs x waves x pop
+  const util::Json summary =
+      util::Json::parse(util::read_file(dir.path() / "results" / "summary.json"));
+  EXPECT_EQ(summary.at("runs").as_array().size(), 2u);
+}
+
+TEST(DphoHpoCli, AsyncModeRuns) {
+  util::TempDir dir;
+  const std::string out = (dir.path() / "async").string();
+  const int code = run_command(std::string(DPHO_HPO_BIN) +
+                               " --async --pop 10 --generations 2 --runs 1 --out " +
+                               out + " --quiet > /dev/null 2>&1");
+  ASSERT_EQ(code, 0);
+  const auto rows = util::CsvReader::parse(
+      util::read_file(dir.path() / "async" / "evaluations.csv"));
+  EXPECT_EQ(rows.size(), 1u + 30u);  // header + pop x (generations + 1)
+}
+
+TEST(DphoHpoCli, RuntimeObjectiveModeRuns) {
+  const int code = run_command(std::string(DPHO_HPO_BIN) +
+                               " --runtime-objective --pop 8 --generations 1"
+                               " --runs 1 --quiet > /dev/null 2>&1");
+  EXPECT_EQ(code, 0);
+}
+
+TEST(DphoHpoCli, HelpPrintsUsage) {
+  util::TempDir dir;
+  const std::string out_file = (dir.path() / "help.txt").string();
+  const int code =
+      run_command(std::string(DPHO_HPO_BIN) + " --help > " + out_file + " 2>&1");
+  EXPECT_EQ(code, 0);
+  const std::string text = util::read_file(out_file);
+  EXPECT_NE(text.find("usage: dpho_hpo"), std::string::npos);
+  EXPECT_NE(text.find("--runtime-objective"), std::string::npos);
+}
+
+TEST(DphoHpoCli, UnknownFlagExitsTwo) {
+  EXPECT_EQ(run_command(std::string(DPHO_HPO_BIN) + " --bogus >/dev/null 2>&1"), 2);
+}
+
+}  // namespace
+}  // namespace dpho

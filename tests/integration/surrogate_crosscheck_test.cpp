@@ -1,0 +1,146 @@
+// Grounding the surrogate: train the *real* dp stack over a small
+// hyperparameter sweep and assert the same qualitative orderings the
+// surrogate encodes (DESIGN.md, substitution table).
+#include <gtest/gtest.h>
+
+#include "core/surrogate.hpp"
+#include "dp/trainer.hpp"
+#include "md/simulation.hpp"
+
+namespace dpho::core {
+namespace {
+
+class CrosscheckSuite : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    md::SimulationConfig sim;
+    sim.spec = md::SystemSpec::scaled_system(1);  // 10 atoms
+    sim.num_frames = 16;
+    sim.equilibration_steps = 200;
+    sim.sample_interval = 3;
+    sim.seed = 99;
+    data_ = new md::LabelledData(md::generate_reference_data(sim, 0.25));
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+
+  static dp::TrainInput base_config(std::size_t steps) {
+    dp::TrainInput config;
+    config.descriptor.rcut = 3.5;
+    config.descriptor.rcut_smth = 2.0;
+    config.descriptor.neuron = {4, 8};
+    config.descriptor.axis_neuron = 3;
+    config.descriptor.sel = 24;
+    config.fitting.neuron = {12};
+    config.learning_rate.start_lr = 0.01;
+    config.learning_rate.stop_lr = 0.003;
+    config.learning_rate.scale_by_worker = nn::LrScaling::kNone;
+    config.training.numb_steps = steps;
+    config.training.disp_freq = steps;  // endpoints only
+    return config;
+  }
+
+  /// Final force validation RMSE averaged over two seeds.
+  static double force_rmse(dp::TrainInput config) {
+    double total = 0.0;
+    for (std::uint64_t seed : {1ull, 2ull}) {
+      config.training.seed = seed;
+      dp::Trainer trainer(config, data_->train, data_->validation);
+      total += trainer.train().rmse_f_val;
+    }
+    return total / 2.0;
+  }
+
+  static md::LabelledData* data_;
+};
+
+md::LabelledData* CrosscheckSuite::data_ = nullptr;
+
+TEST_F(CrosscheckSuite, TrainingBeatsUndertraining) {
+  // Surrogate: tiny learning budgets leave the model near its
+  // initialization error.  Real stack: 2 steps vs 200 steps.
+  dp::TrainInput undertrained = base_config(2);
+  dp::TrainInput trained = base_config(250);
+  EXPECT_LT(force_rmse(trained), 0.9 * force_rmse(undertrained));
+}
+
+TEST_F(CrosscheckSuite, ReasonableLrBeatsVanishingLr) {
+  // Surrogate: effective LR far below the optimum barely learns.
+  dp::TrainInput good = base_config(150);
+  dp::TrainInput vanishing = base_config(150);
+  vanishing.learning_rate.start_lr = 1e-7;
+  vanishing.learning_rate.stop_lr = 1e-8;
+  EXPECT_LT(force_rmse(good), force_rmse(vanishing));
+}
+
+TEST_F(CrosscheckSuite, LargerRcutDoesNotHurt) {
+  // Surrogate: force error decreases with rcut.  At this tiny scale we
+  // assert the weaker monotone form: the larger cutoff is at least
+  // competitive (more information available to the descriptor).
+  dp::TrainInput small_rcut = base_config(150);
+  small_rcut.descriptor.rcut = 2.6;
+  small_rcut.descriptor.rcut_smth = 1.5;
+  dp::TrainInput large_rcut = base_config(150);
+  large_rcut.descriptor.rcut = 3.4;
+  large_rcut.descriptor.rcut_smth = 2.0;
+  EXPECT_LT(force_rmse(large_rcut), 1.15 * force_rmse(small_rcut));
+}
+
+TEST_F(CrosscheckSuite, TanhFittingCompetitiveWithRelu) {
+  // Surrogate: relu fitting nets are markedly worse (they die out in the
+  // paper).  At micro scale we assert the direction with a tolerance band:
+  // tanh is not substantially worse than relu.
+  dp::TrainInput tanh_config = base_config(150);
+  tanh_config.fitting.activation = nn::Activation::kTanh;
+  dp::TrainInput relu_config = base_config(150);
+  relu_config.fitting.activation = nn::Activation::kRelu;
+  EXPECT_LT(force_rmse(tanh_config), 1.1 * force_rmse(relu_config));
+}
+
+TEST_F(CrosscheckSuite, LinearWorkerScalingMultipliesEffectiveLr) {
+  // Surrogate: linear scaling x6 overshoots when start_lr is already good.
+  // Real stack: verify the mechanism itself -- the recorded lcurve LR is 6x.
+  dp::TrainInput none_config = base_config(10);
+  dp::TrainInput linear_config = base_config(10);
+  linear_config.learning_rate.scale_by_worker = nn::LrScaling::kLinear;
+  linear_config.num_workers = 6;
+  dp::Trainer none_trainer(none_config, data_->train, data_->validation);
+  dp::Trainer linear_trainer(linear_config, data_->train, data_->validation);
+  const double none_lr = none_trainer.train().lcurve.rows().front().lr;
+  const double linear_lr = linear_trainer.train().lcurve.rows().front().lr;
+  EXPECT_NEAR(linear_lr / none_lr, 6.0, 1e-9);
+}
+
+TEST_F(CrosscheckSuite, SurrogateAgreesOnAllOrderings) {
+  // The same orderings evaluated on the surrogate's noise-free surface.
+  const TrainingSurrogate surrogate;
+  HyperParams hp;
+  hp.start_lr = 0.0047;
+  hp.stop_lr = 1e-4;
+  hp.rcut = 10.0;
+  hp.rcut_smth = 2.4;
+  hp.scale_by_worker = nn::LrScaling::kNone;
+  hp.desc_activ_func = nn::Activation::kTanh;
+  hp.fitting_activ_func = nn::Activation::kTanh;
+
+  HyperParams vanishing = hp;
+  vanishing.start_lr = 1e-7;
+  vanishing.stop_lr = 3.51e-8;
+  EXPECT_LT(surrogate.evaluate_mean(hp).rmse_f,
+            surrogate.evaluate_mean(vanishing).rmse_f);
+
+  HyperParams small_rcut = hp;
+  small_rcut.rcut = 7.0;
+  EXPECT_LT(surrogate.evaluate_mean(hp).rmse_f,
+            surrogate.evaluate_mean(small_rcut).rmse_f);
+
+  HyperParams relu_fit = hp;
+  relu_fit.fitting_activ_func = nn::Activation::kRelu;
+  EXPECT_LT(surrogate.evaluate_mean(hp).rmse_f,
+            surrogate.evaluate_mean(relu_fit).rmse_f);
+}
+
+}  // namespace
+}  // namespace dpho::core

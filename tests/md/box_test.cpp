@@ -1,0 +1,93 @@
+#include "md/box.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dpho::md {
+namespace {
+
+TEST(Box, BasicProperties) {
+  const Box box(10.0);
+  EXPECT_DOUBLE_EQ(box.length(), 10.0);
+  EXPECT_DOUBLE_EQ(box.volume(), 1000.0);
+  EXPECT_DOUBLE_EQ(box.max_cutoff(), 5.0);
+}
+
+TEST(Box, RejectsNonPositiveLength) {
+  EXPECT_THROW(Box(0.0), util::ValueError);
+  EXPECT_THROW(Box(-1.0), util::ValueError);
+}
+
+TEST(Box, DisplacementWithoutWrapping) {
+  const Box box(10.0);
+  const Vec3 d = box.displacement(Vec3{1.0, 1.0, 1.0}, Vec3{2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(d[0], 1.0);
+  EXPECT_DOUBLE_EQ(d[1], 2.0);
+  EXPECT_DOUBLE_EQ(d[2], 3.0);
+}
+
+TEST(Box, MinimumImageWrapsAcrossBoundary) {
+  const Box box(10.0);
+  const Vec3 d = box.displacement(Vec3{0.5, 0.0, 0.0}, Vec3{9.5, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(d[0], -1.0);  // shorter to go backwards through the wall
+}
+
+TEST(Box, DistanceSymmetry) {
+  const Box box(17.84);
+  util::Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const Vec3 a{rng.uniform(0, 17.84), rng.uniform(0, 17.84), rng.uniform(0, 17.84)};
+    const Vec3 b{rng.uniform(0, 17.84), rng.uniform(0, 17.84), rng.uniform(0, 17.84)};
+    EXPECT_NEAR(box.distance(a, b), box.distance(b, a), 1e-12);
+  }
+}
+
+TEST(Box, DistanceNeverExceedsHalfDiagonal) {
+  const Box box(10.0);
+  util::Rng rng(5);
+  const double limit = 5.0 * std::sqrt(3.0) + 1e-9;
+  for (int i = 0; i < 500; ++i) {
+    const Vec3 a{rng.uniform(-20, 20), rng.uniform(-20, 20), rng.uniform(-20, 20)};
+    const Vec3 b{rng.uniform(-20, 20), rng.uniform(-20, 20), rng.uniform(-20, 20)};
+    EXPECT_LE(box.distance(a, b), limit);
+  }
+}
+
+TEST(Box, DistanceInvariantUnderImageShifts) {
+  const Box box(10.0);
+  const Vec3 a{1.0, 2.0, 3.0};
+  const Vec3 b{4.0, 5.0, 6.0};
+  const double base = box.distance(a, b);
+  const Vec3 shifted{4.0 + 10.0, 5.0 - 20.0, 6.0 + 30.0};
+  EXPECT_NEAR(box.distance(a, shifted), base, 1e-9);
+}
+
+TEST(Box, WrapIntoPrimaryCell) {
+  const Box box(10.0);
+  util::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const Vec3 r{rng.uniform(-50, 50), rng.uniform(-50, 50), rng.uniform(-50, 50)};
+    const Vec3 w = box.wrap(r);
+    for (int k = 0; k < 3; ++k) {
+      EXPECT_GE(w[k], 0.0);
+      EXPECT_LT(w[k], 10.0);
+    }
+    // Wrapping must not change any pairwise geometry.
+    EXPECT_NEAR(box.distance(w, Vec3{0, 0, 0}), box.distance(r, Vec3{0, 0, 0}), 1e-9);
+  }
+}
+
+TEST(Box, WrapIdempotent) {
+  const Box box(10.0);
+  const Vec3 r{23.7, -4.2, 9.999};
+  const Vec3 once = box.wrap(r);
+  const Vec3 twice = box.wrap(once);
+  for (int k = 0; k < 3; ++k) EXPECT_DOUBLE_EQ(once[k], twice[k]);
+}
+
+}  // namespace
+}  // namespace dpho::md

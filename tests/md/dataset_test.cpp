@@ -1,0 +1,131 @@
+#include "md/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/fs.hpp"
+#include "util/rng.hpp"
+
+namespace dpho::md {
+namespace {
+
+FrameDataset make_dataset(std::size_t n_frames, std::uint64_t seed = 1) {
+  util::Rng rng(seed);
+  std::vector<Species> types = {Species::kAl, Species::kCl, Species::kCl,
+                                Species::kCl, Species::kK};
+  FrameDataset dataset(types);
+  for (std::size_t f = 0; f < n_frames; ++f) {
+    Frame frame;
+    frame.box_length = 9.0;
+    frame.energy = -10.0 + rng.uniform();
+    for (std::size_t a = 0; a < types.size(); ++a) {
+      frame.positions.push_back(
+          Vec3{rng.uniform(0, 9), rng.uniform(0, 9), rng.uniform(0, 9)});
+      frame.forces.push_back(
+          Vec3{rng.normal(), rng.normal(), rng.normal()});
+    }
+    dataset.add(std::move(frame));
+  }
+  return dataset;
+}
+
+TEST(Dataset, AddValidatesAtomCount) {
+  FrameDataset dataset({Species::kAl, Species::kCl});
+  Frame bad;
+  bad.positions.resize(3);
+  bad.forces.resize(3);
+  EXPECT_THROW(dataset.add(bad), util::ValueError);
+}
+
+TEST(Dataset, SplitFractions) {
+  const FrameDataset dataset = make_dataset(100);
+  const auto [train, validation] = dataset.split(0.25);
+  EXPECT_EQ(train.size(), 75u);
+  EXPECT_EQ(validation.size(), 25u);
+  EXPECT_EQ(train.types(), dataset.types());
+}
+
+TEST(Dataset, SplitZeroValidation) {
+  const FrameDataset dataset = make_dataset(10);
+  const auto [train, validation] = dataset.split(0.0);
+  EXPECT_EQ(train.size(), 10u);
+  EXPECT_EQ(validation.size(), 0u);
+}
+
+TEST(Dataset, SplitRejectsBadFraction) {
+  const FrameDataset dataset = make_dataset(4);
+  EXPECT_THROW(dataset.split(1.0), util::ValueError);
+  EXPECT_THROW(dataset.split(-0.1), util::ValueError);
+}
+
+TEST(Dataset, ShufflePreservesMultiset) {
+  FrameDataset dataset = make_dataset(50);
+  std::vector<double> energies_before;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    energies_before.push_back(dataset.frame(i).energy);
+  }
+  util::Rng rng(9);
+  dataset.shuffle(rng);
+  std::vector<double> energies_after;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    energies_after.push_back(dataset.frame(i).energy);
+  }
+  EXPECT_NE(energies_before, energies_after);  // actually permuted
+  std::sort(energies_before.begin(), energies_before.end());
+  std::sort(energies_after.begin(), energies_after.end());
+  EXPECT_EQ(energies_before, energies_after);
+}
+
+TEST(Dataset, SaveLoadRoundTrip) {
+  util::TempDir dir;
+  const FrameDataset dataset = make_dataset(12);
+  dataset.save(dir.path() / "system");
+  const FrameDataset back = FrameDataset::load(dir.path() / "system");
+  ASSERT_EQ(back.size(), dataset.size());
+  EXPECT_EQ(back.types(), dataset.types());
+  for (std::size_t f = 0; f < dataset.size(); ++f) {
+    EXPECT_DOUBLE_EQ(back.frame(f).energy, dataset.frame(f).energy);
+    EXPECT_DOUBLE_EQ(back.frame(f).box_length, dataset.frame(f).box_length);
+    for (std::size_t a = 0; a < dataset.num_atoms(); ++a) {
+      for (int k = 0; k < 3; ++k) {
+        EXPECT_DOUBLE_EQ(back.frame(f).positions[a][k],
+                         dataset.frame(f).positions[a][k]);
+        EXPECT_DOUBLE_EQ(back.frame(f).forces[a][k], dataset.frame(f).forces[a][k]);
+      }
+    }
+  }
+}
+
+TEST(Dataset, SaveProducesDeepmdLayout) {
+  util::TempDir dir;
+  make_dataset(3).save(dir.path() / "sys");
+  EXPECT_TRUE(std::filesystem::exists(dir.path() / "sys" / "type.raw"));
+  EXPECT_TRUE(std::filesystem::exists(dir.path() / "sys" / "type_map.raw"));
+  for (const char* name : {"coord.npy", "force.npy", "energy.npy", "box.npy"}) {
+    EXPECT_TRUE(std::filesystem::exists(dir.path() / "sys" / "set.000" / name)) << name;
+  }
+  EXPECT_EQ(util::read_file(dir.path() / "sys" / "type_map.raw"), "Al\nK\nCl\n");
+}
+
+TEST(Dataset, MeanEnergyPerAtom) {
+  FrameDataset dataset({Species::kAl, Species::kCl});
+  for (double e : {-4.0, -6.0}) {
+    Frame frame;
+    frame.energy = e;
+    frame.box_length = 5.0;
+    frame.positions.resize(2);
+    frame.forces.resize(2);
+    dataset.add(std::move(frame));
+  }
+  EXPECT_DOUBLE_EQ(dataset.mean_energy_per_atom(), -2.5);
+}
+
+TEST(Dataset, LoadRejectsCorruptTypes) {
+  util::TempDir dir;
+  make_dataset(2).save(dir.path() / "sys");
+  util::write_file(dir.path() / "sys" / "type.raw", "0\n7\n");
+  EXPECT_THROW(FrameDataset::load(dir.path() / "sys"), util::ParseError);
+}
+
+}  // namespace
+}  // namespace dpho::md

@@ -1,0 +1,152 @@
+#include "md/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "md/simulation.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dpho::md {
+namespace {
+
+/// Shared trajectory: a reasonably equilibrated 40-atom melt.
+class MdAnalysisSuite : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SimulationConfig config;
+    config.spec = SystemSpec::scaled_system(4);  // 40 atoms, L ~ 11.2 A
+    config.num_frames = 60;
+    config.equilibration_steps = 300;
+    config.sample_interval = 5;
+    config.seed = 21;
+    Simulation simulation(config);
+    frames_ = new FrameDataset(simulation.run());
+  }
+  static void TearDownTestSuite() {
+    delete frames_;
+    frames_ = nullptr;
+  }
+  static FrameDataset* frames_;
+};
+
+FrameDataset* MdAnalysisSuite::frames_ = nullptr;
+
+TEST_F(MdAnalysisSuite, RdfVanishesAtContact) {
+  const Rdf rdf = radial_distribution(*frames_, std::nullopt, std::nullopt, 5.0, 50);
+  // No atoms closer than ~1.4 A in a stable melt.
+  for (std::size_t b = 0; b < rdf.g.size(); ++b) {
+    if (rdf.r[b] < 1.2) {
+      EXPECT_DOUBLE_EQ(rdf.g[b], 0.0) << rdf.r[b];
+    }
+  }
+}
+
+TEST_F(MdAnalysisSuite, RdfTailApproachesOne) {
+  const Rdf rdf = radial_distribution(*frames_, std::nullopt, std::nullopt, 5.4, 54);
+  EXPECT_NEAR(rdf.tail_mean(), 1.0, 0.35);
+}
+
+TEST_F(MdAnalysisSuite, CounterIonPeakBeforeLikeIonPeak) {
+  // Charge ordering, the signature of a molten salt: the cation-anion g(r)
+  // peaks at shorter distance than anion-anion.
+  const Rdf al_cl =
+      radial_distribution(*frames_, Species::kAl, Species::kCl, 5.4, 60);
+  const Rdf cl_cl =
+      radial_distribution(*frames_, Species::kCl, Species::kCl, 5.4, 60);
+  const auto counter_peak = al_cl.first_peak(1.0);
+  const auto like_peak = cl_cl.first_peak(1.0);
+  ASSERT_TRUE(counter_peak.has_value());
+  ASSERT_TRUE(like_peak.has_value());
+  EXPECT_LT(counter_peak->r, like_peak->r);
+  EXPECT_GT(counter_peak->height, 1.5);  // strong first shell
+}
+
+TEST_F(MdAnalysisSuite, RdfNormalizationCountsPairs) {
+  // Integral of g(r) * 4 pi r^2 rho dr over the full range recovers roughly
+  // the number of neighbors within r_max.
+  const Rdf rdf = radial_distribution(*frames_, std::nullopt, std::nullopt, 5.0, 50);
+  const double volume = std::pow(frames_->frame(0).box_length, 3);
+  const double density = static_cast<double>(frames_->num_atoms() - 1) / volume;
+  double integral = 0.0;
+  for (std::size_t b = 0; b < rdf.g.size(); ++b) {
+    integral +=
+        rdf.g[b] * 4.0 * 3.14159265358979 * rdf.r[b] * rdf.r[b] * rdf.bin_width;
+  }
+  // Neighbors inside r_max: rho * integral(g 4 pi r^2 dr) ~ rho * sphere
+  // volume (liquid g averages to ~1 with excluded core vs first-shell excess).
+  const double neighbors = density * integral;
+  const double sphere = density * 4.0 / 3.0 * 3.14159265358979 * std::pow(5.0, 3);
+  EXPECT_NEAR(neighbors, sphere, 0.25 * sphere);
+}
+
+TEST_F(MdAnalysisSuite, MsdGrowsWithLag) {
+  const auto msd = mean_squared_displacement(*frames_, 20);
+  ASSERT_EQ(msd.size(), 21u);
+  EXPECT_DOUBLE_EQ(msd[0], 0.0);
+  EXPECT_GT(msd[1], 0.0);
+  // Liquid: displacement keeps growing (within statistical wiggle).
+  EXPECT_GT(msd[20], 2.0 * msd[2]);
+}
+
+TEST(MdAnalysis, RdfErrors) {
+  FrameDataset empty({Species::kAl});
+  EXPECT_THROW(radial_distribution(empty, std::nullopt, std::nullopt, 3.0),
+               util::ValueError);
+}
+
+TEST(MdAnalysis, RdfRangeBeyondHalfBoxThrows) {
+  util::Rng rng(1);
+  const SystemSpec spec = SystemSpec::scaled_system(1);
+  const SystemState state = spec.create_initial_state(300.0, rng);
+  FrameDataset frames(state.types);
+  Frame frame;
+  frame.positions = state.positions;
+  frame.forces.resize(state.size());
+  frame.box_length = spec.box_length();
+  frames.add(frame);
+  EXPECT_THROW(
+      radial_distribution(frames, std::nullopt, std::nullopt, spec.box_length()),
+      util::ValueError);
+}
+
+TEST(MdAnalysis, RdfMissingSpeciesThrows) {
+  FrameDataset frames({Species::kAl, Species::kAl});
+  Frame frame;
+  frame.positions = {Vec3{1, 1, 1}, Vec3{2, 2, 2}};
+  frame.forces.resize(2);
+  frame.box_length = 10.0;
+  frames.add(frame);
+  EXPECT_THROW(radial_distribution(frames, Species::kK, std::nullopt, 4.0),
+               util::ValueError);
+}
+
+TEST(MdAnalysis, MsdNeedsTwoFrames) {
+  FrameDataset frames({Species::kAl});
+  Frame frame;
+  frame.positions = {Vec3{1, 1, 1}};
+  frame.forces.resize(1);
+  frame.box_length = 10.0;
+  frames.add(frame);
+  EXPECT_THROW(mean_squared_displacement(frames, 5), util::ValueError);
+}
+
+TEST(MdAnalysis, MsdUnwrapsPeriodicCrossings) {
+  // An atom drifting steadily across the boundary must accumulate distance,
+  // not jump back.
+  FrameDataset frames({Species::kAl});
+  for (int f = 0; f < 12; ++f) {
+    Frame frame;
+    const double x = std::fmod(0.5 + 1.2 * f, 10.0);  // wraps twice
+    frame.positions = {Vec3{x, 5.0, 5.0}};
+    frame.forces.resize(1);
+    frame.box_length = 10.0;
+    frames.add(frame);
+  }
+  const auto msd = mean_squared_displacement(frames, 10);
+  EXPECT_NEAR(msd[10], std::pow(12.0, 2), 1e-9);  // 10 steps x 1.2 A, squared
+}
+
+}  // namespace
+}  // namespace dpho::md

@@ -1,0 +1,136 @@
+#include "md/neighbor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dpho::md {
+namespace {
+
+std::vector<Vec3> random_positions(std::size_t n, double box_length, util::Rng& rng) {
+  std::vector<Vec3> positions;
+  positions.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    positions.push_back(Vec3{rng.uniform(0, box_length), rng.uniform(0, box_length),
+                             rng.uniform(0, box_length)});
+  }
+  return positions;
+}
+
+std::set<std::pair<std::size_t, std::size_t>> pair_set(const NeighborList& list) {
+  std::set<std::pair<std::size_t, std::size_t>> pairs;
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    for (const Neighbor& nb : list.neighbors_of(i)) {
+      pairs.insert({std::min(i, nb.index), std::max(i, nb.index)});
+    }
+  }
+  return pairs;
+}
+
+TEST(NeighborList, SimplePair) {
+  const Box box(10.0);
+  const std::vector<Vec3> positions = {{1, 1, 1}, {2, 1, 1}, {8, 8, 8}};
+  const NeighborList list(box, positions, 2.0);
+  EXPECT_EQ(list.neighbors_of(0).size(), 1u);
+  EXPECT_EQ(list.neighbors_of(0)[0].index, 1u);
+  EXPECT_DOUBLE_EQ(list.neighbors_of(0)[0].distance, 1.0);
+  EXPECT_TRUE(list.neighbors_of(2).empty());
+}
+
+TEST(NeighborList, Symmetry) {
+  util::Rng rng(1);
+  const Box box(12.0);
+  const NeighborList list(box, random_positions(60, 12.0, rng), 3.5);
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    for (const Neighbor& nb : list.neighbors_of(i)) {
+      const auto& reverse = list.neighbors_of(nb.index);
+      const bool found = std::any_of(reverse.begin(), reverse.end(),
+                                     [&](const Neighbor& r) { return r.index == i; });
+      EXPECT_TRUE(found) << i << "<->" << nb.index;
+    }
+  }
+}
+
+TEST(NeighborList, FindsPairsAcrossPeriodicBoundary) {
+  const Box box(10.0);
+  const std::vector<Vec3> positions = {{0.2, 5.0, 5.0}, {9.8, 5.0, 5.0}};
+  const NeighborList list(box, positions, 1.0);
+  ASSERT_EQ(list.neighbors_of(0).size(), 1u);
+  EXPECT_NEAR(list.neighbors_of(0)[0].distance, 0.4, 1e-12);
+  EXPECT_NEAR(list.neighbors_of(0)[0].displacement[0], -0.4, 1e-12);
+}
+
+TEST(NeighborList, CellListMatchesBruteForce) {
+  // Box large enough relative to cutoff that the cell path is taken.
+  util::Rng rng(2);
+  const Box box(30.0);
+  const auto positions = random_positions(400, 30.0, rng);
+  const NeighborList cells(box, positions, 3.0);
+  EXPECT_TRUE(cells.used_cells());
+
+  // Brute-force reference on a tighter box/cutoff ratio path.
+  const double cutoff_sq = 9.0;
+  std::set<std::pair<std::size_t, std::size_t>> expected;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    for (std::size_t j = i + 1; j < positions.size(); ++j) {
+      const Vec3 d = box.displacement(positions[i], positions[j]);
+      if (dot(d, d) < cutoff_sq) expected.insert({i, j});
+    }
+  }
+  EXPECT_EQ(pair_set(cells), expected);
+}
+
+TEST(NeighborList, SmallBoxFallsBackToExactScan) {
+  util::Rng rng(3);
+  const Box box(8.0);
+  const auto positions = random_positions(50, 8.0, rng);
+  const NeighborList list(box, positions, 3.9);  // < L/2 but L/cutoff ~ 2
+  EXPECT_FALSE(list.used_cells());
+}
+
+TEST(NeighborList, CutoffLargerThanHalfBoxThrows) {
+  const Box box(10.0);
+  const std::vector<Vec3> positions = {{1, 1, 1}};
+  EXPECT_THROW(NeighborList(box, positions, 5.5), util::ValueError);
+  EXPECT_THROW(NeighborList(box, positions, -1.0), util::ValueError);
+}
+
+TEST(NeighborList, DistancesAndDisplacementsConsistent) {
+  util::Rng rng(4);
+  const Box box(15.0);
+  const NeighborList list(box, random_positions(80, 15.0, rng), 4.0);
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    for (const Neighbor& nb : list.neighbors_of(i)) {
+      EXPECT_NEAR(norm(nb.displacement), nb.distance, 1e-12);
+      EXPECT_LT(nb.distance, 4.0);
+      EXPECT_GT(nb.distance, 0.0);
+    }
+  }
+}
+
+TEST(NeighborList, MeanNeighborsMatchesDensityEstimate) {
+  util::Rng rng(5);
+  const double box_length = 24.0;
+  const double cutoff = 3.0;
+  const std::size_t n = 1200;
+  const Box box(box_length);
+  const NeighborList list(box, random_positions(n, box_length, rng), cutoff);
+  const double density = static_cast<double>(n) / std::pow(box_length, 3);
+  const double expected = density * 4.0 / 3.0 * 3.14159265358979 * std::pow(cutoff, 3);
+  EXPECT_NEAR(list.mean_neighbors(), expected, expected * 0.15);
+}
+
+TEST(NeighborList, EmptyPositions) {
+  const Box box(10.0);
+  const NeighborList list(box, {}, 2.0);
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_DOUBLE_EQ(list.mean_neighbors(), 0.0);
+}
+
+}  // namespace
+}  // namespace dpho::md

@@ -1,0 +1,109 @@
+#include "md/npy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+namespace dpho::md {
+namespace {
+
+TEST(Npy, RoundTrip2d) {
+  util::TempDir dir;
+  NpyArray array;
+  array.shape = {3, 4};
+  for (int i = 0; i < 12; ++i) array.data.push_back(0.5 * i - 1.0);
+  const auto path = dir.path() / "a.npy";
+  write_npy(path, array);
+  const NpyArray back = read_npy(path);
+  EXPECT_EQ(back.shape, array.shape);
+  EXPECT_EQ(back.data, array.data);
+}
+
+TEST(Npy, RoundTrip1d) {
+  util::TempDir dir;
+  NpyArray array;
+  array.shape = {5};
+  array.data = {1.0, -2.5, 3.51e-8, 0.0, 1e300};
+  const auto path = dir.path() / "b.npy";
+  write_npy(path, array);
+  const NpyArray back = read_npy(path);
+  ASSERT_EQ(back.shape.size(), 1u);
+  EXPECT_EQ(back.shape[0], 5u);
+  EXPECT_EQ(back.data, array.data);
+}
+
+TEST(Npy, HeaderIsValidNumpyFormat) {
+  util::TempDir dir;
+  NpyArray array;
+  array.shape = {2, 2};
+  array.data = {1, 2, 3, 4};
+  const auto path = dir.path() / "c.npy";
+  write_npy(path, array);
+  const std::string raw = util::read_file(path);
+  EXPECT_EQ(raw.substr(0, 6), std::string("\x93NUMPY", 6));
+  EXPECT_EQ(raw[6], 1);  // major version
+  EXPECT_NE(raw.find("'descr': '<f8'"), std::string::npos);
+  EXPECT_NE(raw.find("'fortran_order': False"), std::string::npos);
+  EXPECT_NE(raw.find("(2, 2)"), std::string::npos);
+  // Data section aligned to 64 bytes.
+  const std::size_t header_len = static_cast<unsigned char>(raw[8]) |
+                                 (static_cast<unsigned char>(raw[9]) << 8);
+  EXPECT_EQ((10 + header_len) % 64, 0u);
+}
+
+TEST(Npy, ShapeMismatchThrows) {
+  util::TempDir dir;
+  NpyArray array;
+  array.shape = {2, 2};
+  array.data = {1, 2, 3};  // too short
+  EXPECT_THROW(write_npy(dir.path() / "bad.npy", array), util::ValueError);
+}
+
+TEST(Npy, MissingFileThrows) {
+  util::TempDir dir;
+  EXPECT_THROW(read_npy(dir.path() / "nope.npy"), util::IoError);
+}
+
+TEST(Npy, CorruptMagicThrows) {
+  util::TempDir dir;
+  const auto path = dir.path() / "junk.npy";
+  util::write_file(path, "this is not numpy data at all, padded to length");
+  EXPECT_THROW(read_npy(path), util::ParseError);
+}
+
+TEST(Npy, TruncatedDataThrows) {
+  util::TempDir dir;
+  NpyArray array;
+  array.shape = {4};
+  array.data = {1, 2, 3, 4};
+  const auto path = dir.path() / "t.npy";
+  write_npy(path, array);
+  const std::string raw = util::read_file(path);
+  util::write_file(path, raw.substr(0, raw.size() - 8));
+  EXPECT_THROW(read_npy(path), util::ParseError);
+}
+
+TEST(Npy, RowWidthHelper) {
+  NpyArray a;
+  a.shape = {10, 3, 2};
+  EXPECT_EQ(a.rows(), 10u);
+  EXPECT_EQ(a.row_width(), 6u);
+  NpyArray b;
+  b.shape = {7};
+  EXPECT_EQ(b.row_width(), 1u);
+}
+
+TEST(Npy, EmptyArrayRoundTrip) {
+  util::TempDir dir;
+  NpyArray array;
+  array.shape = {0, 3};
+  const auto path = dir.path() / "empty.npy";
+  write_npy(path, array);
+  const NpyArray back = read_npy(path);
+  EXPECT_EQ(back.shape, array.shape);
+  EXPECT_TRUE(back.data.empty());
+}
+
+}  // namespace
+}  // namespace dpho::md

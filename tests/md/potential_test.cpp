@@ -1,0 +1,145 @@
+#include "md/potential.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace dpho::md {
+namespace {
+
+class PairSuite
+    : public ::testing::TestWithParam<std::pair<Species, Species>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, PairSuite,
+    ::testing::Values(std::pair{Species::kAl, Species::kCl},
+                      std::pair{Species::kK, Species::kCl},
+                      std::pair{Species::kCl, Species::kCl},
+                      std::pair{Species::kAl, Species::kAl},
+                      std::pair{Species::kAl, Species::kK},
+                      std::pair{Species::kK, Species::kK}),
+    [](const auto& param_info) {
+      return to_string(param_info.param.first) + to_string(param_info.param.second);
+    });
+
+TEST_P(PairSuite, EnergyAndForceVanishAtCutoff) {
+  const ReferencePotential pot(8.0);
+  const auto [a, b] = GetParam();
+  EXPECT_NEAR(pot.pair_energy(a, b, 8.0 - 1e-9), 0.0, 1e-6);
+  EXPECT_NEAR(pot.pair_force(a, b, 8.0 - 1e-9), 0.0, 1e-6);
+  EXPECT_DOUBLE_EQ(pot.pair_energy(a, b, 8.0), 0.0);
+  EXPECT_DOUBLE_EQ(pot.pair_force(a, b, 9.0), 0.0);
+}
+
+TEST_P(PairSuite, ForceIsNegativeEnergyDerivative) {
+  const ReferencePotential pot(8.0);
+  const auto [a, b] = GetParam();
+  for (double r : {1.8, 2.5, 3.3, 5.0, 7.0}) {
+    const double h = 1e-6;
+    const double numeric =
+        -(pot.pair_energy(a, b, r + h) - pot.pair_energy(a, b, r - h)) / (2.0 * h);
+    EXPECT_NEAR(pot.pair_force(a, b, r), numeric,
+                1e-4 * std::max(1.0, std::abs(numeric)))
+        << "r=" << r;
+  }
+}
+
+TEST_P(PairSuite, StronglyRepulsiveAtShortRange) {
+  const ReferencePotential pot(8.0);
+  const auto [a, b] = GetParam();
+  // At very short separations the Born wall dominates any Coulomb attraction.
+  EXPECT_GT(pot.pair_force(a, b, 0.8), 0.0);
+  EXPECT_GT(pot.pair_energy(a, b, 0.8), pot.pair_energy(a, b, 1.5));
+}
+
+TEST_P(PairSuite, SymmetricInSpecies) {
+  const ReferencePotential pot(8.0);
+  const auto [a, b] = GetParam();
+  for (double r : {2.0, 4.0, 6.0}) {
+    EXPECT_DOUBLE_EQ(pot.pair_energy(a, b, r), pot.pair_energy(b, a, r));
+  }
+}
+
+TEST(Potential, CounterIonPairHasBoundMinimum) {
+  const ReferencePotential pot(8.0);
+  // Al-Cl should have a well at a physically sensible bond distance.
+  double best_r = 0.0;
+  double best_e = 1e9;
+  for (double r = 1.2; r < 5.0; r += 0.01) {
+    const double e = pot.pair_energy(Species::kAl, Species::kCl, r);
+    if (e < best_e) {
+      best_e = e;
+      best_r = r;
+    }
+  }
+  EXPECT_GT(best_r, 1.6);
+  EXPECT_LT(best_r, 2.8);
+  EXPECT_LT(best_e, -1.0);  // a deep ionic well
+}
+
+TEST(Potential, LikeChargesRepelAtMidRange) {
+  const ReferencePotential pot(8.0);
+  EXPECT_GT(pot.pair_energy(Species::kAl, Species::kAl, 3.0), 0.0);
+}
+
+TEST(Potential, TotalForcesMatchFiniteDifferenceOfTotalEnergy) {
+  util::Rng rng(11);
+  const SystemSpec spec = SystemSpec::scaled_system(2);  // 20 atoms
+  SystemState state = spec.create_initial_state(498.0, rng);
+  const ReferencePotential pot(0.45 * spec.box_length());
+  const ForceEnergy fe = pot.compute(state);
+  for (std::size_t a = 0; a < 5; ++a) {
+    for (int k = 0; k < 3; ++k) {
+      const double h = 1e-5;
+      SystemState plus = state;
+      SystemState minus = state;
+      plus.positions[a][k] += h;
+      minus.positions[a][k] -= h;
+      const double numeric =
+          -(pot.compute(plus).energy - pot.compute(minus).energy) / (2.0 * h);
+      EXPECT_NEAR(fe.forces[a][k], numeric, 1e-4 * std::max(1.0, std::abs(numeric)))
+          << "atom " << a << " axis " << k;
+    }
+  }
+}
+
+TEST(Potential, NetForceIsZeroByNewtonsThirdLaw) {
+  util::Rng rng(13);
+  const SystemSpec spec = SystemSpec::scaled_system(3);
+  const SystemState state = spec.create_initial_state(498.0, rng);
+  const ReferencePotential pot(0.45 * spec.box_length());
+  const ForceEnergy fe = pot.compute(state);
+  Vec3 net{0, 0, 0};
+  for (const Vec3& f : fe.forces) net = net + f;
+  for (int k = 0; k < 3; ++k) EXPECT_NEAR(net[k], 0.0, 1e-9);
+}
+
+TEST(Potential, EnergyInvariantUnderRigidTranslation) {
+  util::Rng rng(17);
+  const SystemSpec spec = SystemSpec::scaled_system(2);
+  SystemState state = spec.create_initial_state(498.0, rng);
+  const ReferencePotential pot(0.45 * spec.box_length());
+  const double base = pot.compute(state).energy;
+  for (auto& r : state.positions) r = r + Vec3{1.3, -2.7, 100.0};
+  EXPECT_NEAR(pot.compute(state).energy, base, 1e-8);
+}
+
+TEST(Potential, ComputeWithExplicitNeighborListMatches) {
+  util::Rng rng(19);
+  const SystemSpec spec = SystemSpec::scaled_system(2);
+  const SystemState state = spec.create_initial_state(498.0, rng);
+  const ReferencePotential pot(0.45 * spec.box_length());
+  const Box box(state.box_length);
+  const NeighborList list(box, state.positions, pot.cutoff());
+  const ForceEnergy a = pot.compute(state);
+  const ForceEnergy b = pot.compute(state, list);
+  EXPECT_DOUBLE_EQ(a.energy, b.energy);
+  for (std::size_t i = 0; i < a.forces.size(); ++i) {
+    for (int k = 0; k < 3; ++k) EXPECT_DOUBLE_EQ(a.forces[i][k], b.forces[i][k]);
+  }
+}
+
+}  // namespace
+}  // namespace dpho::md

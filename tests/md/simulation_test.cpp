@@ -1,0 +1,122 @@
+#include "md/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "md/box.hpp"
+#include "util/stats.hpp"
+
+namespace dpho::md {
+namespace {
+
+SimulationConfig small_config(std::uint64_t seed = 7) {
+  SimulationConfig config;
+  config.spec = SystemSpec::scaled_system(1);  // 10 atoms, fast
+  config.num_frames = 20;
+  config.equilibration_steps = 80;
+  config.sample_interval = 3;
+  config.seed = seed;
+  return config;
+}
+
+TEST(Simulation, ProducesRequestedFrames) {
+  Simulation sim(small_config());
+  const FrameDataset dataset = sim.run();
+  EXPECT_EQ(dataset.size(), 20u);
+  EXPECT_EQ(dataset.num_atoms(), 10u);
+}
+
+TEST(Simulation, FramesAreSelfConsistentLabels) {
+  // The recorded forces must equal the potential's forces at the recorded
+  // positions -- the labels are exact, like DFT labels for their geometry.
+  const SimulationConfig config = small_config(11);
+  Simulation sim(config);
+  const FrameDataset dataset = sim.run();
+  const ReferencePotential pot(std::min(8.5, 0.5 * config.spec.box_length() - 1e-9));
+  for (std::size_t f = 0; f < 3; ++f) {
+    const Frame& frame = dataset.frame(f);
+    SystemState state;
+    state.types = dataset.types();
+    state.positions = frame.positions;
+    state.velocities.resize(dataset.num_atoms());
+    state.box_length = frame.box_length;
+    const ForceEnergy fe = pot.compute(state);
+    EXPECT_NEAR(fe.energy, frame.energy, 1e-8);
+    for (std::size_t a = 0; a < dataset.num_atoms(); ++a) {
+      for (int k = 0; k < 3; ++k) {
+        EXPECT_NEAR(fe.forces[a][k], frame.forces[a][k], 1e-8);
+      }
+    }
+  }
+}
+
+TEST(Simulation, PositionsInsidePrimaryCell) {
+  Simulation sim(small_config(13));
+  const FrameDataset dataset = sim.run();
+  for (std::size_t f = 0; f < dataset.size(); ++f) {
+    for (const Vec3& r : dataset.frame(f).positions) {
+      for (int k = 0; k < 3; ++k) {
+        EXPECT_GE(r[k], 0.0);
+        EXPECT_LT(r[k], dataset.frame(f).box_length);
+      }
+    }
+  }
+}
+
+TEST(Simulation, DeterministicForSeed) {
+  Simulation a(small_config(17));
+  Simulation b(small_config(17));
+  const FrameDataset da = a.run();
+  const FrameDataset db = b.run();
+  ASSERT_EQ(da.size(), db.size());
+  for (std::size_t f = 0; f < da.size(); ++f) {
+    EXPECT_DOUBLE_EQ(da.frame(f).energy, db.frame(f).energy);
+  }
+}
+
+TEST(Simulation, DifferentSeedsDiffer) {
+  Simulation a(small_config(1));
+  Simulation b(small_config(2));
+  EXPECT_NE(a.run().frame(0).energy, b.run().frame(0).energy);
+}
+
+TEST(Simulation, StaysBoundAtTargetTemperature) {
+  SimulationConfig config = small_config(19);
+  config.num_frames = 50;
+  Simulation sim(config);
+  const FrameDataset dataset = sim.run();
+  // Energies must not blow up over the trajectory (stable melt).
+  std::vector<double> energies;
+  for (std::size_t f = 0; f < dataset.size(); ++f) {
+    energies.push_back(dataset.frame(f).energy);
+  }
+  const auto s = util::summarize(energies);
+  EXPECT_TRUE(std::isfinite(s.mean));
+  EXPECT_LT(s.max - s.min, 0.5 * std::abs(s.mean) + 50.0);
+}
+
+TEST(Simulation, GenerateReferenceDataSplitsAndShuffles) {
+  SimulationConfig config = small_config(23);
+  config.num_frames = 40;
+  const LabelledData data = generate_reference_data(config, 0.25);
+  EXPECT_EQ(data.train.size(), 30u);
+  EXPECT_EQ(data.validation.size(), 10u);
+  EXPECT_EQ(data.train.types(), data.validation.types());
+}
+
+TEST(Simulation, ForcesHaveCondensedPhaseMagnitude) {
+  Simulation sim(small_config(29));
+  const FrameDataset dataset = sim.run();
+  double max_force = 0.0;
+  for (std::size_t f = 0; f < dataset.size(); ++f) {
+    for (const Vec3& g : dataset.frame(f).forces) {
+      max_force = std::max(max_force, norm(g));
+    }
+  }
+  EXPECT_GT(max_force, 0.1);   // not a frozen lattice
+  EXPECT_LT(max_force, 100.0); // not exploding
+}
+
+}  // namespace
+}  // namespace dpho::md

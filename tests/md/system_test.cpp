@@ -1,0 +1,130 @@
+#include "md/system.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "md/box.hpp"
+#include "util/error.hpp"
+
+namespace dpho::md {
+namespace {
+
+TEST(System, PaperCompositionMatchesSection213) {
+  const SystemSpec spec = SystemSpec::paper_system();
+  EXPECT_EQ(spec.n_al(), 32u);
+  EXPECT_EQ(spec.n_k(), 16u);
+  EXPECT_EQ(spec.n_cl(), 112u);
+  EXPECT_EQ(spec.total_atoms(), 160u);
+  EXPECT_DOUBLE_EQ(spec.box_length(), 17.84);
+}
+
+TEST(System, PaperSystemIsChargeNeutral) {
+  EXPECT_NEAR(SystemSpec::paper_system().net_charge(), 0.0, 1e-12);
+}
+
+TEST(System, ScaledSystemsKeepStoichiometryAndNeutrality) {
+  for (std::size_t units : {1u, 2u, 4u, 16u}) {
+    const SystemSpec spec = SystemSpec::scaled_system(units);
+    EXPECT_EQ(spec.n_al(), 2 * units);
+    EXPECT_EQ(spec.n_k(), units);
+    EXPECT_EQ(spec.total_atoms(), 10 * units);
+    EXPECT_NEAR(spec.net_charge(), 0.0, 1e-9);
+  }
+  // units=16 reproduces the paper system size.
+  EXPECT_EQ(SystemSpec::scaled_system(16).total_atoms(), 160u);
+  EXPECT_NEAR(SystemSpec::scaled_system(16).box_length(), 17.84, 1e-9);
+}
+
+TEST(System, ScaledSystemKeepsNumberDensity) {
+  const double reference = 160.0 / std::pow(17.84, 3);
+  for (std::size_t units : {1u, 3u, 8u}) {
+    const SystemSpec spec = SystemSpec::scaled_system(units);
+    const double density =
+        static_cast<double>(spec.total_atoms()) / std::pow(spec.box_length(), 3);
+    EXPECT_NEAR(density, reference, 1e-9);
+  }
+}
+
+TEST(System, SpeciesStringsRoundTrip) {
+  for (Species s : {Species::kAl, Species::kK, Species::kCl}) {
+    EXPECT_EQ(species_from_string(to_string(s)), s);
+  }
+  EXPECT_THROW(species_from_string("Na"), util::ValueError);
+}
+
+TEST(System, SpeciesChargesAreScaledFormalCharges) {
+  EXPECT_NEAR(species_info(Species::kAl).charge_e, 2.1, 1e-12);
+  EXPECT_NEAR(species_info(Species::kK).charge_e, 0.7, 1e-12);
+  EXPECT_NEAR(species_info(Species::kCl).charge_e, -0.7, 1e-12);
+}
+
+TEST(System, InitialStateHasRequestedLayout) {
+  util::Rng rng(1);
+  const SystemSpec spec = SystemSpec::paper_system();
+  const SystemState state = spec.create_initial_state(498.0, rng);
+  EXPECT_EQ(state.size(), 160u);
+  EXPECT_EQ(state.positions.size(), 160u);
+  EXPECT_EQ(state.velocities.size(), 160u);
+  std::size_t al = 0, k = 0, cl = 0;
+  for (Species s : state.types) {
+    if (s == Species::kAl) ++al;
+    if (s == Species::kK) ++k;
+    if (s == Species::kCl) ++cl;
+  }
+  EXPECT_EQ(al, 32u);
+  EXPECT_EQ(k, 16u);
+  EXPECT_EQ(cl, 112u);
+}
+
+TEST(System, InitialStateTemperatureExact) {
+  util::Rng rng(2);
+  const SystemState state =
+      SystemSpec::paper_system().create_initial_state(498.0, rng);
+  EXPECT_NEAR(kinetic_temperature(state), 498.0, 1e-6);
+}
+
+TEST(System, InitialStateZeroNetMomentumBeforeRescale) {
+  util::Rng rng(3);
+  const SystemState state =
+      SystemSpec::paper_system().create_initial_state(300.0, rng);
+  Vec3 momentum{0, 0, 0};
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    momentum = momentum + state.velocities[i] * species_info(state.types[i]).mass_amu;
+  }
+  // Rescaling preserves the zero total momentum.
+  for (int c = 0; c < 3; ++c) EXPECT_NEAR(momentum[c], 0.0, 1e-9);
+}
+
+TEST(System, InitialPositionsHaveMinimumSeparation) {
+  util::Rng rng(4);
+  const SystemSpec spec = SystemSpec::paper_system();
+  const SystemState state = spec.create_initial_state(498.0, rng);
+  const Box boxwrap(spec.box_length());
+  double min_dist = 1e9;
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    for (std::size_t j = i + 1; j < state.size(); ++j) {
+      min_dist = std::min(min_dist, boxwrap.distance(state.positions[i],
+                                                     state.positions[j]));
+    }
+  }
+  EXPECT_GT(min_dist, 1.5);  // no overlapping ions on the jittered lattice
+}
+
+TEST(System, KineticEnergyMatchesTemperature) {
+  util::Rng rng(5);
+  const SystemState state =
+      SystemSpec::paper_system().create_initial_state(498.0, rng);
+  const double expected =
+      1.5 * 160.0 * kBoltzmannEv * 498.0;  // 3/2 N kT
+  EXPECT_NEAR(kinetic_energy(state), expected, expected * 1e-6);
+}
+
+TEST(System, ValidationErrors) {
+  EXPECT_THROW(SystemSpec(1, 1, 1, 0.0), util::ValueError);
+  EXPECT_THROW(SystemSpec(0, 0, 0, 10.0), util::ValueError);
+  EXPECT_THROW(SystemSpec::scaled_system(0), util::ValueError);
+}
+
+}  // namespace
+}  // namespace dpho::md

@@ -1,0 +1,130 @@
+#include "md/neighbor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "md/potential.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dpho::md {
+namespace {
+
+std::vector<Vec3> random_positions(std::size_t n, double box_length, util::Rng& rng) {
+  std::vector<Vec3> positions;
+  for (std::size_t i = 0; i < n; ++i) {
+    positions.push_back(Vec3{rng.uniform(0, box_length), rng.uniform(0, box_length),
+                             rng.uniform(0, box_length)});
+  }
+  return positions;
+}
+
+TEST(VerletList, NoRebuildForSmallMoves) {
+  util::Rng rng(1);
+  const Box box(20.0);
+  auto positions = random_positions(50, 20.0, rng);
+  VerletList verlet(box, 4.0, 1.0);
+  verlet.update(positions);
+  EXPECT_EQ(verlet.rebuild_count(), 1u);
+  // Moves below skin/2 never trigger a rebuild.
+  for (int step = 0; step < 10; ++step) {
+    for (auto& r : positions) r = r + Vec3{0.02, -0.01, 0.015};
+    verlet.update(positions);
+  }
+  EXPECT_EQ(verlet.rebuild_count(), 1u);
+}
+
+TEST(VerletList, RebuildAfterSkinExceeded) {
+  util::Rng rng(2);
+  const Box box(20.0);
+  auto positions = random_positions(50, 20.0, rng);
+  VerletList verlet(box, 4.0, 1.0);
+  verlet.update(positions);
+  positions[7] = positions[7] + Vec3{0.6, 0.0, 0.0};  // > skin/2
+  verlet.update(positions);
+  EXPECT_EQ(verlet.rebuild_count(), 2u);
+}
+
+TEST(VerletList, PairCoverageNeverMissesTrueCutoffPairs) {
+  // After arbitrary sub-threshold moves, every pair within the true cutoff
+  // must appear in the (stale) list.
+  util::Rng rng(3);
+  const Box box(18.0);
+  auto positions = random_positions(120, 18.0, rng);
+  const double cutoff = 3.5;
+  VerletList verlet(box, cutoff, 1.0);
+  for (int step = 0; step < 20; ++step) {
+    for (auto& r : positions) {
+      r = r + Vec3{rng.normal(0.0, 0.05), rng.normal(0.0, 0.05),
+                   rng.normal(0.0, 0.05)};
+    }
+    const NeighborList& list = verlet.update(positions);
+    // Exact reference at the true cutoff.
+    const NeighborList exact(box, positions, cutoff);
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      std::set<std::size_t> stale;
+      for (const Neighbor& nb : list.neighbors_of(i)) stale.insert(nb.index);
+      for (const Neighbor& nb : exact.neighbors_of(i)) {
+        EXPECT_TRUE(stale.contains(nb.index))
+            << "step " << step << " missing pair " << i << "-" << nb.index;
+      }
+    }
+  }
+}
+
+TEST(VerletList, ForcesIdenticalWithAndWithoutVerlet) {
+  util::Rng rng(4);
+  const SystemSpec spec = SystemSpec::scaled_system(4);
+  SystemState state = spec.create_initial_state(400.0, rng);
+  const double cutoff = 0.4 * spec.box_length();
+  const ReferencePotential pot(cutoff);
+  const Box box(state.box_length);
+  VerletList verlet(box, cutoff, 0.08 * spec.box_length());
+
+  for (int step = 0; step < 5; ++step) {
+    for (auto& r : state.positions) {
+      r = r + Vec3{rng.normal(0.0, 0.03), rng.normal(0.0, 0.03),
+                   rng.normal(0.0, 0.03)};
+    }
+    const ForceEnergy direct = pot.compute(state);
+    const ForceEnergy stale = pot.compute(state, verlet.update(state.positions));
+    EXPECT_NEAR(direct.energy, stale.energy, 1e-10);
+    for (std::size_t i = 0; i < state.size(); ++i) {
+      for (int k = 0; k < 3; ++k) {
+        EXPECT_NEAR(direct.forces[i][k], stale.forces[i][k], 1e-10);
+      }
+    }
+  }
+  EXPECT_GE(verlet.rebuild_count(), 1u);
+}
+
+TEST(VerletList, ZeroSkinRebuildsOnAnyMove) {
+  util::Rng rng(5);
+  const Box box(20.0);
+  auto positions = random_positions(20, 20.0, rng);
+  VerletList verlet(box, 4.0, 0.0);
+  verlet.update(positions);
+  positions[0][0] += 1e-6;
+  verlet.update(positions);
+  EXPECT_EQ(verlet.rebuild_count(), 2u);
+}
+
+TEST(VerletList, Validation) {
+  const Box box(10.0);
+  EXPECT_THROW(VerletList(box, 4.0, -0.1), util::ValueError);
+  EXPECT_THROW(VerletList(box, 4.5, 1.0), util::ValueError);  // 5.5 > L/2
+}
+
+TEST(VerletList, UndersizedNeighborListRejectedByPotential) {
+  util::Rng rng(6);
+  const SystemSpec spec = SystemSpec::scaled_system(2);
+  const SystemState state = spec.create_initial_state(300.0, rng);
+  const ReferencePotential pot(4.0);
+  const Box box(state.box_length);
+  const NeighborList too_small(box, state.positions, 2.0);
+  EXPECT_THROW(pot.compute(state, too_small), util::ValueError);
+}
+
+}  // namespace
+}  // namespace dpho::md

@@ -1,0 +1,82 @@
+#include "moo/crowding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace dpho::moo {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Crowding, BoundariesGetInfinity) {
+  const std::vector<ObjectiveVector> objectives = {
+      {0.0, 1.0}, {0.5, 0.5}, {1.0, 0.0}};
+  const auto d = crowding_distance(objectives);
+  EXPECT_EQ(d[0], kInf);
+  EXPECT_EQ(d[2], kInf);
+  EXPECT_LT(d[1], kInf);
+}
+
+TEST(Crowding, KnownInteriorValue) {
+  // Classic NSGA-II: interior distance = sum over objectives of
+  // (next - prev) / (max - min).
+  const std::vector<ObjectiveVector> objectives = {
+      {0.0, 1.0}, {0.25, 0.75}, {1.0, 0.0}};
+  const auto d = crowding_distance(objectives);
+  EXPECT_NEAR(d[1], (1.0 - 0.0) / 1.0 + (1.0 - 0.0) / 1.0, 1e-12);
+}
+
+TEST(Crowding, DenserNeighborsSmallerDistance) {
+  const std::vector<ObjectiveVector> objectives = {
+      {0.0, 1.0}, {0.1, 0.9}, {0.2, 0.8},  // tight cluster
+      {0.6, 0.4}, {1.0, 0.0}};
+  const auto d = crowding_distance(objectives);
+  EXPECT_LT(d[1], d[3]);  // point inside the cluster is more crowded
+}
+
+TEST(Crowding, SmallFrontsAllInfinite) {
+  const std::vector<ObjectiveVector> one = {{1.0, 2.0}};
+  EXPECT_EQ(crowding_distance(one)[0], kInf);
+  const std::vector<ObjectiveVector> two = {{1.0, 2.0}, {2.0, 1.0}};
+  const auto d = crowding_distance(two);
+  EXPECT_EQ(d[0], kInf);
+  EXPECT_EQ(d[1], kInf);
+}
+
+TEST(Crowding, ComputedWithinFrontsOnly) {
+  // Two fronts; the interior of each front gets its distance from its own
+  // front's neighbors only.
+  const std::vector<ObjectiveVector> objectives = {
+      {0.0, 1.0}, {0.5, 0.5}, {1.0, 0.0},   // front 0
+      {2.0, 3.0}, {2.5, 2.5}, {3.0, 2.0}};  // front 1
+  const FrontAssignment assignment = {0, 0, 0, 1, 1, 1};
+  const auto d = crowding_distance(objectives, assignment);
+  EXPECT_EQ(d[0], kInf);
+  EXPECT_EQ(d[3], kInf);
+  EXPECT_LT(d[1], kInf);
+  EXPECT_LT(d[4], kInf);
+  EXPECT_NEAR(d[1], 2.0, 1e-12);
+  EXPECT_NEAR(d[4], 2.0, 1e-12);
+}
+
+TEST(Crowding, DegenerateObjectiveIgnored) {
+  // All points share the same second objective: it contributes nothing.
+  const std::vector<ObjectiveVector> objectives = {
+      {0.0, 5.0}, {0.5, 5.0}, {1.0, 5.0}};
+  const auto d = crowding_distance(objectives);
+  EXPECT_EQ(d[0], kInf);
+  EXPECT_EQ(d[2], kInf);
+  EXPECT_NEAR(d[1], 1.0, 1e-12);  // only the first objective contributes
+}
+
+TEST(Crowding, AssignmentSizeMismatchThrows) {
+  const std::vector<ObjectiveVector> objectives = {{1.0, 2.0}};
+  EXPECT_THROW(crowding_distance(objectives, FrontAssignment{0, 0}),
+               util::ValueError);
+}
+
+}  // namespace
+}  // namespace dpho::moo

@@ -1,0 +1,78 @@
+#include "moo/domination.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace dpho::moo {
+namespace {
+
+TEST(Domination, StrictDominance) {
+  EXPECT_TRUE(dominates(std::vector<double>{1.0, 1.0}, std::vector<double>{2.0, 2.0}));
+  EXPECT_FALSE(dominates(std::vector<double>{2.0, 2.0}, std::vector<double>{1.0, 1.0}));
+}
+
+TEST(Domination, WeakDominanceCounts) {
+  // Equal in one objective, better in the other.
+  EXPECT_TRUE(dominates(std::vector<double>{1.0, 2.0}, std::vector<double>{1.0, 3.0}));
+}
+
+TEST(Domination, EqualVectorsDoNotDominate) {
+  EXPECT_FALSE(dominates(std::vector<double>{1.0, 2.0}, std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(compare(std::vector<double>{1.0, 2.0}, std::vector<double>{1.0, 2.0}),
+            Dominance::kEqual);
+}
+
+TEST(Domination, TradeOffIsNonDominated) {
+  EXPECT_EQ(compare(std::vector<double>{1.0, 3.0}, std::vector<double>{2.0, 2.0}),
+            Dominance::kNonDominated);
+  EXPECT_FALSE(dominates(std::vector<double>{1.0, 3.0}, std::vector<double>{2.0, 2.0}));
+  EXPECT_FALSE(dominates(std::vector<double>{2.0, 2.0}, std::vector<double>{1.0, 3.0}));
+}
+
+TEST(Domination, ThreeObjectives) {
+  EXPECT_EQ(compare(std::vector<double>{1, 2, 3}, std::vector<double>{1, 2, 4}),
+            Dominance::kADominatesB);
+  EXPECT_EQ(compare(std::vector<double>{1, 5, 3}, std::vector<double>{1, 2, 4}),
+            Dominance::kNonDominated);
+}
+
+TEST(Domination, AsymmetryProperty) {
+  // a dominates b implies b does not dominate a (over random samples).
+  std::vector<std::vector<double>> samples = {
+      {1, 1}, {1, 2}, {2, 1}, {2, 2}, {0.5, 3}, {3, 0.5}};
+  for (const auto& a : samples) {
+    for (const auto& b : samples) {
+      if (dominates(a, b)) {
+        EXPECT_FALSE(dominates(b, a));
+      }
+    }
+  }
+}
+
+TEST(Domination, TransitivityProperty) {
+  const std::vector<double> a = {1, 1};
+  const std::vector<double> b = {2, 2};
+  const std::vector<double> c = {3, 3};
+  EXPECT_TRUE(dominates(a, b));
+  EXPECT_TRUE(dominates(b, c));
+  EXPECT_TRUE(dominates(a, c));
+}
+
+TEST(Domination, MismatchedOrEmptyThrows) {
+  EXPECT_THROW(dominates(std::vector<double>{1.0}, std::vector<double>{1.0, 2.0}),
+               util::ValueError);
+  EXPECT_THROW(dominates(std::vector<double>{}, std::vector<double>{}),
+               util::ValueError);
+}
+
+TEST(Domination, MaxIntFailuresAreDominatedByAnyRealFitness) {
+  // The paper's MAXINT convention in action.
+  const std::vector<double> failed = {2147483647.0, 2147483647.0};
+  const std::vector<double> real = {0.002, 0.04};
+  EXPECT_TRUE(dominates(real, failed));
+  EXPECT_EQ(compare(failed, failed), Dominance::kEqual);
+}
+
+}  // namespace
+}  // namespace dpho::moo

@@ -1,0 +1,76 @@
+#include "moo/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace dpho::moo {
+namespace {
+
+TEST(Spread, UniformFrontNearZero) {
+  std::vector<ObjectiveVector> front;
+  for (int i = 0; i <= 10; ++i) {
+    const double f1 = 0.1 * i;
+    front.push_back({f1, 1.0 - f1});
+  }
+  const double delta = spread_delta(front, {0.0, 1.0}, {1.0, 0.0});
+  EXPECT_NEAR(delta, 0.0, 1e-9);
+}
+
+TEST(Spread, ClusteredFrontWorseThanUniform) {
+  std::vector<ObjectiveVector> uniform, clustered;
+  for (int i = 0; i <= 10; ++i) {
+    const double f1 = 0.1 * i;
+    uniform.push_back({f1, 1.0 - f1});
+    const double c = 0.4 + 0.02 * i;  // bunched in the middle
+    clustered.push_back({c, 1.0 - c});
+  }
+  const double du = spread_delta(uniform, {0.0, 1.0}, {1.0, 0.0});
+  const double dc = spread_delta(clustered, {0.0, 1.0}, {1.0, 0.0});
+  EXPECT_GT(dc, du);
+}
+
+TEST(Spread, MissingExtremePenalized) {
+  std::vector<ObjectiveVector> truncated;
+  for (int i = 0; i <= 5; ++i) {  // covers only half the front
+    const double f1 = 0.1 * i;
+    truncated.push_back({f1, 1.0 - f1});
+  }
+  const double delta = spread_delta(truncated, {0.0, 1.0}, {1.0, 0.0});
+  EXPECT_GT(delta, 0.3);
+}
+
+TEST(Spread, Validation) {
+  EXPECT_THROW(spread_delta({{0.0, 1.0}}, {0.0, 1.0}, {1.0, 0.0}),
+               util::ValueError);
+  EXPECT_THROW(spread_delta({{0.0, 1.0, 2.0}, {1.0, 0.0, 2.0}}, {0.0, 1.0},
+                            {1.0, 0.0}),
+               util::ValueError);
+}
+
+TEST(Epsilon, ZeroWhenFrontsEqual) {
+  const std::vector<ObjectiveVector> front = {{0.0, 1.0}, {0.5, 0.5}, {1.0, 0.0}};
+  EXPECT_NEAR(additive_epsilon(front, front), 0.0, 1e-12);
+}
+
+TEST(Epsilon, NegativeWhenFrontStrictlyBetter) {
+  const std::vector<ObjectiveVector> better = {{0.0, 0.5}, {0.5, 0.0}};
+  const std::vector<ObjectiveVector> reference = {{0.2, 0.7}, {0.7, 0.2}};
+  EXPECT_LT(additive_epsilon(better, reference), 0.0);
+}
+
+TEST(Epsilon, MeasuresWorstShortfall) {
+  const std::vector<ObjectiveVector> front = {{0.3, 0.3}};
+  const std::vector<ObjectiveVector> reference = {{0.0, 1.0}, {0.25, 0.25}};
+  // Covering (0.25, 0.25) needs eps = 0.05; covering (0, 1) needs 0.3.
+  EXPECT_NEAR(additive_epsilon(front, reference), 0.3, 1e-12);
+}
+
+TEST(Epsilon, Validation) {
+  EXPECT_THROW(additive_epsilon({}, {{1.0}}), util::ValueError);
+  EXPECT_THROW(additive_epsilon({{1.0}}, {}), util::ValueError);
+  EXPECT_THROW(additive_epsilon({{1.0, 2.0}}, {{1.0}}), util::ValueError);
+}
+
+}  // namespace
+}  // namespace dpho::moo

@@ -1,0 +1,186 @@
+#include "moo/nsga2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "moo/pareto.hpp"
+#include "util/error.hpp"
+
+namespace dpho::moo {
+namespace {
+
+std::vector<ObjectiveVector> objectives_of(
+    const std::vector<Nsga2Optimizer::Solution>& population) {
+  std::vector<ObjectiveVector> out;
+  out.reserve(population.size());
+  for (const auto& s : population) out.push_back(s.objectives);
+  return out;
+}
+
+TEST(Nsga2Select, KeepsBestByRankThenCrowding) {
+  const std::vector<ObjectiveVector> objectives = {
+      {1.0, 5.0}, {5.0, 1.0}, {3.0, 3.0},  // front 0
+      {4.0, 6.0},                          // dominated
+  };
+  const auto selected = nsga2_select(objectives, 3);
+  ASSERT_EQ(selected.size(), 3u);
+  for (std::size_t i : selected) EXPECT_NE(i, 3u);  // dominated point dropped
+}
+
+TEST(Nsga2Select, PrefersBoundaryWithinFront) {
+  const std::vector<ObjectiveVector> objectives = {
+      {0.0, 1.0}, {0.45, 0.55}, {0.5, 0.5}, {0.55, 0.45}, {1.0, 0.0}};
+  const auto selected = nsga2_select(objectives, 3);
+  // Boundaries (0 and 4) have infinite crowding; the middle cluster thins out.
+  EXPECT_NE(std::find(selected.begin(), selected.end(), 0u), selected.end());
+  EXPECT_NE(std::find(selected.begin(), selected.end(), 4u), selected.end());
+}
+
+TEST(Nsga2Select, MuLargerThanPopulationThrows) {
+  EXPECT_THROW(nsga2_select({{1.0, 2.0}}, 2), util::ValueError);
+}
+
+TEST(Nsga2Select, BackendsAgree) {
+  std::vector<ObjectiveVector> objectives;
+  util::Rng rng(8);
+  for (int i = 0; i < 120; ++i) objectives.push_back({rng.uniform(), rng.uniform()});
+  EXPECT_EQ(nsga2_select(objectives, 40, SortBackend::kFastNondominated),
+            nsga2_select(objectives, 40, SortBackend::kRankOrdinal));
+}
+
+TEST(AssignRankAndCrowding, AnnotatesConsistently) {
+  const std::vector<ObjectiveVector> objectives = {
+      {1.0, 2.0}, {2.0, 1.0}, {3.0, 3.0}};
+  const RankAnnotation annotation = assign_rank_and_crowding(objectives);
+  EXPECT_EQ(annotation.rank[0], 0);
+  EXPECT_EQ(annotation.rank[1], 0);
+  EXPECT_EQ(annotation.rank[2], 1);
+  EXPECT_EQ(annotation.crowding.size(), 3u);
+}
+
+class ZdtConvergence : public ::testing::TestWithParam<int> {};
+
+std::string zdt_name(const ::testing::TestParamInfo<int>& info) {
+  static const char* kNames[] = {"ZDT1", "ZDT2", "ZDT3"};
+  return kNames[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, ZdtConvergence, ::testing::Values(0, 1, 2), zdt_name);
+
+TEST_P(ZdtConvergence, ReachesReferenceHypervolume) {
+  const std::vector<Problem> problems = {zdt1(12), zdt2(12), zdt3(12)};
+  const Problem& problem = problems[GetParam()];
+  Nsga2Optimizer::Config config;
+  config.population_size = 100;
+  config.generations = 250;
+  config.seed = 7;
+  Nsga2Optimizer optimizer(problem, config);
+  const auto population = optimizer.run();
+  const ObjectiveVector reference = {1.1, 1.1};
+  const double achieved = hypervolume_2d(objectives_of(population), reference);
+  const double ideal = hypervolume_2d(problem.true_front(200), reference);
+  EXPECT_GT(achieved, 0.95 * ideal) << problem.name;
+}
+
+TEST(Nsga2Optimizer, ImprovesAcrossGenerations) {
+  const Problem problem = zdt1(12);
+  Nsga2Optimizer::Config short_config;
+  short_config.population_size = 40;
+  short_config.generations = 5;
+  short_config.seed = 3;
+  Nsga2Optimizer::Config long_config = short_config;
+  long_config.generations = 60;
+  const ObjectiveVector reference = {1.1, 1.1};
+  const double early = hypervolume_2d(
+      objectives_of(Nsga2Optimizer(problem, short_config).run()), reference);
+  const double late = hypervolume_2d(
+      objectives_of(Nsga2Optimizer(problem, long_config).run()), reference);
+  EXPECT_GT(late, early);
+}
+
+TEST(Nsga2Optimizer, DeterministicForSeed) {
+  const Problem problem = zdt1(8);
+  Nsga2Optimizer::Config config;
+  config.population_size = 20;
+  config.generations = 10;
+  config.seed = 11;
+  const auto a = Nsga2Optimizer(problem, config).run();
+  const auto b = Nsga2Optimizer(problem, config).run();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].objectives, b[i].objectives);
+  }
+}
+
+TEST(Nsga2Optimizer, SortBackendDoesNotChangeResult) {
+  const Problem problem = zdt2(8);
+  Nsga2Optimizer::Config config;
+  config.population_size = 24;
+  config.generations = 20;
+  config.seed = 5;
+  config.sort_backend = SortBackend::kFastNondominated;
+  const auto deb = Nsga2Optimizer(problem, config).run();
+  config.sort_backend = SortBackend::kRankOrdinal;
+  const auto ens = Nsga2Optimizer(problem, config).run();
+  ASSERT_EQ(deb.size(), ens.size());
+  for (std::size_t i = 0; i < deb.size(); ++i) {
+    EXPECT_EQ(deb[i].objectives, ens[i].objectives);
+  }
+}
+
+TEST(Nsga2Optimizer, SolutionsRespectBounds) {
+  const Problem problem = zdt4(6);  // has [-5, 5] bounds on tail variables
+  Nsga2Optimizer::Config config;
+  config.population_size = 20;
+  config.generations = 15;
+  Nsga2Optimizer optimizer(problem, config);
+  for (const auto& s : optimizer.run()) {
+    for (std::size_t v = 0; v < s.variables.size(); ++v) {
+      EXPECT_GE(s.variables[v], problem.lower[v]);
+      EXPECT_LE(s.variables[v], problem.upper[v]);
+    }
+  }
+}
+
+TEST(Nsga2Optimizer, ParetoSubsetIsNonDominated) {
+  const Problem problem = zdt1(8);
+  Nsga2Optimizer::Config config;
+  config.population_size = 30;
+  config.generations = 25;
+  const auto population = Nsga2Optimizer(problem, config).run();
+  const auto front = Nsga2Optimizer::pareto_subset(population);
+  EXPECT_FALSE(front.empty());
+  for (const auto& a : front) {
+    for (const auto& b : front) {
+      EXPECT_FALSE(dominates(a.objectives, b.objectives));
+    }
+  }
+}
+
+TEST(Nsga2Optimizer, Dtlz2SolutionsApproachUnitSphere) {
+  const Problem problem = dtlz2(8, 3);
+  Nsga2Optimizer::Config config;
+  config.population_size = 100;
+  config.generations = 80;
+  const auto population = Nsga2Optimizer(problem, config).run();
+  double mean_radius = 0.0;
+  for (const auto& s : population) {
+    double r2 = 0.0;
+    for (double f : s.objectives) r2 += f * f;
+    mean_radius += std::sqrt(r2);
+  }
+  mean_radius /= static_cast<double>(population.size());
+  EXPECT_NEAR(mean_radius, 1.0, 0.1);  // true DTLZ2 front: unit sphere octant
+}
+
+TEST(Nsga2Optimizer, TinyPopulationRejected) {
+  Nsga2Optimizer::Config config;
+  config.population_size = 2;
+  EXPECT_THROW(Nsga2Optimizer(zdt1(4), config), util::ValueError);
+}
+
+}  // namespace
+}  // namespace dpho::moo

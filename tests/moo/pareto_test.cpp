@@ -1,0 +1,115 @@
+#include "moo/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dpho::moo {
+namespace {
+
+TEST(Pareto, ExtractsNonDominatedSubset) {
+  const std::vector<ObjectiveVector> points = {
+      {0.0357, 0.0016}, {0.0409, 0.0004}, {0.05, 0.01}, {0.0363, 0.0012}};
+  const auto front = pareto_front_indices(points);
+  std::vector<std::size_t> sorted(front);
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<std::size_t>{0, 1, 3}));
+}
+
+TEST(Pareto, AllNonDominatedReturnsEverything) {
+  std::vector<ObjectiveVector> points;
+  for (int i = 0; i < 8; ++i) {
+    points.push_back({0.1 * i, 0.8 - 0.1 * i});
+  }
+  EXPECT_EQ(pareto_front_indices(points).size(), 8u);
+}
+
+TEST(Pareto, EmptyInput) {
+  EXPECT_TRUE(pareto_front_indices({}).empty());
+}
+
+TEST(Pareto, FrontPointsAreMutuallyNonDominating) {
+  util::Rng rng(55);
+  std::vector<ObjectiveVector> points;
+  for (int i = 0; i < 300; ++i) points.push_back({rng.uniform(), rng.uniform()});
+  const auto front = pareto_front_indices(points);
+  for (std::size_t a : front) {
+    for (std::size_t b : front) {
+      if (a != b) {
+        EXPECT_FALSE(dominates(points[a], points[b]));
+      }
+    }
+    // And every non-front point is dominated by someone.
+  }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (std::find(front.begin(), front.end(), i) != front.end()) continue;
+    bool dominated = false;
+    for (std::size_t a : front) {
+      if (dominates(points[a], points[i])) {
+        dominated = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(dominated) << i;
+  }
+}
+
+TEST(Hypervolume, SinglePointRectangle) {
+  EXPECT_DOUBLE_EQ(hypervolume_2d({{0.25, 0.25}}, {1.0, 1.0}), 0.5625);
+}
+
+TEST(Hypervolume, TwoPointStaircase) {
+  const double hv = hypervolume_2d({{0.2, 0.6}, {0.6, 0.2}}, {1.0, 1.0});
+  // rect1: (1-0.2)*(1-0.6)=0.32; rect2 adds (1-0.6)*(0.6-0.2)=0.16.
+  EXPECT_NEAR(hv, 0.48, 1e-12);
+}
+
+TEST(Hypervolume, DominatedPointAddsNothing) {
+  const double base = hypervolume_2d({{0.2, 0.2}}, {1.0, 1.0});
+  const double with_dominated = hypervolume_2d({{0.2, 0.2}, {0.5, 0.5}}, {1.0, 1.0});
+  EXPECT_DOUBLE_EQ(base, with_dominated);
+}
+
+TEST(Hypervolume, PointsOutsideReferenceIgnored) {
+  EXPECT_DOUBLE_EQ(hypervolume_2d({{1.5, 0.1}}, {1.0, 1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(hypervolume_2d({}, {1.0, 1.0}), 0.0);
+}
+
+TEST(Hypervolume, MonotoneUnderImprovement) {
+  const double worse = hypervolume_2d({{0.5, 0.5}}, {1.0, 1.0});
+  const double better = hypervolume_2d({{0.3, 0.3}}, {1.0, 1.0});
+  EXPECT_GT(better, worse);
+}
+
+TEST(Hypervolume, WrongDimensionThrows) {
+  EXPECT_THROW(hypervolume_2d({{1.0, 2.0, 3.0}}, {1.0, 1.0}), util::ValueError);
+  EXPECT_THROW(hypervolume_2d({{1.0, 2.0}}, {1.0, 1.0, 1.0}), util::ValueError);
+}
+
+TEST(Igd, ZeroWhenFrontsIdentical) {
+  const std::vector<ObjectiveVector> front = {{0.0, 1.0}, {0.5, 0.5}, {1.0, 0.0}};
+  EXPECT_NEAR(igd(front, front), 0.0, 1e-15);
+}
+
+TEST(Igd, GrowsWithDistance) {
+  const std::vector<ObjectiveVector> reference = {{0.0, 0.0}};
+  EXPECT_NEAR(igd({{3.0, 4.0}}, reference), 5.0, 1e-12);
+  EXPECT_LT(igd({{1.0, 0.0}}, reference), igd({{3.0, 4.0}}, reference));
+}
+
+TEST(Igd, UsesNearestFrontPoint) {
+  const std::vector<ObjectiveVector> front = {{0.0, 0.0}, {10.0, 10.0}};
+  const std::vector<ObjectiveVector> reference = {{0.1, 0.0}};
+  EXPECT_NEAR(igd(front, reference), 0.1, 1e-12);
+}
+
+TEST(Igd, EmptyThrows) {
+  EXPECT_THROW(igd({}, {{1.0, 1.0}}), util::ValueError);
+  EXPECT_THROW(igd({{1.0, 1.0}}, {}), util::ValueError);
+}
+
+}  // namespace
+}  // namespace dpho::moo

@@ -1,0 +1,166 @@
+#include "moo/sorting.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dpho::moo {
+namespace {
+
+std::vector<ObjectiveVector> random_objectives(std::size_t n, std::size_t m,
+                                               util::Rng& rng) {
+  std::vector<ObjectiveVector> objectives(n, ObjectiveVector(m));
+  for (auto& row : objectives) {
+    for (double& v : row) v = rng.uniform();
+  }
+  return objectives;
+}
+
+/// Oracle: front index == number of "dominating layers" above, computed by
+/// repeated stripping of the non-dominated set.
+FrontAssignment oracle_sort(std::vector<ObjectiveVector> objectives) {
+  FrontAssignment rank(objectives.size(), -1);
+  std::vector<std::size_t> remaining(objectives.size());
+  for (std::size_t i = 0; i < remaining.size(); ++i) remaining[i] = i;
+  int front = 0;
+  while (!remaining.empty()) {
+    std::vector<std::size_t> current, next;
+    for (std::size_t i : remaining) {
+      bool dominated = false;
+      for (std::size_t j : remaining) {
+        if (i != j && dominates(objectives[j], objectives[i])) {
+          dominated = true;
+          break;
+        }
+      }
+      (dominated ? next : current).push_back(i);
+    }
+    for (std::size_t i : current) rank[i] = front;
+    remaining = std::move(next);
+    ++front;
+  }
+  return rank;
+}
+
+TEST(Sorting, SingleFrontWhenAllNonDominated) {
+  // Points on a line f2 = 1 - f1: mutually non-dominated.
+  std::vector<ObjectiveVector> objectives;
+  for (int i = 0; i < 10; ++i) {
+    const double f1 = 0.1 * i;
+    objectives.push_back({f1, 1.0 - f1});
+  }
+  for (int r : fast_nondominated_sort(objectives)) EXPECT_EQ(r, 0);
+  for (int r : rank_ordinal_sort(objectives)) EXPECT_EQ(r, 0);
+}
+
+TEST(Sorting, ChainGivesOneFrontPerPoint) {
+  std::vector<ObjectiveVector> objectives;
+  for (int i = 0; i < 6; ++i) {
+    objectives.push_back({static_cast<double>(i), static_cast<double>(i)});
+  }
+  const FrontAssignment deb = fast_nondominated_sort(objectives);
+  const FrontAssignment ens = rank_ordinal_sort(objectives);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(deb[i], i);
+    EXPECT_EQ(ens[i], i);
+  }
+}
+
+TEST(Sorting, KnownSmallExample) {
+  const std::vector<ObjectiveVector> objectives = {
+      {1.0, 5.0},  // front 0
+      {2.0, 3.0},  // front 0
+      {4.0, 1.0},  // front 0
+      {3.0, 4.0},  // dominated by (2,3) -> front 1
+      {5.0, 5.0},  // dominated by several -> front 1 (dominated by (3,4) too -> 2)
+  };
+  const FrontAssignment rank = fast_nondominated_sort(objectives);
+  EXPECT_EQ(rank[0], 0);
+  EXPECT_EQ(rank[1], 0);
+  EXPECT_EQ(rank[2], 0);
+  EXPECT_EQ(rank[3], 1);
+  EXPECT_EQ(rank[4], 2);
+  EXPECT_EQ(rank_ordinal_sort(objectives), rank);
+}
+
+TEST(Sorting, DuplicatesShareAFront) {
+  const std::vector<ObjectiveVector> objectives = {
+      {1.0, 1.0}, {1.0, 1.0}, {2.0, 2.0}, {2.0, 2.0}};
+  for (const auto& rank : {fast_nondominated_sort(objectives),
+                           rank_ordinal_sort(objectives)}) {
+    EXPECT_EQ(rank[0], 0);
+    EXPECT_EQ(rank[1], 0);
+    EXPECT_EQ(rank[2], 1);
+    EXPECT_EQ(rank[3], 1);
+  }
+}
+
+class SortingAgreement
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t, int>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomPopulations, SortingAgreement,
+    ::testing::Combine(::testing::Values(1u, 10u, 100u, 300u),
+                       ::testing::Values(2u, 3u, 5u), ::testing::Values(1, 2)),
+    [](const auto& param_info) {
+      return "n" + std::to_string(std::get<0>(param_info.param)) + "m" +
+             std::to_string(std::get<1>(param_info.param)) + "s" +
+             std::to_string(std::get<2>(param_info.param));
+    });
+
+TEST_P(SortingAgreement, BothAlgorithmsMatchOracle) {
+  const auto [n, m, seed] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed) * 1000 + n + m);
+  const auto objectives = random_objectives(n, m, rng);
+  const FrontAssignment expected = oracle_sort(objectives);
+  EXPECT_EQ(fast_nondominated_sort(objectives), expected);
+  EXPECT_EQ(rank_ordinal_sort(objectives), expected);
+}
+
+TEST(Sorting, AgreementWithDuplicateHeavyData) {
+  util::Rng rng(4242);
+  std::vector<ObjectiveVector> objectives;
+  for (int i = 0; i < 200; ++i) {
+    // Coarse grid -> many exact ties and duplicates.
+    objectives.push_back({static_cast<double>(rng.uniform_int(0, 4)),
+                          static_cast<double>(rng.uniform_int(0, 4))});
+  }
+  EXPECT_EQ(rank_ordinal_sort(objectives), fast_nondominated_sort(objectives));
+}
+
+TEST(Sorting, MaxIntFailuresLandInWorstFront) {
+  std::vector<ObjectiveVector> objectives = {
+      {0.001, 0.03}, {0.002, 0.02}, {2147483647.0, 2147483647.0}};
+  const FrontAssignment rank = rank_ordinal_sort(objectives);
+  EXPECT_EQ(rank[0], 0);
+  EXPECT_EQ(rank[1], 0);
+  EXPECT_EQ(rank[2], 1);
+}
+
+TEST(Sorting, EmptyInput) {
+  EXPECT_TRUE(fast_nondominated_sort({}).empty());
+  EXPECT_TRUE(rank_ordinal_sort({}).empty());
+}
+
+TEST(Sorting, RaggedInputThrows) {
+  const std::vector<ObjectiveVector> objectives = {{1.0, 2.0}, {1.0}};
+  EXPECT_THROW(fast_nondominated_sort(objectives), util::ValueError);
+  EXPECT_THROW(rank_ordinal_sort(objectives), util::ValueError);
+}
+
+TEST(Sorting, GroupFrontsInvertsAssignment) {
+  const FrontAssignment assignment = {0, 1, 0, 2, 1};
+  const Fronts fronts = group_fronts(assignment);
+  ASSERT_EQ(fronts.size(), 3u);
+  EXPECT_EQ(fronts[0], (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(fronts[1], (std::vector<std::size_t>{1, 4}));
+  EXPECT_EQ(fronts[2], (std::vector<std::size_t>{3}));
+}
+
+TEST(Sorting, GroupFrontsRejectsUnassigned) {
+  EXPECT_THROW(group_fronts({0, -1}), util::ValueError);
+}
+
+}  // namespace
+}  // namespace dpho::moo

@@ -1,0 +1,109 @@
+#include "nn/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dpho::nn {
+namespace {
+
+TEST(LrScaling, StringRoundTrip) {
+  for (LrScaling s : {LrScaling::kLinear, LrScaling::kSqrt, LrScaling::kNone}) {
+    EXPECT_EQ(lr_scaling_from_string(to_string(s)), s);
+  }
+  EXPECT_THROW(lr_scaling_from_string("cubic"), util::ValueError);
+}
+
+TEST(LrScaling, FactorsAtSixWorkers) {
+  // The paper's setting: 6 GPUs per training.
+  EXPECT_DOUBLE_EQ(scaling_factor(LrScaling::kLinear, 6), 6.0);
+  EXPECT_NEAR(scaling_factor(LrScaling::kSqrt, 6), std::sqrt(6.0), 1e-12);
+  EXPECT_DOUBLE_EQ(scaling_factor(LrScaling::kNone, 6), 1.0);
+}
+
+TEST(LrScaling, SingleWorkerAllEqual) {
+  for (LrScaling s : {LrScaling::kLinear, LrScaling::kSqrt, LrScaling::kNone}) {
+    EXPECT_DOUBLE_EQ(scaling_factor(s, 1), 1.0);
+  }
+}
+
+TEST(LrScaling, ZeroWorkersThrows) {
+  EXPECT_THROW(scaling_factor(LrScaling::kLinear, 0), util::ValueError);
+}
+
+TEST(ExponentialDecay, EndpointsMatch) {
+  const ExponentialDecay decay(0.001, 1e-8, 40000, 400, /*staircase=*/false);
+  EXPECT_DOUBLE_EQ(decay.lr(0), 0.001);
+  EXPECT_NEAR(decay.lr(40000), 1e-8, 1e-12);
+}
+
+TEST(ExponentialDecay, MonotonicallyDecreasing) {
+  const ExponentialDecay decay(0.01, 1e-5, 10000);
+  double prev = decay.lr(0);
+  for (std::size_t step = 0; step <= 10000; step += 500) {
+    EXPECT_LE(decay.lr(step), prev + 1e-15);
+    prev = decay.lr(step);
+  }
+}
+
+TEST(ExponentialDecay, StaircaseHoldsWithinWindow) {
+  const ExponentialDecay decay(0.01, 1e-4, 1000, 100, /*staircase=*/true);
+  EXPECT_DOUBLE_EQ(decay.lr(0), decay.lr(99));
+  EXPECT_GT(decay.lr(99), decay.lr(100));
+}
+
+TEST(ExponentialDecay, DefaultDecayStepsHeuristic) {
+  const ExponentialDecay decay(0.01, 1e-4, 40000);
+  EXPECT_EQ(decay.decay_steps(), 400u);
+  const ExponentialDecay short_decay(0.01, 1e-4, 50);
+  EXPECT_EQ(short_decay.decay_steps(), 1u);
+}
+
+TEST(ExponentialDecay, HalfwayIsGeometricMean) {
+  const ExponentialDecay decay(1e-2, 1e-6, 1000, 1, /*staircase=*/false);
+  EXPECT_NEAR(decay.lr(500), 1e-4, 1e-9);
+}
+
+TEST(ExponentialDecay, InvalidInputsThrow) {
+  EXPECT_THROW(ExponentialDecay(0.0, 1e-8, 100), util::ValueError);
+  EXPECT_THROW(ExponentialDecay(0.01, -1.0, 100), util::ValueError);
+  EXPECT_THROW(ExponentialDecay(0.01, 1e-8, 0), util::ValueError);
+}
+
+TEST(LossPrefactor, InterpolatesBetweenStartAndLimit) {
+  // The paper's force prefactors: start 1000, limit 1.
+  const LossPrefactorSchedule pf(1000.0, 1.0);
+  EXPECT_DOUBLE_EQ(pf.at(1.0), 1000.0);  // lr ratio 1 -> start
+  EXPECT_DOUBLE_EQ(pf.at(0.0), 1.0);     // lr fully decayed -> limit
+  EXPECT_DOUBLE_EQ(pf.at(0.5), 500.5);
+}
+
+TEST(LossPrefactor, EnergyGrowsWhileForceShrinks) {
+  // Section 2.2.1: the force prefactor dominates at the start and decays;
+  // the energy prefactor does the reverse.
+  const LossPrefactorSchedule pe(0.02, 1.0);
+  const LossPrefactorSchedule pf(1000.0, 1.0);
+  double prev_pe = pe.at(1.0);
+  double prev_pf = pf.at(1.0);
+  EXPECT_GT(prev_pf, prev_pe);  // force dominates initially
+  for (double ratio = 0.9; ratio >= 0.0; ratio -= 0.1) {
+    EXPECT_GE(pe.at(ratio), prev_pe);
+    EXPECT_LE(pf.at(ratio), prev_pf);
+    prev_pe = pe.at(ratio);
+    prev_pf = pf.at(ratio);
+  }
+}
+
+TEST(ExponentialDecay, WithWorkerScalingComposes) {
+  // The scaled start LR decays to the same stop LR.
+  const double start = 0.001;
+  const double scaled = start * scaling_factor(LrScaling::kLinear, 6);
+  const ExponentialDecay decay(scaled, 1e-8, 1000, 10, false);
+  EXPECT_DOUBLE_EQ(decay.lr(0), 0.006);
+  EXPECT_NEAR(decay.lr(1000), 1e-8, 1e-12);
+}
+
+}  // namespace
+}  // namespace dpho::nn

@@ -1,0 +1,100 @@
+#include "util/args.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace dpho::util {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser args;
+  args.add_flag("--pop", "population size")
+      .add_flag("--out", "output dir")
+      .add_flag("--async", "steady state", false)
+      .add_flag("--rate", "failure rate");
+  return args;
+}
+
+void parse(ArgParser& args, std::initializer_list<const char*> tokens) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), tokens.begin(), tokens.end());
+  args.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, SpaceSeparatedValues) {
+  ArgParser args = make_parser();
+  parse(args, {"--pop", "40", "--out", "results"});
+  EXPECT_EQ(args.get("--pop", std::int64_t{0}), 40);
+  EXPECT_EQ(args.get("--out", std::string()), "results");
+}
+
+TEST(Args, EqualsSeparatedValues) {
+  ArgParser args = make_parser();
+  parse(args, {"--pop=25", "--rate=0.125"});
+  EXPECT_EQ(args.get("--pop", std::int64_t{0}), 25);
+  EXPECT_DOUBLE_EQ(args.get("--rate", 0.0), 0.125);
+}
+
+TEST(Args, BooleanFlags) {
+  ArgParser args = make_parser();
+  parse(args, {"--async"});
+  EXPECT_TRUE(args.has("--async"));
+  EXPECT_FALSE(args.has("--pop"));
+}
+
+TEST(Args, DefaultsWhenAbsent) {
+  ArgParser args = make_parser();
+  parse(args, {});
+  EXPECT_EQ(args.get("--pop", std::int64_t{100}), 100);
+  EXPECT_DOUBLE_EQ(args.get("--rate", 5e-4), 5e-4);
+  EXPECT_EQ(args.get("--out", std::string("d")), "d");
+}
+
+TEST(Args, PositionalCollected) {
+  ArgParser args = make_parser();
+  parse(args, {"input.json", "--pop", "10", "data"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.json");
+  EXPECT_EQ(args.positional()[1], "data");
+}
+
+TEST(Args, UnknownFlagThrows) {
+  ArgParser args = make_parser();
+  EXPECT_THROW(parse(args, {"--bogus", "1"}), ParseError);
+}
+
+TEST(Args, MissingValueThrows) {
+  ArgParser args = make_parser();
+  EXPECT_THROW(parse(args, {"--pop"}), ParseError);
+}
+
+TEST(Args, ValueOnBooleanThrows) {
+  ArgParser args = make_parser();
+  EXPECT_THROW(parse(args, {"--async=yes"}), ParseError);
+}
+
+TEST(Args, NonNumericValueThrows) {
+  ArgParser args = make_parser();
+  parse(args, {"--pop", "abc"});
+  EXPECT_THROW(args.get("--pop", std::int64_t{0}), ParseError);
+  ArgParser args2 = make_parser();
+  parse(args2, {"--rate", "fast"});
+  EXPECT_THROW(args2.get("--rate", 0.0), ParseError);
+}
+
+TEST(Args, UsageListsFlags) {
+  const ArgParser args = make_parser();
+  const std::string usage = args.usage("dpho_hpo");
+  EXPECT_NE(usage.find("usage: dpho_hpo"), std::string::npos);
+  EXPECT_NE(usage.find("--pop <value>"), std::string::npos);
+  EXPECT_NE(usage.find("population size"), std::string::npos);
+}
+
+TEST(Args, BadFlagDeclarationThrows) {
+  ArgParser args;
+  EXPECT_THROW(args.add_flag("pop", "no dashes"), ValueError);
+}
+
+}  // namespace
+}  // namespace dpho::util

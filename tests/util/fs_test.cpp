@@ -1,0 +1,64 @@
+#include "util/fs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace dpho::util {
+namespace {
+
+TEST(Fs, WriteThenReadRoundTrip) {
+  TempDir dir;
+  const auto path = dir.path() / "nested" / "file.txt";
+  write_file(path, "hello\nworld");
+  EXPECT_EQ(read_file(path), "hello\nworld");
+}
+
+TEST(Fs, WriteReplacesExisting) {
+  TempDir dir;
+  const auto path = dir.path() / "f.txt";
+  write_file(path, "first");
+  write_file(path, "second");
+  EXPECT_EQ(read_file(path), "second");
+}
+
+TEST(Fs, ReadMissingFileThrows) {
+  TempDir dir;
+  EXPECT_THROW(read_file(dir.path() / "missing.txt"), IoError);
+}
+
+TEST(Fs, MakeRunDirCreatesAndIsIdempotent) {
+  TempDir dir;
+  const auto run = make_run_dir(dir.path(), "abc-123");
+  EXPECT_TRUE(std::filesystem::is_directory(run));
+  EXPECT_EQ(make_run_dir(dir.path(), "abc-123"), run);
+}
+
+TEST(Fs, TempDirRemovesItselfOnDestruction) {
+  std::filesystem::path kept;
+  {
+    TempDir dir;
+    kept = dir.path();
+    write_file(kept / "data.bin", "x");
+    EXPECT_TRUE(std::filesystem::exists(kept));
+  }
+  EXPECT_FALSE(std::filesystem::exists(kept));
+}
+
+TEST(Fs, TempDirsAreDistinct) {
+  TempDir a;
+  TempDir b;
+  EXPECT_NE(a.path(), b.path());
+}
+
+TEST(Fs, BinaryContentPreserved) {
+  TempDir dir;
+  std::string binary;
+  for (int i = 0; i < 256; ++i) binary.push_back(static_cast<char>(i));
+  const auto path = dir.path() / "bin";
+  write_file(path, binary);
+  EXPECT_EQ(read_file(path), binary);
+}
+
+}  // namespace
+}  // namespace dpho::util

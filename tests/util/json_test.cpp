@@ -1,0 +1,150 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dpho::util {
+namespace {
+
+TEST(Json, ParsePrimitives) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(Json::parse("3.25").as_number(), 3.25);
+  EXPECT_DOUBLE_EQ(Json::parse("-1e-3").as_number(), -1e-3);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParseNestedDocument) {
+  const Json doc = Json::parse(R"({
+    "model": {"descriptor": {"rcut": 8.5, "neuron": [25, 50, 100]}},
+    "flags": [true, false, null],
+    "name": "se_e2_a"
+  })");
+  EXPECT_DOUBLE_EQ(doc.at("model").at("descriptor").at("rcut").as_number(), 8.5);
+  EXPECT_EQ(doc.at("model").at("descriptor").at("neuron").as_array().size(), 3u);
+  EXPECT_EQ(doc.at("flags").as_array()[2], Json(nullptr));
+  EXPECT_EQ(doc.at("name").as_string(), "se_e2_a");
+}
+
+TEST(Json, RoundTripPreservesStructure) {
+  const std::string text =
+      R"({"a":1,"b":[1,2.5,"x"],"c":{"d":true,"e":null},"f":"q\"uote"})";
+  const Json doc = Json::parse(text);
+  const Json again = Json::parse(doc.dump());
+  EXPECT_EQ(doc, again);
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  Json doc;
+  doc["zebra"] = 1;
+  doc["apple"] = 2;
+  doc["mango"] = 3;
+  const std::string out = doc.dump();
+  EXPECT_LT(out.find("zebra"), out.find("apple"));
+  EXPECT_LT(out.find("apple"), out.find("mango"));
+}
+
+TEST(Json, NumberFormattingRoundTrips) {
+  for (double value : {0.0001, 3.51e-8, 1.0 / 3.0, 12345678.0, -0.0625, 1e300}) {
+    Json j(value);
+    EXPECT_DOUBLE_EQ(Json::parse(j.dump()).as_number(), value) << value;
+  }
+}
+
+TEST(Json, IntegersPrintWithoutExponent) {
+  EXPECT_EQ(Json(40000).dump(), "40000");
+  EXPECT_EQ(Json(-3).dump(), "-3");
+}
+
+TEST(Json, EscapesControlCharacters) {
+  Json j(std::string("line\nbreak\ttab \"quote\" back\\slash"));
+  const std::string out = j.dump();
+  EXPECT_NE(out.find("\\n"), std::string::npos);
+  EXPECT_NE(out.find("\\t"), std::string::npos);
+  EXPECT_NE(out.find("\\\""), std::string::npos);
+  EXPECT_EQ(Json::parse(out).as_string(), j.as_string());
+}
+
+TEST(Json, ParseUnicodeEscape) {
+  EXPECT_EQ(Json::parse("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(Json::parse("\"\\u00e9\"").as_string(), "\xc3\xa9");
+}
+
+TEST(Json, NanAndInfSerializeAsNull) {
+  EXPECT_EQ(Json(std::nan("")).dump(), "null");
+  EXPECT_EQ(Json(INFINITY).dump(), "null");
+}
+
+TEST(Json, PrettyPrintIndents) {
+  Json doc;
+  doc["a"]["b"] = 1;
+  const std::string out = doc.dump(2);
+  EXPECT_NE(out.find("{\n  \"a\""), std::string::npos);
+  EXPECT_EQ(Json::parse(out), doc);
+}
+
+TEST(Json, AsIntRejectsFractions) {
+  EXPECT_EQ(Json(42.0).as_int(), 42);
+  EXPECT_THROW(Json(42.5).as_int(), ValueError);
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const Json j = Json::parse("[1]");
+  EXPECT_THROW(j.as_bool(), ValueError);
+  EXPECT_THROW(j.as_number(), ValueError);
+  EXPECT_THROW(j.as_string(), ValueError);
+  EXPECT_THROW(j.as_object(), ValueError);
+  EXPECT_NO_THROW(j.as_array());
+}
+
+TEST(Json, AtMissingKeyThrows) {
+  const Json doc = Json::parse("{\"a\": 1}");
+  EXPECT_THROW(doc.at("b"), ValueError);
+}
+
+TEST(Json, NumberOrAndStringOr) {
+  const Json doc = Json::parse(R"({"x": 2.5, "s": "v"})");
+  EXPECT_DOUBLE_EQ(doc.number_or("x", 0.0), 2.5);
+  EXPECT_DOUBLE_EQ(doc.number_or("missing", 7.0), 7.0);
+  EXPECT_EQ(doc.string_or("s", "d"), "v");
+  EXPECT_EQ(doc.string_or("missing", "d"), "d");
+}
+
+TEST(Json, MalformedInputsThrow) {
+  for (const char* bad : {"", "{", "[1,", "{\"a\" 1}", "tru", "\"unterminated",
+                          "{\"a\":1} extra", "[1 2]", "{'a':1}", "nul"}) {
+    EXPECT_THROW(Json::parse(bad), ParseError) << bad;
+  }
+}
+
+TEST(Json, DeepNesting) {
+  std::string text;
+  for (int i = 0; i < 50; ++i) text += "[";
+  text += "1";
+  for (int i = 0; i < 50; ++i) text += "]";
+  Json j = Json::parse(text);
+  for (int i = 0; i < 50; ++i) {
+    Json inner = j.as_array()[0];  // copy before reassigning the owner
+    j = std::move(inner);
+  }
+  EXPECT_DOUBLE_EQ(j.as_number(), 1.0);
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(Json::parse("[]").dump(), "[]");
+  EXPECT_EQ(Json::parse("{}").dump(), "{}");
+  EXPECT_EQ(Json::parse("{ }").as_object().size(), 0u);
+}
+
+TEST(Json, OperatorBracketCreatesNestedObjects) {
+  Json doc;  // starts null
+  doc["a"]["b"]["c"] = 3.0;
+  EXPECT_DOUBLE_EQ(doc.at("a").at("b").at("c").as_number(), 3.0);
+}
+
+}  // namespace
+}  // namespace dpho::util

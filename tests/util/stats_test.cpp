@@ -1,0 +1,118 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace dpho::util {
+namespace {
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(stddev(xs), 2.138089935299395, 1e-12);  // sample stddev
+}
+
+TEST(Stats, VarianceDegenerateCases) {
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{3.0}), 0.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 1.75);
+}
+
+TEST(Stats, QuantileUnsortedInput) {
+  const std::vector<double> xs = {9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 5.0);
+}
+
+TEST(Stats, QuantileErrors) {
+  EXPECT_THROW(quantile(std::vector<double>{}, 0.5), ValueError);
+  const std::vector<double> xs = {1.0};
+  EXPECT_THROW(quantile(xs, -0.1), ValueError);
+  EXPECT_THROW(quantile(xs, 1.1), ValueError);
+}
+
+TEST(Stats, SummarizeConsistent) {
+  const std::vector<double> xs = {3.0, 1.0, 2.0, 5.0, 4.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.q25, 2.0);
+  EXPECT_DOUBLE_EQ(s.q75, 4.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const std::vector<double> ys = {2.0, 4.0, 6.0};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  const std::vector<double> zs = {6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson(xs, zs), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantIsZero) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const std::vector<double> ys = {5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Stats, PearsonSizeMismatchThrows) {
+  const std::vector<double> xs = {1.0, 2.0};
+  const std::vector<double> ys = {1.0};
+  EXPECT_THROW(pearson(xs, ys), ValueError);
+}
+
+TEST(Histogram2d, CountsInBins) {
+  Histogram2d h(0.0, 1.0, 2, 0.0, 1.0, 2);
+  h.add(0.25, 0.25);
+  h.add(0.75, 0.25);
+  h.add(0.75, 0.75);
+  h.add(0.75, 0.80);
+  EXPECT_EQ(h.at(0, 0), 1u);
+  EXPECT_EQ(h.at(1, 0), 1u);
+  EXPECT_EQ(h.at(1, 1), 2u);
+  EXPECT_EQ(h.at(0, 1), 0u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram2d, OverflowCounted) {
+  Histogram2d h(0.0, 1.0, 4, 0.0, 1.0, 4);
+  h.add(2.0, 0.5);
+  h.add(0.5, -1.0);
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_EQ(h.overflow(), 2u);
+}
+
+TEST(Histogram2d, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram2d(0, 1, 0, 0, 1, 2), ValueError);
+  EXPECT_THROW(Histogram2d(1, 0, 2, 0, 1, 2), ValueError);
+}
+
+TEST(Histogram2d, RenderHasExpectedShape) {
+  Histogram2d h(0.0, 1.0, 8, 0.0, 1.0, 4);
+  h.add(0.1, 0.1);
+  const std::string art = h.render();
+  // 4 rows of 8 chars + newline each.
+  EXPECT_EQ(art.size(), 4u * 9u);
+  // The point is at the bottom-left, which renders on the last line.
+  EXPECT_NE(art.substr(27), std::string(9, ' '));
+}
+
+TEST(Histogram2d, IndexOutOfRangeThrows) {
+  Histogram2d h(0.0, 1.0, 2, 0.0, 1.0, 2);
+  EXPECT_THROW(h.at(2, 0), ValueError);
+}
+
+}  // namespace
+}  // namespace dpho::util

@@ -1,0 +1,77 @@
+#include "util/str_template.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace dpho::util {
+namespace {
+
+TEST(StrTemplate, BracedSubstitution) {
+  StrTemplate t("rcut = ${rcut}, smth = ${rcut_smth}");
+  EXPECT_EQ(t.substitute({{"rcut", "8.5"}, {"rcut_smth", "2.0"}}),
+            "rcut = 8.5, smth = 2.0");
+}
+
+TEST(StrTemplate, BareIdentifierSubstitution) {
+  StrTemplate t("lr=$start_lr end");
+  EXPECT_EQ(t.substitute({{"start_lr", "0.001"}}), "lr=0.001 end");
+}
+
+TEST(StrTemplate, DollarDollarEscapes) {
+  StrTemplate t("cost: $$5 and $x");
+  EXPECT_EQ(t.substitute({{"x", "y"}}), "cost: $5 and y");
+}
+
+TEST(StrTemplate, MissingKeyThrowsInStrictMode) {
+  StrTemplate t("${missing}");
+  EXPECT_THROW(t.substitute({}), ParseError);
+}
+
+TEST(StrTemplate, SafeSubstituteLeavesUnknown) {
+  StrTemplate t("${known} and ${unknown}");
+  EXPECT_EQ(t.safe_substitute({{"known", "v"}}), "v and ${unknown}");
+}
+
+TEST(StrTemplate, IdentifierStopsAtNonWordChar) {
+  StrTemplate t("\"$act\",");
+  EXPECT_EQ(t.substitute({{"act", "tanh"}}), "\"tanh\",");
+}
+
+TEST(StrTemplate, PlaceholdersListedInOrderWithoutDuplicates) {
+  StrTemplate t("$a ${b} $a ${c}");
+  const auto names = t.placeholders();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+  EXPECT_EQ(names[2], "c");
+}
+
+TEST(StrTemplate, JsonTemplateScenario) {
+  // The actual paper workflow: substitute decoded genes into JSON.
+  StrTemplate t(R"({"start_lr": ${start_lr}, "act": "${desc_activ_func}"})");
+  const std::string out =
+      t.substitute({{"start_lr", "0.0047"}, {"desc_activ_func", "tanh"}});
+  EXPECT_EQ(out, R"({"start_lr": 0.0047, "act": "tanh"})");
+}
+
+TEST(StrTemplate, UnterminatedBraceThrowsStrict) {
+  StrTemplate t("${open");
+  EXPECT_THROW(t.substitute({{"open", "x"}}), ParseError);
+  EXPECT_EQ(t.safe_substitute({}), "${open");
+}
+
+TEST(StrTemplate, DanglingDollarStrictThrows) {
+  StrTemplate t("end$");
+  EXPECT_THROW(t.substitute({}), ParseError);
+  EXPECT_EQ(t.safe_substitute({}), "end$");
+}
+
+TEST(StrTemplate, NoPlaceholdersPassThrough) {
+  StrTemplate t("plain text");
+  EXPECT_EQ(t.substitute({}), "plain text");
+  EXPECT_TRUE(t.placeholders().empty());
+}
+
+}  // namespace
+}  // namespace dpho::util

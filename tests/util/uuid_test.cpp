@@ -1,0 +1,72 @@
+#include "util/uuid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dpho::util {
+namespace {
+
+TEST(Uuid, NilByDefault) {
+  Uuid id;
+  EXPECT_TRUE(id.is_nil());
+  EXPECT_EQ(id.str(), "00000000-0000-0000-0000-000000000000");
+}
+
+TEST(Uuid, RandomIsVersion4Variant1) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const std::string s = Uuid::random(rng).str();
+    ASSERT_EQ(s.size(), 36u);
+    EXPECT_EQ(s[14], '4');  // version nibble
+    EXPECT_TRUE(s[19] == '8' || s[19] == '9' || s[19] == 'a' || s[19] == 'b');
+  }
+}
+
+TEST(Uuid, RandomUnique) {
+  Rng rng(2);
+  std::set<std::string> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(Uuid::random(rng).str());
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Uuid, ParseRoundTrip) {
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    const Uuid original = Uuid::random(rng);
+    const Uuid parsed = Uuid::parse(original.str());
+    EXPECT_EQ(parsed, original);
+  }
+}
+
+TEST(Uuid, ParseAcceptsUppercase) {
+  const Uuid id = Uuid::parse("DEADBEEF-0000-4000-8000-000000000001");
+  EXPECT_EQ(id.str(), "deadbeef-0000-4000-8000-000000000001");
+}
+
+TEST(Uuid, ParseRejectsMalformed) {
+  EXPECT_THROW(Uuid::parse(""), ParseError);
+  EXPECT_THROW(Uuid::parse("not-a-uuid"), ParseError);
+  EXPECT_THROW(Uuid::parse("deadbeef-0000-4000-8000-00000000000g"), ParseError);
+  EXPECT_THROW(Uuid::parse("deadbeef00004000800000000000000001"), ParseError);
+  EXPECT_THROW(Uuid::parse("deadbeef_0000_4000_8000_000000000001"), ParseError);
+}
+
+TEST(Uuid, Ordering) {
+  const Uuid a = Uuid::parse("00000000-0000-4000-8000-000000000001");
+  const Uuid b = Uuid::parse("00000000-0000-4000-8000-000000000002");
+  EXPECT_LT(a, b);
+  EXPECT_NE(a, b);
+}
+
+TEST(Uuid, DeterministicForSeed) {
+  Rng a(99);
+  Rng b(99);
+  EXPECT_EQ(Uuid::random(a), Uuid::random(b));
+}
+
+}  // namespace
+}  // namespace dpho::util
