@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_annealing.dir/bench_ablation_annealing.cpp.o"
+  "CMakeFiles/bench_ablation_annealing.dir/bench_ablation_annealing.cpp.o.d"
+  "bench_ablation_annealing"
+  "bench_ablation_annealing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_annealing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_async_ablation.dir/bench_async_ablation.cpp.o"
+  "CMakeFiles/bench_async_ablation.dir/bench_async_ablation.cpp.o.d"
+  "bench_async_ablation"
+  "bench_async_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_async_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

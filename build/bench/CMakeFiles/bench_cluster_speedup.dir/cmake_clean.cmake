@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cluster_speedup.dir/bench_cluster_speedup.cpp.o"
+  "CMakeFiles/bench_cluster_speedup.dir/bench_cluster_speedup.cpp.o.d"
+  "bench_cluster_speedup"
+  "bench_cluster_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cluster_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_parallel_coords.dir/bench_fig3_parallel_coords.cpp.o"
+  "CMakeFiles/bench_fig3_parallel_coords.dir/bench_fig3_parallel_coords.cpp.o.d"
+  "bench_fig3_parallel_coords"
+  "bench_fig3_parallel_coords.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_parallel_coords.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

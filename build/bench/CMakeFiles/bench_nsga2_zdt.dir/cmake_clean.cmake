@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nsga2_zdt.dir/bench_nsga2_zdt.cpp.o"
+  "CMakeFiles/bench_nsga2_zdt.dir/bench_nsga2_zdt.cpp.o.d"
+  "bench_nsga2_zdt"
+  "bench_nsga2_zdt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nsga2_zdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_nsga2_zdt.
+# This may be replaced when dependencies are built.

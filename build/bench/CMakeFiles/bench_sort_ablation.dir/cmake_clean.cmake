@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sort_ablation.dir/bench_sort_ablation.cpp.o"
+  "CMakeFiles/bench_sort_ablation.dir/bench_sort_ablation.cpp.o.d"
+  "bench_sort_ablation"
+  "bench_sort_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sort_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_selected_solutions.dir/bench_table3_selected_solutions.cpp.o"
+  "CMakeFiles/bench_table3_selected_solutions.dir/bench_table3_selected_solutions.cpp.o.d"
+  "bench_table3_selected_solutions"
+  "bench_table3_selected_solutions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_selected_solutions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generate_training_data.dir/generate_training_data.cpp.o"
+  "CMakeFiles/generate_training_data.dir/generate_training_data.cpp.o.d"
+  "generate_training_data"
+  "generate_training_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generate_training_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

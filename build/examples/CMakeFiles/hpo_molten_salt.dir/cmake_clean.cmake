@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpo_molten_salt.dir/hpo_molten_salt.cpp.o"
+  "CMakeFiles/hpo_molten_salt.dir/hpo_molten_salt.cpp.o.d"
+  "hpo_molten_salt"
+  "hpo_molten_salt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpo_molten_salt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

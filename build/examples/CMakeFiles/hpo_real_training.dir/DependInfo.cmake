@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/hpo_real_training.cpp" "examples/CMakeFiles/hpo_real_training.dir/hpo_real_training.cpp.o" "gcc" "examples/CMakeFiles/hpo_real_training.dir/hpo_real_training.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dpho_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ea/CMakeFiles/dpho_ea.dir/DependInfo.cmake"
+  "/root/repo/build/src/moo/CMakeFiles/dpho_moo.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpc/CMakeFiles/dpho_hpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/dpho_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/md/CMakeFiles/dpho_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dpho_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ad/CMakeFiles/dpho_ad.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dpho_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

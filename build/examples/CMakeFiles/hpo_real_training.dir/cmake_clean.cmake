@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpo_real_training.dir/hpo_real_training.cpp.o"
+  "CMakeFiles/hpo_real_training.dir/hpo_real_training.cpp.o.d"
+  "hpo_real_training"
+  "hpo_real_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpo_real_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md_with_nnp.dir/md_with_nnp.cpp.o"
+  "CMakeFiles/md_with_nnp.dir/md_with_nnp.cpp.o.d"
+  "md_with_nnp"
+  "md_with_nnp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md_with_nnp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

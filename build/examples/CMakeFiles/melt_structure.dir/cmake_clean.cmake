@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/melt_structure.dir/melt_structure.cpp.o"
+  "CMakeFiles/melt_structure.dir/melt_structure.cpp.o.d"
+  "melt_structure"
+  "melt_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/melt_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nas_extension.dir/nas_extension.cpp.o"
+  "CMakeFiles/nas_extension.dir/nas_extension.cpp.o.d"
+  "nas_extension"
+  "nas_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nas_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsga2_zdt.dir/nsga2_zdt.cpp.o"
+  "CMakeFiles/nsga2_zdt.dir/nsga2_zdt.cpp.o.d"
+  "nsga2_zdt"
+  "nsga2_zdt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsga2_zdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpho_ad.dir/tape.cpp.o"
+  "CMakeFiles/dpho_ad.dir/tape.cpp.o.d"
+  "libdpho_ad.a"
+  "libdpho_ad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpho_ad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

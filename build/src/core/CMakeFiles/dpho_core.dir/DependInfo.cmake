@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cpp" "src/core/CMakeFiles/dpho_core.dir/analysis.cpp.o" "gcc" "src/core/CMakeFiles/dpho_core.dir/analysis.cpp.o.d"
+  "/root/repo/src/core/async_driver.cpp" "src/core/CMakeFiles/dpho_core.dir/async_driver.cpp.o" "gcc" "src/core/CMakeFiles/dpho_core.dir/async_driver.cpp.o.d"
+  "/root/repo/src/core/deepmd_repr.cpp" "src/core/CMakeFiles/dpho_core.dir/deepmd_repr.cpp.o" "gcc" "src/core/CMakeFiles/dpho_core.dir/deepmd_repr.cpp.o.d"
+  "/root/repo/src/core/driver.cpp" "src/core/CMakeFiles/dpho_core.dir/driver.cpp.o" "gcc" "src/core/CMakeFiles/dpho_core.dir/driver.cpp.o.d"
+  "/root/repo/src/core/evaluator.cpp" "src/core/CMakeFiles/dpho_core.dir/evaluator.cpp.o" "gcc" "src/core/CMakeFiles/dpho_core.dir/evaluator.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/dpho_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/dpho_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/hyperparams.cpp" "src/core/CMakeFiles/dpho_core.dir/hyperparams.cpp.o" "gcc" "src/core/CMakeFiles/dpho_core.dir/hyperparams.cpp.o.d"
+  "/root/repo/src/core/nas.cpp" "src/core/CMakeFiles/dpho_core.dir/nas.cpp.o" "gcc" "src/core/CMakeFiles/dpho_core.dir/nas.cpp.o.d"
+  "/root/repo/src/core/sensitivity.cpp" "src/core/CMakeFiles/dpho_core.dir/sensitivity.cpp.o" "gcc" "src/core/CMakeFiles/dpho_core.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/core/surrogate.cpp" "src/core/CMakeFiles/dpho_core.dir/surrogate.cpp.o" "gcc" "src/core/CMakeFiles/dpho_core.dir/surrogate.cpp.o.d"
+  "/root/repo/src/core/workspace.cpp" "src/core/CMakeFiles/dpho_core.dir/workspace.cpp.o" "gcc" "src/core/CMakeFiles/dpho_core.dir/workspace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ea/CMakeFiles/dpho_ea.dir/DependInfo.cmake"
+  "/root/repo/build/src/moo/CMakeFiles/dpho_moo.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpc/CMakeFiles/dpho_hpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/dpho_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/md/CMakeFiles/dpho_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dpho_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dpho_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ad/CMakeFiles/dpho_ad.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

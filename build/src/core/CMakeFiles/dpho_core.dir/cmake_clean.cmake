@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpho_core.dir/analysis.cpp.o"
+  "CMakeFiles/dpho_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/dpho_core.dir/async_driver.cpp.o"
+  "CMakeFiles/dpho_core.dir/async_driver.cpp.o.d"
+  "CMakeFiles/dpho_core.dir/deepmd_repr.cpp.o"
+  "CMakeFiles/dpho_core.dir/deepmd_repr.cpp.o.d"
+  "CMakeFiles/dpho_core.dir/driver.cpp.o"
+  "CMakeFiles/dpho_core.dir/driver.cpp.o.d"
+  "CMakeFiles/dpho_core.dir/evaluator.cpp.o"
+  "CMakeFiles/dpho_core.dir/evaluator.cpp.o.d"
+  "CMakeFiles/dpho_core.dir/experiment.cpp.o"
+  "CMakeFiles/dpho_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/dpho_core.dir/hyperparams.cpp.o"
+  "CMakeFiles/dpho_core.dir/hyperparams.cpp.o.d"
+  "CMakeFiles/dpho_core.dir/nas.cpp.o"
+  "CMakeFiles/dpho_core.dir/nas.cpp.o.d"
+  "CMakeFiles/dpho_core.dir/sensitivity.cpp.o"
+  "CMakeFiles/dpho_core.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/dpho_core.dir/surrogate.cpp.o"
+  "CMakeFiles/dpho_core.dir/surrogate.cpp.o.d"
+  "CMakeFiles/dpho_core.dir/workspace.cpp.o"
+  "CMakeFiles/dpho_core.dir/workspace.cpp.o.d"
+  "libdpho_core.a"
+  "libdpho_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpho_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdpho_core.a"
+)

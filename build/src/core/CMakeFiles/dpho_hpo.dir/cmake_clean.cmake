@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpho_hpo.dir/tools/dpho_hpo_main.cpp.o"
+  "CMakeFiles/dpho_hpo.dir/tools/dpho_hpo_main.cpp.o.d"
+  "dpho_hpo"
+  "dpho_hpo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpho_hpo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_train.dir/tools/dp_train_main.cpp.o"
+  "CMakeFiles/dp_train.dir/tools/dp_train_main.cpp.o.d"
+  "dp_train"
+  "dp_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dp/config.cpp" "src/dp/CMakeFiles/dpho_dp.dir/config.cpp.o" "gcc" "src/dp/CMakeFiles/dpho_dp.dir/config.cpp.o.d"
+  "/root/repo/src/dp/lcurve.cpp" "src/dp/CMakeFiles/dpho_dp.dir/lcurve.cpp.o" "gcc" "src/dp/CMakeFiles/dpho_dp.dir/lcurve.cpp.o.d"
+  "/root/repo/src/dp/loss.cpp" "src/dp/CMakeFiles/dpho_dp.dir/loss.cpp.o" "gcc" "src/dp/CMakeFiles/dpho_dp.dir/loss.cpp.o.d"
+  "/root/repo/src/dp/md_interface.cpp" "src/dp/CMakeFiles/dpho_dp.dir/md_interface.cpp.o" "gcc" "src/dp/CMakeFiles/dpho_dp.dir/md_interface.cpp.o.d"
+  "/root/repo/src/dp/model.cpp" "src/dp/CMakeFiles/dpho_dp.dir/model.cpp.o" "gcc" "src/dp/CMakeFiles/dpho_dp.dir/model.cpp.o.d"
+  "/root/repo/src/dp/switching.cpp" "src/dp/CMakeFiles/dpho_dp.dir/switching.cpp.o" "gcc" "src/dp/CMakeFiles/dpho_dp.dir/switching.cpp.o.d"
+  "/root/repo/src/dp/trainer.cpp" "src/dp/CMakeFiles/dpho_dp.dir/trainer.cpp.o" "gcc" "src/dp/CMakeFiles/dpho_dp.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/dpho_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/md/CMakeFiles/dpho_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/ad/CMakeFiles/dpho_ad.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dpho_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

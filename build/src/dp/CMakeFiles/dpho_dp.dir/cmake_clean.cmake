@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpho_dp.dir/config.cpp.o"
+  "CMakeFiles/dpho_dp.dir/config.cpp.o.d"
+  "CMakeFiles/dpho_dp.dir/lcurve.cpp.o"
+  "CMakeFiles/dpho_dp.dir/lcurve.cpp.o.d"
+  "CMakeFiles/dpho_dp.dir/loss.cpp.o"
+  "CMakeFiles/dpho_dp.dir/loss.cpp.o.d"
+  "CMakeFiles/dpho_dp.dir/md_interface.cpp.o"
+  "CMakeFiles/dpho_dp.dir/md_interface.cpp.o.d"
+  "CMakeFiles/dpho_dp.dir/model.cpp.o"
+  "CMakeFiles/dpho_dp.dir/model.cpp.o.d"
+  "CMakeFiles/dpho_dp.dir/switching.cpp.o"
+  "CMakeFiles/dpho_dp.dir/switching.cpp.o.d"
+  "CMakeFiles/dpho_dp.dir/trainer.cpp.o"
+  "CMakeFiles/dpho_dp.dir/trainer.cpp.o.d"
+  "libdpho_dp.a"
+  "libdpho_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpho_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ea/context.cpp" "src/ea/CMakeFiles/dpho_ea.dir/context.cpp.o" "gcc" "src/ea/CMakeFiles/dpho_ea.dir/context.cpp.o.d"
+  "/root/repo/src/ea/decoder.cpp" "src/ea/CMakeFiles/dpho_ea.dir/decoder.cpp.o" "gcc" "src/ea/CMakeFiles/dpho_ea.dir/decoder.cpp.o.d"
+  "/root/repo/src/ea/individual.cpp" "src/ea/CMakeFiles/dpho_ea.dir/individual.cpp.o" "gcc" "src/ea/CMakeFiles/dpho_ea.dir/individual.cpp.o.d"
+  "/root/repo/src/ea/ops.cpp" "src/ea/CMakeFiles/dpho_ea.dir/ops.cpp.o" "gcc" "src/ea/CMakeFiles/dpho_ea.dir/ops.cpp.o.d"
+  "/root/repo/src/ea/representation.cpp" "src/ea/CMakeFiles/dpho_ea.dir/representation.cpp.o" "gcc" "src/ea/CMakeFiles/dpho_ea.dir/representation.cpp.o.d"
+  "/root/repo/src/ea/variation.cpp" "src/ea/CMakeFiles/dpho_ea.dir/variation.cpp.o" "gcc" "src/ea/CMakeFiles/dpho_ea.dir/variation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dpho_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpho_ea.dir/context.cpp.o"
+  "CMakeFiles/dpho_ea.dir/context.cpp.o.d"
+  "CMakeFiles/dpho_ea.dir/decoder.cpp.o"
+  "CMakeFiles/dpho_ea.dir/decoder.cpp.o.d"
+  "CMakeFiles/dpho_ea.dir/individual.cpp.o"
+  "CMakeFiles/dpho_ea.dir/individual.cpp.o.d"
+  "CMakeFiles/dpho_ea.dir/ops.cpp.o"
+  "CMakeFiles/dpho_ea.dir/ops.cpp.o.d"
+  "CMakeFiles/dpho_ea.dir/representation.cpp.o"
+  "CMakeFiles/dpho_ea.dir/representation.cpp.o.d"
+  "CMakeFiles/dpho_ea.dir/variation.cpp.o"
+  "CMakeFiles/dpho_ea.dir/variation.cpp.o.d"
+  "libdpho_ea.a"
+  "libdpho_ea.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpho_ea.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpho_hpc.dir/taskfarm.cpp.o"
+  "CMakeFiles/dpho_hpc.dir/taskfarm.cpp.o.d"
+  "CMakeFiles/dpho_hpc.dir/thread_pool.cpp.o"
+  "CMakeFiles/dpho_hpc.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/dpho_hpc.dir/trace.cpp.o"
+  "CMakeFiles/dpho_hpc.dir/trace.cpp.o.d"
+  "libdpho_hpc.a"
+  "libdpho_hpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpho_hpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/md/analysis.cpp" "src/md/CMakeFiles/dpho_md.dir/analysis.cpp.o" "gcc" "src/md/CMakeFiles/dpho_md.dir/analysis.cpp.o.d"
+  "/root/repo/src/md/box.cpp" "src/md/CMakeFiles/dpho_md.dir/box.cpp.o" "gcc" "src/md/CMakeFiles/dpho_md.dir/box.cpp.o.d"
+  "/root/repo/src/md/dataset.cpp" "src/md/CMakeFiles/dpho_md.dir/dataset.cpp.o" "gcc" "src/md/CMakeFiles/dpho_md.dir/dataset.cpp.o.d"
+  "/root/repo/src/md/integrator.cpp" "src/md/CMakeFiles/dpho_md.dir/integrator.cpp.o" "gcc" "src/md/CMakeFiles/dpho_md.dir/integrator.cpp.o.d"
+  "/root/repo/src/md/neighbor.cpp" "src/md/CMakeFiles/dpho_md.dir/neighbor.cpp.o" "gcc" "src/md/CMakeFiles/dpho_md.dir/neighbor.cpp.o.d"
+  "/root/repo/src/md/npy.cpp" "src/md/CMakeFiles/dpho_md.dir/npy.cpp.o" "gcc" "src/md/CMakeFiles/dpho_md.dir/npy.cpp.o.d"
+  "/root/repo/src/md/potential.cpp" "src/md/CMakeFiles/dpho_md.dir/potential.cpp.o" "gcc" "src/md/CMakeFiles/dpho_md.dir/potential.cpp.o.d"
+  "/root/repo/src/md/simulation.cpp" "src/md/CMakeFiles/dpho_md.dir/simulation.cpp.o" "gcc" "src/md/CMakeFiles/dpho_md.dir/simulation.cpp.o.d"
+  "/root/repo/src/md/system.cpp" "src/md/CMakeFiles/dpho_md.dir/system.cpp.o" "gcc" "src/md/CMakeFiles/dpho_md.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dpho_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

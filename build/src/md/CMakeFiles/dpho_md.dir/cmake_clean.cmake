@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpho_md.dir/analysis.cpp.o"
+  "CMakeFiles/dpho_md.dir/analysis.cpp.o.d"
+  "CMakeFiles/dpho_md.dir/box.cpp.o"
+  "CMakeFiles/dpho_md.dir/box.cpp.o.d"
+  "CMakeFiles/dpho_md.dir/dataset.cpp.o"
+  "CMakeFiles/dpho_md.dir/dataset.cpp.o.d"
+  "CMakeFiles/dpho_md.dir/integrator.cpp.o"
+  "CMakeFiles/dpho_md.dir/integrator.cpp.o.d"
+  "CMakeFiles/dpho_md.dir/neighbor.cpp.o"
+  "CMakeFiles/dpho_md.dir/neighbor.cpp.o.d"
+  "CMakeFiles/dpho_md.dir/npy.cpp.o"
+  "CMakeFiles/dpho_md.dir/npy.cpp.o.d"
+  "CMakeFiles/dpho_md.dir/potential.cpp.o"
+  "CMakeFiles/dpho_md.dir/potential.cpp.o.d"
+  "CMakeFiles/dpho_md.dir/simulation.cpp.o"
+  "CMakeFiles/dpho_md.dir/simulation.cpp.o.d"
+  "CMakeFiles/dpho_md.dir/system.cpp.o"
+  "CMakeFiles/dpho_md.dir/system.cpp.o.d"
+  "libdpho_md.a"
+  "libdpho_md.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpho_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/moo/crowding.cpp" "src/moo/CMakeFiles/dpho_moo.dir/crowding.cpp.o" "gcc" "src/moo/CMakeFiles/dpho_moo.dir/crowding.cpp.o.d"
+  "/root/repo/src/moo/domination.cpp" "src/moo/CMakeFiles/dpho_moo.dir/domination.cpp.o" "gcc" "src/moo/CMakeFiles/dpho_moo.dir/domination.cpp.o.d"
+  "/root/repo/src/moo/metrics.cpp" "src/moo/CMakeFiles/dpho_moo.dir/metrics.cpp.o" "gcc" "src/moo/CMakeFiles/dpho_moo.dir/metrics.cpp.o.d"
+  "/root/repo/src/moo/nsga2.cpp" "src/moo/CMakeFiles/dpho_moo.dir/nsga2.cpp.o" "gcc" "src/moo/CMakeFiles/dpho_moo.dir/nsga2.cpp.o.d"
+  "/root/repo/src/moo/pareto.cpp" "src/moo/CMakeFiles/dpho_moo.dir/pareto.cpp.o" "gcc" "src/moo/CMakeFiles/dpho_moo.dir/pareto.cpp.o.d"
+  "/root/repo/src/moo/problems.cpp" "src/moo/CMakeFiles/dpho_moo.dir/problems.cpp.o" "gcc" "src/moo/CMakeFiles/dpho_moo.dir/problems.cpp.o.d"
+  "/root/repo/src/moo/sorting.cpp" "src/moo/CMakeFiles/dpho_moo.dir/sorting.cpp.o" "gcc" "src/moo/CMakeFiles/dpho_moo.dir/sorting.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dpho_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpho_moo.dir/crowding.cpp.o"
+  "CMakeFiles/dpho_moo.dir/crowding.cpp.o.d"
+  "CMakeFiles/dpho_moo.dir/domination.cpp.o"
+  "CMakeFiles/dpho_moo.dir/domination.cpp.o.d"
+  "CMakeFiles/dpho_moo.dir/metrics.cpp.o"
+  "CMakeFiles/dpho_moo.dir/metrics.cpp.o.d"
+  "CMakeFiles/dpho_moo.dir/nsga2.cpp.o"
+  "CMakeFiles/dpho_moo.dir/nsga2.cpp.o.d"
+  "CMakeFiles/dpho_moo.dir/pareto.cpp.o"
+  "CMakeFiles/dpho_moo.dir/pareto.cpp.o.d"
+  "CMakeFiles/dpho_moo.dir/problems.cpp.o"
+  "CMakeFiles/dpho_moo.dir/problems.cpp.o.d"
+  "CMakeFiles/dpho_moo.dir/sorting.cpp.o"
+  "CMakeFiles/dpho_moo.dir/sorting.cpp.o.d"
+  "libdpho_moo.a"
+  "libdpho_moo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpho_moo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpho_nn.dir/activation.cpp.o"
+  "CMakeFiles/dpho_nn.dir/activation.cpp.o.d"
+  "CMakeFiles/dpho_nn.dir/mlp.cpp.o"
+  "CMakeFiles/dpho_nn.dir/mlp.cpp.o.d"
+  "CMakeFiles/dpho_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/dpho_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/dpho_nn.dir/schedule.cpp.o"
+  "CMakeFiles/dpho_nn.dir/schedule.cpp.o.d"
+  "libdpho_nn.a"
+  "libdpho_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpho_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

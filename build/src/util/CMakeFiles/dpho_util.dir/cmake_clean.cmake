@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpho_util.dir/args.cpp.o"
+  "CMakeFiles/dpho_util.dir/args.cpp.o.d"
+  "CMakeFiles/dpho_util.dir/csv.cpp.o"
+  "CMakeFiles/dpho_util.dir/csv.cpp.o.d"
+  "CMakeFiles/dpho_util.dir/fs.cpp.o"
+  "CMakeFiles/dpho_util.dir/fs.cpp.o.d"
+  "CMakeFiles/dpho_util.dir/json.cpp.o"
+  "CMakeFiles/dpho_util.dir/json.cpp.o.d"
+  "CMakeFiles/dpho_util.dir/log.cpp.o"
+  "CMakeFiles/dpho_util.dir/log.cpp.o.d"
+  "CMakeFiles/dpho_util.dir/rng.cpp.o"
+  "CMakeFiles/dpho_util.dir/rng.cpp.o.d"
+  "CMakeFiles/dpho_util.dir/stats.cpp.o"
+  "CMakeFiles/dpho_util.dir/stats.cpp.o.d"
+  "CMakeFiles/dpho_util.dir/str_template.cpp.o"
+  "CMakeFiles/dpho_util.dir/str_template.cpp.o.d"
+  "CMakeFiles/dpho_util.dir/uuid.cpp.o"
+  "CMakeFiles/dpho_util.dir/uuid.cpp.o.d"
+  "libdpho_util.a"
+  "libdpho_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpho_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ad.dir/ad/higher_order_test.cpp.o"
+  "CMakeFiles/test_ad.dir/ad/higher_order_test.cpp.o.d"
+  "CMakeFiles/test_ad.dir/ad/tape_test.cpp.o"
+  "CMakeFiles/test_ad.dir/ad/tape_test.cpp.o.d"
+  "test_ad"
+  "test_ad.pdb"
+  "test_ad[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/analysis_test.cpp" "tests/CMakeFiles/test_core.dir/core/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/analysis_test.cpp.o.d"
+  "/root/repo/tests/core/async_driver_test.cpp" "tests/CMakeFiles/test_core.dir/core/async_driver_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/async_driver_test.cpp.o.d"
+  "/root/repo/tests/core/custom_repr_driver_test.cpp" "tests/CMakeFiles/test_core.dir/core/custom_repr_driver_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/custom_repr_driver_test.cpp.o.d"
+  "/root/repo/tests/core/deepmd_repr_test.cpp" "tests/CMakeFiles/test_core.dir/core/deepmd_repr_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/deepmd_repr_test.cpp.o.d"
+  "/root/repo/tests/core/driver_test.cpp" "tests/CMakeFiles/test_core.dir/core/driver_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/driver_test.cpp.o.d"
+  "/root/repo/tests/core/evaluator_test.cpp" "tests/CMakeFiles/test_core.dir/core/evaluator_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/evaluator_test.cpp.o.d"
+  "/root/repo/tests/core/hyperparams_test.cpp" "tests/CMakeFiles/test_core.dir/core/hyperparams_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/hyperparams_test.cpp.o.d"
+  "/root/repo/tests/core/nas_test.cpp" "tests/CMakeFiles/test_core.dir/core/nas_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/nas_test.cpp.o.d"
+  "/root/repo/tests/core/persistence_test.cpp" "tests/CMakeFiles/test_core.dir/core/persistence_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/persistence_test.cpp.o.d"
+  "/root/repo/tests/core/runtime_objective_test.cpp" "tests/CMakeFiles/test_core.dir/core/runtime_objective_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/runtime_objective_test.cpp.o.d"
+  "/root/repo/tests/core/sensitivity_test.cpp" "tests/CMakeFiles/test_core.dir/core/sensitivity_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/sensitivity_test.cpp.o.d"
+  "/root/repo/tests/core/surrogate_property_test.cpp" "tests/CMakeFiles/test_core.dir/core/surrogate_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/surrogate_property_test.cpp.o.d"
+  "/root/repo/tests/core/surrogate_test.cpp" "tests/CMakeFiles/test_core.dir/core/surrogate_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/surrogate_test.cpp.o.d"
+  "/root/repo/tests/core/workspace_test.cpp" "tests/CMakeFiles/test_core.dir/core/workspace_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/workspace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dpho_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ea/CMakeFiles/dpho_ea.dir/DependInfo.cmake"
+  "/root/repo/build/src/moo/CMakeFiles/dpho_moo.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpc/CMakeFiles/dpho_hpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/dpho_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/md/CMakeFiles/dpho_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dpho_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ad/CMakeFiles/dpho_ad.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dpho_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

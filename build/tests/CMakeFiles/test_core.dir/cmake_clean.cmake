@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/analysis_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/analysis_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/async_driver_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/async_driver_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/custom_repr_driver_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/custom_repr_driver_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/deepmd_repr_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/deepmd_repr_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/driver_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/driver_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/evaluator_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/evaluator_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/hyperparams_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/hyperparams_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/nas_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/nas_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/persistence_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/persistence_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/runtime_objective_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/runtime_objective_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/sensitivity_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/sensitivity_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/surrogate_property_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/surrogate_property_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/surrogate_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/surrogate_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/workspace_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/workspace_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dp.dir/dp/config_test.cpp.o"
+  "CMakeFiles/test_dp.dir/dp/config_test.cpp.o.d"
+  "CMakeFiles/test_dp.dir/dp/lcurve_test.cpp.o"
+  "CMakeFiles/test_dp.dir/dp/lcurve_test.cpp.o.d"
+  "CMakeFiles/test_dp.dir/dp/loss_test.cpp.o"
+  "CMakeFiles/test_dp.dir/dp/loss_test.cpp.o.d"
+  "CMakeFiles/test_dp.dir/dp/md_interface_test.cpp.o"
+  "CMakeFiles/test_dp.dir/dp/md_interface_test.cpp.o.d"
+  "CMakeFiles/test_dp.dir/dp/model_property_test.cpp.o"
+  "CMakeFiles/test_dp.dir/dp/model_property_test.cpp.o.d"
+  "CMakeFiles/test_dp.dir/dp/model_test.cpp.o"
+  "CMakeFiles/test_dp.dir/dp/model_test.cpp.o.d"
+  "CMakeFiles/test_dp.dir/dp/switching_test.cpp.o"
+  "CMakeFiles/test_dp.dir/dp/switching_test.cpp.o.d"
+  "CMakeFiles/test_dp.dir/dp/trainer_test.cpp.o"
+  "CMakeFiles/test_dp.dir/dp/trainer_test.cpp.o.d"
+  "test_dp"
+  "test_dp.pdb"
+  "test_dp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ea.dir/ea/decoder_test.cpp.o"
+  "CMakeFiles/test_ea.dir/ea/decoder_test.cpp.o.d"
+  "CMakeFiles/test_ea.dir/ea/individual_test.cpp.o"
+  "CMakeFiles/test_ea.dir/ea/individual_test.cpp.o.d"
+  "CMakeFiles/test_ea.dir/ea/ops_test.cpp.o"
+  "CMakeFiles/test_ea.dir/ea/ops_test.cpp.o.d"
+  "CMakeFiles/test_ea.dir/ea/representation_test.cpp.o"
+  "CMakeFiles/test_ea.dir/ea/representation_test.cpp.o.d"
+  "CMakeFiles/test_ea.dir/ea/variation_test.cpp.o"
+  "CMakeFiles/test_ea.dir/ea/variation_test.cpp.o.d"
+  "test_ea"
+  "test_ea.pdb"
+  "test_ea[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ea.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hpc.dir/hpc/taskfarm_property_test.cpp.o"
+  "CMakeFiles/test_hpc.dir/hpc/taskfarm_property_test.cpp.o.d"
+  "CMakeFiles/test_hpc.dir/hpc/taskfarm_test.cpp.o"
+  "CMakeFiles/test_hpc.dir/hpc/taskfarm_test.cpp.o.d"
+  "CMakeFiles/test_hpc.dir/hpc/thread_pool_test.cpp.o"
+  "CMakeFiles/test_hpc.dir/hpc/thread_pool_test.cpp.o.d"
+  "CMakeFiles/test_hpc.dir/hpc/trace_test.cpp.o"
+  "CMakeFiles/test_hpc.dir/hpc/trace_test.cpp.o.d"
+  "test_hpc"
+  "test_hpc.pdb"
+  "test_hpc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/dp_test_cli_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/dp_test_cli_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/dp_train_cli_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/dp_train_cli_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/dpho_hpo_cli_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/dpho_hpo_cli_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/experiment_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/experiment_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/listing1_pipeline_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/listing1_pipeline_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/real_training_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/real_training_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/subprocess_evaluator_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/subprocess_evaluator_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/surrogate_crosscheck_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/surrogate_crosscheck_test.cpp.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/md/box_test.cpp" "tests/CMakeFiles/test_md.dir/md/box_test.cpp.o" "gcc" "tests/CMakeFiles/test_md.dir/md/box_test.cpp.o.d"
+  "/root/repo/tests/md/dataset_test.cpp" "tests/CMakeFiles/test_md.dir/md/dataset_test.cpp.o" "gcc" "tests/CMakeFiles/test_md.dir/md/dataset_test.cpp.o.d"
+  "/root/repo/tests/md/integrator_test.cpp" "tests/CMakeFiles/test_md.dir/md/integrator_test.cpp.o" "gcc" "tests/CMakeFiles/test_md.dir/md/integrator_test.cpp.o.d"
+  "/root/repo/tests/md/md_analysis_test.cpp" "tests/CMakeFiles/test_md.dir/md/md_analysis_test.cpp.o" "gcc" "tests/CMakeFiles/test_md.dir/md/md_analysis_test.cpp.o.d"
+  "/root/repo/tests/md/neighbor_test.cpp" "tests/CMakeFiles/test_md.dir/md/neighbor_test.cpp.o" "gcc" "tests/CMakeFiles/test_md.dir/md/neighbor_test.cpp.o.d"
+  "/root/repo/tests/md/npy_test.cpp" "tests/CMakeFiles/test_md.dir/md/npy_test.cpp.o" "gcc" "tests/CMakeFiles/test_md.dir/md/npy_test.cpp.o.d"
+  "/root/repo/tests/md/potential_test.cpp" "tests/CMakeFiles/test_md.dir/md/potential_test.cpp.o" "gcc" "tests/CMakeFiles/test_md.dir/md/potential_test.cpp.o.d"
+  "/root/repo/tests/md/simulation_test.cpp" "tests/CMakeFiles/test_md.dir/md/simulation_test.cpp.o" "gcc" "tests/CMakeFiles/test_md.dir/md/simulation_test.cpp.o.d"
+  "/root/repo/tests/md/system_test.cpp" "tests/CMakeFiles/test_md.dir/md/system_test.cpp.o" "gcc" "tests/CMakeFiles/test_md.dir/md/system_test.cpp.o.d"
+  "/root/repo/tests/md/verlet_test.cpp" "tests/CMakeFiles/test_md.dir/md/verlet_test.cpp.o" "gcc" "tests/CMakeFiles/test_md.dir/md/verlet_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dpho_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ea/CMakeFiles/dpho_ea.dir/DependInfo.cmake"
+  "/root/repo/build/src/moo/CMakeFiles/dpho_moo.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpc/CMakeFiles/dpho_hpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/dpho_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/md/CMakeFiles/dpho_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dpho_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ad/CMakeFiles/dpho_ad.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dpho_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

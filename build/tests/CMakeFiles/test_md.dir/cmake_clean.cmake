@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_md.dir/md/box_test.cpp.o"
+  "CMakeFiles/test_md.dir/md/box_test.cpp.o.d"
+  "CMakeFiles/test_md.dir/md/dataset_test.cpp.o"
+  "CMakeFiles/test_md.dir/md/dataset_test.cpp.o.d"
+  "CMakeFiles/test_md.dir/md/integrator_test.cpp.o"
+  "CMakeFiles/test_md.dir/md/integrator_test.cpp.o.d"
+  "CMakeFiles/test_md.dir/md/md_analysis_test.cpp.o"
+  "CMakeFiles/test_md.dir/md/md_analysis_test.cpp.o.d"
+  "CMakeFiles/test_md.dir/md/neighbor_test.cpp.o"
+  "CMakeFiles/test_md.dir/md/neighbor_test.cpp.o.d"
+  "CMakeFiles/test_md.dir/md/npy_test.cpp.o"
+  "CMakeFiles/test_md.dir/md/npy_test.cpp.o.d"
+  "CMakeFiles/test_md.dir/md/potential_test.cpp.o"
+  "CMakeFiles/test_md.dir/md/potential_test.cpp.o.d"
+  "CMakeFiles/test_md.dir/md/simulation_test.cpp.o"
+  "CMakeFiles/test_md.dir/md/simulation_test.cpp.o.d"
+  "CMakeFiles/test_md.dir/md/system_test.cpp.o"
+  "CMakeFiles/test_md.dir/md/system_test.cpp.o.d"
+  "CMakeFiles/test_md.dir/md/verlet_test.cpp.o"
+  "CMakeFiles/test_md.dir/md/verlet_test.cpp.o.d"
+  "test_md"
+  "test_md.pdb"
+  "test_md[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_moo.dir/moo/crowding_test.cpp.o"
+  "CMakeFiles/test_moo.dir/moo/crowding_test.cpp.o.d"
+  "CMakeFiles/test_moo.dir/moo/domination_test.cpp.o"
+  "CMakeFiles/test_moo.dir/moo/domination_test.cpp.o.d"
+  "CMakeFiles/test_moo.dir/moo/metrics_test.cpp.o"
+  "CMakeFiles/test_moo.dir/moo/metrics_test.cpp.o.d"
+  "CMakeFiles/test_moo.dir/moo/nsga2_test.cpp.o"
+  "CMakeFiles/test_moo.dir/moo/nsga2_test.cpp.o.d"
+  "CMakeFiles/test_moo.dir/moo/pareto_test.cpp.o"
+  "CMakeFiles/test_moo.dir/moo/pareto_test.cpp.o.d"
+  "CMakeFiles/test_moo.dir/moo/sorting_test.cpp.o"
+  "CMakeFiles/test_moo.dir/moo/sorting_test.cpp.o.d"
+  "test_moo"
+  "test_moo.pdb"
+  "test_moo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_moo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

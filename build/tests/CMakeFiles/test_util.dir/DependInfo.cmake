@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/args_test.cpp" "tests/CMakeFiles/test_util.dir/util/args_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/args_test.cpp.o.d"
+  "/root/repo/tests/util/csv_test.cpp" "tests/CMakeFiles/test_util.dir/util/csv_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/csv_test.cpp.o.d"
+  "/root/repo/tests/util/fs_test.cpp" "tests/CMakeFiles/test_util.dir/util/fs_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/fs_test.cpp.o.d"
+  "/root/repo/tests/util/json_test.cpp" "tests/CMakeFiles/test_util.dir/util/json_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/json_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/test_util.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/rng_test.cpp.o.d"
+  "/root/repo/tests/util/stats_test.cpp" "tests/CMakeFiles/test_util.dir/util/stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/stats_test.cpp.o.d"
+  "/root/repo/tests/util/str_template_test.cpp" "tests/CMakeFiles/test_util.dir/util/str_template_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/str_template_test.cpp.o.d"
+  "/root/repo/tests/util/uuid_test.cpp" "tests/CMakeFiles/test_util.dir/util/uuid_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/uuid_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dpho_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ea/CMakeFiles/dpho_ea.dir/DependInfo.cmake"
+  "/root/repo/build/src/moo/CMakeFiles/dpho_moo.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpc/CMakeFiles/dpho_hpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/dpho_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/md/CMakeFiles/dpho_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dpho_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ad/CMakeFiles/dpho_ad.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dpho_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
