@@ -1,0 +1,86 @@
+// Crash-safe checkpointing of the HPO run loop.
+//
+// The paper's deployments live under Summit's 12-hour batch wall limit and
+// explicitly tolerate lost nodes (section 2.2.5) -- but losing the *driver*
+// process would discard an entire deployment (up to 700 trainings).  This
+// layer persists the complete EA state after every generation so a killed run
+// resumes exactly where it stopped:
+//
+//   * the parent population (genomes, fitness, NSGA-II bookkeeping, UUIDs),
+//   * the driver's RNG stream (bit-exact, including the Box-Muller cache),
+//   * the annealed per-gene mutation sigma vector,
+//   * the simulated farm state (job clock, node-health map, farm RNG stream),
+//   * every GenerationRecord accumulated so far.
+//
+// Write protocol: each checkpoint is serialized to JSON, written to a unique
+// temporary sibling, fsynced, and renamed into place (util::atomic_write_file)
+// -- a crash between any two steps leaves either the previous checkpoint or
+// the complete new one, never a torn file.  A `manifest.json` (written with
+// the same protocol) names the latest checkpoint; `load()` additionally scans
+// the directory so a crash between checkpoint-rename and manifest-rename
+// still resumes from the newest complete generation.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "ea/individual.hpp"
+#include "hpc/taskfarm.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace dpho::core {
+
+/// Everything needed to resume Nsga2Driver::run after generation
+/// `completed_generations` and reproduce the uninterrupted RunRecord
+/// bit-for-bit.
+struct DriverCheckpoint {
+  std::uint64_t seed = 0;
+  std::size_t completed_generations = 0;  // index of the last finished wave
+  ea::Population parents;                 // survivors after that wave
+  util::RngState rng;                     // driver stream
+  std::vector<double> mutation_std;       // post-anneal sigma vector
+  hpc::FarmSnapshot farm;                 // job clock + node health + farm rng
+  std::vector<GenerationRecord> generations;  // records for waves 0..k
+};
+
+/// Atomic, versioned persistence of DriverCheckpoints in one directory.
+class CheckpointManager {
+ public:
+  /// Bump on any incompatible change to the checkpoint JSON layout; load()
+  /// refuses mismatched documents rather than resuming from garbage.
+  static constexpr int kSchemaVersion = 1;
+
+  /// Creates `dir` (and parents) if missing.
+  explicit CheckpointManager(std::filesystem::path dir);
+
+  const std::filesystem::path& dir() const { return dir_; }
+
+  /// Atomically persists `checkpoint` and updates the manifest; older
+  /// checkpoint files are pruned afterwards.  Throws util::IoError on
+  /// unwritable storage.
+  void save(const DriverCheckpoint& checkpoint) const;
+
+  /// Loads the newest complete checkpoint, preferring the manifest but
+  /// falling back to a directory scan; corrupt or torn candidates are
+  /// skipped.  Returns nullopt when the directory holds no usable checkpoint.
+  std::optional<DriverCheckpoint> load() const;
+
+  /// True when load() would return a checkpoint.
+  bool has_checkpoint() const { return load().has_value(); }
+
+  /// JSON (de)serialization, exposed for tests.  Doubles round-trip
+  /// bit-exactly (shortest-round-trip formatting); 64-bit RNG words are hex
+  /// encoded because JSON numbers cannot hold them losslessly.
+  static util::Json to_json(const DriverCheckpoint& checkpoint);
+  static DriverCheckpoint from_json(const util::Json& json);
+
+ private:
+  std::filesystem::path checkpoint_path(std::size_t generation) const;
+
+  std::filesystem::path dir_;
+};
+
+}  // namespace dpho::core

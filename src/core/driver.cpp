@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/checkpoint.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -26,6 +27,8 @@ EvalRecord to_record(const ea::Individual& individual, int generation) {
   record.fitness = individual.fitness;
   record.runtime_minutes = individual.eval_runtime_minutes;
   record.status = individual.status;
+  record.attempts = individual.eval_attempts;
+  record.failure_cause = individual.failure_cause;
   record.generation = generation;
   record.uuid = individual.uuid.str();
   return record;
@@ -67,6 +70,9 @@ GenerationRecord Nsga2Driver::evaluate_population(
     const hpc::TaskReport& task = report.tasks[i];
     individual.status = to_eval_status(task.status);
     individual.eval_runtime_minutes = task.sim_minutes;
+    // Scheduler reassignments plus evaluator-internal retries beyond the first.
+    individual.eval_attempts = task.attempts + task.payload_attempts - 1;
+    individual.failure_cause = hpc::to_string(task.cause);
     if (task.status == hpc::TaskStatus::kOk) {
       individual.fitness = task.fitness;
       if (config_.include_runtime_objective) {
@@ -97,21 +103,73 @@ RunRecord Nsga2Driver::run(std::uint64_t seed) {
   context.mutation_std() = genome_layout_.initial_stds();
   const std::vector<ea::Range> bounds = genome_layout_.bounds();
 
-  // Generation 0: random initial population.
+  std::optional<CheckpointManager> checkpoints;
+  if (config_.checkpoint_dir) checkpoints.emplace(*config_.checkpoint_dir);
+  const auto save_checkpoint = [&](std::size_t completed,
+                                   const ea::Population& current_parents) {
+    if (!checkpoints) return;
+    DriverCheckpoint checkpoint;
+    checkpoint.seed = seed;
+    checkpoint.completed_generations = completed;
+    checkpoint.parents = current_parents;
+    checkpoint.rng = rng.save_state();
+    checkpoint.mutation_std = context.mutation_std();
+    checkpoint.farm = farm.snapshot();
+    checkpoint.generations = run_record.generations;
+    checkpoints->save(checkpoint);
+  };
+  const auto finalize = [&](const ea::Population& current_parents) {
+    for (const ea::Individual& individual : current_parents) {
+      run_record.final_population.push_back(
+          to_record(individual, static_cast<int>(config_.generations)));
+    }
+    run_record.job_minutes = farm.clock_minutes();
+    return run_record;
+  };
+
   ea::Population parents;
-  parents.reserve(config_.population_size);
-  for (std::size_t i = 0; i < config_.population_size; ++i) {
-    parents.push_back(genome_layout_.create_individual(rng, 0));
+  std::size_t first_offspring_gen = 1;
+  bool resumed = false;
+  if (config_.resume && checkpoints) {
+    if (std::optional<DriverCheckpoint> checkpoint = checkpoints->load()) {
+      if (checkpoint->seed != seed) {
+        throw util::ValueError(
+            "checkpoint seed mismatch: directory holds a run for seed " +
+            std::to_string(checkpoint->seed));
+      }
+      if (checkpoint->parents.size() != config_.population_size) {
+        throw util::ValueError("checkpoint population size mismatch");
+      }
+      parents = std::move(checkpoint->parents);
+      rng.restore_state(checkpoint->rng);
+      context.mutation_std() = checkpoint->mutation_std;
+      farm.restore(checkpoint->farm);
+      run_record.generations = std::move(checkpoint->generations);
+      first_offspring_gen = checkpoint->completed_generations + 1;
+      resumed = true;
+      util::log_info() << "driver: seed " << seed << " resumed after generation "
+                       << checkpoint->completed_generations;
+    }
   }
-  {
+
+  if (!resumed) {
+    // Generation 0: random initial population.
+    parents.reserve(config_.population_size);
+    for (std::size_t i = 0; i < config_.population_size; ++i) {
+      parents.push_back(genome_layout_.create_individual(rng, 0));
+    }
     std::vector<ea::Individual*> pending;
     for (ea::Individual& individual : parents) pending.push_back(&individual);
     GenerationRecord gen0 = evaluate_population(pending, farm, 0, seed);
     gen0.mutation_std = context.mutation_std();
     run_record.generations.push_back(std::move(gen0));
+    save_checkpoint(0, parents);
+    if (config_.halt_after_generation && *config_.halt_after_generation == 0) {
+      return finalize(parents);
+    }
   }
 
-  for (std::size_t gen = 1; gen <= config_.generations; ++gen) {
+  for (std::size_t gen = first_offspring_gen; gen <= config_.generations; ++gen) {
     // Listing 1: select, clone, mutate; then farm the evaluations.
     const ea::SourceOp source = ea::random_selection(parents, rng);
     const ea::StreamOp cloner = ea::clone_op(rng);
@@ -152,14 +210,14 @@ RunRecord Nsga2Driver::run(std::uint64_t seed) {
     util::log_info() << "driver: seed " << seed << " generation " << gen
                      << " makespan " << run_record.generations.back().makespan_minutes
                      << " min";
+    save_checkpoint(gen, parents);
+    if (config_.halt_after_generation && *config_.halt_after_generation == gen) {
+      // Graceful preemption: the checkpoint above is the resume point.
+      return finalize(parents);
+    }
   }
 
-  for (const ea::Individual& individual : parents) {
-    run_record.final_population.push_back(
-        to_record(individual, static_cast<int>(config_.generations)));
-  }
-  run_record.job_minutes = farm.clock_minutes();
-  return run_record;
+  return finalize(parents);
 }
 
 }  // namespace dpho::core

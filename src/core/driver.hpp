@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <filesystem>
 #include <optional>
 #include <vector>
 
@@ -33,6 +34,8 @@ struct EvalRecord {
   std::vector<double> fitness;   // {rmse_e, rmse_f}; MAXINT on failure
   double runtime_minutes = 0.0;
   ea::EvalStatus status = ea::EvalStatus::kOk;
+  std::size_t attempts = 1;            // farm reassignments + payload retries
+  std::string failure_cause = "none";  // hpc FailureCause name
   int generation = 0;
   std::string uuid;
 };
@@ -73,6 +76,16 @@ struct DriverConfig {
   /// representation.  Extensions (e.g. the NAS genome) supply their own; the
   /// evaluator must decode matching genomes.
   std::optional<ea::Representation> representation;
+  /// When set, the full EA state is persisted atomically after every
+  /// generation so an interrupted run can be resumed.
+  std::optional<std::filesystem::path> checkpoint_dir;
+  /// Resume from the latest valid checkpoint in `checkpoint_dir` (no-op when
+  /// the directory holds none); the resumed run's RunRecord is bit-identical
+  /// to an uninterrupted run with the same seed and configuration.
+  bool resume = false;
+  /// Stop (gracefully) after completing + checkpointing this generation
+  /// index; models batch-scheduler preemption and drives the resume tests.
+  std::optional<std::size_t> halt_after_generation;
 };
 
 /// NSGA-II over the DeepMD representation with parallel farmed evaluation.

@@ -1,9 +1,14 @@
 #include "core/evaluator.hpp"
 
+#include <fcntl.h>
+#include <signal.h>
 #include <sys/wait.h>
+#include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
-#include <cstdlib>
+#include <cmath>
+#include <thread>
 
 #include "dp/lcurve.hpp"
 #include "util/error.hpp"
@@ -21,7 +26,9 @@ hpc::WorkResult SurrogateEvaluator::evaluate(const ea::Individual& individual,
   hpc::WorkResult result;
   result.sim_minutes = outcome.runtime_minutes;
   result.training_error = outcome.failed;
-  if (!outcome.failed) {
+  if (outcome.failed) {
+    result.cause = hpc::FailureCause::kTrainingFailure;
+  } else {
     result.fitness = {outcome.rmse_e, outcome.rmse_f};
   }
   return result;
@@ -66,11 +73,13 @@ hpc::WorkResult RealTrainingEvaluator::evaluate(const ea::Individual& individual
                      << e.what();
     // Let the task farm classify it: report a runtime beyond any limit.
     result.sim_minutes = 1e9;
+    result.cause = hpc::FailureCause::kWallLimit;
     result.fitness.clear();
   } catch (const std::exception& e) {
     util::log_info() << "evaluation failed for " << individual.uuid.str() << ": "
                      << e.what();
     result.training_error = true;
+    result.cause = hpc::FailureCause::kException;
     result.sim_minutes = 1.0;
     result.fitness.clear();
   }
@@ -87,48 +96,164 @@ SubprocessEvaluator::SubprocessEvaluator(SubprocessEvalOptions options)
   }
 }
 
+namespace {
+
+struct LaunchOutcome {
+  int exit_code = -1;
+  bool hung = false;        // killed by the watchdog
+  double real_seconds = 0.0;
+};
+
+/// Launches `argv` with stdout/stderr redirected into `log_path` and a
+/// watchdog that SIGKILLs the child after `kill_after_seconds` of real time
+/// (the paper's jsrun launch, hardened against hung trainings).
+LaunchOutcome launch_with_watchdog(const std::vector<std::string>& argv,
+                                   const std::filesystem::path& log_path,
+                                   double kill_after_seconds,
+                                   double poll_seconds) {
+  const auto start = std::chrono::steady_clock::now();
+  const ::pid_t pid = ::fork();
+  if (pid < 0) throw util::IoError("fork failed for subprocess evaluation");
+  if (pid == 0) {
+    const int log_fd =
+        ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (log_fd >= 0) {
+      ::dup2(log_fd, STDOUT_FILENO);
+      ::dup2(log_fd, STDERR_FILENO);
+      ::close(log_fd);
+    }
+    std::vector<char*> args;
+    args.reserve(argv.size() + 1);
+    for (const std::string& arg : argv) args.push_back(const_cast<char*>(arg.c_str()));
+    args.push_back(nullptr);
+    ::execv(args[0], args.data());
+    ::_exit(127);  // exec failed
+  }
+
+  LaunchOutcome outcome;
+  int status = 0;
+  for (;;) {
+    const ::pid_t done = ::waitpid(pid, &status, WNOHANG);
+    if (done == pid) break;
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    if (done < 0) throw util::IoError("waitpid failed for subprocess evaluation");
+    if (elapsed > kill_after_seconds) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, &status, 0);
+      outcome.hung = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(poll_seconds));
+  }
+  outcome.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  outcome.real_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return outcome;
+}
+
+bool cause_is_transient(hpc::FailureCause cause) {
+  return cause == hpc::FailureCause::kHungProcess ||
+         cause == hpc::FailureCause::kMissingArtifact ||
+         cause == hpc::FailureCause::kCorruptArtifact;
+}
+
+}  // namespace
+
 hpc::WorkResult SubprocessEvaluator::evaluate(const ea::Individual& individual,
                                               std::uint64_t /*eval_seed*/) const {
   hpc::WorkResult result;
-  const auto start = std::chrono::steady_clock::now();
   try {
     const HyperParams hp = representation_.decode(individual.genome);
     const auto input_path = workspace_.prepare(individual, hp);
     const auto run_dir = workspace_.run_dir(individual);
     // The per-training launch (the paper's jsrun-wrapped `dp` subprocess).
-    const std::string command =
-        "'" + options_.dp_train_binary.string() + "' '" + input_path.string() +
-        "' '" + options_.train_data_dir.string() + "' '" +
-        options_.validation_data_dir.string() + "' --out '" + run_dir.string() +
-        "' --wall-limit " + std::to_string(options_.wall_limit_seconds) +
-        " > '" + (run_dir / "stdout.log").string() + "' 2>&1";
-    const int status = std::system(command.c_str());
-    const int code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
-    const double seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
-    result.sim_minutes = seconds * options_.sim_minutes_per_real_second;
+    const std::vector<std::string> argv = {
+        options_.dp_train_binary.string(),
+        input_path.string(),
+        options_.train_data_dir.string(),
+        options_.validation_data_dir.string(),
+        "--out",
+        run_dir.string(),
+        "--wall-limit",
+        std::to_string(options_.wall_limit_seconds),
+    };
+    const std::size_t max_attempts = std::max<std::size_t>(options_.max_attempts, 1);
+    double backoff = options_.retry_backoff_seconds;
 
-    if (code == 0) {
-      // Step 4c: the last rmse_e_val / rmse_f_val values from lcurve.out.
-      const auto [rmse_e, rmse_f] =
-          dp::LcurveReader::final_validation_losses(workspace_.lcurve_path(individual));
-      result.fitness = {rmse_e, rmse_f};
-    } else if (code == 3) {
-      // TimeoutError from the subprocess: report past any task limit so the
-      // farm classifies it as a timeout.
-      result.sim_minutes = 1e9;
-      result.fitness.clear();
-    } else {
-      util::log_info() << "dp_train subprocess for " << individual.uuid.str()
-                       << " exited with code " << code;
-      result.training_error = true;
-      result.fitness.clear();
+    for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+      result = hpc::WorkResult{};
+      result.attempts = attempt;
+      const LaunchOutcome launch = launch_with_watchdog(
+          argv, run_dir / "stdout.log",
+          options_.wall_limit_seconds + options_.watchdog_grace_seconds,
+          options_.watchdog_poll_seconds);
+      result.sim_minutes = launch.real_seconds * options_.sim_minutes_per_real_second;
+
+      if (launch.hung) {
+        // The training stopped responding and was killed; report past any
+        // task limit so the farm classifies survivors of the retry budget as
+        // timeouts.
+        result.sim_minutes = 1e9;
+        result.cause = hpc::FailureCause::kHungProcess;
+        result.fitness.clear();
+      } else if (launch.exit_code == 0) {
+        // Step 4c: the last rmse_e_val / rmse_f_val values from lcurve.out --
+        // validated rather than trusted: a "successful" training on a flaky
+        // node can leave the artifact missing, truncated, or NaN-ridden.
+        const auto lcurve_path = workspace_.lcurve_path(individual);
+        if (!std::filesystem::exists(lcurve_path)) {
+          result.training_error = true;
+          result.cause = hpc::FailureCause::kMissingArtifact;
+        } else {
+          try {
+            const std::vector<dp::LcurveRow> rows = dp::LcurveReader::read(lcurve_path);
+            if (rows.empty()) throw util::ParseError("lcurve.out holds no data rows");
+            const double rmse_e = rows.back().rmse_e_val;
+            const double rmse_f = rows.back().rmse_f_val;
+            if (!std::isfinite(rmse_e) || !std::isfinite(rmse_f)) {
+              // Diverged training: deterministic, never retried; the driver
+              // assigns MAXINT (the paper's convention) instead of letting
+              // NaN corrupt the NSGA-II sort.
+              result.training_error = true;
+              result.cause = hpc::FailureCause::kNonFiniteFitness;
+            } else {
+              result.fitness = {rmse_e, rmse_f};
+            }
+          } catch (const std::exception& e) {
+            util::log_info() << "corrupt lcurve.out for " << individual.uuid.str()
+                             << ": " << e.what();
+            result.training_error = true;
+            result.cause = hpc::FailureCause::kCorruptArtifact;
+          }
+        }
+      } else if (launch.exit_code == 3) {
+        // TimeoutError from the subprocess: report past any task limit so the
+        // farm classifies it as a timeout.
+        result.sim_minutes = 1e9;
+        result.cause = hpc::FailureCause::kWallLimit;
+        result.fitness.clear();
+      } else {
+        util::log_info() << "dp_train subprocess for " << individual.uuid.str()
+                         << " exited with code " << launch.exit_code;
+        result.training_error = true;
+        result.cause = hpc::FailureCause::kNonZeroExit;
+        result.fitness.clear();
+      }
+
+      if (!cause_is_transient(result.cause) || attempt == max_attempts) break;
+      util::log_info() << "retrying evaluation for " << individual.uuid.str()
+                       << " (attempt " << attempt << " failed: "
+                       << hpc::to_string(result.cause) << "), backoff " << backoff
+                       << " s";
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      backoff *= 2.0;
     }
   } catch (const std::exception& e) {
     util::log_info() << "subprocess evaluation failed for " << individual.uuid.str()
                      << ": " << e.what();
     result.training_error = true;
+    result.cause = hpc::FailureCause::kException;
     result.fitness.clear();
     result.sim_minutes = 1.0;
   }

@@ -94,6 +94,18 @@ struct SubprocessEvalOptions {
   std::string input_template;              // ${...} template for input.json
   double wall_limit_seconds = 7200.0;      // the paper's two hours
   double sim_minutes_per_real_second = 1.0;
+  /// Fault-tolerance policy.  Transient failures (hung child killed by the
+  /// watchdog, missing or corrupt lcurve.out -- typically a flaky node or
+  /// filesystem) are retried with exponential backoff up to `max_attempts`;
+  /// deterministic failures (bad hyperparameters -> nonzero exit, diverged
+  /// training -> NaN losses, wall-limit timeouts) are never retried.
+  std::size_t max_attempts = 2;
+  double retry_backoff_seconds = 0.25;     // doubled after every attempt
+  /// The child gets wall_limit + grace seconds of real time before the
+  /// watchdog SIGKILLs it (the subprocess is expected to enforce the wall
+  /// limit itself and exit with code 3; the watchdog catches hangs).
+  double watchdog_grace_seconds = 30.0;
+  double watchdog_poll_seconds = 0.02;
 };
 
 class SubprocessEvaluator : public Evaluator {

@@ -1,5 +1,6 @@
 #include "core/experiment.hpp"
 
+#include <map>
 #include <sstream>
 
 #include "util/csv.hpp"
@@ -13,7 +14,13 @@ std::vector<RunRecord> ExperimentRunner::run_all() const {
   std::vector<RunRecord> runs;
   runs.reserve(config_.seeds.size());
   for (std::uint64_t seed : config_.seeds) {
-    Nsga2Driver driver(config_.driver, evaluator_);
+    DriverConfig driver_config = config_.driver;
+    if (config_.checkpoint_dir) {
+      driver_config.checkpoint_dir =
+          *config_.checkpoint_dir / ("seed-" + std::to_string(seed));
+      driver_config.resume = config_.resume;
+    }
+    Nsga2Driver driver(driver_config, evaluator_);
     runs.push_back(driver.run(seed));
   }
   return runs;
@@ -25,7 +32,7 @@ std::string records_csv(const std::vector<RunRecord>& runs) {
   writer.write_row({"run_seed", "generation", "uuid", "start_lr", "stop_lr", "rcut",
                     "rcut_smth", "scale_by_worker", "desc_activ_func",
                     "fitting_activ_func", "rmse_e", "rmse_f", "runtime_minutes",
-                    "status"});
+                    "status", "attempts", "failure_cause"});
   const auto fmt = util::CsvWriter::format;
   for (const RunRecord& run : runs) {
     for (const GenerationRecord& generation : run.generations) {
@@ -37,6 +44,8 @@ std::string records_csv(const std::vector<RunRecord>& runs) {
         row.push_back(record.fitness.size() >= 2 ? fmt(record.fitness[1]) : "");
         row.push_back(fmt(record.runtime_minutes));
         row.push_back(to_string(record.status));
+        row.push_back(std::to_string(record.attempts));
+        row.push_back(record.failure_cause);
         writer.write_row(row);
       }
     }
@@ -57,13 +66,27 @@ void export_results(const std::vector<RunRecord>& runs,
     entry["job_minutes"] = run.job_minutes;
     std::size_t failures = 0;
     std::size_t evaluations = 0;
+    std::size_t retried = 0;
+    std::size_t attempts_total = 0;
+    std::map<std::string, std::size_t> causes;
     for (const GenerationRecord& generation : run.generations) {
       failures += generation.failures;
       evaluations += generation.evaluated.size();
+      for (const EvalRecord& record : generation.evaluated) {
+        attempts_total += record.attempts;
+        if (record.attempts > 1) ++retried;
+        if (record.failure_cause != "none") ++causes[record.failure_cause];
+      }
     }
     entry["evaluations"] = evaluations;
     entry["failures"] = failures;
     entry["generations"] = run.generations.size();
+    entry["attempts_total"] = attempts_total;
+    entry["evaluations_retried"] = retried;
+    util::Json cause_counts;
+    for (const auto& [cause, count] : causes) cause_counts[cause] = count;
+    if (causes.empty()) cause_counts = util::Json(util::JsonObject{});
+    entry["failure_causes"] = std::move(cause_counts);
     run_array.push_back(std::move(entry));
   }
   summary["runs"] = util::Json(std::move(run_array));
@@ -71,21 +94,6 @@ void export_results(const std::vector<RunRecord>& runs,
 }
 
 namespace {
-
-util::Json record_to_json(const EvalRecord& record) {
-  util::Json json;
-  util::JsonArray genome;
-  for (double gene : record.genome) genome.emplace_back(gene);
-  json["genome"] = util::Json(std::move(genome));
-  util::JsonArray fitness;
-  for (double f : record.fitness) fitness.emplace_back(f);
-  json["fitness"] = util::Json(std::move(fitness));
-  json["runtime_minutes"] = record.runtime_minutes;
-  json["status"] = to_string(record.status);
-  json["generation"] = record.generation;
-  json["uuid"] = record.uuid;
-  return json;
-}
 
 ea::EvalStatus status_from_string(const std::string& name) {
   if (name == "ok") return ea::EvalStatus::kOk;
@@ -95,7 +103,26 @@ ea::EvalStatus status_from_string(const std::string& name) {
   throw util::ParseError("unknown eval status: " + name);
 }
 
-EvalRecord record_from_json(const util::Json& json) {
+}  // namespace
+
+util::Json eval_record_to_json(const EvalRecord& record) {
+  util::Json json;
+  util::JsonArray genome;
+  for (double gene : record.genome) genome.emplace_back(gene);
+  json["genome"] = util::Json(std::move(genome));
+  util::JsonArray fitness;
+  for (double f : record.fitness) fitness.emplace_back(f);
+  json["fitness"] = util::Json(std::move(fitness));
+  json["runtime_minutes"] = record.runtime_minutes;
+  json["status"] = to_string(record.status);
+  json["attempts"] = record.attempts;
+  json["failure_cause"] = record.failure_cause;
+  json["generation"] = record.generation;
+  json["uuid"] = record.uuid;
+  return json;
+}
+
+EvalRecord eval_record_from_json(const util::Json& json) {
   EvalRecord record;
   for (const util::Json& gene : json.at("genome").as_array()) {
     record.genome.push_back(gene.as_number());
@@ -105,12 +132,46 @@ EvalRecord record_from_json(const util::Json& json) {
   }
   record.runtime_minutes = json.at("runtime_minutes").as_number();
   record.status = status_from_string(json.at("status").as_string());
+  // Optional since dpho-runs-v1 documents written before the fault-tolerance
+  // layer lack them.
+  record.attempts = static_cast<std::size_t>(json.number_or("attempts", 1.0));
+  record.failure_cause = json.string_or("failure_cause", "none");
   record.generation = static_cast<int>(json.at("generation").as_int());
   record.uuid = json.at("uuid").as_string();
   return record;
 }
 
-}  // namespace
+util::Json generation_to_json(const GenerationRecord& gen) {
+  util::Json gen_json;
+  gen_json["generation"] = gen.generation;
+  gen_json["makespan_minutes"] = gen.makespan_minutes;
+  gen_json["failures"] = gen.failures;
+  gen_json["node_failures"] = gen.node_failures;
+  util::JsonArray sigma;
+  for (double s : gen.mutation_std) sigma.emplace_back(s);
+  gen_json["mutation_std"] = util::Json(std::move(sigma));
+  util::JsonArray evaluated;
+  for (const EvalRecord& record : gen.evaluated) {
+    evaluated.push_back(eval_record_to_json(record));
+  }
+  gen_json["evaluated"] = util::Json(std::move(evaluated));
+  return gen_json;
+}
+
+GenerationRecord generation_from_json(const util::Json& gen_json) {
+  GenerationRecord gen;
+  gen.generation = static_cast<int>(gen_json.at("generation").as_int());
+  gen.makespan_minutes = gen_json.at("makespan_minutes").as_number();
+  gen.failures = static_cast<std::size_t>(gen_json.at("failures").as_int());
+  gen.node_failures = static_cast<std::size_t>(gen_json.at("node_failures").as_int());
+  for (const util::Json& s : gen_json.at("mutation_std").as_array()) {
+    gen.mutation_std.push_back(s.as_number());
+  }
+  for (const util::Json& record : gen_json.at("evaluated").as_array()) {
+    gen.evaluated.push_back(eval_record_from_json(record));
+  }
+  return gen;
+}
 
 util::Json runs_to_json(const std::vector<RunRecord>& runs) {
   util::Json document;
@@ -122,25 +183,12 @@ util::Json runs_to_json(const std::vector<RunRecord>& runs) {
     run_json["job_minutes"] = run.job_minutes;
     util::JsonArray generations;
     for (const GenerationRecord& gen : run.generations) {
-      util::Json gen_json;
-      gen_json["generation"] = gen.generation;
-      gen_json["makespan_minutes"] = gen.makespan_minutes;
-      gen_json["failures"] = gen.failures;
-      gen_json["node_failures"] = gen.node_failures;
-      util::JsonArray sigma;
-      for (double s : gen.mutation_std) sigma.emplace_back(s);
-      gen_json["mutation_std"] = util::Json(std::move(sigma));
-      util::JsonArray evaluated;
-      for (const EvalRecord& record : gen.evaluated) {
-        evaluated.push_back(record_to_json(record));
-      }
-      gen_json["evaluated"] = util::Json(std::move(evaluated));
-      generations.push_back(std::move(gen_json));
+      generations.push_back(generation_to_json(gen));
     }
     run_json["generations"] = util::Json(std::move(generations));
     util::JsonArray final_population;
     for (const EvalRecord& record : run.final_population) {
-      final_population.push_back(record_to_json(record));
+      final_population.push_back(eval_record_to_json(record));
     }
     run_json["final_population"] = util::Json(std::move(final_population));
     run_array.push_back(std::move(run_json));
@@ -159,22 +207,10 @@ std::vector<RunRecord> runs_from_json(const util::Json& json) {
     run.seed = static_cast<std::uint64_t>(run_json.at("seed").as_int());
     run.job_minutes = run_json.at("job_minutes").as_number();
     for (const util::Json& gen_json : run_json.at("generations").as_array()) {
-      GenerationRecord gen;
-      gen.generation = static_cast<int>(gen_json.at("generation").as_int());
-      gen.makespan_minutes = gen_json.at("makespan_minutes").as_number();
-      gen.failures = static_cast<std::size_t>(gen_json.at("failures").as_int());
-      gen.node_failures =
-          static_cast<std::size_t>(gen_json.at("node_failures").as_int());
-      for (const util::Json& s : gen_json.at("mutation_std").as_array()) {
-        gen.mutation_std.push_back(s.as_number());
-      }
-      for (const util::Json& record : gen_json.at("evaluated").as_array()) {
-        gen.evaluated.push_back(record_from_json(record));
-      }
-      run.generations.push_back(std::move(gen));
+      run.generations.push_back(generation_from_json(gen_json));
     }
     for (const util::Json& record : run_json.at("final_population").as_array()) {
-      run.final_population.push_back(record_from_json(record));
+      run.final_population.push_back(eval_record_from_json(record));
     }
     runs.push_back(std::move(run));
   }

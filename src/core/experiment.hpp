@@ -6,16 +6,23 @@
 #pragma once
 
 #include <filesystem>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/driver.hpp"
+#include "util/json.hpp"
 
 namespace dpho::core {
 
 struct ExperimentConfig {
   DriverConfig driver;
   std::vector<std::uint64_t> seeds = {1, 2, 3, 4, 5};
+  /// When set, every seed checkpoints into `<checkpoint_dir>/seed-<seed>` and
+  /// `run_all()` can resume a killed experiment where it stopped.
+  std::optional<std::filesystem::path> checkpoint_dir;
+  /// Resume per-seed runs from their checkpoints when present.
+  bool resume = false;
 };
 
 class ExperimentRunner {
@@ -40,6 +47,12 @@ std::string records_csv(const std::vector<RunRecord>& runs);
 /// Writes records_csv plus a JSON summary next to it.
 void export_results(const std::vector<RunRecord>& runs,
                     const std::filesystem::path& directory);
+
+/// Single-record (de)serialization, shared with the checkpoint layer.
+util::Json eval_record_to_json(const EvalRecord& record);
+EvalRecord eval_record_from_json(const util::Json& json);
+util::Json generation_to_json(const GenerationRecord& generation);
+GenerationRecord generation_from_json(const util::Json& json);
 
 /// Lossless persistence: the full run records (every evaluation, per
 /// generation, with genomes/fitness/runtimes/statuses) as JSON, so the

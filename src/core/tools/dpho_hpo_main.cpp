@@ -3,6 +3,7 @@
 //
 //   dpho_hpo [--pop N] [--generations N] [--runs N] [--out DIR]
 //            [--async] [--runtime-objective] [--failure-rate P] [--quiet]
+//            [--checkpoint-dir DIR] [--resume]
 //
 // Default configuration reproduces the paper: 100 individuals x 7 waves x
 // 5 runs on the simulated 100-node Summit allocation with surrogate-backed
@@ -28,6 +29,10 @@ int main(int argc, char** argv) {
       .add_flag("--runtime-objective",
                 "minimize training runtime as a third objective", false)
       .add_flag("--failure-rate", "node-failure probability per task, default 5e-4")
+      .add_flag("--checkpoint-dir",
+                "persist per-seed EA state here after every generation")
+      .add_flag("--resume",
+                "resume interrupted runs from --checkpoint-dir", false)
       .add_flag("--quiet", "suppress the analysis printout", false)
       .add_flag("--help", "show this message", false);
   try {
@@ -49,6 +54,18 @@ int main(int argc, char** argv) {
 
   core::SurrogateEvaluator evaluator;
   std::vector<core::RunRecord> results;
+
+  if (args.has("--async") &&
+      (args.has("--checkpoint-dir") || args.has("--resume"))) {
+    std::fprintf(stderr,
+                 "--checkpoint-dir/--resume need the generational deployment;"
+                 " they are not supported with --async\n");
+    return 2;
+  }
+  if (args.has("--resume") && !args.has("--checkpoint-dir")) {
+    std::fprintf(stderr, "--resume needs --checkpoint-dir\n");
+    return 2;
+  }
 
   if (args.has("--async")) {
     core::AsyncDriverConfig config;
@@ -83,6 +100,10 @@ int main(int argc, char** argv) {
     config.driver.include_runtime_objective = args.has("--runtime-objective");
     config.driver.farm.node_failure_probability = args.get("--failure-rate", 5e-4);
     config.driver.farm.real_threads = 2;
+    if (args.has("--checkpoint-dir")) {
+      config.checkpoint_dir = args.get("--checkpoint-dir", std::string("checkpoints"));
+      config.resume = args.has("--resume");
+    }
     config.seeds.clear();
     for (std::size_t seed = 1; seed <= runs; ++seed) config.seeds.push_back(seed);
     core::ExperimentRunner runner(config, evaluator);

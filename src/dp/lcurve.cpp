@@ -1,6 +1,7 @@
 #include "dp/lcurve.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 #include "util/error.hpp"
@@ -41,8 +42,18 @@ std::vector<LcurveRow> LcurveReader::parse(const std::string& text) {
     }
     std::istringstream fields(line);
     std::vector<double> values;
-    double v = 0.0;
-    while (fields >> v) values.push_back(v);
+    std::string token;
+    while (fields >> token) {
+      // strtod rather than stream extraction: diverged DeePMD trainings write
+      // literal nan/inf fields, which must parse (and later fail finiteness
+      // checks) instead of rendering the file unreadable.
+      char* end = nullptr;
+      const double v = std::strtod(token.c_str(), &end);
+      if (end == token.c_str() || *end != '\0') {
+        throw util::ParseError("lcurve row holds a non-numeric field: " + token);
+      }
+      values.push_back(v);
+    }
     if (values.empty()) continue;
     if (columns.empty() || values.size() != columns.size()) {
       throw util::ParseError("lcurve row does not match header");

@@ -47,6 +47,11 @@ struct Individual {
   // Evaluation metadata.
   EvalStatus status = EvalStatus::kOk;
   double eval_runtime_minutes = 0.0;
+  /// Total evaluation attempts: farm node-reassignments plus any
+  /// evaluator-internal retries beyond the first launch.
+  std::size_t eval_attempts = 1;
+  /// Fine-grained failure cause (hpc::to_string(FailureCause)); "none" when ok.
+  std::string failure_cause = "none";
   int birth_generation = 0;
 
   bool evaluated() const { return !fitness.empty(); }

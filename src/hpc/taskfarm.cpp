@@ -18,6 +18,24 @@ std::string to_string(TaskStatus status) {
   throw util::ValueError("invalid task status");
 }
 
+std::string to_string(FailureCause cause) {
+  switch (cause) {
+    case FailureCause::kNone: return "none";
+    case FailureCause::kTrainingFailure: return "training_failure";
+    case FailureCause::kNonZeroExit: return "nonzero_exit";
+    case FailureCause::kWallLimit: return "wall_limit";
+    case FailureCause::kHungProcess: return "hung_process";
+    case FailureCause::kMissingArtifact: return "missing_artifact";
+    case FailureCause::kCorruptArtifact: return "corrupt_artifact";
+    case FailureCause::kNonFiniteFitness: return "nonfinite_fitness";
+    case FailureCause::kException: return "exception";
+    case FailureCause::kNodeLoss: return "node_loss";
+    case FailureCause::kMpiRelaunch: return "mpi_relaunch";
+    case FailureCause::kPayloadCorruption: return "payload_corruption";
+  }
+  throw util::ValueError("invalid failure cause");
+}
+
 DaskCluster::DaskCluster(const ClusterSpec& cluster, const FarmConfig& config)
     : cluster_(cluster), config_(config), rng_(config.seed),
       pool_(std::max<std::size_t>(config.real_threads, 1)),
@@ -33,7 +51,29 @@ double DaskCluster::remaining_minutes() const {
   return std::max(0.0, config_.job.wall_limit_minutes - clock_minutes_);
 }
 
+FarmSnapshot DaskCluster::snapshot() const {
+  FarmSnapshot snap;
+  snap.clock_minutes = clock_minutes_;
+  snap.live_workers = live_workers_;
+  snap.tasks_run_on_node = tasks_run_on_node_;
+  snap.rng = rng_.save_state();
+  snap.batches_run = batches_run_;
+  return snap;
+}
+
+void DaskCluster::restore(const FarmSnapshot& snapshot) {
+  if (snapshot.tasks_run_on_node.size() != tasks_run_on_node_.size()) {
+    throw util::ValueError("farm snapshot node count mismatch");
+  }
+  clock_minutes_ = snapshot.clock_minutes;
+  live_workers_ = snapshot.live_workers;
+  tasks_run_on_node_ = snapshot.tasks_run_on_node;
+  rng_.restore_state(snapshot.rng);
+  batches_run_ = snapshot.batches_run;
+}
+
 BatchReport DaskCluster::run_batch(std::size_t num_tasks, const WorkFn& work) {
+  const std::size_t batch = batches_run_++;
   BatchReport report;
   report.tasks.resize(num_tasks);
   if (num_tasks == 0) {
@@ -47,6 +87,42 @@ BatchReport DaskCluster::run_batch(std::size_t num_tasks, const WorkFn& work) {
   std::vector<WorkResult> results(num_tasks);
   pool_.parallel_for(num_tasks, [&](std::size_t i) { results[i] = work(i); });
 
+  // 1b. Scripted payload-level faults (stragglers, corruption) and scheduler
+  //     outages for this batch.
+  double scheduler_delay = 0.0;
+  for (const FaultEvent& event : config_.faults.events) {
+    if (event.batch != batch) continue;
+    switch (event.kind) {
+      case FaultKind::kStraggler:
+        if (event.task < num_tasks) results[event.task].sim_minutes *= event.factor;
+        break;
+      case FaultKind::kCorruptPayload:
+        if (event.task < num_tasks) {
+          results[event.task].fitness.clear();
+          results[event.task].training_error = true;
+          results[event.task].cause = FailureCause::kPayloadCorruption;
+        }
+        break;
+      case FaultKind::kSchedulerRestart:
+        scheduler_delay = std::max(scheduler_delay, event.delay_minutes);
+        ++report.scheduler_restarts;
+        util::log_info() << "taskfarm: scheduler restart at batch " << batch
+                         << ", workers idle for " << event.delay_minutes << " min";
+        break;
+      case FaultKind::kKillWorker:
+        break;  // handled attempt-by-attempt below
+    }
+  }
+  const auto scripted_kill = [&](std::size_t task, std::size_t attempt) {
+    for (const FaultEvent& event : config_.faults.events) {
+      if (event.kind == FaultKind::kKillWorker && event.batch == batch &&
+          event.task == task && event.attempt == attempt) {
+        return true;
+      }
+    }
+    return false;
+  };
+
   // 2. Discrete-event replay onto the simulated workers.
   struct WorkerSlot {
     double free_at = 0.0;
@@ -57,21 +133,23 @@ BatchReport DaskCluster::run_batch(std::size_t num_tasks, const WorkFn& work) {
   std::size_t live = 0;
   for (std::size_t node = 0; node < tasks_run_on_node_.size(); ++node) {
     if (tasks_run_on_node_[node] == static_cast<std::size_t>(-1)) continue;  // dead
-    workers.push(WorkerSlot{0.0, node});
+    workers.push(WorkerSlot{scheduler_delay, node});
     ++live;
   }
 
   std::queue<std::pair<std::size_t, std::size_t>> pending;  // task, attempt
   for (std::size_t i = 0; i < num_tasks; ++i) pending.emplace(i, 1);
 
-  double makespan = 0.0;
+  double makespan = scheduler_delay;
   while (!pending.empty()) {
     if (workers.empty()) {
       // Every node died; remaining tasks are unrecoverable.
       while (!pending.empty()) {
         TaskReport& tr = report.tasks[pending.front().first];
         tr.status = TaskStatus::kNodeFailure;
+        tr.cause = FailureCause::kNodeLoss;
         tr.attempts = pending.front().second;
+        tr.payload_attempts = results[pending.front().first].attempts;
         pending.pop();
       }
       break;
@@ -83,13 +161,16 @@ BatchReport DaskCluster::run_batch(std::size_t num_tasks, const WorkFn& work) {
 
     TaskReport& tr = report.tasks[task];
     tr.attempts = attempt;
+    tr.payload_attempts = results[task].attempts;
     tr.node = slot.node;
     const WorkResult& result = results[task];
 
-    // Node-failure injection (nannies disabled: the node never comes back).
-    if (rng_.bernoulli(config_.node_failure_probability)) {
-      const double elapsed =
-          rng_.uniform(0.0, std::min(result.sim_minutes, config_.task_timeout_minutes));
+    // Node-failure injection (nannies disabled: the node never comes back):
+    // either scripted by the fault plan or drawn from the random model.
+    const bool killed = scripted_kill(task, attempt);
+    if (killed || rng_.bernoulli(config_.node_failure_probability)) {
+      const double run_cap = std::min(result.sim_minutes, config_.task_timeout_minutes);
+      const double elapsed = killed ? 0.5 * run_cap : rng_.uniform(0.0, run_cap);
       makespan = std::max(makespan, slot.free_at + elapsed);
       tasks_run_on_node_[slot.node] = static_cast<std::size_t>(-1);
       --live;
@@ -100,6 +181,7 @@ BatchReport DaskCluster::run_batch(std::size_t num_tasks, const WorkFn& work) {
         pending.emplace(task, attempt + 1);
       } else {
         tr.status = TaskStatus::kNodeFailure;
+        tr.cause = FailureCause::kNodeLoss;
         tr.finish_minute = clock_minutes_ + slot.free_at + elapsed;
       }
       continue;
@@ -115,16 +197,22 @@ BatchReport DaskCluster::run_batch(std::size_t num_tasks, const WorkFn& work) {
       const double failure_minutes = std::min(1.0, result.sim_minutes);
       slot.free_at += failure_minutes;
       tr.status = TaskStatus::kTrainingError;
+      tr.cause = mpi_blocked ? FailureCause::kMpiRelaunch
+                 : result.cause != FailureCause::kNone ? result.cause
+                                                       : FailureCause::kTrainingFailure;
       tr.sim_minutes = failure_minutes;
       tr.finish_minute = clock_minutes_ + slot.free_at;
     } else if (result.sim_minutes > config_.task_timeout_minutes) {
       slot.free_at += config_.task_timeout_minutes;
       tr.status = TaskStatus::kTimeout;
+      tr.cause = result.cause != FailureCause::kNone ? result.cause
+                                                     : FailureCause::kWallLimit;
       tr.sim_minutes = config_.task_timeout_minutes;
       tr.finish_minute = clock_minutes_ + slot.free_at;
     } else {
       slot.free_at += result.sim_minutes;
       tr.status = TaskStatus::kOk;
+      tr.cause = FailureCause::kNone;
       tr.sim_minutes = result.sim_minutes;
       tr.fitness = result.fitness;
       tr.finish_minute = clock_minutes_ + slot.free_at;

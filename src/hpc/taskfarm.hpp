@@ -25,11 +25,33 @@
 
 namespace dpho::hpc {
 
+/// Fine-grained reason a task-attempt produced no usable fitness.  TaskStatus
+/// stays the coarse classification the EA acts on; the cause is bookkeeping
+/// surfaced in run records and CSV exports for post-mortem analysis.
+enum class FailureCause : std::uint8_t {
+  kNone = 0,
+  kTrainingFailure,    // payload reported a generic failure (e.g. divergence)
+  kNonZeroExit,        // subprocess exited with an unexpected code
+  kWallLimit,          // per-task wall limit exceeded
+  kHungProcess,        // child stopped responding; killed by the watchdog
+  kMissingArtifact,    // training "succeeded" but produced no lcurve.out
+  kCorruptArtifact,    // lcurve.out unparseable / truncated
+  kNonFiniteFitness,   // lcurve.out held NaN/Inf losses
+  kException,          // in-process evaluation threw
+  kNodeLoss,           // worker node died and retries were exhausted
+  kMpiRelaunch,        // compute-node worker could not start a second MPI job
+  kPayloadCorruption,  // injected payload corruption (fault plan)
+};
+
+std::string to_string(FailureCause cause);
+
 /// What one unit of work reports back.
 struct WorkResult {
   std::vector<double> fitness;   // objective values (empty on failure)
   double sim_minutes = 0.0;      // simulated training runtime
   bool training_error = false;   // diverged / invalid configuration
+  FailureCause cause = FailureCause::kNone;
+  std::size_t attempts = 1;      // evaluator-internal attempts (retry policy)
 };
 
 /// work(task_index) computes the payload; it must be thread-safe.
@@ -51,8 +73,10 @@ struct TaskReport {
   std::vector<double> fitness;
   double sim_minutes = 0.0;     // time the task occupied its final node
   double finish_minute = 0.0;   // completion time on the job clock
-  std::size_t attempts = 1;
+  std::size_t attempts = 1;          // scheduler attempts (node reassignments)
+  std::size_t payload_attempts = 1;  // evaluator-internal attempts
   std::size_t node = 0;         // node that ran the final attempt
+  FailureCause cause = FailureCause::kNone;
 };
 
 /// Per-batch accounting.
@@ -61,16 +85,56 @@ struct BatchReport {
   double makespan_minutes = 0.0;      // batch wall time on the simulated clock
   std::size_t node_failures = 0;      // nodes lost during the batch
   std::size_t workers_remaining = 0;  // surviving workers after the batch
+  std::size_t scheduler_restarts = 0; // injected scheduler outages this batch
+};
+
+/// Scripted fault kinds for deterministic fault-injection tests; generalizes
+/// the single random `node_failure_probability` knob.
+enum class FaultKind : std::uint8_t {
+  kKillWorker,        // the node running (batch, task, attempt) dies mid-task
+  kStraggler,         // the task's runtime is multiplied by `factor`
+  kCorruptPayload,    // the task's result is replaced by corrupt output
+  kSchedulerRestart,  // the scheduler is down `delay_minutes` at batch start
+};
+
+/// One scripted fault.  `batch` counts run_batch() calls on the cluster
+/// (generation index when driven by Nsga2Driver); `task` is the index within
+/// the batch; `attempt` lets kill events target retries (schedule kills at
+/// attempts 1..max_attempts to deterministically exhaust the retry budget).
+struct FaultEvent {
+  FaultKind kind = FaultKind::kKillWorker;
+  std::size_t batch = 0;
+  std::size_t task = 0;
+  std::size_t attempt = 1;      // kKillWorker only
+  double factor = 1.0;          // kStraggler runtime multiplier
+  double delay_minutes = 0.0;   // kSchedulerRestart outage length
+};
+
+/// A deterministic fault schedule driving the simulated farm.
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+  bool empty() const { return events.empty(); }
 };
 
 /// Farm configuration.
 struct FarmConfig {
   BatchJob job;                          // nodes, wall limit, worker placement
   double task_timeout_minutes = 120.0;   // the paper's 2-hour training cap
-  double node_failure_probability = 0.0; // per task-attempt
+  double node_failure_probability = 0.0; // per task-attempt (random faults)
+  FaultPlan faults;                      // scripted faults (deterministic)
   std::size_t max_attempts = 3;
   std::size_t real_threads = 1;          // CPU threads for the actual payloads
   std::uint64_t seed = 0;
+};
+
+/// Serializable mutable state of a DaskCluster; lets a resumed run continue
+/// the farm's RNG stream, job clock and node-health map bit-for-bit.
+struct FarmSnapshot {
+  double clock_minutes = 0.0;
+  std::size_t live_workers = 0;
+  std::vector<std::size_t> tasks_run_on_node;  // SIZE_MAX marks a dead node
+  util::RngState rng;
+  std::size_t batches_run = 0;
 };
 
 /// The scheduler + workers + client ensemble.
@@ -90,6 +154,15 @@ class DaskCluster {
   std::size_t live_workers() const { return live_workers_; }
   const ClusterSpec& cluster() const { return cluster_; }
 
+  /// Number of run_batch() calls so far (fault events key on this).
+  std::size_t batches_run() const { return batches_run_; }
+
+  /// Captures the farm's mutable state for checkpointing.
+  FarmSnapshot snapshot() const;
+
+  /// Restores a snapshot taken from an identically configured farm.
+  void restore(const FarmSnapshot& snapshot);
+
  private:
   ClusterSpec cluster_;
   FarmConfig config_;
@@ -98,6 +171,7 @@ class DaskCluster {
   double clock_minutes_ = 0.0;
   std::size_t live_workers_ = 0;
   std::vector<std::size_t> tasks_run_on_node_;  // for the MPI-relaunch rule
+  std::size_t batches_run_ = 0;
 };
 
 }  // namespace dpho::hpc

@@ -1,5 +1,6 @@
 #include "util/fs.hpp"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -26,6 +27,51 @@ void write_file(const fs::path& path, const std::string& contents) {
   if (!out) throw IoError("cannot open for writing: " + path.string());
   out << contents;
   if (!out) throw IoError("short write: " + path.string());
+}
+
+namespace {
+std::atomic<unsigned> g_atomic_write_counter{0};
+}
+
+void atomic_write_file(const fs::path& path, const std::string& contents) {
+  if (path.has_parent_path()) fs::create_directories(path.parent_path());
+  const fs::path dir = path.has_parent_path() ? path.parent_path() : fs::path(".");
+  const fs::path tmp =
+      path.string() + ".tmp-" + std::to_string(::getpid()) + "-" +
+      std::to_string(g_atomic_write_counter.fetch_add(1));
+
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw IoError("cannot open temp file for writing: " + tmp.string());
+  std::size_t written = 0;
+  while (written < contents.size()) {
+    const ::ssize_t n =
+        ::write(fd, contents.data() + written, contents.size() - written);
+    if (n < 0) {
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      throw IoError("short write: " + tmp.string());
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw IoError("fsync failed: " + tmp.string());
+  }
+  ::close(fd);
+
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    ::unlink(tmp.c_str());
+    throw IoError("atomic rename to " + path.string() + " failed: " + ec.message());
+  }
+  // Make the rename durable: fsync the containing directory.
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
 }
 
 fs::path make_run_dir(const fs::path& base, const std::string& name) {

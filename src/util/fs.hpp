@@ -12,6 +12,14 @@ std::string read_file(const std::filesystem::path& path);
 /// Writes (replacing) an entire file; creates parent directories as needed.
 void write_file(const std::filesystem::path& path, const std::string& contents);
 
+/// Crash-safe whole-file replacement: the contents are written to a unique
+/// temporary sibling, flushed with fsync, and renamed over `path`; the parent
+/// directory is fsynced afterwards so the rename itself is durable.  A reader
+/// therefore observes either the previous file or the complete new one --
+/// never a torn intermediate -- which is the invariant the checkpoint layer
+/// depends on.  Leftover "*.tmp-*" siblings from a crashed writer are inert.
+void atomic_write_file(const std::filesystem::path& path, const std::string& contents);
+
 /// Creates a fresh unique directory under `base` (created too, if missing).
 std::filesystem::path make_run_dir(const std::filesystem::path& base,
                                    const std::string& name);

@@ -124,6 +124,22 @@ Rng Rng::spawn(std::uint64_t stream) {
   return Rng(hash_combine(hash_combine(seed_, 0x5bd1e995u), stream));
 }
 
+RngState Rng::save_state() const {
+  RngState snapshot;
+  snapshot.state = state_;
+  snapshot.seed = seed_;
+  snapshot.cached_normal = cached_normal_;
+  snapshot.has_cached_normal = has_cached_normal_;
+  return snapshot;
+}
+
+void Rng::restore_state(const RngState& state) {
+  state_ = state.state;
+  seed_ = state.seed;
+  cached_normal_ = state.cached_normal;
+  has_cached_normal_ = state.has_cached_normal;
+}
+
 std::vector<std::size_t> Rng::permutation(std::size_t n) {
   std::vector<std::size_t> idx(n);
   for (std::size_t i = 0; i < n; ++i) idx[i] = i;

@@ -13,6 +13,18 @@
 
 namespace dpho::util {
 
+/// Complete serializable state of an Rng: restoring it resumes the stream
+/// bit-for-bit (including the Box-Muller cache), which the checkpoint layer
+/// relies on for crash-safe run resumption.
+struct RngState {
+  std::array<std::uint64_t, 4> state{};
+  std::uint64_t seed = 0;          // retained so spawn() streams stay stable
+  double cached_normal = 0.0;
+  bool has_cached_normal = false;
+
+  friend bool operator==(const RngState&, const RngState&) = default;
+};
+
 /// xoshiro256++ engine with convenience distributions.
 ///
 /// Satisfies UniformRandomBitGenerator so it can also be handed to
@@ -57,6 +69,12 @@ class Rng {
 
   /// Fisher-Yates shuffle of an index range [0, n).
   std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Snapshot of the full generator state for checkpointing.
+  RngState save_state() const;
+
+  /// Resumes the stream exactly where `save_state()` captured it.
+  void restore_state(const RngState& state);
 
  private:
   std::array<std::uint64_t, 4> state_{};

@@ -1,0 +1,167 @@
+// CheckpointManager: lossless (de)serialization and crash-safe persistence.
+#include "core/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+namespace dpho::core {
+namespace {
+
+DriverCheckpoint make_checkpoint(std::size_t completed = 3) {
+  util::Rng rng(42);
+  DriverCheckpoint cp;
+  cp.seed = 0xDEADBEEFCAFEBABEULL;  // needs all 64 bits to round-trip
+  cp.completed_generations = completed;
+  for (int i = 0; i < 4; ++i) {
+    ea::Individual individual = ea::Individual::create(
+        {0.004, 0.001, 3.0 + 0.1 * i, 2.0, 2.3, 4.6, 4.2}, rng, i);
+    individual.fitness = {0.01 * (i + 1), 0.3};
+    individual.rank = i % 2;
+    // Index 0 is a Pareto-boundary individual: infinite crowding distance,
+    // which JSON numbers cannot hold -- the regression that motivated the
+    // string marker encoding.
+    individual.crowding_distance =
+        i == 0 ? std::numeric_limits<double>::infinity() : 0.5 * i;
+    individual.status = i == 3 ? ea::EvalStatus::kTimeout : ea::EvalStatus::kOk;
+    individual.eval_runtime_minutes = 12.5 + i;
+    individual.eval_attempts = 1 + i % 2;
+    individual.failure_cause = i == 3 ? "wall_limit" : "none";
+    cp.parents.push_back(std::move(individual));
+  }
+  rng.normal();  // populate the Box-Muller cache: it must survive the trip
+  cp.rng = rng.save_state();
+  cp.mutation_std = {0.0034, 0.00085, 0.1, 0.05, 0.2, 0.6, 0.6};
+
+  cp.farm.clock_minutes = 123.456;
+  cp.farm.live_workers = 3;
+  cp.farm.tasks_run_on_node = {2, static_cast<std::size_t>(-1), 1, 0};  // 1 dead
+  util::Rng farm_rng(7);
+  farm_rng.uniform();
+  cp.farm.rng = farm_rng.save_state();
+  cp.farm.batches_run = static_cast<std::size_t>(completed) + 1;
+
+  GenerationRecord gen;
+  gen.generation = 0;
+  gen.makespan_minutes = 71.25;
+  gen.failures = 1;
+  gen.node_failures = 1;
+  gen.mutation_std = {0.004, 0.001, 0.1, 0.05, 0.2, 0.6, 0.6};
+  EvalRecord record;
+  record.genome = cp.parents[0].genome;
+  record.fitness = {0.011, 0.29};
+  record.runtime_minutes = 55.0;
+  record.status = ea::EvalStatus::kOk;
+  record.attempts = 2;
+  record.failure_cause = "none";
+  record.generation = 0;
+  record.uuid = cp.parents[0].uuid.str();
+  gen.evaluated.push_back(std::move(record));
+  cp.generations.push_back(std::move(gen));
+  return cp;
+}
+
+TEST(Checkpoint, JsonRoundTripIsLossless) {
+  const DriverCheckpoint cp = make_checkpoint();
+  const DriverCheckpoint back = CheckpointManager::from_json(CheckpointManager::to_json(cp));
+  // Dump equality implies bitwise-equal doubles (shortest-round-trip format).
+  EXPECT_EQ(CheckpointManager::to_json(back).dump(), CheckpointManager::to_json(cp).dump());
+  EXPECT_EQ(back.seed, cp.seed);
+  EXPECT_EQ(back.rng, cp.rng);  // includes the cached Box-Muller normal
+  EXPECT_EQ(back.farm.rng, cp.farm.rng);
+  EXPECT_EQ(back.farm.tasks_run_on_node, cp.farm.tasks_run_on_node);
+  EXPECT_EQ(back.parents[0].uuid.str(), cp.parents[0].uuid.str());
+  EXPECT_TRUE(std::isinf(back.parents[0].crowding_distance));
+  EXPECT_EQ(back.parents[3].failure_cause, "wall_limit");
+}
+
+TEST(Checkpoint, SaveLoadRoundTrip) {
+  util::TempDir dir("ckpt-roundtrip");
+  const CheckpointManager manager(dir.path());
+  EXPECT_FALSE(manager.has_checkpoint());
+
+  const DriverCheckpoint cp = make_checkpoint();
+  manager.save(cp);
+  ASSERT_TRUE(manager.has_checkpoint());
+  const auto loaded = manager.load();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(CheckpointManager::to_json(*loaded).dump(),
+            CheckpointManager::to_json(cp).dump());
+}
+
+TEST(Checkpoint, NewerCheckpointWinsAndOlderOnesArePruned) {
+  util::TempDir dir("ckpt-prune");
+  const CheckpointManager manager(dir.path());
+  manager.save(make_checkpoint(2));
+  manager.save(make_checkpoint(3));
+  const auto loaded = manager.load();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->completed_generations, 3u);
+  EXPECT_FALSE(std::filesystem::exists(dir.path() / "checkpoint-gen-2.json"));
+  EXPECT_TRUE(std::filesystem::exists(dir.path() / "checkpoint-gen-3.json"));
+}
+
+TEST(Checkpoint, StaleTempFilesAreIgnored) {
+  util::TempDir dir("ckpt-tmp");
+  const CheckpointManager manager(dir.path());
+  manager.save(make_checkpoint(1));
+  // Simulated crash mid-write: a torn temp sibling never renamed into place.
+  util::write_file(dir.path() / "checkpoint-gen-9.json.tmp-123-0",
+                   "{\"format\": \"dpho-check");
+  const auto loaded = manager.load();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->completed_generations, 1u);
+}
+
+TEST(Checkpoint, CorruptNewestFallsBackToOlderValid) {
+  util::TempDir dir("ckpt-corrupt");
+  const CheckpointManager manager(dir.path());
+  const DriverCheckpoint cp = make_checkpoint(3);
+  manager.save(cp);
+  // A later checkpoint that got torn (crash without atomic writes would do
+  // this): truncated JSON under the expected name.
+  const std::string valid = CheckpointManager::to_json(make_checkpoint(4)).dump();
+  util::write_file(dir.path() / "checkpoint-gen-4.json",
+                   valid.substr(0, valid.size() / 2));
+  const auto loaded = manager.load();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->completed_generations, 3u);
+  EXPECT_EQ(CheckpointManager::to_json(*loaded).dump(),
+            CheckpointManager::to_json(cp).dump());
+}
+
+TEST(Checkpoint, LoadSurvivesMissingManifest) {
+  // Crash between checkpoint-rename and manifest-write: the scan still finds
+  // the newest complete checkpoint.
+  util::TempDir dir("ckpt-manifest");
+  const CheckpointManager manager(dir.path());
+  manager.save(make_checkpoint(2));
+  std::filesystem::remove(dir.path() / "manifest.json");
+  const auto loaded = manager.load();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->completed_generations, 2u);
+}
+
+TEST(Checkpoint, RejectsForeignDocuments) {
+  util::Json json;
+  json["format"] = "not-a-checkpoint";
+  EXPECT_THROW(CheckpointManager::from_json(json), util::ParseError);
+
+  util::Json wrong_schema = CheckpointManager::to_json(make_checkpoint());
+  wrong_schema["schema"] = CheckpointManager::kSchemaVersion + 1;
+  EXPECT_THROW(CheckpointManager::from_json(wrong_schema), util::ParseError);
+}
+
+TEST(Checkpoint, EmptyDirectoryHasNoCheckpoint) {
+  util::TempDir dir("ckpt-empty");
+  const CheckpointManager manager(dir.path());
+  EXPECT_EQ(manager.load(), std::nullopt);
+}
+
+}  // namespace
+}  // namespace dpho::core

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "util/error.hpp"
 #include "util/fs.hpp"
 
@@ -82,6 +84,26 @@ TEST(Lcurve, ScientificNotationRendered) {
   const std::string text = writer.render();
   EXPECT_NE(text.find("3.5100e-08"), std::string::npos);
   EXPECT_NE(text.find("1.2300e-02"), std::string::npos);
+}
+
+TEST(Lcurve, NanAndInfFieldsParse) {
+  // Diverged DeePMD trainings write literal nan/inf; the reader must surface
+  // them (the evaluator then classifies the run as nonfinite) rather than
+  // reject the file.
+  const std::string text =
+      "# step rmse_e_val rmse_e_trn rmse_f_val rmse_f_trn lr\n"
+      "0 nan 0.1 inf 0.1 0.001\n";
+  const auto rows = LcurveReader::parse(text);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_TRUE(std::isnan(rows[0].rmse_e_val));
+  EXPECT_TRUE(std::isinf(rows[0].rmse_f_val));
+}
+
+TEST(Lcurve, NonNumericRowThrows) {
+  const std::string text =
+      "# step rmse_e_val\n"
+      "10 garbage\n";
+  EXPECT_THROW(LcurveReader::parse(text), util::ParseError);
 }
 
 TEST(Lcurve, BlankLinesIgnored) {

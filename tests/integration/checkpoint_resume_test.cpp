@@ -1,0 +1,152 @@
+// Kill-and-resume integration tests: a run halted after generation k and
+// resumed from its checkpoint must produce a RunRecord bit-identical to the
+// uninterrupted run (compared through the lossless JSON round-trip).
+#include <gtest/gtest.h>
+
+#include "core/checkpoint.hpp"
+#include "core/driver.hpp"
+#include "core/experiment.hpp"
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+namespace dpho::core {
+namespace {
+
+DriverConfig small_config() {
+  DriverConfig config;
+  config.population_size = 8;
+  config.generations = 4;
+  config.farm.real_threads = 2;
+  return config;
+}
+
+std::string dump(const RunRecord& run) { return runs_to_json({run}).dump(); }
+
+/// Guards against the resume path silently falling back to a fresh run (which
+/// would also match the uninterrupted record): the checkpoint must load and
+/// cover exactly the halted generations.
+void expect_checkpoint_at(const std::filesystem::path& dir, std::size_t generation) {
+  const auto checkpoint = CheckpointManager(dir).load();
+  ASSERT_TRUE(checkpoint.has_value());
+  EXPECT_EQ(checkpoint->completed_generations, generation);
+}
+
+TEST(CheckpointResume, ResumedRunEqualsUninterruptedRun) {
+  const SurrogateEvaluator evaluator;
+  const std::uint64_t seed = 7;
+
+  DriverConfig config = small_config();
+  Nsga2Driver uninterrupted(config, evaluator);
+  const RunRecord full = uninterrupted.run(seed);
+
+  util::TempDir dir("resume-basic");
+  config.checkpoint_dir = dir.path();
+  config.halt_after_generation = 2;  // "preempted" after wave 2
+  Nsga2Driver halted(config, evaluator);
+  const RunRecord partial = halted.run(seed);
+  EXPECT_EQ(partial.generations.size(), 3u);  // waves 0..2
+  expect_checkpoint_at(dir.path(), 2);
+
+  config.halt_after_generation.reset();
+  config.resume = true;
+  Nsga2Driver resumed_driver(config, evaluator);
+  const RunRecord resumed = resumed_driver.run(seed);
+
+  EXPECT_EQ(resumed.generations.size(), full.generations.size());
+  EXPECT_EQ(dump(resumed), dump(full));
+}
+
+TEST(CheckpointResume, ResumeSurvivesNodeFailures) {
+  // The farm RNG stream and node-health map must resume bit-for-bit, or the
+  // post-resume failure pattern diverges from the uninterrupted run.
+  const SurrogateEvaluator evaluator;
+  const std::uint64_t seed = 3;
+
+  DriverConfig config = small_config();
+  config.farm.node_failure_probability = 0.02;
+  Nsga2Driver uninterrupted(config, evaluator);
+  const RunRecord full = uninterrupted.run(seed);
+
+  util::TempDir dir("resume-faults");
+  config.checkpoint_dir = dir.path();
+  config.halt_after_generation = 1;
+  Nsga2Driver(config, evaluator).run(seed);
+  expect_checkpoint_at(dir.path(), 1);
+
+  config.halt_after_generation.reset();
+  config.resume = true;
+  Nsga2Driver resumed_driver(config, evaluator);
+  const RunRecord resumed = resumed_driver.run(seed);
+  EXPECT_EQ(dump(resumed), dump(full));
+}
+
+TEST(CheckpointResume, HaltAtGenerationZeroResumes) {
+  const SurrogateEvaluator evaluator;
+  const std::uint64_t seed = 11;
+
+  DriverConfig config = small_config();
+  Nsga2Driver uninterrupted(config, evaluator);
+  const RunRecord full = uninterrupted.run(seed);
+
+  util::TempDir dir("resume-gen0");
+  config.checkpoint_dir = dir.path();
+  config.halt_after_generation = 0;  // killed right after the initial wave
+  Nsga2Driver(config, evaluator).run(seed);
+  expect_checkpoint_at(dir.path(), 0);
+
+  config.halt_after_generation.reset();
+  config.resume = true;
+  const RunRecord resumed = Nsga2Driver(config, evaluator).run(seed);
+  EXPECT_EQ(dump(resumed), dump(full));
+}
+
+TEST(CheckpointResume, ResumeWithoutCheckpointStartsFresh) {
+  const SurrogateEvaluator evaluator;
+  DriverConfig config = small_config();
+  const RunRecord full = Nsga2Driver(config, evaluator).run(5);
+
+  util::TempDir dir("resume-fresh");
+  config.checkpoint_dir = dir.path();
+  config.resume = true;  // nothing to resume from: a plain full run
+  const RunRecord run = Nsga2Driver(config, evaluator).run(5);
+  EXPECT_EQ(dump(run), dump(full));
+}
+
+TEST(CheckpointResume, SeedMismatchIsRejected) {
+  const SurrogateEvaluator evaluator;
+  DriverConfig config = small_config();
+  util::TempDir dir("resume-seed");
+  config.checkpoint_dir = dir.path();
+  config.halt_after_generation = 1;
+  Nsga2Driver(config, evaluator).run(7);
+
+  config.halt_after_generation.reset();
+  config.resume = true;
+  Nsga2Driver other(config, evaluator);
+  EXPECT_THROW(other.run(8), util::ValueError);  // directory belongs to seed 7
+}
+
+TEST(CheckpointResume, ExperimentRunnerResumesEverySeed) {
+  const SurrogateEvaluator evaluator;
+
+  ExperimentConfig config;
+  config.driver = small_config();
+  config.driver.generations = 3;
+  config.seeds = {1, 2};
+  const std::vector<RunRecord> full = ExperimentRunner(config, evaluator).run_all();
+
+  util::TempDir dir("resume-experiment");
+  config.checkpoint_dir = dir.path();
+  config.driver.halt_after_generation = 1;
+  ExperimentRunner(config, evaluator).run_all();
+  expect_checkpoint_at(dir.path() / "seed-1", 1);
+  expect_checkpoint_at(dir.path() / "seed-2", 1);
+
+  config.driver.halt_after_generation.reset();
+  config.resume = true;
+  const std::vector<RunRecord> resumed = ExperimentRunner(config, evaluator).run_all();
+  EXPECT_EQ(runs_to_json(resumed).dump(), runs_to_json(full).dump());
+}
+
+}  // namespace
+}  // namespace dpho::core

@@ -158,7 +158,11 @@ TEST_F(ExperimentSuite, RecordsCsvHasGenomeAndStatusColumns) {
   const auto rows = util::CsvReader::parse(csv);
   ASSERT_GT(rows.size(), 1u);
   EXPECT_EQ(rows[0][0], "run_seed");
-  EXPECT_EQ(rows[0].back(), "status");
+  // The fault-tolerance columns trail the status for post-mortem analysis.
+  ASSERT_GE(rows[0].size(), 3u);
+  EXPECT_EQ(rows[0][rows[0].size() - 3], "status");
+  EXPECT_EQ(rows[0][rows[0].size() - 2], "attempts");
+  EXPECT_EQ(rows[0].back(), "failure_cause");
   EXPECT_EQ(rows[1].size(), rows[0].size());
 }
 

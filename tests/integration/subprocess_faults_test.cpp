@@ -1,0 +1,140 @@
+// SubprocessEvaluator fault hardening, exercised against scripted fake
+// dp_train binaries: hung children are killed by the watchdog, transient
+// artifact failures (missing / corrupt lcurve.out) are retried with backoff,
+// and every failure mode reports its distinct cause.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/evaluator.hpp"
+#include "util/fs.hpp"
+
+namespace dpho::core {
+namespace {
+
+// Decodes cleanly under the paper's 7-gene representation.
+const std::vector<double> kValidGenome = {0.004, 0.001, 3.2, 2.0, 2.3, 4.6, 4.2};
+
+const char* kGoodLcurve =
+    "# step rmse_e_val rmse_e_trn rmse_f_val rmse_f_trn lr\\n"
+    "0 0.1 0.1 0.5 0.5 0.001\\n"
+    "5 0.01 0.01 0.05 0.05 0.0005\\n";
+
+const char* kNanLcurve =
+    "# step rmse_e_val rmse_e_trn rmse_f_val rmse_f_trn lr\\n"
+    "0 nan 0.1 inf 0.1 0.001\\n";
+
+class SubprocessFaults : public ::testing::Test {
+ protected:
+  void SetUp() override { dir_.emplace("subproc-faults"); }
+
+  /// Writes an executable fake dp_train; $5 is the --out run directory.
+  std::filesystem::path fake_trainer(const std::string& name,
+                                     const std::string& body) {
+    const auto path = dir_->path() / name;
+    util::write_file(path, "#!/bin/sh\n" + body + "\n");
+    std::filesystem::permissions(path, std::filesystem::perms::owner_all,
+                                 std::filesystem::perm_options::add);
+    return path;
+  }
+
+  SubprocessEvalOptions options(const std::filesystem::path& binary) {
+    SubprocessEvalOptions opts;
+    opts.dp_train_binary = binary;
+    opts.train_data_dir = dir_->path() / "train";
+    opts.validation_data_dir = dir_->path() / "valid";
+    opts.workspace_dir = dir_->path() / "runs";
+    opts.wall_limit_seconds = 30.0;
+    opts.max_attempts = 2;
+    opts.retry_backoff_seconds = 0.01;  // keep retried tests fast
+    return opts;
+  }
+
+  hpc::WorkResult evaluate(const SubprocessEvalOptions& opts, std::uint64_t seed) {
+    const SubprocessEvaluator evaluator(opts);
+    util::Rng rng(seed);
+    const ea::Individual individual = ea::Individual::create(kValidGenome, rng);
+    return evaluator.evaluate(individual, 0);
+  }
+
+  std::optional<util::TempDir> dir_;
+};
+
+TEST_F(SubprocessFaults, HealthyTrainerReportsFitness) {
+  const auto bin = fake_trainer(
+      "dp_ok.sh", std::string("printf '") + kGoodLcurve + "' > \"$5/lcurve.out\"");
+  const hpc::WorkResult result = evaluate(options(bin), 1);
+  EXPECT_FALSE(result.training_error);
+  EXPECT_EQ(result.cause, hpc::FailureCause::kNone);
+  EXPECT_EQ(result.attempts, 1u);
+  ASSERT_EQ(result.fitness.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.fitness[0], 0.01);
+  EXPECT_DOUBLE_EQ(result.fitness[1], 0.05);
+}
+
+TEST_F(SubprocessFaults, MissingLcurveRetriedThenReported) {
+  // Exit 0 but no artifact: a flaky filesystem; transient, so the retry
+  // budget is spent before giving up.
+  const auto bin = fake_trainer("dp_missing.sh", "exit 0");
+  const hpc::WorkResult result = evaluate(options(bin), 2);
+  EXPECT_TRUE(result.training_error);
+  EXPECT_EQ(result.cause, hpc::FailureCause::kMissingArtifact);
+  EXPECT_EQ(result.attempts, 2u);  // max_attempts exhausted
+  EXPECT_TRUE(result.fitness.empty());
+}
+
+TEST_F(SubprocessFaults, CorruptLcurveRetriedThenReported) {
+  const auto bin = fake_trainer(
+      "dp_corrupt.sh", "printf 'x\\x01\\x02 truncated garbage' > \"$5/lcurve.out\"");
+  const hpc::WorkResult result = evaluate(options(bin), 3);
+  EXPECT_TRUE(result.training_error);
+  EXPECT_EQ(result.cause, hpc::FailureCause::kCorruptArtifact);
+  EXPECT_EQ(result.attempts, 2u);
+}
+
+TEST_F(SubprocessFaults, NanLcurveIsDeterministicAndNotRetried) {
+  // Divergence reproduces on retry; burning the budget would be pointless.
+  const auto bin = fake_trainer(
+      "dp_nan.sh", std::string("printf '") + kNanLcurve + "' > \"$5/lcurve.out\"");
+  const hpc::WorkResult result = evaluate(options(bin), 4);
+  EXPECT_TRUE(result.training_error);
+  EXPECT_EQ(result.cause, hpc::FailureCause::kNonFiniteFitness);
+  EXPECT_EQ(result.attempts, 1u);
+}
+
+TEST_F(SubprocessFaults, NonZeroExitNotRetried) {
+  const auto bin = fake_trainer("dp_fail.sh", "exit 5");
+  const hpc::WorkResult result = evaluate(options(bin), 5);
+  EXPECT_TRUE(result.training_error);
+  EXPECT_EQ(result.cause, hpc::FailureCause::kNonZeroExit);
+  EXPECT_EQ(result.attempts, 1u);
+}
+
+TEST_F(SubprocessFaults, WallLimitExitMapsToTimeout) {
+  const auto bin = fake_trainer("dp_timeout.sh", "exit 3");
+  const hpc::WorkResult result = evaluate(options(bin), 6);
+  EXPECT_EQ(result.cause, hpc::FailureCause::kWallLimit);
+  EXPECT_EQ(result.attempts, 1u);
+  EXPECT_GE(result.sim_minutes, 1e9);  // past any task limit -> farm timeout
+}
+
+TEST_F(SubprocessFaults, WatchdogKillsHungChild) {
+  const auto bin = fake_trainer("dp_hang.sh", "sleep 30");
+  SubprocessEvalOptions opts = options(bin);
+  opts.wall_limit_seconds = 0.1;      // the child ignores its wall limit...
+  opts.watchdog_grace_seconds = 0.2;  // ...so the watchdog steps in at 0.3 s
+  const hpc::WorkResult result = evaluate(opts, 7);
+  EXPECT_EQ(result.cause, hpc::FailureCause::kHungProcess);
+  EXPECT_EQ(result.attempts, 2u);  // hangs are transient: retried once
+  EXPECT_GE(result.sim_minutes, 1e9);
+}
+
+TEST_F(SubprocessFaults, MissingBinaryReportsNonZeroExit) {
+  SubprocessEvalOptions opts = options(dir_->path() / "no-such-binary");
+  const hpc::WorkResult result = evaluate(opts, 8);
+  EXPECT_TRUE(result.training_error);
+  EXPECT_EQ(result.cause, hpc::FailureCause::kNonZeroExit);  // exec -> 127
+}
+
+}  // namespace
+}  // namespace dpho::core
