@@ -22,7 +22,8 @@ struct AblationOutcome {
 };
 
 AblationOutcome run_config(bool anneal, std::uint64_t seed) {
-  const core::SurrogateEvaluator evaluator;
+  const auto evaluator_ptr = core::make_evaluator(core::EvalBackendConfig{});
+  const core::Evaluator& evaluator = *evaluator_ptr;
   core::DriverConfig config;
   config.population_size = 60;
   config.generations = 6;
@@ -84,7 +85,8 @@ void BM_FixedSigmaRun(benchmark::State& state) {
 BENCHMARK(BM_FixedSigmaRun);
 
 void BM_DriverWithDebSort(benchmark::State& state) {
-  const core::SurrogateEvaluator evaluator;
+  const auto evaluator_ptr = core::make_evaluator(core::EvalBackendConfig{});
+  const core::Evaluator& evaluator = *evaluator_ptr;
   core::DriverConfig config;
   config.population_size = 100;
   config.generations = 3;
@@ -98,7 +100,8 @@ void BM_DriverWithDebSort(benchmark::State& state) {
 BENCHMARK(BM_DriverWithDebSort);
 
 void BM_DriverWithRankOrdinalSort(benchmark::State& state) {
-  const core::SurrogateEvaluator evaluator;
+  const auto evaluator_ptr = core::make_evaluator(core::EvalBackendConfig{});
+  const core::Evaluator& evaluator = *evaluator_ptr;
   core::DriverConfig config;
   config.population_size = 100;
   config.generations = 3;

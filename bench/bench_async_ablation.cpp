@@ -18,7 +18,8 @@ void print_ablation() {
   bench::print_header(
       "Deployment ablation",
       "generational (paper) vs asynchronous steady-state at equal budget");
-  const core::SurrogateEvaluator evaluator;
+  const auto evaluator_ptr = core::make_evaluator(core::EvalBackendConfig{});
+  const core::Evaluator& evaluator = *evaluator_ptr;
   std::printf("seed | generational: minutes busy%% | async: minutes busy%%"
               " | speedup\n");
   std::printf("-----+------------------------------+---------------------"
@@ -83,7 +84,8 @@ void print_ablation() {
 }
 
 void BM_GenerationalDeployment(benchmark::State& state) {
-  const core::SurrogateEvaluator evaluator;
+  const auto evaluator_ptr = core::make_evaluator(core::EvalBackendConfig{});
+  const core::Evaluator& evaluator = *evaluator_ptr;
   core::DriverConfig config;
   config.population_size = 100;
   config.generations = 6;
@@ -96,7 +98,8 @@ void BM_GenerationalDeployment(benchmark::State& state) {
 BENCHMARK(BM_GenerationalDeployment);
 
 void BM_AsyncDeployment(benchmark::State& state) {
-  const core::SurrogateEvaluator evaluator;
+  const auto evaluator_ptr = core::make_evaluator(core::EvalBackendConfig{});
+  const core::Evaluator& evaluator = *evaluator_ptr;
   core::AsyncDriverConfig config;
   config.num_workers = 100;
   config.population_capacity = 100;

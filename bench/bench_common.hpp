@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "core/analysis.hpp"
@@ -23,8 +24,9 @@ inline core::ExperimentConfig paper_experiment_config() {
 
 inline std::vector<core::RunRecord> run_paper_experiment() {
   static const std::vector<core::RunRecord> kRuns = [] {
-    const core::SurrogateEvaluator evaluator;
-    core::ExperimentRunner runner(paper_experiment_config(), evaluator);
+    const std::unique_ptr<core::Evaluator> evaluator =
+        core::make_evaluator(core::EvalBackendConfig{});
+    core::ExperimentRunner runner(paper_experiment_config(), *evaluator);
     return runner.run_all();
   }();
   return kRuns;

@@ -86,7 +86,8 @@ void print_fig1() {
 }
 
 void BM_OneGeneration(benchmark::State& state) {
-  const core::SurrogateEvaluator evaluator;
+  const auto evaluator_ptr = core::make_evaluator(core::EvalBackendConfig{});
+  const core::Evaluator& evaluator = *evaluator_ptr;
   core::DriverConfig config;
   config.population_size = static_cast<std::size_t>(state.range(0));
   config.generations = 1;
@@ -99,7 +100,8 @@ void BM_OneGeneration(benchmark::State& state) {
 BENCHMARK(BM_OneGeneration)->Arg(25)->Arg(100)->Arg(400);
 
 void BM_FullRun100x7(benchmark::State& state) {
-  const core::SurrogateEvaluator evaluator;
+  const auto evaluator_ptr = core::make_evaluator(core::EvalBackendConfig{});
+  const core::Evaluator& evaluator = *evaluator_ptr;
   core::DriverConfig config;
   config.population_size = 100;
   config.generations = 6;

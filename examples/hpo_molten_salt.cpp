@@ -31,8 +31,9 @@ int main(int argc, char** argv) {
               " generations x %zu runs\n",
               config.driver.population_size, config.driver.generations + 1, runs);
 
-  const core::SurrogateEvaluator evaluator;
-  core::ExperimentRunner runner(config, evaluator);
+  const std::unique_ptr<core::Evaluator> evaluator =
+      core::make_evaluator(core::EvalBackendConfig{});
+  core::ExperimentRunner runner(config, *evaluator);
   const auto results = runner.run_all();
 
   for (const auto& run : results) {

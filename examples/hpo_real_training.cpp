@@ -33,14 +33,19 @@ int main(int argc, char** argv) {
   options.base.training.disp_freq = 6;
   options.wall_limit_seconds = 300.0;
   options.workspace_dir = workspace;
-  const core::RealTrainingEvaluator evaluator(data.train, data.validation, options);
+  core::EvalBackendConfig backend;
+  backend.backend = core::EvalBackend::kRealTraining;
+  backend.train_data = &data.train;
+  backend.validation_data = &data.validation;
+  backend.real = options;
+  const std::unique_ptr<core::Evaluator> evaluator = core::make_evaluator(backend);
 
   std::printf("== NSGA-II over real trainings (6 individuals x 2 waves) ==\n");
   core::DriverConfig config;
   config.population_size = 6;
   config.generations = 1;
   config.farm.real_threads = 2;
-  core::Nsga2Driver driver(config, evaluator);
+  core::Nsga2Driver driver(config, *evaluator);
   const core::RunRecord run = driver.run(3);
 
   const core::DeepMDRepresentation repr;

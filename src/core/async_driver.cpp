@@ -70,8 +70,8 @@ AsyncRunRecord AsyncSteadyStateDriver::run(std::uint64_t seed) {
       eval_seed = util::hash_combine(
           eval_seed, static_cast<std::uint64_t>(std::llround(gene * 1e9)));
     }
-    const hpc::WorkResult result = evaluator_.evaluate(individual, eval_seed);
-    double minutes = result.sim_minutes;
+    const EvalOutcome result = evaluator_.evaluate(individual, eval_seed);
+    double minutes = result.runtime_minutes;
     if (result.training_error) {
       minutes = std::min(1.0, minutes);
       individual.status = ea::EvalStatus::kTrainingError;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/checkpoint.hpp"
+#include "core/eval_adapter.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -57,7 +58,8 @@ GenerationRecord Nsga2Driver::evaluate_population(
       eval_seed = util::hash_combine(
           eval_seed, static_cast<std::uint64_t>(std::llround(gene * 1e9)));
     }
-    return evaluator_.evaluate(individual, eval_seed);
+    // The adapter is the entire core->hpc surface of the evaluation path.
+    return to_work_result(evaluator_.evaluate(individual, eval_seed));
   };
   const hpc::BatchReport report = farm.run_batch(individuals.size(), work);
 

@@ -1,0 +1,50 @@
+#include "core/eval_outcome.hpp"
+
+#include "util/error.hpp"
+
+namespace dpho::core {
+
+std::string to_string(FailureCause cause) {
+  switch (cause) {
+    case FailureCause::kNone: return "none";
+    case FailureCause::kTrainingFailure: return "training_failure";
+    case FailureCause::kNonZeroExit: return "nonzero_exit";
+    case FailureCause::kWallLimit: return "wall_limit";
+    case FailureCause::kHungProcess: return "hung_process";
+    case FailureCause::kMissingArtifact: return "missing_artifact";
+    case FailureCause::kCorruptArtifact: return "corrupt_artifact";
+    case FailureCause::kNonFiniteFitness: return "nonfinite_fitness";
+    case FailureCause::kException: return "exception";
+    case FailureCause::kNodeLoss: return "node_loss";
+    case FailureCause::kMpiRelaunch: return "mpi_relaunch";
+    case FailureCause::kPayloadCorruption: return "payload_corruption";
+  }
+  throw util::ValueError("invalid failure cause");
+}
+
+EvalOutcome EvalOutcome::success(std::vector<double> fitness_values,
+                                 double runtime_minutes_value,
+                                 std::size_t attempts_value) {
+  EvalOutcome outcome;
+  outcome.fitness = std::move(fitness_values);
+  outcome.runtime_minutes = runtime_minutes_value;
+  outcome.attempts = attempts_value;
+  return outcome;
+}
+
+EvalOutcome EvalOutcome::failure(FailureCause cause_value,
+                                 double runtime_minutes_value,
+                                 std::size_t attempts_value) {
+  EvalOutcome outcome;
+  outcome.runtime_minutes = runtime_minutes_value;
+  outcome.cause = cause_value;
+  outcome.attempts = attempts_value;
+  // Wall-limit and hung-process failures are classified by the scheduling
+  // layer from the runtime sentinel; everything else is a training error.
+  outcome.training_error = cause_value != FailureCause::kNone &&
+                           cause_value != FailureCause::kWallLimit &&
+                           cause_value != FailureCause::kHungProcess;
+  return outcome;
+}
+
+}  // namespace dpho::core

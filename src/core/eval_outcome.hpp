@@ -1,0 +1,59 @@
+// The core-owned evaluation contract.
+//
+// Evaluator backends report what happened to one "DeePMD training" (paper
+// section 2.2.4) -- the two validation losses, the runtime, and on failure a
+// machine-readable cause -- without any dependency on the cluster-simulation
+// layer.  The task farm consumes these through a one-line adapter
+// (core/eval_adapter.hpp); everything else in core speaks EvalOutcome.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dpho::core {
+
+/// Why an evaluation produced no usable fitness.  Values are kept
+/// numerically identical to hpc::FailureCause (static_asserts in
+/// eval_adapter.hpp enforce it) so the taskfarm adapter is a static_cast;
+/// core owns the evaluation vocabulary, hpc owns scheduling.
+enum class FailureCause : std::uint8_t {
+  kNone = 0,
+  kTrainingFailure,    // backend reported a generic failure (e.g. divergence)
+  kNonZeroExit,        // subprocess exited with an unexpected code
+  kWallLimit,          // per-training wall limit exceeded
+  kHungProcess,        // child stopped responding; killed by the watchdog
+  kMissingArtifact,    // training "succeeded" but produced no lcurve.out
+  kCorruptArtifact,    // lcurve.out unparseable / truncated
+  kNonFiniteFitness,   // lcurve.out held NaN/Inf losses
+  kException,          // in-process evaluation threw
+  kNodeLoss,           // worker node died and retries were exhausted
+  kMpiRelaunch,        // compute-node worker could not start a second MPI job
+  kPayloadCorruption,  // injected payload corruption (fault plan)
+};
+
+std::string to_string(FailureCause cause);
+
+/// What one evaluation reports back: fitness + runtime on success, a status
+/// (training_error / cause) on failure, and how many attempts the backend's
+/// internal retry policy spent.
+struct EvalOutcome {
+  std::vector<double> fitness;    // {rmse_e, rmse_f}; empty on failure
+  double runtime_minutes = 0.0;   // simulated training runtime
+  bool training_error = false;    // deterministic failure (diverged / invalid)
+  FailureCause cause = FailureCause::kNone;
+  std::size_t attempts = 1;       // evaluator-internal attempts (retry policy)
+
+  /// True when the evaluation yielded usable objective values.  Timeouts are
+  /// not training errors -- they carry kWallLimit and a sentinel runtime so
+  /// the scheduling layer classifies them against its own task limit.
+  bool ok() const { return !training_error && !fitness.empty(); }
+
+  static EvalOutcome success(std::vector<double> fitness_values,
+                             double runtime_minutes_value,
+                             std::size_t attempts_value = 1);
+  static EvalOutcome failure(FailureCause cause_value, double runtime_minutes_value,
+                             std::size_t attempts_value = 1);
+};
+
+}  // namespace dpho::core

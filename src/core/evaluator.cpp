@@ -19,19 +19,16 @@ namespace dpho::core {
 SurrogateEvaluator::SurrogateEvaluator(SurrogateConfig config)
     : surrogate_(config) {}
 
-hpc::WorkResult SurrogateEvaluator::evaluate(const ea::Individual& individual,
-                                             std::uint64_t eval_seed) const {
+EvalOutcome SurrogateEvaluator::evaluate(const ea::Individual& individual,
+                                         std::uint64_t eval_seed) const {
   const HyperParams hp = representation_.decode(individual.genome);
   const SurrogateOutcome outcome = surrogate_.evaluate(hp, eval_seed);
-  hpc::WorkResult result;
-  result.sim_minutes = outcome.runtime_minutes;
-  result.training_error = outcome.failed;
   if (outcome.failed) {
-    result.cause = hpc::FailureCause::kTrainingFailure;
-  } else {
-    result.fitness = {outcome.rmse_e, outcome.rmse_f};
+    return EvalOutcome::failure(FailureCause::kTrainingFailure,
+                                outcome.runtime_minutes);
   }
-  return result;
+  return EvalOutcome::success({outcome.rmse_e, outcome.rmse_f},
+                              outcome.runtime_minutes);
 }
 
 RealTrainingEvaluator::RealTrainingEvaluator(const md::FrameDataset& train,
@@ -41,9 +38,9 @@ RealTrainingEvaluator::RealTrainingEvaluator(const md::FrameDataset& train,
   if (options_.workspace_dir) workspace_.emplace(*options_.workspace_dir);
 }
 
-hpc::WorkResult RealTrainingEvaluator::evaluate(const ea::Individual& individual,
-                                                std::uint64_t eval_seed) const {
-  hpc::WorkResult result;
+EvalOutcome RealTrainingEvaluator::evaluate(const ea::Individual& individual,
+                                            std::uint64_t eval_seed) const {
+  EvalOutcome outcome;
   HyperParams hp;
   try {
     hp = representation_.decode(individual.genome);
@@ -53,10 +50,12 @@ hpc::WorkResult RealTrainingEvaluator::evaluate(const ea::Individual& individual
 
     dp::TrainerOptions trainer_options;
     trainer_options.wall_limit_seconds = options_.wall_limit_seconds;
+    trainer_options.num_threads = options_.trainer_num_threads;
+    trainer_options.pool = options_.trainer_pool;
     dp::Trainer trainer(input, train_, validation_, trainer_options);
     const dp::TrainResult train_result = trainer.train();
 
-    result.sim_minutes =
+    outcome.runtime_minutes =
         train_result.wall_seconds * options_.sim_minutes_per_real_second;
     if (workspace_) {
       // Persist and re-read the lcurve: the fitness comes from the artifact,
@@ -64,26 +63,21 @@ hpc::WorkResult RealTrainingEvaluator::evaluate(const ea::Individual& individual
       const auto lcurve_path = workspace_->lcurve_path(individual);
       train_result.lcurve.write(lcurve_path);
       const auto [rmse_e, rmse_f] = dp::LcurveReader::final_validation_losses(lcurve_path);
-      result.fitness = {rmse_e, rmse_f};
+      outcome.fitness = {rmse_e, rmse_f};
     } else {
-      result.fitness = {train_result.rmse_e_val, train_result.rmse_f_val};
+      outcome.fitness = {train_result.rmse_e_val, train_result.rmse_f_val};
     }
   } catch (const util::TimeoutError& e) {
     util::log_info() << "evaluation timeout for " << individual.uuid.str() << ": "
                      << e.what();
     // Let the task farm classify it: report a runtime beyond any limit.
-    result.sim_minutes = 1e9;
-    result.cause = hpc::FailureCause::kWallLimit;
-    result.fitness.clear();
+    outcome = EvalOutcome::failure(FailureCause::kWallLimit, 1e9);
   } catch (const std::exception& e) {
     util::log_info() << "evaluation failed for " << individual.uuid.str() << ": "
                      << e.what();
-    result.training_error = true;
-    result.cause = hpc::FailureCause::kException;
-    result.sim_minutes = 1.0;
-    result.fitness.clear();
+    outcome = EvalOutcome::failure(FailureCause::kException, 1.0);
   }
-  return result;
+  return outcome;
 }
 
 SubprocessEvaluator::SubprocessEvaluator(SubprocessEvalOptions options)
@@ -152,23 +146,23 @@ LaunchOutcome launch_with_watchdog(const std::vector<std::string>& argv,
   return outcome;
 }
 
-bool cause_is_transient(hpc::FailureCause cause) {
-  return cause == hpc::FailureCause::kHungProcess ||
-         cause == hpc::FailureCause::kMissingArtifact ||
-         cause == hpc::FailureCause::kCorruptArtifact;
+bool cause_is_transient(FailureCause cause) {
+  return cause == FailureCause::kHungProcess ||
+         cause == FailureCause::kMissingArtifact ||
+         cause == FailureCause::kCorruptArtifact;
 }
 
 }  // namespace
 
-hpc::WorkResult SubprocessEvaluator::evaluate(const ea::Individual& individual,
-                                              std::uint64_t /*eval_seed*/) const {
-  hpc::WorkResult result;
+EvalOutcome SubprocessEvaluator::evaluate(const ea::Individual& individual,
+                                          std::uint64_t /*eval_seed*/) const {
+  EvalOutcome outcome;
   try {
     const HyperParams hp = representation_.decode(individual.genome);
     const auto input_path = workspace_.prepare(individual, hp);
     const auto run_dir = workspace_.run_dir(individual);
     // The per-training launch (the paper's jsrun-wrapped `dp` subprocess).
-    const std::vector<std::string> argv = {
+    std::vector<std::string> argv = {
         options_.dp_train_binary.string(),
         input_path.string(),
         options_.train_data_dir.string(),
@@ -178,33 +172,37 @@ hpc::WorkResult SubprocessEvaluator::evaluate(const ea::Individual& individual,
         "--wall-limit",
         std::to_string(options_.wall_limit_seconds),
     };
+    if (options_.trainer_threads > 0) {
+      argv.push_back("--threads");
+      argv.push_back(std::to_string(options_.trainer_threads));
+    }
     const std::size_t max_attempts = std::max<std::size_t>(options_.max_attempts, 1);
     double backoff = options_.retry_backoff_seconds;
 
     for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
-      result = hpc::WorkResult{};
-      result.attempts = attempt;
+      outcome = EvalOutcome{};
+      outcome.attempts = attempt;
       const LaunchOutcome launch = launch_with_watchdog(
           argv, run_dir / "stdout.log",
           options_.wall_limit_seconds + options_.watchdog_grace_seconds,
           options_.watchdog_poll_seconds);
-      result.sim_minutes = launch.real_seconds * options_.sim_minutes_per_real_second;
+      outcome.runtime_minutes = launch.real_seconds * options_.sim_minutes_per_real_second;
 
       if (launch.hung) {
         // The training stopped responding and was killed; report past any
         // task limit so the farm classifies survivors of the retry budget as
         // timeouts.
-        result.sim_minutes = 1e9;
-        result.cause = hpc::FailureCause::kHungProcess;
-        result.fitness.clear();
+        outcome.runtime_minutes = 1e9;
+        outcome.cause = FailureCause::kHungProcess;
+        outcome.fitness.clear();
       } else if (launch.exit_code == 0) {
         // Step 4c: the last rmse_e_val / rmse_f_val values from lcurve.out --
         // validated rather than trusted: a "successful" training on a flaky
         // node can leave the artifact missing, truncated, or NaN-ridden.
         const auto lcurve_path = workspace_.lcurve_path(individual);
         if (!std::filesystem::exists(lcurve_path)) {
-          result.training_error = true;
-          result.cause = hpc::FailureCause::kMissingArtifact;
+          outcome.training_error = true;
+          outcome.cause = FailureCause::kMissingArtifact;
         } else {
           try {
             const std::vector<dp::LcurveRow> rows = dp::LcurveReader::read(lcurve_path);
@@ -215,36 +213,36 @@ hpc::WorkResult SubprocessEvaluator::evaluate(const ea::Individual& individual,
               // Diverged training: deterministic, never retried; the driver
               // assigns MAXINT (the paper's convention) instead of letting
               // NaN corrupt the NSGA-II sort.
-              result.training_error = true;
-              result.cause = hpc::FailureCause::kNonFiniteFitness;
+              outcome.training_error = true;
+              outcome.cause = FailureCause::kNonFiniteFitness;
             } else {
-              result.fitness = {rmse_e, rmse_f};
+              outcome.fitness = {rmse_e, rmse_f};
             }
           } catch (const std::exception& e) {
             util::log_info() << "corrupt lcurve.out for " << individual.uuid.str()
                              << ": " << e.what();
-            result.training_error = true;
-            result.cause = hpc::FailureCause::kCorruptArtifact;
+            outcome.training_error = true;
+            outcome.cause = FailureCause::kCorruptArtifact;
           }
         }
       } else if (launch.exit_code == 3) {
         // TimeoutError from the subprocess: report past any task limit so the
         // farm classifies it as a timeout.
-        result.sim_minutes = 1e9;
-        result.cause = hpc::FailureCause::kWallLimit;
-        result.fitness.clear();
+        outcome.runtime_minutes = 1e9;
+        outcome.cause = FailureCause::kWallLimit;
+        outcome.fitness.clear();
       } else {
         util::log_info() << "dp_train subprocess for " << individual.uuid.str()
                          << " exited with code " << launch.exit_code;
-        result.training_error = true;
-        result.cause = hpc::FailureCause::kNonZeroExit;
-        result.fitness.clear();
+        outcome.training_error = true;
+        outcome.cause = FailureCause::kNonZeroExit;
+        outcome.fitness.clear();
       }
 
-      if (!cause_is_transient(result.cause) || attempt == max_attempts) break;
+      if (!cause_is_transient(outcome.cause) || attempt == max_attempts) break;
       util::log_info() << "retrying evaluation for " << individual.uuid.str()
                        << " (attempt " << attempt << " failed: "
-                       << hpc::to_string(result.cause) << "), backoff " << backoff
+                       << to_string(outcome.cause) << "), backoff " << backoff
                        << " s";
       std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
       backoff *= 2.0;
@@ -252,12 +250,40 @@ hpc::WorkResult SubprocessEvaluator::evaluate(const ea::Individual& individual,
   } catch (const std::exception& e) {
     util::log_info() << "subprocess evaluation failed for " << individual.uuid.str()
                      << ": " << e.what();
-    result.training_error = true;
-    result.cause = hpc::FailureCause::kException;
-    result.fitness.clear();
-    result.sim_minutes = 1.0;
+    outcome = EvalOutcome::failure(FailureCause::kException, 1.0);
   }
-  return result;
+  return outcome;
+}
+
+std::string to_string(EvalBackend backend) {
+  switch (backend) {
+    case EvalBackend::kSurrogate: return "surrogate";
+    case EvalBackend::kRealTraining: return "real_training";
+    case EvalBackend::kSubprocess: return "subprocess";
+  }
+  throw util::ValueError("invalid eval backend");
+}
+
+std::unique_ptr<Evaluator> make_evaluator(const EvalBackendConfig& config) {
+  switch (config.backend) {
+    case EvalBackend::kSurrogate:
+      return std::make_unique<SurrogateEvaluator>(config.surrogate);
+    case EvalBackend::kRealTraining:
+      if (config.train_data == nullptr || config.validation_data == nullptr) {
+        throw util::ValueError(
+            "real-training backend needs train_data and validation_data");
+      }
+      return std::make_unique<RealTrainingEvaluator>(
+          *config.train_data, *config.validation_data, config.real);
+    case EvalBackend::kSubprocess:
+      // Checked before construction: the evaluator's Workspace member would
+      // otherwise fail first with an opaque filesystem error.
+      if (config.subprocess.dp_train_binary.empty()) {
+        throw util::ValueError("subprocess backend needs the dp_train binary path");
+      }
+      return std::make_unique<SubprocessEvaluator>(config.subprocess);
+  }
+  throw util::ValueError("invalid eval backend");
 }
 
 }  // namespace dpho::core

@@ -1,10 +1,10 @@
 // Fitness evaluation backends.
 //
-// Both backends implement the paper's evaluation contract (section 2.2.4):
-// decode the 7-gene genome, run "a DeePMD training", and report the final
-// validation losses [rmse_e_val, rmse_f_val] plus a runtime; failures
-// (timeouts, divergence, invalid configs) surface as statuses that the
-// driver converts to MAXINT fitnesses.
+// All backends implement the paper's evaluation contract (section 2.2.4):
+// decode the 7-gene genome, run "a DeePMD training", and report an
+// EvalOutcome -- the final validation losses [rmse_e_val, rmse_f_val] plus a
+// runtime on success; failures (timeouts, divergence, invalid configs)
+// surface as statuses that the driver converts to MAXINT fitnesses.
 //
 //   * SurrogateEvaluator -- the calibrated response surface; used for the
 //     paper-scale experiments (100x7x5 evaluations) on the simulated cluster.
@@ -13,18 +13,30 @@
 //     the surrogate cross-check.  It optionally writes the full artifact
 //     trail (UUID dir, input.json, lcurve.out) through a Workspace and reads
 //     the fitness back from lcurve.out, exactly like the paper's workflow.
+//   * SubprocessEvaluator -- the paper's workflow verbatim: launches the
+//     dp_train executable per evaluation and parses lcurve.out.
+//
+// Construct backends through make_evaluator(EvalBackendConfig) so drivers,
+// examples, and tools share one switch point.  This header deliberately has
+// no hpc include: the evaluation contract is core-owned (EvalOutcome), and
+// the taskfarm boundary adapts it via core/eval_adapter.hpp.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "core/deepmd_repr.hpp"
+#include "core/eval_outcome.hpp"
 #include "core/surrogate.hpp"
 #include "core/workspace.hpp"
 #include "dp/trainer.hpp"
 #include "ea/individual.hpp"
-#include "hpc/taskfarm.hpp"
 #include "md/simulation.hpp"
+
+namespace dpho::hpc {
+class ThreadPool;
+}  // namespace dpho::hpc
 
 namespace dpho::core {
 
@@ -33,10 +45,10 @@ class Evaluator {
  public:
   virtual ~Evaluator() = default;
 
-  /// Computes the work result for one individual.  `eval_seed` individualizes
+  /// Computes the outcome for one individual.  `eval_seed` individualizes
   /// stochastic terms; derive it deterministically from run id + uuid.
-  virtual hpc::WorkResult evaluate(const ea::Individual& individual,
-                                   std::uint64_t eval_seed) const = 0;
+  virtual EvalOutcome evaluate(const ea::Individual& individual,
+                               std::uint64_t eval_seed) const = 0;
 };
 
 /// Surrogate-backed evaluation (paper-scale runs).
@@ -44,8 +56,8 @@ class SurrogateEvaluator : public Evaluator {
  public:
   explicit SurrogateEvaluator(SurrogateConfig config = {});
 
-  hpc::WorkResult evaluate(const ea::Individual& individual,
-                           std::uint64_t eval_seed) const override;
+  EvalOutcome evaluate(const ea::Individual& individual,
+                       std::uint64_t eval_seed) const override;
 
   const TrainingSurrogate& surrogate() const { return surrogate_; }
   const DeepMDRepresentation& representation() const { return representation_; }
@@ -61,6 +73,13 @@ struct RealEvalOptions {
   double wall_limit_seconds = 120.0;       // per-training cap (the 2h analogue)
   double sim_minutes_per_real_second = 1.0;
   std::optional<std::filesystem::path> workspace_dir;  // artifact trail
+  /// Data-parallel gradient workers inside each training (0/1 = serial).
+  /// Thread count does not change results: the trainer's reduction is
+  /// fixed-order, so the lcurve is bit-identical at any setting.
+  std::size_t trainer_num_threads = 0;
+  /// Optional shared pool for the trainer's gradient workers; overrides
+  /// trainer_num_threads.  Not owned; must outlive the evaluator.
+  hpc::ThreadPool* trainer_pool = nullptr;
 };
 
 class RealTrainingEvaluator : public Evaluator {
@@ -69,8 +88,8 @@ class RealTrainingEvaluator : public Evaluator {
   RealTrainingEvaluator(const md::FrameDataset& train, const md::FrameDataset& validation,
                         RealEvalOptions options);
 
-  hpc::WorkResult evaluate(const ea::Individual& individual,
-                           std::uint64_t eval_seed) const override;
+  EvalOutcome evaluate(const ea::Individual& individual,
+                       std::uint64_t eval_seed) const override;
 
  private:
   const md::FrameDataset& train_;
@@ -94,6 +113,9 @@ struct SubprocessEvalOptions {
   std::string input_template;              // ${...} template for input.json
   double wall_limit_seconds = 7200.0;      // the paper's two hours
   double sim_minutes_per_real_second = 1.0;
+  /// Data-parallel gradient workers inside the child (`dp_train --threads`);
+  /// 0 omits the flag (the child trains serially).
+  std::size_t trainer_threads = 0;
   /// Fault-tolerance policy.  Transient failures (hung child killed by the
   /// watchdog, missing or corrupt lcurve.out -- typically a flaky node or
   /// filesystem) are retried with exponential backoff up to `max_attempts`;
@@ -112,13 +134,38 @@ class SubprocessEvaluator : public Evaluator {
  public:
   explicit SubprocessEvaluator(SubprocessEvalOptions options);
 
-  hpc::WorkResult evaluate(const ea::Individual& individual,
-                           std::uint64_t eval_seed) const override;
+  EvalOutcome evaluate(const ea::Individual& individual,
+                       std::uint64_t eval_seed) const override;
 
  private:
   SubprocessEvalOptions options_;
   DeepMDRepresentation representation_;
   Workspace workspace_;
 };
+
+/// Which backend make_evaluator constructs.
+enum class EvalBackend : std::uint8_t {
+  kSurrogate,
+  kRealTraining,
+  kSubprocess,
+};
+
+std::string to_string(EvalBackend backend);
+
+/// Everything needed to build any backend; only the fields of the selected
+/// backend are read.  Dataset pointers (kRealTraining) are not owned and must
+/// outlive the evaluator.
+struct EvalBackendConfig {
+  EvalBackend backend = EvalBackend::kSurrogate;
+  SurrogateConfig surrogate;                          // kSurrogate
+  const md::FrameDataset* train_data = nullptr;       // kRealTraining
+  const md::FrameDataset* validation_data = nullptr;  // kRealTraining
+  RealEvalOptions real;                               // kRealTraining
+  SubprocessEvalOptions subprocess;                   // kSubprocess
+};
+
+/// The single construction point for evaluation backends: drivers, examples
+/// and tools all select a backend through this switch.
+std::unique_ptr<Evaluator> make_evaluator(const EvalBackendConfig& config);
 
 }  // namespace dpho::core

@@ -72,30 +72,27 @@ NasRealEvaluator::NasRealEvaluator(const md::FrameDataset& train,
     : train_(train), validation_(validation), options_(std::move(options)),
       representation_(std::move(space)) {}
 
-hpc::WorkResult NasRealEvaluator::evaluate(const ea::Individual& individual,
-                                           std::uint64_t eval_seed) const {
-  hpc::WorkResult result;
+EvalOutcome NasRealEvaluator::evaluate(const ea::Individual& individual,
+                                       std::uint64_t eval_seed) const {
   try {
     const NasParams params = representation_.decode(individual.genome);
     dp::TrainInput input = params.apply_to(options_.base);
     input.training.seed = eval_seed;
     dp::TrainerOptions trainer_options;
     trainer_options.wall_limit_seconds = options_.wall_limit_seconds;
+    trainer_options.num_threads = options_.trainer_num_threads;
+    trainer_options.pool = options_.trainer_pool;
     dp::Trainer trainer(input, train_, validation_, trainer_options);
     const dp::TrainResult train_result = trainer.train();
-    result.fitness = {train_result.rmse_e_val, train_result.rmse_f_val};
-    result.sim_minutes =
-        train_result.wall_seconds * options_.sim_minutes_per_real_second;
+    return EvalOutcome::success(
+        {train_result.rmse_e_val, train_result.rmse_f_val},
+        train_result.wall_seconds * options_.sim_minutes_per_real_second);
   } catch (const util::TimeoutError&) {
-    result.sim_minutes = 1e9;
-    result.fitness.clear();
+    return EvalOutcome::failure(FailureCause::kWallLimit, 1e9);
   } catch (const std::exception& e) {
     util::log_info() << "nas evaluation failed: " << e.what();
-    result.training_error = true;
-    result.sim_minutes = 1.0;
-    result.fitness.clear();
+    return EvalOutcome::failure(FailureCause::kException, 1.0);
   }
-  return result;
 }
 
 }  // namespace dpho::core

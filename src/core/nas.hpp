@@ -68,8 +68,8 @@ class NasRealEvaluator : public Evaluator {
   NasRealEvaluator(const md::FrameDataset& train, const md::FrameDataset& validation,
                    RealEvalOptions options, NasSpace space);
 
-  hpc::WorkResult evaluate(const ea::Individual& individual,
-                           std::uint64_t eval_seed) const override;
+  EvalOutcome evaluate(const ea::Individual& individual,
+                       std::uint64_t eval_seed) const override;
 
   const NasRepresentation& representation() const { return representation_; }
 

@@ -52,7 +52,10 @@ int main(int argc, char** argv) {
   const auto runs = static_cast<std::size_t>(args.get("--runs", std::int64_t{5}));
   const bool quiet = args.has("--quiet");
 
-  core::SurrogateEvaluator evaluator;
+  // Backend construction goes through the one factory switch; this tool uses
+  // the surrogate backend (paper-scale simulated cluster).
+  const std::unique_ptr<core::Evaluator> evaluator =
+      core::make_evaluator(core::EvalBackendConfig{});
   std::vector<core::RunRecord> results;
 
   if (args.has("--async") &&
@@ -73,7 +76,7 @@ int main(int argc, char** argv) {
     config.population_capacity = pop;
     config.total_evaluations = pop * (generations + 1);
     for (std::size_t seed = 1; seed <= runs; ++seed) {
-      core::AsyncSteadyStateDriver driver(config, evaluator);
+      core::AsyncSteadyStateDriver driver(config, *evaluator);
       const core::AsyncRunRecord async_run = driver.run(seed);
       // Repackage for the shared analysis path.
       core::RunRecord run;
@@ -106,7 +109,7 @@ int main(int argc, char** argv) {
     }
     config.seeds.clear();
     for (std::size_t seed = 1; seed <= runs; ++seed) config.seeds.push_back(seed);
-    core::ExperimentRunner runner(config, evaluator);
+    core::ExperimentRunner runner(config, *evaluator);
     results = runner.run_all();
     if (!quiet) {
       for (const auto& run : results) {

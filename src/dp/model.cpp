@@ -158,7 +158,11 @@ double DeepPotModel::energy(const md::Frame& frame) const {
 
 DeepPotModel::FrameGraph DeepPotModel::build_graph(ad::Tape& tape,
                                                    const md::Frame& frame) const {
-  const NeighborTopology topology = build_topology(frame);
+  return build_graph(tape, frame, build_topology(frame));
+}
+
+DeepPotModel::FrameGraph DeepPotModel::build_graph(
+    ad::Tape& tape, const md::Frame& frame, const NeighborTopology& topology) const {
   const std::size_t n = types_.size();
   const std::size_t m1 = config_.descriptor.neuron.back();
   const std::size_t m2 = config_.descriptor.axis_neuron;
@@ -248,8 +252,13 @@ DeepPotModel::FrameGraph DeepPotModel::build_graph(ad::Tape& tape,
 }
 
 md::ForceEnergy DeepPotModel::energy_forces(const md::Frame& frame) const {
+  return energy_forces(frame, build_topology(frame));
+}
+
+md::ForceEnergy DeepPotModel::energy_forces(const md::Frame& frame,
+                                            const NeighborTopology& topology) const {
   ad::Tape tape;
-  const FrameGraph graph = build_graph(tape, frame);
+  const FrameGraph graph = build_graph(tape, frame, topology);
   md::ForceEnergy out;
   out.energy = graph.energy.value();
   out.forces.resize(types_.size());

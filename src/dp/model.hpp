@@ -65,6 +65,11 @@ class DeepPotModel {
   /// Energy + forces via first-order reverse-mode autodiff.
   md::ForceEnergy energy_forces(const md::Frame& frame) const;
 
+  /// As above, reusing a precomputed topology of the same frame (frames are
+  /// static during training, so the trainer caches topologies per dataset).
+  md::ForceEnergy energy_forces(const md::Frame& frame,
+                                const NeighborTopology& topology) const;
+
   /// Full differentiable graph for one frame: used by the trainer, which
   /// needs gradients of a force-containing loss with respect to parameters.
   struct FrameGraph {
@@ -73,6 +78,12 @@ class DeepPotModel {
     std::vector<ad::Var> params;     // bound parameters (gather_params order)
   };
   FrameGraph build_graph(ad::Tape& tape, const md::Frame& frame) const;
+
+  /// As above with a precomputed topology.  Const and free of hidden shared
+  /// state, so concurrent calls on distinct tapes are safe (the trainer's
+  /// data-parallel gradient path relies on this).
+  FrameGraph build_graph(ad::Tape& tape, const md::Frame& frame,
+                         const NeighborTopology& topology) const;
 
   /// Serialization (the dp_train tool writes a model checkpoint).
   util::Json save() const;

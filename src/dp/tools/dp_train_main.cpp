@@ -6,8 +6,10 @@
 // provides exactly that contract:
 //
 //   dp_train <input.json> <train_data_dir> <validation_data_dir>
-//            [--out DIR] [--wall-limit SECONDS]
+//            [--out DIR] [--wall-limit SECONDS] [--threads N]
 //
+// --threads enables data-parallel gradient accumulation (0/1 = serial); the
+// lcurve is bit-identical across thread counts for a fixed seed.
 // Outputs (in --out, default "."): lcurve.out, model.json.
 // Exit codes: 0 success, 2 bad usage, 3 timeout, 4 diverged/failed training.
 #include <cstring>
@@ -24,7 +26,7 @@ namespace {
 
 int usage() {
   std::cerr << "usage: dp_train <input.json> <train_data_dir> <validation_data_dir>"
-               " [--out DIR] [--wall-limit SECONDS]\n";
+               " [--out DIR] [--wall-limit SECONDS] [--threads N]\n";
   return 2;
 }
 
@@ -43,6 +45,8 @@ int main(int argc, char** argv) {
       out_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--wall-limit") == 0 && i + 1 < argc) {
       options.wall_limit_seconds = std::stod(argv[++i]);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      options.num_threads = static_cast<std::size_t>(std::stoul(argv[++i]));
     } else {
       return usage();
     }

@@ -1,0 +1,42 @@
+// Per-frame neighbor-topology cache for static datasets.
+//
+// Frames never move during training, but the trainer used to rebuild each
+// frame's NeighborTopology (cell-list search + image shifts) on every step it
+// sampled the frame.  This cache builds every topology exactly once per
+// dataset -- optionally in parallel on a ThreadPool -- after which lookups
+// are lock-free const reads, safe from the trainer's concurrent gradient
+// workers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dp/model.hpp"
+#include "md/dataset.hpp"
+
+namespace dpho::hpc {
+class ThreadPool;
+}
+
+namespace dpho::dp {
+
+class TopologyCache {
+ public:
+  /// Builds topologies for frames [0, count) of `data` with the model's
+  /// cutoff (count is clamped to the dataset size).  Re-warming with the same
+  /// arguments is a no-op; a larger count extends the cache.
+  void warm(const DeepPotModel& model, const md::FrameDataset& data,
+            std::size_t count, hpc::ThreadPool* pool = nullptr);
+
+  std::size_t size() const { return topologies_.size(); }
+  bool empty() const { return topologies_.empty(); }
+
+  /// The cached topology of frame `frame_index`; throws util::ValueError when
+  /// the frame was not covered by warm().
+  const NeighborTopology& at(std::size_t frame_index) const;
+
+ private:
+  std::vector<NeighborTopology> topologies_;
+};
+
+}  // namespace dpho::dp

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "dp/loss.hpp"
+#include "hpc/parallel.hpp"
+#include "hpc/thread_pool.hpp"
 #include "nn/optimizer.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -24,8 +26,9 @@ struct FrameErrors {
   double force_sq = 0.0;            // mean over 3N components of dF^2
 };
 
-FrameErrors frame_errors(const DeepPotModel& model, const md::Frame& frame) {
-  const md::ForceEnergy prediction = model.energy_forces(frame);
+FrameErrors frame_errors(const DeepPotModel& model, const md::Frame& frame,
+                         const NeighborTopology& topology) {
+  const md::ForceEnergy prediction = model.energy_forces(frame, topology);
   const auto n = static_cast<double>(frame.positions.size());
   FrameErrors errors;
   const double de = (prediction.energy - frame.energy) / n;
@@ -39,6 +42,21 @@ FrameErrors frame_errors(const DeepPotModel& model, const md::Frame& frame) {
   }
   errors.force_sq = ss / (3.0 * n);
   return errors;
+}
+
+/// One frame's contribution to a training step: loss value plus raw
+/// parameter-gradient values, computed on a worker and reduced in frame
+/// order by the caller.
+struct FrameContribution {
+  double loss = 0.0;
+  std::vector<double> grad;
+};
+
+/// Worker-local tape, reset per frame; reuse keeps node storage warm across
+/// the thousands of graphs a training builds.
+ad::Tape& worker_tape() {
+  static thread_local ad::Tape tape;
+  return tape;
 }
 
 }  // namespace
@@ -55,15 +73,30 @@ Trainer::Trainer(const TrainInput& config, const md::FrameDataset& train,
   if (validation.empty()) throw util::ValueError("trainer: empty validation set");
 }
 
+Trainer::~Trainer() = default;
+
+hpc::ThreadPool* Trainer::gradient_pool() {
+  if (options_.pool != nullptr) return options_.pool;
+  if (options_.num_threads <= 1) return nullptr;
+  if (!owned_pool_) owned_pool_ = std::make_unique<hpc::ThreadPool>(options_.num_threads);
+  return owned_pool_.get();
+}
+
 std::pair<double, double> Trainer::validation_rmse() const {
   const std::size_t count =
       std::min(options_.max_validation_frames, validation_data_.size());
+  // Map frames to errors concurrently; accumulate in frame order so the sums
+  // match the serial path bit for bit.
+  const std::vector<FrameErrors> errors = hpc::parallel_map<FrameErrors>(
+      pool_, count, [&](std::size_t i) {
+        return frame_errors(model_, validation_data_.frame(i),
+                            validation_topology_.at(i));
+      });
   double sum_e = 0.0;
   double sum_f = 0.0;
   for (std::size_t i = 0; i < count; ++i) {
-    const FrameErrors errors = frame_errors(model_, validation_data_.frame(i));
-    sum_e += errors.energy_sq_per_atom;
-    sum_f += errors.force_sq;
+    sum_e += errors[i].energy_sq_per_atom;
+    sum_f += errors[i].force_sq;
   }
   const auto denom = static_cast<double>(count);
   return {std::sqrt(sum_e / denom), std::sqrt(sum_f / denom)};
@@ -71,6 +104,14 @@ std::pair<double, double> Trainer::validation_rmse() const {
 
 TrainResult Trainer::train() {
   const auto start_time = Clock::now();
+  pool_ = gradient_pool();
+  // Frames are static for the whole training: build each topology once
+  // (in parallel) instead of once per step.
+  train_topology_.warm(model_, train_data_, train_data_.size(), pool_);
+  validation_topology_.warm(
+      model_, validation_data_,
+      std::min(options_.max_validation_frames, validation_data_.size()), pool_);
+
   const std::size_t total_steps = config_.training.numb_steps;
   const nn::ExponentialDecay schedule(config_.scaled_start_lr(),
                                       config_.learning_rate.stop_lr, total_steps,
@@ -83,16 +124,18 @@ TrainResult Trainer::train() {
   util::Rng rng(util::hash_combine(config_.training.seed, 0xBA7C));
 
   TrainResult result;
-  ad::Tape tape;
   const auto record_row = [&](std::size_t step) {
     const auto [e_val, f_val] = validation_rmse();
     // Training metrics from the first training frame (cheap proxy, the same
     // role DeePMD's rmse_*_trn columns play).
-    const FrameErrors trn = frame_errors(model_, train_data_.frame(0));
+    const FrameErrors trn =
+        frame_errors(model_, train_data_.frame(0), train_topology_.at(0));
     result.lcurve.add(LcurveRow{step, e_val, std::sqrt(trn.energy_sq_per_atom), f_val,
                                 std::sqrt(trn.force_sq), schedule.lr(step)});
   };
 
+  const std::size_t batch_size = config_.training.batch_size;
+  std::vector<std::size_t> batch_frames(batch_size);
   for (std::size_t step = 0; step < total_steps; ++step) {
     if (options_.wall_limit_seconds &&
         seconds_since(start_time) > *options_.wall_limit_seconds) {
@@ -100,22 +143,45 @@ TrainResult Trainer::train() {
                                std::to_string(step));
     }
     const LossWeights weights = loss.weights_at(step);
+    // Draw the whole batch's frame indices up front -- the same RNG stream
+    // the serial loop consumed per frame -- so gradient workers never touch
+    // the RNG and the sampled frames are thread-count independent.
+    for (std::size_t b = 0; b < batch_size; ++b) {
+      batch_frames[b] = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(train_data_.size()) - 1));
+    }
+
+    // Data-parallel forward/backward per frame; each worker builds the frame
+    // graph on its own tape.
+    const std::vector<FrameContribution> contributions =
+        hpc::parallel_map<FrameContribution>(pool_, batch_size, [&](std::size_t b) {
+          const md::Frame& frame = train_data_.frames()[batch_frames[b]];
+          ad::Tape& tape = worker_tape();
+          tape.reset();
+          const DeepPotModel::FrameGraph graph =
+              model_.build_graph(tape, frame, train_topology_.at(batch_frames[b]));
+          const ad::Var frame_loss =
+              loss.build(tape, graph.energy, frame.energy, graph.forces,
+                         frame.forces, frame.positions.size(), weights);
+          const std::vector<ad::Var> dloss = tape.gradient(frame_loss, graph.params);
+          FrameContribution contribution;
+          contribution.loss = frame_loss.value();
+          contribution.grad.resize(dloss.size());
+          for (std::size_t p = 0; p < dloss.size(); ++p) {
+            contribution.grad[p] = dloss[p].value();
+          }
+          return contribution;
+        });
+
+    // Fixed-order reduction: identical arithmetic, in identical order, to the
+    // serial accumulation -- the lcurve is bit-identical at any thread count.
     std::fill(grad.begin(), grad.end(), 0.0);
     double batch_loss = 0.0;
-    for (std::size_t b = 0; b < config_.training.batch_size; ++b) {
-      const std::size_t frame_index = static_cast<std::size_t>(
-          rng.uniform_int(0, static_cast<std::int64_t>(train_data_.size()) - 1));
-      const md::Frame& frame = train_data_.frame(frame_index);
-      tape.reset();
-      const DeepPotModel::FrameGraph graph = model_.build_graph(tape, frame);
-      const ad::Var frame_loss =
-          loss.build(tape, graph.energy, frame.energy, graph.forces, frame.forces,
-                     frame.positions.size(), weights);
-      batch_loss += frame_loss.value();
-      const std::vector<ad::Var> dloss = tape.gradient(frame_loss, graph.params);
-      const double inv_batch = 1.0 / static_cast<double>(config_.training.batch_size);
+    const double inv_batch = 1.0 / static_cast<double>(batch_size);
+    for (std::size_t b = 0; b < batch_size; ++b) {
+      batch_loss += contributions[b].loss;
       for (std::size_t p = 0; p < grad.size(); ++p) {
-        grad[p] += dloss[p].value() * inv_batch;
+        grad[p] += contributions[b].grad[p] * inv_batch;
       }
     }
     if (!std::isfinite(batch_loss)) {

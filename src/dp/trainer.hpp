@@ -3,17 +3,26 @@
 // Minimizes the DeePMD loss with Adam under the exponential learning-rate
 // decay, recording an lcurve and honouring a wall-clock budget (the paper
 // caps every training at two hours; individuals that exceed it are "unfit",
-// section 2.2.4).  The trainer is deterministic for a given seed.
+// section 2.2.4).  The trainer is deterministic for a given seed -- and
+// bit-identical for a given seed at ANY thread count: the data-parallel path
+// evaluates per-frame gradients concurrently but reduces them in fixed frame
+// order (see hpc/parallel.hpp for why that matters for floats).
 #pragma once
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "dp/config.hpp"
 #include "dp/lcurve.hpp"
 #include "dp/model.hpp"
+#include "dp/topology_cache.hpp"
 #include "md/dataset.hpp"
+
+namespace dpho::hpc {
+class ThreadPool;
+}
 
 namespace dpho::dp {
 
@@ -33,12 +42,22 @@ struct TrainerOptions {
   std::optional<double> wall_limit_seconds;
   /// How many validation frames to score per lcurve row (cost control).
   std::size_t max_validation_frames = 8;
+  /// Data-parallel gradient workers.  0 (or 1) = serial, preserving the
+  /// single-threaded behaviour; N > 1 = frames in a batch get their
+  /// forward/backward evaluated concurrently on an owned N-thread pool.
+  std::size_t num_threads = 0;
+  /// Injected shared pool; overrides num_threads when set (not owned; must
+  /// outlive the trainer).  Lets co-located trainings -- e.g. the in-process
+  /// evaluator under the task farm -- share one pool instead of
+  /// oversubscribing cores.
+  hpc::ThreadPool* pool = nullptr;
 };
 
 class Trainer {
  public:
   Trainer(const TrainInput& config, const md::FrameDataset& train,
           const md::FrameDataset& validation, TrainerOptions options = {});
+  ~Trainer();
 
   /// Runs the full step budget; throws util::TimeoutError when the wall
   /// budget is exhausted and util::ValueError when the loss diverges to
@@ -52,11 +71,19 @@ class Trainer {
   /// Validation RMSEs over (at most) max_validation_frames frames.
   std::pair<double, double> validation_rmse() const;
 
+  /// The pool gradient work runs on: injected > owned (num_threads > 1) >
+  /// nullptr (serial).  Lazily creates the owned pool on first use.
+  hpc::ThreadPool* gradient_pool();
+
   TrainInput config_;
   const md::FrameDataset& train_data_;
   const md::FrameDataset& validation_data_;
   TrainerOptions options_;
   DeepPotModel model_;
+  std::unique_ptr<hpc::ThreadPool> owned_pool_;
+  hpc::ThreadPool* pool_ = nullptr;  // resolved by gradient_pool()
+  TopologyCache train_topology_;
+  TopologyCache validation_topology_;
 };
 
 }  // namespace dpho::dp

@@ -1,0 +1,47 @@
+// Deterministic fork/join helpers on top of ThreadPool.
+//
+// Floating-point addition is not associative, so a reduction whose order
+// depends on thread scheduling makes training runs irreproducible.  These
+// helpers split the classic parallel reduce into (a) an embarrassingly
+// parallel map into an index-ordered buffer and (b) a serial combine in
+// strict index order, so the result is bit-identical for any thread count --
+// including the serial pool == nullptr path.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "hpc/thread_pool.hpp"
+
+namespace dpho::hpc {
+
+/// Evaluates map(i) for i in [0, count) and returns the results in index
+/// order.  Runs on `pool` when it is non-null and the trip count warrants it;
+/// otherwise serially on the calling thread.  `map` must be pure with respect
+/// to shared state (it may run concurrently with itself).
+template <typename T, typename Map>
+std::vector<T> parallel_map(ThreadPool* pool, std::size_t count, Map&& map) {
+  std::vector<T> results(count);
+  if (pool == nullptr || pool->size() <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) results[i] = map(i);
+  } else {
+    pool->parallel_for(count, [&](std::size_t i) { results[i] = map(i); });
+  }
+  return results;
+}
+
+/// Parallel map + fixed-order reduce: `combine(acc, value, i)` is applied
+/// strictly for i = 0, 1, ..., count-1 on the calling thread, so the
+/// accumulated result is independent of how the map was scheduled.
+template <typename Acc, typename T, typename Map, typename Combine>
+Acc parallel_reduce_ordered(ThreadPool* pool, std::size_t count, Acc init,
+                            Map&& map, Combine&& combine) {
+  const std::vector<T> mapped =
+      parallel_map<T>(pool, count, std::forward<Map>(map));
+  Acc acc = std::move(init);
+  for (std::size_t i = 0; i < count; ++i) combine(acc, mapped[i], i);
+  return acc;
+}
+
+}  // namespace dpho::hpc

@@ -35,14 +35,62 @@ void ThreadPool::worker_loop() {
   }
 }
 
+void ThreadPool::drain_loop(const std::shared_ptr<ForLoop>& loop, std::size_t count,
+                            const std::function<void(std::size_t)>* fn) {
+  for (;;) {
+    const std::size_t i = loop->next.fetch_add(1, std::memory_order_relaxed);
+    // After exhaustion, return without touching *fn: late-running helper
+    // tasks may outlive the parallel_for call frame that owns it.
+    if (i >= count) return;
+    try {
+      (*fn)(i);
+    } catch (...) {
+      const std::scoped_lock lock(loop->mutex);
+      if (i < loop->error_index) {
+        loop->error_index = i;
+        loop->error = std::current_exception();
+      }
+    }
+    if (loop->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last index done: wake the waiter under the lock so the notification
+      // cannot slip between its predicate check and its wait.
+      const std::scoped_lock lock(loop->mutex);
+      loop->done.notify_all();
+    }
+  }
+}
+
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {
-  std::vector<std::future<void>> futures;
-  futures.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    futures.push_back(submit([i, &fn] { fn(i); }));
+  if (count == 0) return;
+  auto loop = std::make_shared<ForLoop>(count);
+
+  // Helper tasks share the index counter with the caller; any helper that
+  // arrives after the loop is exhausted returns immediately.
+  const std::size_t helpers = std::min(count, threads_.size());
+  {
+    const std::scoped_lock lock(mutex_);
+    for (std::size_t h = 0; h < helpers; ++h) {
+      queue_.emplace_back([loop, count, fnp = &fn] { drain_loop(loop, count, fnp); });
+    }
   }
-  for (auto& future : futures) future.get();
+  if (helpers == 1) {
+    wake_.notify_one();
+  } else if (helpers > 1) {
+    wake_.notify_all();
+  }
+
+  // The caller participates: even if every worker is blocked inside an
+  // enclosing parallel_for (nested use), this thread completes the loop.
+  drain_loop(loop, count, &fn);
+
+  {
+    std::unique_lock lock(loop->mutex);
+    loop->done.wait(lock, [&] {
+      return loop->remaining.load(std::memory_order_acquire) == 0;
+    });
+    if (loop->error) std::rethrow_exception(loop->error);
+  }
 }
 
 }  // namespace dpho::hpc

@@ -1,10 +1,12 @@
 // Fixed-size worker thread pool for real (not simulated) parallel evaluation.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -13,6 +15,11 @@ namespace dpho::hpc {
 
 /// Simple FIFO thread pool.  Tasks must not throw unhandled exceptions other
 /// than through the returned future.
+///
+/// parallel_for is safe to call from inside a pool task (nested parallelism):
+/// the calling thread claims and executes loop indices itself rather than
+/// blocking on futures, so even when every worker is occupied -- including by
+/// the caller's own enclosing task -- the loop always makes progress.
 class ThreadPool {
  public:
   explicit ThreadPool(std::size_t num_threads);
@@ -23,6 +30,8 @@ class ThreadPool {
   std::size_t size() const { return threads_.size(); }
 
   /// Enqueues a task; the future resolves with its result or exception.
+  /// A worker must not block on a future for work queued behind it; use
+  /// parallel_for for fork/join inside pool tasks.
   template <typename F>
   auto submit(F&& fn) -> std::future<decltype(fn())> {
     using Result = decltype(fn());
@@ -36,10 +45,27 @@ class ThreadPool {
     return future;
   }
 
-  /// Runs fn(i) for i in [0, count) across the pool and waits for all.
+  /// Runs fn(i) for i in [0, count) across the pool (and the calling thread)
+  /// and waits for all.  The first exception, by lowest index, is rethrown
+  /// after every claimed index has finished.
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
 
  private:
+  /// Shared state of one parallel_for: indices are claimed via `next`; the
+  /// loop is complete when `remaining` reaches zero.
+  struct ForLoop {
+    explicit ForLoop(std::size_t count) : remaining(count) {}
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> remaining;
+    std::mutex mutex;
+    std::condition_variable done;
+    std::exception_ptr error;                // first error by index order
+    std::size_t error_index = SIZE_MAX;      // guarded by mutex
+  };
+
+  static void drain_loop(const std::shared_ptr<ForLoop>& loop, std::size_t count,
+                         const std::function<void(std::size_t)>* fn);
+
   void worker_loop();
 
   std::vector<std::thread> threads_;

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <filesystem>
+#include <span>
 #include <vector>
 
 #include "md/system.hpp"
@@ -37,6 +38,10 @@ class FrameDataset {
 
   void add(Frame frame);
   const Frame& frame(std::size_t i) const { return frames_.at(i); }
+
+  /// Unchecked view of every frame, for hot loops that already validated
+  /// their indices (the trainer samples a frame per batch slot per step).
+  std::span<const Frame> frames() const { return frames_; }
 
   /// In-place Fisher-Yates shuffle of the frame order.
   void shuffle(util::Rng& rng);

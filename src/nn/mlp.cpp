@@ -1,5 +1,6 @@
 #include "nn/mlp.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/error.hpp"
@@ -40,8 +41,16 @@ std::size_t Mlp::output_width() const { return layers_.back().out; }
 
 std::vector<double> Mlp::forward(std::span<const double> x) const {
   if (x.size() != input_width()) throw util::ValueError("mlp forward: bad input width");
-  std::vector<double> current(x.begin(), x.end());
+  // One reservation at the widest layer keeps the ping-pong buffers from
+  // reallocating mid-pass (this runs once per neighbor per atom in the
+  // descriptor, so the allocator pressure is material).
+  std::size_t max_width = x.size();
+  for (const LayerSpec& layer : layers_) max_width = std::max(max_width, layer.out);
+  std::vector<double> current;
+  current.reserve(max_width);
+  current.assign(x.begin(), x.end());
   std::vector<double> next;
+  next.reserve(max_width);
   std::size_t offset = 0;
   for (const LayerSpec& layer : layers_) {
     next.assign(layer.out, 0.0);
@@ -72,8 +81,13 @@ std::vector<ad::Var> Mlp::forward(ad::Tape& tape, std::span<const ad::Var> bound
     throw util::ValueError("mlp forward: bound parameter count mismatch");
   }
   if (x.size() != input_width()) throw util::ValueError("mlp forward: bad input width");
-  std::vector<ad::Var> current(x.begin(), x.end());
+  std::size_t max_width = x.size();
+  for (const LayerSpec& layer : layers_) max_width = std::max(max_width, layer.out);
+  std::vector<ad::Var> current;
+  current.reserve(max_width);
+  current.assign(x.begin(), x.end());
   std::vector<ad::Var> next;
+  next.reserve(max_width);
   std::size_t offset = 0;
   for (const LayerSpec& layer : layers_) {
     next.clear();

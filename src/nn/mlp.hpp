@@ -44,7 +44,8 @@ class Mlp {
   std::span<double> params() { return params_; }
   std::span<const double> params() const { return params_; }
 
-  /// Fast inference path.
+  /// Fast inference path.  Const and allocation-light; safe to call
+  /// concurrently from the trainer's data-parallel gradient workers.
   std::vector<double> forward(std::span<const double> x) const;
 
   /// Tape variables mirroring `params()`, in the same flat order.  Bind once

@@ -19,7 +19,8 @@ AsyncDriverConfig small_config(std::size_t workers = 20, std::size_t budget = 14
 }
 
 TEST(AsyncDriver, CompletesExactBudget) {
-  const SurrogateEvaluator evaluator;
+  const auto evaluator_ptr = make_evaluator(EvalBackendConfig{});
+  const Evaluator& evaluator = *evaluator_ptr;
   AsyncSteadyStateDriver driver(small_config(), evaluator);
   const AsyncRunRecord run = driver.run(1);
   EXPECT_EQ(run.evaluations.size(), 140u);
@@ -28,7 +29,8 @@ TEST(AsyncDriver, CompletesExactBudget) {
 }
 
 TEST(AsyncDriver, DeterministicForSeed) {
-  const SurrogateEvaluator evaluator;
+  const auto evaluator_ptr = make_evaluator(EvalBackendConfig{});
+  const Evaluator& evaluator = *evaluator_ptr;
   AsyncSteadyStateDriver a(small_config(), evaluator);
   AsyncSteadyStateDriver b(small_config(), evaluator);
   const AsyncRunRecord ra = a.run(5);
@@ -41,7 +43,8 @@ TEST(AsyncDriver, DeterministicForSeed) {
 }
 
 TEST(AsyncDriver, QualityImprovesOverCompletions) {
-  const SurrogateEvaluator evaluator;
+  const auto evaluator_ptr = make_evaluator(EvalBackendConfig{});
+  const Evaluator& evaluator = *evaluator_ptr;
   AsyncSteadyStateDriver driver(small_config(30, 300), evaluator);
   const AsyncRunRecord run = driver.run(3);
   const auto median_force = [&](std::size_t begin, std::size_t end) {
@@ -59,7 +62,8 @@ TEST(AsyncDriver, QualityImprovesOverCompletions) {
 TEST(AsyncDriver, HighUtilizationDespiteHeterogeneousRuntimes) {
   // Training runtimes vary with rcut (~30-80 min); without a generational
   // barrier the workers stay almost always busy.
-  const SurrogateEvaluator evaluator;
+  const auto evaluator_ptr = make_evaluator(EvalBackendConfig{});
+  const Evaluator& evaluator = *evaluator_ptr;
   AsyncSteadyStateDriver driver(small_config(25, 250), evaluator);
   const AsyncRunRecord run = driver.run(7);
   EXPECT_GT(run.busy_fraction, 0.9);
@@ -69,7 +73,8 @@ TEST(AsyncDriver, FasterThanGenerationalAtEqualBudget) {
   // Same evaluator, same worker count, same 7x-pop budget: the steady-state
   // deployment finishes in less simulated wall clock than the generational
   // one (which pays max-of-wave at every generation).
-  const SurrogateEvaluator evaluator;
+  const auto evaluator_ptr = make_evaluator(EvalBackendConfig{});
+  const Evaluator& evaluator = *evaluator_ptr;
   const std::size_t workers = 40;
 
   DriverConfig generational;
@@ -87,7 +92,8 @@ TEST(AsyncDriver, FasterThanGenerationalAtEqualBudget) {
 }
 
 TEST(AsyncDriver, FailuresGetMaxIntAndAreCounted) {
-  const SurrogateEvaluator evaluator;
+  const auto evaluator_ptr = make_evaluator(EvalBackendConfig{});
+  const Evaluator& evaluator = *evaluator_ptr;
   AsyncDriverConfig config = small_config(20, 200);
   AsyncSteadyStateDriver driver(config, evaluator);
   const AsyncRunRecord run = driver.run(11);
@@ -102,7 +108,8 @@ TEST(AsyncDriver, FailuresGetMaxIntAndAreCounted) {
 }
 
 TEST(AsyncDriver, CompletionTimesNondecreasing) {
-  const SurrogateEvaluator evaluator;
+  const auto evaluator_ptr = make_evaluator(EvalBackendConfig{});
+  const Evaluator& evaluator = *evaluator_ptr;
   AsyncSteadyStateDriver driver(small_config(), evaluator);
   const AsyncRunRecord run = driver.run(13);
   // The recorded order is completion order by construction; generation field
@@ -113,7 +120,8 @@ TEST(AsyncDriver, CompletionTimesNondecreasing) {
 }
 
 TEST(AsyncDriver, Validation) {
-  const SurrogateEvaluator evaluator;
+  const auto evaluator_ptr = make_evaluator(EvalBackendConfig{});
+  const Evaluator& evaluator = *evaluator_ptr;
   AsyncDriverConfig zero_workers = small_config();
   zero_workers.num_workers = 0;
   EXPECT_THROW(AsyncSteadyStateDriver(zero_workers, evaluator), util::ValueError);

@@ -12,16 +12,13 @@ namespace {
 /// Scores a 3-gene genome on two toy objectives; thread-safe.
 class MockEvaluator : public Evaluator {
  public:
-  hpc::WorkResult evaluate(const ea::Individual& individual,
-                           std::uint64_t /*seed*/) const override {
+  EvalOutcome evaluate(const ea::Individual& individual,
+                       std::uint64_t /*seed*/) const override {
     calls_.fetch_add(1);
-    hpc::WorkResult result;
     const double x = individual.genome[0];
     const double y = individual.genome[1];
     const double z = individual.genome[2];
-    result.fitness = {x * x + z, y * y + z};
-    result.sim_minutes = 10.0;
-    return result;
+    return EvalOutcome::success({x * x + z, y * y + z}, 10.0);
   }
 
   int calls() const { return calls_.load(); }

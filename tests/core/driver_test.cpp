@@ -16,7 +16,8 @@ DriverConfig small_config(std::size_t pop = 16, std::size_t gens = 3) {
 }
 
 TEST(Driver, ProducesExpectedGenerationStructure) {
-  const SurrogateEvaluator evaluator;
+  const auto evaluator_ptr = make_evaluator(EvalBackendConfig{});
+  const Evaluator& evaluator = *evaluator_ptr;
   Nsga2Driver driver(small_config(12, 4), evaluator);
   const RunRecord run = driver.run(1);
   ASSERT_EQ(run.generations.size(), 5u);  // gen 0 + 4
@@ -28,7 +29,8 @@ TEST(Driver, ProducesExpectedGenerationStructure) {
 }
 
 TEST(Driver, EveryEvaluatedIndividualHasFitnessAndUuid) {
-  const SurrogateEvaluator evaluator;
+  const auto evaluator_ptr = make_evaluator(EvalBackendConfig{});
+  const Evaluator& evaluator = *evaluator_ptr;
   Nsga2Driver driver(small_config(), evaluator);
   const RunRecord run = driver.run(2);
   std::set<std::string> uuids;
@@ -45,7 +47,8 @@ TEST(Driver, EveryEvaluatedIndividualHasFitnessAndUuid) {
 
 TEST(Driver, FailuresGetMaxIntFitness) {
   // Crank failure injection so some evaluations fail.
-  const SurrogateEvaluator evaluator;
+  const auto evaluator_ptr = make_evaluator(EvalBackendConfig{});
+  const Evaluator& evaluator = *evaluator_ptr;
   DriverConfig config = small_config(20, 2);
   config.farm.node_failure_probability = 0.25;
   Nsga2Driver driver(config, evaluator);
@@ -69,7 +72,8 @@ TEST(Driver, FailuresGetMaxIntFitness) {
 }
 
 TEST(Driver, FinalPopulationNeverPrefersFailuresOverSolutions) {
-  const SurrogateEvaluator evaluator;
+  const auto evaluator_ptr = make_evaluator(EvalBackendConfig{});
+  const Evaluator& evaluator = *evaluator_ptr;
   DriverConfig config = small_config(16, 3);
   config.farm.node_failure_probability = 0.05;
   Nsga2Driver driver(config, evaluator);
@@ -84,7 +88,8 @@ TEST(Driver, FinalPopulationNeverPrefersFailuresOverSolutions) {
 }
 
 TEST(Driver, SelectionImprovesMedianForceLoss) {
-  const SurrogateEvaluator evaluator;
+  const auto evaluator_ptr = make_evaluator(EvalBackendConfig{});
+  const Evaluator& evaluator = *evaluator_ptr;
   Nsga2Driver driver(small_config(30, 5), evaluator);
   const RunRecord run = driver.run(5);
   const auto median_force = [](const GenerationRecord& gen) {
@@ -101,7 +106,8 @@ TEST(Driver, SelectionImprovesMedianForceLoss) {
 }
 
 TEST(Driver, MutationStdAnnealedPerGeneration) {
-  const SurrogateEvaluator evaluator;
+  const auto evaluator_ptr = make_evaluator(EvalBackendConfig{});
+  const Evaluator& evaluator = *evaluator_ptr;
   Nsga2Driver driver(small_config(8, 3), evaluator);
   const RunRecord run = driver.run(6);
   // Recorded sigma vectors shrink by exactly 0.85 each generation after the
@@ -117,7 +123,8 @@ TEST(Driver, MutationStdAnnealedPerGeneration) {
 }
 
 TEST(Driver, AnnealingCanBeDisabled) {
-  const SurrogateEvaluator evaluator;
+  const auto evaluator_ptr = make_evaluator(EvalBackendConfig{});
+  const Evaluator& evaluator = *evaluator_ptr;
   DriverConfig config = small_config(8, 3);
   config.anneal_enabled = false;
   Nsga2Driver driver(config, evaluator);
@@ -127,7 +134,8 @@ TEST(Driver, AnnealingCanBeDisabled) {
 }
 
 TEST(Driver, DeterministicForSeed) {
-  const SurrogateEvaluator evaluator;
+  const auto evaluator_ptr = make_evaluator(EvalBackendConfig{});
+  const Evaluator& evaluator = *evaluator_ptr;
   Nsga2Driver a(small_config(10, 2), evaluator);
   Nsga2Driver b(small_config(10, 2), evaluator);
   const RunRecord ra = a.run(11);
@@ -140,7 +148,8 @@ TEST(Driver, DeterministicForSeed) {
 }
 
 TEST(Driver, SeedsProduceDifferentRuns) {
-  const SurrogateEvaluator evaluator;
+  const auto evaluator_ptr = make_evaluator(EvalBackendConfig{});
+  const Evaluator& evaluator = *evaluator_ptr;
   Nsga2Driver driver(small_config(10, 2), evaluator);
   const RunRecord a = driver.run(1);
   const RunRecord b = driver.run(2);
@@ -148,7 +157,8 @@ TEST(Driver, SeedsProduceDifferentRuns) {
 }
 
 TEST(Driver, JobClockUnderTwelveHoursAtPaperScale) {
-  const SurrogateEvaluator evaluator;
+  const auto evaluator_ptr = make_evaluator(EvalBackendConfig{});
+  const Evaluator& evaluator = *evaluator_ptr;
   DriverConfig config = small_config(100, 6);  // the paper's configuration
   Nsga2Driver driver(config, evaluator);
   const RunRecord run = driver.run(13);
@@ -158,7 +168,8 @@ TEST(Driver, JobClockUnderTwelveHoursAtPaperScale) {
 }
 
 TEST(Driver, SortBackendsProduceSameRun) {
-  const SurrogateEvaluator evaluator;
+  const auto evaluator_ptr = make_evaluator(EvalBackendConfig{});
+  const Evaluator& evaluator = *evaluator_ptr;
   DriverConfig deb_config = small_config(12, 3);
   deb_config.sort_backend = moo::SortBackend::kFastNondominated;
   DriverConfig ens_config = small_config(12, 3);
@@ -172,7 +183,8 @@ TEST(Driver, SortBackendsProduceSameRun) {
 }
 
 TEST(Driver, RuntimesRecordedForAllEvaluations) {
-  const SurrogateEvaluator evaluator;
+  const auto evaluator_ptr = make_evaluator(EvalBackendConfig{});
+  const Evaluator& evaluator = *evaluator_ptr;
   Nsga2Driver driver(small_config(10, 2), evaluator);
   const RunRecord run = driver.run(19);
   for (const GenerationRecord& gen : run.generations) {

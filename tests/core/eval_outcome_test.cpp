@@ -1,0 +1,115 @@
+// The core-owned evaluation contract: EvalOutcome construction helpers, the
+// WorkResult adapter round-trip at the taskfarm boundary, and the
+// make_evaluator factory switch.
+#include "core/eval_outcome.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/eval_adapter.hpp"
+#include "core/evaluator.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dpho::core {
+namespace {
+
+TEST(EvalOutcome, SuccessIsOk) {
+  const EvalOutcome outcome = EvalOutcome::success({0.003, 0.03}, 42.0);
+  EXPECT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome.training_error);
+  EXPECT_EQ(outcome.cause, FailureCause::kNone);
+  EXPECT_EQ(outcome.attempts, 1u);
+  EXPECT_DOUBLE_EQ(outcome.runtime_minutes, 42.0);
+}
+
+TEST(EvalOutcome, FailureClassification) {
+  // Deterministic failures are training errors...
+  const EvalOutcome diverged =
+      EvalOutcome::failure(FailureCause::kNonFiniteFitness, 1.0);
+  EXPECT_TRUE(diverged.training_error);
+  EXPECT_FALSE(diverged.ok());
+  // ...while wall-limit and hung-process outcomes are classified by the
+  // scheduling layer from the runtime sentinel, not flagged here.
+  const EvalOutcome timeout = EvalOutcome::failure(FailureCause::kWallLimit, 1e9);
+  EXPECT_FALSE(timeout.training_error);
+  EXPECT_FALSE(timeout.ok());  // still no usable fitness
+  const EvalOutcome hung = EvalOutcome::failure(FailureCause::kHungProcess, 1e9);
+  EXPECT_FALSE(hung.training_error);
+}
+
+TEST(EvalOutcome, CauseNamesAreStable) {
+  // CSV exports and run records key on these strings.
+  EXPECT_EQ(to_string(FailureCause::kNone), "none");
+  EXPECT_EQ(to_string(FailureCause::kWallLimit), "wall_limit");
+  EXPECT_EQ(to_string(FailureCause::kNonFiniteFitness), "nonfinite_fitness");
+  EXPECT_EQ(to_string(FailureCause::kPayloadCorruption), "payload_corruption");
+}
+
+TEST(EvalAdapter, RoundTripPreservesEveryField) {
+  EvalOutcome outcome;
+  outcome.fitness = {0.0041, 0.038};
+  outcome.runtime_minutes = 97.25;
+  outcome.training_error = true;
+  outcome.cause = FailureCause::kCorruptArtifact;
+  outcome.attempts = 3;
+
+  const hpc::WorkResult work = to_work_result(outcome);
+  EXPECT_EQ(work.fitness, outcome.fitness);
+  EXPECT_DOUBLE_EQ(work.sim_minutes, outcome.runtime_minutes);
+  EXPECT_EQ(work.training_error, outcome.training_error);
+  EXPECT_EQ(work.cause, hpc::FailureCause::kCorruptArtifact);
+  EXPECT_EQ(work.attempts, outcome.attempts);
+
+  const EvalOutcome back = from_work_result(work);
+  EXPECT_EQ(back.fitness, outcome.fitness);
+  EXPECT_DOUBLE_EQ(back.runtime_minutes, outcome.runtime_minutes);
+  EXPECT_EQ(back.training_error, outcome.training_error);
+  EXPECT_EQ(back.cause, outcome.cause);
+  EXPECT_EQ(back.attempts, outcome.attempts);
+}
+
+TEST(EvalAdapter, EveryCauseMapsAcrossTheBoundary) {
+  for (int value = 0; value <= static_cast<int>(FailureCause::kPayloadCorruption);
+       ++value) {
+    const auto cause = static_cast<FailureCause>(value);
+    const EvalOutcome outcome = EvalOutcome::failure(cause, 1.0);
+    const EvalOutcome back = from_work_result(to_work_result(outcome));
+    EXPECT_EQ(back.cause, cause);
+    // The core and hpc vocabularies agree on the name, too.
+    EXPECT_EQ(to_string(cause),
+              hpc::to_string(static_cast<hpc::FailureCause>(value)));
+  }
+}
+
+TEST(MakeEvaluator, DefaultConfigBuildsSurrogate) {
+  const std::unique_ptr<Evaluator> evaluator = make_evaluator(EvalBackendConfig{});
+  ASSERT_NE(evaluator, nullptr);
+  EXPECT_NE(dynamic_cast<const SurrogateEvaluator*>(evaluator.get()), nullptr);
+  util::Rng rng(1);
+  const ea::Individual individual =
+      ea::Individual::create({0.0047, 0.0001, 11.32, 2.42, 2.3, 4.6, 4.2}, rng);
+  const EvalOutcome outcome = evaluator->evaluate(individual, 7);
+  EXPECT_TRUE(outcome.ok());
+  ASSERT_EQ(outcome.fitness.size(), 2u);
+}
+
+TEST(MakeEvaluator, RealTrainingNeedsDatasets) {
+  EvalBackendConfig config;
+  config.backend = EvalBackend::kRealTraining;
+  EXPECT_THROW(make_evaluator(config), util::ValueError);
+}
+
+TEST(MakeEvaluator, SubprocessNeedsBinary) {
+  EvalBackendConfig config;
+  config.backend = EvalBackend::kSubprocess;
+  EXPECT_THROW(make_evaluator(config), util::ValueError);
+}
+
+TEST(MakeEvaluator, BackendNamesAreStable) {
+  EXPECT_EQ(to_string(EvalBackend::kSurrogate), "surrogate");
+  EXPECT_EQ(to_string(EvalBackend::kRealTraining), "real_training");
+  EXPECT_EQ(to_string(EvalBackend::kSubprocess), "subprocess");
+}
+
+}  // namespace
+}  // namespace dpho::core

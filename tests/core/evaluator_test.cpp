@@ -19,13 +19,13 @@ TEST(SurrogateEvaluator, GoodGenomeYieldsTwoObjectives) {
   // Table 3 solution 1 encoded as genes.
   const ea::Individual individual =
       individual_for({0.0047, 0.0001, 11.32, 2.42, 2.3, 4.6, 4.2}, rng);
-  const hpc::WorkResult result = evaluator.evaluate(individual, 7);
+  const EvalOutcome result = evaluator.evaluate(individual, 7);
   EXPECT_FALSE(result.training_error);
   ASSERT_EQ(result.fitness.size(), 2u);
   EXPECT_GT(result.fitness[0], 0.0);  // rmse_e
   EXPECT_GT(result.fitness[1], 0.0);  // rmse_f
-  EXPECT_GT(result.sim_minutes, 10.0);
-  EXPECT_LT(result.sim_minutes, 120.0);
+  EXPECT_GT(result.runtime_minutes, 10.0);
+  EXPECT_LT(result.runtime_minutes, 120.0);
 }
 
 TEST(SurrogateEvaluator, FitnessOrderIsEnergyThenForce) {
@@ -33,7 +33,7 @@ TEST(SurrogateEvaluator, FitnessOrderIsEnergyThenForce) {
   util::Rng rng(2);
   const ea::Individual individual =
       individual_for({0.0047, 0.0001, 11.32, 2.42, 2.3, 4.6, 4.2}, rng);
-  const hpc::WorkResult result = evaluator.evaluate(individual, 7);
+  const EvalOutcome result = evaluator.evaluate(individual, 7);
   // Energy error (eV/atom) is far smaller than force error (eV/A) for any
   // trained model in this landscape.
   EXPECT_LT(result.fitness[0], result.fitness[1]);
@@ -45,7 +45,7 @@ TEST(SurrogateEvaluator, InvalidConfigReportsTrainingError) {
   // rcut 6.0 with rcut_smth 6.0: invalid ordering.
   const ea::Individual individual =
       individual_for({0.004, 0.0001, 6.0, 6.0, 2.3, 4.6, 4.2}, rng);
-  const hpc::WorkResult result = evaluator.evaluate(individual, 7);
+  const EvalOutcome result = evaluator.evaluate(individual, 7);
   EXPECT_TRUE(result.training_error);
   EXPECT_TRUE(result.fitness.empty());
 }
@@ -55,10 +55,10 @@ TEST(SurrogateEvaluator, DeterministicForSeed) {
   util::Rng rng(4);
   const ea::Individual individual =
       individual_for({0.0047, 0.0001, 11.32, 2.42, 2.3, 4.6, 4.2}, rng);
-  const hpc::WorkResult a = evaluator.evaluate(individual, 99);
-  const hpc::WorkResult b = evaluator.evaluate(individual, 99);
+  const EvalOutcome a = evaluator.evaluate(individual, 99);
+  const EvalOutcome b = evaluator.evaluate(individual, 99);
   EXPECT_EQ(a.fitness, b.fitness);
-  EXPECT_DOUBLE_EQ(a.sim_minutes, b.sim_minutes);
+  EXPECT_DOUBLE_EQ(a.runtime_minutes, b.runtime_minutes);
 }
 
 class RealEvaluatorSuite : public ::testing::Test {
@@ -106,7 +106,7 @@ TEST_F(RealEvaluatorSuite, TooLargeRcutForBoxIsATrainingError) {
   util::Rng rng(5);
   const ea::Individual individual =
       individual_for({0.004, 0.0001, 11.0, 2.4, 2.3, 4.6, 4.2}, rng);
-  const hpc::WorkResult result = evaluator.evaluate(individual, 3);
+  const EvalOutcome result = evaluator.evaluate(individual, 3);
   EXPECT_TRUE(result.training_error);
 }
 
@@ -118,11 +118,11 @@ TEST_F(RealEvaluatorSuite, TrainsAndReportsLosses) {
   util::Rng rng(6);
   const ea::Individual individual =
       individual_for({0.004, 0.001, 3.2, 2.0, 2.3, 4.6, 4.2}, rng);
-  const hpc::WorkResult result = evaluator.evaluate(individual, 3);
+  const EvalOutcome result = evaluator.evaluate(individual, 3);
   EXPECT_FALSE(result.training_error);
   ASSERT_EQ(result.fitness.size(), 2u);
   EXPECT_GT(result.fitness[1], 0.0);
-  EXPECT_GT(result.sim_minutes, 0.0);
+  EXPECT_GT(result.runtime_minutes, 0.0);
 }
 
 TEST_F(RealEvaluatorSuite, WorkspaceArtifactTrailWritten) {
@@ -133,7 +133,7 @@ TEST_F(RealEvaluatorSuite, WorkspaceArtifactTrailWritten) {
   util::Rng rng(7);
   const ea::Individual individual =
       individual_for({0.004, 0.001, 3.2, 2.0, 2.3, 4.6, 4.2}, rng);
-  const hpc::WorkResult result = evaluator.evaluate(individual, 3);
+  const EvalOutcome result = evaluator.evaluate(individual, 3);
   ASSERT_FALSE(result.training_error);
   const auto run_dir = dir.path() / individual.uuid.str();
   EXPECT_TRUE(std::filesystem::exists(run_dir / "input.json"));
@@ -153,9 +153,9 @@ TEST_F(RealEvaluatorSuite, WallLimitSurfacesAsTimeout) {
   util::Rng rng(8);
   const ea::Individual individual =
       individual_for({0.004, 0.001, 3.2, 2.0, 2.3, 4.6, 4.2}, rng);
-  const hpc::WorkResult result = evaluator.evaluate(individual, 3);
+  const EvalOutcome result = evaluator.evaluate(individual, 3);
   EXPECT_FALSE(result.training_error);  // classified by the farm, not here
-  EXPECT_GT(result.sim_minutes, 1e6);   // sentinel beyond any task timeout
+  EXPECT_GT(result.runtime_minutes, 1e6);   // sentinel beyond any task timeout
   EXPECT_TRUE(result.fitness.empty());
 }
 

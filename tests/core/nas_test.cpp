@@ -127,7 +127,7 @@ TEST(Nas, RealEvaluatorTrainsWithSelectedArchitecture) {
   // rcut gene 3.2 fits the 10-atom box; architecture genes select preset 1/0.
   const ea::Individual individual = ea::Individual::create(
       {0.004, 0.001, 3.2, 2.0, 2.3, 4.6, 4.2, 1.5, 0.5}, rng);
-  const hpc::WorkResult result = evaluator.evaluate(individual, 9);
+  const EvalOutcome result = evaluator.evaluate(individual, 9);
   EXPECT_FALSE(result.training_error);
   ASSERT_EQ(result.fitness.size(), 2u);
   EXPECT_GT(result.fitness[1], 0.0);

@@ -15,7 +15,8 @@ std::vector<RunRecord> small_experiment() {
   config.driver.generations = 2;
   config.driver.farm.real_threads = 2;
   config.seeds = {1, 2};
-  const SurrogateEvaluator evaluator;
+  const auto evaluator_ptr = make_evaluator(EvalBackendConfig{});
+  const Evaluator& evaluator = *evaluator_ptr;
   return ExperimentRunner(config, evaluator).run_all();
 }
 
@@ -67,7 +68,8 @@ TEST(Persistence, PreservesFailureRecords) {
   config.driver.farm.max_attempts = 1;  // node death == failed evaluation
   config.driver.farm.real_threads = 2;
   config.seeds = {9};
-  const SurrogateEvaluator evaluator;
+  const auto evaluator_ptr = make_evaluator(EvalBackendConfig{});
+  const Evaluator& evaluator = *evaluator_ptr;
   const auto runs = ExperimentRunner(config, evaluator).run_all();
   const auto back = runs_from_json(runs_to_json(runs));
   std::size_t failures_before = 0, failures_after = 0;

@@ -13,7 +13,8 @@ namespace {
 
 RunRecord run_with_runtime_objective(std::uint64_t seed, std::size_t pop = 24,
                                      std::size_t gens = 4) {
-  const SurrogateEvaluator evaluator;
+  const auto evaluator_ptr = make_evaluator(EvalBackendConfig{});
+  const Evaluator& evaluator = *evaluator_ptr;
   DriverConfig config;
   config.population_size = pop;
   config.generations = gens;
@@ -50,7 +51,8 @@ TEST(RuntimeObjective, AnalysisLayerStillWorks) {
 TEST(RuntimeObjective, RuntimePressureKeepsFasterSolutions) {
   // With runtime as an objective, the final population retains genuinely
   // faster (small-rcut) solutions that the 2-objective run discards.
-  const SurrogateEvaluator evaluator;
+  const auto evaluator_ptr = make_evaluator(EvalBackendConfig{});
+  const Evaluator& evaluator = *evaluator_ptr;
   DriverConfig two_obj;
   two_obj.population_size = 40;
   two_obj.generations = 5;

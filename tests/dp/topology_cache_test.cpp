@@ -1,0 +1,115 @@
+// TopologyCache: cached neighbor topologies must equal fresh
+// build_topology() output entry for entry, and lookups past the warmed
+// range must fail loudly.
+#include "dp/topology_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hpc/thread_pool.hpp"
+#include "md/simulation.hpp"
+#include "util/error.hpp"
+
+namespace dpho::dp {
+namespace {
+
+class TopologyCacheSuite : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    md::SimulationConfig sim;
+    sim.spec = md::SystemSpec::scaled_system(1);  // 10 atoms
+    sim.num_frames = 6;
+    sim.equilibration_steps = 60;
+    sim.seed = 21;
+    data_ = new md::LabelledData(md::generate_reference_data(sim, 0.25));
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+
+  static DeepPotModel tiny_model() {
+    TrainInput config;
+    config.descriptor.rcut = 3.5;
+    config.descriptor.rcut_smth = 2.0;
+    config.descriptor.neuron = {4};
+    config.descriptor.axis_neuron = 2;
+    config.descriptor.sel = 24;
+    config.fitting.neuron = {6};
+    return DeepPotModel(config, data_->train.types(),
+                        data_->train.mean_energy_per_atom(), 7);
+  }
+
+  static md::LabelledData* data_;
+};
+
+md::LabelledData* TopologyCacheSuite::data_ = nullptr;
+
+void expect_same_topology(const NeighborTopology& got, const NeighborTopology& want) {
+  ASSERT_EQ(got.entries.size(), want.entries.size());
+  for (std::size_t a = 0; a < got.entries.size(); ++a) {
+    ASSERT_EQ(got.entries[a].size(), want.entries[a].size()) << "atom " << a;
+    for (std::size_t n = 0; n < got.entries[a].size(); ++n) {
+      EXPECT_EQ(got.entries[a][n].j, want.entries[a][n].j);
+      for (std::size_t k = 0; k < 3; ++k) {
+        EXPECT_EQ(got.entries[a][n].shift[k], want.entries[a][n].shift[k]);
+      }
+    }
+  }
+}
+
+TEST_F(TopologyCacheSuite, MatchesFreshBuildTopology) {
+  const DeepPotModel model = tiny_model();
+  TopologyCache cache;
+  cache.warm(model, data_->train, data_->train.size());
+  ASSERT_EQ(cache.size(), data_->train.size());
+  for (std::size_t i = 0; i < data_->train.size(); ++i) {
+    expect_same_topology(cache.at(i), model.build_topology(data_->train.frame(i)));
+  }
+}
+
+TEST_F(TopologyCacheSuite, ParallelWarmMatchesSerialWarm) {
+  const DeepPotModel model = tiny_model();
+  TopologyCache serial;
+  serial.warm(model, data_->train, data_->train.size());
+  hpc::ThreadPool pool(3);
+  TopologyCache threaded;
+  threaded.warm(model, data_->train, data_->train.size(), &pool);
+  ASSERT_EQ(threaded.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    expect_same_topology(threaded.at(i), serial.at(i));
+  }
+}
+
+TEST_F(TopologyCacheSuite, WarmClampsAndExtends) {
+  const DeepPotModel model = tiny_model();
+  TopologyCache cache;
+  cache.warm(model, data_->train, 2);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_THROW(cache.at(2), util::ValueError);
+  // Extending covers the remaining frames; re-warming is a no-op.
+  cache.warm(model, data_->train, data_->train.size() + 100);
+  EXPECT_EQ(cache.size(), data_->train.size());
+  cache.warm(model, data_->train, 1);
+  EXPECT_EQ(cache.size(), data_->train.size());
+  expect_same_topology(cache.at(cache.size() - 1),
+                       model.build_topology(data_->train.frame(cache.size() - 1)));
+}
+
+TEST_F(TopologyCacheSuite, PredictionsWithCachedTopologyMatch) {
+  const DeepPotModel model = tiny_model();
+  TopologyCache cache;
+  cache.warm(model, data_->train, data_->train.size());
+  const md::Frame& frame = data_->train.frame(0);
+  const md::ForceEnergy fresh = model.energy_forces(frame);
+  const md::ForceEnergy cached = model.energy_forces(frame, cache.at(0));
+  EXPECT_EQ(fresh.energy, cached.energy);
+  ASSERT_EQ(fresh.forces.size(), cached.forces.size());
+  for (std::size_t a = 0; a < fresh.forces.size(); ++a) {
+    for (std::size_t k = 0; k < 3; ++k) {
+      EXPECT_EQ(fresh.forces[a][k], cached.forces[a][k]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dpho::dp

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+
+#include "hpc/thread_pool.hpp"
 #include "md/simulation.hpp"
 #include "util/error.hpp"
 
@@ -125,6 +128,56 @@ TEST_F(TrainerSuite, HugeLearningRateFailsToLearn) {
   } catch (const util::Error&) {
     SUCCEED();  // diverged, as the real DeePMD would
   }
+}
+
+void expect_bit_identical_lcurves(const TrainResult& a, const TrainResult& b) {
+  const auto bits = [](double x) { return std::bit_cast<std::uint64_t>(x); };
+  ASSERT_EQ(a.lcurve.rows().size(), b.lcurve.rows().size());
+  for (std::size_t i = 0; i < a.lcurve.rows().size(); ++i) {
+    const LcurveRow& ra = a.lcurve.rows()[i];
+    const LcurveRow& rb = b.lcurve.rows()[i];
+    EXPECT_EQ(ra.step, rb.step);
+    EXPECT_EQ(bits(ra.rmse_e_val), bits(rb.rmse_e_val)) << "row " << i;
+    EXPECT_EQ(bits(ra.rmse_e_trn), bits(rb.rmse_e_trn)) << "row " << i;
+    EXPECT_EQ(bits(ra.rmse_f_val), bits(rb.rmse_f_val)) << "row " << i;
+    EXPECT_EQ(bits(ra.rmse_f_trn), bits(rb.rmse_f_trn)) << "row " << i;
+    EXPECT_EQ(bits(ra.lr), bits(rb.lr)) << "row " << i;
+  }
+  EXPECT_EQ(bits(a.rmse_e_val), bits(b.rmse_e_val));
+  EXPECT_EQ(bits(a.rmse_f_val), bits(b.rmse_f_val));
+}
+
+TEST_F(TrainerSuite, ParallelLcurveBitIdenticalToSerial) {
+  // The determinism contract of the data-parallel hot path: for a given seed
+  // the lcurve is bit-identical at ANY thread count (fixed-order reduction).
+  TrainInput config = tiny_config(20);
+  config.training.batch_size = 4;
+  Trainer serial(config, data_->train, data_->validation);
+  const TrainResult serial_result = serial.train();
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    TrainerOptions options;
+    options.num_threads = threads;
+    Trainer threaded(config, data_->train, data_->validation, options);
+    const TrainResult threaded_result = threaded.train();
+    expect_bit_identical_lcurves(serial_result, threaded_result);
+    EXPECT_EQ(threaded_result.steps_completed, serial_result.steps_completed);
+  }
+}
+
+TEST_F(TrainerSuite, InjectedPoolMatchesOwnedPool) {
+  TrainInput config = tiny_config(12);
+  config.training.batch_size = 3;
+  TrainerOptions owned;
+  owned.num_threads = 3;
+  Trainer a(config, data_->train, data_->validation, owned);
+  const TrainResult result_owned = a.train();
+
+  hpc::ThreadPool shared(3);
+  TrainerOptions injected;
+  injected.pool = &shared;
+  Trainer b(config, data_->train, data_->validation, injected);
+  const TrainResult result_injected = b.train();
+  expect_bit_identical_lcurves(result_owned, result_injected);
 }
 
 TEST_F(TrainerSuite, WorkerScalingAffectsEffectiveLr) {

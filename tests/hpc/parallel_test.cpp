@@ -1,0 +1,116 @@
+// hpc/parallel.hpp helpers plus the nested-parallel_for regression: a
+// parallel_for body issuing another parallel_for on the same pool must
+// complete instead of deadlocking (workers help drain inner loops).
+#include "hpc/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+
+#include "hpc/thread_pool.hpp"
+#include "util/error.hpp"
+
+namespace dpho::hpc {
+namespace {
+
+TEST(ParallelMap, SerialWhenPoolIsNull) {
+  const std::vector<int> out =
+      parallel_map<int>(nullptr, 10, [](std::size_t i) { return static_cast<int>(i * i); });
+  ASSERT_EQ(out.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(out[i], static_cast<int>(i * i));
+}
+
+TEST(ParallelMap, PoolMatchesSerialExactly) {
+  ThreadPool pool(4);
+  const auto square_root = [](std::size_t i) {
+    return std::sqrt(static_cast<double>(i) + 0.1);
+  };
+  const std::vector<double> serial = parallel_map<double>(nullptr, 257, square_root);
+  const std::vector<double> threaded = parallel_map<double>(&pool, 257, square_root);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], threaded[i]);  // bit-identical, not just close
+  }
+}
+
+TEST(ParallelReduceOrdered, BitIdenticalAcrossThreadCounts) {
+  // A sum of values spanning many magnitudes: any reordering changes the
+  // rounding, so bit-equality proves the combine order is fixed.
+  const auto value = [](std::size_t i) {
+    return std::pow(10.0, static_cast<double>(i % 17) - 8.0);
+  };
+  const auto add = [](double& acc, double v, std::size_t) { acc += v; };
+  const double serial =
+      parallel_reduce_ordered<double, double>(nullptr, 500, 0.0, value, add);
+  for (const std::size_t threads : {2u, 3u, 8u}) {
+    ThreadPool pool(threads);
+    const double threaded =
+        parallel_reduce_ordered<double, double>(&pool, 500, 0.0, value, add);
+    EXPECT_EQ(serial, threaded) << threads << " threads";
+  }
+}
+
+TEST(ParallelReduceOrdered, CombineSeesIndices) {
+  const double got = parallel_reduce_ordered<double, double>(
+      nullptr, 4, 0.0, [](std::size_t i) { return static_cast<double>(i); },
+      [](double& acc, double v, std::size_t i) {
+        acc += v * static_cast<double>(i + 1);
+      });
+  EXPECT_DOUBLE_EQ(got, 0.0 * 1 + 1.0 * 2 + 2.0 * 3 + 3.0 * 4);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // Regression: the old future-per-chunk parallel_for deadlocked when a
+  // worker issued a nested parallel_for (all workers blocked waiting on
+  // tasks only they could run).  The work-claiming scheme lets the nested
+  // caller drain its own loop.
+  ThreadPool pool(2);
+  std::atomic<int> inner_hits{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    pool.parallel_for(8, [&](std::size_t) { inner_hits.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_hits.load(), 32);
+}
+
+TEST(ThreadPool, DeeplyNestedParallelForCompletes) {
+  ThreadPool pool(3);
+  std::atomic<int> leaf_hits{0};
+  pool.parallel_for(3, [&](std::size_t) {
+    pool.parallel_for(3, [&](std::size_t) {
+      pool.parallel_for(3, [&](std::size_t) { leaf_hits.fetch_add(1); });
+    });
+  });
+  EXPECT_EQ(leaf_hits.load(), 27);
+}
+
+TEST(ThreadPool, NestedParallelForPropagatesInnerException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(2,
+                                 [&](std::size_t) {
+                                   pool.parallel_for(4, [](std::size_t i) {
+                                     if (i == 3) throw util::ValueError("inner");
+                                   });
+                                 }),
+               util::ValueError);
+}
+
+TEST(ThreadPool, ParallelForReportsLowestIndexException) {
+  // The contract: when several iterations throw, the caller sees the
+  // lowest-index exception, deterministically.
+  ThreadPool pool(4);
+  for (int repeat = 0; repeat < 20; ++repeat) {
+    try {
+      pool.parallel_for(64, [](std::size_t i) {
+        if (i % 2 == 1) throw std::runtime_error(std::to_string(i));
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "1");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dpho::hpc

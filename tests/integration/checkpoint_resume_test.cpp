@@ -32,7 +32,8 @@ void expect_checkpoint_at(const std::filesystem::path& dir, std::size_t generati
 }
 
 TEST(CheckpointResume, ResumedRunEqualsUninterruptedRun) {
-  const SurrogateEvaluator evaluator;
+  const auto evaluator_ptr = make_evaluator(EvalBackendConfig{});
+  const Evaluator& evaluator = *evaluator_ptr;
   const std::uint64_t seed = 7;
 
   DriverConfig config = small_config();
@@ -59,7 +60,8 @@ TEST(CheckpointResume, ResumedRunEqualsUninterruptedRun) {
 TEST(CheckpointResume, ResumeSurvivesNodeFailures) {
   // The farm RNG stream and node-health map must resume bit-for-bit, or the
   // post-resume failure pattern diverges from the uninterrupted run.
-  const SurrogateEvaluator evaluator;
+  const auto evaluator_ptr = make_evaluator(EvalBackendConfig{});
+  const Evaluator& evaluator = *evaluator_ptr;
   const std::uint64_t seed = 3;
 
   DriverConfig config = small_config();
@@ -81,7 +83,8 @@ TEST(CheckpointResume, ResumeSurvivesNodeFailures) {
 }
 
 TEST(CheckpointResume, HaltAtGenerationZeroResumes) {
-  const SurrogateEvaluator evaluator;
+  const auto evaluator_ptr = make_evaluator(EvalBackendConfig{});
+  const Evaluator& evaluator = *evaluator_ptr;
   const std::uint64_t seed = 11;
 
   DriverConfig config = small_config();
@@ -101,7 +104,8 @@ TEST(CheckpointResume, HaltAtGenerationZeroResumes) {
 }
 
 TEST(CheckpointResume, ResumeWithoutCheckpointStartsFresh) {
-  const SurrogateEvaluator evaluator;
+  const auto evaluator_ptr = make_evaluator(EvalBackendConfig{});
+  const Evaluator& evaluator = *evaluator_ptr;
   DriverConfig config = small_config();
   const RunRecord full = Nsga2Driver(config, evaluator).run(5);
 
@@ -113,7 +117,8 @@ TEST(CheckpointResume, ResumeWithoutCheckpointStartsFresh) {
 }
 
 TEST(CheckpointResume, SeedMismatchIsRejected) {
-  const SurrogateEvaluator evaluator;
+  const auto evaluator_ptr = make_evaluator(EvalBackendConfig{});
+  const Evaluator& evaluator = *evaluator_ptr;
   DriverConfig config = small_config();
   util::TempDir dir("resume-seed");
   config.checkpoint_dir = dir.path();
@@ -127,7 +132,8 @@ TEST(CheckpointResume, SeedMismatchIsRejected) {
 }
 
 TEST(CheckpointResume, ExperimentRunnerResumesEverySeed) {
-  const SurrogateEvaluator evaluator;
+  const auto evaluator_ptr = make_evaluator(EvalBackendConfig{});
+  const Evaluator& evaluator = *evaluator_ptr;
 
   ExperimentConfig config;
   config.driver = small_config();

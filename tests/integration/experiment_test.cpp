@@ -24,7 +24,7 @@ class ExperimentSuite : public ::testing::Test {
     config.driver.farm.node_failure_probability = 0.0;  // config-driven failures only
     config.driver.farm.real_threads = 2;
     config.seeds = {1, 2, 3};
-    evaluator_ = new SurrogateEvaluator();
+    evaluator_ = make_evaluator(EvalBackendConfig{}).release();
     ExperimentRunner runner(config, *evaluator_);
     runs_ = new std::vector<RunRecord>(runner.run_all());
   }
@@ -35,11 +35,11 @@ class ExperimentSuite : public ::testing::Test {
     evaluator_ = nullptr;
   }
 
-  static SurrogateEvaluator* evaluator_;
+  static Evaluator* evaluator_;
   static std::vector<RunRecord>* runs_;
 };
 
-SurrogateEvaluator* ExperimentSuite::evaluator_ = nullptr;
+Evaluator* ExperimentSuite::evaluator_ = nullptr;
 std::vector<RunRecord>* ExperimentSuite::runs_ = nullptr;
 
 TEST_F(ExperimentSuite, AllRunsComplete) {

@@ -31,13 +31,19 @@ TEST(RealTrainingIntegration, MicroScaleEndToEnd) {
   options.base.training.numb_steps = 4;
   options.base.training.disp_freq = 4;
   options.wall_limit_seconds = 120.0;
-  const RealTrainingEvaluator evaluator(data.train, data.validation, options);
+  options.trainer_num_threads = 2;  // data-parallel gradients inside trainings
+  EvalBackendConfig backend;
+  backend.backend = EvalBackend::kRealTraining;
+  backend.train_data = &data.train;
+  backend.validation_data = &data.validation;
+  backend.real = options;
+  const std::unique_ptr<Evaluator> evaluator = make_evaluator(backend);
 
   DriverConfig config;
   config.population_size = 6;
   config.generations = 1;
   config.farm.real_threads = 2;
-  Nsga2Driver driver(config, evaluator);
+  Nsga2Driver driver(config, *evaluator);
   const RunRecord run = driver.run(3);
 
   ASSERT_EQ(run.generations.size(), 2u);

@@ -72,7 +72,7 @@ TEST_F(SubprocessSuite, ValidGenomeTrainsViaSubprocess) {
   util::Rng rng(1);
   const ea::Individual individual = ea::Individual::create(
       {0.004, 0.001, 3.2, 2.0, 2.3, 4.6, 4.2}, rng);
-  const hpc::WorkResult result = evaluator.evaluate(individual, 0);
+  const EvalOutcome result = evaluator.evaluate(individual, 0);
   ASSERT_FALSE(result.training_error);
   ASSERT_EQ(result.fitness.size(), 2u);
   EXPECT_GT(result.fitness[1], 0.0);
@@ -89,7 +89,7 @@ TEST_F(SubprocessSuite, InvalidRcutFailsViaSubprocessExitCode) {
   util::Rng rng(2);
   const ea::Individual individual = ea::Individual::create(
       {0.004, 0.001, 11.0, 2.0, 2.3, 4.6, 4.2}, rng);  // rcut > box/2
-  const hpc::WorkResult result = evaluator.evaluate(individual, 0);
+  const EvalOutcome result = evaluator.evaluate(individual, 0);
   EXPECT_TRUE(result.training_error);
   EXPECT_TRUE(result.fitness.empty());
 }

@@ -50,7 +50,7 @@ class SubprocessFaults : public ::testing::Test {
     return opts;
   }
 
-  hpc::WorkResult evaluate(const SubprocessEvalOptions& opts, std::uint64_t seed) {
+  EvalOutcome evaluate(const SubprocessEvalOptions& opts, std::uint64_t seed) {
     const SubprocessEvaluator evaluator(opts);
     util::Rng rng(seed);
     const ea::Individual individual = ea::Individual::create(kValidGenome, rng);
@@ -63,9 +63,9 @@ class SubprocessFaults : public ::testing::Test {
 TEST_F(SubprocessFaults, HealthyTrainerReportsFitness) {
   const auto bin = fake_trainer(
       "dp_ok.sh", std::string("printf '") + kGoodLcurve + "' > \"$5/lcurve.out\"");
-  const hpc::WorkResult result = evaluate(options(bin), 1);
+  const EvalOutcome result = evaluate(options(bin), 1);
   EXPECT_FALSE(result.training_error);
-  EXPECT_EQ(result.cause, hpc::FailureCause::kNone);
+  EXPECT_EQ(result.cause, FailureCause::kNone);
   EXPECT_EQ(result.attempts, 1u);
   ASSERT_EQ(result.fitness.size(), 2u);
   EXPECT_DOUBLE_EQ(result.fitness[0], 0.01);
@@ -76,9 +76,9 @@ TEST_F(SubprocessFaults, MissingLcurveRetriedThenReported) {
   // Exit 0 but no artifact: a flaky filesystem; transient, so the retry
   // budget is spent before giving up.
   const auto bin = fake_trainer("dp_missing.sh", "exit 0");
-  const hpc::WorkResult result = evaluate(options(bin), 2);
+  const EvalOutcome result = evaluate(options(bin), 2);
   EXPECT_TRUE(result.training_error);
-  EXPECT_EQ(result.cause, hpc::FailureCause::kMissingArtifact);
+  EXPECT_EQ(result.cause, FailureCause::kMissingArtifact);
   EXPECT_EQ(result.attempts, 2u);  // max_attempts exhausted
   EXPECT_TRUE(result.fitness.empty());
 }
@@ -86,9 +86,9 @@ TEST_F(SubprocessFaults, MissingLcurveRetriedThenReported) {
 TEST_F(SubprocessFaults, CorruptLcurveRetriedThenReported) {
   const auto bin = fake_trainer(
       "dp_corrupt.sh", "printf 'x\\x01\\x02 truncated garbage' > \"$5/lcurve.out\"");
-  const hpc::WorkResult result = evaluate(options(bin), 3);
+  const EvalOutcome result = evaluate(options(bin), 3);
   EXPECT_TRUE(result.training_error);
-  EXPECT_EQ(result.cause, hpc::FailureCause::kCorruptArtifact);
+  EXPECT_EQ(result.cause, FailureCause::kCorruptArtifact);
   EXPECT_EQ(result.attempts, 2u);
 }
 
@@ -96,26 +96,26 @@ TEST_F(SubprocessFaults, NanLcurveIsDeterministicAndNotRetried) {
   // Divergence reproduces on retry; burning the budget would be pointless.
   const auto bin = fake_trainer(
       "dp_nan.sh", std::string("printf '") + kNanLcurve + "' > \"$5/lcurve.out\"");
-  const hpc::WorkResult result = evaluate(options(bin), 4);
+  const EvalOutcome result = evaluate(options(bin), 4);
   EXPECT_TRUE(result.training_error);
-  EXPECT_EQ(result.cause, hpc::FailureCause::kNonFiniteFitness);
+  EXPECT_EQ(result.cause, FailureCause::kNonFiniteFitness);
   EXPECT_EQ(result.attempts, 1u);
 }
 
 TEST_F(SubprocessFaults, NonZeroExitNotRetried) {
   const auto bin = fake_trainer("dp_fail.sh", "exit 5");
-  const hpc::WorkResult result = evaluate(options(bin), 5);
+  const EvalOutcome result = evaluate(options(bin), 5);
   EXPECT_TRUE(result.training_error);
-  EXPECT_EQ(result.cause, hpc::FailureCause::kNonZeroExit);
+  EXPECT_EQ(result.cause, FailureCause::kNonZeroExit);
   EXPECT_EQ(result.attempts, 1u);
 }
 
 TEST_F(SubprocessFaults, WallLimitExitMapsToTimeout) {
   const auto bin = fake_trainer("dp_timeout.sh", "exit 3");
-  const hpc::WorkResult result = evaluate(options(bin), 6);
-  EXPECT_EQ(result.cause, hpc::FailureCause::kWallLimit);
+  const EvalOutcome result = evaluate(options(bin), 6);
+  EXPECT_EQ(result.cause, FailureCause::kWallLimit);
   EXPECT_EQ(result.attempts, 1u);
-  EXPECT_GE(result.sim_minutes, 1e9);  // past any task limit -> farm timeout
+  EXPECT_GE(result.runtime_minutes, 1e9);  // past any task limit -> farm timeout
 }
 
 TEST_F(SubprocessFaults, WatchdogKillsHungChild) {
@@ -123,17 +123,17 @@ TEST_F(SubprocessFaults, WatchdogKillsHungChild) {
   SubprocessEvalOptions opts = options(bin);
   opts.wall_limit_seconds = 0.1;      // the child ignores its wall limit...
   opts.watchdog_grace_seconds = 0.2;  // ...so the watchdog steps in at 0.3 s
-  const hpc::WorkResult result = evaluate(opts, 7);
-  EXPECT_EQ(result.cause, hpc::FailureCause::kHungProcess);
+  const EvalOutcome result = evaluate(opts, 7);
+  EXPECT_EQ(result.cause, FailureCause::kHungProcess);
   EXPECT_EQ(result.attempts, 2u);  // hangs are transient: retried once
-  EXPECT_GE(result.sim_minutes, 1e9);
+  EXPECT_GE(result.runtime_minutes, 1e9);
 }
 
 TEST_F(SubprocessFaults, MissingBinaryReportsNonZeroExit) {
   SubprocessEvalOptions opts = options(dir_->path() / "no-such-binary");
-  const hpc::WorkResult result = evaluate(opts, 8);
+  const EvalOutcome result = evaluate(opts, 8);
   EXPECT_TRUE(result.training_error);
-  EXPECT_EQ(result.cause, hpc::FailureCause::kNonZeroExit);  // exec -> 127
+  EXPECT_EQ(result.cause, FailureCause::kNonZeroExit);  // exec -> 127
 }
 
 }  // namespace
