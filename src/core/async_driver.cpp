@@ -1,34 +1,13 @@
 #include "core/async_driver.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <queue>
-
+#include "core/engine.hpp"
 #include "util/error.hpp"
 
 namespace dpho::core {
 
-namespace {
-
-EvalRecord to_record(const ea::Individual& individual, int birth_index) {
-  EvalRecord record;
-  record.genome = individual.genome;
-  record.fitness = individual.fitness;
-  record.runtime_minutes = individual.eval_runtime_minutes;
-  record.status = individual.status;
-  record.generation = birth_index;  // async: birth index stands in for "generation"
-  record.uuid = individual.uuid.str();
-  return record;
-}
-
-}  // namespace
-
 AsyncSteadyStateDriver::AsyncSteadyStateDriver(AsyncDriverConfig config,
                                                const Evaluator& evaluator)
-    : config_(std::move(config)), evaluator_(evaluator),
-      genome_layout_(config_.representation
-                         ? *config_.representation
-                         : DeepMDRepresentation().representation()) {
+    : config_(std::move(config)), evaluator_(evaluator) {
   if (config_.num_workers == 0) throw util::ValueError("async: need >= 1 worker");
   if (config_.population_capacity == 0) {
     throw util::ValueError("async: need a positive archive capacity");
@@ -38,111 +17,26 @@ AsyncSteadyStateDriver::AsyncSteadyStateDriver(AsyncDriverConfig config,
   }
 }
 
-AsyncRunRecord AsyncSteadyStateDriver::run(std::uint64_t seed) {
-  util::Rng rng(seed);
-  ea::Context context;
-  context.mutation_std() = genome_layout_.initial_stds();
-  const std::vector<ea::Range> bounds = genome_layout_.bounds();
-  // Generational annealing multiplies sigma by 0.85 per mu births; apply the
-  // equivalent per-birth factor so schedules match at equal budgets.
-  const double per_birth_anneal = std::pow(
-      config_.anneal_factor, 1.0 / static_cast<double>(config_.population_capacity));
-
-  AsyncRunRecord record;
-  record.seed = seed;
-
-  struct InFlight {
-    double finish_at = 0.0;
-    std::size_t worker = 0;
-    ea::Individual individual;
-    bool operator>(const InFlight& other) const { return finish_at > other.finish_at; }
-  };
-  std::priority_queue<InFlight, std::vector<InFlight>, std::greater<>> in_flight;
-
-  std::size_t births = 0;
-  double busy_minutes = 0.0;
-
-  // Launch one evaluation: decode the outcome immediately but reveal it at
-  // its simulated completion time.
-  const auto launch = [&](ea::Individual individual, std::size_t worker, double now) {
-    std::uint64_t eval_seed = util::hash_combine(seed, births);
-    for (double gene : individual.genome) {
-      eval_seed = util::hash_combine(
-          eval_seed, static_cast<std::uint64_t>(std::llround(gene * 1e9)));
-    }
-    const EvalOutcome result = evaluator_.evaluate(individual, eval_seed);
-    double minutes = result.runtime_minutes;
-    if (result.training_error) {
-      minutes = std::min(1.0, minutes);
-      individual.status = ea::EvalStatus::kTrainingError;
-    } else if (minutes > config_.task_timeout_minutes) {
-      minutes = config_.task_timeout_minutes;
-      individual.status = ea::EvalStatus::kTimeout;
-    } else {
-      individual.status = ea::EvalStatus::kOk;
-      individual.fitness = result.fitness;
-    }
-    if (individual.status != ea::EvalStatus::kOk) {
-      individual.fitness = {ea::kFailureFitness, ea::kFailureFitness};
-    }
-    individual.eval_runtime_minutes = minutes;
-    busy_minutes += minutes;
-    in_flight.push(InFlight{now + minutes, worker, std::move(individual)});
-    ++births;
-  };
-
-  // Initial wave: one random individual per worker.
-  for (std::size_t worker = 0; worker < config_.num_workers; ++worker) {
-    launch(genome_layout_.create_individual(rng, 0), worker, 0.0);
-  }
-
-  ea::Population archive;
-  double now = 0.0;
-  while (!in_flight.empty()) {
-    InFlight done = in_flight.top();
-    in_flight.pop();
-    now = done.finish_at;
-    if (done.individual.status != ea::EvalStatus::kOk) ++record.failures;
-    record.evaluations.push_back(
-        to_record(done.individual, static_cast<int>(record.evaluations.size())));
-    archive.push_back(std::move(done.individual));
-
-    // Steady-state survivor truncation.
-    if (archive.size() > config_.population_capacity) {
-      std::vector<moo::ObjectiveVector> objectives;
-      objectives.reserve(archive.size());
-      for (const auto& ind : archive) objectives.push_back(ind.fitness);
-      const auto survivors =
-          moo::nsga2_select(objectives, config_.population_capacity,
-                            config_.sort_backend);
-      ea::Population next;
-      next.reserve(survivors.size());
-      for (std::size_t i : survivors) next.push_back(std::move(archive[i]));
-      archive = std::move(next);
-    }
-
-    // Refill the idle worker immediately (Listing-1 variation, no barrier).
-    if (births < config_.total_evaluations) {
-      const auto pick = static_cast<std::size_t>(
-          rng.uniform_int(0, static_cast<std::int64_t>(archive.size()) - 1));
-      ea::Individual child = archive[pick].clone(rng);
-      const ea::StreamOp mutate = ea::mutate_gaussian(context, bounds, rng);
-      child = mutate(child);
-      child.birth_generation = static_cast<int>(births);
-      context.anneal_mutation_std(per_birth_anneal);
-      launch(std::move(child), done.worker, now);
-    }
-  }
-
-  record.total_minutes = now;
-  record.busy_fraction =
-      now > 0.0 ? busy_minutes / (now * static_cast<double>(config_.num_workers))
-                : 0.0;
-  for (const auto& individual : archive) {
-    record.final_population.push_back(
-        to_record(individual, individual.birth_generation));
-  }
-  return record;
+RunRecord AsyncSteadyStateDriver::run(std::uint64_t seed) {
+  EngineConfig engine_config;
+  engine_config.mode = ScheduleMode::kSteadyState;
+  engine_config.population_size = config_.population_capacity;
+  engine_config.num_workers = config_.num_workers;
+  engine_config.total_evaluations = config_.total_evaluations;
+  engine_config.anneal_factor = config_.anneal_factor;
+  engine_config.anneal_enabled = config_.anneal_enabled;
+  engine_config.sort_backend = config_.sort_backend;
+  engine_config.cluster = config_.cluster;
+  engine_config.farm = config_.farm;
+  engine_config.farm.task_timeout_minutes = config_.task_timeout_minutes;
+  engine_config.include_runtime_objective = config_.include_runtime_objective;
+  engine_config.representation = config_.representation;
+  engine_config.checkpoint_dir = config_.checkpoint_dir;
+  engine_config.resume = config_.resume;
+  engine_config.halt_after_evaluations = config_.halt_after_evaluations;
+  engine_config.checkpoint_every = config_.checkpoint_every;
+  engine_config.trace_dir = config_.trace_dir;
+  return EvolutionEngine(std::move(engine_config), evaluator_).run(seed);
 }
 
 }  // namespace dpho::core

@@ -10,8 +10,12 @@
 // on the now-idle node -- no barrier, near-perfect utilization when training
 // runtimes vary (which they do: rcut alone spans ~30-78 minutes).
 //
-// bench_async_ablation quantifies the wall-clock/utilization win over the
-// generational driver at equal evaluation budgets.
+// This driver is a thin facade over core::EvolutionEngine in steady-state
+// mode: evaluations route through hpc::DaskCluster's streaming session, so
+// FaultPlan injection, retry accounting, node-health tracking, trace export
+// and crash-safe checkpoint/resume behave exactly as in the generational
+// deployment.  bench_async_ablation quantifies the wall-clock/utilization
+// win over the generational schedule at equal evaluation budgets.
 #pragma once
 
 #include <cstdint>
@@ -26,30 +30,31 @@ struct AsyncDriverConfig {
   std::size_t population_capacity = 100;  // archive size mu
   std::size_t total_evaluations = 700;    // same budget as 7 x 100 generational
   double anneal_factor = 0.85;            // applied per mu births (paper-equivalent)
+  bool anneal_enabled = true;             // ablation hook
   double task_timeout_minutes = 120.0;
   moo::SortBackend sort_backend = moo::SortBackend::kRankOrdinal;
+  hpc::ClusterSpec cluster = hpc::ClusterSpec::summit();
+  hpc::FarmConfig farm;                   // faults, retries, node-failure model
+  bool include_runtime_objective = false;
   std::optional<ea::Representation> representation;  // default: 7-gene DeepMD
-};
-
-struct AsyncRunRecord {
-  std::uint64_t seed = 0;
-  std::vector<EvalRecord> evaluations;   // completion order; runtime + status set
-  std::vector<EvalRecord> final_population;
-  double total_minutes = 0.0;            // simulated time to finish the budget
-  double busy_fraction = 0.0;            // mean worker utilization in [0,1]
-  std::size_t failures = 0;
+  std::optional<std::filesystem::path> checkpoint_dir;
+  bool resume = false;
+  std::optional<std::size_t> halt_after_evaluations;  // graceful preemption
+  std::size_t checkpoint_every = 1;       // completions between checkpoints
+  std::optional<std::filesystem::path> trace_dir;
 };
 
 class AsyncSteadyStateDriver {
  public:
   AsyncSteadyStateDriver(AsyncDriverConfig config, const Evaluator& evaluator);
 
-  AsyncRunRecord run(std::uint64_t seed);
+  /// Runs the full budget; the returned record's mode is kSteadyState and
+  /// its "generations" are waves of population_capacity completions.
+  RunRecord run(std::uint64_t seed);
 
  private:
   AsyncDriverConfig config_;
   const Evaluator& evaluator_;
-  ea::Representation genome_layout_;
 };
 
 }  // namespace dpho::core

@@ -129,6 +129,37 @@ ea::Individual individual_from_json(const util::Json& json) {
   return individual;
 }
 
+util::Json task_report_to_json(const hpc::TaskReport& report) {
+  util::Json json;
+  json["status"] = hpc::to_string(report.status);
+  util::JsonArray fitness;
+  for (double f : report.fitness) fitness.emplace_back(f);
+  json["fitness"] = util::Json(std::move(fitness));
+  json["sim_minutes"] = report.sim_minutes;
+  json["finish_minute"] = report.finish_minute;
+  json["attempts"] = report.attempts;
+  json["payload_attempts"] = report.payload_attempts;
+  json["node"] = report.node;
+  json["cause"] = hpc::to_string(report.cause);
+  return json;
+}
+
+hpc::TaskReport task_report_from_json(const util::Json& json) {
+  hpc::TaskReport report;
+  report.status = hpc::task_status_from_string(json.at("status").as_string());
+  for (const util::Json& f : json.at("fitness").as_array()) {
+    report.fitness.push_back(f.as_number());
+  }
+  report.sim_minutes = json.at("sim_minutes").as_number();
+  report.finish_minute = json.at("finish_minute").as_number();
+  report.attempts = static_cast<std::size_t>(json.at("attempts").as_int());
+  report.payload_attempts =
+      static_cast<std::size_t>(json.at("payload_attempts").as_int());
+  report.node = static_cast<std::size_t>(json.at("node").as_int());
+  report.cause = hpc::failure_cause_from_string(json.at("cause").as_string());
+  return report;
+}
+
 util::Json farm_snapshot_to_json(const hpc::FarmSnapshot& farm) {
   util::Json json;
   json["clock_minutes"] = farm.clock_minutes;
@@ -143,6 +174,35 @@ util::Json farm_snapshot_to_json(const hpc::FarmSnapshot& farm) {
   json["tasks_run_on_node"] = util::Json(std::move(nodes));
   json["rng"] = rng_state_to_json(farm.rng);
   json["batches_run"] = farm.batches_run;
+  // Stream-session state (schema 2); only written while a steady-state
+  // session is open, so generational checkpoints stay unchanged on disk.
+  if (farm.stream_active) {
+    json["stream_active"] = true;
+    json["stream_now"] = farm.stream_now;
+    json["stream_batch"] = farm.stream_batch;
+    json["stream_node_failures"] = farm.stream_node_failures;
+    json["stream_scheduler_restarts"] = farm.stream_scheduler_restarts;
+    util::JsonArray free_at;
+    for (double minute : farm.stream_free_at) free_at.emplace_back(minute);
+    json["stream_free_at"] = util::Json(std::move(free_at));
+    util::JsonArray in_flight;
+    for (const hpc::InFlightTask& task : farm.stream_in_flight) {
+      util::Json entry;
+      entry["id"] = task.id;
+      entry["finish_at"] = task.finish_at;
+      entry["report"] = task_report_to_json(task.report);
+      in_flight.push_back(std::move(entry));
+    }
+    json["stream_in_flight"] = util::Json(std::move(in_flight));
+    util::JsonArray delivered;
+    for (const hpc::StreamCompletion& done : farm.stream_delivered) {
+      util::Json entry;
+      entry["id"] = done.id;
+      entry["report"] = task_report_to_json(done.report);
+      delivered.push_back(std::move(entry));
+    }
+    json["stream_delivered"] = util::Json(std::move(delivered));
+  }
   return json;
 }
 
@@ -157,6 +217,31 @@ hpc::FarmSnapshot farm_snapshot_from_json(const util::Json& json) {
   }
   farm.rng = rng_state_from_json(json.at("rng"));
   farm.batches_run = static_cast<std::size_t>(json.at("batches_run").as_int());
+  if (json.contains("stream_active") && json.at("stream_active").as_bool()) {
+    farm.stream_active = true;
+    farm.stream_now = json.at("stream_now").as_number();
+    farm.stream_batch = static_cast<std::size_t>(json.at("stream_batch").as_int());
+    farm.stream_node_failures =
+        static_cast<std::size_t>(json.at("stream_node_failures").as_int());
+    farm.stream_scheduler_restarts =
+        static_cast<std::size_t>(json.at("stream_scheduler_restarts").as_int());
+    for (const util::Json& minute : json.at("stream_free_at").as_array()) {
+      farm.stream_free_at.push_back(minute.as_number());
+    }
+    for (const util::Json& entry : json.at("stream_in_flight").as_array()) {
+      hpc::InFlightTask task;
+      task.id = static_cast<std::size_t>(entry.at("id").as_int());
+      task.finish_at = entry.at("finish_at").as_number();
+      task.report = task_report_from_json(entry.at("report"));
+      farm.stream_in_flight.push_back(std::move(task));
+    }
+    for (const util::Json& entry : json.at("stream_delivered").as_array()) {
+      hpc::StreamCompletion done;
+      done.id = static_cast<std::size_t>(entry.at("id").as_int());
+      done.report = task_report_from_json(entry.at("report"));
+      farm.stream_delivered.push_back(std::move(done));
+    }
+  }
   return farm;
 }
 
@@ -193,6 +278,23 @@ util::Json CheckpointManager::to_json(const DriverCheckpoint& checkpoint) {
     generations.push_back(generation_to_json(gen));
   }
   json["generations"] = util::Json(std::move(generations));
+  json["mode"] = to_string(checkpoint.mode);
+  if (checkpoint.mode == ScheduleMode::kSteadyState) {
+    json["births"] = checkpoint.births;
+    json["wave_started_minutes"] = checkpoint.wave_started_minutes;
+    json["wave_node_failures_base"] = checkpoint.wave_node_failures_base;
+    if (checkpoint.partial_wave) {
+      json["partial_wave"] = generation_to_json(*checkpoint.partial_wave);
+    }
+    util::JsonArray in_flight;
+    for (const InFlightBirth& birth : checkpoint.in_flight) {
+      util::Json entry;
+      entry["id"] = birth.id;
+      entry["individual"] = individual_to_json(birth.individual);
+      in_flight.push_back(std::move(entry));
+    }
+    json["in_flight"] = util::Json(std::move(in_flight));
+  }
   return json;
 }
 
@@ -200,10 +302,15 @@ DriverCheckpoint CheckpointManager::from_json(const util::Json& json) {
   if (json.string_or("format", "") != kFormatTag) {
     throw util::ParseError("not a dpho checkpoint document");
   }
-  if (static_cast<int>(json.number_or("schema", -1.0)) != kSchemaVersion) {
+  // Version 1 lacked the mode tag and stream state but is otherwise a valid
+  // generational checkpoint; refuse anything newer than we understand.
+  const int schema = static_cast<int>(json.number_or("schema", -1.0));
+  if (schema < 1 || schema > kSchemaVersion) {
     throw util::ParseError("unsupported checkpoint schema version");
   }
   DriverCheckpoint checkpoint;
+  checkpoint.mode = schedule_mode_from_string(
+      json.string_or("mode", to_string(ScheduleMode::kGenerational)));
   checkpoint.seed = hex_to_u64(json.at("seed").as_string());
   checkpoint.completed_generations =
       static_cast<std::size_t>(json.at("completed_generations").as_int());
@@ -217,6 +324,21 @@ DriverCheckpoint CheckpointManager::from_json(const util::Json& json) {
   checkpoint.farm = farm_snapshot_from_json(json.at("farm"));
   for (const util::Json& gen : json.at("generations").as_array()) {
     checkpoint.generations.push_back(generation_from_json(gen));
+  }
+  if (checkpoint.mode == ScheduleMode::kSteadyState) {
+    checkpoint.births = static_cast<std::size_t>(json.at("births").as_int());
+    checkpoint.wave_started_minutes = json.at("wave_started_minutes").as_number();
+    checkpoint.wave_node_failures_base =
+        static_cast<std::size_t>(json.at("wave_node_failures_base").as_int());
+    if (json.contains("partial_wave")) {
+      checkpoint.partial_wave = generation_from_json(json.at("partial_wave"));
+    }
+    for (const util::Json& entry : json.at("in_flight").as_array()) {
+      InFlightBirth birth;
+      birth.id = static_cast<std::size_t>(entry.at("id").as_int());
+      birth.individual = individual_from_json(entry.at("individual"));
+      checkpoint.in_flight.push_back(std::move(birth));
+    }
   }
   return checkpoint;
 }

@@ -33,17 +33,33 @@
 
 namespace dpho::core {
 
-/// Everything needed to resume Nsga2Driver::run after generation
-/// `completed_generations` and reproduce the uninterrupted RunRecord
-/// bit-for-bit.
+/// One in-flight steady-state offspring: submitted to the farm (task id) but
+/// not yet delivered back to the engine.
+struct InFlightBirth {
+  std::size_t id = 0;       // farm stream task id == birth index
+  ea::Individual individual;
+};
+
+/// Everything needed to resume an EvolutionEngine run bit-for-bit.  For
+/// generational runs `completed_generations` is the index of the last
+/// finished wave; for steady-state runs it counts delivered completions, and
+/// the in-flight/wave fields capture the mid-wave event-loop state (the farm
+/// snapshot holds the matching stream-session state).
 struct DriverCheckpoint {
   std::uint64_t seed = 0;
-  std::size_t completed_generations = 0;  // index of the last finished wave
-  ea::Population parents;                 // survivors after that wave
+  ScheduleMode mode = ScheduleMode::kGenerational;
+  std::size_t completed_generations = 0;  // generational: waves; async: completions
+  ea::Population parents;                 // survivors / current archive
   util::RngState rng;                     // driver stream
   std::vector<double> mutation_std;       // post-anneal sigma vector
   hpc::FarmSnapshot farm;                 // job clock + node health + farm rng
-  std::vector<GenerationRecord> generations;  // records for waves 0..k
+  std::vector<GenerationRecord> generations;  // completed waves
+  // Steady-state extras (defaults for generational checkpoints).
+  std::size_t births = 0;                    // offspring submitted so far
+  double wave_started_minutes = 0.0;         // session time the open wave began
+  std::size_t wave_node_failures_base = 0;   // node-failure count at wave start
+  std::optional<GenerationRecord> partial_wave;  // the open wave's records
+  std::vector<InFlightBirth> in_flight;      // submitted, not yet delivered
 };
 
 /// Atomic, versioned persistence of DriverCheckpoints in one directory.
@@ -51,7 +67,9 @@ class CheckpointManager {
  public:
   /// Bump on any incompatible change to the checkpoint JSON layout; load()
   /// refuses mismatched documents rather than resuming from garbage.
-  static constexpr int kSchemaVersion = 1;
+  /// Version 2 added the schedule mode tag and the steady-state stream/
+  /// in-flight state; version-1 documents still load (as generational).
+  static constexpr int kSchemaVersion = 2;
 
   /// Creates `dir` (and parents) if missing.
   explicit CheckpointManager(std::filesystem::path dir);

@@ -1,225 +1,70 @@
 #include "core/driver.hpp"
 
-#include <algorithm>
-#include <cmath>
-
-#include "core/checkpoint.hpp"
-#include "core/eval_adapter.hpp"
+#include "core/engine.hpp"
 #include "util/error.hpp"
-#include "util/log.hpp"
 
 namespace dpho::core {
 
-namespace {
-
-ea::EvalStatus to_eval_status(hpc::TaskStatus status) {
-  switch (status) {
-    case hpc::TaskStatus::kOk: return ea::EvalStatus::kOk;
-    case hpc::TaskStatus::kTimeout: return ea::EvalStatus::kTimeout;
-    case hpc::TaskStatus::kTrainingError: return ea::EvalStatus::kTrainingError;
-    case hpc::TaskStatus::kNodeFailure: return ea::EvalStatus::kNodeFailure;
+std::string to_string(ScheduleMode mode) {
+  switch (mode) {
+    case ScheduleMode::kGenerational: return "generational";
+    case ScheduleMode::kSteadyState: return "steady_state";
   }
-  throw util::ValueError("invalid task status");
+  throw util::ValueError("invalid schedule mode");
 }
 
-EvalRecord to_record(const ea::Individual& individual, int generation) {
-  EvalRecord record;
-  record.genome = individual.genome;
-  record.fitness = individual.fitness;
-  record.runtime_minutes = individual.eval_runtime_minutes;
-  record.status = individual.status;
-  record.attempts = individual.eval_attempts;
-  record.failure_cause = individual.failure_cause;
-  record.generation = generation;
-  record.uuid = individual.uuid.str();
-  return record;
+ScheduleMode schedule_mode_from_string(const std::string& name) {
+  for (const ScheduleMode mode :
+       {ScheduleMode::kGenerational, ScheduleMode::kSteadyState}) {
+    if (to_string(mode) == name) return mode;
+  }
+  throw util::ParseError("unknown schedule mode: " + name);
 }
 
-}  // namespace
+std::vector<EvalRecord> RunRecord::all_evaluations() const {
+  std::vector<EvalRecord> all;
+  for (const GenerationRecord& gen : generations) {
+    all.insert(all.end(), gen.evaluated.begin(), gen.evaluated.end());
+  }
+  return all;
+}
+
+std::size_t RunRecord::total_evaluations() const {
+  std::size_t count = 0;
+  for (const GenerationRecord& gen : generations) count += gen.evaluated.size();
+  return count;
+}
+
+std::size_t RunRecord::total_failures() const {
+  std::size_t count = 0;
+  for (const GenerationRecord& gen : generations) count += gen.failures;
+  return count;
+}
 
 Nsga2Driver::Nsga2Driver(DriverConfig config, const Evaluator& evaluator)
     : config_(std::move(config)), evaluator_(evaluator) {
-  if (config_.representation) genome_layout_ = *config_.representation;
   if (config_.population_size == 0) {
     throw util::ValueError("driver: population must be positive");
   }
-  // One Dask worker (node) per concurrently evaluated individual.
-  config_.farm.job.nodes = config_.population_size;
-}
-
-GenerationRecord Nsga2Driver::evaluate_population(
-    std::vector<ea::Individual*>& individuals, hpc::DaskCluster& farm, int generation,
-    std::uint64_t seed) {
-  const hpc::WorkFn work = [&](std::size_t index) -> hpc::WorkResult {
-    const ea::Individual& individual = *individuals[index];
-    // Deterministic per-evaluation seed: run seed + genome identity.
-    std::uint64_t eval_seed = util::hash_combine(seed, util::hash_mix(generation));
-    for (double gene : individual.genome) {
-      eval_seed = util::hash_combine(
-          eval_seed, static_cast<std::uint64_t>(std::llround(gene * 1e9)));
-    }
-    // The adapter is the entire core->hpc surface of the evaluation path.
-    return to_work_result(evaluator_.evaluate(individual, eval_seed));
-  };
-  const hpc::BatchReport report = farm.run_batch(individuals.size(), work);
-
-  GenerationRecord record;
-  record.generation = generation;
-  record.makespan_minutes = report.makespan_minutes;
-  record.node_failures = report.node_failures;
-  for (std::size_t i = 0; i < individuals.size(); ++i) {
-    ea::Individual& individual = *individuals[i];
-    const hpc::TaskReport& task = report.tasks[i];
-    individual.status = to_eval_status(task.status);
-    individual.eval_runtime_minutes = task.sim_minutes;
-    // Scheduler reassignments plus evaluator-internal retries beyond the first.
-    individual.eval_attempts = task.attempts + task.payload_attempts - 1;
-    individual.failure_cause = hpc::to_string(task.cause);
-    if (task.status == hpc::TaskStatus::kOk) {
-      individual.fitness = task.fitness;
-      if (config_.include_runtime_objective) {
-        individual.fitness.push_back(task.sim_minutes);
-      }
-    } else {
-      // The paper's MAXINT convention: failed individuals sort last but keep
-      // NSGA-II's ordering semantics intact (unlike NaN).
-      individual.fitness.assign(config_.include_runtime_objective ? 3 : 2,
-                                ea::kFailureFitness);
-      ++record.failures;
-    }
-    record.evaluated.push_back(to_record(individual, generation));
-  }
-  return record;
 }
 
 RunRecord Nsga2Driver::run(std::uint64_t seed) {
-  util::Rng rng(seed);
-  hpc::FarmConfig farm_config = config_.farm;
-  farm_config.seed = util::hash_combine(seed, 0xFA53);
-  hpc::DaskCluster farm(config_.cluster, farm_config);
-
-  RunRecord run_record;
-  run_record.seed = seed;
-
-  ea::Context context;
-  context.mutation_std() = genome_layout_.initial_stds();
-  const std::vector<ea::Range> bounds = genome_layout_.bounds();
-
-  std::optional<CheckpointManager> checkpoints;
-  if (config_.checkpoint_dir) checkpoints.emplace(*config_.checkpoint_dir);
-  const auto save_checkpoint = [&](std::size_t completed,
-                                   const ea::Population& current_parents) {
-    if (!checkpoints) return;
-    DriverCheckpoint checkpoint;
-    checkpoint.seed = seed;
-    checkpoint.completed_generations = completed;
-    checkpoint.parents = current_parents;
-    checkpoint.rng = rng.save_state();
-    checkpoint.mutation_std = context.mutation_std();
-    checkpoint.farm = farm.snapshot();
-    checkpoint.generations = run_record.generations;
-    checkpoints->save(checkpoint);
-  };
-  const auto finalize = [&](const ea::Population& current_parents) {
-    for (const ea::Individual& individual : current_parents) {
-      run_record.final_population.push_back(
-          to_record(individual, static_cast<int>(config_.generations)));
-    }
-    run_record.job_minutes = farm.clock_minutes();
-    return run_record;
-  };
-
-  ea::Population parents;
-  std::size_t first_offspring_gen = 1;
-  bool resumed = false;
-  if (config_.resume && checkpoints) {
-    if (std::optional<DriverCheckpoint> checkpoint = checkpoints->load()) {
-      if (checkpoint->seed != seed) {
-        throw util::ValueError(
-            "checkpoint seed mismatch: directory holds a run for seed " +
-            std::to_string(checkpoint->seed));
-      }
-      if (checkpoint->parents.size() != config_.population_size) {
-        throw util::ValueError("checkpoint population size mismatch");
-      }
-      parents = std::move(checkpoint->parents);
-      rng.restore_state(checkpoint->rng);
-      context.mutation_std() = checkpoint->mutation_std;
-      farm.restore(checkpoint->farm);
-      run_record.generations = std::move(checkpoint->generations);
-      first_offspring_gen = checkpoint->completed_generations + 1;
-      resumed = true;
-      util::log_info() << "driver: seed " << seed << " resumed after generation "
-                       << checkpoint->completed_generations;
-    }
-  }
-
-  if (!resumed) {
-    // Generation 0: random initial population.
-    parents.reserve(config_.population_size);
-    for (std::size_t i = 0; i < config_.population_size; ++i) {
-      parents.push_back(genome_layout_.create_individual(rng, 0));
-    }
-    std::vector<ea::Individual*> pending;
-    for (ea::Individual& individual : parents) pending.push_back(&individual);
-    GenerationRecord gen0 = evaluate_population(pending, farm, 0, seed);
-    gen0.mutation_std = context.mutation_std();
-    run_record.generations.push_back(std::move(gen0));
-    save_checkpoint(0, parents);
-    if (config_.halt_after_generation && *config_.halt_after_generation == 0) {
-      return finalize(parents);
-    }
-  }
-
-  for (std::size_t gen = first_offspring_gen; gen <= config_.generations; ++gen) {
-    // Listing 1: select, clone, mutate; then farm the evaluations.
-    const ea::SourceOp source = ea::random_selection(parents, rng);
-    const ea::StreamOp cloner = ea::clone_op(rng);
-    const ea::StreamOp mutator = ea::mutate_gaussian(context, bounds, rng);
-
-    ea::Population offspring;
-    offspring.reserve(config_.population_size);
-    for (std::size_t i = 0; i < config_.population_size; ++i) {
-      ea::Individual child = mutator(cloner(source()));
-      child.birth_generation = static_cast<int>(gen);
-      offspring.push_back(std::move(child));
-    }
-    std::vector<ea::Individual*> pending;
-    for (ea::Individual& individual : offspring) pending.push_back(&individual);
-    GenerationRecord gen_record =
-        evaluate_population(pending, farm, static_cast<int>(gen), seed);
-    gen_record.mutation_std = context.mutation_std();
-
-    // rank_ordinal_sort(parents=parents): rank the offspring together with
-    // the current parents, then truncate the union back to mu.
-    ea::Population pool = parents;
-    pool.insert(pool.end(), offspring.begin(), offspring.end());
-    std::vector<moo::ObjectiveVector> objectives;
-    objectives.reserve(pool.size());
-    for (const ea::Individual& individual : pool) objectives.push_back(individual.fitness);
-    const moo::RankAnnotation annotation =
-        moo::assign_rank_and_crowding(objectives, config_.sort_backend);
-    for (std::size_t i = 0; i < pool.size(); ++i) {
-      pool[i].rank = annotation.rank[i];
-      pool[i].crowding_distance = annotation.crowding[i];
-    }
-    parents = ea::truncation_selection(config_.population_size)(std::move(pool));
-
-    if (config_.anneal_enabled) {
-      context.anneal_mutation_std(config_.anneal_factor);
-    }
-    run_record.generations.push_back(std::move(gen_record));
-    util::log_info() << "driver: seed " << seed << " generation " << gen
-                     << " makespan " << run_record.generations.back().makespan_minutes
-                     << " min";
-    save_checkpoint(gen, parents);
-    if (config_.halt_after_generation && *config_.halt_after_generation == gen) {
-      // Graceful preemption: the checkpoint above is the resume point.
-      return finalize(parents);
-    }
-  }
-
-  return finalize(parents);
+  EngineConfig engine_config;
+  engine_config.mode = ScheduleMode::kGenerational;
+  engine_config.population_size = config_.population_size;
+  engine_config.generations = config_.generations;
+  engine_config.anneal_factor = config_.anneal_factor;
+  engine_config.anneal_enabled = config_.anneal_enabled;
+  engine_config.sort_backend = config_.sort_backend;
+  engine_config.cluster = config_.cluster;
+  engine_config.farm = config_.farm;
+  engine_config.include_runtime_objective = config_.include_runtime_objective;
+  engine_config.representation = config_.representation;
+  engine_config.checkpoint_dir = config_.checkpoint_dir;
+  engine_config.resume = config_.resume;
+  engine_config.halt_after_generation = config_.halt_after_generation;
+  engine_config.trace_dir = config_.trace_dir;
+  return EvolutionEngine(std::move(engine_config), evaluator_).run(seed);
 }
 
 }  // namespace dpho::core

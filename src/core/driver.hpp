@@ -28,6 +28,16 @@
 
 namespace dpho::core {
 
+/// How the EvolutionEngine schedules evaluations: generational barriers (the
+/// paper's deployment) or asynchronous steady-state replacement.
+enum class ScheduleMode : std::uint8_t {
+  kGenerational = 0,
+  kSteadyState,
+};
+
+std::string to_string(ScheduleMode mode);
+ScheduleMode schedule_mode_from_string(const std::string& name);
+
 /// Snapshot of one evaluated individual, for the analysis layer.
 struct EvalRecord {
   std::vector<double> genome;
@@ -50,12 +60,22 @@ struct GenerationRecord {
   std::vector<double> mutation_std;   // sigma vector in force at this generation
 };
 
-/// One full EA deployment ("one Summit job").
+/// One full EA deployment ("one Summit job"), in either schedule mode.  In
+/// steady-state mode a "generation" is a wave of `population_size`
+/// completions in delivery order (the budget's remainder forms a short final
+/// wave), so the analysis layer reads both modes identically.
 struct RunRecord {
   std::uint64_t seed = 0;
+  ScheduleMode mode = ScheduleMode::kGenerational;
   std::vector<GenerationRecord> generations;   // index 0 = initial population
   std::vector<EvalRecord> final_population;    // parents after the last selection
   double job_minutes = 0.0;                    // total simulated wall clock
+  double busy_fraction = 0.0;                  // mean worker utilization in [0,1]
+
+  /// All evaluations across every generation, in completion order.
+  std::vector<EvalRecord> all_evaluations() const;
+  std::size_t total_evaluations() const;
+  std::size_t total_failures() const;
 };
 
 /// Driver configuration (defaults = the paper's setup).
@@ -86,9 +106,14 @@ struct DriverConfig {
   /// Stop (gracefully) after completing + checkpointing this generation
   /// index; models batch-scheduler preemption and drives the resume tests.
   std::optional<std::size_t> halt_after_generation;
+  /// When set, per-batch schedule traces (trace-*.csv + gantt-*.txt) are
+  /// written here via hpc::trace_csv / hpc::gantt_art.
+  std::optional<std::filesystem::path> trace_dir;
 };
 
 /// NSGA-II over the DeepMD representation with parallel farmed evaluation.
+/// Thin facade over core::EvolutionEngine in generational mode (engine.hpp);
+/// the submit/retry/record/checkpoint machinery lives there.
 class Nsga2Driver {
  public:
   Nsga2Driver(DriverConfig config, const Evaluator& evaluator);
@@ -97,14 +122,8 @@ class Nsga2Driver {
   RunRecord run(std::uint64_t seed);
 
  private:
-  /// Farms out evaluation of `individuals`, assigning fitness / MAXINT.
-  GenerationRecord evaluate_population(std::vector<ea::Individual*>& individuals,
-                                       hpc::DaskCluster& farm, int generation,
-                                       std::uint64_t seed);
-
   DriverConfig config_;
   const Evaluator& evaluator_;
-  ea::Representation genome_layout_ = DeepMDRepresentation().representation();
 };
 
 }  // namespace dpho::core

@@ -1,0 +1,483 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "core/eval_adapter.hpp"
+#include "hpc/trace.hpp"
+#include "util/error.hpp"
+#include "util/fs.hpp"
+#include "util/log.hpp"
+
+namespace dpho::core {
+
+namespace {
+
+ea::EvalStatus to_eval_status(hpc::TaskStatus status) {
+  switch (status) {
+    case hpc::TaskStatus::kOk: return ea::EvalStatus::kOk;
+    case hpc::TaskStatus::kTimeout: return ea::EvalStatus::kTimeout;
+    case hpc::TaskStatus::kTrainingError: return ea::EvalStatus::kTrainingError;
+    case hpc::TaskStatus::kNodeFailure: return ea::EvalStatus::kNodeFailure;
+  }
+  throw util::ValueError("invalid task status");
+}
+
+/// Resolved worker count for a config (generational: one node per slot).
+std::size_t resolve_workers(const EngineConfig& config) {
+  if (config.mode == ScheduleMode::kGenerational) return config.population_size;
+  return config.num_workers == 0 ? config.population_size : config.num_workers;
+}
+
+std::size_t resolve_budget(const EngineConfig& config) {
+  if (config.total_evaluations != 0) return config.total_evaluations;
+  return (config.generations + 1) * config.population_size;
+}
+
+hpc::FarmConfig farm_config_for(const EngineConfig& config, std::uint64_t seed) {
+  hpc::FarmConfig farm = config.farm;
+  farm.job.nodes = resolve_workers(config);
+  farm.seed = util::hash_combine(seed, 0xFA53);
+  return farm;
+}
+
+}  // namespace
+
+std::uint64_t derive_eval_seed(std::uint64_t run_seed, int wave,
+                               const std::vector<double>& genome) {
+  std::uint64_t eval_seed = util::hash_combine(run_seed, util::hash_mix(wave));
+  for (double gene : genome) {
+    eval_seed = util::hash_combine(
+        eval_seed, static_cast<std::uint64_t>(std::llround(gene * 1e9)));
+  }
+  return eval_seed;
+}
+
+EngineRun::EngineRun(const EngineConfig& engine_config,
+                     const Evaluator& backend,
+                     const ea::Representation& layout, std::uint64_t run_seed)
+    : config(engine_config), evaluator(backend), genome_layout(layout),
+      seed(run_seed), num_workers(resolve_workers(engine_config)),
+      budget(resolve_budget(engine_config)), rng(run_seed),
+      farm(engine_config.cluster, farm_config_for(engine_config, run_seed)) {
+  context.mutation_std() = genome_layout.initial_stds();
+  bounds = genome_layout.bounds();
+  record.seed = seed;
+  record.mode = config.mode;
+  if (config.checkpoint_dir) checkpoints.emplace(*config.checkpoint_dir);
+}
+
+hpc::WorkResult EngineRun::evaluate_payload(const ea::Individual& individual,
+                                            int wave) const {
+  // The adapter is the entire core->hpc surface of the evaluation path.
+  return to_work_result(
+      evaluator.evaluate(individual, derive_eval_seed(seed, wave, individual.genome)));
+}
+
+void EngineRun::apply_report(ea::Individual& individual,
+                             const hpc::TaskReport& task) const {
+  individual.status = to_eval_status(task.status);
+  individual.eval_runtime_minutes = task.sim_minutes;
+  // Scheduler reassignments plus evaluator-internal retries beyond the first.
+  individual.eval_attempts = task.attempts + task.payload_attempts - 1;
+  individual.failure_cause = hpc::to_string(task.cause);
+  if (task.status == hpc::TaskStatus::kOk) {
+    individual.fitness = task.fitness;
+    if (config.include_runtime_objective) {
+      individual.fitness.push_back(task.sim_minutes);
+    }
+  } else {
+    // The paper's MAXINT convention: failed individuals sort last but keep
+    // NSGA-II's ordering semantics intact (unlike NaN).
+    individual.fitness.assign(config.include_runtime_objective ? 3 : 2,
+                              ea::kFailureFitness);
+  }
+}
+
+EvalRecord EngineRun::to_record(const ea::Individual& individual, int generation) {
+  EvalRecord record;
+  record.genome = individual.genome;
+  record.fitness = individual.fitness;
+  record.runtime_minutes = individual.eval_runtime_minutes;
+  record.status = individual.status;
+  record.attempts = individual.eval_attempts;
+  record.failure_cause = individual.failure_cause;
+  record.generation = generation;
+  record.uuid = individual.uuid.str();
+  return record;
+}
+
+GenerationRecord EngineRun::evaluate_generation(
+    std::vector<ea::Individual*>& individuals, int generation) {
+  const hpc::WorkFn work = [&](std::size_t index) -> hpc::WorkResult {
+    return evaluate_payload(*individuals[index], generation);
+  };
+  const hpc::BatchReport report = farm.run_batch(individuals.size(), work);
+  export_trace(report, "gen-" + std::to_string(generation));
+
+  GenerationRecord gen_record;
+  gen_record.generation = generation;
+  gen_record.makespan_minutes = report.makespan_minutes;
+  gen_record.node_failures = report.node_failures;
+  for (std::size_t i = 0; i < individuals.size(); ++i) {
+    ea::Individual& individual = *individuals[i];
+    apply_report(individual, report.tasks[i]);
+    if (individual.status != ea::EvalStatus::kOk) ++gen_record.failures;
+    gen_record.evaluated.push_back(to_record(individual, generation));
+  }
+  return gen_record;
+}
+
+ea::Population EngineRun::truncate(ea::Population pool) const {
+  std::vector<moo::ObjectiveVector> objectives;
+  objectives.reserve(pool.size());
+  for (const ea::Individual& individual : pool) {
+    objectives.push_back(individual.fitness);
+  }
+  const moo::RankAnnotation annotation =
+      moo::assign_rank_and_crowding(objectives, config.sort_backend);
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    pool[i].rank = annotation.rank[i];
+    pool[i].crowding_distance = annotation.crowding[i];
+  }
+  return ea::truncation_selection(config.population_size)(std::move(pool));
+}
+
+void EngineRun::export_trace(const hpc::BatchReport& report,
+                             const std::string& label) const {
+  if (!config.trace_dir) return;
+  std::filesystem::create_directories(*config.trace_dir);
+  util::write_file(*config.trace_dir / ("trace-" + label + ".csv"),
+                   hpc::trace_csv(report));
+  util::write_file(*config.trace_dir / ("gantt-" + label + ".txt"),
+                   hpc::gantt_art(report) + "\n");
+}
+
+DriverCheckpoint EngineRun::base_checkpoint(std::size_t completed,
+                                            const ea::Population& parents) const {
+  DriverCheckpoint checkpoint;
+  checkpoint.seed = seed;
+  checkpoint.mode = config.mode;
+  checkpoint.completed_generations = completed;
+  checkpoint.parents = parents;
+  checkpoint.rng = rng.save_state();
+  checkpoint.mutation_std = context.mutation_std();
+  checkpoint.farm = farm.snapshot();
+  checkpoint.generations = record.generations;
+  return checkpoint;
+}
+
+void EngineRun::finalize(const ea::Population& parents, int generation_tag,
+                         double extra_minutes) {
+  for (const ea::Individual& individual : parents) {
+    record.final_population.push_back(to_record(individual, generation_tag));
+  }
+  record.job_minutes = farm.clock_minutes() + extra_minutes;
+  double busy_minutes = 0.0;
+  for (const GenerationRecord& gen : record.generations) {
+    for (const EvalRecord& eval : gen.evaluated) {
+      busy_minutes += eval.runtime_minutes;
+    }
+  }
+  record.busy_fraction =
+      record.job_minutes > 0.0
+          ? busy_minutes /
+                (record.job_minutes * static_cast<double>(num_workers))
+          : 0.0;
+}
+
+ea::Individual VariationPolicy::make_child(EngineRun& run,
+                                           const ea::Population& parents,
+                                           int birth_tag) const {
+  // Listing 1's variation pipeline: uniform selection, clone, bounded
+  // Gaussian mutation.  The ops draw no RNG at construction, so building
+  // them per child keeps the draw order of the original per-generation code.
+  const ea::SourceOp source = ea::random_selection(parents, run.rng);
+  const ea::StreamOp cloner = ea::clone_op(run.rng);
+  const ea::StreamOp mutator = ea::mutate_gaussian(run.context, run.bounds, run.rng);
+  ea::Individual child = mutator(cloner(source()));
+  child.birth_generation = birth_tag;
+  return child;
+}
+
+void GenerationalAnnealing::after_generation(EngineRun& run) {
+  if (run.config.anneal_enabled) {
+    run.context.anneal_mutation_std(run.config.anneal_factor);
+  }
+}
+
+void PerBirthAnnealing::after_birth(EngineRun& run) {
+  if (!run.config.anneal_enabled) return;
+  // Generational annealing multiplies sigma by the factor per mu births;
+  // apply the equivalent per-birth factor so schedules match at equal
+  // budgets.
+  run.context.anneal_mutation_std(
+      std::pow(run.config.anneal_factor,
+               1.0 / static_cast<double>(run.config.population_size)));
+}
+
+void GenerationalSchedule::run(EngineRun& run, VariationPolicy& variation) {
+  const EngineConfig& config = run.config;
+
+  ea::Population parents;
+  std::size_t first_offspring_gen = 1;
+  bool resumed = false;
+  if (config.resume && run.checkpoints) {
+    if (std::optional<DriverCheckpoint> checkpoint = run.checkpoints->load()) {
+      if (checkpoint->seed != run.seed) {
+        throw util::ValueError(
+            "checkpoint seed mismatch: directory holds a run for seed " +
+            std::to_string(checkpoint->seed));
+      }
+      if (checkpoint->mode != ScheduleMode::kGenerational) {
+        throw util::ValueError("checkpoint mode mismatch: directory holds a " +
+                               to_string(checkpoint->mode) + " run");
+      }
+      if (checkpoint->parents.size() != config.population_size) {
+        throw util::ValueError("checkpoint population size mismatch");
+      }
+      parents = std::move(checkpoint->parents);
+      run.rng.restore_state(checkpoint->rng);
+      run.context.mutation_std() = checkpoint->mutation_std;
+      run.farm.restore(checkpoint->farm);
+      run.record.generations = std::move(checkpoint->generations);
+      first_offspring_gen = checkpoint->completed_generations + 1;
+      resumed = true;
+      util::log_info() << "driver: seed " << run.seed << " resumed after generation "
+                       << checkpoint->completed_generations;
+    }
+  }
+
+  const auto save_checkpoint = [&](std::size_t completed) {
+    if (!run.checkpoints) return;
+    run.checkpoints->save(run.base_checkpoint(completed, parents));
+  };
+
+  if (!resumed) {
+    // Generation 0: random initial population.
+    parents.reserve(config.population_size);
+    for (std::size_t i = 0; i < config.population_size; ++i) {
+      parents.push_back(run.genome_layout.create_individual(run.rng, 0));
+    }
+    std::vector<ea::Individual*> pending;
+    for (ea::Individual& individual : parents) pending.push_back(&individual);
+    GenerationRecord gen0 = run.evaluate_generation(pending, 0);
+    gen0.mutation_std = run.context.mutation_std();
+    run.record.generations.push_back(std::move(gen0));
+    save_checkpoint(0);
+    if (config.halt_after_generation && *config.halt_after_generation == 0) {
+      run.finalize(parents, static_cast<int>(config.generations));
+      return;
+    }
+  }
+
+  for (std::size_t gen = first_offspring_gen; gen <= config.generations; ++gen) {
+    // Listing 1: select, clone, mutate; then farm the evaluations.
+    ea::Population offspring;
+    offspring.reserve(config.population_size);
+    for (std::size_t i = 0; i < config.population_size; ++i) {
+      offspring.push_back(
+          variation.make_child(run, parents, static_cast<int>(gen)));
+    }
+    std::vector<ea::Individual*> pending;
+    for (ea::Individual& individual : offspring) pending.push_back(&individual);
+    GenerationRecord gen_record =
+        run.evaluate_generation(pending, static_cast<int>(gen));
+    gen_record.mutation_std = run.context.mutation_std();
+
+    // rank_ordinal_sort(parents=parents): rank the offspring together with
+    // the current parents, then truncate the union back to mu.
+    ea::Population pool = parents;
+    pool.insert(pool.end(), offspring.begin(), offspring.end());
+    parents = run.truncate(std::move(pool));
+
+    variation.after_generation(run);
+    run.record.generations.push_back(std::move(gen_record));
+    util::log_info() << "driver: seed " << run.seed << " generation " << gen
+                     << " makespan "
+                     << run.record.generations.back().makespan_minutes << " min";
+    save_checkpoint(gen);
+    if (config.halt_after_generation && *config.halt_after_generation == gen) {
+      // Graceful preemption: the checkpoint above is the resume point.
+      run.finalize(parents, static_cast<int>(config.generations));
+      return;
+    }
+  }
+
+  run.finalize(parents, static_cast<int>(config.generations));
+}
+
+void SteadyStateSchedule::run(EngineRun& run, VariationPolicy& variation) {
+  const EngineConfig& config = run.config;
+  const std::size_t mu = config.population_size;
+
+  ea::Population archive;
+  std::map<std::size_t, ea::Individual> in_flight;  // birth id -> offspring
+  GenerationRecord wave;     // the open wave (completions so far)
+  std::size_t wave_index = 0;
+  double wave_started = 0.0;
+  std::size_t wave_node_failures_base = 0;
+  std::size_t births = 0;
+  std::size_t completions = 0;
+
+  bool resumed = false;
+  if (config.resume && run.checkpoints) {
+    if (std::optional<DriverCheckpoint> checkpoint = run.checkpoints->load()) {
+      if (checkpoint->seed != run.seed) {
+        throw util::ValueError(
+            "checkpoint seed mismatch: directory holds a run for seed " +
+            std::to_string(checkpoint->seed));
+      }
+      if (checkpoint->mode != ScheduleMode::kSteadyState) {
+        throw util::ValueError("checkpoint mode mismatch: directory holds a " +
+                               to_string(checkpoint->mode) + " run");
+      }
+      archive = std::move(checkpoint->parents);
+      run.rng.restore_state(checkpoint->rng);
+      run.context.mutation_std() = checkpoint->mutation_std;
+      run.farm.restore(checkpoint->farm);
+      run.record.generations = std::move(checkpoint->generations);
+      births = checkpoint->births;
+      completions = checkpoint->completed_generations;
+      wave_index = run.record.generations.size();
+      wave_started = checkpoint->wave_started_minutes;
+      wave_node_failures_base = checkpoint->wave_node_failures_base;
+      if (checkpoint->partial_wave) wave = std::move(*checkpoint->partial_wave);
+      for (InFlightBirth& birth : checkpoint->in_flight) {
+        in_flight.emplace(birth.id, std::move(birth.individual));
+      }
+      resumed = true;
+      util::log_info() << "engine: seed " << run.seed << " resumed after "
+                       << completions << " completions (" << in_flight.size()
+                       << " in flight)";
+    }
+  }
+
+  // Submit one offspring: the payload is computed now (deterministic seed
+  // keyed on the birth's wave), the farm resolves faults/retries, and the
+  // completion surfaces at its simulated finish time.
+  const auto submit = [&](ea::Individual individual) {
+    const std::size_t id = births;
+    const int wave_of_birth = static_cast<int>(id / mu);
+    run.farm.stream_submit(id, run.evaluate_payload(individual, wave_of_birth));
+    in_flight.emplace(id, std::move(individual));
+    ++births;
+  };
+
+  const auto save_checkpoint = [&]() {
+    if (!run.checkpoints) return;
+    DriverCheckpoint checkpoint = run.base_checkpoint(completions, archive);
+    checkpoint.births = births;
+    checkpoint.wave_started_minutes = wave_started;
+    checkpoint.wave_node_failures_base = wave_node_failures_base;
+    checkpoint.partial_wave = wave;
+    for (auto& [id, individual] : in_flight) {
+      checkpoint.in_flight.push_back(InFlightBirth{id, individual});
+    }
+    run.checkpoints->save(checkpoint);
+  };
+
+  if (!resumed) {
+    run.farm.stream_begin();
+    // Initial wave: one random individual per worker.
+    for (std::size_t worker = 0; worker < run.num_workers; ++worker) {
+      submit(run.genome_layout.create_individual(run.rng, 0));
+    }
+  }
+
+  while (std::optional<hpc::StreamCompletion> done = run.farm.stream_next()) {
+    const auto it = in_flight.find(done->id);
+    if (it == in_flight.end()) {
+      throw util::ValueError("engine: completion for unknown task id " +
+                             std::to_string(done->id));
+    }
+    ea::Individual individual = std::move(it->second);
+    in_flight.erase(it);
+    run.apply_report(individual, done->report);
+    if (individual.status != ea::EvalStatus::kOk) ++wave.failures;
+    wave.evaluated.push_back(
+        EngineRun::to_record(individual, static_cast<int>(wave_index)));
+    ++completions;
+
+    // Steady-state survivor truncation over archive + newcomer.
+    archive.push_back(std::move(individual));
+    if (archive.size() > mu) archive = run.truncate(std::move(archive));
+
+    // Refill the idle worker immediately (no barrier).
+    if (births < run.budget) {
+      ea::Individual child =
+          variation.make_child(run, archive, static_cast<int>(births));
+      variation.after_birth(run);
+      submit(std::move(child));
+    }
+
+    // Close the wave once mu completions landed (or the budget ran dry).
+    if (wave.evaluated.size() == mu || completions == run.budget) {
+      wave.generation = static_cast<int>(wave_index);
+      wave.makespan_minutes = run.farm.stream_now() - wave_started;
+      wave.node_failures =
+          run.farm.stream_node_failures() - wave_node_failures_base;
+      wave.mutation_std = run.context.mutation_std();
+      run.record.generations.push_back(std::move(wave));
+      wave = GenerationRecord{};
+      ++wave_index;
+      wave_started = run.farm.stream_now();
+      wave_node_failures_base = run.farm.stream_node_failures();
+    }
+
+    if (run.checkpoints && config.checkpoint_every != 0 &&
+        completions % config.checkpoint_every == 0) {
+      save_checkpoint();
+    }
+    if (config.halt_after_evaluations &&
+        completions == *config.halt_after_evaluations) {
+      // Graceful preemption mid-wave: persist the event-loop state (the farm
+      // snapshot carries the open stream session) and stop without closing
+      // the session, exactly like a crash the checkpoint protects against.
+      save_checkpoint();
+      run.finalize(archive, static_cast<int>(wave_index), run.farm.stream_now());
+      return;
+    }
+  }
+
+  const hpc::BatchReport report = run.farm.stream_end();
+  run.export_trace(report, "stream");
+  run.finalize(archive, static_cast<int>(wave_index));
+}
+
+EvolutionEngine::EvolutionEngine(EngineConfig config, const Evaluator& evaluator)
+    : config_(std::move(config)), evaluator_(evaluator),
+      genome_layout_(config_.representation
+                         ? *config_.representation
+                         : DeepMDRepresentation().representation()) {
+  if (config_.population_size == 0) {
+    throw util::ValueError("engine: population must be positive");
+  }
+  if (config_.mode == ScheduleMode::kSteadyState) {
+    if (resolve_workers(config_) == 0) {
+      throw util::ValueError("engine: need >= 1 worker");
+    }
+    if (resolve_budget(config_) < resolve_workers(config_)) {
+      throw util::ValueError("engine: budget must cover the initial wave");
+    }
+  }
+}
+
+RunRecord EvolutionEngine::run(std::uint64_t seed) {
+  EngineRun state(config_, evaluator_, genome_layout_, seed);
+
+  std::unique_ptr<SchedulePolicy> schedule;
+  std::unique_ptr<VariationPolicy> variation;
+  if (config_.mode == ScheduleMode::kGenerational) {
+    schedule = std::make_unique<GenerationalSchedule>();
+    variation = std::make_unique<GenerationalAnnealing>();
+  } else {
+    schedule = std::make_unique<SteadyStateSchedule>();
+    variation = std::make_unique<PerBirthAnnealing>();
+  }
+  schedule->run(state, *variation);
+  return std::move(state.record);
+}
+
+}  // namespace dpho::core

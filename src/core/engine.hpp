@@ -1,0 +1,188 @@
+// The event-driven evolution engine: one submit/complete loop for both of
+// the repo's deployments.
+//
+// The paper's generational NSGA-II (section 2.2.3) and the asynchronous
+// steady-state variant it motivates (Scott et al. [24]) share everything
+// except *when* survivor selection happens and *how* sigma anneals; what
+// used to be two forked drivers is now one engine parameterized by
+//
+//   * a SchedulePolicy  -- generational barrier (run_batch per wave) vs.
+//     steady-state replacement (stream_* session, no barrier), and
+//   * a VariationPolicy -- per-generation sigma annealing (x0.85 after each
+//     selection) vs. the per-birth equivalent (x0.85^(1/mu) after each
+//     offspring).
+//
+// Both policies draw on the same services: deterministic per-evaluation
+// seeding (derive_eval_seed), the DaskCluster fault/retry machinery,
+// MAXINT record building, rank+crowding truncation, trace export and
+// crash-safe checkpointing.  Nsga2Driver and AsyncSteadyStateDriver are
+// thin facades that translate their configs into an EngineConfig.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "core/checkpoint.hpp"
+#include "core/driver.hpp"
+
+namespace dpho::core {
+
+/// Deterministic per-evaluation seed shared by both schedule modes: run seed
+/// + wave index + genome identity, so an identical genome evaluated in the
+/// same wave receives the identical seed whichever mode scheduled it.
+/// (Steady-state mode tags birth b with wave b / population_size.)
+std::uint64_t derive_eval_seed(std::uint64_t run_seed, int wave,
+                               const std::vector<double>& genome);
+
+/// Mode-neutral engine configuration; the facades build one of these.
+struct EngineConfig {
+  ScheduleMode mode = ScheduleMode::kGenerational;
+  std::size_t population_size = 100;  // mu == archive capacity
+  /// Concurrent evaluations (nodes).  0 -> population_size.  Generational
+  /// mode always allocates one node per population slot.
+  std::size_t num_workers = 0;
+  std::size_t generations = 6;        // generational waves beyond wave 0
+  /// Steady-state evaluation budget.  0 -> (generations + 1) * population
+  /// (the generational budget at equal settings).
+  std::size_t total_evaluations = 0;
+  double anneal_factor = 0.85;
+  bool anneal_enabled = true;
+  moo::SortBackend sort_backend = moo::SortBackend::kRankOrdinal;
+  hpc::ClusterSpec cluster = hpc::ClusterSpec::summit();
+  hpc::FarmConfig farm;               // job.nodes synced to the worker count
+  bool include_runtime_objective = false;
+  std::optional<ea::Representation> representation;
+  std::optional<std::filesystem::path> checkpoint_dir;
+  bool resume = false;
+  std::optional<std::size_t> halt_after_generation;   // generational preemption
+  std::optional<std::size_t> halt_after_evaluations;  // steady-state preemption
+  /// Steady state: completions between checkpoint writes (1 = every
+  /// completion; checkpointing is off unless checkpoint_dir is set).
+  std::size_t checkpoint_every = 1;
+  std::optional<std::filesystem::path> trace_dir;
+};
+
+class VariationPolicy;
+
+/// Mutable state + shared services for one engine run.  SchedulePolicy
+/// implementations drive this; everything an implementation would otherwise
+/// duplicate (seeding, report application, record building, truncation,
+/// checkpoints, traces) lives here.
+struct EngineRun {
+  EngineRun(const EngineConfig& config, const Evaluator& evaluator,
+            const ea::Representation& genome_layout, std::uint64_t seed);
+
+  const EngineConfig& config;
+  const Evaluator& evaluator;
+  const ea::Representation& genome_layout;
+  std::uint64_t seed;
+  std::size_t num_workers;       // resolved worker count
+  std::size_t budget;            // resolved steady-state evaluation budget
+  util::Rng rng;
+  ea::Context context;
+  std::vector<ea::Range> bounds;
+  hpc::DaskCluster farm;
+  RunRecord record;
+  std::optional<CheckpointManager> checkpoints;
+
+  /// Evaluates one individual's payload with the shared deterministic seed.
+  hpc::WorkResult evaluate_payload(const ea::Individual& individual,
+                                   int wave) const;
+
+  /// Applies a resolved task report: status, runtime, attempts (scheduler
+  /// reassignments + payload retries), failure cause, and fitness (MAXINT on
+  /// failure, optional runtime objective on success).
+  void apply_report(ea::Individual& individual,
+                    const hpc::TaskReport& task) const;
+
+  static EvalRecord to_record(const ea::Individual& individual, int generation);
+
+  /// Barrier evaluation of one generational wave (run_batch + trace export).
+  GenerationRecord evaluate_generation(std::vector<ea::Individual*>& individuals,
+                                       int generation);
+
+  /// Ranks `pool` (rank + crowding under config.sort_backend) and truncates
+  /// to population_size -- the survivor step of both modes.
+  ea::Population truncate(ea::Population pool) const;
+
+  /// Writes trace-<label>.csv and gantt-<label>.txt when trace_dir is set.
+  void export_trace(const hpc::BatchReport& report, const std::string& label) const;
+
+  /// The checkpoint fields common to both modes; schedule policies add their
+  /// own extras before saving.
+  DriverCheckpoint base_checkpoint(std::size_t completed,
+                                   const ea::Population& parents) const;
+
+  /// Final-population records + job clock + busy fraction.  `extra_minutes`
+  /// covers a still-open stream session on graceful preemption.
+  void finalize(const ea::Population& parents, int generation_tag,
+                double extra_minutes = 0.0);
+};
+
+/// When evaluations are scheduled and survivors selected.
+class SchedulePolicy {
+ public:
+  virtual ~SchedulePolicy() = default;
+  virtual void run(EngineRun& run, VariationPolicy& variation) = 0;
+};
+
+/// How offspring are created and sigma annealed.  make_child is shared --
+/// select-uniform, clone, Gaussian-mutate (Listing 1's variation pipeline) --
+/// only the annealing hooks differ.
+class VariationPolicy {
+ public:
+  virtual ~VariationPolicy() = default;
+
+  /// One offspring: uniform parent selection, clone, bounded Gaussian
+  /// mutation with the current sigma; birth_generation = `birth_tag`.
+  ea::Individual make_child(EngineRun& run, const ea::Population& parents,
+                            int birth_tag) const;
+
+  virtual void after_birth(EngineRun& /*run*/) {}
+  virtual void after_generation(EngineRun& /*run*/) {}
+};
+
+/// The paper's schedule: every wave is a barrier over population_size nodes.
+class GenerationalSchedule : public SchedulePolicy {
+ public:
+  void run(EngineRun& run, VariationPolicy& variation) override;
+};
+
+/// Steady-state replacement: completions stream in; each frees a worker that
+/// immediately receives a freshly bred offspring.
+class SteadyStateSchedule : public SchedulePolicy {
+ public:
+  void run(EngineRun& run, VariationPolicy& variation) override;
+};
+
+/// Sigma x= anneal_factor after each survivor selection (section 2.2.3).
+class GenerationalAnnealing : public VariationPolicy {
+ public:
+  void after_generation(EngineRun& run) override;
+};
+
+/// Sigma x= anneal_factor^(1/mu) after each birth, so the schedule matches
+/// the generational one at equal budgets.
+class PerBirthAnnealing : public VariationPolicy {
+ public:
+  void after_birth(EngineRun& run) override;
+};
+
+/// The unified driver: owns the config, resolves policies from the mode, and
+/// produces one RunRecord per run(seed).
+class EvolutionEngine {
+ public:
+  EvolutionEngine(EngineConfig config, const Evaluator& evaluator);
+
+  RunRecord run(std::uint64_t seed);
+
+  const EngineConfig& config() const { return config_; }
+
+ private:
+  EngineConfig config_;
+  const Evaluator& evaluator_;
+  ea::Representation genome_layout_;
+};
+
+}  // namespace dpho::core

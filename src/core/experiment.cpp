@@ -3,6 +3,7 @@
 #include <map>
 #include <sstream>
 
+#include "core/async_driver.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
 #include "util/fs.hpp"
@@ -14,14 +15,45 @@ std::vector<RunRecord> ExperimentRunner::run_all() const {
   std::vector<RunRecord> runs;
   runs.reserve(config_.seeds.size());
   for (std::uint64_t seed : config_.seeds) {
-    DriverConfig driver_config = config_.driver;
+    std::optional<std::filesystem::path> seed_dir;
     if (config_.checkpoint_dir) {
-      driver_config.checkpoint_dir =
-          *config_.checkpoint_dir / ("seed-" + std::to_string(seed));
-      driver_config.resume = config_.resume;
+      seed_dir = *config_.checkpoint_dir / ("seed-" + std::to_string(seed));
     }
-    Nsga2Driver driver(driver_config, evaluator_);
-    runs.push_back(driver.run(seed));
+    if (config_.mode == ScheduleMode::kGenerational) {
+      DriverConfig driver_config = config_.driver;
+      if (seed_dir) {
+        driver_config.checkpoint_dir = seed_dir;
+        driver_config.resume = config_.resume;
+      }
+      Nsga2Driver driver(driver_config, evaluator_);
+      runs.push_back(driver.run(seed));
+    } else {
+      const DriverConfig& base = config_.driver;
+      AsyncDriverConfig async;
+      async.num_workers = config_.async_workers != 0 ? config_.async_workers
+                                                     : base.population_size;
+      async.population_capacity = base.population_size;
+      async.total_evaluations =
+          config_.async_total_evaluations != 0
+              ? config_.async_total_evaluations
+              : (base.generations + 1) * base.population_size;
+      async.anneal_factor = base.anneal_factor;
+      async.anneal_enabled = base.anneal_enabled;
+      async.task_timeout_minutes = base.farm.task_timeout_minutes;
+      async.sort_backend = base.sort_backend;
+      async.cluster = base.cluster;
+      async.farm = base.farm;
+      async.include_runtime_objective = base.include_runtime_objective;
+      async.representation = base.representation;
+      if (seed_dir) {
+        async.checkpoint_dir = seed_dir;
+        async.resume = config_.resume;
+        async.checkpoint_every = config_.async_checkpoint_every;
+      }
+      async.trace_dir = base.trace_dir;
+      AsyncSteadyStateDriver driver(async, evaluator_);
+      runs.push_back(driver.run(seed));
+    }
   }
   return runs;
 }
@@ -63,7 +95,9 @@ void export_results(const std::vector<RunRecord>& runs,
   for (const RunRecord& run : runs) {
     util::Json entry;
     entry["seed"] = run.seed;
+    entry["mode"] = to_string(run.mode);
     entry["job_minutes"] = run.job_minutes;
+    entry["busy_fraction"] = run.busy_fraction;
     std::size_t failures = 0;
     std::size_t evaluations = 0;
     std::size_t retried = 0;
@@ -180,7 +214,9 @@ util::Json runs_to_json(const std::vector<RunRecord>& runs) {
   for (const RunRecord& run : runs) {
     util::Json run_json;
     run_json["seed"] = run.seed;
+    run_json["mode"] = to_string(run.mode);
     run_json["job_minutes"] = run.job_minutes;
+    run_json["busy_fraction"] = run.busy_fraction;
     util::JsonArray generations;
     for (const GenerationRecord& gen : run.generations) {
       generations.push_back(generation_to_json(gen));
@@ -205,6 +241,10 @@ std::vector<RunRecord> runs_from_json(const util::Json& json) {
   for (const util::Json& run_json : json.at("runs").as_array()) {
     RunRecord run;
     run.seed = static_cast<std::uint64_t>(run_json.at("seed").as_int());
+    // Optional: documents written before the unified engine lack them.
+    run.mode = schedule_mode_from_string(
+        run_json.string_or("mode", to_string(ScheduleMode::kGenerational)));
+    run.busy_fraction = run_json.number_or("busy_fraction", 0.0);
     run.job_minutes = run_json.at("job_minutes").as_number();
     for (const util::Json& gen_json : run_json.at("generations").as_array()) {
       run.generations.push_back(generation_from_json(gen_json));

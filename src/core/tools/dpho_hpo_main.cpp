@@ -2,19 +2,22 @@
 // hyperparameter optimization end to end and export the analysis artifacts.
 //
 //   dpho_hpo [--pop N] [--generations N] [--runs N] [--out DIR]
-//            [--async] [--runtime-objective] [--failure-rate P] [--quiet]
-//            [--checkpoint-dir DIR] [--resume]
+//            [--mode generational|async] [--runtime-objective]
+//            [--failure-rate P] [--fault-plan FILE] [--trace-dir DIR]
+//            [--checkpoint-dir DIR] [--resume] [--quiet]
 //
 // Default configuration reproduces the paper: 100 individuals x 7 waves x
 // 5 runs on the simulated 100-node Summit allocation with surrogate-backed
 // evaluations.  Exports evaluations.csv, parallel_coordinates.csv,
-// sensitivity.csv and summary.json to --out.
+// sensitivity.csv and summary.json to --out.  Both modes run on the unified
+// EvolutionEngine, so fault injection, trace export and checkpoint/resume
+// compose with either.
 #include <cstdio>
 
 #include "core/analysis.hpp"
-#include "core/async_driver.hpp"
 #include "core/experiment.hpp"
 #include "core/sensitivity.hpp"
+#include "hpc/faultplan_io.hpp"
 #include "util/args.hpp"
 #include "util/fs.hpp"
 
@@ -25,14 +28,19 @@ int main(int argc, char** argv) {
       .add_flag("--generations", "offspring generations beyond gen 0, default 6")
       .add_flag("--runs", "independent EA deployments, default 5")
       .add_flag("--out", "output directory for CSV/JSON artifacts")
-      .add_flag("--async", "use the asynchronous steady-state deployment", false)
+      .add_flag("--mode", "schedule: generational (default) or async")
+      .add_flag("--async", "shorthand for --mode async", false)
       .add_flag("--runtime-objective",
                 "minimize training runtime as a third objective", false)
       .add_flag("--failure-rate", "node-failure probability per task, default 5e-4")
+      .add_flag("--fault-plan", "JSON file of scripted fault events")
+      .add_flag("--trace-dir", "write per-batch schedule traces here")
       .add_flag("--checkpoint-dir",
-                "persist per-seed EA state here after every generation")
+                "persist per-seed EA state here (both modes)")
       .add_flag("--resume",
                 "resume interrupted runs from --checkpoint-dir", false)
+      .add_flag("--checkpoint-every",
+                "async mode: completions between checkpoints, default 1")
       .add_flag("--quiet", "suppress the analysis printout", false)
       .add_flag("--help", "show this message", false);
   try {
@@ -52,71 +60,73 @@ int main(int argc, char** argv) {
   const auto runs = static_cast<std::size_t>(args.get("--runs", std::int64_t{5}));
   const bool quiet = args.has("--quiet");
 
-  // Backend construction goes through the one factory switch; this tool uses
-  // the surrogate backend (paper-scale simulated cluster).
-  const std::unique_ptr<core::Evaluator> evaluator =
-      core::make_evaluator(core::EvalBackendConfig{});
-  std::vector<core::RunRecord> results;
-
-  if (args.has("--async") &&
-      (args.has("--checkpoint-dir") || args.has("--resume"))) {
-    std::fprintf(stderr,
-                 "--checkpoint-dir/--resume need the generational deployment;"
-                 " they are not supported with --async\n");
-    return 2;
+  core::ScheduleMode mode = core::ScheduleMode::kGenerational;
+  if (args.has("--mode")) {
+    const std::string name = args.get("--mode", std::string("generational"));
+    if (name == "generational") {
+      mode = core::ScheduleMode::kGenerational;
+    } else if (name == "async" || name == "steady_state") {
+      mode = core::ScheduleMode::kSteadyState;
+    } else {
+      std::fprintf(stderr, "--mode must be generational or async, got %s\n",
+                   name.c_str());
+      return 2;
+    }
   }
+  if (args.has("--async")) mode = core::ScheduleMode::kSteadyState;
+
   if (args.has("--resume") && !args.has("--checkpoint-dir")) {
     std::fprintf(stderr, "--resume needs --checkpoint-dir\n");
     return 2;
   }
 
-  if (args.has("--async")) {
-    core::AsyncDriverConfig config;
-    config.num_workers = pop;
-    config.population_capacity = pop;
-    config.total_evaluations = pop * (generations + 1);
-    for (std::size_t seed = 1; seed <= runs; ++seed) {
-      core::AsyncSteadyStateDriver driver(config, *evaluator);
-      const core::AsyncRunRecord async_run = driver.run(seed);
-      // Repackage for the shared analysis path.
-      core::RunRecord run;
-      run.seed = seed;
-      run.final_population = async_run.final_population;
-      core::GenerationRecord all;
-      all.generation = 0;
-      all.evaluated = async_run.evaluations;
-      all.failures = async_run.failures;
-      run.generations.push_back(std::move(all));
-      run.job_minutes = async_run.total_minutes;
-      results.push_back(std::move(run));
-      if (!quiet) {
-        std::printf("async run %zu: %zu evaluations in %.0f simulated minutes"
-                    " (%.0f%% busy)\n",
-                    seed, async_run.evaluations.size(), async_run.total_minutes,
-                    100.0 * async_run.busy_fraction);
-      }
+  // Backend construction goes through the one factory switch; this tool uses
+  // the surrogate backend (paper-scale simulated cluster).
+  const std::unique_ptr<core::Evaluator> evaluator =
+      core::make_evaluator(core::EvalBackendConfig{});
+
+  core::ExperimentConfig config;
+  config.mode = mode;
+  config.driver.population_size = pop;
+  config.driver.generations = generations;
+  config.driver.include_runtime_objective = args.has("--runtime-objective");
+  config.driver.farm.node_failure_probability = args.get("--failure-rate", 5e-4);
+  config.driver.farm.real_threads = 2;
+  if (args.has("--fault-plan")) {
+    try {
+      config.driver.farm.faults =
+          hpc::load_fault_plan(args.get("--fault-plan", std::string()));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "--fault-plan: %s\n", e.what());
+      return 2;
     }
-  } else {
-    core::ExperimentConfig config;
-    config.driver.population_size = pop;
-    config.driver.generations = generations;
-    config.driver.include_runtime_objective = args.has("--runtime-objective");
-    config.driver.farm.node_failure_probability = args.get("--failure-rate", 5e-4);
-    config.driver.farm.real_threads = 2;
-    if (args.has("--checkpoint-dir")) {
-      config.checkpoint_dir = args.get("--checkpoint-dir", std::string("checkpoints"));
-      config.resume = args.has("--resume");
+  }
+  if (args.has("--trace-dir")) {
+    config.driver.trace_dir = args.get("--trace-dir", std::string("traces"));
+  }
+  if (args.has("--checkpoint-dir")) {
+    config.checkpoint_dir = args.get("--checkpoint-dir", std::string("checkpoints"));
+    config.resume = args.has("--resume");
+    config.async_checkpoint_every =
+        static_cast<std::size_t>(args.get("--checkpoint-every", std::int64_t{1}));
+    if (config.async_checkpoint_every == 0) {
+      std::fprintf(stderr, "--checkpoint-every must be >= 1\n");
+      return 2;
     }
-    config.seeds.clear();
-    for (std::size_t seed = 1; seed <= runs; ++seed) config.seeds.push_back(seed);
-    core::ExperimentRunner runner(config, *evaluator);
-    results = runner.run_all();
-    if (!quiet) {
-      for (const auto& run : results) {
-        std::printf("run %llu: %zu generations, job %.0f simulated minutes\n",
-                    static_cast<unsigned long long>(run.seed),
-                    run.generations.size(), run.job_minutes);
-      }
+  }
+  config.seeds.clear();
+  for (std::size_t seed = 1; seed <= runs; ++seed) config.seeds.push_back(seed);
+
+  core::ExperimentRunner runner(config, *evaluator);
+  const std::vector<core::RunRecord> results = runner.run_all();
+  if (!quiet) {
+    for (const auto& run : results) {
+      std::printf("%s run %llu: %zu evaluations in %.0f simulated minutes"
+                  " (%.0f%% busy)\n",
+                  core::to_string(run.mode).c_str(),
+                  static_cast<unsigned long long>(run.seed),
+                  run.total_evaluations(), run.job_minutes,
+                  100.0 * run.busy_fraction);
     }
   }
 

@@ -1,0 +1,67 @@
+#include "hpc/faultplan_io.hpp"
+
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+namespace dpho::hpc {
+
+std::string to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kKillWorker: return "kill_worker";
+    case FaultKind::kStraggler: return "straggler";
+    case FaultKind::kCorruptPayload: return "corrupt_payload";
+    case FaultKind::kSchedulerRestart: return "scheduler_restart";
+  }
+  throw util::ValueError("invalid fault kind");
+}
+
+FaultKind fault_kind_from_string(const std::string& name) {
+  for (const FaultKind kind :
+       {FaultKind::kKillWorker, FaultKind::kStraggler, FaultKind::kCorruptPayload,
+        FaultKind::kSchedulerRestart}) {
+    if (to_string(kind) == name) return kind;
+  }
+  throw util::ParseError("unknown fault kind: " + name);
+}
+
+util::Json fault_plan_to_json(const FaultPlan& plan) {
+  util::JsonArray events;
+  for (const FaultEvent& event : plan.events) {
+    util::JsonObject obj;
+    obj["kind"] = to_string(event.kind);
+    obj["batch"] = event.batch;
+    obj["task"] = event.task;
+    obj["attempt"] = event.attempt;
+    obj["factor"] = event.factor;
+    obj["delay_minutes"] = event.delay_minutes;
+    events.push_back(util::Json(std::move(obj)));
+  }
+  util::JsonObject doc;
+  doc["events"] = util::Json(std::move(events));
+  return util::Json(std::move(doc));
+}
+
+FaultPlan fault_plan_from_json(const util::Json& json) {
+  if (!json.is_object() || !json.contains("events")) {
+    throw util::ParseError("fault plan: expected {\"events\": [...]}");
+  }
+  FaultPlan plan;
+  for (const util::Json& entry : json.at("events").as_array()) {
+    FaultEvent event;
+    event.kind = fault_kind_from_string(entry.at("kind").as_string());
+    event.batch = static_cast<std::size_t>(entry.at("batch").as_int());
+    // task is meaningless for scheduler_restart events, so it is optional.
+    event.task = static_cast<std::size_t>(entry.number_or("task", 0.0));
+    event.attempt = static_cast<std::size_t>(entry.number_or("attempt", 1.0));
+    event.factor = entry.number_or("factor", 1.0);
+    event.delay_minutes = entry.number_or("delay_minutes", 0.0);
+    plan.events.push_back(event);
+  }
+  return plan;
+}
+
+FaultPlan load_fault_plan(const std::filesystem::path& path) {
+  return fault_plan_from_json(util::Json::parse(util::read_file(path)));
+}
+
+}  // namespace dpho::hpc

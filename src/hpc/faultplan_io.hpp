@@ -1,0 +1,26 @@
+// JSON (de)serialization for scripted fault plans, so deterministic fault
+// schedules can be authored in files and passed to tools (`dpho_hpo
+// --fault-plan plan.json`) as well as embedded in checkpoints.
+//
+// Format: {"events": [{"kind": "kill_worker", "batch": 0, "task": 3,
+//                      "attempt": 1, "factor": 1.0, "delay_minutes": 0.0}, ...]}
+// with `attempt`/`factor`/`delay_minutes` optional (defaults as in FaultEvent).
+#pragma once
+
+#include <filesystem>
+
+#include "hpc/taskfarm.hpp"
+#include "util/json.hpp"
+
+namespace dpho::hpc {
+
+std::string to_string(FaultKind kind);
+FaultKind fault_kind_from_string(const std::string& name);
+
+util::Json fault_plan_to_json(const FaultPlan& plan);
+FaultPlan fault_plan_from_json(const util::Json& json);
+
+/// Reads a fault plan from a JSON file; throws IoError / ParseError.
+FaultPlan load_fault_plan(const std::filesystem::path& path);
+
+}  // namespace dpho::hpc

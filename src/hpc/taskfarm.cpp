@@ -18,6 +18,15 @@ std::string to_string(TaskStatus status) {
   throw util::ValueError("invalid task status");
 }
 
+TaskStatus task_status_from_string(const std::string& name) {
+  for (const TaskStatus status :
+       {TaskStatus::kOk, TaskStatus::kTimeout, TaskStatus::kTrainingError,
+        TaskStatus::kNodeFailure}) {
+    if (to_string(status) == name) return status;
+  }
+  throw util::ParseError("unknown task status: " + name);
+}
+
 std::string to_string(FailureCause cause) {
   switch (cause) {
     case FailureCause::kNone: return "none";
@@ -34,6 +43,19 @@ std::string to_string(FailureCause cause) {
     case FailureCause::kPayloadCorruption: return "payload_corruption";
   }
   throw util::ValueError("invalid failure cause");
+}
+
+FailureCause failure_cause_from_string(const std::string& name) {
+  for (const FailureCause cause :
+       {FailureCause::kNone, FailureCause::kTrainingFailure,
+        FailureCause::kNonZeroExit, FailureCause::kWallLimit,
+        FailureCause::kHungProcess, FailureCause::kMissingArtifact,
+        FailureCause::kCorruptArtifact, FailureCause::kNonFiniteFitness,
+        FailureCause::kException, FailureCause::kNodeLoss,
+        FailureCause::kMpiRelaunch, FailureCause::kPayloadCorruption}) {
+    if (to_string(cause) == name) return cause;
+  }
+  throw util::ParseError("unknown failure cause: " + name);
 }
 
 DaskCluster::DaskCluster(const ClusterSpec& cluster, const FarmConfig& config)
@@ -58,6 +80,14 @@ FarmSnapshot DaskCluster::snapshot() const {
   snap.tasks_run_on_node = tasks_run_on_node_;
   snap.rng = rng_.save_state();
   snap.batches_run = batches_run_;
+  snap.stream_active = stream_active_;
+  snap.stream_now = stream_now_;
+  snap.stream_batch = stream_batch_;
+  snap.stream_node_failures = stream_node_failures_;
+  snap.stream_scheduler_restarts = stream_scheduler_restarts_;
+  snap.stream_free_at = stream_free_at_;
+  snap.stream_in_flight = stream_in_flight_;
+  snap.stream_delivered = stream_delivered_;
   return snap;
 }
 
@@ -70,6 +100,14 @@ void DaskCluster::restore(const FarmSnapshot& snapshot) {
   tasks_run_on_node_ = snapshot.tasks_run_on_node;
   rng_.restore_state(snapshot.rng);
   batches_run_ = snapshot.batches_run;
+  stream_active_ = snapshot.stream_active;
+  stream_now_ = snapshot.stream_now;
+  stream_batch_ = snapshot.stream_batch;
+  stream_node_failures_ = snapshot.stream_node_failures;
+  stream_scheduler_restarts_ = snapshot.stream_scheduler_restarts;
+  stream_free_at_ = snapshot.stream_free_at;
+  stream_in_flight_ = snapshot.stream_in_flight;
+  stream_delivered_ = snapshot.stream_delivered;
 }
 
 BatchReport DaskCluster::run_batch(std::size_t num_tasks, const WorkFn& work) {
@@ -226,6 +264,187 @@ BatchReport DaskCluster::run_batch(std::size_t num_tasks, const WorkFn& work) {
   report.workers_remaining = live;
   report.makespan_minutes = makespan;
   clock_minutes_ += makespan;
+  return report;
+}
+
+void DaskCluster::stream_begin() {
+  if (stream_active_) throw util::ValueError("stream session already active");
+  if (live_workers_ == 0) throw util::ValueError("no live workers remain");
+  stream_active_ = true;
+  stream_batch_ = batches_run_++;
+  stream_now_ = 0.0;
+  stream_node_failures_ = 0;
+  stream_scheduler_restarts_ = 0;
+  stream_in_flight_.clear();
+  stream_delivered_.clear();
+
+  double scheduler_delay = 0.0;
+  for (const FaultEvent& event : config_.faults.events) {
+    if (event.batch != stream_batch_ ||
+        event.kind != FaultKind::kSchedulerRestart) {
+      continue;
+    }
+    scheduler_delay = std::max(scheduler_delay, event.delay_minutes);
+    ++stream_scheduler_restarts_;
+    util::log_info() << "taskfarm: scheduler restart at batch " << stream_batch_
+                     << ", workers idle for " << event.delay_minutes << " min";
+  }
+  stream_free_at_.assign(tasks_run_on_node_.size(), scheduler_delay);
+}
+
+void DaskCluster::stream_submit(std::size_t id, WorkResult result) {
+  if (!stream_active_) throw util::ValueError("no stream session active");
+
+  // Payload-level scripted faults, keyed (session batch, task id) exactly as
+  // run_batch keys (batch, task index).
+  for (const FaultEvent& event : config_.faults.events) {
+    if (event.batch != stream_batch_ || event.task != id) continue;
+    switch (event.kind) {
+      case FaultKind::kStraggler:
+        result.sim_minutes *= event.factor;
+        break;
+      case FaultKind::kCorruptPayload:
+        result.fitness.clear();
+        result.training_error = true;
+        result.cause = FailureCause::kPayloadCorruption;
+        break;
+      case FaultKind::kKillWorker:
+      case FaultKind::kSchedulerRestart:
+        break;
+    }
+  }
+  const auto scripted_kill = [&](std::size_t attempt) {
+    for (const FaultEvent& event : config_.faults.events) {
+      if (event.kind == FaultKind::kKillWorker && event.batch == stream_batch_ &&
+          event.task == id && event.attempt == attempt) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  InFlightTask entry;
+  entry.id = id;
+  TaskReport& tr = entry.report;
+  // Causality: the scheduler only submits once it has seen the completion
+  // that freed a slot, so no attempt starts before the session clock.
+  double ready_at = stream_now_;
+  for (std::size_t attempt = 1;; ++attempt) {
+    tr.attempts = attempt;
+    tr.payload_attempts = result.attempts;
+    // Earliest-free live node, ties broken by the lowest index.
+    constexpr auto kNoNode = static_cast<std::size_t>(-1);
+    std::size_t node = kNoNode;
+    for (std::size_t n = 0; n < tasks_run_on_node_.size(); ++n) {
+      if (tasks_run_on_node_[n] == kNoNode) continue;  // dead
+      if (node == kNoNode || stream_free_at_[n] < stream_free_at_[node]) node = n;
+    }
+    if (node == kNoNode) {
+      // Every node died; the task is unrecoverable.
+      tr.status = TaskStatus::kNodeFailure;
+      tr.cause = FailureCause::kNodeLoss;
+      entry.finish_at = ready_at;
+      break;
+    }
+    tr.node = node;
+    const double start = std::max(stream_free_at_[node], ready_at);
+
+    // Node-failure injection (nannies disabled: the node never comes back).
+    const bool killed = scripted_kill(attempt);
+    if (killed || rng_.bernoulli(config_.node_failure_probability)) {
+      const double run_cap =
+          std::min(result.sim_minutes, config_.task_timeout_minutes);
+      const double elapsed = killed ? 0.5 * run_cap : rng_.uniform(0.0, run_cap);
+      tasks_run_on_node_[node] = kNoNode;
+      --live_workers_;
+      ++stream_node_failures_;
+      util::log_info() << "taskfarm: node " << node << " died; reassigning task "
+                       << id;
+      ready_at = start + elapsed;  // the retry waits for the failure signal
+      if (attempt < config_.max_attempts) continue;
+      tr.status = TaskStatus::kNodeFailure;
+      tr.cause = FailureCause::kNodeLoss;
+      entry.finish_at = ready_at;
+      break;
+    }
+
+    // The MPI-relaunch rule: workers resident on compute nodes cannot start
+    // a second MPI_init-based training (section 2.2.5).
+    const bool mpi_blocked =
+        config_.job.placement == WorkerPlacement::kComputeNode &&
+        tasks_run_on_node_[node] > 0;
+    double duration = 0.0;
+    if (mpi_blocked || result.training_error) {
+      duration = std::min(1.0, result.sim_minutes);
+      tr.status = TaskStatus::kTrainingError;
+      tr.cause = mpi_blocked ? FailureCause::kMpiRelaunch
+                 : result.cause != FailureCause::kNone
+                     ? result.cause
+                     : FailureCause::kTrainingFailure;
+    } else if (result.sim_minutes > config_.task_timeout_minutes) {
+      duration = config_.task_timeout_minutes;
+      tr.status = TaskStatus::kTimeout;
+      tr.cause = result.cause != FailureCause::kNone ? result.cause
+                                                     : FailureCause::kWallLimit;
+    } else {
+      duration = result.sim_minutes;
+      tr.status = TaskStatus::kOk;
+      tr.cause = FailureCause::kNone;
+      tr.fitness = result.fitness;
+    }
+    tr.sim_minutes = duration;
+    ++tasks_run_on_node_[node];
+    stream_free_at_[node] = start + duration;
+    entry.finish_at = start + duration;
+    break;
+  }
+  tr.finish_minute = clock_minutes_ + entry.finish_at;
+  stream_in_flight_.push_back(entry);
+}
+
+std::optional<StreamCompletion> DaskCluster::stream_next() {
+  if (!stream_active_) throw util::ValueError("no stream session active");
+  if (stream_in_flight_.empty()) return std::nullopt;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < stream_in_flight_.size(); ++i) {
+    const InFlightTask& a = stream_in_flight_[i];
+    const InFlightTask& b = stream_in_flight_[best];
+    if (a.finish_at < b.finish_at ||
+        (a.finish_at == b.finish_at && a.id < b.id)) {
+      best = i;
+    }
+  }
+  const InFlightTask task = stream_in_flight_[best];
+  stream_in_flight_.erase(stream_in_flight_.begin() +
+                          static_cast<std::ptrdiff_t>(best));
+  stream_now_ = std::max(stream_now_, task.finish_at);
+  const StreamCompletion done{task.id, task.report};
+  stream_delivered_.push_back(done);
+  return done;
+}
+
+BatchReport DaskCluster::stream_end() {
+  if (!stream_active_) throw util::ValueError("no stream session active");
+  if (!stream_in_flight_.empty()) {
+    throw util::ValueError("stream session still has in-flight tasks");
+  }
+  BatchReport report;
+  std::size_t num_tasks = 0;
+  for (const StreamCompletion& done : stream_delivered_) {
+    num_tasks = std::max(num_tasks, done.id + 1);
+  }
+  report.tasks.resize(num_tasks);
+  for (const StreamCompletion& done : stream_delivered_) {
+    report.tasks[done.id] = done.report;
+  }
+  report.makespan_minutes = stream_now_;
+  report.node_failures = stream_node_failures_;
+  report.workers_remaining = live_workers_;
+  report.scheduler_restarts = stream_scheduler_restarts_;
+  clock_minutes_ += stream_now_;
+  stream_active_ = false;
+  stream_free_at_.clear();
+  stream_delivered_.clear();
   return report;
 }
 

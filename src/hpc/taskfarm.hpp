@@ -17,6 +17,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "hpc/cluster.hpp"
@@ -44,6 +46,8 @@ enum class FailureCause : std::uint8_t {
 };
 
 std::string to_string(FailureCause cause);
+/// Inverse of to_string(FailureCause); throws util::ParseError on unknown names.
+FailureCause failure_cause_from_string(const std::string& name);
 
 /// What one unit of work reports back.
 struct WorkResult {
@@ -66,6 +70,8 @@ enum class TaskStatus : std::uint8_t {
 };
 
 std::string to_string(TaskStatus status);
+/// Inverse of to_string(TaskStatus); throws util::ParseError on unknown names.
+TaskStatus task_status_from_string(const std::string& name);
 
 /// Per-task accounting.
 struct TaskReport {
@@ -127,14 +133,40 @@ struct FarmConfig {
   std::uint64_t seed = 0;
 };
 
+/// One resolved completion handed back by stream_next(), in simulated-time
+/// order.  `id` is the caller-chosen task id passed to stream_submit().
+struct StreamCompletion {
+  std::size_t id = 0;
+  TaskReport report;
+};
+
+/// A submitted task whose completion has not yet been delivered.  The report
+/// is fully resolved at submit time (the farm is a deterministic replay);
+/// only its *delivery* waits for the simulated clock to reach `finish_at`.
+struct InFlightTask {
+  std::size_t id = 0;
+  double finish_at = 0.0;  // minutes since stream_begin()
+  TaskReport report;
+};
+
 /// Serializable mutable state of a DaskCluster; lets a resumed run continue
-/// the farm's RNG stream, job clock and node-health map bit-for-bit.
+/// the farm's RNG stream, job clock and node-health map bit-for-bit.  The
+/// stream_* fields capture a mid-wave steady-state session so an async run
+/// can crash between completions and resume without re-running any task.
 struct FarmSnapshot {
   double clock_minutes = 0.0;
   std::size_t live_workers = 0;
   std::vector<std::size_t> tasks_run_on_node;  // SIZE_MAX marks a dead node
   util::RngState rng;
   std::size_t batches_run = 0;
+  bool stream_active = false;
+  double stream_now = 0.0;
+  std::size_t stream_batch = 0;
+  std::size_t stream_node_failures = 0;
+  std::size_t stream_scheduler_restarts = 0;
+  std::vector<double> stream_free_at;          // per-node next-free minute
+  std::vector<InFlightTask> stream_in_flight;
+  std::vector<StreamCompletion> stream_delivered;
 };
 
 /// The scheduler + workers + client ensemble.
@@ -144,6 +176,39 @@ class DaskCluster {
 
   /// Farms `num_tasks` work items; advances the job clock by the makespan.
   BatchReport run_batch(std::size_t num_tasks, const WorkFn& work);
+
+  /// --- Streaming (steady-state) session -------------------------------
+  /// One session is the event-driven analogue of one run_batch() call: it
+  /// consumes one batch index (fault events key on it), applies any
+  /// scheduler-restart delay up front, and advances the job clock by the
+  /// session makespan at stream_end().  Tasks are submitted one at a time
+  /// as completions free workers; kills, stragglers, corruption, retries
+  /// and the MPI-relaunch rule behave exactly as in run_batch().
+
+  /// Opens a streaming session.  Throws if one is already active.
+  void stream_begin();
+
+  /// Schedules one already-computed payload onto the earliest-free live
+  /// worker.  Retries node kills up to max_attempts; the fully resolved
+  /// report becomes deliverable once the simulated clock reaches its
+  /// finish time.  A task submitted now never starts before the latest
+  /// delivered completion (causality: the scheduler only learned of the
+  /// free slot then).
+  void stream_submit(std::size_t id, WorkResult result);
+
+  /// Delivers the earliest-finishing in-flight task (ties broken by id)
+  /// and advances the session clock to it; nullopt when none remain.
+  std::optional<StreamCompletion> stream_next();
+
+  /// Closes the session: advances the job clock by the makespan and folds
+  /// every delivered report into a BatchReport indexed by task id.  Throws
+  /// if undelivered tasks remain.
+  BatchReport stream_end();
+
+  bool stream_active() const { return stream_active_; }
+  std::size_t stream_pending() const { return stream_in_flight_.size(); }
+  double stream_now() const { return stream_now_; }
+  std::size_t stream_node_failures() const { return stream_node_failures_; }
 
   /// Minutes of job wall clock consumed so far.
   double clock_minutes() const { return clock_minutes_; }
@@ -172,6 +237,15 @@ class DaskCluster {
   std::size_t live_workers_ = 0;
   std::vector<std::size_t> tasks_run_on_node_;  // for the MPI-relaunch rule
   std::size_t batches_run_ = 0;
+  // Streaming-session state (valid while stream_active_).
+  bool stream_active_ = false;
+  double stream_now_ = 0.0;
+  std::size_t stream_batch_ = 0;
+  std::size_t stream_node_failures_ = 0;
+  std::size_t stream_scheduler_restarts_ = 0;
+  std::vector<double> stream_free_at_;
+  std::vector<InFlightTask> stream_in_flight_;
+  std::vector<StreamCompletion> stream_delivered_;
 };
 
 }  // namespace dpho::hpc

@@ -22,10 +22,16 @@ TEST(AsyncDriver, CompletesExactBudget) {
   const auto evaluator_ptr = make_evaluator(EvalBackendConfig{});
   const Evaluator& evaluator = *evaluator_ptr;
   AsyncSteadyStateDriver driver(small_config(), evaluator);
-  const AsyncRunRecord run = driver.run(1);
-  EXPECT_EQ(run.evaluations.size(), 140u);
+  const RunRecord run = driver.run(1);
+  EXPECT_EQ(run.mode, ScheduleMode::kSteadyState);
+  EXPECT_EQ(run.total_evaluations(), 140u);
   EXPECT_EQ(run.final_population.size(), 20u);
-  EXPECT_GT(run.total_minutes, 0.0);
+  EXPECT_GT(run.job_minutes, 0.0);
+  // 140 completions over capacity-20 waves: 7 full waves.
+  EXPECT_EQ(run.generations.size(), 7u);
+  for (const GenerationRecord& wave : run.generations) {
+    EXPECT_EQ(wave.evaluated.size(), 20u);
+  }
 }
 
 TEST(AsyncDriver, DeterministicForSeed) {
@@ -33,25 +39,29 @@ TEST(AsyncDriver, DeterministicForSeed) {
   const Evaluator& evaluator = *evaluator_ptr;
   AsyncSteadyStateDriver a(small_config(), evaluator);
   AsyncSteadyStateDriver b(small_config(), evaluator);
-  const AsyncRunRecord ra = a.run(5);
-  const AsyncRunRecord rb = b.run(5);
-  ASSERT_EQ(ra.evaluations.size(), rb.evaluations.size());
-  for (std::size_t i = 0; i < ra.evaluations.size(); ++i) {
-    EXPECT_EQ(ra.evaluations[i].fitness, rb.evaluations[i].fitness);
+  const RunRecord ra = a.run(5);
+  const RunRecord rb = b.run(5);
+  const std::vector<EvalRecord> ea_ = ra.all_evaluations();
+  const std::vector<EvalRecord> eb = rb.all_evaluations();
+  ASSERT_EQ(ea_.size(), eb.size());
+  for (std::size_t i = 0; i < ea_.size(); ++i) {
+    EXPECT_EQ(ea_[i].fitness, eb[i].fitness);
+    EXPECT_EQ(ea_[i].uuid, eb[i].uuid);
   }
-  EXPECT_DOUBLE_EQ(ra.total_minutes, rb.total_minutes);
+  EXPECT_DOUBLE_EQ(ra.job_minutes, rb.job_minutes);
 }
 
 TEST(AsyncDriver, QualityImprovesOverCompletions) {
   const auto evaluator_ptr = make_evaluator(EvalBackendConfig{});
   const Evaluator& evaluator = *evaluator_ptr;
   AsyncSteadyStateDriver driver(small_config(30, 300), evaluator);
-  const AsyncRunRecord run = driver.run(3);
+  const RunRecord run = driver.run(3);
+  const std::vector<EvalRecord> evaluations = run.all_evaluations();
   const auto median_force = [&](std::size_t begin, std::size_t end) {
     std::vector<double> forces;
     for (std::size_t i = begin; i < end; ++i) {
-      if (run.evaluations[i].status == ea::EvalStatus::kOk) {
-        forces.push_back(run.evaluations[i].fitness[1]);
+      if (evaluations[i].status == ea::EvalStatus::kOk) {
+        forces.push_back(evaluations[i].fitness[1]);
       }
     }
     return util::quantile(forces, 0.5);
@@ -65,7 +75,7 @@ TEST(AsyncDriver, HighUtilizationDespiteHeterogeneousRuntimes) {
   const auto evaluator_ptr = make_evaluator(EvalBackendConfig{});
   const Evaluator& evaluator = *evaluator_ptr;
   AsyncSteadyStateDriver driver(small_config(25, 250), evaluator);
-  const AsyncRunRecord run = driver.run(7);
+  const RunRecord run = driver.run(7);
   EXPECT_GT(run.busy_fraction, 0.9);
 }
 
@@ -86,9 +96,9 @@ TEST(AsyncDriver, FasterThanGenerationalAtEqualBudget) {
 
   AsyncDriverConfig async = small_config(workers, workers * 7);
   AsyncSteadyStateDriver async_driver(async, evaluator);
-  const AsyncRunRecord async_run = async_driver.run(9);
+  const RunRecord async_run = async_driver.run(9);
 
-  EXPECT_LT(async_run.total_minutes, sync_run.job_minutes);
+  EXPECT_LT(async_run.job_minutes, sync_run.job_minutes);
 }
 
 TEST(AsyncDriver, FailuresGetMaxIntAndAreCounted) {
@@ -96,27 +106,31 @@ TEST(AsyncDriver, FailuresGetMaxIntAndAreCounted) {
   const Evaluator& evaluator = *evaluator_ptr;
   AsyncDriverConfig config = small_config(20, 200);
   AsyncSteadyStateDriver driver(config, evaluator);
-  const AsyncRunRecord run = driver.run(11);
+  const RunRecord run = driver.run(11);
   std::size_t observed = 0;
-  for (const EvalRecord& record : run.evaluations) {
+  for (const EvalRecord& record : run.all_evaluations()) {
     if (record.status != ea::EvalStatus::kOk) {
       ++observed;
       EXPECT_DOUBLE_EQ(record.fitness[0], ea::kFailureFitness);
     }
   }
-  EXPECT_EQ(observed, run.failures);
+  EXPECT_EQ(observed, run.total_failures());
 }
 
-TEST(AsyncDriver, CompletionTimesNondecreasing) {
+TEST(AsyncDriver, WaveMakespansPartitionTheJobClock) {
   const auto evaluator_ptr = make_evaluator(EvalBackendConfig{});
   const Evaluator& evaluator = *evaluator_ptr;
   AsyncSteadyStateDriver driver(small_config(), evaluator);
-  const AsyncRunRecord run = driver.run(13);
-  // The recorded order is completion order by construction; generation field
-  // carries the completion index.
-  for (std::size_t i = 0; i < run.evaluations.size(); ++i) {
-    EXPECT_EQ(run.evaluations[i].generation, static_cast<int>(i));
+  const RunRecord run = driver.run(13);
+  // Waves are chunks of completions in delivery order; their makespans tile
+  // the session, so they sum to (at most) the job clock.
+  double wave_sum = 0.0;
+  for (const GenerationRecord& wave : run.generations) {
+    EXPECT_GE(wave.makespan_minutes, 0.0);
+    wave_sum += wave.makespan_minutes;
   }
+  EXPECT_LE(wave_sum, run.job_minutes + 1e-9);
+  EXPECT_GT(wave_sum, 0.0);
 }
 
 TEST(AsyncDriver, Validation) {

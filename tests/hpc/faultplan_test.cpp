@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include "hpc/faultplan_io.hpp"
 #include "util/error.hpp"
+#include "util/fs.hpp"
 
 namespace dpho::hpc {
 namespace {
@@ -208,6 +210,55 @@ TEST(FaultPlan, FailureCauseStrings) {
   EXPECT_EQ(to_string(FailureCause::kNonFiniteFitness), "nonfinite_fitness");
   EXPECT_EQ(to_string(FailureCause::kNodeLoss), "node_loss");
   EXPECT_EQ(to_string(FailureCause::kPayloadCorruption), "payload_corruption");
+}
+
+TEST(FaultPlanIo, JsonRoundTripPreservesEveryEvent) {
+  FaultPlan plan;
+  plan.events.push_back(kill_event(0, 4, 2));
+  FaultEvent straggler;
+  straggler.kind = FaultKind::kStraggler;
+  straggler.batch = 1;
+  straggler.task = 7;
+  straggler.factor = 3.5;
+  plan.events.push_back(straggler);
+  FaultEvent corrupt;
+  corrupt.kind = FaultKind::kCorruptPayload;
+  corrupt.batch = 2;
+  corrupt.task = 9;
+  plan.events.push_back(corrupt);
+  FaultEvent restart;
+  restart.kind = FaultKind::kSchedulerRestart;
+  restart.batch = 3;
+  restart.delay_minutes = 17.0;
+  plan.events.push_back(restart);
+
+  const FaultPlan back = fault_plan_from_json(fault_plan_to_json(plan));
+  ASSERT_EQ(back.events.size(), plan.events.size());
+  for (std::size_t i = 0; i < plan.events.size(); ++i) {
+    EXPECT_EQ(back.events[i].kind, plan.events[i].kind);
+    EXPECT_EQ(back.events[i].batch, plan.events[i].batch);
+    EXPECT_EQ(back.events[i].task, plan.events[i].task);
+    EXPECT_EQ(back.events[i].attempt, plan.events[i].attempt);
+    EXPECT_DOUBLE_EQ(back.events[i].factor, plan.events[i].factor);
+    EXPECT_DOUBLE_EQ(back.events[i].delay_minutes, plan.events[i].delay_minutes);
+  }
+}
+
+TEST(FaultPlanIo, LoadsFromFileAndRejectsUnknownKind) {
+  util::TempDir dir("faultplan-io");
+  const auto path = dir.path() / "plan.json";
+  util::write_file(path,
+                   "{\"events\": [{\"kind\": \"kill_worker\", \"batch\": 1,"
+                   " \"task\": 2, \"attempt\": 3}]}");
+  const FaultPlan plan = load_fault_plan(path);
+  ASSERT_EQ(plan.events.size(), 1u);
+  EXPECT_EQ(plan.events[0].kind, FaultKind::kKillWorker);
+  EXPECT_EQ(plan.events[0].batch, 1u);
+  EXPECT_EQ(plan.events[0].task, 2u);
+  EXPECT_EQ(plan.events[0].attempt, 3u);
+
+  util::write_file(path, "{\"events\": [{\"kind\": \"meteor_strike\"}]}");
+  EXPECT_THROW(load_fault_plan(path), util::ParseError);
 }
 
 }  // namespace

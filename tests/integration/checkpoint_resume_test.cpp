@@ -3,6 +3,7 @@
 // uninterrupted run (compared through the lossless JSON round-trip).
 #include <gtest/gtest.h>
 
+#include "core/async_driver.hpp"
 #include "core/checkpoint.hpp"
 #include "core/driver.hpp"
 #include "core/experiment.hpp"
@@ -128,6 +129,87 @@ TEST(CheckpointResume, SeedMismatchIsRejected) {
   config.halt_after_generation.reset();
   config.resume = true;
   Nsga2Driver other(config, evaluator);
+  EXPECT_THROW(other.run(8), util::ValueError);  // directory belongs to seed 7
+}
+
+AsyncDriverConfig small_async_config() {
+  AsyncDriverConfig config;
+  config.num_workers = 8;
+  config.population_capacity = 8;
+  config.total_evaluations = 40;  // 5 waves of 8 completions
+  return config;
+}
+
+hpc::FaultPlan stream_faults() {
+  // A kill that forces a retry, a straggler, and a permanent node loss --
+  // all inside farm batch 0 (the whole stream session is one batch).
+  hpc::FaultPlan plan;
+  const auto kill = [](std::size_t task, std::size_t attempt) {
+    hpc::FaultEvent event;
+    event.kind = hpc::FaultKind::kKillWorker;
+    event.batch = 0;
+    event.task = task;
+    event.attempt = attempt;
+    return event;
+  };
+  plan.events = {kill(2, 1), kill(13, 1), kill(13, 2), kill(13, 3)};
+  hpc::FaultEvent straggler;
+  straggler.kind = hpc::FaultKind::kStraggler;
+  straggler.batch = 0;
+  straggler.task = 22;
+  straggler.factor = 3.0;
+  plan.events.push_back(straggler);
+  return plan;
+}
+
+TEST(CheckpointResume, SteadyStateResumeMidWaveEqualsUninterrupted) {
+  // Satellite of the unified-engine refactor: an async run killed mid-wave
+  // (completion 19 of 40 is inside wave 2) with fault injection active must
+  // resume to a bit-identical final archive AND bit-identical CSV export.
+  const auto evaluator_ptr = make_evaluator(EvalBackendConfig{});
+  const Evaluator& evaluator = *evaluator_ptr;
+  const std::uint64_t seed = 13;
+
+  AsyncDriverConfig config = small_async_config();
+  config.farm.faults = stream_faults();
+  AsyncSteadyStateDriver uninterrupted(config, evaluator);
+  const RunRecord full = uninterrupted.run(seed);
+
+  util::TempDir dir("resume-steady");
+  config.checkpoint_dir = dir.path();
+  config.halt_after_evaluations = 19;  // mid-wave preemption
+  AsyncSteadyStateDriver halted(config, evaluator);
+  const RunRecord partial = halted.run(seed);
+  EXPECT_EQ(partial.generations.size(), 2u);  // waves 0 and 1 closed
+  {
+    const auto checkpoint = CheckpointManager(dir.path()).load();
+    ASSERT_TRUE(checkpoint.has_value());
+    EXPECT_EQ(checkpoint->mode, ScheduleMode::kSteadyState);
+    EXPECT_EQ(checkpoint->completed_generations, 19u);  // completions so far
+    EXPECT_FALSE(checkpoint->in_flight.empty());        // tasks still running
+  }
+
+  config.halt_after_evaluations.reset();
+  config.resume = true;
+  AsyncSteadyStateDriver resumed_driver(config, evaluator);
+  const RunRecord resumed = resumed_driver.run(seed);
+
+  EXPECT_EQ(dump(resumed), dump(full));
+  EXPECT_EQ(records_csv({resumed}), records_csv({full}));
+}
+
+TEST(CheckpointResume, SteadyStateSeedMismatchIsRejected) {
+  const auto evaluator_ptr = make_evaluator(EvalBackendConfig{});
+  const Evaluator& evaluator = *evaluator_ptr;
+  AsyncDriverConfig config = small_async_config();
+  util::TempDir dir("resume-steady-seed");
+  config.checkpoint_dir = dir.path();
+  config.halt_after_evaluations = 10;
+  AsyncSteadyStateDriver(config, evaluator).run(7);
+
+  config.halt_after_evaluations.reset();
+  config.resume = true;
+  AsyncSteadyStateDriver other(config, evaluator);
   EXPECT_THROW(other.run(8), util::ValueError);  // directory belongs to seed 7
 }
 

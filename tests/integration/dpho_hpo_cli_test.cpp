@@ -52,6 +52,49 @@ TEST(DphoHpoCli, AsyncModeRuns) {
   EXPECT_EQ(rows.size(), 1u + 30u);  // header + pop x (generations + 1)
 }
 
+TEST(DphoHpoCli, AsyncModeComposesWithFaultsTracesAndCheckpoints) {
+  // The acceptance path of the unified engine: --mode async together with
+  // scripted faults, trace export, and checkpoint/resume in one invocation.
+  util::TempDir dir;
+  const std::string out = (dir.path() / "results").string();
+  const std::string traces = (dir.path() / "traces").string();
+  const std::string checkpoints = (dir.path() / "ckpt").string();
+  const std::string plan_file = (dir.path() / "faults.json").string();
+  util::write_file(plan_file,
+                   "{\"events\": [{\"kind\": \"kill_worker\", \"batch\": 0,"
+                   " \"task\": 4, \"attempt\": 1},"
+                   " {\"kind\": \"straggler\", \"batch\": 0, \"task\": 9,"
+                   " \"factor\": 3.0}]}");
+  const std::string base = std::string(DPHO_HPO_BIN) +
+                           " --mode async --pop 10 --generations 2 --runs 1" +
+                           " --fault-plan " + plan_file + " --trace-dir " + traces +
+                           " --checkpoint-dir " + checkpoints + " --out " + out +
+                           " --quiet > /dev/null 2>&1";
+  ASSERT_EQ(run_command(base), 0);
+  EXPECT_TRUE(std::filesystem::exists(dir.path() / "traces" / "trace-stream.csv"));
+  EXPECT_TRUE(std::filesystem::exists(dir.path() / "traces" / "gantt-stream.txt"));
+  EXPECT_TRUE(std::filesystem::exists(dir.path() / "ckpt" / "seed-1"));
+  const std::string first = util::read_file(dir.path() / "results" / "evaluations.csv");
+
+  // Resuming an already-finished run replays to the identical artifact.
+  const int resumed = run_command(std::string(DPHO_HPO_BIN) +
+                                  " --mode async --pop 10 --generations 2 --runs 1" +
+                                  " --fault-plan " + plan_file + " --checkpoint-dir " +
+                                  checkpoints + " --resume --out " + out +
+                                  " --quiet > /dev/null 2>&1");
+  ASSERT_EQ(resumed, 0);
+  EXPECT_EQ(util::read_file(dir.path() / "results" / "evaluations.csv"), first);
+}
+
+TEST(DphoHpoCli, BadFaultPlanExitsTwo) {
+  util::TempDir dir;
+  const std::string plan_file = (dir.path() / "faults.json").string();
+  util::write_file(plan_file, "{\"events\": [{\"kind\": \"meteor_strike\"}]}");
+  EXPECT_EQ(run_command(std::string(DPHO_HPO_BIN) + " --fault-plan " + plan_file +
+                        " --pop 8 --generations 1 --runs 1 --quiet >/dev/null 2>&1"),
+            2);
+}
+
 TEST(DphoHpoCli, RuntimeObjectiveModeRuns) {
   const int code = run_command(std::string(DPHO_HPO_BIN) +
                                " --runtime-objective --pop 8 --generations 1"
