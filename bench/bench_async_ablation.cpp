@@ -8,7 +8,14 @@
 //   {"bench": "engine_ablation", "smoke": B, "population": N, "budget": E,
 //    "straggler_every": K, "straggler_factor": F, "mean_speedup": S,
 //    "results": [{"mode": M, "seed": s, "makespan_minutes": X,
-//                 "node_idle_fraction": Y, "evaluations": E}, ...]}
+//                 "node_idle_fraction": Y, "evaluations": E}, ...],
+//    "metrics": {"schema": "dpho.metrics.v1", ...}}
+//
+// The `metrics` block is the process-wide obs registry (the same
+// dpho.metrics.v1 document `--metrics-out` runs write), so bench artifacts
+// and run summaries share one schema: the engine.* and farm.* counters
+// accumulated across every ablation run land here exactly as they do in
+// metrics_summary.json.
 //
 // Usage: bench_async_ablation [--smoke] [--out FILE]
 //   --smoke  reduced scale (CI-friendly); also self-validates the JSON
@@ -20,6 +27,8 @@
 
 #include "core/async_driver.hpp"
 #include "hpc/taskfarm.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "util/fs.hpp"
 #include "util/json.hpp"
 
@@ -79,7 +88,7 @@ bool validate_schema(const std::filesystem::path& path) {
   if (!doc.is_object()) return false;
   for (const char* key : {"bench", "smoke", "population", "budget",
                           "straggler_every", "straggler_factor", "mean_speedup",
-                          "results"}) {
+                          "results", "metrics"}) {
     if (!doc.contains(key)) {
       std::fprintf(stderr, "BENCH_engine.json: missing key %s\n", key);
       return false;
@@ -97,6 +106,23 @@ bool validate_schema(const std::filesystem::path& path) {
         return false;
       }
     }
+  }
+  if (!obs::is_metrics_document(doc.at("metrics"))) {
+    std::fprintf(stderr, "BENCH_engine.json: metrics block is not a valid"
+                         " dpho.metrics.v1 document\n");
+    return false;
+  }
+  // The instrumented engine must have counted every evaluation the results
+  // rows report.
+  double reported = 0.0;
+  for (const util::Json& entry : doc.at("results").as_array()) {
+    reported += entry.number_or("evaluations", 0.0);
+  }
+  const util::Json& counters = doc.at("metrics").at("deterministic").at("counters");
+  if (counters.number_or("engine.evaluations_total", 0.0) != reported) {
+    std::fprintf(stderr, "BENCH_engine.json: metrics block disagrees with"
+                         " results on evaluation count\n");
+    return false;
   }
   return true;
 }
@@ -128,6 +154,10 @@ int main(int argc, char** argv) {
               " | speedup\n");
   std::printf("-----+-----------------------------+---------------------"
               "--+--------\n");
+
+  // Fresh process-wide registry: the embedded metrics block must describe
+  // exactly the ablation runs below.
+  obs::metrics().reset();
 
   std::vector<AblationPoint> points;
   double total_speedup = 0.0;
@@ -192,6 +222,7 @@ int main(int argc, char** argv) {
     results.push_back(util::Json(std::move(entry)));
   }
   doc["results"] = util::Json(std::move(results));
+  doc["metrics"] = obs::metrics().to_json();
   util::write_file(out, util::Json(std::move(doc)).dump(2) + "\n");
   std::printf("wrote %s\n", out.string().c_str());
 

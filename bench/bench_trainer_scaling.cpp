@@ -5,7 +5,13 @@
 // Emits BENCH_trainer.json:
 //   {"bench": "trainer_scaling", "hardware_concurrency": N,
 //    "steps": S, "atoms": A, "batch_size": B, "lcurve_identical": true,
-//    "results": [{"threads": T, "steps_per_sec": X, "speedup": Y}, ...]}
+//    "results": [{"threads": T, "steps_per_sec": X, "speedup": Y}, ...],
+//    "metrics": {"schema": "dpho.metrics.v1", ...}}
+//
+// The `metrics` block is the process-wide obs registry (the same
+// dpho.metrics.v1 document `--metrics-out` runs write), so bench artifacts
+// and run summaries share one schema: trainer.* counters/timers land here
+// exactly as they do in metrics_summary.json.
 //
 // Usage: bench_trainer_scaling [--smoke] [--out FILE]
 //   --smoke  reduced scale (CI-friendly); also self-validates the JSON
@@ -19,6 +25,9 @@
 
 #include "dp/trainer.hpp"
 #include "md/simulation.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/timer.hpp"
 #include "util/fs.hpp"
 #include "util/json.hpp"
 
@@ -59,7 +68,7 @@ bool validate_schema(const std::filesystem::path& path) {
   if (!doc.is_object()) return false;
   for (const char* key :
        {"bench", "hardware_concurrency", "steps", "atoms", "batch_size",
-        "lcurve_identical", "results"}) {
+        "lcurve_identical", "results", "metrics"}) {
     if (!doc.contains(key)) {
       std::fprintf(stderr, "BENCH_trainer.json: missing key %s\n", key);
       return false;
@@ -76,6 +85,18 @@ bool validate_schema(const std::filesystem::path& path) {
         return false;
       }
     }
+  }
+  if (!obs::is_metrics_document(doc.at("metrics"))) {
+    std::fprintf(stderr, "BENCH_trainer.json: metrics block is not a valid"
+                         " dpho.metrics.v1 document\n");
+    return false;
+  }
+  // The trainer's own instrumentation must have seen all four runs.
+  const util::Json& counters = doc.at("metrics").at("deterministic").at("counters");
+  if (counters.number_or("trainer.trainings_total", 0.0) != 4.0) {
+    std::fprintf(stderr, "BENCH_trainer.json: expected 4 instrumented"
+                         " trainings in metrics block\n");
+    return false;
   }
   return true;
 }
@@ -118,6 +139,10 @@ int main(int argc, char** argv) {
               atoms, input.training.numb_steps, input.training.batch_size,
               std::thread::hardware_concurrency());
 
+  // Fresh process-wide registry: the embedded metrics block must describe
+  // exactly the four instrumented trainings below.
+  obs::metrics().reset();
+
   std::vector<ScalingPoint> points;
   std::vector<dp::LcurveRow> reference_lcurve;
   bool identical = true;
@@ -126,6 +151,7 @@ int main(int argc, char** argv) {
     dp::TrainerOptions options;
     options.num_threads = threads;
     dp::Trainer trainer(input, data.train, data.validation, options);
+    const obs::ScopedTimer run_timer(obs::metrics(), "bench.run_seconds");
     const dp::TrainResult result = trainer.train();
 
     ScalingPoint point;
@@ -163,6 +189,7 @@ int main(int argc, char** argv) {
     results.push_back(util::Json(std::move(entry)));
   }
   doc["results"] = util::Json(std::move(results));
+  doc["metrics"] = obs::metrics().to_json();
   util::write_file(out, util::Json(std::move(doc)).dump(2) + "\n");
   std::printf("wrote %s\n", out.string().c_str());
 

@@ -36,6 +36,7 @@ RunRecord AsyncSteadyStateDriver::run(std::uint64_t seed) {
   engine_config.halt_after_evaluations = config_.halt_after_evaluations;
   engine_config.checkpoint_every = config_.checkpoint_every;
   engine_config.trace_dir = config_.trace_dir;
+  engine_config.metrics_interval = config_.metrics_interval;
   return EvolutionEngine(std::move(engine_config), evaluator_).run(seed);
 }
 

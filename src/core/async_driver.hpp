@@ -42,6 +42,8 @@ struct AsyncDriverConfig {
   std::optional<std::size_t> halt_after_evaluations;  // graceful preemption
   std::size_t checkpoint_every = 1;       // completions between checkpoints
   std::optional<std::filesystem::path> trace_dir;
+  /// Closed waves between engine.metrics timeline snapshots (0 = off).
+  std::size_t metrics_interval = 0;
 };
 
 class AsyncSteadyStateDriver {

@@ -8,6 +8,8 @@
 #include <limits>
 
 #include "core/experiment.hpp"
+#include "obs/event_sink.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/fs.hpp"
 #include "util/log.hpp"
@@ -355,6 +357,12 @@ void CheckpointManager::save(const DriverCheckpoint& checkpoint) const {
   manifest["seed"] = u64_to_hex(checkpoint.seed);
   manifest["completed_generations"] = checkpoint.completed_generations;
   util::atomic_write_file(dir_ / kManifestName, manifest.dump(2));
+  obs::metrics().counter("checkpoint.saves_total").add(1);
+  obs::events().emit(
+      "checkpoint.save",
+      {{"generation",
+        static_cast<std::int64_t>(checkpoint.completed_generations)},
+       {"path", path.filename().string()}});
 
   // Prune superseded checkpoints (the manifest now names the newest one).
   for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
@@ -399,9 +407,17 @@ std::optional<DriverCheckpoint> CheckpointManager::load() const {
         best = std::move(checkpoint);
       }
     } catch (const std::exception& e) {
+      obs::metrics().counter("checkpoint.load_rejects_total").add(1);
       util::log_info() << "checkpoint: skipping unusable " << path.string() << ": "
                        << e.what();
     }
+  }
+  if (best) {
+    obs::metrics().counter("checkpoint.loads_total").add(1);
+    obs::events().emit(
+        "checkpoint.load",
+        {{"generation",
+          static_cast<std::int64_t>(best->completed_generations)}});
   }
   return best;
 }

@@ -64,6 +64,7 @@ RunRecord Nsga2Driver::run(std::uint64_t seed) {
   engine_config.resume = config_.resume;
   engine_config.halt_after_generation = config_.halt_after_generation;
   engine_config.trace_dir = config_.trace_dir;
+  engine_config.metrics_interval = config_.metrics_interval;
   return EvolutionEngine(std::move(engine_config), evaluator_).run(seed);
 }
 

@@ -109,6 +109,8 @@ struct DriverConfig {
   /// When set, per-batch schedule traces (trace-*.csv + gantt-*.txt) are
   /// written here via hpc::trace_csv / hpc::gantt_art.
   std::optional<std::filesystem::path> trace_dir;
+  /// Closed waves between engine.metrics timeline snapshots (0 = off).
+  std::size_t metrics_interval = 0;
 };
 
 /// NSGA-II over the DeepMD representation with parallel farmed evaluation.

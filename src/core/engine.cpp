@@ -6,6 +6,8 @@
 
 #include "core/eval_adapter.hpp"
 #include "hpc/trace.hpp"
+#include "obs/event_sink.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/fs.hpp"
 #include "util/log.hpp"
@@ -154,6 +156,30 @@ void EngineRun::export_trace(const hpc::BatchReport& report,
                    hpc::gantt_art(report) + "\n");
 }
 
+void EngineRun::record_wave_metrics(const GenerationRecord& wave) {
+  auto& registry = obs::metrics();
+  registry.counter("engine.waves_total").add(1);
+  registry.counter("engine.evaluations_total")
+      .add(static_cast<std::int64_t>(wave.evaluated.size()));
+  registry.counter("engine.eval_failures_total")
+      .add(static_cast<std::int64_t>(wave.failures));
+  obs::events().emit(
+      "engine.wave",
+      {{"seed", static_cast<std::int64_t>(seed)},
+       {"generation", static_cast<std::int64_t>(wave.generation)},
+       {"evaluations", static_cast<std::int64_t>(wave.evaluated.size())},
+       {"failures", static_cast<std::int64_t>(wave.failures)},
+       {"node_failures", static_cast<std::int64_t>(wave.node_failures)},
+       {"makespan_minutes", wave.makespan_minutes}});
+  const std::int64_t waves = registry.counter("engine.waves_total").value();
+  if (config.metrics_interval != 0 && obs::events().enabled() &&
+      waves % static_cast<std::int64_t>(config.metrics_interval) == 0) {
+    obs::events().emit("engine.metrics",
+                       {{"waves", waves},
+                        {"deterministic", registry.deterministic_json()}});
+  }
+}
+
 DriverCheckpoint EngineRun::base_checkpoint(std::size_t completed,
                                             const ea::Population& parents) const {
   DriverCheckpoint checkpoint;
@@ -185,6 +211,18 @@ void EngineRun::finalize(const ea::Population& parents, int generation_tag,
           ? busy_minutes /
                 (record.job_minutes * static_cast<double>(num_workers))
           : 0.0;
+  auto& registry = obs::metrics();
+  registry.gauge("engine.job_minutes").set(record.job_minutes);
+  registry.gauge("engine.busy_fraction").set(record.busy_fraction);
+  std::size_t evaluations = 0;
+  for (const GenerationRecord& gen : record.generations) {
+    evaluations += gen.evaluated.size();
+  }
+  obs::events().emit("engine.run_end",
+                     {{"seed", static_cast<std::int64_t>(seed)},
+                      {"evaluations", static_cast<std::int64_t>(evaluations)},
+                      {"job_minutes", record.job_minutes},
+                      {"busy_fraction", record.busy_fraction}});
 }
 
 ea::Individual VariationPolicy::make_child(EngineRun& run,
@@ -198,6 +236,11 @@ ea::Individual VariationPolicy::make_child(EngineRun& run,
   const ea::StreamOp mutator = ea::mutate_gaussian(run.context, run.bounds, run.rng);
   ea::Individual child = mutator(cloner(source()));
   child.birth_generation = birth_tag;
+  obs::metrics().counter("engine.births_total").add(1);
+  obs::events().emit("engine.birth",
+                     {{"seed", static_cast<std::int64_t>(run.seed)},
+                      {"birth_tag", static_cast<std::int64_t>(birth_tag)},
+                      {"uuid", child.uuid.str()}});
   return child;
 }
 
@@ -264,6 +307,7 @@ void GenerationalSchedule::run(EngineRun& run, VariationPolicy& variation) {
     for (ea::Individual& individual : parents) pending.push_back(&individual);
     GenerationRecord gen0 = run.evaluate_generation(pending, 0);
     gen0.mutation_std = run.context.mutation_std();
+    run.record_wave_metrics(gen0);
     run.record.generations.push_back(std::move(gen0));
     save_checkpoint(0);
     if (config.halt_after_generation && *config.halt_after_generation == 0) {
@@ -293,6 +337,7 @@ void GenerationalSchedule::run(EngineRun& run, VariationPolicy& variation) {
     parents = run.truncate(std::move(pool));
 
     variation.after_generation(run);
+    run.record_wave_metrics(gen_record);
     run.record.generations.push_back(std::move(gen_record));
     util::log_info() << "driver: seed " << run.seed << " generation " << gen
                      << " makespan "
@@ -419,6 +464,7 @@ void SteadyStateSchedule::run(EngineRun& run, VariationPolicy& variation) {
       wave.node_failures =
           run.farm.stream_node_failures() - wave_node_failures_base;
       wave.mutation_std = run.context.mutation_std();
+      run.record_wave_metrics(wave);
       run.record.generations.push_back(std::move(wave));
       wave = GenerationRecord{};
       ++wave_index;
@@ -466,6 +512,13 @@ EvolutionEngine::EvolutionEngine(EngineConfig config, const Evaluator& evaluator
 
 RunRecord EvolutionEngine::run(std::uint64_t seed) {
   EngineRun state(config_, evaluator_, genome_layout_, seed);
+  obs::events().emit(
+      "engine.run_begin",
+      {{"seed", static_cast<std::int64_t>(seed)},
+       {"mode", to_string(config_.mode)},
+       {"population", static_cast<std::int64_t>(config_.population_size)},
+       {"workers", static_cast<std::int64_t>(state.num_workers)},
+       {"budget", static_cast<std::int64_t>(state.budget)}});
 
   std::unique_ptr<SchedulePolicy> schedule;
   std::unique_ptr<VariationPolicy> variation;

@@ -61,6 +61,10 @@ struct EngineConfig {
   /// completion; checkpointing is off unless checkpoint_dir is set).
   std::size_t checkpoint_every = 1;
   std::optional<std::filesystem::path> trace_dir;
+  /// Closed waves between `engine.metrics` timeline events carrying a
+  /// deterministic metrics snapshot (both modes close a wave per mu
+  /// completions).  0 disables periodic snapshots.
+  std::size_t metrics_interval = 0;
 };
 
 class VariationPolicy;
@@ -108,6 +112,12 @@ struct EngineRun {
 
   /// Writes trace-<label>.csv and gantt-<label>.txt when trace_dir is set.
   void export_trace(const hpc::BatchReport& report, const std::string& label) const;
+
+  /// Records a closed wave into the run-wide observability layer: counters
+  /// (waves/evaluations/failures), the engine.wave timeline event, and --
+  /// every config.metrics_interval waves -- an engine.metrics event carrying
+  /// the deterministic metrics snapshot.
+  void record_wave_metrics(const GenerationRecord& wave);
 
   /// The checkpoint fields common to both modes; schedule policies add their
   /// own extras before saving.

@@ -11,6 +11,8 @@
 #include <thread>
 
 #include "dp/lcurve.hpp"
+#include "obs/event_sink.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -239,7 +241,21 @@ EvalOutcome SubprocessEvaluator::evaluate(const ea::Individual& individual,
         outcome.fitness.clear();
       }
 
+      obs::metrics().counter("subprocess.launches_total").add(1);
+      obs::metrics()
+          .histogram("subprocess.launch_seconds",
+                     obs::BucketLayout::timing_seconds())
+          .record(launch.real_seconds);
+      obs::events().emit("evaluator.attempt",
+                         {{"uuid", individual.uuid.str()},
+                          {"attempt", static_cast<std::int64_t>(attempt)},
+                          {"exit_code", static_cast<std::int64_t>(launch.exit_code)},
+                          {"hung", launch.hung},
+                          {"cause", to_string(outcome.cause)},
+                          {"real_seconds", launch.real_seconds}});
+
       if (!cause_is_transient(outcome.cause) || attempt == max_attempts) break;
+      obs::metrics().counter("subprocess.retries_total").add(1);
       util::log_info() << "retrying evaluation for " << individual.uuid.str()
                        << " (attempt " << attempt << " failed: "
                        << to_string(outcome.cause) << "), backoff " << backoff
@@ -251,6 +267,12 @@ EvalOutcome SubprocessEvaluator::evaluate(const ea::Individual& individual,
     util::log_info() << "subprocess evaluation failed for " << individual.uuid.str()
                      << ": " << e.what();
     outcome = EvalOutcome::failure(FailureCause::kException, 1.0);
+  }
+  obs::metrics().counter("subprocess.evaluations_total").add(1);
+  if (outcome.cause != FailureCause::kNone) {
+    obs::metrics()
+        .counter("subprocess.failures." + to_string(outcome.cause))
+        .add(1);
   }
   return outcome;
 }

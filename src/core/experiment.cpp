@@ -51,6 +51,7 @@ std::vector<RunRecord> ExperimentRunner::run_all() const {
         async.checkpoint_every = config_.async_checkpoint_every;
       }
       async.trace_dir = base.trace_dir;
+      async.metrics_interval = base.metrics_interval;
       AsyncSteadyStateDriver driver(async, evaluator_);
       runs.push_back(driver.run(seed));
     }

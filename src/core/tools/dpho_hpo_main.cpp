@@ -4,7 +4,8 @@
 //   dpho_hpo [--pop N] [--generations N] [--runs N] [--out DIR]
 //            [--mode generational|async] [--runtime-objective]
 //            [--failure-rate P] [--fault-plan FILE] [--trace-dir DIR]
-//            [--checkpoint-dir DIR] [--resume] [--quiet]
+//            [--checkpoint-dir DIR] [--resume] [--threads N]
+//            [--metrics-out FILE] [--metrics-interval N] [--quiet]
 //
 // Default configuration reproduces the paper: 100 individuals x 7 waves x
 // 5 runs on the simulated 100-node Summit allocation with surrogate-backed
@@ -18,6 +19,8 @@
 #include "core/experiment.hpp"
 #include "core/sensitivity.hpp"
 #include "hpc/faultplan_io.hpp"
+#include "obs/event_sink.hpp"
+#include "obs/metrics.hpp"
 #include "util/args.hpp"
 #include "util/fs.hpp"
 
@@ -41,6 +44,11 @@ int main(int argc, char** argv) {
                 "resume interrupted runs from --checkpoint-dir", false)
       .add_flag("--checkpoint-every",
                 "async mode: completions between checkpoints, default 1")
+      .add_flag("--threads", "real threads for payload evaluation, default 2")
+      .add_flag("--metrics-out",
+                "write the JSONL event timeline here (enables metrics export)")
+      .add_flag("--metrics-interval",
+                "waves between engine.metrics snapshots, default 0 (off)")
       .add_flag("--quiet", "suppress the analysis printout", false)
       .add_flag("--help", "show this message", false);
   try {
@@ -91,7 +99,23 @@ int main(int argc, char** argv) {
   config.driver.generations = generations;
   config.driver.include_runtime_objective = args.has("--runtime-objective");
   config.driver.farm.node_failure_probability = args.get("--failure-rate", 5e-4);
-  config.driver.farm.real_threads = 2;
+  config.driver.farm.real_threads =
+      static_cast<std::size_t>(args.get("--threads", std::int64_t{2}));
+  config.driver.metrics_interval = static_cast<std::size_t>(
+      args.get("--metrics-interval", std::int64_t{0}));
+
+  // The run-wide observability layer: --metrics-out starts the JSONL event
+  // timeline; the registry summary lands next to the archive after the run.
+  std::optional<std::filesystem::path> metrics_out;
+  if (args.has("--metrics-out")) {
+    metrics_out = args.get("--metrics-out", std::string("metrics.jsonl"));
+    try {
+      obs::events().open(*metrics_out);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "--metrics-out: %s\n", e.what());
+      return 2;
+    }
+  }
   if (args.has("--fault-plan")) {
     try {
       config.driver.farm.faults =
@@ -157,6 +181,23 @@ int main(int argc, char** argv) {
     std::printf("\nartifacts written to %s: evaluations.csv,"
                 " parallel_coordinates.csv, sensitivity.csv, summary.json\n",
                 out.string().c_str());
+  }
+
+  if (metrics_out) {
+    // Next to the archive when --out is set, else next to the timeline.  The
+    // "deterministic" section is byte-reproducible across runs and thread
+    // counts; wall-clock figures are quarantined under "timing".
+    const std::filesystem::path summary_path =
+        args.has("--out")
+            ? std::filesystem::path(args.get("--out", std::string("results"))) /
+                  "metrics_summary.json"
+            : metrics_out->parent_path() / "metrics_summary.json";
+    util::write_file(summary_path, obs::metrics().to_json().dump(2) + "\n");
+    obs::events().close();
+    if (!quiet) {
+      std::printf("metrics: %s + %s\n", metrics_out->string().c_str(),
+                  summary_path.string().c_str());
+    }
   }
   return 0;
 }

@@ -7,9 +7,12 @@
 //
 //   dp_train <input.json> <train_data_dir> <validation_data_dir>
 //            [--out DIR] [--wall-limit SECONDS] [--threads N]
+//            [--metrics-out FILE]
 //
 // --threads enables data-parallel gradient accumulation (0/1 = serial); the
 // lcurve is bit-identical across thread counts for a fixed seed.
+// --metrics-out streams the JSONL event timeline (trainer.row events) to
+// FILE and writes metrics_summary.json into --out on exit.
 // Outputs (in --out, default "."): lcurve.out, model.json.
 // Exit codes: 0 success, 2 bad usage, 3 timeout, 4 diverged/failed training.
 #include <cstring>
@@ -19,6 +22,8 @@
 
 #include "dp/lcurve.hpp"
 #include "dp/trainer.hpp"
+#include "obs/event_sink.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/fs.hpp"
 
@@ -26,7 +31,8 @@ namespace {
 
 int usage() {
   std::cerr << "usage: dp_train <input.json> <train_data_dir> <validation_data_dir>"
-               " [--out DIR] [--wall-limit SECONDS] [--threads N]\n";
+               " [--out DIR] [--wall-limit SECONDS] [--threads N]"
+               " [--metrics-out FILE]\n";
   return 2;
 }
 
@@ -39,6 +45,7 @@ int main(int argc, char** argv) {
   const std::filesystem::path train_dir = argv[2];
   const std::filesystem::path valid_dir = argv[3];
   std::filesystem::path out_dir = ".";
+  std::filesystem::path metrics_out;
   dp::TrainerOptions options;
   for (int i = 4; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
@@ -47,10 +54,32 @@ int main(int argc, char** argv) {
       options.wall_limit_seconds = std::stod(argv[++i]);
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       options.num_threads = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
     } else {
       return usage();
     }
   }
+  if (!metrics_out.empty()) {
+    try {
+      obs::events().open(metrics_out);
+    } catch (const std::exception& e) {
+      std::cerr << "dp_train: --metrics-out: " << e.what() << "\n";
+      return 2;
+    }
+  }
+  // Summary written on every exit path (timeouts included) so a killed
+  // training still leaves its timing evidence behind.
+  const auto write_metrics = [&] {
+    if (metrics_out.empty()) return;
+    try {
+      util::write_file(out_dir / "metrics_summary.json",
+                       obs::metrics().to_json().dump(2) + "\n");
+    } catch (const std::exception& e) {
+      std::cerr << "dp_train: metrics summary not written: " << e.what() << "\n";
+    }
+    obs::events().close();
+  };
 
   try {
     const dp::TrainInput config =
@@ -65,12 +94,15 @@ int main(int argc, char** argv) {
               << " rmse_e_val=" << result.rmse_e_val
               << " rmse_f_val=" << result.rmse_f_val
               << " wall_s=" << result.wall_seconds << "\n";
+    write_metrics();
     return 0;
   } catch (const util::TimeoutError& e) {
     std::cerr << "dp_train: " << e.what() << "\n";
+    write_metrics();
     return 3;
   } catch (const std::exception& e) {
     std::cerr << "dp_train: " << e.what() << "\n";
+    write_metrics();
     return 4;
   }
 }

@@ -6,6 +6,9 @@
 #include "hpc/parallel.hpp"
 #include "hpc/thread_pool.hpp"
 #include "nn/optimizer.hpp"
+#include "obs/event_sink.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
@@ -83,6 +86,7 @@ hpc::ThreadPool* Trainer::gradient_pool() {
 }
 
 std::pair<double, double> Trainer::validation_rmse() const {
+  obs::ScopedTimer timer(obs::metrics(), "trainer.validation_seconds");
   const std::size_t count =
       std::min(options_.max_validation_frames, validation_data_.size());
   // Map frames to errors concurrently; accumulate in frame order so the sums
@@ -104,6 +108,12 @@ std::pair<double, double> Trainer::validation_rmse() const {
 
 TrainResult Trainer::train() {
   const auto start_time = Clock::now();
+  obs::metrics().counter("trainer.trainings_total").add(1);
+  // Records on every exit path, including the wall-limit throw below.
+  obs::ScopedTimer wall_timer(obs::metrics(), "trainer.train_wall_seconds");
+  obs::Histogram& grad_seconds = obs::metrics().histogram(
+      "trainer.grad_seconds", obs::BucketLayout::timing_seconds());
+  obs::Counter& steps_total = obs::metrics().counter("trainer.steps_total");
   pool_ = gradient_pool();
   // Frames are static for the whole training: build each topology once
   // (in parallel) instead of once per step.
@@ -132,6 +142,11 @@ TrainResult Trainer::train() {
         frame_errors(model_, train_data_.frame(0), train_topology_.at(0));
     result.lcurve.add(LcurveRow{step, e_val, std::sqrt(trn.energy_sq_per_atom), f_val,
                                 std::sqrt(trn.force_sq), schedule.lr(step)});
+    obs::events().emit("trainer.row",
+                       {{"step", static_cast<std::int64_t>(step)},
+                        {"rmse_e_val", e_val},
+                        {"rmse_f_val", f_val},
+                        {"lr", schedule.lr(step)}});
   };
 
   const std::size_t batch_size = config_.training.batch_size;
@@ -153,6 +168,7 @@ TrainResult Trainer::train() {
 
     // Data-parallel forward/backward per frame; each worker builds the frame
     // graph on its own tape.
+    obs::ScopedTimer grad_timer(grad_seconds);
     const std::vector<FrameContribution> contributions =
         hpc::parallel_map<FrameContribution>(pool_, batch_size, [&](std::size_t b) {
           const md::Frame& frame = train_data_.frames()[batch_frames[b]];
@@ -172,6 +188,7 @@ TrainResult Trainer::train() {
           }
           return contribution;
         });
+    grad_timer.stop();
 
     // Fixed-order reduction: identical arithmetic, in identical order, to the
     // serial accumulation -- the lcurve is bit-identical at any thread count.
@@ -191,6 +208,7 @@ TrainResult Trainer::train() {
     optimizer.step(params, grad, schedule.lr(step));
     model_.scatter_params(params);
     if (step % config_.training.disp_freq == 0) record_row(step);
+    steps_total.add(1);
     result.steps_completed = step + 1;
   }
   record_row(total_steps);

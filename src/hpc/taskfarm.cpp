@@ -3,10 +3,62 @@
 #include <algorithm>
 #include <queue>
 
+#include "obs/event_sink.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
 namespace dpho::hpc {
+
+namespace {
+
+/// Layout shared by all simulated-minutes histograms: 0.5 min .. ~17 h.
+const obs::BucketLayout& sim_minutes_layout() {
+  static const obs::BucketLayout layout = obs::BucketLayout::exponential(0.5, 2.0, 12);
+  return layout;
+}
+
+/// Records one resolved task into the deterministic metrics section and the
+/// event timeline.  Called only from the single-threaded discrete-event
+/// resolution paths, so counter/histogram updates happen in a fixed order.
+void record_task_metrics(std::size_t id, const TaskReport& report) {
+  auto& registry = obs::metrics();
+  registry.counter("farm.tasks_total").add(1);
+  registry.counter("farm.task_retries_total")
+      .add(report.attempts > 0 ? static_cast<std::int64_t>(report.attempts) - 1 : 0);
+  registry.counter("farm.task_failures_total")
+      .add(report.status == TaskStatus::kOk ? 0 : 1);
+  registry
+      .histogram("farm.task_sim_minutes", sim_minutes_layout(),
+                 obs::Section::kDeterministic)
+      .record(report.sim_minutes);
+  obs::events().emit("farm.task",
+                     {{"id", static_cast<std::int64_t>(id)},
+                      {"status", to_string(report.status)},
+                      {"cause", to_string(report.cause)},
+                      {"attempts", static_cast<std::int64_t>(report.attempts)},
+                      {"node", static_cast<std::int64_t>(report.node)},
+                      {"sim_minutes", report.sim_minutes},
+                      {"finish_minute", report.finish_minute}});
+}
+
+/// Batch-level roll-up: failures, restarts, and how busy the (simulated)
+/// allocation was while the batch ran.
+void record_batch_metrics(const BatchReport& report, std::size_t total_nodes) {
+  auto& registry = obs::metrics();
+  registry.counter("farm.batches_total").add(1);
+  registry.counter("farm.node_failures_total")
+      .add(static_cast<std::int64_t>(report.node_failures));
+  registry.counter("farm.scheduler_restarts_total")
+      .add(static_cast<std::int64_t>(report.scheduler_restarts));
+  double busy_minutes = 0.0;
+  for (const TaskReport& task : report.tasks) busy_minutes += task.sim_minutes;
+  const double capacity = report.makespan_minutes * static_cast<double>(total_nodes);
+  registry.gauge("farm.busy_fraction")
+      .set(capacity > 0.0 ? busy_minutes / capacity : 0.0);
+}
+
+}  // namespace
 
 std::string to_string(TaskStatus status) {
   switch (status) {
@@ -264,6 +316,10 @@ BatchReport DaskCluster::run_batch(std::size_t num_tasks, const WorkFn& work) {
   report.workers_remaining = live;
   report.makespan_minutes = makespan;
   clock_minutes_ += makespan;
+  for (std::size_t i = 0; i < report.tasks.size(); ++i) {
+    record_task_metrics(i, report.tasks[i]);
+  }
+  record_batch_metrics(report, tasks_run_on_node_.size());
   return report;
 }
 
@@ -400,6 +456,10 @@ void DaskCluster::stream_submit(std::size_t id, WorkResult result) {
   }
   tr.finish_minute = clock_minutes_ + entry.finish_at;
   stream_in_flight_.push_back(entry);
+  record_task_metrics(id, tr);
+  obs::metrics()
+      .gauge("farm.queue_depth")
+      .set(static_cast<double>(stream_in_flight_.size()));
 }
 
 std::optional<StreamCompletion> DaskCluster::stream_next() {
@@ -420,6 +480,9 @@ std::optional<StreamCompletion> DaskCluster::stream_next() {
   stream_now_ = std::max(stream_now_, task.finish_at);
   const StreamCompletion done{task.id, task.report};
   stream_delivered_.push_back(done);
+  obs::metrics()
+      .gauge("farm.queue_depth")
+      .set(static_cast<double>(stream_in_flight_.size()));
   return done;
 }
 
@@ -445,6 +508,7 @@ BatchReport DaskCluster::stream_end() {
   stream_active_ = false;
   stream_free_at_.clear();
   stream_delivered_.clear();
+  record_batch_metrics(report, tasks_run_on_node_.size());
   return report;
 }
 

@@ -1,0 +1,61 @@
+#include "obs/event_sink.hpp"
+
+#include "util/error.hpp"
+
+namespace dpho::obs {
+
+void EventSink::open(const std::filesystem::path& path) {
+  std::lock_guard lock(mutex_);
+  if (out_.is_open()) out_.close();
+  if (path.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(path.parent_path(), ec);
+    if (ec) {
+      throw util::IoError("cannot create timeline directory " +
+                          path.parent_path().string() + ": " + ec.message());
+    }
+  }
+  out_.open(path, std::ios::trunc);
+  if (!out_) {
+    throw util::IoError("cannot open event timeline: " + path.string());
+  }
+  seq_.store(0, std::memory_order_relaxed);
+  opened_at_ = Clock::now();
+  enabled_.store(true, std::memory_order_release);
+}
+
+void EventSink::close() {
+  std::lock_guard lock(mutex_);
+  enabled_.store(false, std::memory_order_release);
+  if (out_.is_open()) out_.close();
+}
+
+void EventSink::emit(
+    std::string_view kind,
+    std::initializer_list<std::pair<std::string_view, util::Json>> fields) {
+  if (!enabled()) return;
+  util::JsonObject object;
+  for (const auto& [key, value] : fields) object[std::string(key)] = value;
+  emit(kind, object);
+}
+
+void EventSink::emit(std::string_view kind, const util::JsonObject& fields) {
+  if (!enabled()) return;
+  std::lock_guard lock(mutex_);
+  if (!out_.is_open()) return;  // closed between the check and the lock
+  util::Json event;
+  event["seq"] = seq_.fetch_add(1, std::memory_order_relaxed);
+  event["t_ms"] =
+      std::chrono::duration<double, std::milli>(Clock::now() - opened_at_).count();
+  event["kind"] = std::string(kind);
+  for (const auto& [key, value] : fields) event[std::string(key)] = value;
+  out_ << event.dump() << '\n';
+  out_.flush();
+}
+
+EventSink& EventSink::global() {
+  static EventSink sink;
+  return sink;
+}
+
+}  // namespace dpho::obs

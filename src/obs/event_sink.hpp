@@ -1,0 +1,74 @@
+// JSONL event timeline: one run-wide sequence of structured events.
+//
+// Generalizes hpc::trace (per-batch Gantt rows) into a single append-only
+// timeline covering the whole deployment: engine births and waves, evaluator
+// attempts with failure causes, trainer lcurve rows, task-farm submit/
+// complete/retry, checkpoint save/load.  One JSON object per line:
+//
+//   {"seq": 17, "t_ms": 42.8, "kind": "engine.wave", "generation": 3, ...}
+//
+// `seq` is a process-wide monotonic sequence number; `t_ms` is wall
+// milliseconds since the sink opened (diagnostic only -- byte-level
+// reproducibility lives in the MetricsRegistry's deterministic snapshot, not
+// in the timeline).  The sink is disabled until open(); emit() on a disabled
+// sink is a cheap no-op, so instrumentation points need no guards.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <initializer_list>
+#include <mutex>
+#include <string_view>
+#include <utility>
+
+#include "util/json.hpp"
+
+namespace dpho::obs {
+
+class EventSink {
+ public:
+  EventSink() = default;
+  EventSink(const EventSink&) = delete;
+  EventSink& operator=(const EventSink&) = delete;
+  ~EventSink() { close(); }
+
+  /// Starts a timeline at `path` (truncating; parent directories are
+  /// created).  Throws util::IoError when the file cannot be opened.
+  void open(const std::filesystem::path& path);
+
+  /// Flushes and disables the sink; emit() becomes a no-op again.
+  void close();
+
+  bool enabled() const { return enabled_.load(std::memory_order_acquire); }
+
+  /// Appends one event.  `fields` are spliced into the event object after
+  /// seq/t_ms/kind.  Thread-safe; no-op while disabled.
+  void emit(std::string_view kind,
+            std::initializer_list<std::pair<std::string_view, util::Json>> fields);
+  void emit(std::string_view kind, const util::JsonObject& fields);
+
+  /// Events written since open() (0 while disabled).
+  std::uint64_t events_written() const {
+    return seq_.load(std::memory_order_relaxed);
+  }
+
+  /// The process-wide timeline instrumented code emits into.
+  static EventSink& global();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> seq_{0};
+  std::mutex mutex_;
+  std::ofstream out_;
+  Clock::time_point opened_at_;
+};
+
+/// Shorthand for the global sink.
+inline EventSink& events() { return EventSink::global(); }
+
+}  // namespace dpho::obs

@@ -1,0 +1,282 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace dpho::obs {
+
+namespace {
+
+/// Fixed-point microunits: an integer sum is exact and order-independent, so
+/// concurrent recording cannot leak accumulation order into snapshots.
+std::int64_t to_micro(double value) {
+  return std::llround(value * 1e6);
+}
+
+/// Atomic min/max over bit-cast doubles.  Every recorded value is finite
+/// (validated by record()), so plain double comparison on the decoded bits
+/// is well-defined.
+void atomic_min_double(std::atomic<std::uint64_t>& slot, double value) {
+  std::uint64_t observed = slot.load(std::memory_order_relaxed);
+  while (value < std::bit_cast<double>(observed) &&
+         !slot.compare_exchange_weak(observed, std::bit_cast<std::uint64_t>(value),
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max_double(std::atomic<std::uint64_t>& slot, double value) {
+  std::uint64_t observed = slot.load(std::memory_order_relaxed);
+  while (value > std::bit_cast<double>(observed) &&
+         !slot.compare_exchange_weak(observed, std::bit_cast<std::uint64_t>(value),
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+std::string to_string(Section section) {
+  switch (section) {
+    case Section::kDeterministic: return "deterministic";
+    case Section::kTiming: return "timing";
+  }
+  throw util::ValueError("invalid metrics section");
+}
+
+BucketLayout BucketLayout::exponential(double first, double factor,
+                                       std::size_t count) {
+  if (!(first > 0.0) || !(factor > 1.0)) {
+    throw util::ValueError("exponential layout needs first > 0 and factor > 1");
+  }
+  BucketLayout layout;
+  double bound = first;
+  for (std::size_t i = 0; i < count; ++i) {
+    layout.upper_bounds.push_back(bound);
+    bound *= factor;
+  }
+  layout.validate();
+  return layout;
+}
+
+BucketLayout BucketLayout::linear(double first, double width, std::size_t count) {
+  if (!(width > 0.0)) throw util::ValueError("linear layout needs width > 0");
+  BucketLayout layout;
+  for (std::size_t i = 0; i < count; ++i) {
+    layout.upper_bounds.push_back(first + width * static_cast<double>(i));
+  }
+  layout.validate();
+  return layout;
+}
+
+BucketLayout BucketLayout::timing_seconds() {
+  // 1 us * 4^k for k in [0, 17): ...  up to ~4.6 hours, 17 buckets + overflow.
+  return exponential(1e-6, 4.0, 17);
+}
+
+std::size_t BucketLayout::bucket_of(double value) const {
+  // First bound >= value; boundary values land in the bucket they bound.
+  const auto it =
+      std::lower_bound(upper_bounds.begin(), upper_bounds.end(), value);
+  return static_cast<std::size_t>(it - upper_bounds.begin());
+}
+
+void BucketLayout::validate() const {
+  if (upper_bounds.empty()) {
+    throw util::ValueError("bucket layout needs at least one bound");
+  }
+  for (std::size_t i = 0; i < upper_bounds.size(); ++i) {
+    if (!std::isfinite(upper_bounds[i])) {
+      throw util::ValueError("bucket bounds must be finite");
+    }
+    if (i > 0 && !(upper_bounds[i] > upper_bounds[i - 1])) {
+      throw util::ValueError("bucket bounds must be strictly ascending");
+    }
+  }
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (layout != other.layout) {
+    throw util::ValueError("cannot merge histograms with different layouts");
+  }
+  for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+  if (other.count > 0) {
+    min = count == 0 ? other.min : std::min(min, other.min);
+    max = count == 0 ? other.max : std::max(max, other.max);
+  }
+  count += other.count;
+  sum_micro += other.sum_micro;
+}
+
+util::Json HistogramSnapshot::to_json() const {
+  util::Json json;
+  util::JsonArray buckets;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    util::Json bucket;
+    if (i < layout.upper_bounds.size()) {
+      bucket["le"] = layout.upper_bounds[i];
+    } else {
+      bucket["le"] = "inf";
+    }
+    bucket["count"] = counts[i];
+    buckets.push_back(std::move(bucket));
+  }
+  json["buckets"] = util::Json(std::move(buckets));
+  json["count"] = count;
+  json["sum"] = sum();
+  if (count > 0) {
+    json["min"] = min;
+    json["max"] = max;
+  }
+  return json;
+}
+
+Histogram::Histogram(BucketLayout layout)
+    : layout_(std::move(layout)),
+      counts_(layout_.upper_bounds.size() + 1),
+      min_bits_(std::bit_cast<std::uint64_t>(kInf)),
+      max_bits_(std::bit_cast<std::uint64_t>(-kInf)) {
+  layout_.validate();
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+}
+
+void Histogram::record(double value) {
+  if (!std::isfinite(value)) {
+    throw util::ValueError("histogram values must be finite");
+  }
+  counts_[layout_.bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_micro_.fetch_add(to_micro(value), std::memory_order_relaxed);
+  atomic_min_double(min_bits_, value);
+  atomic_max_double(max_bits_, value);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.layout = layout_;
+  snap.counts.reserve(counts_.size());
+  for (const auto& c : counts_) {
+    snap.counts.push_back(c.load(std::memory_order_relaxed));
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum_micro = sum_micro_.load(std::memory_order_relaxed);
+  const double min = std::bit_cast<double>(min_bits_.load(std::memory_order_relaxed));
+  const double max = std::bit_cast<double>(max_bits_.load(std::memory_order_relaxed));
+  snap.min = snap.count > 0 ? min : 0.0;
+  snap.max = snap.count > 0 ? max : 0.0;
+  return snap;
+}
+
+void Histogram::reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_micro_.store(0, std::memory_order_relaxed);
+  min_bits_.store(std::bit_cast<std::uint64_t>(kInf), std::memory_order_relaxed);
+  max_bits_.store(std::bit_cast<std::uint64_t>(-kInf), std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, Section section) {
+  std::lock_guard lock(mutex_);
+  Entry& entry = entries_[name];
+  if (entry.gauge || entry.histogram) {
+    throw util::ValueError("metric '" + name + "' is not a counter");
+  }
+  if (entry.counter) {
+    if (entry.section != section) {
+      throw util::ValueError("metric '" + name + "' re-registered in another section");
+    }
+    return *entry.counter;
+  }
+  entry.section = section;
+  entry.counter = std::make_unique<Counter>();
+  return *entry.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, Section section) {
+  std::lock_guard lock(mutex_);
+  Entry& entry = entries_[name];
+  if (entry.counter || entry.histogram) {
+    throw util::ValueError("metric '" + name + "' is not a gauge");
+  }
+  if (entry.gauge) {
+    if (entry.section != section) {
+      throw util::ValueError("metric '" + name + "' re-registered in another section");
+    }
+    return *entry.gauge;
+  }
+  entry.section = section;
+  entry.gauge = std::make_unique<Gauge>();
+  return *entry.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const BucketLayout& layout, Section section) {
+  std::lock_guard lock(mutex_);
+  Entry& entry = entries_[name];
+  if (entry.counter || entry.gauge) {
+    throw util::ValueError("metric '" + name + "' is not a histogram");
+  }
+  if (entry.histogram) {
+    if (entry.section != section) {
+      throw util::ValueError("metric '" + name + "' re-registered in another section");
+    }
+    if (entry.histogram->layout() != layout) {
+      throw util::ValueError("metric '" + name +
+                             "' re-registered with another bucket layout");
+    }
+    return *entry.histogram;
+  }
+  entry.section = section;
+  entry.histogram = std::make_unique<Histogram>(layout);
+  return *entry.histogram;
+}
+
+util::Json MetricsRegistry::to_json(bool include_timing) const {
+  std::lock_guard lock(mutex_);
+  util::Json json;
+  json["schema"] = "dpho.metrics.v1";
+  for (const Section section : {Section::kDeterministic, Section::kTiming}) {
+    if (section == Section::kTiming && !include_timing) continue;
+    util::Json counters{util::JsonObject{}};
+    util::Json gauges{util::JsonObject{}};
+    util::Json histograms{util::JsonObject{}};
+    // entries_ is a sorted map, so emitted keys are sorted independently of
+    // registration order -- the reproducibility contract golden tests rely on.
+    for (const auto& [name, entry] : entries_) {
+      if (entry.section != section) continue;
+      if (entry.counter) counters[name] = entry.counter->value();
+      if (entry.gauge) gauges[name] = entry.gauge->value();
+      if (entry.histogram) histograms[name] = entry.histogram->snapshot().to_json();
+    }
+    util::Json block;
+    block["counters"] = std::move(counters);
+    block["gauges"] = std::move(gauges);
+    block["histograms"] = std::move(histograms);
+    json[to_string(section)] = std::move(block);
+  }
+  return json;
+}
+
+util::Json MetricsRegistry::deterministic_json() const {
+  return to_json(false).at(to_string(Section::kDeterministic));
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, entry] : entries_) {
+    if (entry.counter) entry.counter->reset();
+    if (entry.gauge) entry.gauge->reset();
+    if (entry.histogram) entry.histogram->reset();
+  }
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace dpho::obs

@@ -1,0 +1,187 @@
+// Run-wide metrics: counters, gauges and fixed-bucket histograms behind one
+// thread-safe registry with deterministic (byte-reproducible) output.
+//
+// The paper's headline result is operational: NSGA-II at Summit scale is
+// tuned by watching where evaluation time goes -- node idle fraction,
+// per-individual training cost, retry churn (section 2.2.5).  This registry
+// is the substrate those quantities flow through instead of ad-hoc structs
+// in every bench and driver.
+//
+// Determinism contract.  Every metric belongs to a Section:
+//
+//   * kDeterministic -- values derived from the simulated timeline or from
+//     logical event counts.  Snapshots of this section are byte-identical
+//     across repeated runs AND across `--threads N`: counters are integer
+//     adds, gauges hold last-written (deterministic) values, and histograms
+//     accumulate order-independently -- per-bucket integer counts plus a
+//     fixed-point (microunit) sum, so no float-accumulation order leaks in.
+//   * kTiming -- wall-clock measurements (ScopedTimer output).  Excluded
+//     from the deterministic snapshot; golden tests never see them.
+//
+// All mutation paths are lock-free atomics (relaxed; metrics impose no
+// ordering on payload data), so instrumenting the training inner loop and
+// the task farm costs a few atomic adds and stays clean under tsan.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace dpho::obs {
+
+/// Which snapshot a metric appears in (see the determinism contract above).
+enum class Section : std::uint8_t {
+  kDeterministic = 0,
+  kTiming,
+};
+
+std::string to_string(Section section);
+
+/// Monotonic integer counter.
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed bucket boundaries for a histogram: strictly ascending finite upper
+/// bounds; an implicit +inf overflow bucket is always appended.  The layout
+/// is part of a metric's identity -- re-registering a name with a different
+/// layout throws, so merged snapshots always line up bucket for bucket.
+struct BucketLayout {
+  std::vector<double> upper_bounds;
+
+  /// first, first*factor, first*factor^2, ... (`count` bounds).
+  static BucketLayout exponential(double first, double factor, std::size_t count);
+  /// first, first+width, first+2*width, ... (`count` bounds).
+  static BucketLayout linear(double first, double width, std::size_t count);
+  /// The registry-wide default for ScopedTimer seconds: 1 us .. ~4.6 h.
+  static BucketLayout timing_seconds();
+
+  /// Index of the bucket a value lands in (values on a boundary land in the
+  /// bucket whose upper bound they equal; the last index is the overflow).
+  std::size_t bucket_of(double value) const;
+
+  /// Throws util::ValueError unless bounds are finite and strictly ascending.
+  void validate() const;
+
+  bool operator==(const BucketLayout&) const = default;
+};
+
+/// Immutable copy of a histogram's state.  Merging snapshots is exact and
+/// associative: integer bucket counts, an integer microunit sum, and min/max
+/// -- no operation depends on accumulation order.
+struct HistogramSnapshot {
+  BucketLayout layout;
+  std::vector<std::uint64_t> counts;  // layout.upper_bounds.size() + 1 buckets
+  std::uint64_t count = 0;
+  std::int64_t sum_micro = 0;  // sum of llround(value * 1e6)
+  double min = 0.0;            // meaningful only when count > 0
+  double max = 0.0;
+
+  /// Exact merge; throws util::ValueError on layout mismatch.
+  void merge(const HistogramSnapshot& other);
+
+  double sum() const { return static_cast<double>(sum_micro) / 1e6; }
+  double mean() const { return count == 0 ? 0.0 : sum() / static_cast<double>(count); }
+
+  util::Json to_json() const;
+
+  bool operator==(const HistogramSnapshot&) const = default;
+};
+
+/// Thread-safe fixed-bucket histogram.
+class Histogram {
+ public:
+  explicit Histogram(BucketLayout layout);
+
+  void record(double value);
+
+  HistogramSnapshot snapshot() const;
+  const BucketLayout& layout() const { return layout_; }
+  void reset();
+
+ private:
+  BucketLayout layout_;
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::int64_t> sum_micro_{0};
+  std::atomic<std::uint64_t> min_bits_;  // bit-cast doubles, CAS-updated
+  std::atomic<std::uint64_t> max_bits_;
+};
+
+/// The run-wide metric namespace.  Handles returned by counter()/gauge()/
+/// histogram() are stable for the registry's lifetime (and across reset()
+/// -- reset zeroes values but keeps registrations), so hot paths can cache
+/// them.  Registration takes a mutex; recording is lock-free.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registers on first use; later calls return the same instance.  Throws
+  /// util::ValueError when `name` is already registered as a different
+  /// metric type, section, or (histograms) bucket layout.
+  Counter& counter(const std::string& name,
+                   Section section = Section::kDeterministic);
+  Gauge& gauge(const std::string& name,
+               Section section = Section::kDeterministic);
+  Histogram& histogram(const std::string& name, const BucketLayout& layout,
+                       Section section = Section::kTiming);
+
+  /// Full snapshot as JSON, keys sorted within each section:
+  ///   {"schema": "dpho.metrics.v1",
+  ///    "deterministic": {"counters": {...}, "gauges": {...},
+  ///                      "histograms": {...}},
+  ///    "timing": {...}}                     // omitted when include_timing=false
+  util::Json to_json(bool include_timing = true) const;
+
+  /// The byte-reproducible part only (== to_json(false).at("deterministic")).
+  util::Json deterministic_json() const;
+
+  /// Zeroes every value; registrations (and cached handles) stay valid.
+  void reset();
+
+  /// The process-wide registry instrumented code records into.
+  static MetricsRegistry& global();
+
+ private:
+  struct Entry {
+    Section section = Section::kDeterministic;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+/// Shorthand for the global registry.
+inline MetricsRegistry& metrics() { return MetricsRegistry::global(); }
+
+}  // namespace dpho::obs

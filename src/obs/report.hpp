@@ -1,0 +1,35 @@
+// Text rendering of a run's metrics summary and event timeline.
+//
+// Backs the dpho_report tool (and its tests): turns metrics_summary.json and
+// a JSONL timeline into the post-mortem report the paper's authors assembled
+// by hand from Dask logs -- where evaluation time went, what failed and why,
+// how busy the allocation was.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace dpho::obs {
+
+/// Parses a JSONL timeline file into event objects (one per line; blank
+/// lines are skipped).  Throws util::ParseError on malformed lines.
+std::vector<util::Json> load_timeline(const std::filesystem::path& path);
+
+/// True when `document` is a structurally valid dpho.metrics.v1 summary:
+/// matching schema tag and counters/gauges/histograms objects in both the
+/// deterministic and timing sections.  Shared by the bench artifacts (which
+/// embed a registry snapshot under a "metrics" key) and the report tool.
+bool is_metrics_document(const util::Json& document);
+
+/// Renders a metrics summary document (the dpho.metrics.v1 schema) as an
+/// aligned text table: counters, gauges, then histograms with ASCII bars.
+std::string render_summary(const util::Json& summary);
+
+/// Renders a timeline: per-kind event counts plus a wave table distilled
+/// from engine.wave events (generation, makespan, failures, node losses).
+std::string render_timeline(const std::vector<util::Json>& events);
+
+}  // namespace dpho::obs

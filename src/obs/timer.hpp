@@ -1,0 +1,50 @@
+// RAII wall-clock timing into a registry histogram.
+//
+// ScopedTimer replaces the bench-local "start = now(); ... seconds_since()"
+// structs: construction stamps the clock, destruction (or stop()) records
+// elapsed seconds into a kTiming histogram.  Timing output is wall-clock and
+// therefore never part of a deterministic snapshot (see obs/metrics.hpp).
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace dpho::obs {
+
+class ScopedTimer {
+ public:
+  /// Times into an already-registered histogram.
+  explicit ScopedTimer(Histogram& histogram) : histogram_(&histogram) {}
+
+  /// Registers `name` as a kTiming histogram with the shared seconds layout
+  /// (BucketLayout::timing_seconds()) in `registry` and times into it.
+  ScopedTimer(MetricsRegistry& registry, const std::string& name)
+      : histogram_(&registry.histogram(name, BucketLayout::timing_seconds(),
+                                      Section::kTiming)) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() { stop(); }
+
+  /// Seconds elapsed since construction.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Records now and disarms the destructor; idempotent.
+  void stop() {
+    if (histogram_ == nullptr) return;
+    histogram_->record(seconds());
+    histogram_ = nullptr;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Histogram* histogram_;
+  Clock::time_point start_ = Clock::now();
+};
+
+}  // namespace dpho::obs

@@ -1,0 +1,107 @@
+// dpho_report: render a run's observability artifacts as a text report.
+//
+//   dpho_report [--summary metrics_summary.json] [--timeline metrics.jsonl]
+//               [--section deterministic|timing] [--fnv1a FILE] [--out FILE]
+//
+// With --summary and/or --timeline, prints the combined report (metrics
+// tables + histogram bars + per-kind event counts + wave table).  The two
+// plumbing modes back tests/golden/regen.sh:
+//   --section NAME  print only that section of the summary as indented JSON
+//                   (the byte-exact form the golden tests compare), and
+//   --fnv1a FILE    print the FNV-1a 64-bit digest of FILE's bytes as hex.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/report.hpp"
+#include "util/fs.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+int usage() {
+  std::fputs(
+      "usage: dpho_report [--summary metrics_summary.json]"
+      " [--timeline metrics.jsonl]\n"
+      "                   [--section deterministic|timing] [--fnv1a FILE]"
+      " [--out FILE]\n",
+      stderr);
+  return 2;
+}
+
+/// FNV-1a 64-bit; the digest the golden-run tests pin checkpoints with.
+std::uint64_t fnv1a64(const std::string& bytes) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const unsigned char byte : bytes) {
+    hash ^= byte;
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dpho;
+  std::string summary_path;
+  std::string timeline_path;
+  std::string section;
+  std::string fnv1a_path;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const auto take = [&](std::string& slot) {
+      if (i + 1 >= argc) return false;
+      slot = argv[++i];
+      return true;
+    };
+    if (std::strcmp(argv[i], "--summary") == 0) {
+      if (!take(summary_path)) return usage();
+    } else if (std::strcmp(argv[i], "--timeline") == 0) {
+      if (!take(timeline_path)) return usage();
+    } else if (std::strcmp(argv[i], "--section") == 0) {
+      if (!take(section)) return usage();
+    } else if (std::strcmp(argv[i], "--fnv1a") == 0) {
+      if (!take(fnv1a_path)) return usage();
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      if (!take(out_path)) return usage();
+    } else {
+      return usage();
+    }
+  }
+  if (summary_path.empty() && timeline_path.empty() && fnv1a_path.empty()) {
+    return usage();
+  }
+
+  try {
+    std::string report;
+    if (!fnv1a_path.empty()) {
+      char digest[32];
+      std::snprintf(digest, sizeof digest, "%016llx\n",
+                    static_cast<unsigned long long>(
+                        fnv1a64(util::read_file(fnv1a_path))));
+      report += digest;
+    }
+    if (!summary_path.empty()) {
+      const util::Json summary =
+          util::Json::parse(util::read_file(summary_path));
+      if (!section.empty()) {
+        report += summary.at(section).dump(2) + "\n";
+      } else {
+        report += obs::render_summary(summary);
+      }
+    }
+    if (!timeline_path.empty()) {
+      if (!report.empty() && report.back() != '\n') report += "\n";
+      report += obs::render_timeline(obs::load_timeline(timeline_path));
+    }
+    if (out_path.empty()) {
+      std::fputs(report.c_str(), stdout);
+    } else {
+      util::write_file(out_path, report);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dpho_report: %s\n", e.what());
+    return 1;
+  }
+}

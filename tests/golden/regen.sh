@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Regenerate the golden-run artifacts in this directory.
+#
+#   tests/golden/regen.sh [build-dir]     # default build dir: build
+#
+# Builds the test_golden binary, then reruns it with DPHO_GOLDEN_REGEN=1,
+# which makes the golden tests overwrite tests/golden/<mode>/* in the source
+# tree instead of comparing.  Review the diff before committing: every change
+# here is a deliberate behavior change to the golden configuration.
+set -euo pipefail
+
+repo_root=$(cd "$(dirname "$0")/../.." && pwd)
+build_dir=${1:-build}
+case "$build_dir" in
+  /*) ;;
+  *) build_dir="$repo_root/$build_dir" ;;
+esac
+
+cmake --build "$build_dir" --target test_golden dpho_hpo dpho_report
+DPHO_GOLDEN_REGEN=1 "$build_dir/tests/test_golden" \
+  --gtest_filter='GoldenRun.*MatchesCheckedInArtifacts'
+echo "goldens regenerated under $repo_root/tests/golden/"

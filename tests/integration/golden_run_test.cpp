@@ -1,0 +1,147 @@
+// Golden-run regression: a tiny fixed-seed dpho_hpo deployment, in both
+// schedule modes, must byte-reproduce the artifacts checked in under
+// tests/golden/ -- the archive CSV, the deterministic section of the metrics
+// summary, and the digest of the final checkpoint.  The same artifacts must
+// also be identical between --threads 1 and --threads 4, which is the
+// repo-wide determinism contract (real parallelism never leaks into
+// simulated results or deterministic metrics).
+//
+// Regenerating goldens after an intentional behavior change:
+//
+//   tests/golden/regen.sh [build-dir]
+//
+// which reruns this binary with DPHO_GOLDEN_REGEN=1; in that mode the test
+// overwrites the goldens in the source tree instead of comparing.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "util/fs.hpp"
+#include "util/json.hpp"
+
+#ifndef DPHO_HPO_BIN
+#define DPHO_HPO_BIN "dpho_hpo"
+#endif
+#ifndef DPHO_GOLDEN_DIR
+#define DPHO_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace dpho {
+namespace {
+
+int run_command(const std::string& command) {
+  return WEXITSTATUS(std::system(command.c_str()));
+}
+
+bool regen_requested() {
+  const char* value = std::getenv("DPHO_GOLDEN_REGEN");
+  return value != nullptr && std::string(value) != "" &&
+         std::string(value) != "0";
+}
+
+/// FNV-1a 64 over a file's bytes, as a 16-digit hex line -- the same digest
+/// `dpho_report --fnv1a FILE` prints.
+std::string fnv1a64_hex(const std::filesystem::path& path) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const unsigned char byte : util::read_file(path)) {
+    hash ^= byte;
+    hash *= 0x100000001b3ull;
+  }
+  char hex[20];
+  std::snprintf(hex, sizeof hex, "%016llx\n",
+                static_cast<unsigned long long>(hash));
+  return hex;
+}
+
+/// The three artifacts a golden run pins.
+struct GoldenArtifacts {
+  std::string evaluations_csv;
+  std::string metrics_deterministic;  // indented JSON of the section
+  std::string checkpoint_digest;      // hex + newline
+};
+
+/// Runs the fixed golden configuration (pop 6, generations 2, one seed) in
+/// `mode` with `threads` real threads, rooted at `dir`.
+GoldenArtifacts run_golden(const std::string& mode, int threads,
+                           const std::filesystem::path& dir) {
+  const std::filesystem::path out = dir / "out";
+  const std::filesystem::path checkpoints = dir / "ck";
+  const std::filesystem::path timeline = dir / "metrics.jsonl";
+  const std::string command =
+      std::string(DPHO_HPO_BIN) + " --pop 6 --generations 2 --runs 1 --mode " +
+      mode + " --threads " + std::to_string(threads) + " --out " +
+      out.string() + " --checkpoint-dir " + checkpoints.string() +
+      " --metrics-out " + timeline.string() +
+      " --metrics-interval 2 --quiet > /dev/null 2>&1";
+  if (run_command(command) != 0) {
+    throw std::runtime_error("golden dpho_hpo run failed: " + command);
+  }
+
+  GoldenArtifacts artifacts;
+  artifacts.evaluations_csv = util::read_file(out / "evaluations.csv");
+  const util::Json summary =
+      util::Json::parse(util::read_file(out / "metrics_summary.json"));
+  artifacts.metrics_deterministic = summary.at("deterministic").dump(2) + "\n";
+  const util::Json manifest =
+      util::Json::parse(util::read_file(checkpoints / "seed-1" / "manifest.json"));
+  artifacts.checkpoint_digest =
+      fnv1a64_hex(checkpoints / "seed-1" / manifest.at("latest").as_string());
+  return artifacts;
+}
+
+void check_mode(const std::string& mode) {
+  util::TempDir dir;
+  const GoldenArtifacts threads1 = run_golden(mode, 1, dir.path() / "t1");
+  const GoldenArtifacts threads4 = run_golden(mode, 4, dir.path() / "t4");
+
+  // The determinism contract holds regardless of golden freshness: real
+  // thread count must not change any pinned artifact.
+  EXPECT_EQ(threads1.evaluations_csv, threads4.evaluations_csv);
+  EXPECT_EQ(threads1.metrics_deterministic, threads4.metrics_deterministic);
+  EXPECT_EQ(threads1.checkpoint_digest, threads4.checkpoint_digest);
+
+  const std::filesystem::path golden = std::filesystem::path(DPHO_GOLDEN_DIR) / mode;
+  if (regen_requested()) {
+    std::filesystem::create_directories(golden);
+    util::write_file(golden / "evaluations.csv", threads1.evaluations_csv);
+    util::write_file(golden / "metrics_deterministic.json",
+                     threads1.metrics_deterministic);
+    util::write_file(golden / "checkpoint.digest", threads1.checkpoint_digest);
+    GTEST_SKIP() << "goldens regenerated into " << golden.string();
+  }
+
+  ASSERT_TRUE(std::filesystem::exists(golden / "evaluations.csv"))
+      << "missing goldens; run tests/golden/regen.sh";
+  EXPECT_EQ(threads1.evaluations_csv,
+            util::read_file(golden / "evaluations.csv"));
+  EXPECT_EQ(threads1.metrics_deterministic,
+            util::read_file(golden / "metrics_deterministic.json"));
+  EXPECT_EQ(threads1.checkpoint_digest,
+            util::read_file(golden / "checkpoint.digest"));
+}
+
+TEST(GoldenRun, GenerationalMatchesCheckedInArtifacts) {
+  check_mode("generational");
+}
+
+TEST(GoldenRun, AsyncMatchesCheckedInArtifacts) { check_mode("async"); }
+
+// Two back-to-back identical invocations agree byte for byte on every
+// deterministic artifact -- the summary's timing section may differ, which
+// is exactly the boundary the Section split draws.
+TEST(GoldenRun, RepeatedRunsAgree) {
+  util::TempDir dir;
+  const GoldenArtifacts first = run_golden("generational", 2, dir.path() / "a");
+  const GoldenArtifacts second = run_golden("generational", 2, dir.path() / "b");
+  EXPECT_EQ(first.evaluations_csv, second.evaluations_csv);
+  EXPECT_EQ(first.metrics_deterministic, second.metrics_deterministic);
+  EXPECT_EQ(first.checkpoint_digest, second.checkpoint_digest);
+}
+
+}  // namespace
+}  // namespace dpho

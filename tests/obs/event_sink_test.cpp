@@ -1,0 +1,156 @@
+// EventSink + report rendering: JSONL structure, sequencing, disabled
+// no-ops, concurrent emitters, and the text renderers the CLI uses.
+#include "obs/event_sink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "obs/report.hpp"
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+namespace dpho::obs {
+namespace {
+
+TEST(EventSink, DisabledSinkIsANoOp) {
+  EventSink sink;
+  EXPECT_FALSE(sink.enabled());
+  sink.emit("kind", {{"a", 1}});  // must not crash or write anywhere
+  EXPECT_EQ(sink.events_written(), 0u);
+}
+
+TEST(EventSink, WritesSequencedJsonl) {
+  util::TempDir dir;
+  const auto path = dir.path() / "nested" / "timeline.jsonl";
+  EventSink sink;
+  sink.open(path);  // creates the parent directory
+  sink.emit("alpha", {{"value", 1}, {"name", "x"}});
+  sink.emit("beta", {{"flag", true}});
+  sink.close();
+  EXPECT_FALSE(sink.enabled());
+
+  const std::vector<util::Json> events = load_timeline(path);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].at("seq").as_int(), 0);
+  EXPECT_EQ(events[0].at("kind").as_string(), "alpha");
+  EXPECT_EQ(events[0].at("value").as_int(), 1);
+  EXPECT_GE(events[0].at("t_ms").as_number(), 0.0);
+  EXPECT_EQ(events[1].at("seq").as_int(), 1);
+  EXPECT_TRUE(events[1].at("flag").as_bool());
+}
+
+TEST(EventSink, ReopenRestartsSequence) {
+  util::TempDir dir;
+  EventSink sink;
+  sink.open(dir.path() / "a.jsonl");
+  sink.emit("one", util::JsonObject{});
+  sink.open(dir.path() / "b.jsonl");  // implicit close + fresh sequence
+  sink.emit("two", util::JsonObject{});
+  sink.close();
+  EXPECT_EQ(load_timeline(dir.path() / "b.jsonl").at(0).at("seq").as_int(), 0);
+}
+
+TEST(EventSink, OpenFailureThrows) {
+  EventSink sink;
+  EXPECT_THROW(sink.open("/proc/definitely/not/writable/x.jsonl"),
+               util::IoError);
+  EXPECT_FALSE(sink.enabled());
+}
+
+TEST(EventSink, ConcurrentEmittersProduceOneEventPerLine) {
+  util::TempDir dir;
+  const auto path = dir.path() / "race.jsonl";
+  EventSink sink;
+  sink.open(path);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        sink.emit("tick", {{"thread", t}, {"i", i}});
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  sink.close();
+
+  const std::vector<util::Json> events = load_timeline(path);
+  ASSERT_EQ(events.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  // Every sequence number appears exactly once (no torn/interleaved lines).
+  std::vector<bool> seen(events.size(), false);
+  for (const util::Json& event : events) {
+    const auto seq = static_cast<std::size_t>(event.at("seq").as_int());
+    ASSERT_LT(seq, seen.size());
+    EXPECT_FALSE(seen[seq]);
+    seen[seq] = true;
+  }
+}
+
+TEST(Report, LoadTimelineSkipsBlankAndRejectsGarbage) {
+  util::TempDir dir;
+  const auto path = dir.path() / "t.jsonl";
+  util::write_file(path, "{\"kind\":\"a\"}\n\n{\"kind\":\"b\"}\n");
+  EXPECT_EQ(load_timeline(path).size(), 2u);
+  util::write_file(path, "{\"kind\":\"a\"}\nnot json\n");
+  EXPECT_THROW(load_timeline(path), util::ParseError);
+}
+
+TEST(Report, RenderTimelineCountsKindsAndTabulatesWaves) {
+  std::vector<util::Json> events;
+  util::Json wave;
+  wave["kind"] = "engine.wave";
+  wave["generation"] = 3;
+  wave["evaluations"] = 6;
+  wave["failures"] = 1;
+  wave["node_failures"] = 0;
+  wave["makespan_minutes"] = 42.5;
+  events.push_back(wave);
+  util::Json birth;
+  birth["kind"] = "engine.birth";
+  events.push_back(birth);
+  events.push_back(birth);
+
+  const std::string text = render_timeline(events);
+  EXPECT_NE(text.find("engine.birth  2"), std::string::npos);
+  EXPECT_NE(text.find("engine.wave   1"), std::string::npos);
+  EXPECT_NE(text.find("42.50"), std::string::npos);
+}
+
+TEST(Report, RenderSummaryShowsHistogramBars) {
+  util::Json hist;
+  hist["count"] = 3;
+  hist["sum"] = 1.5;
+  hist["min"] = 0.25;
+  hist["max"] = 1.0;
+  util::JsonArray buckets;
+  util::Json bucket;
+  bucket["le"] = 1.0;
+  bucket["count"] = 3;
+  buckets.push_back(bucket);
+  util::Json overflow;
+  overflow["le"] = "inf";
+  overflow["count"] = 0;
+  buckets.push_back(overflow);
+  hist["buckets"] = util::Json(std::move(buckets));
+
+  util::Json summary;
+  summary["schema"] = "dpho.metrics.v1";
+  util::Json section;
+  section["counters"] = util::Json(util::JsonObject{});
+  section["gauges"] = util::Json(util::JsonObject{});
+  util::JsonObject hists;
+  hists["x.seconds"] = hist;
+  section["histograms"] = util::Json(std::move(hists));
+  summary["deterministic"] = section;
+
+  const std::string text = render_summary(summary);
+  EXPECT_NE(text.find("x.seconds"), std::string::npos);
+  EXPECT_NE(text.find("count=3"), std::string::npos);
+  EXPECT_NE(text.find("min=0.25"), std::string::npos);
+  EXPECT_NE(text.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dpho::obs

@@ -1,0 +1,148 @@
+// Property tests for the metrics determinism contract under real threads:
+// merge associativity, bucket-boundary agreement with a serial oracle, and
+// byte-identical deterministic snapshots however many writers raced.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace dpho::obs {
+namespace {
+
+/// Deterministic pseudo-random workload: `count` values in (0, scale*16).
+std::vector<double> workload(std::uint64_t seed, std::size_t count,
+                             double scale) {
+  util::Rng rng(seed);
+  std::vector<double> values(count);
+  for (double& value : values) value = rng.uniform(1e-9, scale * 16.0);
+  return values;
+}
+
+TEST(MetricsProperty, SnapshotMergeIsAssociativeAndCommutative) {
+  const BucketLayout layout = BucketLayout::exponential(0.5, 2.0, 8);
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    // Three shards of one workload, merged in every grouping/order.
+    // (Histogram is non-movable — atomics — so use named shards.)
+    Histogram shard0(layout), shard1(layout), shard2(layout);
+    Histogram* shards[] = {&shard0, &shard1, &shard2};
+    const std::vector<double> values = workload(seed, 300, 1.0);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      shards[i % 3]->record(values[i]);
+    }
+    const HistogramSnapshot a = shard0.snapshot();
+    const HistogramSnapshot b = shard1.snapshot();
+    const HistogramSnapshot c = shard2.snapshot();
+
+    HistogramSnapshot ab_c = a;
+    ab_c.merge(b);
+    ab_c.merge(c);
+    HistogramSnapshot a_bc = b;  // (b+c)+a
+    a_bc.merge(c);
+    a_bc.merge(a);
+    HistogramSnapshot cba = c;  // reversed order
+    cba.merge(b);
+    cba.merge(a);
+    EXPECT_EQ(ab_c, a_bc) << "seed " << seed;
+    EXPECT_EQ(ab_c, cba) << "seed " << seed;
+
+    // And the merged result equals recording everything into one histogram.
+    Histogram serial(layout);
+    for (double value : values) serial.record(value);
+    EXPECT_EQ(ab_c, serial.snapshot()) << "seed " << seed;
+  }
+}
+
+TEST(MetricsProperty, BucketOfMatchesSerialOracle) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    util::Rng rng(seed);
+    BucketLayout layout = BucketLayout::exponential(
+        rng.uniform(1e-6, 1.0), rng.uniform(1.5, 4.0),
+        static_cast<std::size_t>(rng.uniform_int(1, 12)));
+    layout.validate();
+    for (int i = 0; i < 200; ++i) {
+      const double value = rng.uniform(0.0, layout.upper_bounds.back() * 2.0);
+      // Oracle: first bound >= value, else overflow.
+      std::size_t expected = layout.upper_bounds.size();
+      for (std::size_t b = 0; b < layout.upper_bounds.size(); ++b) {
+        if (value <= layout.upper_bounds[b]) {
+          expected = b;
+          break;
+        }
+      }
+      EXPECT_EQ(layout.bucket_of(value), expected)
+          << "seed " << seed << " value " << value;
+      // Exact boundary values land in the bucket they bound.
+      EXPECT_EQ(layout.bucket_of(layout.upper_bounds[i % layout.upper_bounds.size()]),
+                static_cast<std::size_t>(i % layout.upper_bounds.size()));
+    }
+  }
+}
+
+TEST(MetricsProperty, ConcurrentWritersProduceDeterministicSnapshot) {
+  // N threads race counters, gauge-free histograms and the registry itself;
+  // the deterministic JSON must be byte-identical to the serial run and to
+  // any other thread count.  (Gauges are excluded: last-write-wins is only
+  // deterministic for single-threaded writers, which is how the engine uses
+  // them.)
+  const BucketLayout layout = BucketLayout::exponential(0.5, 2.0, 10);
+  const std::vector<double> values = workload(7, 4000, 1.0);
+
+  const auto run_with_threads = [&](std::size_t num_threads) {
+    MetricsRegistry registry;
+    Counter& events = registry.counter("prop.events_total");
+    Histogram& hist =
+        registry.histogram("prop.values", layout, Section::kDeterministic);
+    std::vector<std::thread> threads;
+    const std::size_t chunk = values.size() / num_threads;
+    for (std::size_t t = 0; t < num_threads; ++t) {
+      const std::size_t begin = t * chunk;
+      const std::size_t end =
+          t + 1 == num_threads ? values.size() : begin + chunk;
+      threads.emplace_back([&, begin, end] {
+        for (std::size_t i = begin; i < end; ++i) {
+          events.add(1);
+          hist.record(values[i]);
+          // Late registration under contention must also be safe.
+          registry.counter("prop.late_total").add(1);
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    return registry.deterministic_json().dump(2);
+  };
+
+  const std::string serial = run_with_threads(1);
+  EXPECT_EQ(serial, run_with_threads(2));
+  EXPECT_EQ(serial, run_with_threads(4));
+  EXPECT_EQ(serial, run_with_threads(8));
+}
+
+TEST(MetricsProperty, ConcurrentSnapshotsDuringWritesAreCoherent) {
+  // Snapshots taken while writers are mid-flight need not equal the final
+  // state, but each must be internally coherent: bucket counts sum to the
+  // total count, and the total never exceeds what was recorded so far.
+  Histogram hist(BucketLayout::exponential(0.5, 2.0, 6));
+  const std::vector<double> values = workload(11, 20000, 1.0);
+  std::thread writer([&] {
+    for (double value : values) hist.record(value);
+  });
+  for (int i = 0; i < 200; ++i) {
+    const HistogramSnapshot snap = hist.snapshot();
+    std::uint64_t bucket_total = 0;
+    for (std::uint64_t c : snap.counts) bucket_total += c;
+    EXPECT_LE(bucket_total, values.size());
+  }
+  writer.join();
+  const HistogramSnapshot final_snap = hist.snapshot();
+  EXPECT_EQ(final_snap.count, values.size());
+  std::uint64_t bucket_total = 0;
+  for (std::uint64_t c : final_snap.counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, values.size());
+}
+
+}  // namespace
+}  // namespace dpho::obs

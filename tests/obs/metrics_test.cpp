@@ -1,0 +1,176 @@
+// Unit tests for the obs metrics registry: layouts, histograms, snapshot
+// JSON, section split, and handle stability.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace dpho::obs {
+namespace {
+
+TEST(BucketLayout, FactoriesProduceAscendingBounds) {
+  const BucketLayout exp = BucketLayout::exponential(1.0, 2.0, 4);
+  EXPECT_EQ(exp.upper_bounds, (std::vector<double>{1.0, 2.0, 4.0, 8.0}));
+  const BucketLayout lin = BucketLayout::linear(10.0, 5.0, 3);
+  EXPECT_EQ(lin.upper_bounds, (std::vector<double>{10.0, 15.0, 20.0}));
+  EXPECT_NO_THROW(BucketLayout::timing_seconds().validate());
+}
+
+TEST(BucketLayout, ValidateRejectsBadBounds) {
+  EXPECT_THROW((BucketLayout{{1.0, 1.0}}.validate()), util::ValueError);
+  EXPECT_THROW((BucketLayout{{2.0, 1.0}}.validate()), util::ValueError);
+  EXPECT_THROW(
+      (BucketLayout{{std::numeric_limits<double>::infinity()}}.validate()),
+      util::ValueError);
+  EXPECT_THROW((BucketLayout{{}}.validate()), util::ValueError);
+}
+
+TEST(BucketLayout, BoundaryValuesLandInBoundingBucket) {
+  const BucketLayout layout{{1.0, 2.0, 4.0}};
+  EXPECT_EQ(layout.bucket_of(0.5), 0u);
+  EXPECT_EQ(layout.bucket_of(1.0), 0u);  // le-semantics: 1.0 <= 1.0
+  EXPECT_EQ(layout.bucket_of(std::nextafter(1.0, 2.0)), 1u);
+  EXPECT_EQ(layout.bucket_of(2.0), 1u);
+  EXPECT_EQ(layout.bucket_of(4.0), 2u);
+  EXPECT_EQ(layout.bucket_of(4.1), 3u);  // overflow bucket
+}
+
+TEST(Counter, AddsAndResets) {
+  Counter counter;
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0);
+}
+
+TEST(Gauge, LastWriteWins) {
+  Gauge gauge;
+  gauge.set(1.5);
+  gauge.set(-2.25);
+  EXPECT_DOUBLE_EQ(gauge.value(), -2.25);
+}
+
+TEST(Histogram, RecordsIntoCorrectBuckets) {
+  Histogram hist(BucketLayout{{1.0, 2.0}});
+  hist.record(0.5);
+  hist.record(1.5);
+  hist.record(1.5);
+  hist.record(10.0);
+  const HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.counts, (std::vector<std::uint64_t>{1, 2, 1}));
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_DOUBLE_EQ(snap.sum(), 13.5);
+  EXPECT_DOUBLE_EQ(snap.min, 0.5);
+  EXPECT_DOUBLE_EQ(snap.max, 10.0);
+  EXPECT_DOUBLE_EQ(snap.mean(), 13.5 / 4.0);
+}
+
+TEST(Histogram, RejectsNonFiniteValues) {
+  Histogram hist(BucketLayout{{1.0}});
+  EXPECT_THROW(hist.record(std::numeric_limits<double>::quiet_NaN()),
+               util::ValueError);
+  EXPECT_THROW(hist.record(std::numeric_limits<double>::infinity()),
+               util::ValueError);
+}
+
+TEST(Histogram, SumIsFixedPointExact) {
+  // 0.1 is inexact in binary; the microunit integer sum must still be exact.
+  Histogram hist(BucketLayout{{1.0}});
+  for (int i = 0; i < 10; ++i) hist.record(0.1);
+  EXPECT_EQ(hist.snapshot().sum_micro, 1'000'000);
+  EXPECT_DOUBLE_EQ(hist.snapshot().sum(), 1.0);
+}
+
+TEST(HistogramSnapshot, MergeIsExactAndChecksLayout) {
+  Histogram a(BucketLayout{{1.0, 2.0}});
+  Histogram b(BucketLayout{{1.0, 2.0}});
+  a.record(0.5);
+  b.record(1.5);
+  b.record(9.0);
+  HistogramSnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  EXPECT_EQ(merged.count, 3u);
+  EXPECT_EQ(merged.counts, (std::vector<std::uint64_t>{1, 1, 1}));
+  EXPECT_DOUBLE_EQ(merged.min, 0.5);
+  EXPECT_DOUBLE_EQ(merged.max, 9.0);
+
+  Histogram other(BucketLayout{{3.0}});
+  HistogramSnapshot bad = a.snapshot();
+  EXPECT_THROW(bad.merge(other.snapshot()), util::ValueError);
+}
+
+TEST(HistogramSnapshot, MergeWithEmptyKeepsMinMax) {
+  Histogram a(BucketLayout{{1.0}});
+  Histogram empty(BucketLayout{{1.0}});
+  a.record(0.25);
+  HistogramSnapshot left = a.snapshot();
+  left.merge(empty.snapshot());
+  EXPECT_DOUBLE_EQ(left.min, 0.25);
+  EXPECT_DOUBLE_EQ(left.max, 0.25);
+  HistogramSnapshot right = empty.snapshot();
+  right.merge(a.snapshot());
+  EXPECT_DOUBLE_EQ(right.min, 0.25);
+  EXPECT_DOUBLE_EQ(right.max, 0.25);
+}
+
+TEST(MetricsRegistry, HandlesAreStableAndTyped) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("a.count");
+  counter.add(3);
+  EXPECT_EQ(&registry.counter("a.count"), &counter);
+  EXPECT_THROW(registry.gauge("a.count"), util::ValueError);
+  EXPECT_THROW(registry.counter("a.count", Section::kTiming), util::ValueError);
+  Histogram& hist = registry.histogram("a.hist", BucketLayout{{1.0}});
+  EXPECT_EQ(&registry.histogram("a.hist", BucketLayout{{1.0}}), &hist);
+  EXPECT_THROW(registry.histogram("a.hist", BucketLayout{{2.0}}),
+               util::ValueError);
+}
+
+TEST(MetricsRegistry, JsonIsSortedAndSectioned) {
+  MetricsRegistry registry;
+  registry.counter("z.last").add(2);
+  registry.counter("a.first").add(1);
+  registry.gauge("m.gauge").set(0.5);
+  registry.histogram("t.timer", BucketLayout{{1.0}}).record(0.5);
+  registry.counter("t.wall_polls", Section::kTiming).add(7);
+
+  const util::Json json = registry.to_json();
+  EXPECT_EQ(json.at("schema").as_string(), "dpho.metrics.v1");
+  const auto& counters = json.at("deterministic").at("counters").as_object();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters.begin()->first, "a.first");  // sorted keys
+  EXPECT_EQ(json.at("timing").at("counters").at("t.wall_polls").as_int(), 7);
+  EXPECT_EQ(json.at("timing")
+                .at("histograms")
+                .at("t.timer")
+                .at("count")
+                .as_int(),
+            1);
+
+  // Timing never leaks into the deterministic view.
+  const util::Json det = registry.deterministic_json();
+  EXPECT_FALSE(det.at("counters").contains("t.wall_polls"));
+  EXPECT_EQ(det.dump(2), registry.to_json(false).at("deterministic").dump(2));
+}
+
+TEST(MetricsRegistry, ResetZeroesValuesButKeepsHandles) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("c");
+  Histogram& hist = registry.histogram("h", BucketLayout{{1.0}});
+  counter.add(5);
+  hist.record(0.5);
+  registry.reset();
+  EXPECT_EQ(counter.value(), 0);
+  EXPECT_EQ(hist.snapshot().count, 0u);
+  EXPECT_EQ(&registry.counter("c"), &counter);  // registration survives
+  counter.add(1);
+  EXPECT_EQ(registry.counter("c").value(), 1);
+}
+
+}  // namespace
+}  // namespace dpho::obs
