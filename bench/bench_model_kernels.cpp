@@ -1,0 +1,280 @@
+// Tape-vs-analytic gradient kernel throughput for DeepPot-SE training.
+//
+// Measures single-thread per-frame loss-gradient evaluations per second
+// (energy + force loss, full parameter gradient including the second-order
+// force term) for the scalar-tape oracle and the analytic fused kernels
+// (dp/fast_graph.hpp), across descriptor/fitting sizes from test-tiny up to
+// the paper's default architecture.
+//
+// Emits BENCH_kernels.json:
+//   {"bench": "model_kernels",
+//    "step_definition": "one per-frame loss gradient (energy+forces)",
+//    "results": [{"name": ..., "sel": ..., "neuron": [...], "axis_neuron": ...,
+//                 "fitting_neuron": [...], "atoms": ..., "pairs": ...,
+//                 "params": ..., "tape_steps_per_sec": ...,
+//                 "analytic_steps_per_sec": ..., "speedup": ...}, ...],
+//    "metrics": {"schema": "dpho.metrics.v1", ...}}
+//
+// The metrics block carries the dp.kernels.* instrumentation (primal/tangent
+// pass timers, frame/pair counters) recorded by the analytic runs, so the
+// kernel timing sections land in the same dpho.metrics.v1 document that
+// training runs emit.
+//
+// Each config first cross-checks that the two engines agree on the loss value
+// (relative 1e-6); a throughput number for a wrong gradient is worse than
+// none, so disagreement exits nonzero.
+//
+// Usage: bench_model_kernels [--smoke] [--out FILE]
+//   --smoke  reduced scale (CI-friendly); also self-validates the JSON
+//            schema -- including the presence of populated dp.kernels timing
+//            sections -- and exits nonzero on any violation.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "dp/fast_graph.hpp"
+#include "dp/loss.hpp"
+#include "dp/model.hpp"
+#include "md/simulation.hpp"
+#include "nn/schedule.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "util/fs.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace dpho;
+using Clock = std::chrono::steady_clock;
+
+struct KernelConfig {
+  std::string name;
+  std::size_t sel = 24;
+  std::vector<std::size_t> neuron;
+  std::size_t axis_neuron = 2;
+  std::vector<std::size_t> fitting;
+};
+
+struct KernelResult {
+  KernelConfig config;
+  std::size_t atoms = 0;
+  std::size_t pairs = 0;
+  std::size_t params = 0;
+  double tape_steps_per_sec = 0.0;
+  double analytic_steps_per_sec = 0.0;
+  double speedup = 0.0;
+};
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Time-boxed throughput: repeat `step` round-robin over the frames until the
+/// budget elapses (at least two full sweeps), return steps/sec.
+template <typename Step>
+double measure(std::size_t frames, double budget_seconds, Step&& step) {
+  // Warm-up sweep: first calls size arenas / grow tape storage.
+  for (std::size_t f = 0; f < frames; ++f) step(f);
+  std::size_t steps = 0;
+  const Clock::time_point start = Clock::now();
+  double elapsed = 0.0;
+  do {
+    for (std::size_t f = 0; f < frames; ++f) step(f);
+    steps += frames;
+    elapsed = seconds_since(start);
+  } while (elapsed < budget_seconds || steps < 2 * frames);
+  return static_cast<double>(steps) / elapsed;
+}
+
+bool validate_schema(const std::filesystem::path& path) {
+  const util::Json doc = util::Json::parse(util::read_file(path));
+  if (!doc.is_object()) return false;
+  for (const char* key : {"bench", "step_definition", "results", "metrics"}) {
+    if (!doc.contains(key)) {
+      std::fprintf(stderr, "BENCH_kernels.json: missing key %s\n", key);
+      return false;
+    }
+  }
+  if (!doc.at("results").is_array() || doc.at("results").as_array().empty()) {
+    return false;
+  }
+  for (const util::Json& entry : doc.at("results").as_array()) {
+    if (!entry.is_object()) return false;
+    for (const char* key :
+         {"name", "sel", "neuron", "axis_neuron", "fitting_neuron", "atoms",
+          "pairs", "params", "tape_steps_per_sec", "analytic_steps_per_sec",
+          "speedup"}) {
+      if (!entry.contains(key)) {
+        std::fprintf(stderr, "BENCH_kernels.json: result missing key %s\n", key);
+        return false;
+      }
+    }
+  }
+  if (!obs::is_metrics_document(doc.at("metrics"))) {
+    std::fprintf(stderr, "BENCH_kernels.json: metrics block is not a valid"
+                         " dpho.metrics.v1 document\n");
+    return false;
+  }
+  // The analytic runs must have populated the kernel timing sections.
+  const util::Json& histograms = doc.at("metrics").at("timing").at("histograms");
+  for (const char* name : {"dp.kernels.primal_seconds", "dp.kernels.tangent_seconds"}) {
+    if (!histograms.contains(name) ||
+        histograms.at(name).number_or("count", 0.0) <= 0.0) {
+      std::fprintf(stderr, "BENCH_kernels.json: timing histogram %s missing"
+                           " or empty\n", name);
+      return false;
+    }
+  }
+  const util::Json& counters = doc.at("metrics").at("deterministic").at("counters");
+  for (const char* name : {"dp.kernels.frames_total", "dp.kernels.pairs_total"}) {
+    if (counters.number_or(name, 0.0) <= 0.0) {
+      std::fprintf(stderr, "BENCH_kernels.json: counter %s missing or zero\n", name);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::filesystem::path out = "BENCH_kernels.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out = argv[++i];
+  }
+
+  md::SimulationConfig sim;
+  sim.spec = md::SystemSpec::scaled_system(1);  // 10 atoms
+  sim.num_frames = 4;
+  sim.equilibration_steps = 40;
+  sim.seed = 23;
+  const md::LabelledData data = md::generate_reference_data(sim, 0.25);
+  const std::size_t num_frames = data.train.size();
+  const std::size_t atoms = data.train.frame(0).positions.size();
+
+  std::vector<KernelConfig> configs = {
+      {"tiny", 24, {4, 8}, 2, {8}},
+      {"small", 32, {8, 16}, 4, {24, 24}},
+  };
+  if (!smoke) {
+    configs.push_back({"medium", 48, {16, 32}, 4, {60, 60}});
+    // The paper's default architecture (section 2.2.1): this is the size the
+    // HPO workflow actually trains at, and the headline speedup row.
+    configs.push_back({"paper_default", 64, {25, 50, 100}, 4, {240, 240, 240}});
+  }
+  const double budget = smoke ? 0.05 : 0.5;
+  const dp::LossWeights weights{/*pref_e=*/1.0, /*pref_f=*/10.0};
+  const dp::DeepmdLoss loss(dp::LossConfig{},
+                            nn::ExponentialDecay(0.01, 0.001, 100, 10));
+
+  obs::metrics().reset();
+  std::printf("model kernels: %zu atoms, %zu frames, budget %.2fs per engine\n",
+              atoms, num_frames, budget);
+
+  std::vector<KernelResult> results;
+  for (const KernelConfig& config : configs) {
+    dp::TrainInput input;
+    input.descriptor.rcut = 3.2;  // must fit under half the small MD box edge
+    input.descriptor.rcut_smth = 2.0;
+    input.descriptor.neuron = config.neuron;
+    input.descriptor.axis_neuron = config.axis_neuron;
+    input.descriptor.sel = config.sel;
+    input.fitting.neuron = config.fitting;
+    const dp::DeepPotModel model(input, data.train.types(), 0.0, 7);
+
+    std::vector<dp::NeighborTopology> topologies;
+    std::vector<dp::FrameGeometry> geometries(num_frames);
+    for (std::size_t f = 0; f < num_frames; ++f) {
+      topologies.push_back(model.build_topology(data.train.frame(f)));
+      dp::build_frame_geometry(model, data.train.frame(f), topologies[f],
+                               geometries[f]);
+    }
+
+    const dp::FastGraph fast(model);
+    dp::FastWorkspace workspace;
+    std::vector<double> grad(model.num_params());
+    ad::Tape tape;
+
+    const auto tape_step = [&](std::size_t f) {
+      const md::Frame& frame = data.train.frame(f);
+      tape.reset();
+      const dp::DeepPotModel::FrameGraph graph =
+          model.build_graph(tape, frame, topologies[f]);
+      const ad::Var frame_loss =
+          loss.build(tape, graph.energy, frame.energy, graph.forces,
+                     frame.forces, frame.positions.size(), weights);
+      const std::vector<ad::Var> dloss = tape.gradient(frame_loss, graph.params);
+      return frame_loss.value() + dloss.front().value() * 0.0;  // keep it live
+    };
+    const auto analytic_step = [&](std::size_t f) {
+      const md::Frame& frame = data.train.frame(f);
+      return fast.loss_and_grad(geometries[f], frame.energy, frame.forces,
+                                weights, workspace, grad);
+    };
+
+    // Cross-check before timing: same loss from both engines on every frame.
+    for (std::size_t f = 0; f < num_frames; ++f) {
+      const double tape_loss = tape_step(f);
+      const double analytic_loss = analytic_step(f);
+      const double tolerance = 1e-6 * std::max(1.0, std::abs(tape_loss));
+      if (std::abs(tape_loss - analytic_loss) > tolerance) {
+        std::fprintf(stderr,
+                     "%s frame %zu: engines disagree (tape %.17g analytic"
+                     " %.17g)\n",
+                     config.name.c_str(), f, tape_loss, analytic_loss);
+        return 1;
+      }
+    }
+
+    KernelResult result;
+    result.config = config;
+    result.atoms = atoms;
+    result.pairs = geometries[0].pairs.size();
+    result.params = model.num_params();
+    result.tape_steps_per_sec = measure(num_frames, budget, tape_step);
+    result.analytic_steps_per_sec = measure(num_frames, budget, analytic_step);
+    result.speedup = result.analytic_steps_per_sec / result.tape_steps_per_sec;
+    std::printf("  %-13s sel %3zu params %7zu: tape %8.1f/s  analytic"
+                " %9.1f/s  speedup %5.1fx\n",
+                config.name.c_str(), config.sel, result.params,
+                result.tape_steps_per_sec, result.analytic_steps_per_sec,
+                result.speedup);
+    results.push_back(result);
+  }
+
+  util::JsonObject doc;
+  doc["bench"] = "model_kernels";
+  doc["step_definition"] = "one per-frame loss gradient (energy+forces)";
+  util::JsonArray entries;
+  for (const KernelResult& result : results) {
+    util::JsonObject entry;
+    entry["name"] = result.config.name;
+    entry["sel"] = result.config.sel;
+    util::JsonArray neuron;
+    for (const std::size_t n : result.config.neuron) neuron.push_back(util::Json(n));
+    entry["neuron"] = util::Json(std::move(neuron));
+    entry["axis_neuron"] = result.config.axis_neuron;
+    util::JsonArray fitting;
+    for (const std::size_t n : result.config.fitting) fitting.push_back(util::Json(n));
+    entry["fitting_neuron"] = util::Json(std::move(fitting));
+    entry["atoms"] = result.atoms;
+    entry["pairs"] = result.pairs;
+    entry["params"] = result.params;
+    entry["tape_steps_per_sec"] = result.tape_steps_per_sec;
+    entry["analytic_steps_per_sec"] = result.analytic_steps_per_sec;
+    entry["speedup"] = result.speedup;
+    entries.push_back(util::Json(std::move(entry)));
+  }
+  doc["results"] = util::Json(std::move(entries));
+  doc["metrics"] = obs::metrics().to_json();
+  util::write_file(out, util::Json(std::move(doc)).dump(2) + "\n");
+  std::printf("wrote %s\n", out.string().c_str());
+
+  if (smoke && !validate_schema(out)) return 1;
+  return 0;
+}

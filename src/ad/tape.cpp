@@ -125,9 +125,11 @@ std::vector<Var> Tape::gradient(Var output, const std::vector<Var>& inputs) {
   }
   const std::uint32_t out_index = output.index();
   // Adjoint per node up to (and including) the output; nodes appended during
-  // this backward pass never need adjoints of their own here.
+  // this backward pass never need adjoints of their own here.  The scratch
+  // is a member so per-frame gradient calls reuse its storage.
   const std::size_t frontier = static_cast<std::size_t>(out_index) + 1;
-  std::vector<Var> adjoint(frontier);  // default-invalid == zero
+  adjoint_scratch_.assign(frontier, Var());  // default-invalid == zero
+  std::vector<Var>& adjoint = adjoint_scratch_;
   adjoint[out_index] = constant(1.0);
 
   const auto accumulate = [&](std::uint32_t node, Var delta) {

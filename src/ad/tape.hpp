@@ -52,7 +52,14 @@ class Tape {
   /// Number of live nodes; useful for memory accounting in tests/benches.
   std::size_t size() const { return nodes_.size(); }
 
-  /// Discards every node.  All outstanding Vars become invalid.
+  /// Allocated node slots; reset() keeps this, so a tape reused across
+  /// frames stops hitting the allocator once the largest graph has been
+  /// seen (the trainer's worker tapes rely on that).
+  std::size_t capacity() const { return nodes_.capacity(); }
+
+  /// Discards every node but keeps the node storage and the backward-pass
+  /// scratch, so the next graph build reuses warm memory.  All outstanding
+  /// Vars become invalid.
   void reset();
 
   /// Value stored at a node index (bounds-checked).
@@ -104,6 +111,7 @@ class Tape {
   double value_of(std::uint32_t index) const { return nodes_[index].value; }
 
   std::vector<Node> nodes_;
+  std::vector<Var> adjoint_scratch_;  // reused by gradient() across calls
 };
 
 // Operator sugar.  Mixed Var/double forms promote the double to a constant on

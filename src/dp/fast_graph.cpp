@@ -1,0 +1,554 @@
+#include "dp/fast_graph.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "util/error.hpp"
+
+namespace dpho::dp {
+
+namespace {
+
+constexpr std::size_t kNets = md::kNumSpecies * md::kNumSpecies;
+
+// Metric handles are stable for the registry's lifetime, so resolve them once
+// instead of taking the registration mutex every frame.
+obs::Histogram& primal_seconds() {
+  static obs::Histogram& h = obs::metrics().histogram(
+      "dp.kernels.primal_seconds", obs::BucketLayout::timing_seconds());
+  return h;
+}
+
+obs::Histogram& tangent_seconds() {
+  static obs::Histogram& h = obs::metrics().histogram(
+      "dp.kernels.tangent_seconds", obs::BucketLayout::timing_seconds());
+  return h;
+}
+
+obs::Counter& frames_counter() {
+  static obs::Counter& c = obs::metrics().counter("dp.kernels.frames_total");
+  return c;
+}
+
+obs::Counter& pairs_counter() {
+  static obs::Counter& c = obs::metrics().counter("dp.kernels.pairs_total");
+  return c;
+}
+
+}  // namespace
+
+void build_frame_geometry(const DeepPotModel& model, const md::Frame& frame,
+                          const NeighborTopology& topology, FrameGeometry& out) {
+  const std::vector<md::Species>& types = model.types();
+  const std::size_t n = types.size();
+  if (frame.positions.size() != n) {
+    throw util::ValueError("fast_graph: frame atom count does not match model");
+  }
+  if (topology.entries.size() != n) {
+    throw util::ValueError("fast_graph: topology atom count does not match model");
+  }
+  const double rcut = model.config().descriptor.rcut;
+  out.num_atoms = n;
+
+  // Count pairs per embedding net, prefix-sum into offsets, then fill.  The
+  // distance filter must match build_graph exactly (strict r < rcut).
+  out.net_offsets.assign(kNets + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const auto& entry : topology.entries[i]) {
+      const md::Vec3 d =
+          (frame.positions[entry.j] + entry.shift) - frame.positions[i];
+      if (md::norm(d) >= rcut) continue;
+      ++out.net_offsets[DeepPotModel::pair_index(types[i], types[entry.j]) + 1];
+    }
+  }
+  for (std::size_t net = 0; net < kNets; ++net) {
+    out.net_offsets[net + 1] += out.net_offsets[net];
+  }
+  out.pairs.resize(out.net_offsets.back());
+
+  const SwitchingFunction& switching = model.switching();
+  std::array<std::uint32_t, kNets> cursor;
+  std::copy_n(out.net_offsets.begin(), kNets, cursor.begin());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const auto& entry : topology.entries[i]) {
+      const md::Vec3 d =
+          (frame.positions[entry.j] + entry.shift) - frame.positions[i];
+      const double r = md::norm(d);
+      if (r >= rcut) continue;
+      const std::size_t net = DeepPotModel::pair_index(types[i], types[entry.j]);
+      FrameGeometry::Pair& pair = out.pairs[cursor[net]++];
+      pair.center = static_cast<std::uint32_t>(i);
+      pair.j = static_cast<std::uint32_t>(entry.j);
+      pair.r = r;
+      pair.s = switching.value(r);
+      pair.ds_dr = switching.derivative(r);
+      for (std::size_t k = 0; k < 3; ++k) pair.u[k] = d[k] / r;
+    }
+  }
+}
+
+FastGraph::FastGraph(const DeepPotModel& model) : model_(&model) {
+  m1_ = model.config().descriptor.neuron.back();
+  m2_ = model.config().descriptor.axis_neuron;
+
+  // Group atoms by species so each fitting net sees one contiguous batch;
+  // atom_slot_ maps an atom to its row inside that batch.
+  const std::vector<md::Species>& types = model.types();
+  const std::size_t n = types.size();
+  species_offsets_.assign(md::kNumSpecies + 1, 0);
+  for (md::Species t : types) ++species_offsets_[static_cast<std::size_t>(t) + 1];
+  for (std::size_t s = 0; s < md::kNumSpecies; ++s) {
+    species_offsets_[s + 1] += species_offsets_[s];
+  }
+  species_atoms_.resize(n);
+  atom_slot_.resize(n);
+  std::array<std::uint32_t, md::kNumSpecies> cursor;
+  std::copy_n(species_offsets_.begin(), md::kNumSpecies, cursor.begin());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto s = static_cast<std::size_t>(types[i]);
+    const std::uint32_t pos = cursor[s]++;
+    species_atoms_[pos] = static_cast<std::uint32_t>(i);
+    atom_slot_[i] = pos - species_offsets_[s];
+  }
+
+  // Flat parameter offsets in gather_params order: embeddings then fittings.
+  embed_param_offset_.resize(kNets);
+  std::size_t offset = 0;
+  for (std::size_t e = 0; e < kNets; ++e) {
+    embed_param_offset_[e] = offset;
+    offset += model.embedding_net(e).num_params();
+  }
+  fit_param_offset_.resize(md::kNumSpecies);
+  for (std::size_t f = 0; f < md::kNumSpecies; ++f) {
+    fit_param_offset_[f] = offset;
+    offset += model.fitting_net(f).num_params();
+  }
+}
+
+void FastGraph::size_workspace(const FrameGeometry& geometry,
+                               FastWorkspace& workspace) const {
+  if (geometry.num_atoms != model_->num_atoms()) {
+    throw util::ValueError("fast_graph: geometry atom count does not match model");
+  }
+  workspace.embed.resize(kNets);
+  workspace.fit.resize(md::kNumSpecies);
+}
+
+double FastGraph::primal_pass(const FrameGeometry& geometry,
+                              FastWorkspace& workspace, bool param_grads) const {
+  obs::ScopedTimer timer(primal_seconds());
+  frames_counter().add(1);
+  pairs_counter().add(static_cast<std::int64_t>(geometry.pairs.size()));
+
+  const DeepPotModel& model = *model_;
+  const std::vector<md::Species>& types = model.types();
+  const std::size_t n = geometry.num_atoms;
+  const double nu = model.sel_norm();
+  const std::size_t dwidth = m1_ * m2_;
+  const nn::Curvature curvature =
+      param_grads ? nn::Curvature::kCache : nn::Curvature::kNone;
+  size_workspace(geometry, workspace);
+  if (param_grads) workspace.energy_grad.assign(model.num_params(), 0.0);
+
+  // Embedding forward: one batch per (center, neighbor) species-pair net.
+  for (std::size_t net = 0; net < kNets; ++net) {
+    const std::size_t count = geometry.net_count(net);
+    if (count == 0) continue;
+    FastWorkspace::NetSlot& slot = workspace.embed[net];
+    const std::uint32_t base = geometry.net_offsets[net];
+    slot.x.resize(count);
+    for (std::size_t p = 0; p < count; ++p) slot.x[p] = geometry.pairs[base + p].s;
+    nn::mlp_forward_batch(model.embedding_net(net), slot.x, count, slot.cache,
+                          curvature);
+  }
+
+  // Descriptor contraction: T_i[m][c] = nu * sum_j g_j[m] R_j[c].
+  workspace.t.assign(n * m1_ * 4, 0.0);
+  for (std::size_t net = 0; net < kNets; ++net) {
+    const std::size_t count = geometry.net_count(net);
+    if (count == 0) continue;
+    const std::uint32_t base = geometry.net_offsets[net];
+    const std::span<const double> g_all = workspace.embed[net].cache.out();
+    for (std::size_t p = 0; p < count; ++p) {
+      const FrameGeometry::Pair& pair = geometry.pairs[base + p];
+      const double row[4] = {pair.s, pair.s * pair.u[0], pair.s * pair.u[1],
+                             pair.s * pair.u[2]};
+      const double* g = g_all.data() + p * m1_;
+      double* tblock = workspace.t.data() + pair.center * m1_ * 4;
+      for (std::size_t m = 0; m < m1_; ++m) {
+        const double gm = nu * g[m];
+        for (std::size_t c = 0; c < 4; ++c) tblock[m * 4 + c] += gm * row[c];
+      }
+    }
+  }
+
+  // D_i[a][b] = sum_c T[a][c] T[b][c], written straight into the fitting
+  // batch rows (atoms grouped by species).
+  for (std::size_t sp = 0; sp < md::kNumSpecies; ++sp) {
+    const std::size_t atoms = species_offsets_[sp + 1] - species_offsets_[sp];
+    workspace.fit[sp].x.resize(atoms * dwidth);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto sp = static_cast<std::size_t>(types[i]);
+    double* dst = workspace.fit[sp].x.data() + atom_slot_[i] * dwidth;
+    const double* tblock = workspace.t.data() + i * m1_ * 4;
+    for (std::size_t a = 0; a < m1_; ++a) {
+      for (std::size_t b = 0; b < m2_; ++b) {
+        double sum = 0.0;
+        for (std::size_t c = 0; c < 4; ++c) sum += tblock[a * 4 + c] * tblock[b * 4 + c];
+        dst[a * m2_ + b] = sum;
+      }
+    }
+  }
+
+  // Fitting forward; atomic energies accumulate in atom order (matching the
+  // tape's summation order).
+  for (std::size_t sp = 0; sp < md::kNumSpecies; ++sp) {
+    const std::size_t atoms = species_offsets_[sp + 1] - species_offsets_[sp];
+    if (atoms == 0) continue;
+    FastWorkspace::NetSlot& slot = workspace.fit[sp];
+    nn::mlp_forward_batch(model.fitting_net(sp), slot.x, atoms, slot.cache,
+                          curvature);
+  }
+  double energy = static_cast<double>(n) * model.energy_bias_per_atom();
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto sp = static_cast<std::size_t>(types[i]);
+    energy += workspace.fit[sp].cache.out()[atom_slot_[i]];
+  }
+
+  // Fitting reverse, seeded with dE/d(atomic energy) = 1; leaves the
+  // descriptor adjoints in fit[sp].x_bar.
+  for (std::size_t sp = 0; sp < md::kNumSpecies; ++sp) {
+    const std::size_t atoms = species_offsets_[sp + 1] - species_offsets_[sp];
+    if (atoms == 0) continue;
+    FastWorkspace::NetSlot& slot = workspace.fit[sp];
+    slot.out_bar.assign(atoms, 1.0);
+    slot.x_bar.resize(atoms * dwidth);
+    const std::span<double> grad_segment =
+        param_grads ? std::span<double>(workspace.energy_grad)
+                          .subspan(fit_param_offset_[sp],
+                                   model.fitting_net(sp).num_params())
+                    : std::span<double>{};
+    nn::mlp_backward_batch(model.fitting_net(sp), slot.x, atoms, slot.cache,
+                           slot.out_bar, slot.x_bar, grad_segment);
+  }
+
+  // Descriptor reverse: Tbar[p][c] = sum_b Dbar[p][b] T[b][c]
+  //                               + [p < m2] sum_a Dbar[a][p] T[a][c].
+  workspace.t_bar.resize(n * m1_ * 4);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto sp = static_cast<std::size_t>(types[i]);
+    const double* dbar = workspace.fit[sp].x_bar.data() + atom_slot_[i] * dwidth;
+    const double* tblock = workspace.t.data() + i * m1_ * 4;
+    double* tbar = workspace.t_bar.data() + i * m1_ * 4;
+    for (std::size_t p = 0; p < m1_; ++p) {
+      for (std::size_t c = 0; c < 4; ++c) {
+        double acc = 0.0;
+        for (std::size_t b = 0; b < m2_; ++b) acc += dbar[p * m2_ + b] * tblock[b * 4 + c];
+        if (p < m2_) {
+          for (std::size_t a = 0; a < m1_; ++a) acc += dbar[a * m2_ + p] * tblock[a * 4 + c];
+        }
+        tbar[p * 4 + c] = acc;
+      }
+    }
+  }
+
+  // Embedding reverse plus force assembly.  Per pair:
+  //   gbar[m] = nu * sum_c Tbar[m][c] R[c]       (seeds the net's backward)
+  //   Rbar[c] = nu * sum_m Tbar[m][c] g[m]
+  //   sbar    = sbar_embed + Rbar[0] + sum_k Rbar[k+1] u[k]
+  //   ubar_k  = s Rbar[k+1]
+  //   dbar    = (ubar - (ubar.u) u)/r + sbar s'(r) u
+  // with dbar flowing +into atom j and -into the center atom.
+  workspace.coord_bar.assign(3 * n, 0.0);
+  for (std::size_t net = 0; net < kNets; ++net) {
+    const std::size_t count = geometry.net_count(net);
+    if (count == 0) continue;
+    FastWorkspace::NetSlot& slot = workspace.embed[net];
+    const std::uint32_t base = geometry.net_offsets[net];
+    const std::span<const double> g_all = slot.cache.out();
+    slot.out_bar.resize(count * m1_);
+    for (std::size_t p = 0; p < count; ++p) {
+      const FrameGeometry::Pair& pair = geometry.pairs[base + p];
+      const double row[4] = {pair.s, pair.s * pair.u[0], pair.s * pair.u[1],
+                             pair.s * pair.u[2]};
+      const double* tbar = workspace.t_bar.data() + pair.center * m1_ * 4;
+      double* gbar = slot.out_bar.data() + p * m1_;
+      for (std::size_t m = 0; m < m1_; ++m) {
+        double acc = 0.0;
+        for (std::size_t c = 0; c < 4; ++c) acc += tbar[m * 4 + c] * row[c];
+        gbar[m] = nu * acc;
+      }
+    }
+    slot.x_bar.resize(count);
+    const std::span<double> grad_segment =
+        param_grads ? std::span<double>(workspace.energy_grad)
+                          .subspan(embed_param_offset_[net],
+                                   model.embedding_net(net).num_params())
+                    : std::span<double>{};
+    nn::mlp_backward_batch(model.embedding_net(net), slot.x, count, slot.cache,
+                           slot.out_bar, slot.x_bar, grad_segment);
+    for (std::size_t p = 0; p < count; ++p) {
+      const FrameGeometry::Pair& pair = geometry.pairs[base + p];
+      const double* tbar = workspace.t_bar.data() + pair.center * m1_ * 4;
+      const double* g = g_all.data() + p * m1_;
+      double rbar[4];
+      for (std::size_t c = 0; c < 4; ++c) {
+        double acc = 0.0;
+        for (std::size_t m = 0; m < m1_; ++m) acc += tbar[m * 4 + c] * g[m];
+        rbar[c] = nu * acc;
+      }
+      const double sbar = slot.x_bar[p] + rbar[0] + rbar[1] * pair.u[0] +
+                          rbar[2] * pair.u[1] + rbar[3] * pair.u[2];
+      const double ubar[3] = {pair.s * rbar[1], pair.s * rbar[2], pair.s * rbar[3]};
+      const double ubar_dot_u =
+          ubar[0] * pair.u[0] + ubar[1] * pair.u[1] + ubar[2] * pair.u[2];
+      for (std::size_t k = 0; k < 3; ++k) {
+        const double dbar = (ubar[k] - ubar_dot_u * pair.u[k]) / pair.r +
+                            sbar * pair.ds_dr * pair.u[k];
+        workspace.coord_bar[3 * pair.j + k] += dbar;
+        workspace.coord_bar[3 * pair.center + k] -= dbar;
+      }
+    }
+  }
+  return energy;
+}
+
+void FastGraph::tangent_pass(const FrameGeometry& geometry,
+                             FastWorkspace& workspace) const {
+  obs::ScopedTimer timer(tangent_seconds());
+  const DeepPotModel& model = *model_;
+  const std::vector<md::Species>& types = model.types();
+  const std::size_t n = geometry.num_atoms;
+  const double nu = model.sel_norm();
+  const std::size_t dwidth = m1_ * m2_;
+
+  workspace.hvp.assign(model.num_params(), 0.0);
+  workspace.u_dot.resize(3 * geometry.pairs.size());
+
+  // Geometry tangents along lambda (ddot = lambda_j - lambda_i) and the
+  // embedding JVP:  rdot = u.ddot, udot = (ddot - u rdot)/r, sdot = s'(r) rdot.
+  for (std::size_t net = 0; net < kNets; ++net) {
+    const std::size_t count = geometry.net_count(net);
+    if (count == 0) continue;
+    FastWorkspace::NetSlot& slot = workspace.embed[net];
+    const std::uint32_t base = geometry.net_offsets[net];
+    slot.x_dot.resize(count);
+    for (std::size_t p = 0; p < count; ++p) {
+      const FrameGeometry::Pair& pair = geometry.pairs[base + p];
+      double ddot[3];
+      for (std::size_t k = 0; k < 3; ++k) {
+        ddot[k] = workspace.lambda[3 * pair.j + k] -
+                  workspace.lambda[3 * pair.center + k];
+      }
+      const double rdot =
+          ddot[0] * pair.u[0] + ddot[1] * pair.u[1] + ddot[2] * pair.u[2];
+      double* udot = workspace.u_dot.data() + 3 * (base + p);
+      for (std::size_t k = 0; k < 3; ++k) {
+        udot[k] = (ddot[k] - pair.u[k] * rdot) / pair.r;
+      }
+      slot.x_dot[p] = pair.ds_dr * rdot;
+    }
+    nn::mlp_jvp_batch(model.embedding_net(net), slot.x_dot, count, slot.cache);
+  }
+
+  // Tdot[m][c] = nu * sum_j (gdot[m] R[c] + g[m] Rdot[c]),
+  // Rdot = [sdot, sdot u + s udot].
+  workspace.t_dot.assign(n * m1_ * 4, 0.0);
+  for (std::size_t net = 0; net < kNets; ++net) {
+    const std::size_t count = geometry.net_count(net);
+    if (count == 0) continue;
+    FastWorkspace::NetSlot& slot = workspace.embed[net];
+    const std::uint32_t base = geometry.net_offsets[net];
+    const std::span<const double> g_all = slot.cache.out();
+    const std::span<const double> gdot_all = slot.cache.out_dot();
+    for (std::size_t p = 0; p < count; ++p) {
+      const FrameGeometry::Pair& pair = geometry.pairs[base + p];
+      const double sdot = slot.x_dot[p];
+      const double* udot = workspace.u_dot.data() + 3 * (base + p);
+      const double row[4] = {pair.s, pair.s * pair.u[0], pair.s * pair.u[1],
+                             pair.s * pair.u[2]};
+      const double row_dot[4] = {sdot, sdot * pair.u[0] + pair.s * udot[0],
+                                 sdot * pair.u[1] + pair.s * udot[1],
+                                 sdot * pair.u[2] + pair.s * udot[2]};
+      const double* g = g_all.data() + p * m1_;
+      const double* gdot = gdot_all.data() + p * m1_;
+      double* tdot = workspace.t_dot.data() + pair.center * m1_ * 4;
+      for (std::size_t m = 0; m < m1_; ++m) {
+        for (std::size_t c = 0; c < 4; ++c) {
+          tdot[m * 4 + c] += nu * (gdot[m] * row[c] + g[m] * row_dot[c]);
+        }
+      }
+    }
+  }
+
+  // Ddot[a][b] = sum_c (Tdot[a][c] T[b][c] + T[a][c] Tdot[b][c]) feeds the
+  // fitting JVP; the fitting tangent-reverse (zero output tangent-adjoint --
+  // the energy seed is the constant 1) yields the fit parameter HVP segments
+  // and the descriptor tangent-adjoints Dbardot.
+  for (std::size_t sp = 0; sp < md::kNumSpecies; ++sp) {
+    const std::size_t atoms = species_offsets_[sp + 1] - species_offsets_[sp];
+    workspace.fit[sp].x_dot.resize(atoms * dwidth);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto sp = static_cast<std::size_t>(types[i]);
+    double* dst = workspace.fit[sp].x_dot.data() + atom_slot_[i] * dwidth;
+    const double* tblock = workspace.t.data() + i * m1_ * 4;
+    const double* tdot = workspace.t_dot.data() + i * m1_ * 4;
+    for (std::size_t a = 0; a < m1_; ++a) {
+      for (std::size_t b = 0; b < m2_; ++b) {
+        double sum = 0.0;
+        for (std::size_t c = 0; c < 4; ++c) {
+          sum += tdot[a * 4 + c] * tblock[b * 4 + c] +
+                 tblock[a * 4 + c] * tdot[b * 4 + c];
+        }
+        dst[a * m2_ + b] = sum;
+      }
+    }
+  }
+  for (std::size_t sp = 0; sp < md::kNumSpecies; ++sp) {
+    const std::size_t atoms = species_offsets_[sp + 1] - species_offsets_[sp];
+    if (atoms == 0) continue;
+    FastWorkspace::NetSlot& slot = workspace.fit[sp];
+    nn::mlp_jvp_batch(model.fitting_net(sp), slot.x_dot, atoms, slot.cache);
+    slot.x_bar_dot.resize(atoms * dwidth);
+    const std::span<double> hvp_segment =
+        std::span<double>(workspace.hvp)
+            .subspan(fit_param_offset_[sp], model.fitting_net(sp).num_params());
+    nn::mlp_vjp_tangent_batch(model.fitting_net(sp), slot.x, slot.x_dot, atoms,
+                              slot.cache, {}, slot.x_bar_dot, hvp_segment);
+  }
+
+  // Tangent of the descriptor reverse (product rule on the Tbar formula):
+  // Tbardot[p][c] = sum_b (Dbardot[p][b] T[b][c] + Dbar[p][b] Tdot[b][c])
+  //             + [p < m2] sum_a (Dbardot[a][p] T[a][c] + Dbar[a][p] Tdot[a][c]).
+  workspace.t_bar_dot.resize(n * m1_ * 4);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto sp = static_cast<std::size_t>(types[i]);
+    const double* dbar = workspace.fit[sp].x_bar.data() + atom_slot_[i] * dwidth;
+    const double* dbardot =
+        workspace.fit[sp].x_bar_dot.data() + atom_slot_[i] * dwidth;
+    const double* tblock = workspace.t.data() + i * m1_ * 4;
+    const double* tdot = workspace.t_dot.data() + i * m1_ * 4;
+    double* tbardot = workspace.t_bar_dot.data() + i * m1_ * 4;
+    for (std::size_t p = 0; p < m1_; ++p) {
+      for (std::size_t c = 0; c < 4; ++c) {
+        double acc = 0.0;
+        for (std::size_t b = 0; b < m2_; ++b) {
+          acc += dbardot[p * m2_ + b] * tblock[b * 4 + c] +
+                 dbar[p * m2_ + b] * tdot[b * 4 + c];
+        }
+        if (p < m2_) {
+          for (std::size_t a = 0; a < m1_; ++a) {
+            acc += dbardot[a * m2_ + p] * tblock[a * 4 + c] +
+                   dbar[a * m2_ + p] * tdot[a * 4 + c];
+          }
+        }
+        tbardot[p * 4 + c] = acc;
+      }
+    }
+  }
+
+  // Embedding tangent-reverse, seeded with the tangent of gbar:
+  // gbardot[m] = nu * sum_c (Tbardot[m][c] R[c] + Tbar[m][c] Rdot[c]).
+  // Coordinate tangent-adjoints are not needed (only parameter derivatives
+  // leave this pass), so x_bar_dot stays empty.
+  for (std::size_t net = 0; net < kNets; ++net) {
+    const std::size_t count = geometry.net_count(net);
+    if (count == 0) continue;
+    FastWorkspace::NetSlot& slot = workspace.embed[net];
+    const std::uint32_t base = geometry.net_offsets[net];
+    slot.out_bar_dot.resize(count * m1_);
+    for (std::size_t p = 0; p < count; ++p) {
+      const FrameGeometry::Pair& pair = geometry.pairs[base + p];
+      const double sdot = slot.x_dot[p];
+      const double* udot = workspace.u_dot.data() + 3 * (base + p);
+      const double row[4] = {pair.s, pair.s * pair.u[0], pair.s * pair.u[1],
+                             pair.s * pair.u[2]};
+      const double row_dot[4] = {sdot, sdot * pair.u[0] + pair.s * udot[0],
+                                 sdot * pair.u[1] + pair.s * udot[1],
+                                 sdot * pair.u[2] + pair.s * udot[2]};
+      const double* tbar = workspace.t_bar.data() + pair.center * m1_ * 4;
+      const double* tbardot = workspace.t_bar_dot.data() + pair.center * m1_ * 4;
+      double* gbardot = slot.out_bar_dot.data() + p * m1_;
+      for (std::size_t m = 0; m < m1_; ++m) {
+        double acc = 0.0;
+        for (std::size_t c = 0; c < 4; ++c) {
+          acc += tbardot[m * 4 + c] * row[c] + tbar[m * 4 + c] * row_dot[c];
+        }
+        gbardot[m] = nu * acc;
+      }
+    }
+    const std::span<double> hvp_segment =
+        std::span<double>(workspace.hvp)
+            .subspan(embed_param_offset_[net],
+                     model.embedding_net(net).num_params());
+    nn::mlp_vjp_tangent_batch(model.embedding_net(net), slot.x, slot.x_dot,
+                              count, slot.cache, slot.out_bar_dot, {},
+                              hvp_segment);
+  }
+}
+
+md::ForceEnergy FastGraph::energy_forces(const FrameGeometry& geometry,
+                                         FastWorkspace& workspace) const {
+  md::ForceEnergy out;
+  out.energy = primal_pass(geometry, workspace, /*param_grads=*/false);
+  out.forces.resize(geometry.num_atoms);
+  for (std::size_t i = 0; i < geometry.num_atoms; ++i) {
+    for (std::size_t k = 0; k < 3; ++k) {
+      out.forces[i][k] = -workspace.coord_bar[3 * i + k];
+    }
+  }
+  return out;
+}
+
+double FastGraph::loss_and_grad(const FrameGeometry& geometry, double energy_ref,
+                                std::span<const md::Vec3> forces_ref,
+                                const LossWeights& weights,
+                                FastWorkspace& workspace,
+                                std::span<double> grad) const {
+  const std::size_t n = geometry.num_atoms;
+  if (grad.size() != model_->num_params()) {
+    throw util::ValueError("fast_graph: grad span size mismatch");
+  }
+  if (forces_ref.size() != n) {
+    throw util::ValueError("fast_graph: reference force count mismatch");
+  }
+
+  const double energy = primal_pass(geometry, workspace, /*param_grads=*/true);
+
+  // lambda = F_pred - F_ref is both the force residual of the loss and the
+  // coordinate tangent direction of the second-order pass.
+  workspace.lambda.resize(3 * n);
+  double force_ss = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < 3; ++k) {
+      const double residual = -workspace.coord_bar[3 * i + k] - forces_ref[i][k];
+      workspace.lambda[3 * i + k] = residual;
+      force_ss += residual * residual;
+    }
+  }
+  const double inv_n = 1.0 / static_cast<double>(n);
+  const double inv_3n = 1.0 / (3.0 * static_cast<double>(n));
+  const double de = (energy - energy_ref) * inv_n;
+  const double loss = weights.pref_e * de * de + weights.pref_f * force_ss * inv_3n;
+
+  // dL/dtheta = e_coef dE/dtheta - f_coef grad_theta(lambda . dE/dx):
+  // the energy term differentiates (pe de^2), the force term uses
+  // F = -dE/dx, so the HVP enters with a minus sign.
+  if (weights.pref_f != 0.0) {
+    tangent_pass(geometry, workspace);
+  } else {
+    workspace.hvp.assign(model_->num_params(), 0.0);
+  }
+  const double e_coef = 2.0 * weights.pref_e * de * inv_n;
+  const double f_coef = 2.0 * weights.pref_f * inv_3n;
+  for (std::size_t p = 0; p < grad.size(); ++p) {
+    grad[p] = e_coef * workspace.energy_grad[p] - f_coef * workspace.hvp[p];
+  }
+  return loss;
+}
+
+}  // namespace dpho::dp

@@ -1,0 +1,138 @@
+// Analytic fused forward/backward kernels for DeepPot-SE training.
+//
+// The tape path (DeepPotModel::build_graph + ad::Tape) allocates one heap
+// node per scalar multiply, per neighbor, per atom, per frame, per step.
+// FastGraph computes the same three quantities with hand-derived kernels
+// over contiguous batches and a reusable arena, performing zero per-neighbor
+// heap allocations in steady state:
+//
+//   * energy and forces (F = -dE/dx) -- one batched forward plus one
+//     analytic reverse sweep (inference: dp_test, MD, validation RMSE);
+//   * the full parameter gradient of the DeePMD loss, including the
+//     second-order force term dF/dtheta = -d2E/(dx dtheta), via
+//     forward-over-reverse: a tangent (dual-number) pass in the coordinate
+//     direction v = F_pred - F_ref turns the mixed Hessian-vector product
+//     grad_theta(v . grad_x E) into one extra forward + one extra reverse
+//     sweep (derivation in DESIGN.md section 10).
+//
+// Per-frame work is grouped by embedding net -- all (center, neighbor) pairs
+// sharing a (species_i, species_j) net run through each dense layer as one
+// batch -- and by fitting net (atoms grouped by species), so the inner loops
+// are GEMM-style over contiguous rows instead of per-neighbor graph builds.
+//
+// The tape remains the differentiation oracle: TrainerOptions::backward_mode
+// selects between the two, and the parity test-suite holds them to agree.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dp/loss.hpp"
+#include "dp/model.hpp"
+#include "md/potential.hpp"
+#include "nn/mlp_kernels.hpp"
+
+namespace dpho::dp {
+
+/// Geometry-only quantities of one frame's in-cutoff pairs: invariant across
+/// training steps for a fixed candidate's r_cut, so the topology cache
+/// builds them once per dataset.  Pairs are stored net-major (grouped by the
+/// (center species, neighbor species) embedding net) for batched dispatch;
+/// within a net the order is (center atom, neighbor list order), so every
+/// sweep over pairs is deterministic.
+struct FrameGeometry {
+  struct Pair {
+    std::uint32_t center = 0;  // atom i
+    std::uint32_t j = 0;       // neighbor atom index
+    double r = 0.0;            // |x_j + shift - x_i|
+    double s = 0.0;            // switching value s(r)
+    double ds_dr = 0.0;        // s'(r)
+    double u[3] = {0.0, 0.0, 0.0};  // unit vector (x_j + shift - x_i)/r
+  };
+  std::vector<Pair> pairs;                 // net-major
+  std::vector<std::uint32_t> net_offsets;  // kNumSpecies^2 + 1 entries
+  std::size_t num_atoms = 0;
+
+  std::size_t net_count(std::size_t net) const {
+    return net_offsets[net + 1] - net_offsets[net];
+  }
+};
+
+/// Builds (into a reusable buffer) the geometry of `frame` under the model's
+/// cutoff, applying the same r < rcut filter as the model's graph build.
+void build_frame_geometry(const DeepPotModel& model, const md::Frame& frame,
+                          const NeighborTopology& topology, FrameGeometry& out);
+
+/// The arena all FastGraph passes run in.  Buffers are sized on every use
+/// and only ever grow, so one workspace per worker thread makes the whole
+/// training step allocation-free in steady state.  A workspace may be reused
+/// across models of different shapes (sizes are re-derived per call).
+struct FastWorkspace {
+  /// Batched input/adjoint rows plus the layer caches for one net group.
+  struct NetSlot {
+    std::vector<double> x;            // batch inputs
+    std::vector<double> x_dot;        // batch input tangents
+    std::vector<double> x_bar;        // batch input adjoints
+    std::vector<double> x_bar_dot;    // batch input tangent-adjoints
+    std::vector<double> out_bar;      // output adjoint seeds
+    std::vector<double> out_bar_dot;  // output tangent-adjoint seeds
+    nn::MlpBatchCache cache;
+  };
+  std::vector<NetSlot> embed;  // kNumSpecies^2 slots
+  std::vector<NetSlot> fit;    // kNumSpecies slots
+
+  // Per-atom T-matrix blocks (num_atoms x m1 x 4) and their adjoints.
+  std::vector<double> t, t_bar, t_dot, t_bar_dot;
+  std::vector<double> coord_bar;  // 3N coordinate adjoints (forces = -this)
+  std::vector<double> lambda;     // 3N force residuals = tangent direction
+  std::vector<double> u_dot;      // 3 per pair: tangent of the unit vector
+  std::vector<double> energy_grad;  // d E / d theta (num_params)
+  std::vector<double> hvp;          // d/de of it along lambda (num_params)
+};
+
+class FastGraph {
+ public:
+  /// Binds to `model` (not owned; must outlive the FastGraph).  Atom/species
+  /// grouping and flat parameter offsets are derived once here.
+  explicit FastGraph(const DeepPotModel& model);
+
+  /// Tape-free energy + forces.
+  md::ForceEnergy energy_forces(const FrameGeometry& geometry,
+                                FastWorkspace& workspace) const;
+
+  /// DeePMD per-frame loss and its full analytic parameter gradient
+  /// (written into `grad`, sized model.num_params(); overwritten, not
+  /// accumulated).  Matches the tape path's
+  /// gradient(loss(build_graph(...)), params) to rounding.
+  double loss_and_grad(const FrameGeometry& geometry, double energy_ref,
+                       std::span<const md::Vec3> forces_ref,
+                       const LossWeights& weights, FastWorkspace& workspace,
+                       std::span<double> grad) const;
+
+ private:
+  /// Forward + primal reverse: fills workspace.coord_bar (dE/dx) and, when
+  /// `param_grads`, workspace.energy_grad (dE/dtheta).  Returns the energy.
+  double primal_pass(const FrameGeometry& geometry, FastWorkspace& workspace,
+                     bool param_grads) const;
+
+  /// Tangent (forward-over-reverse) pass along workspace.lambda; fills
+  /// workspace.hvp with grad_theta(lambda . grad_x E).  Requires the caches
+  /// left by a primal_pass(param_grads = true).
+  void tangent_pass(const FrameGeometry& geometry, FastWorkspace& workspace) const;
+
+  void size_workspace(const FrameGeometry& geometry, FastWorkspace& workspace) const;
+
+  const DeepPotModel* model_;
+  std::size_t m1_ = 0;  // embedding output width
+  std::size_t m2_ = 0;  // axis neurons
+  // Atoms grouped by species for batched fitting-net dispatch.
+  std::vector<std::uint32_t> species_atoms_;    // grouped atom indices
+  std::vector<std::uint32_t> species_offsets_;  // kNumSpecies + 1
+  std::vector<std::uint32_t> atom_slot_;        // atom -> row in its batch
+  // Flat parameter offsets (gather_params order: embeddings then fittings).
+  std::vector<std::size_t> embed_param_offset_;
+  std::vector<std::size_t> fit_param_offset_;
+};
+
+}  // namespace dpho::dp

@@ -2,21 +2,13 @@
 
 #include <cmath>
 
+#include "dp/fast_graph.hpp"
 #include "md/box.hpp"
 #include "md/neighbor.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace dpho::dp {
-
-namespace {
-
-std::size_t pair_net_index(md::Species center, md::Species neighbor) {
-  return static_cast<std::size_t>(center) * md::kNumSpecies +
-         static_cast<std::size_t>(neighbor);
-}
-
-}  // namespace
 
 DeepPotModel::DeepPotModel(const TrainInput& config, std::vector<md::Species> types,
                            double energy_bias_per_atom, std::uint64_t seed)
@@ -53,11 +45,11 @@ DeepPotModel::DeepPotModel(const TrainInput& config, std::vector<md::Species> ty
 }
 
 const nn::Mlp& DeepPotModel::embedding(md::Species center, md::Species neighbor) const {
-  return embeddings_[pair_net_index(center, neighbor)];
+  return embeddings_[pair_index(center, neighbor)];
 }
 
 nn::Mlp& DeepPotModel::embedding(md::Species center, md::Species neighbor) {
-  return embeddings_[pair_net_index(center, neighbor)];
+  return embeddings_[pair_index(center, neighbor)];
 }
 
 const nn::Mlp& DeepPotModel::fitting(md::Species center) const {
@@ -124,6 +116,12 @@ double DeepPotModel::energy(const md::Frame& frame) const {
   double total = 0.0;
   std::vector<double> t_matrix(m1 * 4);
   std::vector<double> descriptor(m1 * m2);
+  // Net outputs and ping-pong scratch are hoisted out of the loops (and the
+  // scratch-taking forward overload used) so this path allocates nothing per
+  // neighbor.
+  std::vector<double> g;
+  std::vector<double> atomic;
+  std::vector<double> scratch;
   for (std::size_t i = 0; i < types_.size(); ++i) {
     std::fill(t_matrix.begin(), t_matrix.end(), 0.0);
     for (const auto& entry : topology.entries[i]) {
@@ -133,8 +131,7 @@ double DeepPotModel::energy(const md::Frame& frame) const {
       if (r >= config_.descriptor.rcut) continue;
       const double s = switching_.value(r);
       const double row[4] = {s, s * d[0] / r, s * d[1] / r, s * d[2] / r};
-      const std::vector<double> g =
-          embedding(types_[i], types_[entry.j]).forward(std::span(&s, 1));
+      embedding(types_[i], types_[entry.j]).forward(std::span(&s, 1), g, scratch);
       for (std::size_t m = 0; m < m1; ++m) {
         for (std::size_t c = 0; c < 4; ++c) {
           t_matrix[m * 4 + c] += sel_norm_ * g[m] * row[c];
@@ -150,7 +147,7 @@ double DeepPotModel::energy(const md::Frame& frame) const {
         descriptor[a * m2 + b] = sum;
       }
     }
-    const std::vector<double> atomic = fitting(types_[i]).forward(descriptor);
+    fitting(types_[i]).forward(descriptor, atomic, scratch);
     total += atomic[0] + energy_bias_per_atom_;
   }
   return total;
@@ -181,14 +178,8 @@ DeepPotModel::FrameGraph DeepPotModel::build_graph(
   params.reserve(num_params_);
   std::vector<std::span<const ad::Var>> embed_views(embeddings_.size());
   std::vector<std::span<const ad::Var>> fit_views(fittings_.size());
-  for (const auto& net : embeddings_) {
-    const auto bound = net.bind_params(tape);
-    params.insert(params.end(), bound.begin(), bound.end());
-  }
-  for (const auto& net : fittings_) {
-    const auto bound = net.bind_params(tape);
-    params.insert(params.end(), bound.begin(), bound.end());
-  }
+  for (const auto& net : embeddings_) net.bind_params(tape, params);
+  for (const auto& net : fittings_) net.bind_params(tape, params);
   {
     std::size_t offset = 0;
     for (std::size_t e = 0; e < embeddings_.size(); ++e) {
@@ -215,7 +206,7 @@ DeepPotModel::FrameGraph DeepPotModel::build_graph(
       const ad::Var s = switching_.value(r);
       const ad::Var inv_r = 1.0 / r;
       const ad::Var row[4] = {s, s * dx * inv_r, s * dy * inv_r, s * dz * inv_r};
-      const std::size_t net = pair_net_index(types_[i], types_[entry.j]);
+      const std::size_t net = pair_index(types_[i], types_[entry.j]);
       const ad::Var input[1] = {s};
       const std::vector<ad::Var> g =
           embeddings_[net].forward(tape, embed_views[net], std::span(input, 1));
@@ -257,6 +248,16 @@ md::ForceEnergy DeepPotModel::energy_forces(const md::Frame& frame) const {
 
 md::ForceEnergy DeepPotModel::energy_forces(const md::Frame& frame,
                                             const NeighborTopology& topology) const {
+  // Analytic fast path: no tape nodes, no per-neighbor allocations -- the
+  // geometry and workspace arenas are reused across calls on each thread.
+  thread_local FrameGeometry geometry;
+  thread_local FastWorkspace workspace;
+  build_frame_geometry(*this, frame, topology, geometry);
+  return FastGraph(*this).energy_forces(geometry, workspace);
+}
+
+md::ForceEnergy DeepPotModel::energy_forces_tape(
+    const md::Frame& frame, const NeighborTopology& topology) const {
   ad::Tape tape;
   const FrameGraph graph = build_graph(tape, frame, topology);
   md::ForceEnergy out;

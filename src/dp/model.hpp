@@ -85,9 +85,28 @@ class DeepPotModel {
   FrameGraph build_graph(ad::Tape& tape, const md::Frame& frame,
                          const NeighborTopology& topology) const;
 
+  /// Tape-based reference implementation of energy_forces.  The analytic
+  /// fast path (dp/fast_graph.hpp) is the default; this stays as the
+  /// differentiation oracle for parity tests and backward_mode=tape.
+  md::ForceEnergy energy_forces_tape(const md::Frame& frame,
+                                     const NeighborTopology& topology) const;
+
   /// Serialization (the dp_train tool writes a model checkpoint).
   util::Json save() const;
   static DeepPotModel load(const util::Json& json);
+
+  // -- read-only internals for the analytic fast path (dp/fast_graph.hpp) --
+  /// Flat index of the embedding net serving a (center, neighbor) pair.
+  static std::size_t pair_index(md::Species center, md::Species neighbor) {
+    return static_cast<std::size_t>(center) * md::kNumSpecies +
+           static_cast<std::size_t>(neighbor);
+  }
+  const std::vector<md::Species>& types() const { return types_; }
+  const nn::Mlp& embedding_net(std::size_t pair) const { return embeddings_[pair]; }
+  const nn::Mlp& fitting_net(std::size_t species) const { return fittings_[species]; }
+  const SwitchingFunction& switching() const { return switching_; }
+  double sel_norm() const { return sel_norm_; }
+  double energy_bias_per_atom() const { return energy_bias_per_atom_; }
 
  private:
   const nn::Mlp& embedding(md::Species center, md::Species neighbor) const;

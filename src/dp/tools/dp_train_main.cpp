@@ -7,10 +7,12 @@
 //
 //   dp_train <input.json> <train_data_dir> <validation_data_dir>
 //            [--out DIR] [--wall-limit SECONDS] [--threads N]
-//            [--metrics-out FILE]
+//            [--metrics-out FILE] [--backward-mode tape|analytic]
 //
 // --threads enables data-parallel gradient accumulation (0/1 = serial); the
 // lcurve is bit-identical across thread counts for a fixed seed.
+// --backward-mode selects the gradient engine: the analytic fused kernels
+// (default) or the scalar-tape autodiff oracle.
 // --metrics-out streams the JSONL event timeline (trainer.row events) to
 // FILE and writes metrics_summary.json into --out on exit.
 // Outputs (in --out, default "."): lcurve.out, model.json.
@@ -32,7 +34,7 @@ namespace {
 int usage() {
   std::cerr << "usage: dp_train <input.json> <train_data_dir> <validation_data_dir>"
                " [--out DIR] [--wall-limit SECONDS] [--threads N]"
-               " [--metrics-out FILE]\n";
+               " [--metrics-out FILE] [--backward-mode tape|analytic]\n";
   return 2;
 }
 
@@ -56,6 +58,13 @@ int main(int argc, char** argv) {
       options.num_threads = static_cast<std::size_t>(std::stoul(argv[++i]));
     } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--backward-mode") == 0 && i + 1 < argc) {
+      try {
+        options.backward_mode = dp::parse_backward_mode(argv[++i]);
+      } catch (const std::exception& e) {
+        std::cerr << "dp_train: " << e.what() << "\n";
+        return 2;
+      }
     } else {
       return usage();
     }

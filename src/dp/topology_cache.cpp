@@ -14,9 +14,11 @@ void TopologyCache::warm(const DeepPotModel& model, const md::FrameDataset& data
   const std::size_t start = topologies_.size();
   if (target <= start) return;
   topologies_.resize(target);
+  geometries_.resize(target);
   const auto build = [&](std::size_t offset) {
     const std::size_t i = start + offset;
     topologies_[i] = model.build_topology(data.frame(i));
+    build_frame_geometry(model, data.frame(i), topologies_[i], geometries_[i]);
   };
   if (pool != nullptr && pool->size() > 1 && target - start > 1) {
     pool->parallel_for(target - start, build);
@@ -32,6 +34,15 @@ const NeighborTopology& TopologyCache::at(std::size_t frame_index) const {
                            std::to_string(topologies_.size()) + ")");
   }
   return topologies_[frame_index];
+}
+
+const FrameGeometry& TopologyCache::geometry_at(std::size_t frame_index) const {
+  if (frame_index >= geometries_.size()) {
+    throw util::ValueError("topology cache: frame " + std::to_string(frame_index) +
+                           " not warmed (cache holds " +
+                           std::to_string(geometries_.size()) + ")");
+  }
+  return geometries_[frame_index];
 }
 
 }  // namespace dpho::dp

@@ -1,16 +1,20 @@
-// Per-frame neighbor-topology cache for static datasets.
+// Per-frame neighbor-topology and geometry cache for static datasets.
 //
 // Frames never move during training, but the trainer used to rebuild each
 // frame's NeighborTopology (cell-list search + image shifts) on every step it
 // sampled the frame.  This cache builds every topology exactly once per
 // dataset -- optionally in parallel on a ThreadPool -- after which lookups
 // are lock-free const reads, safe from the trainer's concurrent gradient
-// workers.
+// workers.  Alongside each topology it caches the frame's FrameGeometry --
+// the step-invariant per-pair quantities s(r), s'(r) and unit vectors the
+// analytic kernels consume -- so training steps start straight at the
+// embedding-net batches.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
+#include "dp/fast_graph.hpp"
 #include "dp/model.hpp"
 #include "md/dataset.hpp"
 
@@ -35,8 +39,13 @@ class TopologyCache {
   /// the frame was not covered by warm().
   const NeighborTopology& at(std::size_t frame_index) const;
 
+  /// The cached analytic-kernel geometry of frame `frame_index`; same
+  /// coverage rules as at().
+  const FrameGeometry& geometry_at(std::size_t frame_index) const;
+
  private:
   std::vector<NeighborTopology> topologies_;
+  std::vector<FrameGeometry> geometries_;
 };
 
 }  // namespace dpho::dp

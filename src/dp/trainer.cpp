@@ -30,8 +30,12 @@ struct FrameErrors {
 };
 
 FrameErrors frame_errors(const DeepPotModel& model, const md::Frame& frame,
-                         const NeighborTopology& topology) {
-  const md::ForceEnergy prediction = model.energy_forces(frame, topology);
+                         const NeighborTopology& topology, BackwardMode mode) {
+  // Validation predictions come from the same engine the training uses, so a
+  // tape-mode run never mixes engines.
+  const md::ForceEnergy prediction = mode == BackwardMode::kTape
+                                         ? model.energy_forces_tape(frame, topology)
+                                         : model.energy_forces(frame, topology);
   const auto n = static_cast<double>(frame.positions.size());
   FrameErrors errors;
   const double de = (prediction.energy - frame.energy) / n;
@@ -64,6 +68,17 @@ ad::Tape& worker_tape() {
 
 }  // namespace
 
+std::string to_string(BackwardMode mode) {
+  return mode == BackwardMode::kTape ? "tape" : "analytic";
+}
+
+BackwardMode parse_backward_mode(std::string_view text) {
+  if (text == "tape") return BackwardMode::kTape;
+  if (text == "analytic") return BackwardMode::kAnalytic;
+  throw util::ValueError("unknown backward mode '" + std::string(text) +
+                         "' (expected tape|analytic)");
+}
+
 Trainer::Trainer(const TrainInput& config, const md::FrameDataset& train,
                  const md::FrameDataset& validation, TrainerOptions options)
     : config_(config),
@@ -71,7 +86,8 @@ Trainer::Trainer(const TrainInput& config, const md::FrameDataset& train,
       validation_data_(validation),
       options_(options),
       model_(config, train.types(), train.mean_energy_per_atom(),
-             util::hash_combine(config.training.seed, 0xDEE9)) {
+             util::hash_combine(config.training.seed, 0xDEE9)),
+      fast_graph_(model_) {
   if (train.empty()) throw util::ValueError("trainer: empty training set");
   if (validation.empty()) throw util::ValueError("trainer: empty validation set");
 }
@@ -94,7 +110,7 @@ std::pair<double, double> Trainer::validation_rmse() const {
   const std::vector<FrameErrors> errors = hpc::parallel_map<FrameErrors>(
       pool_, count, [&](std::size_t i) {
         return frame_errors(model_, validation_data_.frame(i),
-                            validation_topology_.at(i));
+                            validation_topology_.at(i), options_.backward_mode);
       });
   double sum_e = 0.0;
   double sum_f = 0.0;
@@ -138,8 +154,9 @@ TrainResult Trainer::train() {
     const auto [e_val, f_val] = validation_rmse();
     // Training metrics from the first training frame (cheap proxy, the same
     // role DeePMD's rmse_*_trn columns play).
-    const FrameErrors trn =
-        frame_errors(model_, train_data_.frame(0), train_topology_.at(0));
+    const FrameErrors trn = frame_errors(model_, train_data_.frame(0),
+                                         train_topology_.at(0),
+                                         options_.backward_mode);
     result.lcurve.add(LcurveRow{step, e_val, std::sqrt(trn.energy_sq_per_atom), f_val,
                                 std::sqrt(trn.force_sq), schedule.lr(step)});
     obs::events().emit("trainer.row",
@@ -166,12 +183,21 @@ TrainResult Trainer::train() {
           rng.uniform_int(0, static_cast<std::int64_t>(train_data_.size()) - 1));
     }
 
-    // Data-parallel forward/backward per frame; each worker builds the frame
-    // graph on its own tape.
+    // Data-parallel forward/backward per frame: the analytic engine runs the
+    // fused kernels in a per-worker arena; tape mode builds each frame graph
+    // on its worker's tape (the slow reference oracle).
     obs::ScopedTimer grad_timer(grad_seconds);
     const std::vector<FrameContribution> contributions =
         hpc::parallel_map<FrameContribution>(pool_, batch_size, [&](std::size_t b) {
           const md::Frame& frame = train_data_.frames()[batch_frames[b]];
+          FrameContribution contribution;
+          if (options_.backward_mode == BackwardMode::kAnalytic) {
+            contribution.grad.resize(model_.num_params());
+            contribution.loss = fast_graph_.loss_and_grad(
+                train_topology_.geometry_at(batch_frames[b]), frame.energy,
+                frame.forces, weights, workspaces_.local(), contribution.grad);
+            return contribution;
+          }
           ad::Tape& tape = worker_tape();
           tape.reset();
           const DeepPotModel::FrameGraph graph =
@@ -180,7 +206,6 @@ TrainResult Trainer::train() {
               loss.build(tape, graph.energy, frame.energy, graph.forces,
                          frame.forces, frame.positions.size(), weights);
           const std::vector<ad::Var> dloss = tape.gradient(frame_loss, graph.params);
-          FrameContribution contribution;
           contribution.loss = frame_loss.value();
           contribution.grad.resize(dloss.size());
           for (std::size_t p = 0; p < dloss.size(); ++p) {

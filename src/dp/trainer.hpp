@@ -13,11 +13,15 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
+#include <string_view>
 
 #include "dp/config.hpp"
+#include "dp/fast_graph.hpp"
 #include "dp/lcurve.hpp"
 #include "dp/model.hpp"
 #include "dp/topology_cache.hpp"
+#include "hpc/scratch.hpp"
 #include "md/dataset.hpp"
 
 namespace dpho::hpc {
@@ -35,6 +39,16 @@ struct TrainResult {
   LcurveWriter lcurve;
 };
 
+/// Which differentiation engine evaluates per-frame loss gradients.
+enum class BackwardMode {
+  kTape,      // scalar-tape autodiff: the slow reference oracle
+  kAnalytic,  // hand-derived fused kernels (dp/fast_graph.hpp)
+};
+
+std::string to_string(BackwardMode mode);
+/// Parses "tape" / "analytic"; throws util::ValueError otherwise.
+BackwardMode parse_backward_mode(std::string_view text);
+
 /// Options beyond the input.json config.
 struct TrainerOptions {
   /// Hard wall-clock budget in seconds; exceeded -> util::TimeoutError,
@@ -51,6 +65,10 @@ struct TrainerOptions {
   /// evaluator under the task farm -- share one pool instead of
   /// oversubscribing cores.
   hpc::ThreadPool* pool = nullptr;
+  /// Differentiation engine for the gradient hot path.  The analytic kernels
+  /// are the default; kTape keeps the scalar-tape oracle for parity testing
+  /// and for debugging suspected kernel regressions (see DESIGN.md).
+  BackwardMode backward_mode = BackwardMode::kAnalytic;
 };
 
 class Trainer {
@@ -84,6 +102,9 @@ class Trainer {
   hpc::ThreadPool* pool_ = nullptr;  // resolved by gradient_pool()
   TopologyCache train_topology_;
   TopologyCache validation_topology_;
+  FastGraph fast_graph_;  // bound to model_; the analytic gradient engine
+  // One reusable kernel arena per gradient worker thread.
+  hpc::ThreadScratch<FastWorkspace> workspaces_;
 };
 
 }  // namespace dpho::dp

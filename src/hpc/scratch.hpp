@@ -1,0 +1,40 @@
+// Per-thread scratch slots for data-parallel hot loops.
+//
+// The trainer's gradient workers each need a private arena (tape storage,
+// analytic-kernel workspaces) that survives across work items so the steady
+// state performs no allocations.  A bare `static thread_local` gives one
+// slot per thread *per call site*, shared by every instance in the process;
+// ThreadScratch gives one slot per (thread, owner instance) with no locking
+// on the hot path: each thread keeps its own map from owner to slot, so
+// local() never synchronizes with other threads.
+//
+// Lifetime: slots die with their thread.  A slot belonging to a destroyed
+// owner is reclaimed only when a new ThreadScratch reuses that address, so
+// owners should be long-lived (a Trainer member, not a per-frame temporary)
+// and T must tolerate reuse after arbitrary prior state -- true of
+// workspaces that size themselves on every use.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+namespace dpho::hpc {
+
+template <typename T>
+class ThreadScratch {
+ public:
+  ThreadScratch() = default;
+  ThreadScratch(const ThreadScratch&) = delete;
+  ThreadScratch& operator=(const ThreadScratch&) = delete;
+
+  /// The calling thread's slot for this owner; default-constructed on first
+  /// use by each thread.
+  T& local() const {
+    thread_local std::unordered_map<const void*, std::unique_ptr<T>> slots;
+    std::unique_ptr<T>& slot = slots[this];
+    if (!slot) slot = std::make_unique<T>();
+    return *slot;
+  }
+};
+
+}  // namespace dpho::hpc

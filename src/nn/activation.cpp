@@ -59,6 +59,31 @@ ad::Var apply(Activation activation, ad::Var x) {
   throw util::ValueError("invalid activation enum");
 }
 
+double second_derivative(Activation activation, double x) {
+  switch (activation) {
+    case Activation::kRelu:
+    case Activation::kRelu6:
+    case Activation::kIdentity:
+      return 0.0;
+    case Activation::kSoftplus: {
+      // softplus'' = sigmoid' = s (1 - s)
+      const double s = apply(Activation::kSigmoid, x);
+      return s * (1.0 - s);
+    }
+    case Activation::kSigmoid: {
+      // sigmoid'' = s (1 - s) (1 - 2s)
+      const double s = apply(Activation::kSigmoid, x);
+      return s * (1.0 - s) * (1.0 - 2.0 * s);
+    }
+    case Activation::kTanh: {
+      // tanh'' = -2 t (1 - t^2)
+      const double t = std::tanh(x);
+      return -2.0 * t * (1.0 - t * t);
+    }
+  }
+  throw util::ValueError("invalid activation enum");
+}
+
 double derivative(Activation activation, double x) {
   switch (activation) {
     case Activation::kRelu: return x > 0.0 ? 1.0 : 0.0;

@@ -31,4 +31,11 @@ ad::Var apply(Activation activation, ad::Var x);
 /// Analytical first derivative (for the double-based fast path's tests).
 double derivative(Activation activation, double x);
 
+/// Analytical second derivative.  The analytic training path needs it for the
+/// force-loss term (differentiating through F = -dE/dx differentiates every
+/// activation twice).  Kinked activations (relu, relu6) use the same
+/// subgradient convention as the tape: the step functions have derivative 0
+/// everywhere, so their second derivative is identically 0.
+double second_derivative(Activation activation, double x);
+
 }  // namespace dpho::nn

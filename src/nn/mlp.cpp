@@ -68,11 +68,41 @@ std::vector<double> Mlp::forward(std::span<const double> x) const {
   return current;
 }
 
+void Mlp::forward(std::span<const double> x, std::vector<double>& out,
+                  std::vector<double>& scratch) const {
+  if (x.size() != input_width()) throw util::ValueError("mlp forward: bad input width");
+  std::size_t max_width = x.size();
+  for (const LayerSpec& layer : layers_) max_width = std::max(max_width, layer.out);
+  scratch.resize(2 * max_width);
+  double* current = scratch.data();
+  double* next = scratch.data() + max_width;
+  std::copy(x.begin(), x.end(), current);
+  std::size_t offset = 0;
+  for (const LayerSpec& layer : layers_) {
+    const double* weights = params_.data() + offset;
+    const double* biases = weights + layer.in * layer.out;
+    for (std::size_t o = 0; o < layer.out; ++o) {
+      double sum = biases[o];
+      const double* row = weights + o * layer.in;
+      for (std::size_t i = 0; i < layer.in; ++i) sum += row[i] * current[i];
+      next[o] = apply(layer.activation, sum);
+    }
+    std::swap(current, next);
+    offset += layer.in * layer.out + layer.out;
+  }
+  out.assign(current, current + output_width());
+}
+
 std::vector<ad::Var> Mlp::bind_params(ad::Tape& tape) const {
   std::vector<ad::Var> bound;
   bound.reserve(params_.size());
   for (double p : params_) bound.push_back(tape.input(p));
   return bound;
+}
+
+void Mlp::bind_params(ad::Tape& tape, std::vector<ad::Var>& out) const {
+  out.reserve(out.size() + params_.size());
+  for (double p : params_) out.push_back(tape.input(p));
 }
 
 std::vector<ad::Var> Mlp::forward(ad::Tape& tape, std::span<const ad::Var> bound_params,

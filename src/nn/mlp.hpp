@@ -48,9 +48,20 @@ class Mlp {
   /// concurrently from the trainer's data-parallel gradient workers.
   std::vector<double> forward(std::span<const double> x) const;
 
+  /// Scratch-reusing inference: writes output_width() values into `out` and
+  /// ping-pongs layer activations through `scratch` (both resized as needed,
+  /// capacity kept).  Once warm this performs zero heap allocations, which
+  /// matters because the descriptor calls it once per neighbor per atom.
+  void forward(std::span<const double> x, std::vector<double>& out,
+               std::vector<double>& scratch) const;
+
   /// Tape variables mirroring `params()`, in the same flat order.  Bind once
   /// per training step, reuse across every sample in the batch.
   std::vector<ad::Var> bind_params(ad::Tape& tape) const;
+
+  /// As above, appending onto `out` instead of returning a fresh vector, so
+  /// per-frame graph builds reuse one caller-owned buffer across all nets.
+  void bind_params(ad::Tape& tape, std::vector<ad::Var>& out) const;
 
   /// Forward pass with tape-bound parameters and tape inputs.
   std::vector<ad::Var> forward(ad::Tape& tape, std::span<const ad::Var> bound_params,

@@ -1,0 +1,264 @@
+#include "nn/mlp_kernels.hpp"
+
+#include <algorithm>
+
+#include "nn/activation.hpp"
+#include "util/error.hpp"
+
+namespace dpho::nn {
+
+namespace {
+
+std::size_t max_width(const Mlp& mlp) {
+  std::size_t w = mlp.input_width();
+  for (const LayerSpec& layer : mlp.layers()) w = std::max(w, layer.out);
+  return w;
+}
+
+void size_layer_buffers(std::vector<std::vector<double>>& buffers,
+                        const std::vector<LayerSpec>& layers, std::size_t batch) {
+  buffers.resize(layers.size());
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    buffers[l].resize(batch * layers[l].out);
+  }
+}
+
+/// ybar_prev[s,i] = sum_o W[o,i] * zbar[s,o]  (adjoint through the weights).
+void propagate_bar(const double* weights, std::size_t in, std::size_t out,
+                   std::size_t batch, const double* zbar, double* ybar_prev) {
+  std::fill(ybar_prev, ybar_prev + batch * in, 0.0);
+  for (std::size_t s = 0; s < batch; ++s) {
+    const double* zrow = zbar + s * out;
+    double* yrow = ybar_prev + s * in;
+    for (std::size_t o = 0; o < out; ++o) {
+      const double z = zrow[o];
+      if (z == 0.0) continue;
+      const double* wrow = weights + o * in;
+      for (std::size_t i = 0; i < in; ++i) yrow[i] += z * wrow[i];
+    }
+  }
+}
+
+}  // namespace
+
+void mlp_forward_batch(const Mlp& mlp, std::span<const double> x,
+                       std::size_t batch, MlpBatchCache& cache,
+                       Curvature curvature) {
+  const auto& layers = mlp.layers();
+  if (x.size() != batch * mlp.input_width()) {
+    throw util::ValueError("mlp_forward_batch: input size mismatch");
+  }
+  cache.batch = batch;
+  cache.has_curvature = curvature == Curvature::kCache;
+  size_layer_buffers(cache.y, layers, batch);
+  size_layer_buffers(cache.sp, layers, batch);
+  if (cache.has_curvature) {
+    size_layer_buffers(cache.spp, layers, batch);
+  }
+  cache.bar_a.resize(batch * max_width(mlp));
+  cache.bar_b.resize(batch * max_width(mlp));
+
+  const double* params = mlp.params().data();
+  std::size_t offset = 0;
+  const double* in_rows = x.data();
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    const LayerSpec& layer = layers[l];
+    const double* weights = params + offset;
+    const double* biases = weights + layer.in * layer.out;
+    double* y = cache.y[l].data();
+    double* sp = cache.sp[l].data();
+    double* spp = curvature == Curvature::kCache ? cache.spp[l].data() : nullptr;
+    for (std::size_t s = 0; s < batch; ++s) {
+      const double* xs = in_rows + s * layer.in;
+      double* ys = y + s * layer.out;
+      double* sps = sp + s * layer.out;
+      for (std::size_t o = 0; o < layer.out; ++o) {
+        double z = biases[o];
+        const double* wrow = weights + o * layer.in;
+        for (std::size_t i = 0; i < layer.in; ++i) z += wrow[i] * xs[i];
+        ys[o] = apply(layer.activation, z);
+        sps[o] = derivative(layer.activation, z);
+        if (spp != nullptr) {
+          spp[s * layer.out + o] = second_derivative(layer.activation, z);
+        }
+      }
+    }
+    in_rows = y;
+    offset += layer.in * layer.out + layer.out;
+  }
+}
+
+void mlp_backward_batch(const Mlp& mlp, std::span<const double> x,
+                        std::size_t batch, MlpBatchCache& cache,
+                        std::span<const double> out_bar, std::span<double> x_bar,
+                        std::span<double> param_grad) {
+  const auto& layers = mlp.layers();
+  if (cache.batch != batch || cache.y.size() != layers.size()) {
+    throw util::ValueError("mlp_backward_batch: stale cache, run forward first");
+  }
+  if (out_bar.size() != batch * mlp.output_width()) {
+    throw util::ValueError("mlp_backward_batch: out_bar size mismatch");
+  }
+  if (!param_grad.empty() && param_grad.size() != mlp.num_params()) {
+    throw util::ValueError("mlp_backward_batch: param_grad size mismatch");
+  }
+  size_layer_buffers(cache.zbar, layers, batch);
+  const bool fold_curvature = cache.has_curvature;
+
+  // Parameter offsets are front-to-back; walk layers back-to-front.
+  std::vector<std::size_t> offsets(layers.size());
+  std::size_t offset = 0;
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    offsets[l] = offset;
+    offset += layers[l].in * layers[l].out + layers[l].out;
+  }
+
+  const double* params = mlp.params().data();
+  const double* ybar = out_bar.data();
+  for (std::size_t l = layers.size(); l-- > 0;) {
+    const LayerSpec& layer = layers[l];
+    const double* sp = cache.sp[l].data();
+    double* spp = fold_curvature ? cache.spp[l].data() : nullptr;
+    double* zbar = cache.zbar[l].data();
+    for (std::size_t k = 0; k < batch * layer.out; ++k) {
+      zbar[k] = sp[k] * ybar[k];
+      // s''(z) . ybar, the curvature factor the tangent pass multiplies by
+      // zdot; folding it here keeps that pass free of ybar storage.
+      if (spp != nullptr) spp[k] *= ybar[k];
+    }
+    const double* xin = l == 0 ? x.data() : cache.y[l - 1].data();
+    if (!param_grad.empty()) {
+      const std::size_t base = offsets[l];
+      double* wgrad = param_grad.data() + base;
+      double* bgrad = wgrad + layer.in * layer.out;
+      for (std::size_t s = 0; s < batch; ++s) {
+        const double* xs = xin + s * layer.in;
+        const double* zrow = zbar + s * layer.out;
+        for (std::size_t o = 0; o < layer.out; ++o) {
+          const double z = zrow[o];
+          bgrad[o] += z;
+          if (z == 0.0) continue;
+          double* wrow = wgrad + o * layer.in;
+          for (std::size_t i = 0; i < layer.in; ++i) wrow[i] += z * xs[i];
+        }
+      }
+    }
+    if (l > 0 || !x_bar.empty()) {
+      double* dest = l == 0 ? x_bar.data() : cache.bar_a.data();
+      propagate_bar(params + offsets[l], layer.in, layer.out, batch, zbar, dest);
+      ybar = dest;
+    }
+  }
+}
+
+void mlp_jvp_batch(const Mlp& mlp, std::span<const double> xdot,
+                   std::size_t batch, MlpBatchCache& cache) {
+  const auto& layers = mlp.layers();
+  if (cache.batch != batch || cache.sp.size() != layers.size()) {
+    throw util::ValueError("mlp_jvp_batch: stale cache, run forward first");
+  }
+  if (xdot.size() != batch * mlp.input_width()) {
+    throw util::ValueError("mlp_jvp_batch: xdot size mismatch");
+  }
+  size_layer_buffers(cache.zdot, layers, batch);
+  size_layer_buffers(cache.ydot, layers, batch);
+
+  const double* params = mlp.params().data();
+  std::size_t offset = 0;
+  const double* in_rows = xdot.data();
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    const LayerSpec& layer = layers[l];
+    const double* weights = params + offset;
+    const double* sp = cache.sp[l].data();
+    double* zdot = cache.zdot[l].data();
+    double* ydot = cache.ydot[l].data();
+    for (std::size_t s = 0; s < batch; ++s) {
+      const double* xs = in_rows + s * layer.in;
+      double* zrow = zdot + s * layer.out;
+      for (std::size_t o = 0; o < layer.out; ++o) {
+        double z = 0.0;  // parameter tangents are zero: no Wdot x term
+        const double* wrow = weights + o * layer.in;
+        for (std::size_t i = 0; i < layer.in; ++i) z += wrow[i] * xs[i];
+        zrow[o] = z;
+        ydot[s * layer.out + o] = sp[s * layer.out + o] * z;
+      }
+    }
+    in_rows = ydot;
+    offset += layer.in * layer.out + layer.out;
+  }
+}
+
+void mlp_vjp_tangent_batch(const Mlp& mlp, std::span<const double> x,
+                           std::span<const double> xdot, std::size_t batch,
+                           MlpBatchCache& cache,
+                           std::span<const double> out_bar_dot,
+                           std::span<double> x_bar_dot,
+                           std::span<double> param_hvp) {
+  const auto& layers = mlp.layers();
+  if (cache.batch != batch || !cache.has_curvature ||
+      cache.zbar.size() != layers.size() || cache.zdot.size() != layers.size()) {
+    throw util::ValueError(
+        "mlp_vjp_tangent_batch: cache needs forward (with curvature), "
+        "backward, and jvp passes first");
+  }
+  if (!out_bar_dot.empty() && out_bar_dot.size() != batch * mlp.output_width()) {
+    throw util::ValueError("mlp_vjp_tangent_batch: out_bar_dot size mismatch");
+  }
+  if (!param_hvp.empty() && param_hvp.size() != mlp.num_params()) {
+    throw util::ValueError("mlp_vjp_tangent_batch: param_hvp size mismatch");
+  }
+
+  std::vector<std::size_t> offsets(layers.size());
+  std::size_t offset = 0;
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    offsets[l] = offset;
+    offset += layers[l].in * layers[l].out + layers[l].out;
+  }
+
+  const double* params = mlp.params().data();
+  // ybardot propagates in bar_b; zbardot is built in bar_a.  Both are sized
+  // for the widest layer by the forward pass.
+  const double* ybardot = out_bar_dot.empty() ? nullptr : out_bar_dot.data();
+  for (std::size_t l = layers.size(); l-- > 0;) {
+    const LayerSpec& layer = layers[l];
+    const double* sp = cache.sp[l].data();
+    const double* sppybar = cache.spp[l].data();  // s''(z) . ybar (folded)
+    const double* zbar = cache.zbar[l].data();
+    const double* zdot = cache.zdot[l].data();
+    double* zbardot = cache.bar_a.data();
+    // zbardot = s''(z).ybar.zdot + s'(z).ybardot  (d/de of zbar = s'(z).ybar)
+    for (std::size_t k = 0; k < batch * layer.out; ++k) {
+      zbardot[k] = sppybar[k] * zdot[k] + (ybardot != nullptr ? sp[k] * ybardot[k] : 0.0);
+    }
+    const double* xin = l == 0 ? x.data() : cache.y[l - 1].data();
+    const double* xin_dot = l == 0 ? xdot.data() : cache.ydot[l - 1].data();
+    if (!param_hvp.empty()) {
+      const std::size_t base = offsets[l];
+      double* whvp = param_hvp.data() + base;
+      double* bhvp = whvp + layer.in * layer.out;
+      for (std::size_t s = 0; s < batch; ++s) {
+        const double* xs = xin + s * layer.in;
+        const double* xds = xin_dot + s * layer.in;
+        const double* zdrow = zbardot + s * layer.out;
+        const double* zrow = zbar + s * layer.out;
+        for (std::size_t o = 0; o < layer.out; ++o) {
+          const double zd = zdrow[o];
+          const double z = zrow[o];
+          bhvp[o] += zd;
+          double* wrow = whvp + o * layer.in;
+          // d/de (zbar x^T) = zbardot x^T + zbar xdot^T
+          for (std::size_t i = 0; i < layer.in; ++i) {
+            wrow[i] += zd * xs[i] + z * xds[i];
+          }
+        }
+      }
+    }
+    if (l > 0 || !x_bar_dot.empty()) {
+      double* dest = l == 0 ? x_bar_dot.data() : cache.bar_b.data();
+      propagate_bar(params + offsets[l], layer.in, layer.out, batch, zbardot, dest);
+      ybardot = dest;
+    }
+  }
+}
+
+}  // namespace dpho::nn

@@ -16,58 +16,17 @@
 #include <vector>
 
 #include "dp/model.hpp"
+#include "frame_harness.hpp"
 #include "util/rng.hpp"
 
 namespace dpho::dp {
 namespace {
 
+using test_harness::random_frame;
+using test_harness::random_types;
+using test_harness::small_config;
+
 constexpr std::size_t kAtoms = 8;
-constexpr double kBox = 7.0;
-
-/// Random frame: kAtoms atoms in a cubic box, rejection-sampled so no pair
-/// (minimum-image) sits closer than 1.8 A — keeps energies in a sane range
-/// without biasing toward lattice-like order.
-md::Frame random_frame(util::Rng& rng) {
-  md::Frame frame;
-  frame.box_length = kBox;
-  while (frame.positions.size() < kAtoms) {
-    const md::Vec3 candidate{rng.uniform(0.0, kBox), rng.uniform(0.0, kBox),
-                             rng.uniform(0.0, kBox)};
-    bool ok = true;
-    for (const md::Vec3& r : frame.positions) {
-      md::Vec3 d = candidate - r;
-      for (int k = 0; k < 3; ++k) d[k] -= kBox * std::round(d[k] / kBox);
-      if (md::norm(d) < 1.8) {
-        ok = false;
-        break;
-      }
-    }
-    if (ok) frame.positions.push_back(candidate);
-  }
-  frame.forces.assign(kAtoms, md::Vec3{});
-  return frame;
-}
-
-std::vector<md::Species> random_types(util::Rng& rng) {
-  std::vector<md::Species> types(kAtoms);
-  for (md::Species& t : types) {
-    t = static_cast<md::Species>(rng.uniform_int(0, 2));
-  }
-  return types;
-}
-
-TrainInput small_config(nn::Activation activation) {
-  TrainInput config;
-  config.descriptor.rcut = 3.2;
-  config.descriptor.rcut_smth = 2.0;
-  config.descriptor.neuron = {4, 6};
-  config.descriptor.axis_neuron = 2;
-  config.descriptor.sel = 16;
-  config.descriptor.activation = activation;
-  config.fitting.neuron = {8};
-  config.fitting.activation = activation;
-  return config;
-}
 
 struct Tier {
   nn::Activation activation;
