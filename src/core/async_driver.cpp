@@ -29,6 +29,7 @@ RunRecord AsyncSteadyStateDriver::run(std::uint64_t seed) {
   engine_config.cluster = config_.cluster;
   engine_config.farm = config_.farm;
   engine_config.farm.task_timeout_minutes = config_.task_timeout_minutes;
+  engine_config.cluster_backend = config_.cluster_backend;
   engine_config.include_runtime_objective = config_.include_runtime_objective;
   engine_config.representation = config_.representation;
   engine_config.checkpoint_dir = config_.checkpoint_dir;

@@ -35,6 +35,8 @@ struct AsyncDriverConfig {
   moo::SortBackend sort_backend = moo::SortBackend::kRankOrdinal;
   hpc::ClusterSpec cluster = hpc::ClusterSpec::summit();
   hpc::FarmConfig farm;                   // faults, retries, node-failure model
+  /// Cluster backend: simulated farm (default) or real worker subprocesses.
+  hpc::ClusterBackendConfig cluster_backend;
   bool include_runtime_objective = false;
   std::optional<ea::Representation> representation;  // default: 7-gene DeepMD
   std::optional<std::filesystem::path> checkpoint_dir;

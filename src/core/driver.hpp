@@ -23,6 +23,7 @@
 #include "core/evaluator.hpp"
 #include "ea/context.hpp"
 #include "ea/ops.hpp"
+#include "hpc/cluster_factory.hpp"
 #include "hpc/taskfarm.hpp"
 #include "moo/nsga2.hpp"
 
@@ -86,6 +87,8 @@ struct DriverConfig {
   moo::SortBackend sort_backend = moo::SortBackend::kRankOrdinal;
   hpc::ClusterSpec cluster = hpc::ClusterSpec::summit();
   hpc::FarmConfig farm;                // farm.job.nodes synced to population
+  /// Cluster backend: simulated farm (default) or real worker subprocesses.
+  hpc::ClusterBackendConfig cluster_backend;
   bool anneal_enabled = true;          // ablation hook
   /// Adds the simulated training runtime (minutes) as a third minimized
   /// objective -- the "optimization of time to solution" the paper notes its

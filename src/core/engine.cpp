@@ -62,7 +62,9 @@ EngineRun::EngineRun(const EngineConfig& engine_config,
     : config(engine_config), evaluator(backend), genome_layout(layout),
       seed(run_seed), num_workers(resolve_workers(engine_config)),
       budget(resolve_budget(engine_config)), rng(run_seed),
-      farm(engine_config.cluster, farm_config_for(engine_config, run_seed)) {
+      farm(hpc::make_cluster_session(engine_config.cluster,
+                                     farm_config_for(engine_config, run_seed),
+                                     engine_config.cluster_backend)) {
   context.mutation_std() = genome_layout.initial_stds();
   bounds = genome_layout.bounds();
   record.seed = seed;
@@ -70,11 +72,25 @@ EngineRun::EngineRun(const EngineConfig& engine_config,
   if (config.checkpoint_dir) checkpoints.emplace(*config.checkpoint_dir);
 }
 
-hpc::WorkResult EngineRun::evaluate_payload(const ea::Individual& individual,
-                                            int wave) const {
-  // The adapter is the entire core->hpc surface of the evaluation path.
-  return to_work_result(
-      evaluator.evaluate(individual, derive_eval_seed(seed, wave, individual.genome)));
+hpc::TaskSpec EngineRun::make_spec(std::size_t id,
+                                   const ea::Individual& individual,
+                                   int wave) const {
+  hpc::TaskSpec spec;
+  spec.id = id;
+  spec.genome = individual.genome;
+  spec.eval_seed = derive_eval_seed(seed, wave, individual.genome);
+  spec.uuid = individual.uuid.str();
+  return spec;
+}
+
+hpc::RemoteWorkFn EngineRun::local_work() const {
+  return [this](const hpc::TaskSpec& spec) -> hpc::WorkResult {
+    ea::Individual individual;
+    individual.genome = spec.genome;
+    individual.uuid = util::Uuid::parse(spec.uuid);
+    // The adapter is the entire core->hpc surface of the evaluation path.
+    return to_work_result(evaluator.evaluate(individual, spec.eval_seed));
+  };
 }
 
 void EngineRun::apply_report(ea::Individual& individual,
@@ -112,10 +128,12 @@ EvalRecord EngineRun::to_record(const ea::Individual& individual, int generation
 
 GenerationRecord EngineRun::evaluate_generation(
     std::vector<ea::Individual*>& individuals, int generation) {
-  const hpc::WorkFn work = [&](std::size_t index) -> hpc::WorkResult {
-    return evaluate_payload(*individuals[index], generation);
-  };
-  const hpc::BatchReport report = farm.run_batch(individuals.size(), work);
+  std::vector<hpc::TaskSpec> specs;
+  specs.reserve(individuals.size());
+  for (std::size_t i = 0; i < individuals.size(); ++i) {
+    specs.push_back(make_spec(i, *individuals[i], generation));
+  }
+  const hpc::BatchReport report = farm->run_batch(specs, local_work());
   export_trace(report, "gen-" + std::to_string(generation));
 
   GenerationRecord gen_record;
@@ -189,7 +207,7 @@ DriverCheckpoint EngineRun::base_checkpoint(std::size_t completed,
   checkpoint.parents = parents;
   checkpoint.rng = rng.save_state();
   checkpoint.mutation_std = context.mutation_std();
-  checkpoint.farm = farm.snapshot();
+  checkpoint.farm = farm->snapshot();
   checkpoint.generations = record.generations;
   return checkpoint;
 }
@@ -199,7 +217,7 @@ void EngineRun::finalize(const ea::Population& parents, int generation_tag,
   for (const ea::Individual& individual : parents) {
     record.final_population.push_back(to_record(individual, generation_tag));
   }
-  record.job_minutes = farm.clock_minutes() + extra_minutes;
+  record.job_minutes = farm->clock_minutes() + extra_minutes;
   double busy_minutes = 0.0;
   for (const GenerationRecord& gen : record.generations) {
     for (const EvalRecord& eval : gen.evaluated) {
@@ -283,7 +301,12 @@ void GenerationalSchedule::run(EngineRun& run, VariationPolicy& variation) {
       parents = std::move(checkpoint->parents);
       run.rng.restore_state(checkpoint->rng);
       run.context.mutation_std() = checkpoint->mutation_std;
-      run.farm.restore(checkpoint->farm);
+      if (!run.farm->restore(checkpoint->farm).empty()) {
+        // Generational checkpoints are only written at wave barriers, where
+        // no task is in flight.
+        throw util::ValueError(
+            "generational checkpoint reports lost in-flight tasks");
+      }
       run.record.generations = std::move(checkpoint->generations);
       first_offspring_gen = checkpoint->completed_generations + 1;
       resumed = true;
@@ -381,7 +404,6 @@ void SteadyStateSchedule::run(EngineRun& run, VariationPolicy& variation) {
       archive = std::move(checkpoint->parents);
       run.rng.restore_state(checkpoint->rng);
       run.context.mutation_std() = checkpoint->mutation_std;
-      run.farm.restore(checkpoint->farm);
       run.record.generations = std::move(checkpoint->generations);
       births = checkpoint->births;
       completions = checkpoint->completed_generations;
@@ -392,10 +414,29 @@ void SteadyStateSchedule::run(EngineRun& run, VariationPolicy& variation) {
       for (InFlightBirth& birth : checkpoint->in_flight) {
         in_flight.emplace(birth.id, std::move(birth.individual));
       }
+      // The farm snapshot carries the open stream session.  The sim backend
+      // restores every in-flight report verbatim; the process backend cannot
+      // preserve a real worker's half-finished evaluation, so it reports the
+      // lost ids back and we re-submit them (same deterministic eval seed --
+      // the re-run is fitness-identical to what the dead run would have
+      // produced).
+      const std::vector<std::size_t> lost = run.farm->restore(checkpoint->farm);
+      for (const std::size_t id : lost) {
+        const auto it = in_flight.find(id);
+        if (it == in_flight.end()) {
+          throw util::ValueError(
+              "restore reported lost task " + std::to_string(id) +
+              " that the checkpoint does not hold in flight");
+        }
+        const int wave_of_birth =
+            static_cast<int>(id / config.population_size);
+        run.farm->stream_submit(run.make_spec(id, it->second, wave_of_birth),
+                                run.local_work());
+      }
       resumed = true;
       util::log_info() << "engine: seed " << run.seed << " resumed after "
                        << completions << " completions (" << in_flight.size()
-                       << " in flight)";
+                       << " in flight, " << lost.size() << " re-submitted)";
     }
   }
 
@@ -405,7 +446,8 @@ void SteadyStateSchedule::run(EngineRun& run, VariationPolicy& variation) {
   const auto submit = [&](ea::Individual individual) {
     const std::size_t id = births;
     const int wave_of_birth = static_cast<int>(id / mu);
-    run.farm.stream_submit(id, run.evaluate_payload(individual, wave_of_birth));
+    run.farm->stream_submit(run.make_spec(id, individual, wave_of_birth),
+                            run.local_work());
     in_flight.emplace(id, std::move(individual));
     ++births;
   };
@@ -424,14 +466,14 @@ void SteadyStateSchedule::run(EngineRun& run, VariationPolicy& variation) {
   };
 
   if (!resumed) {
-    run.farm.stream_begin();
+    run.farm->stream_begin();
     // Initial wave: one random individual per worker.
     for (std::size_t worker = 0; worker < run.num_workers; ++worker) {
       submit(run.genome_layout.create_individual(run.rng, 0));
     }
   }
 
-  while (std::optional<hpc::StreamCompletion> done = run.farm.stream_next()) {
+  while (std::optional<hpc::StreamCompletion> done = run.farm->stream_next()) {
     const auto it = in_flight.find(done->id);
     if (it == in_flight.end()) {
       throw util::ValueError("engine: completion for unknown task id " +
@@ -460,16 +502,16 @@ void SteadyStateSchedule::run(EngineRun& run, VariationPolicy& variation) {
     // Close the wave once mu completions landed (or the budget ran dry).
     if (wave.evaluated.size() == mu || completions == run.budget) {
       wave.generation = static_cast<int>(wave_index);
-      wave.makespan_minutes = run.farm.stream_now() - wave_started;
+      wave.makespan_minutes = run.farm->stream_now() - wave_started;
       wave.node_failures =
-          run.farm.stream_node_failures() - wave_node_failures_base;
+          run.farm->stream_node_failures() - wave_node_failures_base;
       wave.mutation_std = run.context.mutation_std();
       run.record_wave_metrics(wave);
       run.record.generations.push_back(std::move(wave));
       wave = GenerationRecord{};
       ++wave_index;
-      wave_started = run.farm.stream_now();
-      wave_node_failures_base = run.farm.stream_node_failures();
+      wave_started = run.farm->stream_now();
+      wave_node_failures_base = run.farm->stream_node_failures();
     }
 
     if (run.checkpoints && config.checkpoint_every != 0 &&
@@ -482,12 +524,12 @@ void SteadyStateSchedule::run(EngineRun& run, VariationPolicy& variation) {
       // snapshot carries the open stream session) and stop without closing
       // the session, exactly like a crash the checkpoint protects against.
       save_checkpoint();
-      run.finalize(archive, static_cast<int>(wave_index), run.farm.stream_now());
+      run.finalize(archive, static_cast<int>(wave_index), run.farm->stream_now());
       return;
     }
   }
 
-  const hpc::BatchReport report = run.farm.stream_end();
+  const hpc::BatchReport report = run.farm->stream_end();
   run.export_trace(report, "stream");
   run.finalize(archive, static_cast<int>(wave_index));
 }
@@ -499,6 +541,14 @@ EvolutionEngine::EvolutionEngine(EngineConfig config, const Evaluator& evaluator
                          : DeepMDRepresentation().representation()) {
   if (config_.population_size == 0) {
     throw util::ValueError("engine: population must be positive");
+  }
+  if (config_.representation &&
+      config_.cluster_backend.kind == hpc::ClusterBackendKind::kProcess) {
+    // Workers decode genomes with the default DeepMD representation; a
+    // custom layout would silently disagree with the scheduler's.
+    throw util::ValueError(
+        "engine: custom representations are not supported by the process "
+        "cluster backend");
   }
   if (config_.mode == ScheduleMode::kSteadyState) {
     if (resolve_workers(config_) == 0) {

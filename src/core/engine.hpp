@@ -25,6 +25,7 @@
 
 #include "core/checkpoint.hpp"
 #include "core/driver.hpp"
+#include "hpc/cluster_factory.hpp"
 
 namespace dpho::core {
 
@@ -51,6 +52,9 @@ struct EngineConfig {
   moo::SortBackend sort_backend = moo::SortBackend::kRankOrdinal;
   hpc::ClusterSpec cluster = hpc::ClusterSpec::summit();
   hpc::FarmConfig farm;               // job.nodes synced to the worker count
+  /// Which ClusterSession backend evaluates the farm's tasks: the discrete-
+  /// event simulation (default) or a pool of real dpho_worker subprocesses.
+  hpc::ClusterBackendConfig cluster_backend;
   bool include_runtime_objective = false;
   std::optional<ea::Representation> representation;
   std::optional<std::filesystem::path> checkpoint_dir;
@@ -86,13 +90,22 @@ struct EngineRun {
   util::Rng rng;
   ea::Context context;
   std::vector<ea::Range> bounds;
-  hpc::DaskCluster farm;
+  /// The cluster backend behind the session seam: SimClusterSession replays
+  /// the discrete-event farm; ProcessCluster drives real worker subprocesses.
+  std::unique_ptr<hpc::ClusterSession> farm;
   RunRecord record;
   std::optional<CheckpointManager> checkpoints;
 
-  /// Evaluates one individual's payload with the shared deterministic seed.
-  hpc::WorkResult evaluate_payload(const ea::Individual& individual,
-                                   int wave) const;
+  /// The wire-form of one evaluation: id, genome, deterministic per-eval
+  /// seed (derive_eval_seed), and the individual's UUID.
+  hpc::TaskSpec make_spec(std::size_t id, const ea::Individual& individual,
+                          int wave) const;
+
+  /// The local evaluation closure handed to the cluster session: rebuilds an
+  /// Individual from a TaskSpec (evaluators read only genome + uuid) and runs
+  /// the configured evaluator with the spec's seed.  The sim backend calls it
+  /// inline; the process backend uses it for zero-worker degradation.
+  hpc::RemoteWorkFn local_work() const;
 
   /// Applies a resolved task report: status, runtime, attempts (scheduler
   /// reassignments + payload retries), failure cause, and fitness (MAXINT on

@@ -1,0 +1,26 @@
+// JSON (de)serialization of EvalBackendConfig for the process worker pool.
+//
+// A dpho_worker subprocess cannot share the scheduler's in-memory evaluator;
+// it rebuilds one from the init frame's eval_config object.  Only backends
+// whose configuration is plain data round-trip: the surrogate (all calibration
+// constants) and the subprocess launcher (paths + policy).  kRealTraining
+// holds borrowed dataset pointers and cannot travel; serializing it throws.
+#pragma once
+
+#include <string>
+
+#include "core/evaluator.hpp"
+#include "util/json.hpp"
+
+namespace dpho::core {
+
+/// Serializes `config` for the worker init frame; throws util::ValueError for
+/// backends that cannot travel (kRealTraining).
+util::Json eval_backend_config_to_json(const EvalBackendConfig& config);
+
+/// Inverse of eval_backend_config_to_json.  An empty object yields the
+/// default (surrogate) configuration.  Throws util::ParseError on malformed
+/// input.
+EvalBackendConfig eval_backend_config_from_json(const util::Json& json);
+
+}  // namespace dpho::core

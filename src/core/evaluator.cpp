@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "dp/lcurve.hpp"
+#include "hpc/backoff.hpp"
 #include "obs/event_sink.hpp"
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
@@ -96,17 +97,22 @@ namespace {
 
 struct LaunchOutcome {
   int exit_code = -1;
-  bool hung = false;        // killed by the watchdog
+  bool hung = false;             // killed by the watchdog
+  bool sigkill_escalated = false;  // child survived SIGTERM; SIGKILL needed
   double real_seconds = 0.0;
 };
 
 /// Launches `argv` with stdout/stderr redirected into `log_path` and a
-/// watchdog that SIGKILLs the child after `kill_after_seconds` of real time
-/// (the paper's jsrun launch, hardened against hung trainings).
+/// watchdog that kills the child after `kill_after_seconds` of real time
+/// (the paper's jsrun launch, hardened against hung trainings).  The kill
+/// escalates: SIGTERM first so a responsive child can flush its logs and
+/// exit, then SIGKILL after `sigterm_grace_seconds` for children that ignore
+/// the termination request.
 LaunchOutcome launch_with_watchdog(const std::vector<std::string>& argv,
                                    const std::filesystem::path& log_path,
                                    double kill_after_seconds,
-                                   double poll_seconds) {
+                                   double poll_seconds,
+                                   double sigterm_grace_seconds) {
   const auto start = std::chrono::steady_clock::now();
   const ::pid_t pid = ::fork();
   if (pid < 0) throw util::IoError("fork failed for subprocess evaluation");
@@ -128,16 +134,22 @@ LaunchOutcome launch_with_watchdog(const std::vector<std::string>& argv,
 
   LaunchOutcome outcome;
   int status = 0;
+  bool sigterm_sent = false;
   for (;;) {
     const ::pid_t done = ::waitpid(pid, &status, WNOHANG);
     if (done == pid) break;
     const double elapsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
     if (done < 0) throw util::IoError("waitpid failed for subprocess evaluation");
-    if (elapsed > kill_after_seconds) {
+    if (!sigterm_sent && elapsed > kill_after_seconds) {
+      ::kill(pid, SIGTERM);
+      sigterm_sent = true;
+      outcome.hung = true;
+    } else if (sigterm_sent &&
+               elapsed > kill_after_seconds + sigterm_grace_seconds) {
       ::kill(pid, SIGKILL);
       ::waitpid(pid, &status, 0);
-      outcome.hung = true;
+      outcome.sigkill_escalated = true;
       break;
     }
     std::this_thread::sleep_for(std::chrono::duration<double>(poll_seconds));
@@ -157,7 +169,7 @@ bool cause_is_transient(FailureCause cause) {
 }  // namespace
 
 EvalOutcome SubprocessEvaluator::evaluate(const ea::Individual& individual,
-                                          std::uint64_t /*eval_seed*/) const {
+                                          std::uint64_t eval_seed) const {
   EvalOutcome outcome;
   try {
     const HyperParams hp = representation_.decode(individual.genome);
@@ -179,7 +191,6 @@ EvalOutcome SubprocessEvaluator::evaluate(const ea::Individual& individual,
       argv.push_back(std::to_string(options_.trainer_threads));
     }
     const std::size_t max_attempts = std::max<std::size_t>(options_.max_attempts, 1);
-    double backoff = options_.retry_backoff_seconds;
 
     for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
       outcome = EvalOutcome{};
@@ -187,7 +198,7 @@ EvalOutcome SubprocessEvaluator::evaluate(const ea::Individual& individual,
       const LaunchOutcome launch = launch_with_watchdog(
           argv, run_dir / "stdout.log",
           options_.wall_limit_seconds + options_.watchdog_grace_seconds,
-          options_.watchdog_poll_seconds);
+          options_.watchdog_poll_seconds, options_.sigterm_grace_seconds);
       outcome.runtime_minutes = launch.real_seconds * options_.sim_minutes_per_real_second;
 
       if (launch.hung) {
@@ -251,17 +262,22 @@ EvalOutcome SubprocessEvaluator::evaluate(const ea::Individual& individual,
                           {"attempt", static_cast<std::int64_t>(attempt)},
                           {"exit_code", static_cast<std::int64_t>(launch.exit_code)},
                           {"hung", launch.hung},
+                          {"sigkill_escalated", launch.sigkill_escalated},
                           {"cause", to_string(outcome.cause)},
                           {"real_seconds", launch.real_seconds}});
 
       if (!cause_is_transient(outcome.cause) || attempt == max_attempts) break;
+      // Seed-keyed backoff: the schedule is a pure function of this task's
+      // evaluation seed, never of other tasks' completion order.
+      const double backoff = hpc::retry_backoff_seconds(
+          eval_seed, attempt, options_.retry_backoff_seconds,
+          options_.retry_backoff_cap_seconds);
       obs::metrics().counter("subprocess.retries_total").add(1);
       util::log_info() << "retrying evaluation for " << individual.uuid.str()
                        << " (attempt " << attempt << " failed: "
                        << to_string(outcome.cause) << "), backoff " << backoff
                        << " s";
       std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
-      backoff *= 2.0;
     }
   } catch (const std::exception& e) {
     util::log_info() << "subprocess evaluation failed for " << individual.uuid.str()

@@ -122,12 +122,19 @@ struct SubprocessEvalOptions {
   /// deterministic failures (bad hyperparameters -> nonzero exit, diverged
   /// training -> NaN losses, wall-limit timeouts) are never retried.
   std::size_t max_attempts = 2;
-  double retry_backoff_seconds = 0.25;     // doubled after every attempt
+  /// Seed-derived capped exponential backoff between attempts
+  /// (hpc::retry_backoff_seconds): a pure function of (eval_seed, attempt),
+  /// so a task's retry schedule never depends on what other tasks did.
+  double retry_backoff_seconds = 0.25;
+  double retry_backoff_cap_seconds = 4.0;
   /// The child gets wall_limit + grace seconds of real time before the
-  /// watchdog SIGKILLs it (the subprocess is expected to enforce the wall
-  /// limit itself and exit with code 3; the watchdog catches hangs).
+  /// watchdog moves in (the subprocess is expected to enforce the wall limit
+  /// itself and exit with code 3; the watchdog catches hangs).  The kill
+  /// escalates: SIGTERM first, then SIGKILL after `sigterm_grace_seconds`
+  /// for children that ignore or block SIGTERM.
   double watchdog_grace_seconds = 30.0;
   double watchdog_poll_seconds = 0.02;
+  double sigterm_grace_seconds = 1.0;
 };
 
 class SubprocessEvaluator : public Evaluator {

@@ -43,6 +43,7 @@ std::vector<RunRecord> ExperimentRunner::run_all() const {
       async.sort_backend = base.sort_backend;
       async.cluster = base.cluster;
       async.farm = base.farm;
+      async.cluster_backend = base.cluster_backend;
       async.include_runtime_objective = base.include_runtime_objective;
       async.representation = base.representation;
       if (seed_dir) {

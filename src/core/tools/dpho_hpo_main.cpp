@@ -3,6 +3,7 @@
 //
 //   dpho_hpo [--pop N] [--generations N] [--runs N] [--out DIR]
 //            [--mode generational|async] [--runtime-objective]
+//            [--cluster sim|process] [--workers N] [--worker-binary PATH]
 //            [--failure-rate P] [--fault-plan FILE] [--trace-dir DIR]
 //            [--checkpoint-dir DIR] [--resume] [--threads N]
 //            [--metrics-out FILE] [--metrics-interval N] [--quiet]
@@ -13,16 +14,38 @@
 // sensitivity.csv and summary.json to --out.  Both modes run on the unified
 // EvolutionEngine, so fault injection, trace export and checkpoint/resume
 // compose with either.
+//
+// --cluster process swaps the simulated DaskCluster for hpc::ProcessCluster:
+// real dpho_worker subprocesses over loopback TCP, with the same fault plan
+// driving real SIGKILLs instead of bookkeeping (DESIGN.md section 11).
 #include <cstdio>
+#include <filesystem>
 
 #include "core/analysis.hpp"
+#include "core/eval_config_io.hpp"
 #include "core/experiment.hpp"
 #include "core/sensitivity.hpp"
+#include "hpc/cluster_factory.hpp"
 #include "hpc/faultplan_io.hpp"
 #include "obs/event_sink.hpp"
 #include "obs/metrics.hpp"
 #include "util/args.hpp"
 #include "util/fs.hpp"
+
+namespace {
+
+// The dpho_worker binary normally sits next to dpho_hpo in the build tree;
+// resolve it relative to the running executable so `dpho_hpo --cluster
+// process` works from any CWD without flags.
+std::filesystem::path default_worker_binary() {
+  std::error_code ec;
+  const std::filesystem::path self =
+      std::filesystem::read_symlink("/proc/self/exe", ec);
+  if (ec) return "dpho_worker";
+  return self.parent_path() / "dpho_worker";
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace dpho;
@@ -35,6 +58,12 @@ int main(int argc, char** argv) {
       .add_flag("--async", "shorthand for --mode async", false)
       .add_flag("--runtime-objective",
                 "minimize training runtime as a third objective", false)
+      .add_flag("--cluster",
+                "evaluation backend: sim (default) or process (real workers)")
+      .add_flag("--workers",
+                "process cluster: worker subprocesses, default 0 (= nodes)")
+      .add_flag("--worker-binary",
+                "process cluster: dpho_worker path, default next to dpho_hpo")
       .add_flag("--failure-rate", "node-failure probability per task, default 5e-4")
       .add_flag("--fault-plan", "JSON file of scripted fault events")
       .add_flag("--trace-dir", "write per-batch schedule traces here")
@@ -103,6 +132,27 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.get("--threads", std::int64_t{2}));
   config.driver.metrics_interval = static_cast<std::size_t>(
       args.get("--metrics-interval", std::int64_t{0}));
+
+  try {
+    config.driver.cluster_backend.kind =
+        hpc::cluster_backend_from_string(args.get("--cluster", std::string("sim")));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "--cluster: %s\n", e.what());
+    return 2;
+  }
+  if (config.driver.cluster_backend.kind == hpc::ClusterBackendKind::kProcess) {
+    hpc::ProcessClusterConfig& process = config.driver.cluster_backend.process;
+    process.worker_binary =
+        args.has("--worker-binary")
+            ? std::filesystem::path(args.get("--worker-binary", std::string()))
+            : default_worker_binary();
+    process.num_workers =
+        static_cast<std::size_t>(args.get("--workers", std::int64_t{0}));
+    // Ship the same backend configuration the local evaluator uses, so a
+    // process-cluster run reproduces the sim run's fitness bit for bit.
+    process.eval_config_json =
+        core::eval_backend_config_to_json(core::EvalBackendConfig{}).dump();
+  }
 
   // The run-wide observability layer: --metrics-out starts the JSONL event
   // timeline; the registry summary lands next to the archive after the run.

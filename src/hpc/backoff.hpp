@@ -1,0 +1,42 @@
+// Deterministic, seed-derived retry backoff.
+//
+// Every retrying layer in the repo (the simulated DaskCluster's node-kill
+// reassignments, the SubprocessEvaluator's transient-artifact retries, and
+// the ProcessCluster's real re-dispatch) derives its attempt timing from the
+// *per-task evaluation seed* rather than from a shared RNG stream.  A shared
+// stream makes attempt timing depend on the global draw order -- i.e. on
+// completion interleaving -- which destroys reproducibility the moment two
+// runs retry tasks in a different order.  A pure function of
+// (eval_seed, attempt) gives every task the same retry schedule no matter
+// when, where, or in what order its attempts happen.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace dpho::hpc {
+
+/// Maps a 64-bit seed to a uniform double in [0, 1).
+inline double seeded_unit(std::uint64_t seed) {
+  return static_cast<double>(util::hash_mix(seed) >> 11) * 0x1.0p-53;
+}
+
+/// Capped exponential backoff before retry `attempt` (1-based: the delay
+/// applied after attempt N failed).  base * 2^(attempt-1), jittered to
+/// [0.75x, 1.25x] by a hash of (eval_seed, attempt), capped at `cap`.
+/// Pure and deterministic: no RNG stream is consumed.
+inline double retry_backoff_seconds(std::uint64_t eval_seed, std::size_t attempt,
+                                    double base, double cap) {
+  if (base <= 0.0) return 0.0;
+  const double exponential =
+      base * std::ldexp(1.0, static_cast<int>(std::min<std::size_t>(attempt, 32)) - 1);
+  const std::uint64_t key =
+      util::hash_combine(eval_seed, util::hash_combine(0xBACC0FFull, attempt));
+  const double jitter = 0.75 + 0.5 * seeded_unit(key);
+  return std::min(cap, exponential * jitter);
+}
+
+}  // namespace dpho::hpc

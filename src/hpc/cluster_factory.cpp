@@ -1,0 +1,35 @@
+#include "hpc/cluster_factory.hpp"
+
+#include "util/error.hpp"
+
+namespace dpho::hpc {
+
+std::string to_string(ClusterBackendKind kind) {
+  switch (kind) {
+    case ClusterBackendKind::kSim: return "sim";
+    case ClusterBackendKind::kProcess: return "process";
+  }
+  throw util::ValueError("invalid cluster backend kind");
+}
+
+ClusterBackendKind cluster_backend_from_string(const std::string& name) {
+  for (const ClusterBackendKind kind :
+       {ClusterBackendKind::kSim, ClusterBackendKind::kProcess}) {
+    if (to_string(kind) == name) return kind;
+  }
+  throw util::ParseError("unknown cluster backend: " + name);
+}
+
+std::unique_ptr<ClusterSession> make_cluster_session(
+    const ClusterSpec& cluster, const FarmConfig& farm,
+    const ClusterBackendConfig& backend) {
+  switch (backend.kind) {
+    case ClusterBackendKind::kSim:
+      return std::make_unique<SimClusterSession>(cluster, farm);
+    case ClusterBackendKind::kProcess:
+      return std::make_unique<ProcessCluster>(cluster, farm, backend.process);
+  }
+  throw util::ValueError("invalid cluster backend kind");
+}
+
+}  // namespace dpho::hpc

@@ -1,0 +1,36 @@
+// Backend selection for ClusterSession: simulated farm or real worker pool.
+//
+// The `--cluster sim|process` seam of dpho_hpo resolves here; the engine only
+// ever sees the ClusterSession interface, so generational and async modes
+// drive either backend unchanged.
+#pragma once
+
+#include <memory>
+
+#include "hpc/cluster_session.hpp"
+#include "hpc/process_cluster.hpp"
+
+namespace dpho::hpc {
+
+enum class ClusterBackendKind : std::uint8_t {
+  kSim = 0,     // discrete-event DaskCluster simulation
+  kProcess,     // fork/exec'd dpho_worker subprocesses over loopback TCP
+};
+
+std::string to_string(ClusterBackendKind kind);
+/// Inverse of to_string; throws util::ParseError on unknown names.
+ClusterBackendKind cluster_backend_from_string(const std::string& name);
+
+/// How a run wants its workers realized.  `process` is only consulted for
+/// kProcess; eval_config_json is typically filled in by the driver from its
+/// evaluator configuration (core::eval_config_io).
+struct ClusterBackendConfig {
+  ClusterBackendKind kind = ClusterBackendKind::kSim;
+  ProcessClusterConfig process;
+};
+
+std::unique_ptr<ClusterSession> make_cluster_session(
+    const ClusterSpec& cluster, const FarmConfig& farm,
+    const ClusterBackendConfig& backend);
+
+}  // namespace dpho::hpc

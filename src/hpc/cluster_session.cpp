@@ -1,0 +1,28 @@
+#include "hpc/cluster_session.hpp"
+
+#include "util/error.hpp"
+
+namespace dpho::hpc {
+
+BatchReport SimClusterSession::run_batch(const std::vector<TaskSpec>& specs,
+                                         const RemoteWorkFn& local_eval) {
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (specs[i].id != i) {
+      throw util::ValueError("run_batch specs must be indexed 0..n-1");
+    }
+  }
+  std::vector<std::uint64_t> eval_seeds;
+  eval_seeds.reserve(specs.size());
+  for (const TaskSpec& spec : specs) eval_seeds.push_back(spec.eval_seed);
+  const WorkFn work = [&](std::size_t index) -> WorkResult {
+    return local_eval(specs[index]);
+  };
+  return farm_.run_batch(specs.size(), work, eval_seeds);
+}
+
+void SimClusterSession::stream_submit(const TaskSpec& spec,
+                                      const RemoteWorkFn& local_eval) {
+  farm_.stream_submit(spec.id, local_eval(spec), spec.eval_seed);
+}
+
+}  // namespace dpho::hpc

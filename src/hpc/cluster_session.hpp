@@ -1,0 +1,131 @@
+// The cluster-backend seam: one session API over simulated and real workers.
+//
+// core::EvolutionEngine used to talk to hpc::DaskCluster directly, which
+// hard-wired it to the discrete-event *simulation* -- the engine computed
+// every payload in-process and the farm replayed its timing.  Real worker
+// processes invert that: the payload must travel to the worker as data.
+// ClusterSession is the common session surface:
+//
+//   * TaskSpec is the wire-form of one evaluation: caller-chosen id, genome,
+//     the deterministic per-evaluation seed (core::derive_eval_seed), and the
+//     individual's UUID (the run-directory name of section 2.2.4).
+//   * RemoteWorkFn is the *local* evaluation closure.  The sim backend calls
+//     it inline (preserving the engine's historical behavior bit for bit);
+//     the process backend holds it as the graceful-degradation fallback used
+//     when every real worker has died.
+//
+// Two implementations exist: SimClusterSession (below), a zero-cost adapter
+// over DaskCluster, and ProcessCluster (process_cluster.hpp), a socket-backed
+// scheduler over fork/exec'd dpho_worker subprocesses.  make_cluster_session
+// (cluster_factory.hpp) is the selection switch.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hpc/taskfarm.hpp"
+
+namespace dpho::hpc {
+
+/// Everything a worker needs to run one evaluation.
+struct TaskSpec {
+  std::size_t id = 0;              // caller-chosen task id (birth index)
+  std::vector<double> genome;
+  std::uint64_t eval_seed = 0;     // derive_eval_seed(run, wave, genome)
+  std::string uuid;                // canonical UUID of the individual
+};
+
+/// Local evaluation of one spec; must be thread-safe (the sim backend farms
+/// run_batch payloads over a thread pool).
+using RemoteWorkFn = std::function<WorkResult(const TaskSpec&)>;
+
+/// The session API both cluster backends implement.  Semantics follow
+/// DaskCluster (taskfarm.hpp): run_batch is the generational barrier;
+/// stream_* is the steady-state session.  The one extension is restore(),
+/// which returns the ids of in-flight tasks the snapshot could not preserve
+/// (a real worker's half-finished evaluation dies with the scheduler); the
+/// caller must re-submit those.  The sim backend always returns an empty
+/// list: its snapshots carry fully resolved in-flight reports.
+class ClusterSession {
+ public:
+  virtual ~ClusterSession() = default;
+
+  /// Farms one barrier wave; specs[i].id must equal i.
+  virtual BatchReport run_batch(const std::vector<TaskSpec>& specs,
+                                const RemoteWorkFn& local_eval) = 0;
+
+  virtual void stream_begin() = 0;
+  virtual void stream_submit(const TaskSpec& spec,
+                             const RemoteWorkFn& local_eval) = 0;
+  virtual std::optional<StreamCompletion> stream_next() = 0;
+  virtual BatchReport stream_end() = 0;
+
+  virtual bool stream_active() const = 0;
+  virtual std::size_t stream_pending() const = 0;
+  virtual double stream_now() const = 0;
+  virtual std::size_t stream_node_failures() const = 0;
+
+  virtual double clock_minutes() const = 0;
+  virtual double remaining_minutes() const = 0;
+  virtual std::size_t live_workers() const = 0;
+  virtual std::size_t batches_run() const = 0;
+
+  virtual FarmSnapshot snapshot() const = 0;
+  /// Adopts `snapshot` and returns the ids of in-flight tasks that were lost
+  /// with the previous scheduler process and must be re-submitted.
+  virtual std::vector<std::size_t> restore(const FarmSnapshot& snapshot) = 0;
+
+  /// Human-readable backend name ("sim" / "process") for logs and events.
+  virtual std::string backend_name() const = 0;
+};
+
+/// The discrete-event simulation behind the ClusterSession surface.  Payloads
+/// are evaluated locally at submit time -- the exact call order the engine
+/// used against DaskCluster directly, so records, metrics and goldens are
+/// unchanged.
+class SimClusterSession final : public ClusterSession {
+ public:
+  SimClusterSession(const ClusterSpec& cluster, const FarmConfig& config)
+      : farm_(cluster, config) {}
+
+  BatchReport run_batch(const std::vector<TaskSpec>& specs,
+                        const RemoteWorkFn& local_eval) override;
+  void stream_begin() override { farm_.stream_begin(); }
+  void stream_submit(const TaskSpec& spec,
+                     const RemoteWorkFn& local_eval) override;
+  std::optional<StreamCompletion> stream_next() override {
+    return farm_.stream_next();
+  }
+  BatchReport stream_end() override { return farm_.stream_end(); }
+
+  bool stream_active() const override { return farm_.stream_active(); }
+  std::size_t stream_pending() const override { return farm_.stream_pending(); }
+  double stream_now() const override { return farm_.stream_now(); }
+  std::size_t stream_node_failures() const override {
+    return farm_.stream_node_failures();
+  }
+
+  double clock_minutes() const override { return farm_.clock_minutes(); }
+  double remaining_minutes() const override { return farm_.remaining_minutes(); }
+  std::size_t live_workers() const override { return farm_.live_workers(); }
+  std::size_t batches_run() const override { return farm_.batches_run(); }
+
+  FarmSnapshot snapshot() const override { return farm_.snapshot(); }
+  std::vector<std::size_t> restore(const FarmSnapshot& snapshot) override {
+    farm_.restore(snapshot);
+    return {};  // sim snapshots carry fully resolved in-flight reports
+  }
+
+  std::string backend_name() const override { return "sim"; }
+
+  DaskCluster& farm() { return farm_; }
+
+ private:
+  DaskCluster farm_;
+};
+
+}  // namespace dpho::hpc

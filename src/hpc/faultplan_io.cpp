@@ -46,16 +46,40 @@ FaultPlan fault_plan_from_json(const util::Json& json) {
     throw util::ParseError("fault plan: expected {\"events\": [...]}");
   }
   FaultPlan plan;
+  std::size_t index = 0;
   for (const util::Json& entry : json.at("events").as_array()) {
-    FaultEvent event;
-    event.kind = fault_kind_from_string(entry.at("kind").as_string());
-    event.batch = static_cast<std::size_t>(entry.at("batch").as_int());
-    // task is meaningless for scheduler_restart events, so it is optional.
-    event.task = static_cast<std::size_t>(entry.number_or("task", 0.0));
-    event.attempt = static_cast<std::size_t>(entry.number_or("attempt", 1.0));
-    event.factor = entry.number_or("factor", 1.0);
-    event.delay_minutes = entry.number_or("delay_minutes", 0.0);
-    plan.events.push_back(event);
+    // Name the offending event in every error: a malformed plan otherwise
+    // loads silently and misbehaves mid-run, where the symptom (a fault that
+    // never fires, or a task that runs backwards in time) is far from the
+    // bad JSON line.
+    const std::string where = "fault plan event " + std::to_string(index);
+    try {
+      FaultEvent event;
+      event.kind = fault_kind_from_string(entry.at("kind").as_string());
+      event.batch = static_cast<std::size_t>(entry.at("batch").as_int());
+      // task is meaningless for scheduler_restart events, so it is optional.
+      event.task = static_cast<std::size_t>(entry.number_or("task", 0.0));
+      const double attempt = entry.number_or("attempt", 1.0);
+      if (attempt < 1.0) {
+        throw util::ParseError("attempt must be >= 1, got " +
+                               std::to_string(attempt));
+      }
+      event.attempt = static_cast<std::size_t>(attempt);
+      event.factor = entry.number_or("factor", 1.0);
+      if (event.factor < 0.0) {
+        throw util::ParseError("factor must be >= 0, got " +
+                               std::to_string(event.factor));
+      }
+      event.delay_minutes = entry.number_or("delay_minutes", 0.0);
+      if (event.delay_minutes < 0.0) {
+        throw util::ParseError("delay_minutes must be >= 0, got " +
+                               std::to_string(event.delay_minutes));
+      }
+      plan.events.push_back(event);
+    } catch (const util::Error& e) {
+      throw util::ParseError(where + ": " + e.what());
+    }
+    ++index;
   }
   return plan;
 }

@@ -1,0 +1,102 @@
+// Length-prefixed message framing over local TCP sockets.
+//
+// The wire layer of hpc::ProcessCluster: the scheduler listens on a loopback
+// ephemeral port, each dpho_worker subprocess connects back, and both sides
+// exchange frames -- a 4-byte big-endian length followed by that many bytes
+// of compact JSON.  The framing is deliberately dumb: no versioning beyond
+// the JSON payload's "t" tag, no compression, no TLS -- workers are local
+// children of the scheduler process, exactly like the paper's one-node Dask
+// deployment (section 2.2.5) where scheduler and workers share the batch
+// node.
+//
+// All reads are non-blocking and poll-driven: FrameReader accumulates
+// whatever bytes are available and yields complete frames, so the scheduler
+// event loop can multiplex many workers plus heartbeat/watchdog deadlines
+// from a single thread.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dpho::hpc::net {
+
+/// Maximum accepted frame payload (16 MiB); a length prefix beyond this is
+/// treated as a protocol violation (the peer is declared dead).
+inline constexpr std::uint32_t kMaxFramePayload = 16u * 1024u * 1024u;
+
+/// A loopback TCP listener on an ephemeral port.  Non-copyable; closes the
+/// socket on destruction.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Binds 127.0.0.1:0 and listens; throws util::IoError on failure.
+  void open();
+
+  /// Closes the socket (idempotent).
+  void close();
+
+  /// Closes and re-opens on a fresh ephemeral port -- the real backend of
+  /// FaultKind::kSchedulerRestart.  Established connections survive; only
+  /// the accept queue is torn down.
+  void rebind();
+
+  /// Accepts one pending connection without blocking; returns the new
+  /// non-blocking fd, or -1 when none is pending.
+  int accept_nonblocking() const;
+
+  bool is_open() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  std::uint16_t port() const { return port_; }
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Connects to 127.0.0.1:`port` (blocking) and returns the fd; throws
+/// util::IoError on failure.  Used by the worker side.
+int connect_loopback(std::uint16_t port);
+
+/// Makes `fd` non-blocking; throws util::IoError on failure.
+void set_nonblocking(int fd);
+
+/// Writes one complete frame (length prefix + payload).  Blocks until the
+/// frame is fully queued (local sockets: effectively immediate) and returns
+/// false when the peer is gone (EPIPE/ECONNRESET) instead of raising
+/// SIGPIPE.  Throws util::IoError on unexpected errors.
+bool write_frame(int fd, const std::string& payload);
+
+/// Reads one complete frame from a *blocking* fd (the worker side's view of
+/// the scheduler connection).  Returns nullopt on orderly EOF or connection
+/// reset; throws util::IoError on unexpected errors or protocol violations.
+std::optional<std::string> read_frame(int fd);
+
+/// Incremental frame decoder for one connection.
+class FrameReader {
+ public:
+  /// Drains every byte currently readable from `fd` (non-blocking).
+  /// Returns false when the peer closed the connection or violated the
+  /// protocol (oversized length prefix); decoded frames remain available.
+  bool drain(int fd);
+
+  /// Pops the next complete frame payload, if any.
+  std::optional<std::string> next();
+
+  bool closed() const { return closed_; }
+
+ private:
+  std::vector<char> buffer_;
+  std::deque<std::string> frames_;
+  bool closed_ = false;
+};
+
+}  // namespace dpho::hpc::net

@@ -1,0 +1,130 @@
+#include "hpc/net/wire.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace dpho::hpc::net {
+
+std::string message_type(const util::Json& message) {
+  if (!message.is_object() || !message.contains("t")) {
+    throw util::ParseError("wire message without a \"t\" tag");
+  }
+  return message.at("t").as_string();
+}
+
+std::string encode_u64(std::uint64_t value) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+std::uint64_t decode_u64(const std::string& hex) {
+  if (hex.empty() || hex.size() > 16) {
+    throw util::ParseError("bad u64 hex field: \"" + hex + "\"");
+  }
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(hex.c_str(), &end, 16);
+  if (end != hex.c_str() + hex.size()) {
+    throw util::ParseError("bad u64 hex field: \"" + hex + "\"");
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+util::Json encode_hello(std::size_t token, std::int64_t pid) {
+  util::Json msg;
+  msg["t"] = kMsgHello;
+  msg["token"] = token;
+  msg["pid"] = pid;
+  return msg;
+}
+
+util::Json encode_init(const std::string& eval_config_json,
+                       double heartbeat_interval_seconds) {
+  util::Json msg;
+  msg["t"] = kMsgInit;
+  msg["eval_config"] = eval_config_json.empty()
+                           ? util::Json(util::JsonObject{})
+                           : util::Json::parse(eval_config_json);
+  msg["heartbeat_interval_seconds"] = heartbeat_interval_seconds;
+  return msg;
+}
+
+util::Json encode_heartbeat(std::uint64_t seq) {
+  util::Json msg;
+  msg["t"] = kMsgHeartbeat;
+  msg["seq"] = encode_u64(seq);
+  return msg;
+}
+
+util::Json encode_task(const TaskSpec& spec, double straggler_seconds) {
+  util::Json msg;
+  msg["t"] = kMsgTask;
+  msg["id"] = spec.id;
+  util::JsonArray genome;
+  for (double gene : spec.genome) genome.emplace_back(gene);
+  msg["genome"] = util::Json(std::move(genome));
+  msg["eval_seed"] = encode_u64(spec.eval_seed);
+  msg["uuid"] = spec.uuid;
+  if (straggler_seconds > 0.0) msg["straggler_seconds"] = straggler_seconds;
+  return msg;
+}
+
+util::Json encode_result(std::size_t id, const WorkResult& result) {
+  util::Json msg;
+  msg["t"] = kMsgResult;
+  msg["id"] = id;
+  util::JsonArray fitness;
+  for (double f : result.fitness) fitness.emplace_back(f);
+  msg["fitness"] = util::Json(std::move(fitness));
+  msg["sim_minutes"] = result.sim_minutes;
+  msg["training_error"] = result.training_error;
+  msg["cause"] = to_string(result.cause);
+  msg["attempts"] = result.attempts;
+  return msg;
+}
+
+util::Json encode_shutdown() {
+  util::Json msg;
+  msg["t"] = kMsgShutdown;
+  return msg;
+}
+
+std::size_t hello_token(const util::Json& message) {
+  return static_cast<std::size_t>(message.at("token").as_int());
+}
+
+TaskSpec decode_task(const util::Json& message) {
+  TaskSpec spec;
+  spec.id = static_cast<std::size_t>(message.at("id").as_int());
+  for (const util::Json& gene : message.at("genome").as_array()) {
+    spec.genome.push_back(gene.as_number());
+  }
+  spec.eval_seed = decode_u64(message.at("eval_seed").as_string());
+  spec.uuid = message.at("uuid").as_string();
+  return spec;
+}
+
+double task_straggler_seconds(const util::Json& message) {
+  return message.number_or("straggler_seconds", 0.0);
+}
+
+std::size_t result_id(const util::Json& message) {
+  return static_cast<std::size_t>(message.at("id").as_int());
+}
+
+WorkResult decode_result(const util::Json& message) {
+  WorkResult result;
+  for (const util::Json& f : message.at("fitness").as_array()) {
+    result.fitness.push_back(f.as_number());
+  }
+  result.sim_minutes = message.at("sim_minutes").as_number();
+  result.training_error = message.at("training_error").as_bool();
+  result.cause = failure_cause_from_string(message.at("cause").as_string());
+  result.attempts = static_cast<std::size_t>(message.number_or("attempts", 1.0));
+  return result;
+}
+
+}  // namespace dpho::hpc::net

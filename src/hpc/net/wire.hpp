@@ -1,0 +1,62 @@
+// Message codec for the scheduler <-> worker wire protocol.
+//
+// Every frame payload (net/frame.hpp) is one compact JSON object tagged by
+// "t".  The vocabulary is deliberately small:
+//
+//   worker -> scheduler
+//     {"t":"hello","token":3,"pid":4711}     first frame after connect
+//     {"t":"hb","seq":17}                    heartbeat (liveness proof)
+//     {"t":"result","id":5,...}              one finished evaluation
+//
+//   scheduler -> worker
+//     {"t":"init","eval_config":{...},"heartbeat_interval_ms":50}
+//     {"t":"task","id":5,"genome":[...],"eval_seed":"1a2b...","uuid":"...",
+//      "straggler_seconds":0}                one evaluation to run
+//     {"t":"shutdown"}                       orderly exit
+//
+// eval_seed travels as a hex string: JSON numbers are doubles and cannot
+// hold a 64-bit seed losslessly.  straggler_seconds is the real injection
+// backend of FaultKind::kStraggler -- the worker sleeps that long before
+// evaluating, exactly where the simulator multiplies the runtime.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hpc/cluster_session.hpp"
+#include "util/json.hpp"
+
+namespace dpho::hpc::net {
+
+/// Message type tags ("t" values).
+inline constexpr const char* kMsgHello = "hello";
+inline constexpr const char* kMsgInit = "init";
+inline constexpr const char* kMsgHeartbeat = "hb";
+inline constexpr const char* kMsgTask = "task";
+inline constexpr const char* kMsgResult = "result";
+inline constexpr const char* kMsgShutdown = "shutdown";
+
+/// The "t" tag of a decoded message; throws util::ParseError when missing.
+std::string message_type(const util::Json& message);
+
+/// Lossless 64-bit <-> hex-string conversion for seeds (JSON numbers are
+/// doubles).
+std::string encode_u64(std::uint64_t value);
+std::uint64_t decode_u64(const std::string& hex);
+
+util::Json encode_hello(std::size_t token, std::int64_t pid);
+util::Json encode_init(const std::string& eval_config_json,
+                       double heartbeat_interval_seconds);
+util::Json encode_heartbeat(std::uint64_t seq);
+util::Json encode_task(const TaskSpec& spec, double straggler_seconds);
+util::Json encode_result(std::size_t id, const WorkResult& result);
+util::Json encode_shutdown();
+
+/// Field extraction; each throws util::ParseError on malformed messages.
+std::size_t hello_token(const util::Json& message);
+TaskSpec decode_task(const util::Json& message);
+double task_straggler_seconds(const util::Json& message);
+std::size_t result_id(const util::Json& message);
+WorkResult decode_result(const util::Json& message);
+
+}  // namespace dpho::hpc::net

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 
+#include "hpc/backoff.hpp"
 #include "obs/event_sink.hpp"
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
@@ -40,6 +41,20 @@ void record_task_metrics(std::size_t id, const TaskReport& report) {
                       {"node", static_cast<std::int64_t>(report.node)},
                       {"sim_minutes", report.sim_minutes},
                       {"finish_minute", report.finish_minute}});
+}
+
+/// Simulated minutes a killed attempt ran before the node died.  Scripted
+/// kills use a fixed half-run; random kills derive the fraction from the
+/// task's evaluation seed and attempt index, NOT from the farm's shared RNG
+/// stream -- a shared stream would make retry timing depend on global draw
+/// order (i.e. on completion interleaving), destroying reproducibility.
+double kill_elapsed_minutes(bool scripted, double run_cap,
+                            std::uint64_t eval_seed, std::size_t task,
+                            std::size_t attempt) {
+  if (scripted) return 0.5 * run_cap;
+  const std::uint64_t key = util::hash_combine(
+      eval_seed, util::hash_combine(util::hash_mix(task), attempt));
+  return run_cap * seeded_unit(key);
 }
 
 /// Batch-level roll-up: failures, restarts, and how busy the (simulated)
@@ -144,8 +159,36 @@ FarmSnapshot DaskCluster::snapshot() const {
 }
 
 void DaskCluster::restore(const FarmSnapshot& snapshot) {
-  if (snapshot.tasks_run_on_node.size() != tasks_run_on_node_.size()) {
-    throw util::ValueError("farm snapshot node count mismatch");
+  // Validate the snapshot's shape against this farm's configuration before
+  // touching any state: resuming from a checkpoint taken on a differently
+  // sized cluster would otherwise index out of the node-health map mid-run.
+  const std::size_t nodes = tasks_run_on_node_.size();
+  if (snapshot.tasks_run_on_node.size() != nodes) {
+    throw util::ValueError(
+        "farm snapshot node count mismatch: snapshot holds " +
+        std::to_string(snapshot.tasks_run_on_node.size()) +
+        " nodes, this farm is configured for " + std::to_string(nodes));
+  }
+  if (snapshot.live_workers > nodes) {
+    throw util::ValueError("farm snapshot reports " +
+                           std::to_string(snapshot.live_workers) +
+                           " live workers on a " + std::to_string(nodes) +
+                           "-node farm");
+  }
+  if (snapshot.stream_active && snapshot.stream_free_at.size() != nodes) {
+    throw util::ValueError(
+        "farm snapshot stream_free_at size mismatch: snapshot holds " +
+        std::to_string(snapshot.stream_free_at.size()) +
+        " entries, this farm is configured for " + std::to_string(nodes) +
+        " nodes");
+  }
+  for (const InFlightTask& task : snapshot.stream_in_flight) {
+    if (task.report.node >= nodes) {
+      throw util::ValueError(
+          "farm snapshot in-flight task " + std::to_string(task.id) +
+          " ran on node " + std::to_string(task.report.node) +
+          ", beyond this farm's " + std::to_string(nodes) + " nodes");
+    }
   }
   clock_minutes_ = snapshot.clock_minutes;
   live_workers_ = snapshot.live_workers;
@@ -162,7 +205,11 @@ void DaskCluster::restore(const FarmSnapshot& snapshot) {
   stream_delivered_ = snapshot.stream_delivered;
 }
 
-BatchReport DaskCluster::run_batch(std::size_t num_tasks, const WorkFn& work) {
+BatchReport DaskCluster::run_batch(std::size_t num_tasks, const WorkFn& work,
+                                   const std::vector<std::uint64_t>& eval_seeds) {
+  if (!eval_seeds.empty() && eval_seeds.size() != num_tasks) {
+    throw util::ValueError("run_batch: eval_seeds must be empty or one per task");
+  }
   const std::size_t batch = batches_run_++;
   BatchReport report;
   report.tasks.resize(num_tasks);
@@ -260,7 +307,9 @@ BatchReport DaskCluster::run_batch(std::size_t num_tasks, const WorkFn& work) {
     const bool killed = scripted_kill(task, attempt);
     if (killed || rng_.bernoulli(config_.node_failure_probability)) {
       const double run_cap = std::min(result.sim_minutes, config_.task_timeout_minutes);
-      const double elapsed = killed ? 0.5 * run_cap : rng_.uniform(0.0, run_cap);
+      const double elapsed = kill_elapsed_minutes(
+          killed, run_cap, eval_seeds.empty() ? 0 : eval_seeds[task], task,
+          attempt);
       makespan = std::max(makespan, slot.free_at + elapsed);
       tasks_run_on_node_[slot.node] = static_cast<std::size_t>(-1);
       --live;
@@ -348,7 +397,8 @@ void DaskCluster::stream_begin() {
   stream_free_at_.assign(tasks_run_on_node_.size(), scheduler_delay);
 }
 
-void DaskCluster::stream_submit(std::size_t id, WorkResult result) {
+void DaskCluster::stream_submit(std::size_t id, WorkResult result,
+                                std::uint64_t eval_seed) {
   if (!stream_active_) throw util::ValueError("no stream session active");
 
   // Payload-level scripted faults, keyed (session batch, task id) exactly as
@@ -410,7 +460,8 @@ void DaskCluster::stream_submit(std::size_t id, WorkResult result) {
     if (killed || rng_.bernoulli(config_.node_failure_probability)) {
       const double run_cap =
           std::min(result.sim_minutes, config_.task_timeout_minutes);
-      const double elapsed = killed ? 0.5 * run_cap : rng_.uniform(0.0, run_cap);
+      const double elapsed =
+          kill_elapsed_minutes(killed, run_cap, eval_seed, id, attempt);
       tasks_run_on_node_[node] = kNoNode;
       --live_workers_;
       ++stream_node_failures_;

@@ -175,7 +175,12 @@ class DaskCluster {
   DaskCluster(const ClusterSpec& cluster, const FarmConfig& config);
 
   /// Farms `num_tasks` work items; advances the job clock by the makespan.
-  BatchReport run_batch(std::size_t num_tasks, const WorkFn& work);
+  /// `eval_seeds` (optional, per task) key the seed-derived retry timing: the
+  /// elapsed-before-failure of a randomly killed attempt is a pure function
+  /// of (eval_seed, attempt), not a shared RNG draw, so attempt timing is
+  /// reproducible regardless of completion interleaving.
+  BatchReport run_batch(std::size_t num_tasks, const WorkFn& work,
+                        const std::vector<std::uint64_t>& eval_seeds = {});
 
   /// --- Streaming (steady-state) session -------------------------------
   /// One session is the event-driven analogue of one run_batch() call: it
@@ -193,8 +198,10 @@ class DaskCluster {
   /// report becomes deliverable once the simulated clock reaches its
   /// finish time.  A task submitted now never starts before the latest
   /// delivered completion (causality: the scheduler only learned of the
-  /// free slot then).
-  void stream_submit(std::size_t id, WorkResult result);
+  /// free slot then).  `eval_seed` keys the seed-derived retry timing (see
+  /// run_batch).
+  void stream_submit(std::size_t id, WorkResult result,
+                     std::uint64_t eval_seed = 0);
 
   /// Delivers the earliest-finishing in-flight task (ties broken by id)
   /// and advances the session clock to it; nullopt when none remain.

@@ -1,0 +1,55 @@
+// Seed-derived retry backoff: pure, jittered within its envelope, capped.
+#include <gtest/gtest.h>
+
+#include "hpc/backoff.hpp"
+
+namespace dpho::hpc {
+namespace {
+
+TEST(RetryBackoff, PureFunctionOfSeedAndAttempt) {
+  const double a = retry_backoff_seconds(42, 1, 0.1, 10.0);
+  const double b = retry_backoff_seconds(42, 1, 0.1, 10.0);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(RetryBackoff, JitterStaysInsideTheEnvelope) {
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    for (std::size_t attempt = 1; attempt <= 4; ++attempt) {
+      const double base = 0.1;
+      const double exponential = base * std::ldexp(1.0, static_cast<int>(attempt) - 1);
+      const double delay = retry_backoff_seconds(seed, attempt, base, 1e9);
+      EXPECT_GE(delay, 0.75 * exponential);
+      EXPECT_LE(delay, 1.25 * exponential);
+    }
+  }
+}
+
+TEST(RetryBackoff, GrowsExponentiallyOnAverageAndRespectsTheCap) {
+  // With a 25% jitter band, attempt N+1's minimum (0.75 * 2^N) exceeds
+  // attempt N's maximum (1.25 * 2^(N-1)) for every N: strict growth.
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    EXPECT_GT(retry_backoff_seconds(seed, 2, 0.1, 1e9),
+              retry_backoff_seconds(seed, 1, 0.1, 1e9));
+    EXPECT_LE(retry_backoff_seconds(seed, 30, 0.1, 2.5), 2.5);
+  }
+}
+
+TEST(RetryBackoff, DifferentSeedsDesynchronizeRetries) {
+  // The point of the jitter: two tasks failing together do not retry in
+  // lockstep.
+  EXPECT_NE(retry_backoff_seconds(1, 1, 0.1, 10.0),
+            retry_backoff_seconds(2, 1, 0.1, 10.0));
+}
+
+TEST(RetryBackoff, ZeroBaseDisablesBackoff) {
+  EXPECT_DOUBLE_EQ(retry_backoff_seconds(7, 3, 0.0, 10.0), 0.0);
+}
+
+TEST(RetryBackoff, HugeAttemptIndexDoesNotOverflow) {
+  const double delay = retry_backoff_seconds(7, 1u << 20, 0.1, 3.0);
+  EXPECT_TRUE(std::isfinite(delay));
+  EXPECT_LE(delay, 3.0);
+}
+
+}  // namespace
+}  // namespace dpho::hpc

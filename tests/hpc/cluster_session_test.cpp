@@ -1,0 +1,149 @@
+// SimClusterSession is a zero-cost adapter over DaskCluster: identical
+// reports, identical clock, identical snapshots -- the engine's behavior is
+// bit-for-bit unchanged by the ClusterSession seam.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hpc/cluster_factory.hpp"
+#include "hpc/cluster_session.hpp"
+#include "util/error.hpp"
+
+namespace dpho::hpc {
+namespace {
+
+WorkResult payload(const TaskSpec& spec) {
+  WorkResult result;
+  result.fitness = {static_cast<double>(spec.id),
+                    static_cast<double>(spec.eval_seed % 97)};
+  result.sim_minutes = 10.0 + static_cast<double>(spec.id);
+  return result;
+}
+
+std::vector<TaskSpec> make_specs(std::size_t count) {
+  std::vector<TaskSpec> specs(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    specs[i].id = i;
+    specs[i].genome = {static_cast<double>(i), 0.5};
+    specs[i].eval_seed = 1000 + i;
+    specs[i].uuid = "uuid-" + std::to_string(i);
+  }
+  return specs;
+}
+
+FarmConfig small_farm(std::size_t nodes = 4) {
+  FarmConfig farm;
+  farm.job.nodes = nodes;
+  farm.seed = 7;
+  return farm;
+}
+
+TEST(SimClusterSession, RunBatchMatchesTheFarmExactly) {
+  const ClusterSpec cluster = ClusterSpec::testbed(4);
+  DaskCluster direct(cluster, small_farm());
+  SimClusterSession session(cluster, small_farm());
+
+  const std::vector<TaskSpec> specs = make_specs(8);
+  std::vector<std::uint64_t> seeds;
+  for (const TaskSpec& spec : specs) seeds.push_back(spec.eval_seed);
+
+  const BatchReport expected = direct.run_batch(
+      specs.size(), [&](std::size_t task) { return payload(specs[task]); },
+      seeds);
+  const BatchReport actual = session.run_batch(specs, payload);
+
+  ASSERT_EQ(actual.tasks.size(), expected.tasks.size());
+  for (std::size_t i = 0; i < expected.tasks.size(); ++i) {
+    EXPECT_EQ(actual.tasks[i].status, expected.tasks[i].status) << i;
+    EXPECT_EQ(actual.tasks[i].fitness, expected.tasks[i].fitness) << i;
+    EXPECT_DOUBLE_EQ(actual.tasks[i].finish_minute,
+                     expected.tasks[i].finish_minute)
+        << i;
+    EXPECT_EQ(actual.tasks[i].node, expected.tasks[i].node) << i;
+  }
+  EXPECT_DOUBLE_EQ(actual.makespan_minutes, expected.makespan_minutes);
+  EXPECT_DOUBLE_EQ(session.clock_minutes(), direct.clock_minutes());
+  EXPECT_EQ(session.live_workers(), direct.live_workers());
+  EXPECT_EQ(session.batches_run(), direct.batches_run());
+}
+
+TEST(SimClusterSession, RunBatchRejectsMisnumberedSpecs) {
+  SimClusterSession session(ClusterSpec::testbed(4), small_farm());
+  std::vector<TaskSpec> specs = make_specs(3);
+  specs[1].id = 7;  // ids must be 0..n-1 (the farm indexes tasks by position)
+  EXPECT_THROW(session.run_batch(specs, payload), util::ValueError);
+}
+
+TEST(SimClusterSession, StreamSessionMatchesTheFarm) {
+  const ClusterSpec cluster = ClusterSpec::testbed(3);
+  DaskCluster direct(cluster, small_farm(3));
+  SimClusterSession session(cluster, small_farm(3));
+  const std::vector<TaskSpec> specs = make_specs(6);
+
+  direct.stream_begin();
+  session.stream_begin();
+  EXPECT_TRUE(session.stream_active());
+  for (const TaskSpec& spec : specs) {
+    direct.stream_submit(spec.id, payload(spec), spec.eval_seed);
+    session.stream_submit(spec, payload);
+  }
+  EXPECT_EQ(session.stream_pending(), direct.stream_pending());
+  for (;;) {
+    const auto expected = direct.stream_next();
+    const auto actual = session.stream_next();
+    ASSERT_EQ(actual.has_value(), expected.has_value());
+    if (!actual) break;
+    EXPECT_EQ(actual->id, expected->id);
+    EXPECT_EQ(actual->report.fitness, expected->report.fitness);
+    EXPECT_DOUBLE_EQ(actual->report.finish_minute,
+                     expected->report.finish_minute);
+  }
+  const BatchReport expected_report = direct.stream_end();
+  const BatchReport actual_report = session.stream_end();
+  EXPECT_DOUBLE_EQ(actual_report.makespan_minutes,
+                   expected_report.makespan_minutes);
+  EXPECT_DOUBLE_EQ(session.clock_minutes(), direct.clock_minutes());
+}
+
+TEST(SimClusterSession, RestoreNeverReportsLostTasks) {
+  SimClusterSession source(ClusterSpec::testbed(3), small_farm(3));
+  source.stream_begin();
+  const std::vector<TaskSpec> specs = make_specs(4);
+  for (const TaskSpec& spec : specs) source.stream_submit(spec, payload);
+  // Half-drained session: two completions delivered, two still in flight.
+  ASSERT_TRUE(source.stream_next().has_value());
+  ASSERT_TRUE(source.stream_next().has_value());
+  const FarmSnapshot snapshot = source.snapshot();
+
+  SimClusterSession target(ClusterSpec::testbed(3), small_farm(3));
+  // Sim snapshots carry fully resolved reports, so nothing is ever lost.
+  EXPECT_TRUE(target.restore(snapshot).empty());
+  std::size_t drained = 0;
+  while (target.stream_next()) ++drained;
+  EXPECT_EQ(drained, 2u);
+}
+
+TEST(ClusterFactory, SelectsBackendsByName) {
+  EXPECT_EQ(cluster_backend_from_string("sim"), ClusterBackendKind::kSim);
+  EXPECT_EQ(cluster_backend_from_string("process"),
+            ClusterBackendKind::kProcess);
+  EXPECT_THROW(cluster_backend_from_string("dask"), util::ParseError);
+  EXPECT_EQ(to_string(ClusterBackendKind::kSim), "sim");
+  EXPECT_EQ(to_string(ClusterBackendKind::kProcess), "process");
+
+  ClusterBackendConfig backend;  // defaults to the simulator
+  const auto session = make_cluster_session(ClusterSpec::testbed(2),
+                                            small_farm(2), backend);
+  EXPECT_EQ(session->backend_name(), "sim");
+}
+
+TEST(ClusterFactory, ProcessBackendRequiresAWorkerBinary) {
+  ClusterBackendConfig backend;
+  backend.kind = ClusterBackendKind::kProcess;
+  EXPECT_THROW(
+      make_cluster_session(ClusterSpec::testbed(2), small_farm(2), backend),
+      util::ValueError);
+}
+
+}  // namespace
+}  // namespace dpho::hpc

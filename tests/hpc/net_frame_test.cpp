@@ -1,0 +1,210 @@
+// Length-prefixed framing over loopback TCP: round trips, incremental
+// decoding, protocol-violation handling, and listener rebind.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+
+#include "hpc/net/frame.hpp"
+#include "hpc/net/wire.hpp"
+#include "util/json.hpp"
+
+namespace dpho::hpc::net {
+namespace {
+
+/// Polls accept until the pending connection shows up (connect is racy with
+/// accept on loopback, but only by microseconds).
+int accept_soon(const Listener& listener) {
+  for (int i = 0; i < 1000; ++i) {
+    const int fd = listener.accept_nonblocking();
+    if (fd >= 0) return fd;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return -1;
+}
+
+TEST(NetFrame, RoundTripsFramesBothWays) {
+  Listener listener;
+  listener.open();
+  ASSERT_GT(listener.port(), 0);
+
+  const int client = connect_loopback(listener.port());
+  const int server = accept_soon(listener);
+  ASSERT_GE(server, 0);
+
+  // Client -> server through the non-blocking FrameReader.
+  ASSERT_TRUE(write_frame(client, "{\"t\":\"hello\"}"));
+  FrameReader reader;
+  std::optional<std::string> frame;
+  for (int i = 0; i < 1000 && !frame; ++i) {
+    reader.drain(server);
+    frame = reader.next();
+    if (!frame) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(*frame, "{\"t\":\"hello\"}");
+
+  // Server -> client through the blocking read_frame (the worker's view).
+  ASSERT_TRUE(write_frame(server, "{\"t\":\"init\"}"));
+  const std::optional<std::string> reply = read_frame(client);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(*reply, "{\"t\":\"init\"}");
+
+  ::close(client);
+  ::close(server);
+}
+
+TEST(NetFrame, ReaderReassemblesSplitFrames) {
+  Listener listener;
+  listener.open();
+  const int client = connect_loopback(listener.port());
+  const int server = accept_soon(listener);
+  ASSERT_GE(server, 0);
+
+  // Hand-build two frames and trickle them in three arbitrary cuts; the
+  // reader must reassemble both regardless of packetization.
+  const std::string payload_a = "{\"a\":1}";
+  const std::string payload_b = "{\"b\":2}";
+  std::string bytes;
+  for (const std::string& payload : {payload_a, payload_b}) {
+    const auto size = static_cast<std::uint32_t>(payload.size());
+    bytes.push_back(static_cast<char>((size >> 24) & 0xFF));
+    bytes.push_back(static_cast<char>((size >> 16) & 0xFF));
+    bytes.push_back(static_cast<char>((size >> 8) & 0xFF));
+    bytes.push_back(static_cast<char>(size & 0xFF));
+    bytes += payload;
+  }
+  FrameReader reader;
+  const std::size_t cuts[] = {2, 9, bytes.size()};
+  std::size_t sent = 0;
+  for (const std::size_t cut : cuts) {
+    ASSERT_EQ(::send(client, bytes.data() + sent, cut - sent, 0),
+              static_cast<ssize_t>(cut - sent));
+    sent = cut;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    reader.drain(server);
+  }
+  EXPECT_EQ(reader.next().value_or(""), payload_a);
+  EXPECT_EQ(reader.next().value_or(""), payload_b);
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_FALSE(reader.closed());
+
+  ::close(client);
+  ::close(server);
+}
+
+TEST(NetFrame, PeerCloseIsReportedOnce) {
+  Listener listener;
+  listener.open();
+  const int client = connect_loopback(listener.port());
+  const int server = accept_soon(listener);
+  ASSERT_GE(server, 0);
+
+  ASSERT_TRUE(write_frame(client, "{\"t\":\"bye\"}"));
+  ::close(client);
+  FrameReader reader;
+  bool open = true;
+  for (int i = 0; i < 1000 && open; ++i) {
+    open = reader.drain(server);
+    if (open) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_FALSE(open);
+  EXPECT_TRUE(reader.closed());
+  // The frame that arrived before the close is still delivered.
+  EXPECT_EQ(reader.next().value_or(""), "{\"t\":\"bye\"}");
+  ::close(server);
+}
+
+TEST(NetFrame, OversizedLengthPrefixIsAProtocolViolation) {
+  Listener listener;
+  listener.open();
+  const int client = connect_loopback(listener.port());
+  const int server = accept_soon(listener);
+  ASSERT_GE(server, 0);
+
+  const char poison[4] = {0x7F, 0x7F, 0x7F, 0x7F};  // ~2 GiB "payload"
+  ASSERT_EQ(::send(client, poison, sizeof(poison), 0), 4);
+  FrameReader reader;
+  bool open = true;
+  for (int i = 0; i < 1000 && open; ++i) {
+    open = reader.drain(server);
+    if (open) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_FALSE(open);
+  ::close(client);
+  ::close(server);
+}
+
+TEST(NetFrame, RebindMovesToAFreshPort) {
+  Listener listener;
+  listener.open();
+  const int client = connect_loopback(listener.port());
+  const int server = accept_soon(listener);
+  ASSERT_GE(server, 0);
+
+  listener.rebind();
+  EXPECT_TRUE(listener.is_open());
+  // Established connections survive the restart; only the accept queue dies.
+  ASSERT_TRUE(write_frame(client, "{\"t\":\"hb\"}"));
+  FrameReader reader;
+  std::optional<std::string> frame;
+  for (int i = 0; i < 1000 && !frame; ++i) {
+    reader.drain(server);
+    frame = reader.next();
+    if (!frame) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(frame.value_or(""), "{\"t\":\"hb\"}");
+  // And new connections reach the new port.
+  const int late = connect_loopback(listener.port());
+  EXPECT_GE(accept_soon(listener), 0);
+  ::close(late);
+  ::close(client);
+  ::close(server);
+}
+
+TEST(NetWire, SeedsSurviveTheHexEncoding) {
+  for (const std::uint64_t seed :
+       {std::uint64_t{0}, std::uint64_t{1}, ~std::uint64_t{0},
+        std::uint64_t{0x0123456789ABCDEF}}) {
+    EXPECT_EQ(decode_u64(encode_u64(seed)), seed);
+  }
+}
+
+TEST(NetWire, TaskFramesRoundTrip) {
+  TaskSpec spec;
+  spec.id = 17;
+  spec.genome = {0.25, -1.5, 3.0};
+  spec.eval_seed = 0xDEADBEEFCAFEF00Dull;
+  spec.uuid = "0123456789abcdef0123456789abcdef";
+  const util::Json frame = encode_task(spec, 0.125);
+  EXPECT_EQ(message_type(frame), kMsgTask);
+  const TaskSpec back = decode_task(frame);
+  EXPECT_EQ(back.id, spec.id);
+  EXPECT_EQ(back.genome, spec.genome);
+  EXPECT_EQ(back.eval_seed, spec.eval_seed);
+  EXPECT_EQ(back.uuid, spec.uuid);
+  EXPECT_DOUBLE_EQ(task_straggler_seconds(frame), 0.125);
+}
+
+TEST(NetWire, ResultFramesRoundTrip) {
+  WorkResult result;
+  result.fitness = {0.01, 0.05};
+  result.sim_minutes = 42.5;
+  result.training_error = false;
+  result.cause = FailureCause::kNone;
+  result.attempts = 2;
+  const util::Json frame = encode_result(9, result);
+  EXPECT_EQ(message_type(frame), kMsgResult);
+  EXPECT_EQ(result_id(frame), 9u);
+  const WorkResult back = decode_result(frame);
+  EXPECT_EQ(back.fitness, result.fitness);
+  EXPECT_DOUBLE_EQ(back.sim_minutes, result.sim_minutes);
+  EXPECT_EQ(back.attempts, result.attempts);
+  EXPECT_EQ(back.cause, result.cause);
+}
+
+}  // namespace
+}  // namespace dpho::hpc::net

@@ -4,6 +4,7 @@
 // and every failure mode reports its distinct cause.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 
 #include "core/evaluator.hpp"
@@ -127,6 +128,45 @@ TEST_F(SubprocessFaults, WatchdogKillsHungChild) {
   EXPECT_EQ(result.cause, FailureCause::kHungProcess);
   EXPECT_EQ(result.attempts, 2u);  // hangs are transient: retried once
   EXPECT_GE(result.runtime_minutes, 1e9);
+}
+
+TEST_F(SubprocessFaults, WatchdogEscalatesToSigkillWhenSigtermIsIgnored) {
+  // A child that traps SIGTERM (a trainer stuck in uninterruptible I/O, or a
+  // shell ignoring the signal) must still die: the watchdog escalates to
+  // SIGKILL after sigterm_grace_seconds.
+  const auto bin = fake_trainer("dp_block_term.sh", "trap '' TERM\nsleep 30");
+  SubprocessEvalOptions opts = options(bin);
+  opts.wall_limit_seconds = 0.1;
+  opts.watchdog_grace_seconds = 0.1;
+  opts.sigterm_grace_seconds = 0.2;
+  opts.max_attempts = 1;
+  const auto start = std::chrono::steady_clock::now();
+  const EvalOutcome result = evaluate(opts, 9);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_EQ(result.cause, FailureCause::kHungProcess);
+  EXPECT_EQ(result.attempts, 1u);
+  EXPECT_GE(result.runtime_minutes, 1e9);
+  // Without the SIGKILL escalation this would block on the 30 s sleep.
+  EXPECT_LT(elapsed, 10.0);
+}
+
+TEST_F(SubprocessFaults, RetryBackoffIsSeededNotDoubled) {
+  // Two evaluators retrying the same transient failure take their backoff
+  // from hpc::retry_backoff_seconds(eval_seed, attempt): reproducible and
+  // desynchronized, never a shared doubling counter.
+  const auto bin = fake_trainer("dp_missing2.sh", "exit 0");
+  SubprocessEvalOptions opts = options(bin);
+  opts.retry_backoff_seconds = 0.01;
+  opts.retry_backoff_cap_seconds = 0.02;  // cap keeps the test fast
+  const SubprocessEvaluator evaluator(opts);
+  util::Rng rng(10);
+  const ea::Individual individual = ea::Individual::create(kValidGenome, rng);
+  const EvalOutcome a = evaluator.evaluate(individual, 1234);
+  const EvalOutcome b = evaluator.evaluate(individual, 1234);
+  EXPECT_EQ(a.cause, FailureCause::kMissingArtifact);
+  EXPECT_EQ(a.attempts, b.attempts);  // same seed -> same retry schedule
 }
 
 TEST_F(SubprocessFaults, MissingBinaryReportsNonZeroExit) {
