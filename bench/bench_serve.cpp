@@ -1,0 +1,255 @@
+// dp_serve throughput/latency: an in-process serve::Server driven by a
+// blocking loopback client across a batch-size x worker-thread x cache-size
+// sweep, with requests alternating over the served models so small caches
+// actually thrash.
+//
+// Emits BENCH_serve.json:
+//   {"bench": "serve", "models": M, "atoms": A, "requests_per_point": R,
+//    "results": [{"batch": B, "threads": T, "cache": C, "requests": R,
+//                 "frames_per_sec": X, "mean_latency_ms": Y,
+//                 "cache_hit_rate": Z}, ...],
+//    "metrics": {"schema": "dpho.metrics.v1", ...}}
+//
+// The `metrics` block is the process-wide obs registry snapshot, so the
+// serve.* counters/histograms (batch sizes, queue waits, request timings)
+// land in the artifact exactly as a daemon run writes them to
+// metrics_summary.json.
+//
+// Usage: bench_serve [--smoke] [--out FILE]
+//   --smoke  reduced sweep (CI-friendly); also re-reads the artifact,
+//            validates the schema and the serve.* instrumentation, and
+//            exits nonzero on any violation.
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "dp/archive.hpp"
+#include "dp/model_spec.hpp"
+#include "hpc/net/frame.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "util/fs.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dpho;
+
+constexpr std::size_t kAtoms = 8;
+constexpr double kBox = 7.0;
+
+struct SweepPoint {
+  std::size_t batch = 1;
+  std::size_t threads = 1;
+  std::size_t cache = 1;
+  std::size_t requests = 0;
+  double frames_per_sec = 0.0;
+  double mean_latency_ms = 0.0;
+  double cache_hit_rate = 0.0;
+};
+
+dp::DeepPotModel tiny_model(std::uint64_t seed) {
+  dp::ModelSpec spec;
+  spec.descriptor.rcut = 3.2;
+  spec.descriptor.rcut_smth = 2.0;
+  spec.descriptor.neuron = {4, 6};
+  spec.descriptor.axis_neuron = 2;
+  spec.descriptor.sel = 16;
+  spec.fitting.neuron = {8};
+  util::Rng rng(seed);
+  std::vector<md::Species> types(kAtoms);
+  for (md::Species& t : types) {
+    t = static_cast<md::Species>(rng.uniform_int(0, 2));
+  }
+  return dp::DeepPotModel(spec, std::move(types), -1.5, seed);
+}
+
+md::Frame random_frame(util::Rng& rng) {
+  md::Frame frame;
+  frame.box_length = kBox;
+  frame.positions.resize(kAtoms);
+  for (md::Vec3& p : frame.positions) {
+    p = {rng.uniform(0.0, kBox), rng.uniform(0.0, kBox),
+         rng.uniform(0.0, kBox)};
+  }
+  return frame;
+}
+
+/// One server configuration, measured over `requests` blocking round trips
+/// that alternate across the served models.
+SweepPoint measure(const std::filesystem::path& archive_dir,
+                   std::size_t models, std::size_t batch, std::size_t threads,
+                   std::size_t cache, std::size_t requests) {
+  serve::Server server({.archive_dir = archive_dir,
+                        .cache_capacity = cache,
+                        .threads = threads});
+  server.start();
+  const int fd = hpc::net::connect_loopback(server.port());
+
+  util::Rng rng(batch * 1000 + threads * 10 + cache);
+  double total_latency = 0.0;
+  const auto started = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < requests; ++r) {
+    serve::EvalRequest request;
+    request.id = r + 1;
+    request.model = "m" + std::to_string(r % models);
+    request.want_forces = true;
+    for (std::size_t f = 0; f < batch; ++f) {
+      request.frames.push_back(random_frame(rng));
+    }
+    const auto sent = std::chrono::steady_clock::now();
+    if (!hpc::net::write_frame(fd, serve::encode_eval_request(request).dump())) {
+      std::fprintf(stderr, "bench_serve: daemon closed the connection\n");
+      std::exit(1);
+    }
+    const std::optional<std::string> reply = hpc::net::read_frame(fd);
+    total_latency +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - sent)
+            .count();
+    if (!reply ||
+        serve::message_type(util::Json::parse(*reply)) != serve::kMsgResult) {
+      std::fprintf(stderr, "bench_serve: request %zu was not answered\n", r + 1);
+      std::exit(1);
+    }
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+  ::close(fd);
+
+  SweepPoint point{batch, threads, cache, requests};
+  point.frames_per_sec =
+      static_cast<double>(requests * batch) / std::max(elapsed, 1e-9);
+  point.mean_latency_ms =
+      1e3 * total_latency / static_cast<double>(std::max<std::size_t>(1, requests));
+  point.cache_hit_rate = server.cache().hit_rate();
+  server.stop();
+  return point;
+}
+
+bool validate_schema(const std::filesystem::path& path) {
+  const util::Json doc = util::Json::parse(util::read_file(path));
+  if (!doc.is_object()) return false;
+  for (const char* key :
+       {"bench", "models", "atoms", "requests_per_point", "results", "metrics"}) {
+    if (!doc.contains(key)) {
+      std::fprintf(stderr, "BENCH_serve.json: missing key %s\n", key);
+      return false;
+    }
+  }
+  if (!doc.at("results").is_array() || doc.at("results").as_array().empty()) {
+    std::fprintf(stderr, "BENCH_serve.json: empty results\n");
+    return false;
+  }
+  for (const util::Json& entry : doc.at("results").as_array()) {
+    if (!entry.is_object()) return false;
+    for (const char* key : {"batch", "threads", "cache", "requests",
+                            "frames_per_sec", "mean_latency_ms",
+                            "cache_hit_rate"}) {
+      if (!entry.contains(key)) {
+        std::fprintf(stderr, "BENCH_serve.json: result missing key %s\n", key);
+        return false;
+      }
+    }
+    if (entry.number_or("frames_per_sec", 0.0) <= 0.0) {
+      std::fprintf(stderr, "BENCH_serve.json: non-positive throughput\n");
+      return false;
+    }
+  }
+  if (!obs::is_metrics_document(doc.at("metrics"))) {
+    std::fprintf(stderr, "BENCH_serve.json: metrics block is not a valid"
+                         " dpho.metrics.v1 document\n");
+    return false;
+  }
+  // The daemon's own instrumentation must have seen the whole sweep.
+  const util::Json& counters = doc.at("metrics").at("deterministic").at("counters");
+  if (counters.number_or("serve.requests", 0.0) <= 0.0 ||
+      counters.number_or("serve.replies", 0.0) !=
+          counters.number_or("serve.requests", 0.0)) {
+    std::fprintf(stderr, "BENCH_serve.json: serve.* counters do not account"
+                         " for every request\n");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::filesystem::path out = "BENCH_serve.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out = argv[++i];
+  }
+
+  const std::size_t models = 3;
+  const std::size_t requests = smoke ? 8 : 64;
+  const std::vector<std::size_t> batches = smoke ? std::vector<std::size_t>{1, 4}
+                                                 : std::vector<std::size_t>{1, 4, 16};
+  const std::vector<std::size_t> threads = smoke ? std::vector<std::size_t>{1, 2}
+                                                 : std::vector<std::size_t>{1, 2, 4};
+  const std::vector<std::size_t> caches = smoke ? std::vector<std::size_t>{1}
+                                                : std::vector<std::size_t>{1, 3};
+
+  try {
+    util::TempDir dir("bench-serve");
+    const std::filesystem::path archive_dir = dir.path() / "archive";
+    dp::ModelArchive archive = dp::ModelArchive::create(archive_dir);
+    for (std::size_t i = 0; i < models; ++i) {
+      archive.add("m" + std::to_string(i), tiny_model(i + 1),
+                  {{"rmse_f_val", 0.1 * static_cast<double>(i + 1)}},
+                  i == 0 ? 0 : 1);
+    }
+
+    std::vector<SweepPoint> points;
+    for (const std::size_t cache : caches) {
+      for (const std::size_t thread_count : threads) {
+        for (const std::size_t batch : batches) {
+          points.push_back(measure(archive_dir, models, batch, thread_count,
+                                   cache, requests));
+          const SweepPoint& p = points.back();
+          std::printf("bench_serve: batch=%2zu threads=%zu cache=%zu"
+                      "  %8.0f frames/s  %7.3f ms  hit_rate=%.2f\n",
+                      p.batch, p.threads, p.cache, p.frames_per_sec,
+                      p.mean_latency_ms, p.cache_hit_rate);
+        }
+      }
+    }
+
+    util::Json doc;
+    doc["bench"] = std::string("serve");
+    doc["models"] = models;
+    doc["atoms"] = kAtoms;
+    doc["requests_per_point"] = requests;
+    util::JsonArray results;
+    for (const SweepPoint& p : points) {
+      util::Json entry;
+      entry["batch"] = p.batch;
+      entry["threads"] = p.threads;
+      entry["cache"] = p.cache;
+      entry["requests"] = p.requests;
+      entry["frames_per_sec"] = p.frames_per_sec;
+      entry["mean_latency_ms"] = p.mean_latency_ms;
+      entry["cache_hit_rate"] = p.cache_hit_rate;
+      results.push_back(std::move(entry));
+    }
+    doc["results"] = std::move(results);
+    doc["metrics"] = obs::metrics().to_json();
+    util::write_file(out, doc.dump(2) + "\n");
+    std::printf("bench_serve: wrote %s\n", out.string().c_str());
+
+    if (smoke && !validate_schema(out)) return 1;
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_serve: %s\n", e.what());
+    return 1;
+  }
+}

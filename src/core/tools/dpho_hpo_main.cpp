@@ -58,12 +58,6 @@ int main(int argc, char** argv) {
       .add_flag("--async", "shorthand for --mode async", false)
       .add_flag("--runtime-objective",
                 "minimize training runtime as a third objective", false)
-      .add_flag("--cluster",
-                "evaluation backend: sim (default) or process (real workers)")
-      .add_flag("--workers",
-                "process cluster: worker subprocesses, default 0 (= nodes)")
-      .add_flag("--worker-binary",
-                "process cluster: dpho_worker path, default next to dpho_hpo")
       .add_flag("--failure-rate", "node-failure probability per task, default 5e-4")
       .add_flag("--fault-plan", "JSON file of scripted fault events")
       .add_flag("--trace-dir", "write per-batch schedule traces here")
@@ -73,15 +67,18 @@ int main(int argc, char** argv) {
                 "resume interrupted runs from --checkpoint-dir", false)
       .add_flag("--checkpoint-every",
                 "async mode: completions between checkpoints, default 1")
-      .add_flag("--threads", "real threads for payload evaluation, default 2")
-      .add_flag("--metrics-out",
-                "write the JSONL event timeline here (enables metrics export)")
-      .add_flag("--metrics-interval",
-                "waves between engine.metrics snapshots, default 0 (off)")
       .add_flag("--quiet", "suppress the analysis printout", false)
       .add_flag("--help", "show this message", false);
+  // Shared execution-backend flags (--cluster/--workers/--worker-binary/
+  // --threads/--metrics-out/--metrics-interval): same names, defaults and
+  // error messages as dp_train and dp_serve.
+  const util::BackendFlagOptions backend_options{.cluster = true,
+                                                 .default_threads = 2};
+  util::add_backend_flags(args, backend_options);
+  util::BackendFlags backend;
   try {
     args.parse(argc, argv);
+    backend = util::parse_backend_flags(args, backend_options);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n%s", e.what(), args.usage("dpho_hpo").c_str());
     return 2;
@@ -128,26 +125,17 @@ int main(int argc, char** argv) {
   config.driver.generations = generations;
   config.driver.include_runtime_objective = args.has("--runtime-objective");
   config.driver.farm.node_failure_probability = args.get("--failure-rate", 5e-4);
-  config.driver.farm.real_threads =
-      static_cast<std::size_t>(args.get("--threads", std::int64_t{2}));
-  config.driver.metrics_interval = static_cast<std::size_t>(
-      args.get("--metrics-interval", std::int64_t{0}));
+  config.driver.farm.real_threads = backend.threads;
+  config.driver.metrics_interval = backend.metrics_interval;
 
-  try {
-    config.driver.cluster_backend.kind =
-        hpc::cluster_backend_from_string(args.get("--cluster", std::string("sim")));
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "--cluster: %s\n", e.what());
-    return 2;
-  }
+  config.driver.cluster_backend.kind =
+      hpc::cluster_backend_from_string(backend.cluster);
   if (config.driver.cluster_backend.kind == hpc::ClusterBackendKind::kProcess) {
     hpc::ProcessClusterConfig& process = config.driver.cluster_backend.process;
-    process.worker_binary =
-        args.has("--worker-binary")
-            ? std::filesystem::path(args.get("--worker-binary", std::string()))
-            : default_worker_binary();
-    process.num_workers =
-        static_cast<std::size_t>(args.get("--workers", std::int64_t{0}));
+    process.worker_binary = backend.worker_binary.empty()
+                                ? default_worker_binary()
+                                : std::filesystem::path(backend.worker_binary);
+    process.num_workers = backend.workers;
     // Ship the same backend configuration the local evaluator uses, so a
     // process-cluster run reproduces the sim run's fitness bit for bit.
     process.eval_config_json =
@@ -157,8 +145,8 @@ int main(int argc, char** argv) {
   // The run-wide observability layer: --metrics-out starts the JSONL event
   // timeline; the registry summary lands next to the archive after the run.
   std::optional<std::filesystem::path> metrics_out;
-  if (args.has("--metrics-out")) {
-    metrics_out = args.get("--metrics-out", std::string("metrics.jsonl"));
+  if (!backend.metrics_out.empty()) {
+    metrics_out = backend.metrics_out;
     try {
       obs::events().open(*metrics_out);
     } catch (const std::exception& e) {

@@ -1,60 +1,17 @@
 #include "dp/config.hpp"
 
+#include "dp/model_spec.hpp"
 #include "util/error.hpp"
 
 namespace dpho::dp {
 
-namespace {
-
-std::vector<std::size_t> parse_widths(const util::Json& json) {
-  std::vector<std::size_t> widths;
-  for (const util::Json& item : json.as_array()) {
-    const std::int64_t w = item.as_int();
-    if (w <= 0) throw util::ValueError("network widths must be positive");
-    widths.push_back(static_cast<std::size_t>(w));
-  }
-  if (widths.empty()) throw util::ValueError("network needs at least one layer");
-  return widths;
-}
-
-util::Json widths_to_json(const std::vector<std::size_t>& widths) {
-  util::JsonArray array;
-  for (std::size_t w : widths) array.emplace_back(w);
-  return util::Json(std::move(array));
-}
-
-}  // namespace
-
 TrainInput TrainInput::from_json(const util::Json& json) {
   TrainInput input;
   if (json.contains("model")) {
-    const util::Json& model = json.at("model");
-    if (model.contains("descriptor")) {
-      const util::Json& desc = model.at("descriptor");
-      input.descriptor.rcut = desc.number_or("rcut", input.descriptor.rcut);
-      input.descriptor.rcut_smth =
-          desc.number_or("rcut_smth", input.descriptor.rcut_smth);
-      if (desc.contains("neuron")) input.descriptor.neuron = parse_widths(desc.at("neuron"));
-      if (desc.contains("axis_neuron")) {
-        input.descriptor.axis_neuron =
-            static_cast<std::size_t>(desc.at("axis_neuron").as_int());
-      }
-      if (desc.contains("sel")) {
-        input.descriptor.sel = static_cast<std::size_t>(desc.at("sel").as_int());
-      }
-      if (desc.contains("activation_function")) {
-        input.descriptor.activation =
-            nn::activation_from_string(desc.at("activation_function").as_string());
-      }
-    }
-    if (model.contains("fitting_net")) {
-      const util::Json& fit = model.at("fitting_net");
-      if (fit.contains("neuron")) input.fitting.neuron = parse_widths(fit.at("neuron"));
-      if (fit.contains("activation_function")) {
-        input.fitting.activation =
-            nn::activation_from_string(fit.at("activation_function").as_string());
-      }
-    }
+    // The architecture block is ModelSpec's domain; share its parser.
+    const ModelSpec spec = ModelSpec::from_json(json.at("model"));
+    input.descriptor = spec.descriptor;
+    input.fitting = spec.fitting;
   }
   if (json.contains("learning_rate")) {
     const util::Json& lr = json.at("learning_rate");
@@ -107,17 +64,9 @@ TrainInput TrainInput::from_json_text(const std::string& text) {
 
 util::Json TrainInput::to_json() const {
   util::Json json;
-  util::Json& desc = json["model"]["descriptor"];
-  desc["type"] = "se_e2_a";
-  desc["rcut"] = descriptor.rcut;
-  desc["rcut_smth"] = descriptor.rcut_smth;
-  desc["neuron"] = widths_to_json(descriptor.neuron);
-  desc["axis_neuron"] = descriptor.axis_neuron;
-  desc["sel"] = descriptor.sel;
-  desc["activation_function"] = nn::to_string(descriptor.activation);
-  util::Json& fit = json["model"]["fitting_net"];
-  fit["neuron"] = widths_to_json(fitting.neuron);
-  fit["activation_function"] = nn::to_string(fitting.activation);
+  const util::Json spec_json = ModelSpec{descriptor, fitting}.to_json();
+  json["model"]["descriptor"] = spec_json.at("descriptor");
+  json["model"]["fitting_net"] = spec_json.at("fitting");
   util::Json& lr = json["learning_rate"];
   lr["type"] = "exp";
   lr["start_lr"] = learning_rate.start_lr;
@@ -139,14 +88,7 @@ util::Json TrainInput::to_json() const {
 }
 
 void TrainInput::validate() const {
-  if (!(descriptor.rcut_smth > 0.0) || !(descriptor.rcut_smth < descriptor.rcut)) {
-    throw util::ValueError("config: require 0 < rcut_smth < rcut");
-  }
-  if (descriptor.axis_neuron == 0 ||
-      descriptor.axis_neuron > descriptor.neuron.back()) {
-    throw util::ValueError("config: axis_neuron must be in [1, last embedding width]");
-  }
-  if (descriptor.sel == 0) throw util::ValueError("config: sel must be positive");
+  ModelSpec{descriptor, fitting}.validate();
   if (learning_rate.start_lr <= 0.0 || learning_rate.stop_lr <= 0.0) {
     throw util::ValueError("config: learning rates must be positive");
   }

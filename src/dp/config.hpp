@@ -26,12 +26,16 @@ struct DescriptorConfig {
   std::size_t axis_neuron = 4;  // M2: columns kept for the axis filter
   std::size_t sel = 128;        // expected max neighbors; descriptor 1/sel norm
   nn::Activation activation = nn::Activation::kTanh;
+
+  bool operator==(const DescriptorConfig&) const = default;
 };
 
 /// Fitting network settings.
 struct FittingConfig {
   std::vector<std::size_t> neuron = {240, 240, 240};
   nn::Activation activation = nn::Activation::kTanh;
+
+  bool operator==(const FittingConfig&) const = default;
 };
 
 /// Learning-rate block.

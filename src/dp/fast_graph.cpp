@@ -49,7 +49,7 @@ void build_frame_geometry(const DeepPotModel& model, const md::Frame& frame,
   if (topology.entries.size() != n) {
     throw util::ValueError("fast_graph: topology atom count does not match model");
   }
-  const double rcut = model.config().descriptor.rcut;
+  const double rcut = model.spec().descriptor.rcut;
   out.num_atoms = n;
 
   // Count pairs per embedding net, prefix-sum into offsets, then fill.  The
@@ -90,8 +90,8 @@ void build_frame_geometry(const DeepPotModel& model, const md::Frame& frame,
 }
 
 FastGraph::FastGraph(const DeepPotModel& model) : model_(&model) {
-  m1_ = model.config().descriptor.neuron.back();
-  m2_ = model.config().descriptor.axis_neuron;
+  m1_ = model.spec().m1();
+  m2_ = model.spec().m2();
 
   // Group atoms by species so each fitting net sees one contiguous batch;
   // atom_slot_ maps an atom to its row inside that batch.

@@ -1,25 +1,28 @@
 #include "dp/md_interface.hpp"
 
+#include <memory>
+
 #include "util/error.hpp"
 
 namespace dpho::dp {
 
-md::ForceProvider make_force_provider(const DeepPotModel& model) {
-  return [&model](const md::SystemState& state) -> md::ForceEnergy {
-    if (state.size() != model.num_atoms()) {
-      throw util::ValueError("nnp force provider: atom count mismatch");
-    }
-    md::Frame frame;
-    frame.positions = state.positions;
-    frame.forces.resize(state.size());
-    frame.box_length = state.box_length;
-    return model.energy_forces(frame);
-  };
+namespace {
+
+md::ForceEnergy evaluate_state(const Potential& potential,
+                               const md::SystemState& state) {
+  if (state.size() != potential.num_atoms()) {
+    throw util::ValueError("nnp force provider: atom count mismatch");
+  }
+  md::Frame frame;
+  frame.positions = state.positions;
+  frame.forces.resize(state.size());
+  frame.box_length = state.box_length;
+  return potential.evaluate(frame);
 }
 
-std::vector<double> run_nnp_md(const DeepPotModel& model, md::SystemState& state,
-                               double dt_fs, std::size_t steps) {
-  const md::ForceProvider provider = make_force_provider(model);
+std::vector<double> run_md(const md::ForceProvider& provider,
+                           md::SystemState& state, double dt_fs,
+                           std::size_t steps) {
   const md::VelocityVerlet integrator(dt_fs);
   md::ForceEnergy current = provider(state);
   std::vector<double> total_energy;
@@ -30,6 +33,33 @@ std::vector<double> run_nnp_md(const DeepPotModel& model, md::SystemState& state
     total_energy.push_back(current.energy + md::kinetic_energy(state));
   }
   return total_energy;
+}
+
+}  // namespace
+
+md::ForceProvider make_force_provider(Potential potential) {
+  // shared_ptr keeps the provider copyable (Potential itself is move-only).
+  auto shared = std::make_shared<Potential>(std::move(potential));
+  return [shared](const md::SystemState& state) -> md::ForceEnergy {
+    return evaluate_state(*shared, state);
+  };
+}
+
+md::ForceProvider make_force_provider(const DeepPotModel& model) {
+  return make_force_provider(Potential::borrow(model));
+}
+
+std::vector<double> run_nnp_md(const Potential& potential, md::SystemState& state,
+                               double dt_fs, std::size_t steps) {
+  const md::ForceProvider provider = [&potential](const md::SystemState& s) {
+    return evaluate_state(potential, s);
+  };
+  return run_md(provider, state, dt_fs, steps);
+}
+
+std::vector<double> run_nnp_md(const DeepPotModel& model, md::SystemState& state,
+                               double dt_fs, std::size_t steps) {
+  return run_nnp_md(Potential::borrow(model), state, dt_fs, steps);
 }
 
 }  // namespace dpho::dp

@@ -11,16 +11,25 @@
 #pragma once
 
 #include "dp/model.hpp"
+#include "dp/potential.hpp"
 #include "md/integrator.hpp"
 
 namespace dpho::dp {
 
-/// Wraps a model as a force field for the md integrators.  The model's atom
-/// typing must match the simulated system; checked on every call.
+/// Wraps a potential as a force field for the md integrators.  The atom
+/// typing must match the simulated system; checked on every call.  The
+/// potential is shared into the provider, so the returned closure stays
+/// valid after the caller's Potential goes out of scope.
+md::ForceProvider make_force_provider(Potential potential);
+
+/// Convenience overload: borrows `model` (must outlive the provider) and
+/// routes it through the shared dp::Potential entry point.
 md::ForceProvider make_force_provider(const DeepPotModel& model);
 
 /// Convenience: run `steps` of NVE velocity-Verlet on the learned surface.
 /// Returns per-step total energies (potential + kinetic) for drift analysis.
+std::vector<double> run_nnp_md(const Potential& potential, md::SystemState& state,
+                               double dt_fs, std::size_t steps);
 std::vector<double> run_nnp_md(const DeepPotModel& model, md::SystemState& state,
                                double dt_fs, std::size_t steps);
 

@@ -10,31 +10,31 @@
 
 namespace dpho::dp {
 
-DeepPotModel::DeepPotModel(const TrainInput& config, std::vector<md::Species> types,
+DeepPotModel::DeepPotModel(const ModelSpec& spec, std::vector<md::Species> types,
                            double energy_bias_per_atom, std::uint64_t seed)
-    : config_(config),
+    : spec_(spec),
       types_(std::move(types)),
       energy_bias_per_atom_(energy_bias_per_atom),
-      switching_(config.descriptor.rcut, config.descriptor.rcut_smth),
-      sel_norm_(1.0 / static_cast<double>(config.descriptor.sel)) {
-  config_.validate();
+      switching_(spec.descriptor.rcut, spec.descriptor.rcut_smth),
+      sel_norm_(1.0 / static_cast<double>(spec.descriptor.sel)) {
+  spec_.validate();
   if (types_.empty()) throw util::ValueError("model needs at least one atom");
   util::Rng rng(seed);
 
-  const std::size_t m1 = config_.descriptor.neuron.back();
-  const std::size_t m2 = config_.descriptor.axis_neuron;
+  const std::size_t m1 = spec_.m1();
+  const std::size_t m2 = spec_.m2();
   embeddings_.reserve(md::kNumSpecies * md::kNumSpecies);
   for (std::size_t pair = 0; pair < md::kNumSpecies * md::kNumSpecies; ++pair) {
-    nn::Mlp net(1, config_.descriptor.neuron, config_.descriptor.activation,
-                config_.descriptor.activation);
+    nn::Mlp net(1, spec_.descriptor.neuron, spec_.descriptor.activation,
+                spec_.descriptor.activation);
     net.init_xavier(rng);
     embeddings_.push_back(std::move(net));
   }
   fittings_.reserve(md::kNumSpecies);
-  std::vector<std::size_t> fit_widths = config_.fitting.neuron;
+  std::vector<std::size_t> fit_widths = spec_.fitting.neuron;
   fit_widths.push_back(1);  // scalar atomic energy head
   for (std::size_t t = 0; t < md::kNumSpecies; ++t) {
-    nn::Mlp net(m1 * m2, fit_widths, config_.fitting.activation,
+    nn::Mlp net(m1 * m2, fit_widths, spec_.fitting.activation,
                 nn::Activation::kIdentity);
     net.init_xavier(rng);
     fittings_.push_back(std::move(net));
@@ -43,6 +43,11 @@ DeepPotModel::DeepPotModel(const TrainInput& config, std::vector<md::Species> ty
   for (const auto& net : embeddings_) num_params_ += net.num_params();
   for (const auto& net : fittings_) num_params_ += net.num_params();
 }
+
+DeepPotModel::DeepPotModel(const TrainInput& config, std::vector<md::Species> types,
+                           double energy_bias_per_atom, std::uint64_t seed)
+    : DeepPotModel(ModelSpec::from_train_input(config), std::move(types),
+                   energy_bias_per_atom, seed) {}
 
 const nn::Mlp& DeepPotModel::embedding(md::Species center, md::Species neighbor) const {
   return embeddings_[pair_index(center, neighbor)];
@@ -94,7 +99,7 @@ NeighborTopology DeepPotModel::build_topology(const md::Frame& frame) const {
     throw util::ValueError("frame atom count does not match model");
   }
   const md::Box box(frame.box_length);
-  const md::NeighborList list(box, frame.positions, config_.descriptor.rcut);
+  const md::NeighborList list(box, frame.positions, spec_.descriptor.rcut);
   NeighborTopology topology;
   topology.entries.resize(types_.size());
   for (std::size_t i = 0; i < types_.size(); ++i) {
@@ -111,8 +116,8 @@ NeighborTopology DeepPotModel::build_topology(const md::Frame& frame) const {
 
 double DeepPotModel::energy(const md::Frame& frame) const {
   const NeighborTopology topology = build_topology(frame);
-  const std::size_t m1 = config_.descriptor.neuron.back();
-  const std::size_t m2 = config_.descriptor.axis_neuron;
+  const std::size_t m1 = spec_.m1();
+  const std::size_t m2 = spec_.m2();
   double total = 0.0;
   std::vector<double> t_matrix(m1 * 4);
   std::vector<double> descriptor(m1 * m2);
@@ -128,7 +133,7 @@ double DeepPotModel::energy(const md::Frame& frame) const {
       const md::Vec3 d =
           (frame.positions[entry.j] + entry.shift) - frame.positions[i];
       const double r = md::norm(d);
-      if (r >= config_.descriptor.rcut) continue;
+      if (r >= spec_.descriptor.rcut) continue;
       const double s = switching_.value(r);
       const double row[4] = {s, s * d[0] / r, s * d[1] / r, s * d[2] / r};
       embedding(types_[i], types_[entry.j]).forward(std::span(&s, 1), g, scratch);
@@ -161,8 +166,8 @@ DeepPotModel::FrameGraph DeepPotModel::build_graph(ad::Tape& tape,
 DeepPotModel::FrameGraph DeepPotModel::build_graph(
     ad::Tape& tape, const md::Frame& frame, const NeighborTopology& topology) const {
   const std::size_t n = types_.size();
-  const std::size_t m1 = config_.descriptor.neuron.back();
-  const std::size_t m2 = config_.descriptor.axis_neuron;
+  const std::size_t m1 = spec_.m1();
+  const std::size_t m2 = spec_.m2();
 
   // Bind coordinates first, then parameters, so gradients for both are cheap
   // to extract from one backward pass.
@@ -202,7 +207,7 @@ DeepPotModel::FrameGraph DeepPotModel::build_graph(
       const ad::Var dy = (coords[entry.j * 3 + 1] + entry.shift[1]) - coords[i * 3 + 1];
       const ad::Var dz = (coords[entry.j * 3 + 2] + entry.shift[2]) - coords[i * 3 + 2];
       const ad::Var r = ad::sqrt(dx * dx + dy * dy + dz * dz);
-      if (r.value() >= config_.descriptor.rcut) continue;
+      if (r.value() >= spec_.descriptor.rcut) continue;
       const ad::Var s = switching_.value(r);
       const ad::Var inv_r = 1.0 / r;
       const ad::Var row[4] = {s, s * dx * inv_r, s * dy * inv_r, s * dz * inv_r};
@@ -273,7 +278,7 @@ md::ForceEnergy DeepPotModel::energy_forces_tape(
 
 util::Json DeepPotModel::save() const {
   util::Json json;
-  json["config"] = config_.to_json();
+  json["spec"] = spec_.to_json();
   json["energy_bias_per_atom"] = energy_bias_per_atom_;
   util::JsonArray type_array;
   for (md::Species s : types_) type_array.emplace_back(static_cast<int>(s));
@@ -285,12 +290,16 @@ util::Json DeepPotModel::save() const {
 }
 
 DeepPotModel DeepPotModel::load(const util::Json& json) {
-  const TrainInput config = TrainInput::from_json(json.at("config"));
+  // "spec" is the current checkpoint shape; "config" is the legacy one (a
+  // full TrainInput document, whose model block ModelSpec also understands).
+  const ModelSpec spec = json.contains("spec")
+                             ? ModelSpec::from_json(json.at("spec"))
+                             : ModelSpec::from_json(json.at("config"));
   std::vector<md::Species> types;
   for (const util::Json& t : json.at("types").as_array()) {
     types.push_back(static_cast<md::Species>(t.as_int()));
   }
-  DeepPotModel model(config, std::move(types),
+  DeepPotModel model(spec, std::move(types),
                      json.at("energy_bias_per_atom").as_number(), /*seed=*/0);
   std::vector<double> params;
   for (const util::Json& p : json.at("params").as_array()) {

@@ -23,6 +23,7 @@
 
 #include "ad/tape.hpp"
 #include "dp/config.hpp"
+#include "dp/model_spec.hpp"
 #include "dp/switching.hpp"
 #include "md/dataset.hpp"
 #include "md/potential.hpp"
@@ -45,10 +46,14 @@ class DeepPotModel {
  public:
   /// `types` fixes the atom ordering the model is trained on;
   /// `energy_bias_per_atom` centres predictions on the dataset mean.
+  DeepPotModel(const ModelSpec& spec, std::vector<md::Species> types,
+               double energy_bias_per_atom, std::uint64_t seed);
+
+  /// Convenience: takes the architecture slice of a full training input.
   DeepPotModel(const TrainInput& config, std::vector<md::Species> types,
                double energy_bias_per_atom, std::uint64_t seed);
 
-  const TrainInput& config() const { return config_; }
+  const ModelSpec& spec() const { return spec_; }
   std::size_t num_atoms() const { return types_.size(); }
 
   // -- flat parameter space (embedding nets then fitting nets) --
@@ -91,7 +96,9 @@ class DeepPotModel {
   md::ForceEnergy energy_forces_tape(const md::Frame& frame,
                                      const NeighborTopology& topology) const;
 
-  /// Serialization (the dp_train tool writes a model checkpoint).
+  /// Serialization (the dp_train tool writes a model checkpoint).  The
+  /// checkpoint stores the architecture as a "spec" block; load() also
+  /// accepts the legacy "config" block (a full TrainInput document).
   util::Json save() const;
   static DeepPotModel load(const util::Json& json);
 
@@ -114,7 +121,7 @@ class DeepPotModel {
   const nn::Mlp& fitting(md::Species center) const;
   nn::Mlp& fitting(md::Species center);
 
-  TrainInput config_;
+  ModelSpec spec_;
   std::vector<md::Species> types_;
   double energy_bias_per_atom_ = 0.0;
   SwitchingFunction switching_;

@@ -1,0 +1,60 @@
+// The architecture of a DeepPot-SE potential, separated from training policy.
+//
+// A trained model is fully described by its descriptor and fitting-net
+// hyperparameters (plus learned weights); learning rates, loss prefactors and
+// step budgets are training-time concerns that have no business travelling
+// with a servable potential.  ModelSpec is that architecture slice -- the one
+// struct every construction path funnels through:
+//
+//   * genome      -> core::HyperParams::apply_to -> TrainInput -> from_train_input
+//   * input.json  -> from_json (accepts the DeePMD "model" wrapper)
+//   * checkpoint  -> from_json (the "spec" block of model.json, or the legacy
+//                    full-TrainInput "config" block)
+//   * archive     -> dp::ModelArchive entries store exactly this block
+//
+// dp_train, the real-training evaluator and the dp_serve loader all used to
+// carry descriptor/fitting fields through ad-hoc constructor plumbing; they
+// now build a ModelSpec and hand it to DeepPotModel.
+#pragma once
+
+#include <string>
+
+#include "dp/config.hpp"
+#include "util/json.hpp"
+
+namespace dpho::dp {
+
+struct ModelSpec {
+  DescriptorConfig descriptor;
+  FittingConfig fitting;
+
+  /// The architecture slice of a full training input.
+  static ModelSpec from_train_input(const TrainInput& input);
+
+  /// Parses any of the shapes listed above: a bare spec object
+  /// ({"descriptor": ..., "fitting": ...}), a DeePMD input.json
+  /// ({"model": {"descriptor": ..., "fitting_net": ...}}), or the object
+  /// those wrappers contain.  Missing fields keep their defaults; malformed
+  /// values throw util::ParseError/ValueError.  The result is validated.
+  static ModelSpec from_json(const util::Json& json);
+
+  /// Canonical serialization: {"descriptor": {...}, "fitting": {...}} with
+  /// the same field names input.json uses (round-trips through from_json).
+  util::Json to_json() const;
+
+  /// Architecture invariants (rcut ordering, axis_neuron bounds, positive
+  /// sel and widths); throws util::ValueError on violation.
+  void validate() const;
+
+  /// Embedding output width M1 (the last descriptor layer).
+  std::size_t m1() const { return descriptor.neuron.back(); }
+  /// Axis width M2.
+  std::size_t m2() const { return descriptor.axis_neuron; }
+
+  /// One-line architecture summary for logs and catalogs.
+  std::string describe() const;
+
+  bool operator==(const ModelSpec&) const = default;
+};
+
+}  // namespace dpho::dp

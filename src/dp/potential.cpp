@@ -1,0 +1,50 @@
+#include "dp/potential.hpp"
+
+#include "hpc/parallel.hpp"
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+namespace dpho::dp {
+
+Potential::Potential(DeepPotModel model)
+    : Potential(std::make_shared<const DeepPotModel>(std::move(model))) {}
+
+Potential::Potential(std::shared_ptr<const DeepPotModel> model)
+    : model_(std::move(model)),
+      graph_(*model_),
+      scratch_(std::make_unique<hpc::ThreadScratch<EvalScratch>>()) {
+  if (!model_) throw util::ValueError("Potential: null model");
+}
+
+Potential Potential::borrow(const DeepPotModel& model) {
+  // Non-owning aliasing handle; the caller guarantees the model's lifetime.
+  return Potential(std::shared_ptr<const DeepPotModel>(
+      std::shared_ptr<const DeepPotModel>(), &model));
+}
+
+Potential Potential::from_checkpoint(const util::Json& checkpoint) {
+  return Potential(DeepPotModel::load(checkpoint));
+}
+
+Potential Potential::load_file(const std::string& path) {
+  return from_checkpoint(util::Json::parse(util::read_file(path)));
+}
+
+md::ForceEnergy Potential::evaluate(const md::Frame& frame) const {
+  return evaluate(frame, model_->build_topology(frame));
+}
+
+md::ForceEnergy Potential::evaluate(const md::Frame& frame,
+                                    const NeighborTopology& topology) const {
+  EvalScratch& scratch = scratch_->local();
+  build_frame_geometry(*model_, frame, topology, scratch.geometry);
+  return graph_.energy_forces(scratch.geometry, scratch.workspace);
+}
+
+std::vector<md::ForceEnergy> Potential::evaluate(std::span<const md::Frame> frames,
+                                                 hpc::ThreadPool* pool) const {
+  return hpc::parallel_map<md::ForceEnergy>(
+      pool, frames.size(), [&](std::size_t i) { return evaluate(frames[i]); });
+}
+
+}  // namespace dpho::dp

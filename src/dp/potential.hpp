@@ -1,0 +1,78 @@
+// The one evaluation entry point for a trained DeepPot-SE potential.
+//
+// Training builds DeepPotModel instances three different ways and every
+// consumer used to reach into the model directly: dp_test through
+// energy_forces, MD through make_force_provider, validation through the
+// trainer's private helpers.  Potential collapses those into a single API --
+// load a model (from a checkpoint document, a file, or an HPO run archive via
+// dp::ModelArchive) and call evaluate() -- that always takes the analytic
+// primal path (dp::FastGraph forward + reverse, no tape, no gradient
+// buffers), with per-thread geometry/workspace arenas so concurrent callers
+// never contend and steady-state evaluation performs no allocations.
+//
+// Ownership: a Potential normally owns its model (shared, so copies of the
+// Potential are cheap and a serving cache can hand out references safely).
+// Potential::borrow wraps a model owned elsewhere -- the trainer borrows the
+// model it is mutating for its validation pass; parameter updates through the
+// model are visible to the borrowed Potential because FastGraph reads the
+// parameters on every call.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dp/fast_graph.hpp"
+#include "dp/model.hpp"
+#include "hpc/scratch.hpp"
+#include "hpc/thread_pool.hpp"
+#include "md/dataset.hpp"
+#include "md/potential.hpp"
+
+namespace dpho::dp {
+
+class Potential {
+ public:
+  /// Takes ownership of `model`.
+  explicit Potential(DeepPotModel model);
+  explicit Potential(std::shared_ptr<const DeepPotModel> model);
+
+  /// Wraps a model owned elsewhere; `model` must outlive the Potential.
+  static Potential borrow(const DeepPotModel& model);
+
+  /// A model.json checkpoint document (DeepPotModel::save shape).
+  static Potential from_checkpoint(const util::Json& checkpoint);
+  static Potential load_file(const std::string& path);
+
+  const DeepPotModel& model() const { return *model_; }
+  const ModelSpec& spec() const { return model_->spec(); }
+  std::size_t num_atoms() const { return model_->num_atoms(); }
+
+  /// Analytic energy + forces for one frame (topology built here).
+  md::ForceEnergy evaluate(const md::Frame& frame) const;
+
+  /// As above with a precomputed topology of the same frame (the trainer's
+  /// validation pass reuses its per-dataset topology cache).
+  md::ForceEnergy evaluate(const md::Frame& frame,
+                           const NeighborTopology& topology) const;
+
+  /// Batch evaluation in frame order.  With a pool, frames are evaluated
+  /// concurrently on per-thread arenas; results are index-ordered and
+  /// bit-identical to the serial path at any thread count.
+  std::vector<md::ForceEnergy> evaluate(std::span<const md::Frame> frames,
+                                        hpc::ThreadPool* pool = nullptr) const;
+
+ private:
+  struct EvalScratch {
+    FrameGeometry geometry;
+    FastWorkspace workspace;
+  };
+
+  std::shared_ptr<const DeepPotModel> model_;
+  FastGraph graph_;
+  // unique_ptr keeps the Potential movable (ThreadScratch pins itself).
+  std::unique_ptr<hpc::ThreadScratch<EvalScratch>> scratch_;
+};
+
+}  // namespace dpho::dp

@@ -8,6 +8,7 @@
 //   dp_train <input.json> <train_data_dir> <validation_data_dir>
 //            [--out DIR] [--wall-limit SECONDS] [--threads N]
 //            [--metrics-out FILE] [--backward-mode tape|analytic]
+//            [--archive DIR] [--model-id ID]
 //
 // --threads enables data-parallel gradient accumulation (0/1 = serial); the
 // lcurve is bit-identical across thread counts for a fixed seed.
@@ -15,60 +16,73 @@
 // (default) or the scalar-tape autodiff oracle.
 // --metrics-out streams the JSONL event timeline (trainer.row events) to
 // FILE and writes metrics_summary.json into --out on exit.
+// --archive appends the trained model (with its validation RMSEs as
+// objectives) to a dp::ModelArchive catalog so dp_serve can pick it up;
+// --model-id names the catalog row (default "model").
 // Outputs (in --out, default "."): lcurve.out, model.json.
 // Exit codes: 0 success, 2 bad usage, 3 timeout, 4 diverged/failed training.
-#include <cstring>
 #include <filesystem>
 #include <iostream>
 #include <string>
 
+#include "dp/archive.hpp"
 #include "dp/lcurve.hpp"
 #include "dp/trainer.hpp"
 #include "obs/event_sink.hpp"
 #include "obs/metrics.hpp"
+#include "util/args.hpp"
 #include "util/error.hpp"
 #include "util/fs.hpp"
 
-namespace {
-
-int usage() {
-  std::cerr << "usage: dp_train <input.json> <train_data_dir> <validation_data_dir>"
-               " [--out DIR] [--wall-limit SECONDS] [--threads N]"
-               " [--metrics-out FILE] [--backward-mode tape|analytic]\n";
-  return 2;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   using namespace dpho;
-  if (argc < 4) return usage();
-  const std::filesystem::path input_path = argv[1];
-  const std::filesystem::path train_dir = argv[2];
-  const std::filesystem::path valid_dir = argv[3];
-  std::filesystem::path out_dir = ".";
-  std::filesystem::path metrics_out;
+  util::ArgParser args;
+  args.add_flag("--out", "output directory for lcurve.out/model.json, default .")
+      .add_flag("--wall-limit", "hard wall-clock budget in seconds")
+      .add_flag("--backward-mode", "gradient engine: analytic (default) or tape")
+      .add_flag("--archive", "append the trained model to this dp::ModelArchive")
+      .add_flag("--model-id", "catalog id for --archive, default 'model'")
+      .add_flag("--help", "show this message", false);
+  // Shared execution-backend flags (--threads/--metrics-out/
+  // --metrics-interval): same names, defaults and error messages as dpho_hpo
+  // and dp_serve.  dp_train has no cluster backend, so that trio is omitted.
+  const util::BackendFlagOptions backend_options{.cluster = false,
+                                                 .default_threads = 0};
+  util::add_backend_flags(args, backend_options);
+
+  const std::string usage_text =
+      args.usage("dp_train <input.json> <train_data_dir> <validation_data_dir>");
+  util::BackendFlags backend;
   dp::TrainerOptions options;
-  for (int i = 4; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
-      out_dir = argv[++i];
-    } else if (std::strcmp(argv[i], "--wall-limit") == 0 && i + 1 < argc) {
-      options.wall_limit_seconds = std::stod(argv[++i]);
-    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      options.num_threads = static_cast<std::size_t>(std::stoul(argv[++i]));
-    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
-      metrics_out = argv[++i];
-    } else if (std::strcmp(argv[i], "--backward-mode") == 0 && i + 1 < argc) {
-      try {
-        options.backward_mode = dp::parse_backward_mode(argv[++i]);
-      } catch (const std::exception& e) {
-        std::cerr << "dp_train: " << e.what() << "\n";
-        return 2;
-      }
-    } else {
-      return usage();
+  try {
+    args.parse(argc, argv);
+    backend = util::parse_backend_flags(args, backend_options);
+    if (args.has("--backward-mode")) {
+      options.backward_mode =
+          dp::parse_backward_mode(args.get("--backward-mode", std::string()));
     }
+  } catch (const std::exception& e) {
+    std::cerr << "dp_train: " << e.what() << "\n" << usage_text;
+    return 2;
   }
+  if (args.has("--help")) {
+    std::cout << usage_text;
+    return 0;
+  }
+  if (args.positional().size() != 3) {
+    std::cerr << usage_text;
+    return 2;
+  }
+  const std::filesystem::path input_path = args.positional()[0];
+  const std::filesystem::path train_dir = args.positional()[1];
+  const std::filesystem::path valid_dir = args.positional()[2];
+  const std::filesystem::path out_dir = args.get("--out", std::string("."));
+  options.num_threads = backend.threads;
+  if (args.has("--wall-limit")) {
+    options.wall_limit_seconds = args.get("--wall-limit", 0.0);
+  }
+
+  const std::filesystem::path metrics_out = backend.metrics_out;
   if (!metrics_out.empty()) {
     try {
       obs::events().open(metrics_out);
@@ -99,6 +113,17 @@ int main(int argc, char** argv) {
     const dp::TrainResult result = trainer.train();
     result.lcurve.write(out_dir / "lcurve.out");
     util::write_file(out_dir / "model.json", trainer.model().save().dump(2));
+    if (args.has("--archive")) {
+      const std::filesystem::path archive_dir =
+          args.get("--archive", std::string());
+      dp::ModelArchive archive =
+          std::filesystem::exists(archive_dir / "archive.json")
+              ? dp::ModelArchive::open(archive_dir)
+              : dp::ModelArchive::create(archive_dir);
+      archive.add(args.get("--model-id", std::string("model")), trainer.model(),
+                  {{"rmse_e_val", result.rmse_e_val},
+                   {"rmse_f_val", result.rmse_f_val}});
+    }
     std::cout << "training finished: steps=" << result.steps_completed
               << " rmse_e_val=" << result.rmse_e_val
               << " rmse_f_val=" << result.rmse_f_val

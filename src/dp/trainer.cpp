@@ -29,13 +29,15 @@ struct FrameErrors {
   double force_sq = 0.0;            // mean over 3N components of dF^2
 };
 
-FrameErrors frame_errors(const DeepPotModel& model, const md::Frame& frame,
-                         const NeighborTopology& topology, BackwardMode mode) {
+FrameErrors frame_errors(const DeepPotModel& model, const Potential& potential,
+                         const md::Frame& frame, const NeighborTopology& topology,
+                         BackwardMode mode) {
   // Validation predictions come from the same engine the training uses, so a
-  // tape-mode run never mixes engines.
+  // tape-mode run never mixes engines.  The analytic branch goes through the
+  // shared Potential entry point (the exact kernels dp_serve and MD run).
   const md::ForceEnergy prediction = mode == BackwardMode::kTape
                                          ? model.energy_forces_tape(frame, topology)
-                                         : model.energy_forces(frame, topology);
+                                         : potential.evaluate(frame, topology);
   const auto n = static_cast<double>(frame.positions.size());
   FrameErrors errors;
   const double de = (prediction.energy - frame.energy) / n;
@@ -87,7 +89,8 @@ Trainer::Trainer(const TrainInput& config, const md::FrameDataset& train,
       options_(options),
       model_(config, train.types(), train.mean_energy_per_atom(),
              util::hash_combine(config.training.seed, 0xDEE9)),
-      fast_graph_(model_) {
+      fast_graph_(model_),
+      potential_(Potential::borrow(model_)) {
   if (train.empty()) throw util::ValueError("trainer: empty training set");
   if (validation.empty()) throw util::ValueError("trainer: empty validation set");
 }
@@ -109,7 +112,7 @@ std::pair<double, double> Trainer::validation_rmse() const {
   // match the serial path bit for bit.
   const std::vector<FrameErrors> errors = hpc::parallel_map<FrameErrors>(
       pool_, count, [&](std::size_t i) {
-        return frame_errors(model_, validation_data_.frame(i),
+        return frame_errors(model_, potential_, validation_data_.frame(i),
                             validation_topology_.at(i), options_.backward_mode);
       });
   double sum_e = 0.0;
@@ -154,7 +157,7 @@ TrainResult Trainer::train() {
     const auto [e_val, f_val] = validation_rmse();
     // Training metrics from the first training frame (cheap proxy, the same
     // role DeePMD's rmse_*_trn columns play).
-    const FrameErrors trn = frame_errors(model_, train_data_.frame(0),
+    const FrameErrors trn = frame_errors(model_, potential_, train_data_.frame(0),
                                          train_topology_.at(0),
                                          options_.backward_mode);
     result.lcurve.add(LcurveRow{step, e_val, std::sqrt(trn.energy_sq_per_atom), f_val,

@@ -20,6 +20,7 @@
 #include "dp/fast_graph.hpp"
 #include "dp/lcurve.hpp"
 #include "dp/model.hpp"
+#include "dp/potential.hpp"
 #include "dp/topology_cache.hpp"
 #include "hpc/scratch.hpp"
 #include "md/dataset.hpp"
@@ -103,6 +104,10 @@ class Trainer {
   TopologyCache train_topology_;
   TopologyCache validation_topology_;
   FastGraph fast_graph_;  // bound to model_; the analytic gradient engine
+  // Borrowed view of model_: validation predictions go through the same
+  // dp::Potential entry point serving and MD use (parameter updates through
+  // model_ are visible because the kernels read parameters per call).
+  Potential potential_;
   // One reusable kernel arena per gradient worker thread.
   hpc::ThreadScratch<FastWorkspace> workspaces_;
 };

@@ -188,52 +188,84 @@ bool read_exact(int fd, char* out, std::size_t count) {
 
 }  // namespace
 
-std::optional<std::string> read_frame(int fd) {
+namespace {
+
+std::uint32_t decode_length(const char* header) {
+  const auto* p = reinterpret_cast<const unsigned char*>(header);
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | static_cast<std::uint32_t>(p[3]);
+}
+
+}  // namespace
+
+std::optional<std::string> read_frame(int fd, std::uint32_t max_payload) {
   char header[4];
   if (!read_exact(fd, header, 4)) return std::nullopt;
-  const auto* p = reinterpret_cast<const unsigned char*>(header);
-  const std::uint32_t length = (static_cast<std::uint32_t>(p[0]) << 24) |
-                               (static_cast<std::uint32_t>(p[1]) << 16) |
-                               (static_cast<std::uint32_t>(p[2]) << 8) |
-                               static_cast<std::uint32_t>(p[3]);
-  if (length > kMaxFramePayload) {
+  const std::uint32_t length = decode_length(header);
+  // Validated before the payload string is sized, so a corrupt prefix cannot
+  // trigger a multi-gigabyte allocation.
+  if (length > max_payload) {
     throw util::IoError("frame length " + std::to_string(length) +
-                        " exceeds the protocol maximum");
+                        " exceeds the " + std::to_string(max_payload) +
+                        "-byte cap");
   }
   std::string payload(length, '\0');
   if (length > 0 && !read_exact(fd, payload.data(), length)) return std::nullopt;
   return payload;
 }
 
+std::string to_string(FrameError error) {
+  switch (error) {
+    case FrameError::kNone:
+      return "none";
+    case FrameError::kClosed:
+      return "closed";
+    case FrameError::kReset:
+      return "reset";
+    case FrameError::kOversized:
+      return "oversized";
+  }
+  return "unknown";
+}
+
 bool FrameReader::drain(int fd) {
-  if (closed_) return false;
+  if (error_ != FrameError::kNone) return false;
   char chunk[4096];
   for (;;) {
+    // Slicing between chunks validates each pending length prefix as soon as
+    // its 4 bytes arrive, so an oversized declaration stops the read loop
+    // before the peer can make us buffer (let alone allocate) its payload.
+    slice_frames();
+    if (error_ == FrameError::kOversized) return false;
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n > 0) {
       buffer_.insert(buffer_.end(), chunk, chunk + n);
       continue;
     }
     if (n == 0) {
-      closed_ = true;  // orderly shutdown by the peer
+      error_ = FrameError::kClosed;  // orderly shutdown by the peer
       break;
     }
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-    closed_ = true;  // reset / unexpected error: treat the peer as gone
+    error_ = FrameError::kReset;  // treat the peer as gone
     break;
   }
+  slice_frames();
+  return error_ == FrameError::kNone;
+}
 
+void FrameReader::slice_frames() {
   // Slice complete frames off the front of the buffer.
   std::size_t offset = 0;
   while (buffer_.size() - offset >= 4) {
-    const auto* p = reinterpret_cast<const unsigned char*>(buffer_.data() + offset);
-    const std::uint32_t length = (static_cast<std::uint32_t>(p[0]) << 24) |
-                                 (static_cast<std::uint32_t>(p[1]) << 16) |
-                                 (static_cast<std::uint32_t>(p[2]) << 8) |
-                                 static_cast<std::uint32_t>(p[3]);
-    if (length > kMaxFramePayload) {
-      closed_ = true;  // protocol violation
+    const std::uint32_t length = decode_length(buffer_.data() + offset);
+    if (length > max_payload_) {
+      if (error_ == FrameError::kNone) {
+        error_ = FrameError::kOversized;
+        oversized_length_ = length;
+      }
       break;
     }
     if (buffer_.size() - offset - 4 < length) break;
@@ -244,7 +276,6 @@ bool FrameReader::drain(int fd) {
     buffer_.erase(buffer_.begin(),
                   buffer_.begin() + static_cast<std::ptrdiff_t>(offset));
   }
-  return !closed_;
 }
 
 std::optional<std::string> FrameReader::next() {

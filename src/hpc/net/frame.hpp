@@ -78,25 +78,54 @@ bool write_frame(int fd, const std::string& payload);
 /// Reads one complete frame from a *blocking* fd (the worker side's view of
 /// the scheduler connection).  Returns nullopt on orderly EOF or connection
 /// reset; throws util::IoError on unexpected errors or protocol violations.
-std::optional<std::string> read_frame(int fd);
+/// `max_payload` caps the declared length (checked before the payload buffer
+/// is allocated).
+std::optional<std::string> read_frame(int fd,
+                                      std::uint32_t max_payload = kMaxFramePayload);
+
+/// Why a FrameReader stopped accepting input.
+enum class FrameError {
+  kNone,       // connection healthy
+  kClosed,     // orderly EOF from the peer
+  kReset,      // connection reset or unexpected recv error
+  kOversized,  // declared frame length exceeded the reader's cap
+};
+
+std::string to_string(FrameError error);
 
 /// Incremental frame decoder for one connection.
 class FrameReader {
  public:
+  FrameReader() = default;
+  /// Caps the declared payload length this reader accepts.  The cap is
+  /// enforced against the 4-byte length prefix as soon as it arrives --
+  /// BEFORE any payload-sized allocation -- so a hostile or corrupt peer
+  /// cannot drive an unbounded resize; violation surfaces as
+  /// FrameError::kOversized rather than being conflated with EOF.
+  explicit FrameReader(std::uint32_t max_payload) : max_payload_(max_payload) {}
+
   /// Drains every byte currently readable from `fd` (non-blocking).
   /// Returns false when the peer closed the connection or violated the
-  /// protocol (oversized length prefix); decoded frames remain available.
+  /// protocol (see error()); decoded frames remain available.
   bool drain(int fd);
 
   /// Pops the next complete frame payload, if any.
   std::optional<std::string> next();
 
-  bool closed() const { return closed_; }
+  bool closed() const { return error_ != FrameError::kNone; }
+  FrameError error() const { return error_; }
+  std::uint32_t max_payload() const { return max_payload_; }
+  /// The offending declared length after a kOversized error (diagnostics).
+  std::uint32_t oversized_length() const { return oversized_length_; }
 
  private:
+  void slice_frames();
+
+  std::uint32_t max_payload_ = kMaxFramePayload;
   std::vector<char> buffer_;
   std::deque<std::string> frames_;
-  bool closed_ = false;
+  FrameError error_ = FrameError::kNone;
+  std::uint32_t oversized_length_ = 0;
 };
 
 }  // namespace dpho::hpc::net

@@ -1,0 +1,66 @@
+#include "serve/model_cache.hpp"
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace dpho::serve {
+
+ModelCache::ModelCache(const dp::ModelArchive& archive, std::size_t capacity)
+    : archive_(archive), capacity_(capacity) {
+  if (capacity_ == 0) {
+    throw util::ValueError("model cache: capacity must be >= 1");
+  }
+}
+
+std::shared_ptr<const dp::Potential> ModelCache::get(const std::string& id) {
+  const std::scoped_lock lock(mutex_);
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->first == id) {
+      entries_.splice(entries_.begin(), entries_, it);  // refresh recency
+      ++hits_;
+      obs::metrics().counter("serve.cache_hits").add();
+      return entries_.front().second;
+    }
+  }
+  ++misses_;
+  obs::metrics().counter("serve.cache_misses").add();
+  // Throws ValueError for an unknown id before anything is evicted.
+  auto potential = std::make_shared<const dp::Potential>(archive_.load(id));
+  if (entries_.size() >= capacity_) {
+    entries_.pop_back();
+    ++evictions_;
+    obs::metrics().counter("serve.cache_evictions").add();
+  }
+  entries_.emplace_front(id, potential);
+  obs::metrics().gauge("serve.cache_size").set(
+      static_cast<double>(entries_.size()));
+  return potential;
+}
+
+std::size_t ModelCache::size() const {
+  const std::scoped_lock lock(mutex_);
+  return entries_.size();
+}
+
+std::uint64_t ModelCache::hits() const {
+  const std::scoped_lock lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t ModelCache::misses() const {
+  const std::scoped_lock lock(mutex_);
+  return misses_;
+}
+
+std::uint64_t ModelCache::evictions() const {
+  const std::scoped_lock lock(mutex_);
+  return evictions_;
+}
+
+double ModelCache::hit_rate() const {
+  const std::scoped_lock lock(mutex_);
+  const std::uint64_t total = hits_ + misses_;
+  return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);
+}
+
+}  // namespace dpho::serve

@@ -73,6 +73,57 @@ std::int64_t ArgParser::get(const std::string& name, std::int64_t fallback) cons
   return value;
 }
 
+void add_backend_flags(ArgParser& parser, const BackendFlagOptions& options) {
+  if (options.cluster) {
+    parser.add_flag("--cluster",
+                    "evaluation backend: sim (default) or process (real workers)");
+    parser.add_flag("--workers",
+                    "process cluster: worker subprocesses, default 0 (= nodes)");
+    parser.add_flag("--worker-binary",
+                    "process cluster: dpho_worker path, default next to the tool");
+  }
+  parser.add_flag("--threads", "worker threads, default " +
+                                   std::to_string(options.default_threads));
+  parser.add_flag("--metrics-out",
+                  "write the JSONL event timeline here (enables metrics export)");
+  parser.add_flag("--metrics-interval",
+                  "progress units between metrics snapshots, default 0 (off)");
+}
+
+namespace {
+
+std::size_t count_flag(const ArgParser& parser, const std::string& name,
+                       std::size_t fallback) {
+  const std::int64_t value =
+      parser.get(name, static_cast<std::int64_t>(fallback));
+  if (value < 0) {
+    throw ParseError("flag " + name + " expects a non-negative count, got " +
+                     std::to_string(value));
+  }
+  return static_cast<std::size_t>(value);
+}
+
+}  // namespace
+
+BackendFlags parse_backend_flags(const ArgParser& parser,
+                                 const BackendFlagOptions& options) {
+  BackendFlags flags;
+  flags.threads = options.default_threads;
+  if (options.cluster) {
+    flags.cluster = parser.get("--cluster", std::string("sim"));
+    if (flags.cluster != "sim" && flags.cluster != "process") {
+      throw ParseError("flag --cluster expects sim or process, got " +
+                       flags.cluster);
+    }
+    flags.workers = count_flag(parser, "--workers", 0);
+    flags.worker_binary = parser.get("--worker-binary", std::string());
+  }
+  flags.threads = count_flag(parser, "--threads", options.default_threads);
+  flags.metrics_out = parser.get("--metrics-out", std::string());
+  flags.metrics_interval = count_flag(parser, "--metrics-interval", 0);
+  return flags;
+}
+
 std::string ArgParser::usage(const std::string& program) const {
   std::ostringstream out;
   out << "usage: " << program;

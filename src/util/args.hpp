@@ -41,4 +41,38 @@ class ArgParser {
   std::vector<std::string> positional_;
 };
 
+/// The execution-backend flags every heavy tool shares (dpho_hpo, dp_train,
+/// dp_serve): worker threads, metrics export, and -- for tools that can farm
+/// work out to subprocess clusters -- the cluster selection trio.  One
+/// declaration + one parser means one set of flag names, defaults and error
+/// messages across the suite; each tool maps the result onto its own config
+/// struct (core::EvalBackendConfig, hpc::ClusterBackendConfig, serve options)
+/// since util cannot depend on those layers.
+struct BackendFlags {
+  std::string cluster = "sim";       // sim | process
+  std::size_t workers = 0;           // 0 = derived from the node count
+  std::string worker_binary;         // empty = resolve next to the executable
+  std::size_t threads = 2;           // worker threads for payload evaluation
+  std::string metrics_out;           // JSONL event timeline; empty = disabled
+  std::size_t metrics_interval = 0;  // snapshot cadence; 0 = off
+};
+
+/// Which of the shared flags a tool exposes, and its defaults.
+struct BackendFlagOptions {
+  /// Include --cluster/--workers/--worker-binary (tools that can run on a
+  /// process cluster).  Tools without a cluster backend leave this false and
+  /// get only --threads/--metrics-out/--metrics-interval.
+  bool cluster = false;
+  std::size_t default_threads = 2;
+};
+
+/// Declares the shared backend flags on `parser`.
+void add_backend_flags(ArgParser& parser, const BackendFlagOptions& options = {});
+
+/// Reads the shared backend flags back after parse(), validating values with
+/// tool-independent error messages.  Throws ParseError on a bad cluster name
+/// or negative count.
+BackendFlags parse_backend_flags(const ArgParser& parser,
+                                 const BackendFlagOptions& options = {});
+
 }  // namespace dpho::util

@@ -208,7 +208,7 @@ TEST(FastGraphParityDetail, GeometryCountsMatchTopologyWithinCutoff) {
     for (const auto& entry : topology.entries[i]) {
       const md::Vec3 d =
           (frame.positions[entry.j] + entry.shift) - frame.positions[i];
-      if (md::norm(d) < model.config().descriptor.rcut) ++in_cutoff;
+      if (md::norm(d) < model.spec().descriptor.rcut) ++in_cutoff;
     }
   }
   EXPECT_EQ(geometry.pairs.size(), in_cutoff);

@@ -10,6 +10,7 @@
 
 #include "hpc/net/frame.hpp"
 #include "hpc/net/wire.hpp"
+#include "util/error.hpp"
 #include "util/json.hpp"
 
 namespace dpho::hpc::net {
@@ -134,6 +135,89 @@ TEST(NetFrame, OversizedLengthPrefixIsAProtocolViolation) {
     if (open) std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   EXPECT_FALSE(open);
+  // The violation is typed -- distinguishable from an orderly close.
+  EXPECT_EQ(reader.error(), FrameError::kOversized);
+  EXPECT_EQ(reader.oversized_length(), 0x7F7F7F7Fu);
+  ::close(client);
+  ::close(server);
+}
+
+TEST(NetFrame, TypedErrorsDistinguishCloseFromOversize) {
+  Listener listener;
+  listener.open();
+  const int client = connect_loopback(listener.port());
+  const int server = accept_soon(listener);
+  ASSERT_GE(server, 0);
+
+  FrameReader reader;
+  EXPECT_EQ(reader.error(), FrameError::kNone);
+  ::close(client);
+  bool open = true;
+  for (int i = 0; i < 1000 && open; ++i) {
+    open = reader.drain(server);
+    if (open) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(reader.error(), FrameError::kClosed);
+  EXPECT_EQ(to_string(FrameError::kClosed), "closed");
+  EXPECT_EQ(to_string(FrameError::kOversized), "oversized");
+  ::close(server);
+}
+
+TEST(NetFrame, PerReaderCapRejectsBeforeBufferingThePayload) {
+  Listener listener;
+  listener.open();
+  const int client = connect_loopback(listener.port());
+  const int server = accept_soon(listener);
+  ASSERT_GE(server, 0);
+
+  // A frame that is legal under the protocol maximum but over this reader's
+  // 64-byte cap.  The reader must reject it from the prefix alone.
+  FrameReader reader(/*max_payload=*/64);
+  EXPECT_EQ(reader.max_payload(), 64u);
+  const std::string big(100, 'x');
+  ASSERT_TRUE(write_frame(client, big));
+  bool open = true;
+  for (int i = 0; i < 1000 && open; ++i) {
+    open = reader.drain(server);
+    if (open) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(reader.error(), FrameError::kOversized);
+  EXPECT_EQ(reader.oversized_length(), 100u);
+  EXPECT_FALSE(reader.next().has_value());
+  ::close(client);
+  ::close(server);
+}
+
+TEST(NetFrame, PerReaderCapAdmitsFramesUnderTheLimit) {
+  Listener listener;
+  listener.open();
+  const int client = connect_loopback(listener.port());
+  const int server = accept_soon(listener);
+  ASSERT_GE(server, 0);
+
+  FrameReader reader(/*max_payload=*/64);
+  ASSERT_TRUE(write_frame(client, "{\"ok\":true}"));
+  std::optional<std::string> frame;
+  for (int i = 0; i < 1000 && !frame; ++i) {
+    reader.drain(server);
+    frame = reader.next();
+    if (!frame) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(frame.value_or(""), "{\"ok\":true}");
+  EXPECT_EQ(reader.error(), FrameError::kNone);
+  ::close(client);
+  ::close(server);
+}
+
+TEST(NetFrame, BlockingReadFrameHonoursTheCap) {
+  Listener listener;
+  listener.open();
+  const int client = connect_loopback(listener.port());
+  const int server = accept_soon(listener);
+  ASSERT_GE(server, 0);
+
+  ASSERT_TRUE(write_frame(server, std::string(100, 'y')));
+  EXPECT_THROW(read_frame(client, /*max_payload=*/64), util::IoError);
   ::close(client);
   ::close(server);
 }

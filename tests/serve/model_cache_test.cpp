@@ -1,0 +1,106 @@
+// Bounded LRU model cache over a dp::ModelArchive: hit/miss accounting,
+// recency-ordered eviction, and the evicted-but-held lifetime guarantee.
+#include "serve/model_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+#include "serve_harness.hpp"
+
+namespace dpho::serve {
+namespace {
+
+using test_harness::make_archive;
+
+TEST(ModelCache, MissLoadsThenHitReturnsTheSameInstance) {
+  util::TempDir dir;
+  const dp::ModelArchive archive = make_archive(dir.path() / "a", 2);
+  ModelCache cache(archive, 2);
+  const auto first = cache.get("m0");
+  const auto second = cache.get("m0");
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.5);
+}
+
+TEST(ModelCache, EvictsTheLeastRecentlyUsedEntry) {
+  util::TempDir dir;
+  const dp::ModelArchive archive = make_archive(dir.path() / "a", 3);
+  ModelCache cache(archive, 2);
+  cache.get("m0");
+  cache.get("m1");
+  cache.get("m0");  // refresh m0: m1 is now least recently used
+  cache.get("m2");  // evicts m1
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+  cache.get("m0");  // still resident
+  EXPECT_EQ(cache.hits(), 2u);
+  cache.get("m1");  // reload after eviction
+  EXPECT_EQ(cache.misses(), 4u);
+  EXPECT_EQ(cache.evictions(), 2u);
+}
+
+TEST(ModelCache, EvictedModelStaysUsableWhileHeld) {
+  util::TempDir dir;
+  const dp::ModelArchive archive = make_archive(dir.path() / "a", 3);
+  ModelCache cache(archive, 1);
+  const std::shared_ptr<const dp::Potential> held = cache.get("m0");
+
+  util::Rng rng(11);
+  const md::Frame frame = dp::test_harness::random_frame(rng, 8);
+  const md::ForceEnergy before = held->evaluate(frame);
+
+  cache.get("m1");  // evicts m0 from the cache...
+  cache.get("m2");
+  EXPECT_EQ(cache.evictions(), 2u);
+
+  // ...but the held instance keeps evaluating, bit-identically.
+  const md::ForceEnergy after = held->evaluate(frame);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(before.energy),
+            std::bit_cast<std::uint64_t>(after.energy));
+}
+
+TEST(ModelCache, ThrashingStaysCorrect) {
+  util::TempDir dir;
+  const dp::ModelArchive archive = make_archive(dir.path() / "a", 2);
+  ModelCache cache(archive, 1);
+  util::Rng rng(5);
+  const md::Frame frame = dp::test_harness::random_frame(rng, 8);
+  const double expect0 = archive.load("m0").evaluate(frame).energy;
+  const double expect1 = archive.load("m1").evaluate(frame).energy;
+  for (int round = 0; round < 4; ++round) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(cache.get("m0")->evaluate(frame).energy),
+              std::bit_cast<std::uint64_t>(expect0));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(cache.get("m1")->evaluate(frame).energy),
+              std::bit_cast<std::uint64_t>(expect1));
+  }
+  EXPECT_EQ(cache.hits(), 0u);  // capacity 1 with alternating ids never hits
+  EXPECT_EQ(cache.misses(), 8u);
+  EXPECT_EQ(cache.evictions(), 7u);
+}
+
+TEST(ModelCache, UnknownIdThrowsWithoutEvicting) {
+  util::TempDir dir;
+  const dp::ModelArchive archive = make_archive(dir.path() / "a", 1);
+  ModelCache cache(archive, 1);
+  cache.get("m0");
+  EXPECT_THROW(cache.get("ghost"), util::ValueError);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_EQ(cache.hits() + cache.misses(), 2u);  // the failed lookup counted
+}
+
+TEST(ModelCache, ZeroCapacityIsRejected) {
+  util::TempDir dir;
+  const dp::ModelArchive archive = make_archive(dir.path() / "a", 1);
+  EXPECT_THROW(ModelCache(archive, 0), util::ValueError);
+}
+
+}  // namespace
+}  // namespace dpho::serve

@@ -96,5 +96,73 @@ TEST(Args, BadFlagDeclarationThrows) {
   EXPECT_THROW(args.add_flag("pop", "no dashes"), ValueError);
 }
 
+// The shared execution-backend flags (dpho_hpo, dp_train, dp_serve).
+
+TEST(BackendFlags, DefaultsWhenAbsent) {
+  ArgParser args;
+  add_backend_flags(args, {.cluster = false, .default_threads = 3});
+  parse(args, {});
+  const BackendFlags flags =
+      parse_backend_flags(args, {.cluster = false, .default_threads = 3});
+  EXPECT_EQ(flags.threads, 3u);
+  EXPECT_TRUE(flags.metrics_out.empty());
+  EXPECT_EQ(flags.metrics_interval, 0u);
+  EXPECT_EQ(flags.cluster, "sim");  // untouched without the cluster trio
+}
+
+TEST(BackendFlags, ParsesSharedValues) {
+  ArgParser args;
+  add_backend_flags(args);
+  parse(args, {"--threads", "5", "--metrics-out", "t.jsonl",
+               "--metrics-interval", "10"});
+  const BackendFlags flags = parse_backend_flags(args);
+  EXPECT_EQ(flags.threads, 5u);
+  EXPECT_EQ(flags.metrics_out, "t.jsonl");
+  EXPECT_EQ(flags.metrics_interval, 10u);
+}
+
+TEST(BackendFlags, ClusterTrioOnlyWhenRequested) {
+  ArgParser without;
+  add_backend_flags(without, {.cluster = false});
+  EXPECT_THROW(parse(without, {"--cluster", "process"}), ParseError);
+
+  ArgParser with;
+  add_backend_flags(with, {.cluster = true});
+  parse(with, {"--cluster", "process", "--workers", "4",
+               "--worker-binary", "/opt/dpho_worker"});
+  const BackendFlags flags = parse_backend_flags(with, {.cluster = true});
+  EXPECT_EQ(flags.cluster, "process");
+  EXPECT_EQ(flags.workers, 4u);
+  EXPECT_EQ(flags.worker_binary, "/opt/dpho_worker");
+}
+
+TEST(BackendFlags, BadClusterNameThrows) {
+  ArgParser args;
+  add_backend_flags(args, {.cluster = true});
+  parse(args, {"--cluster", "dask"});
+  EXPECT_THROW(parse_backend_flags(args, {.cluster = true}), ParseError);
+}
+
+TEST(BackendFlags, NegativeCountsThrow) {
+  ArgParser threads;
+  add_backend_flags(threads);
+  parse(threads, {"--threads", "-1"});
+  EXPECT_THROW(parse_backend_flags(threads), ParseError);
+
+  ArgParser workers;
+  add_backend_flags(workers, {.cluster = true});
+  parse(workers, {"--workers", "-2"});
+  EXPECT_THROW(parse_backend_flags(workers, {.cluster = true}), ParseError);
+}
+
+TEST(BackendFlags, UsageMentionsTheSharedFlags) {
+  ArgParser args;
+  add_backend_flags(args, {.cluster = true, .default_threads = 2});
+  const std::string usage = args.usage("tool");
+  EXPECT_NE(usage.find("--threads"), std::string::npos);
+  EXPECT_NE(usage.find("--metrics-out"), std::string::npos);
+  EXPECT_NE(usage.find("--cluster"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace dpho::util
