@@ -13,7 +13,18 @@
 //                 "fitting_neuron": [...], "atoms": ..., "pairs": ...,
 //                 "params": ..., "tape_steps_per_sec": ...,
 //                 "analytic_steps_per_sec": ..., "speedup": ...}, ...],
+//    "simd_matrix": {"config": ..., "simd_available": ..., "simd_level": ...,
+//                    "fuse_frames": ..., "single_thread_simd_speedup": ...,
+//                    "entries": [{"simd": "on"|"off", "threads": ...,
+//                                 "frames_per_sec": ...}, ...]},
 //    "metrics": {"schema": "dpho.metrics.v1", ...}}
+//
+// The simd_matrix section measures the fused multi-frame gradient path
+// (loss_and_grad_fused over groups, parallel over a thread pool -- the exact
+// shape the trainer runs) under SIMD on/off x threads {1,2,4,8}, on the
+// paper-default architecture (the `small` config under --smoke).  When the
+// host lacks AVX2/FMA the "on" rows fall back to scalar dispatch and the
+// recorded speedup is ~1.
 //
 // The metrics block carries the dp.kernels.* instrumentation (primal/tangent
 // pass timers, frame/pair counters) recorded by the analytic runs, so the
@@ -38,8 +49,11 @@
 #include "dp/fast_graph.hpp"
 #include "dp/loss.hpp"
 #include "dp/model.hpp"
+#include "hpc/scratch.hpp"
+#include "hpc/thread_pool.hpp"
 #include "md/simulation.hpp"
 #include "nn/schedule.hpp"
+#include "nn/simd.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "util/fs.hpp"
@@ -89,14 +103,102 @@ double measure(std::size_t frames, double budget_seconds, Step&& step) {
   return static_cast<double>(steps) / elapsed;
 }
 
+struct MatrixEntry {
+  bool simd_on = false;
+  std::size_t threads = 0;
+  double frames_per_sec = 0.0;
+};
+
+/// Fused-path throughput at one (simd, threads) point: repeats fused
+/// loss_and_grad_fused sweeps over `targets` in fixed groups of
+/// `fuse_frames`, parallel over a T-thread pool -- the trainer's exact
+/// gradient shape -- and returns frame gradients per second.
+double measure_fused(const dp::FastGraph& fast, std::size_t num_params,
+                     const std::vector<dp::FrameTarget>& targets,
+                     const dp::LossWeights& weights, std::size_t fuse_frames,
+                     std::size_t threads, double budget_seconds) {
+  const std::size_t num_groups =
+      (targets.size() + fuse_frames - 1) / fuse_frames;
+  std::vector<std::vector<double>> group_grads(num_groups);
+  std::vector<double> losses(targets.size());
+  hpc::ThreadScratch<dp::FastWorkspace> workspaces;
+  std::unique_ptr<hpc::ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<hpc::ThreadPool>(threads);
+
+  const auto run_group = [&](std::size_t g) {
+    const std::size_t begin = g * fuse_frames;
+    const std::size_t count = std::min(fuse_frames, targets.size() - begin);
+    group_grads[g].resize(num_params);
+    fast.loss_and_grad_fused(
+        std::span<const dp::FrameTarget>(targets).subspan(begin, count),
+        weights, workspaces.local(), group_grads[g],
+        std::span<double>(losses).subspan(begin, count));
+  };
+  const auto sweep = [&] {
+    if (!pool || num_groups <= 1) {
+      for (std::size_t g = 0; g < num_groups; ++g) run_group(g);
+    } else {
+      pool->parallel_for(num_groups, run_group);
+    }
+  };
+
+  sweep();  // warm-up: size every worker arena
+  std::size_t frames_done = 0;
+  const Clock::time_point start = Clock::now();
+  double elapsed = 0.0;
+  do {
+    sweep();
+    frames_done += targets.size();
+    elapsed = seconds_since(start);
+  } while (elapsed < budget_seconds || frames_done < 2 * targets.size());
+  return static_cast<double>(frames_done) / elapsed;
+}
+
 bool validate_schema(const std::filesystem::path& path) {
   const util::Json doc = util::Json::parse(util::read_file(path));
   if (!doc.is_object()) return false;
-  for (const char* key : {"bench", "step_definition", "results", "metrics"}) {
+  for (const char* key :
+       {"bench", "step_definition", "results", "simd_matrix", "metrics"}) {
     if (!doc.contains(key)) {
       std::fprintf(stderr, "BENCH_kernels.json: missing key %s\n", key);
       return false;
     }
+  }
+  const util::Json& matrix = doc.at("simd_matrix");
+  for (const char* key : {"config", "simd_available", "simd_level",
+                          "fuse_frames", "single_thread_simd_speedup",
+                          "entries"}) {
+    if (!matrix.contains(key)) {
+      std::fprintf(stderr, "BENCH_kernels.json: simd_matrix missing key %s\n",
+                   key);
+      return false;
+    }
+  }
+  // 2 simd states x threads {1,2,4,8}, every throughput positive.
+  if (!matrix.at("entries").is_array() ||
+      matrix.at("entries").as_array().size() != 8) {
+    std::fprintf(stderr, "BENCH_kernels.json: simd_matrix must have 8 rows\n");
+    return false;
+  }
+  for (const util::Json& row : matrix.at("entries").as_array()) {
+    for (const char* key : {"simd", "threads", "frames_per_sec"}) {
+      if (!row.contains(key)) {
+        std::fprintf(stderr,
+                     "BENCH_kernels.json: simd_matrix row missing key %s\n",
+                     key);
+        return false;
+      }
+    }
+    if (row.number_or("frames_per_sec", 0.0) <= 0.0) {
+      std::fprintf(stderr,
+                   "BENCH_kernels.json: non-positive simd_matrix throughput\n");
+      return false;
+    }
+  }
+  if (matrix.number_or("single_thread_simd_speedup", 0.0) <= 0.0) {
+    std::fprintf(stderr,
+                 "BENCH_kernels.json: missing single-thread simd speedup\n");
+    return false;
   }
   if (!doc.at("results").is_array() || doc.at("results").as_array().empty()) {
     return false;
@@ -234,7 +336,7 @@ int main(int argc, char** argv) {
     KernelResult result;
     result.config = config;
     result.atoms = atoms;
-    result.pairs = geometries[0].pairs.size();
+    result.pairs = geometries[0].size();
     result.params = model.num_params();
     result.tape_steps_per_sec = measure(num_frames, budget, tape_step);
     result.analytic_steps_per_sec = measure(num_frames, budget, analytic_step);
@@ -247,9 +349,91 @@ int main(int argc, char** argv) {
     results.push_back(result);
   }
 
+  // SIMD-on/off x threads matrix on the fused multi-frame gradient path, at
+  // the largest configured shape (paper_default, or `small` under --smoke).
+  const KernelConfig& matrix_config = configs.back();
+  util::JsonObject simd_matrix;
+  {
+    dp::TrainInput input;
+    input.descriptor.rcut = 3.2;
+    input.descriptor.rcut_smth = 2.0;
+    input.descriptor.neuron = matrix_config.neuron;
+    input.descriptor.axis_neuron = matrix_config.axis_neuron;
+    input.descriptor.sel = matrix_config.sel;
+    input.fitting.neuron = matrix_config.fitting;
+    const dp::DeepPotModel model(input, data.train.types(), 0.0, 7);
+    std::vector<dp::NeighborTopology> topologies;
+    std::vector<dp::FrameGeometry> geometries(num_frames);
+    for (std::size_t f = 0; f < num_frames; ++f) {
+      topologies.push_back(model.build_topology(data.train.frame(f)));
+      dp::build_frame_geometry(model, data.train.frame(f), topologies[f],
+                               geometries[f]);
+    }
+    const dp::FastGraph fast(model);
+    // Replicate the frames round-robin so 8 workers see 8 fused groups.
+    constexpr std::size_t kFuse = 4;
+    constexpr std::size_t kTargets = 32;
+    std::vector<dp::FrameTarget> targets(kTargets);
+    for (std::size_t i = 0; i < kTargets; ++i) {
+      const std::size_t f = i % num_frames;
+      const md::Frame& frame = data.train.frame(f);
+      targets[i] = dp::FrameTarget{&geometries[f], frame.energy, frame.forces};
+    }
+
+    const double matrix_budget = smoke ? 0.05 : 0.3;
+    const bool was_enabled = nn::simd::enabled();
+    std::printf("simd matrix (%s, fuse %zu, %zu frame targets):\n",
+                matrix_config.name.c_str(), kFuse, kTargets);
+    std::vector<MatrixEntry> matrix;
+    for (const bool simd_on : {true, false}) {
+      nn::simd::set_enabled(simd_on);
+      for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+        MatrixEntry entry;
+        entry.simd_on = simd_on;
+        entry.threads = threads;
+        entry.frames_per_sec =
+            measure_fused(fast, model.num_params(), targets, weights, kFuse,
+                          threads, matrix_budget);
+        std::printf("  simd %-3s threads %zu: %9.1f frame-grads/s\n",
+                    simd_on ? "on" : "off", threads, entry.frames_per_sec);
+        matrix.push_back(entry);
+      }
+    }
+    nn::simd::set_enabled(was_enabled);
+
+    double on_1t = 0.0;
+    double off_1t = 0.0;
+    for (const MatrixEntry& entry : matrix) {
+      if (entry.threads != 1) continue;
+      (entry.simd_on ? on_1t : off_1t) = entry.frames_per_sec;
+    }
+    const double simd_speedup_1t = on_1t / off_1t;
+    std::printf("  single-thread simd speedup: %.2fx (%s)\n", simd_speedup_1t,
+                nn::simd::available() ? "avx2-fma vs scalar"
+                                      : "scalar vs scalar, no vector table");
+
+    simd_matrix["config"] = matrix_config.name;
+    simd_matrix["simd_available"] = nn::simd::available();
+    simd_matrix["simd_level"] =
+        nn::simd::available() ? "avx2-fma" : "scalar";
+    simd_matrix["fuse_frames"] = kFuse;
+    simd_matrix["frame_targets"] = kTargets;
+    simd_matrix["single_thread_simd_speedup"] = simd_speedup_1t;
+    util::JsonArray matrix_entries;
+    for (const MatrixEntry& entry : matrix) {
+      util::JsonObject row;
+      row["simd"] = entry.simd_on ? "on" : "off";
+      row["threads"] = entry.threads;
+      row["frames_per_sec"] = entry.frames_per_sec;
+      matrix_entries.push_back(util::Json(std::move(row)));
+    }
+    simd_matrix["entries"] = util::Json(std::move(matrix_entries));
+  }
+
   util::JsonObject doc;
   doc["bench"] = "model_kernels";
   doc["step_definition"] = "one per-frame loss gradient (energy+forces)";
+  doc["simd_matrix"] = util::Json(std::move(simd_matrix));
   util::JsonArray entries;
   for (const KernelResult& result : results) {
     util::JsonObject entry;

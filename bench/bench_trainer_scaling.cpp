@@ -74,8 +74,8 @@ bool validate_schema(const std::filesystem::path& path) {
   if (!doc.is_object()) return false;
   for (const char* key :
        {"bench", "hardware_concurrency", "steps", "atoms", "batch_size",
-        "lcurve_identical", "backward_mode", "tape_vs_analytic_speedup_1t",
-        "results", "metrics"}) {
+        "fuse_frames", "lcurve_identical", "backward_mode",
+        "tape_vs_analytic_speedup_1t", "results", "metrics"}) {
     if (!doc.contains(key)) {
       std::fprintf(stderr, "BENCH_trainer.json: missing key %s\n", key);
       return false;
@@ -205,6 +205,9 @@ int main(int argc, char** argv) {
   doc["steps"] = input.training.numb_steps;
   doc["atoms"] = atoms;
   doc["batch_size"] = input.training.batch_size;
+  // The lcurve depends on the fused-group size (it changes gradient
+  // summation order), so the artifact records the value it ran with.
+  doc["fuse_frames"] = dp::TrainerOptions{}.fuse_frames;
   doc["lcurve_identical"] = identical;
   doc["backward_mode"] = dp::to_string(dp::BackwardMode::kAnalytic);
   doc["tape_vs_analytic_speedup_1t"] = tape_vs_analytic_speedup;

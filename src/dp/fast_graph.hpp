@@ -15,10 +15,18 @@
 //     grad_theta(v . grad_x E) into one extra forward + one extra reverse
 //     sweep (derivation in DESIGN.md section 10).
 //
-// Per-frame work is grouped by embedding net -- all (center, neighbor) pairs
-// sharing a (species_i, species_j) net run through each dense layer as one
-// batch -- and by fitting net (atoms grouped by species), so the inner loops
-// are GEMM-style over contiguous rows instead of per-neighbor graph builds.
+// Geometry is stored SoA (structure-of-arrays): each per-pair attribute is
+// one contiguous net-major array, so every kernel sweep is a streaming read
+// of exactly the fields it touches instead of striding over an AoS struct.
+//
+// Passes fuse multiple frames: K frames of the same atom set run through
+// each per-net dense layer as one K-times-taller batch (loss_and_grad_fused),
+// which is where the batched SIMD kernels in nn/simd.hpp get their row
+// counts from.  The fused gradient uses combined tangent seeding -- the
+// energy-term coefficient e_coef rides the output tangent-adjoint seed while
+// the force residual rides the coordinate tangent -- so one tangent pass
+// accumulates the complete per-frame loss gradient and the reverse pass
+// never touches parameters (DESIGN.md section 13).
 //
 // The tape remains the differentiation oracle: TrainerOptions::backward_mode
 // selects between the two, and the parity test-suite holds them to agree.
@@ -37,25 +45,34 @@ namespace dpho::dp {
 
 /// Geometry-only quantities of one frame's in-cutoff pairs: invariant across
 /// training steps for a fixed candidate's r_cut, so the topology cache
-/// builds them once per dataset.  Pairs are stored net-major (grouped by the
-/// (center species, neighbor species) embedding net) for batched dispatch;
-/// within a net the order is (center atom, neighbor list order), so every
-/// sweep over pairs is deterministic.
+/// builds them once per dataset.  Storage is SoA, net-major (grouped by the
+/// (center species, neighbor species) embedding net); within a net the order
+/// is (center atom, neighbor list order), so every sweep over pairs is
+/// deterministic.  Pair p of net e occupies index net_offsets[e] + p of
+/// every array.
 struct FrameGeometry {
-  struct Pair {
-    std::uint32_t center = 0;  // atom i
-    std::uint32_t j = 0;       // neighbor atom index
-    double r = 0.0;            // |x_j + shift - x_i|
-    double s = 0.0;            // switching value s(r)
-    double ds_dr = 0.0;        // s'(r)
-    double u[3] = {0.0, 0.0, 0.0};  // unit vector (x_j + shift - x_i)/r
-  };
-  std::vector<Pair> pairs;                 // net-major
+  std::vector<std::uint32_t> center;  // atom i
+  std::vector<std::uint32_t> j;       // neighbor atom index
+  std::vector<double> r;              // |x_j + shift - x_i|
+  std::vector<double> s;              // switching value s(r)
+  std::vector<double> ds_dr;          // s'(r)
+  std::vector<double> ux, uy, uz;     // unit vector (x_j + shift - x_i)/r
   std::vector<std::uint32_t> net_offsets;  // kNumSpecies^2 + 1 entries
   std::size_t num_atoms = 0;
 
+  std::size_t size() const { return center.size(); }
   std::size_t net_count(std::size_t net) const {
     return net_offsets[net + 1] - net_offsets[net];
+  }
+  void resize_pairs(std::size_t count) {
+    center.resize(count);
+    j.resize(count);
+    r.resize(count);
+    s.resize(count);
+    ds_dr.resize(count);
+    ux.resize(count);
+    uy.resize(count);
+    uz.resize(count);
   }
 };
 
@@ -64,10 +81,19 @@ struct FrameGeometry {
 void build_frame_geometry(const DeepPotModel& model, const md::Frame& frame,
                           const NeighborTopology& topology, FrameGeometry& out);
 
+/// One frame of a fused loss-gradient batch: its geometry plus the training
+/// labels.  The geometry pointer must outlive the call.
+struct FrameTarget {
+  const FrameGeometry* geometry = nullptr;
+  double energy_ref = 0.0;
+  std::span<const md::Vec3> forces_ref;
+};
+
 /// The arena all FastGraph passes run in.  Buffers are sized on every use
 /// and only ever grow, so one workspace per worker thread makes the whole
 /// training step allocation-free in steady state.  A workspace may be reused
-/// across models of different shapes (sizes are re-derived per call).
+/// across models of different shapes and fusion widths (sizes are re-derived
+/// per call).
 struct FastWorkspace {
   /// Batched input/adjoint rows plus the layer caches for one net group.
   struct NetSlot {
@@ -82,13 +108,18 @@ struct FastWorkspace {
   std::vector<NetSlot> embed;  // kNumSpecies^2 slots
   std::vector<NetSlot> fit;    // kNumSpecies slots
 
-  // Per-atom T-matrix blocks (num_atoms x m1 x 4) and their adjoints.
+  // Per-atom T-matrix blocks ((frames * num_atoms) x m1 x 4), frame-major,
+  // and their adjoints/tangents.
   std::vector<double> t, t_bar, t_dot, t_bar_dot;
-  std::vector<double> coord_bar;  // 3N coordinate adjoints (forces = -this)
-  std::vector<double> lambda;     // 3N force residuals = tangent direction
-  std::vector<double> u_dot;      // 3 per pair: tangent of the unit vector
-  std::vector<double> energy_grad;  // d E / d theta (num_params)
-  std::vector<double> hvp;          // d/de of it along lambda (num_params)
+  std::vector<double> coord_bar;  // 3N per frame: dE/dx (forces = -this)
+  std::vector<double> lambda;     // 3N per frame: scaled coordinate tangent
+  std::vector<double> u_dot;      // 3 per pair row: tangent of the unit vector
+  std::vector<double> energies;   // per-frame energies from the last primal
+  std::vector<double> e_coef;     // per-frame energy-term seed coefficients
+  // Fused batch bookkeeping (sized per call).
+  std::vector<std::size_t> net_counts;      // per net: rows summed over frames
+  std::vector<std::size_t> net_row_offset;  // prefix sums of net_counts
+  std::vector<const FrameGeometry*> frame_ptrs;
 };
 
 class FastGraph {
@@ -104,24 +135,45 @@ class FastGraph {
   /// DeePMD per-frame loss and its full analytic parameter gradient
   /// (written into `grad`, sized model.num_params(); overwritten, not
   /// accumulated).  Matches the tape path's
-  /// gradient(loss(build_graph(...)), params) to rounding.
+  /// gradient(loss(build_graph(...)), params) to rounding.  Equivalent to a
+  /// one-frame loss_and_grad_fused call.
   double loss_and_grad(const FrameGeometry& geometry, double energy_ref,
                        std::span<const md::Vec3> forces_ref,
                        const LossWeights& weights, FastWorkspace& workspace,
                        std::span<double> grad) const;
 
+  /// Fused multi-frame pass: per-net batches stack all frames' rows, so K
+  /// frames cost one sweep of K-times-taller dense batches.  Writes each
+  /// frame's loss into `losses` (sized frames.size()) and the SUM of the
+  /// per-frame gradients into `grad` (overwritten).  The per-frame gradient
+  /// contributions accumulate in net-major batch order, which is fixed for a
+  /// fixed frame list -- results are independent of thread count but DO
+  /// depend on how frames are grouped into fused calls.
+  void loss_and_grad_fused(std::span<const FrameTarget> frames,
+                           const LossWeights& weights, FastWorkspace& workspace,
+                           std::span<double> grad,
+                           std::span<double> losses) const;
+
  private:
-  /// Forward + primal reverse: fills workspace.coord_bar (dE/dx) and, when
-  /// `param_grads`, workspace.energy_grad (dE/dtheta).  Returns the energy.
-  double primal_pass(const FrameGeometry& geometry, FastWorkspace& workspace,
-                     bool param_grads) const;
+  /// Forward + primal reverse over the fused frame list: fills
+  /// workspace.energies (per-frame energy) and workspace.coord_bar (dE/dx,
+  /// 3N per frame).  `training` additionally caches curvature for the
+  /// tangent pass.  The reverse pass never accumulates parameter gradients;
+  /// the tangent pass carries the energy term via its seed (see
+  /// DESIGN.md section 13).
+  void primal_pass(std::span<const FrameGeometry* const> frames,
+                   FastWorkspace& workspace, bool training) const;
 
-  /// Tangent (forward-over-reverse) pass along workspace.lambda; fills
-  /// workspace.hvp with grad_theta(lambda . grad_x E).  Requires the caches
-  /// left by a primal_pass(param_grads = true).
-  void tangent_pass(const FrameGeometry& geometry, FastWorkspace& workspace) const;
+  /// Tangent (forward-over-reverse) pass along workspace.lambda with output
+  /// tangent-adjoint seeds workspace.e_coef[frame]; accumulates (+=) the
+  /// combined gradient sum_f (e_coef_f dE_f/dtheta + grad_theta(lambda_f .
+  /// grad_x E_f)) into `grad`.  Requires the caches left by a
+  /// primal_pass(training = true).
+  void tangent_pass(std::span<const FrameGeometry* const> frames,
+                    FastWorkspace& workspace, std::span<double> grad) const;
 
-  void size_workspace(const FrameGeometry& geometry, FastWorkspace& workspace) const;
+  void size_workspace(std::span<const FrameGeometry* const> frames,
+                      FastWorkspace& workspace) const;
 
   const DeepPotModel* model_;
   std::size_t m1_ = 0;  // embedding output width

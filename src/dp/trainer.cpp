@@ -1,6 +1,8 @@
 #include "dp/trainer.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <span>
 
 #include "dp/loss.hpp"
 #include "hpc/parallel.hpp"
@@ -171,6 +173,19 @@ TrainResult Trainer::train() {
 
   const std::size_t batch_size = config_.training.batch_size;
   std::vector<std::size_t> batch_frames(batch_size);
+  // The analytic path fuses frames: the batch is split into fixed groups of
+  // fuse_frames consecutive batch slots, each group running one multi-frame
+  // kernel pass into its own preallocated gradient buffer.  Grouping is a
+  // function of batch index only, so it is thread-count independent.
+  const std::size_t fuse =
+      std::clamp<std::size_t>(options_.fuse_frames, 1, batch_size);
+  const std::size_t num_groups = (batch_size + fuse - 1) / fuse;
+  if (options_.backward_mode == BackwardMode::kAnalytic) {
+    frame_targets_.resize(batch_size);
+    frame_losses_.resize(batch_size);
+    group_grads_.resize(num_groups);
+    for (std::vector<double>& g : group_grads_) g.resize(params.size());
+  }
   for (std::size_t step = 0; step < total_steps; ++step) {
     if (options_.wall_limit_seconds &&
         seconds_since(start_time) > *options_.wall_limit_seconds) {
@@ -186,47 +201,68 @@ TrainResult Trainer::train() {
           rng.uniform_int(0, static_cast<std::int64_t>(train_data_.size()) - 1));
     }
 
-    // Data-parallel forward/backward per frame: the analytic engine runs the
-    // fused kernels in a per-worker arena; tape mode builds each frame graph
-    // on its worker's tape (the slow reference oracle).
+    // Data-parallel forward/backward: the analytic engine runs one fused
+    // multi-frame kernel pass per group in a per-worker arena; tape mode
+    // builds each frame graph on its worker's tape (the slow reference
+    // oracle).  Either way the reduction below walks a fixed order, so the
+    // lcurve is bit-identical at any thread count.
     obs::ScopedTimer grad_timer(grad_seconds);
-    const std::vector<FrameContribution> contributions =
-        hpc::parallel_map<FrameContribution>(pool_, batch_size, [&](std::size_t b) {
-          const md::Frame& frame = train_data_.frames()[batch_frames[b]];
-          FrameContribution contribution;
-          if (options_.backward_mode == BackwardMode::kAnalytic) {
-            contribution.grad.resize(model_.num_params());
-            contribution.loss = fast_graph_.loss_and_grad(
-                train_topology_.geometry_at(batch_frames[b]), frame.energy,
-                frame.forces, weights, workspaces_.local(), contribution.grad);
-            return contribution;
-          }
-          ad::Tape& tape = worker_tape();
-          tape.reset();
-          const DeepPotModel::FrameGraph graph =
-              model_.build_graph(tape, frame, train_topology_.at(batch_frames[b]));
-          const ad::Var frame_loss =
-              loss.build(tape, graph.energy, frame.energy, graph.forces,
-                         frame.forces, frame.positions.size(), weights);
-          const std::vector<ad::Var> dloss = tape.gradient(frame_loss, graph.params);
-          contribution.loss = frame_loss.value();
-          contribution.grad.resize(dloss.size());
-          for (std::size_t p = 0; p < dloss.size(); ++p) {
-            contribution.grad[p] = dloss[p].value();
-          }
-          return contribution;
-        });
-    grad_timer.stop();
-
-    // Fixed-order reduction: identical arithmetic, in identical order, to the
-    // serial accumulation -- the lcurve is bit-identical at any thread count.
     std::fill(grad.begin(), grad.end(), 0.0);
     double batch_loss = 0.0;
     const double inv_batch = 1.0 / static_cast<double>(batch_size);
-    for (std::size_t b = 0; b < batch_size; ++b) {
-      batch_loss += contributions[b].loss;
-      for (std::size_t p = 0; p < grad.size(); ++p) {
-        grad[p] += contributions[b].grad[p] * inv_batch;
+    if (options_.backward_mode == BackwardMode::kAnalytic) {
+      for (std::size_t b = 0; b < batch_size; ++b) {
+        const md::Frame& frame = train_data_.frames()[batch_frames[b]];
+        frame_targets_[b] =
+            FrameTarget{&train_topology_.geometry_at(batch_frames[b]),
+                        frame.energy, frame.forces};
+      }
+      const auto run_group = [&](std::size_t g) {
+        const std::size_t begin = g * fuse;
+        const std::size_t count = std::min(fuse, batch_size - begin);
+        fast_graph_.loss_and_grad_fused(
+            std::span<const FrameTarget>(frame_targets_).subspan(begin, count),
+            weights, workspaces_.local(), group_grads_[g],
+            std::span<double>(frame_losses_).subspan(begin, count));
+      };
+      if (pool_ == nullptr || pool_->size() <= 1 || num_groups <= 1) {
+        for (std::size_t g = 0; g < num_groups; ++g) run_group(g);
+      } else {
+        pool_->parallel_for(num_groups, run_group);
+      }
+      grad_timer.stop();
+      for (std::size_t b = 0; b < batch_size; ++b) batch_loss += frame_losses_[b];
+      for (std::size_t g = 0; g < num_groups; ++g) {
+        for (std::size_t p = 0; p < grad.size(); ++p) {
+          grad[p] += group_grads_[g][p] * inv_batch;
+        }
+      }
+    } else {
+      const std::vector<FrameContribution> contributions =
+          hpc::parallel_map<FrameContribution>(pool_, batch_size, [&](std::size_t b) {
+            const md::Frame& frame = train_data_.frames()[batch_frames[b]];
+            FrameContribution contribution;
+            ad::Tape& tape = worker_tape();
+            tape.reset();
+            const DeepPotModel::FrameGraph graph =
+                model_.build_graph(tape, frame, train_topology_.at(batch_frames[b]));
+            const ad::Var frame_loss =
+                loss.build(tape, graph.energy, frame.energy, graph.forces,
+                           frame.forces, frame.positions.size(), weights);
+            const std::vector<ad::Var> dloss = tape.gradient(frame_loss, graph.params);
+            contribution.loss = frame_loss.value();
+            contribution.grad.resize(dloss.size());
+            for (std::size_t p = 0; p < dloss.size(); ++p) {
+              contribution.grad[p] = dloss[p].value();
+            }
+            return contribution;
+          });
+      grad_timer.stop();
+      for (std::size_t b = 0; b < batch_size; ++b) {
+        batch_loss += contributions[b].loss;
+        for (std::size_t p = 0; p < grad.size(); ++p) {
+          grad[p] += contributions[b].grad[p] * inv_batch;
+        }
       }
     }
     if (!std::isfinite(batch_loss)) {

@@ -5,8 +5,11 @@
 // caps every training at two hours; individuals that exceed it are "unfit",
 // section 2.2.4).  The trainer is deterministic for a given seed -- and
 // bit-identical for a given seed at ANY thread count: the data-parallel path
-// evaluates per-frame gradients concurrently but reduces them in fixed frame
-// order (see hpc/parallel.hpp for why that matters for floats).
+// evaluates gradient groups concurrently but assigns frames to fused groups
+// by batch index alone and reduces the group buffers in fixed order (see
+// hpc/parallel.hpp for why that matters for floats).  Results DO depend on
+// TrainerOptions::fuse_frames (it changes summation grouping), which is why
+// it is an explicit option rather than derived from the worker count.
 #pragma once
 
 #include <chrono>
@@ -70,6 +73,12 @@ struct TrainerOptions {
   /// are the default; kTape keeps the scalar-tape oracle for parity testing
   /// and for debugging suspected kernel regressions (see DESIGN.md).
   BackwardMode backward_mode = BackwardMode::kAnalytic;
+  /// How many frames each fused analytic gradient call stacks into one
+  /// batched kernel pass (clamped to the batch size; minimum 1).  The batch
+  /// is split into ceil(batch / fuse_frames) fixed groups by batch index, so
+  /// the lcurve depends on this value but NOT on the thread count.  Ignored
+  /// in tape mode.
+  std::size_t fuse_frames = 4;
 };
 
 class Trainer {
@@ -110,6 +119,11 @@ class Trainer {
   Potential potential_;
   // One reusable kernel arena per gradient worker thread.
   hpc::ThreadScratch<FastWorkspace> workspaces_;
+  // Preallocated per-step buffers for the fused analytic path (sized once in
+  // train(), reused every step -- no per-step gradient allocations).
+  std::vector<FrameTarget> frame_targets_;    // batch_size entries
+  std::vector<double> frame_losses_;          // batch_size entries
+  std::vector<std::vector<double>> group_grads_;  // num_groups x num_params
 };
 
 }  // namespace dpho::dp

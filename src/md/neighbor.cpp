@@ -8,36 +8,63 @@ namespace dpho::md {
 
 NeighborList::NeighborList(const Box& box, const std::vector<Vec3>& positions,
                            double cutoff)
-    : cutoff_(cutoff), lists_(positions.size()) {
+    : cutoff_(cutoff) {
   if (cutoff <= 0.0) throw util::ValueError("neighbor cutoff must be positive");
   if (cutoff > box.max_cutoff() + 1e-12) {
     throw util::ValueError("neighbor cutoff exceeds half the box edge");
   }
+  std::vector<HalfPair> pairs;
   const auto cells_per_side = static_cast<std::size_t>(box.length() / cutoff);
   if (cells_per_side >= 3) {
-    build_cells(box, positions);
+    build_cells(box, positions, pairs);
     used_cells_ = true;
   } else {
-    build_brute_force(box, positions);
+    build_brute_force(box, positions, pairs);
+  }
+  compress(positions.size(), pairs);
+}
+
+void NeighborList::compress(std::size_t num_atoms,
+                            const std::vector<HalfPair>& pairs) {
+  // CSR: count both endpoints of every half-pair, prefix-sum into row
+  // offsets, then cursor-fill the flat array.  Emitting pairs in enumeration
+  // order keeps each atom's row in exactly the order the old per-atom
+  // push_back produced, so downstream summation order is unchanged.
+  offsets_.assign(num_atoms + 1, 0);
+  for (const HalfPair& pair : pairs) {
+    ++offsets_[pair.i + 1];
+    ++offsets_[pair.j + 1];
+  }
+  for (std::size_t i = 0; i < num_atoms; ++i) offsets_[i + 1] += offsets_[i];
+  flat_.resize(offsets_.back());
+
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const HalfPair& pair : pairs) {
+    flat_[cursor[pair.i]++] =
+        Neighbor{pair.j, pair.displacement, pair.distance};
+    flat_[cursor[pair.j]++] = Neighbor{
+        pair.i,
+        Vec3{-pair.displacement[0], -pair.displacement[1], -pair.displacement[2]},
+        pair.distance};
   }
 }
 
 void NeighborList::build_brute_force(const Box& box,
-                                     const std::vector<Vec3>& positions) {
+                                     const std::vector<Vec3>& positions,
+                                     std::vector<HalfPair>& pairs) const {
   const double cutoff_sq = cutoff_ * cutoff_;
   for (std::size_t i = 0; i < positions.size(); ++i) {
     for (std::size_t j = i + 1; j < positions.size(); ++j) {
       const Vec3 d = box.displacement(positions[i], positions[j]);
       const double dist_sq = dot(d, d);
       if (dist_sq >= cutoff_sq || dist_sq == 0.0) continue;
-      const double dist = std::sqrt(dist_sq);
-      lists_[i].push_back(Neighbor{j, d, dist});
-      lists_[j].push_back(Neighbor{i, Vec3{-d[0], -d[1], -d[2]}, dist});
+      pairs.push_back(HalfPair{i, j, d, std::sqrt(dist_sq)});
     }
   }
 }
 
-void NeighborList::build_cells(const Box& box, const std::vector<Vec3>& positions) {
+void NeighborList::build_cells(const Box& box, const std::vector<Vec3>& positions,
+                               std::vector<HalfPair>& pairs) const {
   const auto cells = static_cast<long>(box.length() / cutoff_);
   const double cell_size = box.length() / static_cast<double>(cells);
   const auto cell_of = [&](const Vec3& r) {
@@ -77,9 +104,7 @@ void NeighborList::build_cells(const Box& box, const std::vector<Vec3>& position
                   const Vec3 d = box.displacement(positions[a], positions[b]);
                   const double dist_sq = dot(d, d);
                   if (dist_sq >= cutoff_sq || dist_sq == 0.0) continue;
-                  const double dist = std::sqrt(dist_sq);
-                  lists_[a].push_back(Neighbor{b, d, dist});
-                  lists_[b].push_back(Neighbor{a, Vec3{-d[0], -d[1], -d[2]}, dist});
+                  pairs.push_back(HalfPair{a, b, d, std::sqrt(dist_sq)});
                 }
               }
             }
@@ -118,10 +143,8 @@ const NeighborList& VerletList::update(const std::vector<Vec3>& positions) {
 }
 
 double NeighborList::mean_neighbors() const {
-  if (lists_.empty()) return 0.0;
-  std::size_t total = 0;
-  for (const auto& list : lists_) total += list.size();
-  return static_cast<double>(total) / static_cast<double>(lists_.size());
+  if (size() == 0) return 0.0;
+  return static_cast<double>(flat_.size()) / static_cast<double>(size());
 }
 
 }  // namespace dpho::md

@@ -6,10 +6,16 @@
 // for boxes at least three cells wide; smaller boxes (like the paper's
 // 17.84 Angstrom box with an 8+ Angstrom cutoff) automatically fall back to
 // the O(N^2) exact scan, which is still cheap at 160 atoms.
+//
+// Storage is CSR (counts -> prefix-sum offsets -> one flat Neighbor array,
+// the lgrtk/CabanaMD layout): the whole topology is two allocations and
+// per-atom iteration is a contiguous streaming read, instead of one heap
+// vector per atom.
 #pragma once
 
 #include <cstddef>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "md/box.hpp"
@@ -24,15 +30,19 @@ struct Neighbor {
   double distance = 0.0;
 };
 
-/// Full per-atom neighbor lists (i's list contains j and j's contains i).
+/// Full per-atom neighbor lists (i's list contains j and j's contains i),
+/// stored as one flat CSR array indexed by per-atom offsets.
 class NeighborList {
  public:
   /// Builds lists for all atoms within `cutoff`; throws ValueError when the
   /// cutoff exceeds half the box edge.
   NeighborList(const Box& box, const std::vector<Vec3>& positions, double cutoff);
 
-  const std::vector<Neighbor>& neighbors_of(std::size_t i) const { return lists_[i]; }
-  std::size_t size() const { return lists_.size(); }
+  std::span<const Neighbor> neighbors_of(std::size_t i) const {
+    return std::span<const Neighbor>(flat_).subspan(offsets_[i],
+                                                    offsets_[i + 1] - offsets_[i]);
+  }
+  std::size_t size() const { return offsets_.size() - 1; }
   double cutoff() const { return cutoff_; }
 
   /// Mean neighbor count, a load metric used by the benches.
@@ -42,12 +52,26 @@ class NeighborList {
   bool used_cells() const { return used_cells_; }
 
  private:
-  void build_brute_force(const Box& box, const std::vector<Vec3>& positions);
-  void build_cells(const Box& box, const std::vector<Vec3>& positions);
+  /// One directed half-pair from the enumeration; the CSR fill emits it into
+  /// both endpoint rows, preserving the enumeration order per atom.
+  struct HalfPair {
+    std::size_t i = 0;
+    std::size_t j = 0;
+    Vec3 displacement{};  // r_j - r_i
+    double distance = 0.0;
+  };
+
+  void build_brute_force(const Box& box, const std::vector<Vec3>& positions,
+                         std::vector<HalfPair>& pairs) const;
+  void build_cells(const Box& box, const std::vector<Vec3>& positions,
+                   std::vector<HalfPair>& pairs) const;
+  /// counts -> offsets -> flat fill, in the half-pair enumeration order.
+  void compress(std::size_t num_atoms, const std::vector<HalfPair>& pairs);
 
   double cutoff_;
   bool used_cells_ = false;
-  std::vector<std::vector<Neighbor>> lists_;
+  std::vector<std::size_t> offsets_;  // num_atoms + 1
+  std::vector<Neighbor> flat_;        // offsets_.back() entries
 };
 
 /// Verlet list: a NeighborList built at cutoff + skin, reused across MD steps

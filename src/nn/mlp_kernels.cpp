@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "nn/activation.hpp"
+#include "nn/simd.hpp"
 #include "util/error.hpp"
 
 namespace dpho::nn {
@@ -20,22 +21,6 @@ void size_layer_buffers(std::vector<std::vector<double>>& buffers,
   buffers.resize(layers.size());
   for (std::size_t l = 0; l < layers.size(); ++l) {
     buffers[l].resize(batch * layers[l].out);
-  }
-}
-
-/// ybar_prev[s,i] = sum_o W[o,i] * zbar[s,o]  (adjoint through the weights).
-void propagate_bar(const double* weights, std::size_t in, std::size_t out,
-                   std::size_t batch, const double* zbar, double* ybar_prev) {
-  std::fill(ybar_prev, ybar_prev + batch * in, 0.0);
-  for (std::size_t s = 0; s < batch; ++s) {
-    const double* zrow = zbar + s * out;
-    double* yrow = ybar_prev + s * in;
-    for (std::size_t o = 0; o < out; ++o) {
-      const double z = zrow[o];
-      if (z == 0.0) continue;
-      const double* wrow = weights + o * in;
-      for (std::size_t i = 0; i < in; ++i) yrow[i] += z * wrow[i];
-    }
   }
 }
 
@@ -58,30 +43,25 @@ void mlp_forward_batch(const Mlp& mlp, std::span<const double> x,
   cache.bar_a.resize(batch * max_width(mlp));
   cache.bar_b.resize(batch * max_width(mlp));
 
+  const simd::Ops& ops = simd::active();
   const double* params = mlp.params().data();
   std::size_t offset = 0;
   const double* in_rows = x.data();
+  // bar_a doubles as the pre-activation scratch z here; the backward pass
+  // only uses it after this pass has fully consumed it.
+  double* z = cache.bar_a.data();
   for (std::size_t l = 0; l < layers.size(); ++l) {
     const LayerSpec& layer = layers[l];
     const double* weights = params + offset;
     const double* biases = weights + layer.in * layer.out;
+    ops.dense_forward(weights, biases, in_rows, batch, layer.in, layer.out, z);
     double* y = cache.y[l].data();
     double* sp = cache.sp[l].data();
     double* spp = curvature == Curvature::kCache ? cache.spp[l].data() : nullptr;
-    for (std::size_t s = 0; s < batch; ++s) {
-      const double* xs = in_rows + s * layer.in;
-      double* ys = y + s * layer.out;
-      double* sps = sp + s * layer.out;
-      for (std::size_t o = 0; o < layer.out; ++o) {
-        double z = biases[o];
-        const double* wrow = weights + o * layer.in;
-        for (std::size_t i = 0; i < layer.in; ++i) z += wrow[i] * xs[i];
-        ys[o] = apply(layer.activation, z);
-        sps[o] = derivative(layer.activation, z);
-        if (spp != nullptr) {
-          spp[s * layer.out + o] = second_derivative(layer.activation, z);
-        }
-      }
+    for (std::size_t k = 0; k < batch * layer.out; ++k) {
+      y[k] = apply(layer.activation, z[k]);
+      sp[k] = derivative(layer.activation, z[k]);
+      if (spp != nullptr) spp[k] = second_derivative(layer.activation, z[k]);
     }
     in_rows = y;
     offset += layer.in * layer.out + layer.out;
@@ -113,6 +93,7 @@ void mlp_backward_batch(const Mlp& mlp, std::span<const double> x,
     offset += layers[l].in * layers[l].out + layers[l].out;
   }
 
+  const simd::Ops& ops = simd::active();
   const double* params = mlp.params().data();
   const double* ybar = out_bar.data();
   for (std::size_t l = layers.size(); l-- > 0;) {
@@ -131,21 +112,12 @@ void mlp_backward_batch(const Mlp& mlp, std::span<const double> x,
       const std::size_t base = offsets[l];
       double* wgrad = param_grad.data() + base;
       double* bgrad = wgrad + layer.in * layer.out;
-      for (std::size_t s = 0; s < batch; ++s) {
-        const double* xs = xin + s * layer.in;
-        const double* zrow = zbar + s * layer.out;
-        for (std::size_t o = 0; o < layer.out; ++o) {
-          const double z = zrow[o];
-          bgrad[o] += z;
-          if (z == 0.0) continue;
-          double* wrow = wgrad + o * layer.in;
-          for (std::size_t i = 0; i < layer.in; ++i) wrow[i] += z * xs[i];
-        }
-      }
+      ops.dense_param_grad(xin, zbar, batch, layer.in, layer.out, wgrad, bgrad);
     }
     if (l > 0 || !x_bar.empty()) {
       double* dest = l == 0 ? x_bar.data() : cache.bar_a.data();
-      propagate_bar(params + offsets[l], layer.in, layer.out, batch, zbar, dest);
+      ops.dense_backward_input(params + offsets[l], zbar, batch, layer.in,
+                               layer.out, dest);
       ybar = dest;
     }
   }
@@ -163,6 +135,7 @@ void mlp_jvp_batch(const Mlp& mlp, std::span<const double> xdot,
   size_layer_buffers(cache.zdot, layers, batch);
   size_layer_buffers(cache.ydot, layers, batch);
 
+  const simd::Ops& ops = simd::active();
   const double* params = mlp.params().data();
   std::size_t offset = 0;
   const double* in_rows = xdot.data();
@@ -172,16 +145,12 @@ void mlp_jvp_batch(const Mlp& mlp, std::span<const double> xdot,
     const double* sp = cache.sp[l].data();
     double* zdot = cache.zdot[l].data();
     double* ydot = cache.ydot[l].data();
-    for (std::size_t s = 0; s < batch; ++s) {
-      const double* xs = in_rows + s * layer.in;
-      double* zrow = zdot + s * layer.out;
-      for (std::size_t o = 0; o < layer.out; ++o) {
-        double z = 0.0;  // parameter tangents are zero: no Wdot x term
-        const double* wrow = weights + o * layer.in;
-        for (std::size_t i = 0; i < layer.in; ++i) z += wrow[i] * xs[i];
-        zrow[o] = z;
-        ydot[s * layer.out + o] = sp[s * layer.out + o] * z;
-      }
+    // Parameter tangents are zero, so there is no Wdot x term: the tangent
+    // pre-activation is a bias-free forward through the primal weights.
+    ops.dense_forward(weights, nullptr, in_rows, batch, layer.in, layer.out,
+                      zdot);
+    for (std::size_t k = 0; k < batch * layer.out; ++k) {
+      ydot[k] = sp[k] * zdot[k];
     }
     in_rows = ydot;
     offset += layer.in * layer.out + layer.out;
@@ -215,6 +184,7 @@ void mlp_vjp_tangent_batch(const Mlp& mlp, std::span<const double> x,
     offset += layers[l].in * layers[l].out + layers[l].out;
   }
 
+  const simd::Ops& ops = simd::active();
   const double* params = mlp.params().data();
   // ybardot propagates in bar_b; zbardot is built in bar_a.  Both are sized
   // for the widest layer by the forward pass.
@@ -236,26 +206,14 @@ void mlp_vjp_tangent_batch(const Mlp& mlp, std::span<const double> x,
       const std::size_t base = offsets[l];
       double* whvp = param_hvp.data() + base;
       double* bhvp = whvp + layer.in * layer.out;
-      for (std::size_t s = 0; s < batch; ++s) {
-        const double* xs = xin + s * layer.in;
-        const double* xds = xin_dot + s * layer.in;
-        const double* zdrow = zbardot + s * layer.out;
-        const double* zrow = zbar + s * layer.out;
-        for (std::size_t o = 0; o < layer.out; ++o) {
-          const double zd = zdrow[o];
-          const double z = zrow[o];
-          bhvp[o] += zd;
-          double* wrow = whvp + o * layer.in;
-          // d/de (zbar x^T) = zbardot x^T + zbar xdot^T
-          for (std::size_t i = 0; i < layer.in; ++i) {
-            wrow[i] += zd * xs[i] + z * xds[i];
-          }
-        }
-      }
+      // d/de (zbar x^T) = zbardot x^T + zbar xdot^T
+      ops.dense_param_grad_tangent(xin, xin_dot, zbar, zbardot, batch, layer.in,
+                                   layer.out, whvp, bhvp);
     }
     if (l > 0 || !x_bar_dot.empty()) {
       double* dest = l == 0 ? x_bar_dot.data() : cache.bar_b.data();
-      propagate_bar(params + offsets[l], layer.in, layer.out, batch, zbardot, dest);
+      ops.dense_backward_input(params + offsets[l], zbardot, batch, layer.in,
+                               layer.out, dest);
       ybardot = dest;
     }
   }

@@ -1,0 +1,81 @@
+// Runtime-dispatched dense-layer primitives for the batched MLP kernels.
+//
+// Every hot loop in nn/mlp_kernels.cpp is one of five dense row operations
+// over sample-major SoA batches.  This header exposes them behind a function
+// table that is resolved once at first use:
+//
+//   * an AVX2/FMA implementation (src/nn/simd_avx2.cpp, compiled with
+//     -mavx2 -mfma when DPHO_ENABLE_SIMD is ON) selected when the running
+//     CPU reports both features, and
+//   * a portable scalar fallback that reproduces the original kernel loops
+//     exactly.
+//
+// Dispatch can be forced to scalar with the environment variable
+// DPHO_SIMD=off (read once at first use) or flipped at runtime with
+// set_enabled() -- which is how the SIMD parity tests and the
+// bench_model_kernels SIMD-on/off matrix drive both paths in one process.
+//
+// Determinism: the AVX2 forward kernels split dot products across vector
+// lanes, so their reduction order differs from scalar and results can differ
+// from the scalar path by FMA-contraction-sized rounding (the parity tests
+// pin the tolerance).  Within either path, results are bit-reproducible and
+// independent of thread count: dispatch state is process-global and the
+// kernels carry no per-thread state.
+#pragma once
+
+#include <cstddef>
+
+namespace dpho::nn::simd {
+
+/// The dense-layer operation table one dispatch level provides.  All batches
+/// are sample-major: x is batch rows of `in` values, z is batch rows of
+/// `out` values, weights are row-major [out][in].
+struct Ops {
+  /// z[s,o] = (bias ? bias[o] : 0) + sum_i w[o,i] x[s,i]
+  void (*dense_forward)(const double* w, const double* bias, const double* x,
+                        std::size_t batch, std::size_t in, std::size_t out,
+                        double* z);
+  /// ybar[s,i] = sum_o w[o,i] zbar[s,o]   (overwrites ybar)
+  void (*dense_backward_input)(const double* w, const double* zbar,
+                               std::size_t batch, std::size_t in,
+                               std::size_t out, double* ybar);
+  /// wgrad[o,i] += sum_s zbar[s,o] x[s,i];  bgrad[o] += sum_s zbar[s,o]
+  void (*dense_param_grad)(const double* x, const double* zbar,
+                           std::size_t batch, std::size_t in, std::size_t out,
+                           double* wgrad, double* bgrad);
+  /// whvp[o,i] += sum_s (zbardot[s,o] x[s,i] + zbar[s,o] xdot[s,i]);
+  /// bhvp[o] += sum_s zbardot[s,o]   (the d/de of dense_param_grad)
+  void (*dense_param_grad_tangent)(const double* x, const double* xdot,
+                                   const double* zbar, const double* zbardot,
+                                   std::size_t batch, std::size_t in,
+                                   std::size_t out, double* whvp, double* bhvp);
+  const char* name;  // "avx2-fma" or "scalar"
+};
+
+/// The currently dispatched table (resolved lazily on first call).
+const Ops& active();
+
+/// True when an AVX2/FMA table was compiled in AND the running CPU supports
+/// it (independent of whether it is currently enabled).
+bool available();
+
+/// True when the active table is the vector one.
+bool enabled();
+
+/// Force the vector (true) or scalar (false) table.  Enabling is a no-op
+/// when available() is false; returns the resulting enabled() state.  Not
+/// intended for use while kernels are running on other threads.
+bool set_enabled(bool on);
+
+/// Name of the active table ("avx2-fma" / "scalar").
+const char* level_name();
+
+/// The scalar table (always present; the parity oracle).
+const Ops& scalar_ops();
+
+/// The AVX2 table, or nullptr when not compiled in (DPHO_ENABLE_SIMD=OFF).
+/// Internal to the dispatcher and the tests; callers must check the CPU via
+/// available() before using it.
+const Ops* avx2_ops();
+
+}  // namespace dpho::nn::simd

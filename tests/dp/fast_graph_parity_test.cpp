@@ -194,6 +194,123 @@ TEST(FastGraphParityDetail, WorkspaceReuseAcrossFramesIsClean) {
   EXPECT_EQ(grad_fresh, grad_reused);
 }
 
+TEST(FastGraphParityDetail, FusedMultiFrameMatchesPerFrameCalls) {
+  // The fused pass stacks K frames into taller per-net batches.  Every row
+  // operation is per-sample independent, so each frame's loss must come out
+  // bit-identical to a single-frame call; the fused gradient is the sum of
+  // the per-frame gradients, accumulated in net-major order (tolerance-level
+  // equal to summing the individual gradients).
+  util::Rng rng(505);
+  const std::vector<md::Species> types = random_types(rng);
+  const DeepPotModel model(small_config(nn::Activation::kTanh), types, 0.05, 19);
+  const FastGraph fast(model);
+  const LossWeights weights{0.4, 18.0};
+
+  constexpr std::size_t kFrames = 5;
+  std::vector<md::Frame> frames;
+  std::vector<FrameGeometry> geometries(kFrames);
+  std::vector<std::vector<md::Vec3>> forces_refs(kFrames);
+  std::vector<double> energy_refs(kFrames);
+  std::vector<FrameTarget> targets(kFrames);
+  for (std::size_t f = 0; f < kFrames; ++f) {
+    frames.push_back(random_frame(rng));
+    build_frame_geometry(model, frames[f], model.build_topology(frames[f]),
+                         geometries[f]);
+    energy_refs[f] = rng.uniform(-2.0, 2.0);
+    forces_refs[f].assign(kAtoms, md::Vec3{});
+    for (md::Vec3& fr : forces_refs[f]) {
+      for (int k = 0; k < 3; ++k) fr[k] = rng.uniform(-0.5, 0.5);
+    }
+    targets[f] = FrameTarget{&geometries[f], energy_refs[f], forces_refs[f]};
+  }
+
+  // Per-frame reference.
+  FastWorkspace single_ws;
+  std::vector<double> single_losses(kFrames);
+  std::vector<double> grad_sum(model.num_params(), 0.0);
+  std::vector<double> grad_one(model.num_params());
+  for (std::size_t f = 0; f < kFrames; ++f) {
+    single_losses[f] =
+        fast.loss_and_grad(geometries[f], energy_refs[f], forces_refs[f],
+                           weights, single_ws, grad_one);
+    for (std::size_t p = 0; p < grad_sum.size(); ++p) grad_sum[p] += grad_one[p];
+  }
+
+  FastWorkspace fused_ws;
+  std::vector<double> fused_losses(kFrames);
+  std::vector<double> fused_grad(model.num_params(), -3.0);  // must be overwritten
+  fast.loss_and_grad_fused(targets, weights, fused_ws, fused_grad, fused_losses);
+
+  double scale = 1.0;
+  for (const double g : grad_sum) scale = std::max(scale, std::abs(g));
+  for (std::size_t f = 0; f < kFrames; ++f) {
+    EXPECT_DOUBLE_EQ(fused_losses[f], single_losses[f]) << "frame " << f;
+  }
+  for (std::size_t p = 0; p < fused_grad.size(); ++p) {
+    EXPECT_NEAR(fused_grad[p], grad_sum[p], 1e-9 * scale) << "param " << p;
+  }
+
+  // Re-running the same fused batch through the same (now warm) workspace
+  // must reproduce the result bit for bit.
+  std::vector<double> losses_again(kFrames);
+  std::vector<double> grad_again(model.num_params());
+  fast.loss_and_grad_fused(targets, weights, fused_ws, grad_again, losses_again);
+  EXPECT_EQ(losses_again, fused_losses);
+  EXPECT_EQ(grad_again, fused_grad);
+}
+
+TEST(FastGraphParityDetail, FusedGradientMatchesTapeSum) {
+  // End-to-end oracle check of the combined tangent seeding: the fused
+  // gradient over K frames equals the sum of the tape's per-frame loss
+  // gradients.
+  util::Rng rng(606);
+  const std::vector<md::Species> types = random_types(rng);
+  const DeepPotModel model(small_config(nn::Activation::kSigmoid), types, 0.0, 23);
+  const FastGraph fast(model);
+  const LossWeights weights{0.25, 30.0};
+
+  constexpr std::size_t kFrames = 3;
+  std::vector<md::Frame> frames;
+  std::vector<FrameGeometry> geometries(kFrames);
+  std::vector<std::vector<md::Vec3>> forces_refs(kFrames);
+  std::vector<FrameTarget> targets(kFrames);
+  double tape_loss_sum = 0.0;
+  std::vector<double> tape_grad_sum(model.num_params(), 0.0);
+  for (std::size_t f = 0; f < kFrames; ++f) {
+    frames.push_back(random_frame(rng));
+    const NeighborTopology topology = model.build_topology(frames[f]);
+    build_frame_geometry(model, frames[f], topology, geometries[f]);
+    const double energy_ref = rng.uniform(-1.0, 1.0);
+    forces_refs[f].assign(kAtoms, md::Vec3{});
+    for (md::Vec3& fr : forces_refs[f]) {
+      for (int k = 0; k < 3; ++k) fr[k] = rng.uniform(-0.4, 0.4);
+    }
+    targets[f] = FrameTarget{&geometries[f], energy_ref, forces_refs[f]};
+    const TapeResult tape = tape_loss_and_grad(model, frames[f], topology,
+                                               energy_ref, forces_refs[f],
+                                               weights);
+    tape_loss_sum += tape.loss;
+    for (std::size_t p = 0; p < tape_grad_sum.size(); ++p) {
+      tape_grad_sum[p] += tape.grad[p];
+    }
+  }
+
+  FastWorkspace workspace;
+  std::vector<double> losses(kFrames);
+  std::vector<double> grad(model.num_params());
+  fast.loss_and_grad_fused(targets, weights, workspace, grad, losses);
+
+  double loss_sum = 0.0;
+  for (const double l : losses) loss_sum += l;
+  EXPECT_NEAR(loss_sum, tape_loss_sum,
+              1e-9 * std::max(1.0, std::abs(tape_loss_sum)));
+  double scale = 1.0;
+  for (const double g : tape_grad_sum) scale = std::max(scale, std::abs(g));
+  for (std::size_t p = 0; p < grad.size(); ++p) {
+    EXPECT_NEAR(grad[p], tape_grad_sum[p], 1e-8 * scale) << "param " << p;
+  }
+}
+
 TEST(FastGraphParityDetail, GeometryCountsMatchTopologyWithinCutoff) {
   util::Rng rng(31);
   const md::Frame frame = random_frame(rng);
@@ -211,7 +328,7 @@ TEST(FastGraphParityDetail, GeometryCountsMatchTopologyWithinCutoff) {
       if (md::norm(d) < model.spec().descriptor.rcut) ++in_cutoff;
     }
   }
-  EXPECT_EQ(geometry.pairs.size(), in_cutoff);
+  EXPECT_EQ(geometry.size(), in_cutoff);
   EXPECT_EQ(geometry.num_atoms, types.size());
   // Net-major grouping: offsets are monotone and every pair in a net's range
   // actually belongs to that net.
@@ -219,8 +336,9 @@ TEST(FastGraphParityDetail, GeometryCountsMatchTopologyWithinCutoff) {
     EXPECT_LE(geometry.net_offsets[net], geometry.net_offsets[net + 1]);
     for (std::uint32_t p = geometry.net_offsets[net];
          p < geometry.net_offsets[net + 1]; ++p) {
-      const FrameGeometry::Pair& pair = geometry.pairs[p];
-      EXPECT_EQ(DeepPotModel::pair_index(types[pair.center], types[pair.j]), net);
+      EXPECT_EQ(DeepPotModel::pair_index(types[geometry.center[p]],
+                                         types[geometry.j[p]]),
+                net);
     }
   }
 }

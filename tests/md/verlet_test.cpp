@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "md/potential.hpp"
@@ -97,6 +98,55 @@ TEST(VerletList, ForcesIdenticalWithAndWithoutVerlet) {
     }
   }
   EXPECT_GE(verlet.rebuild_count(), 1u);
+}
+
+TEST(VerletList, RebuildTriggersExactlyWhenSkinHalfExceeded) {
+  // The skin invariant, randomized: a rebuild happens iff some atom has
+  // drifted (minimum-image) more than skin/2 from its position at the last
+  // rebuild; between rebuilds update() keeps returning the identical stale
+  // CSR content.
+  util::Rng rng(7);
+  const Box box(20.0);
+  auto positions = random_positions(40, 20.0, rng);
+  const double skin = 1.0;
+  VerletList verlet(box, 4.0, skin);
+  verlet.update(positions);
+  std::vector<Vec3> reference = positions;  // positions at the last rebuild
+  std::size_t expected_rebuilds = 1;
+  for (int step = 0; step < 40; ++step) {
+    for (auto& r : positions) {
+      r = r + Vec3{rng.normal(0.0, 0.12), rng.normal(0.0, 0.12),
+                   rng.normal(0.0, 0.12)};
+    }
+    double max_drift_sq = 0.0;
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      const Vec3 d = box.displacement(reference[i], positions[i]);
+      max_drift_sq = std::max(max_drift_sq, dot(d, d));
+    }
+    const bool should_rebuild = max_drift_sq > 0.25 * skin * skin;
+    const NeighborList& list = verlet.update(positions);
+    if (should_rebuild) {
+      ++expected_rebuilds;
+      reference = positions;
+    }
+    ASSERT_EQ(verlet.rebuild_count(), expected_rebuilds) << "step " << step;
+    if (!should_rebuild) {
+      // Stale list: rebuilt from `reference`, so its rows must match a fresh
+      // build at those positions entry for entry.
+      const NeighborList fresh(box, reference, verlet.cutoff() + verlet.skin());
+      ASSERT_EQ(list.size(), fresh.size());
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        const auto row = list.neighbors_of(i);
+        const auto expected_row = fresh.neighbors_of(i);
+        ASSERT_EQ(row.size(), expected_row.size()) << "atom " << i;
+        for (std::size_t k = 0; k < row.size(); ++k) {
+          EXPECT_EQ(row[k].index, expected_row[k].index);
+          EXPECT_EQ(row[k].distance, expected_row[k].distance);
+        }
+      }
+    }
+  }
+  EXPECT_GT(expected_rebuilds, 1u);  // the drift magnitude makes this certain
 }
 
 TEST(VerletList, ZeroSkinRebuildsOnAnyMove) {

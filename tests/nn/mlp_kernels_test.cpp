@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "ad/tape.hpp"
+#include "nn/simd.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -99,7 +100,23 @@ INSTANTIATE_TEST_SUITE_P(All, KernelActivations,
                            return to_string(param_info.param);
                          });
 
+/// Pins the kernel dispatch to scalar for one test's scope: bit-exactness
+/// against the per-row reference only holds for the scalar table (the AVX2
+/// forward reduces dot products in a different order; simd_parity_test.cpp
+/// owns the vector-vs-scalar bound).
+class ScopedScalarKernels {
+ public:
+  ScopedScalarKernels() : was_enabled_(simd::enabled()) {
+    simd::set_enabled(false);
+  }
+  ~ScopedScalarKernels() { simd::set_enabled(was_enabled_); }
+
+ private:
+  bool was_enabled_;
+};
+
 TEST_P(KernelActivations, BatchedForwardMatchesPerRowForward) {
+  ScopedScalarKernels scalar_only;
   const Mlp mlp = make_mlp(GetParam(), 7);
   util::Rng rng(11);
   const std::vector<double> x = random_values(rng, kBatch * kIn);

@@ -1,0 +1,172 @@
+// SIMD-vs-scalar parity for the dispatched dense-layer kernels, over every
+// activation, via the four public mlp_kernels passes run twice -- once with
+// the vector table forced on, once forced off.
+//
+// Tolerance contract (documented in DESIGN.md section 13): the accumulate
+// kernels (param_grad, param_grad_tangent, backward_input) keep the scalar
+// per-element order and differ from scalar only by FMA contraction, but the
+// AVX2 forward splits each dot product across four lanes, which reorders the
+// reduction.  Both effects are bounded by a few ULPs per reduction term, so
+// parity is pinned at kTol = 1e-13 relative -- far below any model-level
+// signal, far above what an indexing or masking bug could sneak under.
+// Within one dispatch level results stay bit-reproducible.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "nn/mlp_kernels.hpp"
+#include "nn/simd.hpp"
+#include "util/rng.hpp"
+
+namespace dpho::nn {
+namespace {
+
+constexpr double kTol = 1e-13;  // relative, pinned -- see header comment
+
+// Odd sizes on purpose: every AVX2 kernel has to run its scalar tails.
+constexpr std::size_t kIn = 7;
+constexpr std::size_t kBatch = 9;
+
+Mlp make_mlp(Activation activation, std::uint64_t seed) {
+  Mlp mlp(kIn, {11, 6, 3}, activation, activation);
+  util::Rng rng(seed);
+  mlp.init_xavier(rng);
+  return mlp;
+}
+
+std::vector<double> random_values(util::Rng& rng, std::size_t count) {
+  std::vector<double> values(count);
+  for (double& v : values) v = rng.uniform(-1.5, 1.5);
+  return values;
+}
+
+void expect_close(const std::vector<double>& simd,
+                  const std::vector<double>& scalar, const char* what) {
+  ASSERT_EQ(simd.size(), scalar.size()) << what;
+  for (std::size_t k = 0; k < simd.size(); ++k) {
+    const double scale = std::max(1.0, std::abs(scalar[k]));
+    EXPECT_NEAR(simd[k], scalar[k], kTol * scale) << what << "[" << k << "]";
+  }
+}
+
+/// Everything the four passes produce for one dispatch level.
+struct PassOutputs {
+  std::vector<double> forward_out;
+  std::vector<double> x_bar;
+  std::vector<double> param_grad;
+  std::vector<double> jvp_out;
+  std::vector<double> x_bar_dot;
+  std::vector<double> param_hvp;
+};
+
+PassOutputs run_all_passes(const Mlp& mlp, const std::vector<double>& x,
+                           const std::vector<double>& xdot,
+                           const std::vector<double>& out_bar,
+                           const std::vector<double>& out_bar_dot) {
+  MlpBatchCache cache;
+  PassOutputs result;
+  mlp_forward_batch(mlp, x, kBatch, cache, Curvature::kCache);
+  result.forward_out.assign(cache.out().begin(), cache.out().end());
+
+  result.x_bar.resize(kBatch * kIn);
+  result.param_grad.assign(mlp.num_params(), 0.0);
+  mlp_backward_batch(mlp, x, kBatch, cache, out_bar, result.x_bar,
+                     result.param_grad);
+
+  mlp_jvp_batch(mlp, xdot, kBatch, cache);
+  result.jvp_out.assign(cache.out_dot().begin(), cache.out_dot().end());
+
+  result.x_bar_dot.resize(kBatch * kIn);
+  result.param_hvp.assign(mlp.num_params(), 0.0);
+  mlp_vjp_tangent_batch(mlp, x, xdot, kBatch, cache, out_bar_dot,
+                        result.x_bar_dot, result.param_hvp);
+  return result;
+}
+
+class SimdParity : public ::testing::TestWithParam<Activation> {
+ protected:
+  void SetUp() override {
+    if (!simd::available()) {
+      GTEST_SKIP() << "no AVX2/FMA kernels on this build/CPU";
+    }
+    was_enabled_ = simd::enabled();
+  }
+  void TearDown() override {
+    if (simd::available()) simd::set_enabled(was_enabled_);
+  }
+
+ private:
+  bool was_enabled_ = false;
+};
+
+INSTANTIATE_TEST_SUITE_P(All, SimdParity,
+                         ::testing::Values(Activation::kTanh, Activation::kSigmoid,
+                                           Activation::kSoftplus, Activation::kRelu,
+                                           Activation::kRelu6,
+                                           Activation::kIdentity),
+                         [](const auto& param_info) {
+                           return to_string(param_info.param);
+                         });
+
+TEST_P(SimdParity, AllFourPassesMatchScalarWithinPinnedTolerance) {
+  const Mlp mlp = make_mlp(GetParam(), 17);
+  util::Rng rng(23);
+  const std::vector<double> x = random_values(rng, kBatch * kIn);
+  const std::vector<double> xdot = random_values(rng, kBatch * kIn);
+  const std::vector<double> out_bar =
+      random_values(rng, kBatch * mlp.output_width());
+  const std::vector<double> out_bar_dot =
+      random_values(rng, kBatch * mlp.output_width());
+
+  ASSERT_TRUE(simd::set_enabled(true));
+  ASSERT_STREQ(simd::level_name(), "avx2-fma");
+  const PassOutputs vec = run_all_passes(mlp, x, xdot, out_bar, out_bar_dot);
+
+  ASSERT_FALSE(simd::set_enabled(false));
+  ASSERT_STREQ(simd::level_name(), "scalar");
+  const PassOutputs ref = run_all_passes(mlp, x, xdot, out_bar, out_bar_dot);
+
+  expect_close(vec.forward_out, ref.forward_out, "forward");
+  expect_close(vec.x_bar, ref.x_bar, "x_bar");
+  expect_close(vec.param_grad, ref.param_grad, "param_grad");
+  expect_close(vec.jvp_out, ref.jvp_out, "jvp");
+  expect_close(vec.x_bar_dot, ref.x_bar_dot, "x_bar_dot");
+  expect_close(vec.param_hvp, ref.param_hvp, "param_hvp");
+}
+
+TEST_P(SimdParity, RepeatedRunsAreBitIdenticalWithinOneDispatchLevel) {
+  const Mlp mlp = make_mlp(GetParam(), 31);
+  util::Rng rng(37);
+  const std::vector<double> x = random_values(rng, kBatch * kIn);
+  const std::vector<double> xdot = random_values(rng, kBatch * kIn);
+  const std::vector<double> out_bar =
+      random_values(rng, kBatch * mlp.output_width());
+  const std::vector<double> out_bar_dot =
+      random_values(rng, kBatch * mlp.output_width());
+
+  for (const bool on : {true, false}) {
+    simd::set_enabled(on);
+    const PassOutputs a = run_all_passes(mlp, x, xdot, out_bar, out_bar_dot);
+    const PassOutputs b = run_all_passes(mlp, x, xdot, out_bar, out_bar_dot);
+    EXPECT_EQ(a.forward_out, b.forward_out);
+    EXPECT_EQ(a.x_bar, b.x_bar);
+    EXPECT_EQ(a.param_grad, b.param_grad);
+    EXPECT_EQ(a.jvp_out, b.jvp_out);
+    EXPECT_EQ(a.x_bar_dot, b.x_bar_dot);
+    EXPECT_EQ(a.param_hvp, b.param_hvp);
+  }
+}
+
+TEST(SimdDispatch, SetEnabledReportsResultingState) {
+  const bool was = simd::enabled();
+  const bool off = simd::set_enabled(false);
+  EXPECT_FALSE(off);
+  EXPECT_STREQ(simd::level_name(), "scalar");
+  const bool on = simd::set_enabled(true);
+  EXPECT_EQ(on, simd::available());  // enabling is a no-op without the table
+  simd::set_enabled(was);
+}
+
+}  // namespace
+}  // namespace dpho::nn
