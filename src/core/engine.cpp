@@ -44,6 +44,17 @@ hpc::FarmConfig farm_config_for(const EngineConfig& config, std::uint64_t seed) 
   return farm;
 }
 
+std::unique_ptr<hpc::ClusterSession> make_session(const EngineConfig& config,
+                                                  std::uint64_t seed) {
+  if (config.session_factory) {
+    return config.session_factory(config.cluster,
+                                  farm_config_for(config, seed));
+  }
+  return hpc::make_cluster_session(config.cluster,
+                                   farm_config_for(config, seed),
+                                   config.cluster_backend);
+}
+
 }  // namespace
 
 std::uint64_t derive_eval_seed(std::uint64_t run_seed, int wave,
@@ -62,9 +73,7 @@ EngineRun::EngineRun(const EngineConfig& engine_config,
     : config(engine_config), evaluator(backend), genome_layout(layout),
       seed(run_seed), num_workers(resolve_workers(engine_config)),
       budget(resolve_budget(engine_config)), rng(run_seed),
-      farm(hpc::make_cluster_session(engine_config.cluster,
-                                     farm_config_for(engine_config, run_seed),
-                                     engine_config.cluster_backend)) {
+      farm(make_session(engine_config, run_seed)) {
   context.mutation_std() = genome_layout.initial_stds();
   bounds = genome_layout.bounds();
   record.seed = seed;
@@ -377,22 +386,52 @@ void GenerationalSchedule::run(EngineRun& run, VariationPolicy& variation) {
 }
 
 void SteadyStateSchedule::run(EngineRun& run, VariationPolicy& variation) {
-  const EngineConfig& config = run.config;
-  const std::size_t mu = config.population_size;
+  SteadyStateLoop loop(run, variation);
+  loop.start();
+  while (!loop.done()) {
+    const std::optional<hpc::StreamCompletion> done = run.farm->stream_next();
+    if (!done) break;
+    loop.handle(*done);
+  }
+  loop.finish();
+}
 
-  ea::Population archive;
-  std::map<std::size_t, ea::Individual> in_flight;  // birth id -> offspring
-  GenerationRecord wave;     // the open wave (completions so far)
-  std::size_t wave_index = 0;
-  double wave_started = 0.0;
-  std::size_t wave_node_failures_base = 0;
-  std::size_t births = 0;
-  std::size_t completions = 0;
+SteadyStateLoop::SteadyStateLoop(EngineRun& run, VariationPolicy& variation)
+    : run_(run), variation_(variation) {}
+
+// Submit one offspring: the payload is computed now (deterministic seed
+// keyed on the birth's wave), the farm resolves faults/retries, and the
+// completion surfaces at its simulated finish time.
+void SteadyStateLoop::submit(ea::Individual individual) {
+  const std::size_t id = births_;
+  const int wave_of_birth =
+      static_cast<int>(id / run_.config.population_size);
+  run_.farm->stream_submit(run_.make_spec(id, individual, wave_of_birth),
+                           run_.local_work());
+  in_flight_.emplace(id, std::move(individual));
+  ++births_;
+}
+
+void SteadyStateLoop::save_checkpoint() {
+  if (!run_.checkpoints) return;
+  DriverCheckpoint checkpoint = run_.base_checkpoint(completions_, archive_);
+  checkpoint.births = births_;
+  checkpoint.wave_started_minutes = wave_started_;
+  checkpoint.wave_node_failures_base = wave_node_failures_base_;
+  checkpoint.partial_wave = wave_;
+  for (auto& [id, individual] : in_flight_) {
+    checkpoint.in_flight.push_back(InFlightBirth{id, individual});
+  }
+  run_.checkpoints->save(checkpoint);
+}
+
+void SteadyStateLoop::start() {
+  const EngineConfig& config = run_.config;
 
   bool resumed = false;
-  if (config.resume && run.checkpoints) {
-    if (std::optional<DriverCheckpoint> checkpoint = run.checkpoints->load()) {
-      if (checkpoint->seed != run.seed) {
+  if (config.resume && run_.checkpoints) {
+    if (std::optional<DriverCheckpoint> checkpoint = run_.checkpoints->load()) {
+      if (checkpoint->seed != run_.seed) {
         throw util::ValueError(
             "checkpoint seed mismatch: directory holds a run for seed " +
             std::to_string(checkpoint->seed));
@@ -401,18 +440,20 @@ void SteadyStateSchedule::run(EngineRun& run, VariationPolicy& variation) {
         throw util::ValueError("checkpoint mode mismatch: directory holds a " +
                                to_string(checkpoint->mode) + " run");
       }
-      archive = std::move(checkpoint->parents);
-      run.rng.restore_state(checkpoint->rng);
-      run.context.mutation_std() = checkpoint->mutation_std;
-      run.record.generations = std::move(checkpoint->generations);
-      births = checkpoint->births;
-      completions = checkpoint->completed_generations;
-      wave_index = run.record.generations.size();
-      wave_started = checkpoint->wave_started_minutes;
-      wave_node_failures_base = checkpoint->wave_node_failures_base;
-      if (checkpoint->partial_wave) wave = std::move(*checkpoint->partial_wave);
+      archive_ = std::move(checkpoint->parents);
+      run_.rng.restore_state(checkpoint->rng);
+      run_.context.mutation_std() = checkpoint->mutation_std;
+      run_.record.generations = std::move(checkpoint->generations);
+      births_ = checkpoint->births;
+      completions_ = checkpoint->completed_generations;
+      wave_index_ = run_.record.generations.size();
+      wave_started_ = checkpoint->wave_started_minutes;
+      wave_node_failures_base_ = checkpoint->wave_node_failures_base;
+      if (checkpoint->partial_wave) {
+        wave_ = std::move(*checkpoint->partial_wave);
+      }
       for (InFlightBirth& birth : checkpoint->in_flight) {
-        in_flight.emplace(birth.id, std::move(birth.individual));
+        in_flight_.emplace(birth.id, std::move(birth.individual));
       }
       // The farm snapshot carries the open stream session.  The sim backend
       // restores every in-flight report verbatim; the process backend cannot
@@ -420,118 +461,109 @@ void SteadyStateSchedule::run(EngineRun& run, VariationPolicy& variation) {
       // lost ids back and we re-submit them (same deterministic eval seed --
       // the re-run is fitness-identical to what the dead run would have
       // produced).
-      const std::vector<std::size_t> lost = run.farm->restore(checkpoint->farm);
+      const std::vector<std::size_t> lost =
+          run_.farm->restore(checkpoint->farm);
       for (const std::size_t id : lost) {
-        const auto it = in_flight.find(id);
-        if (it == in_flight.end()) {
+        const auto it = in_flight_.find(id);
+        if (it == in_flight_.end()) {
           throw util::ValueError(
               "restore reported lost task " + std::to_string(id) +
               " that the checkpoint does not hold in flight");
         }
         const int wave_of_birth =
             static_cast<int>(id / config.population_size);
-        run.farm->stream_submit(run.make_spec(id, it->second, wave_of_birth),
-                                run.local_work());
+        run_.farm->stream_submit(run_.make_spec(id, it->second, wave_of_birth),
+                                 run_.local_work());
       }
       resumed = true;
-      util::log_info() << "engine: seed " << run.seed << " resumed after "
-                       << completions << " completions (" << in_flight.size()
+      util::log_info() << "engine: seed " << run_.seed << " resumed after "
+                       << completions_ << " completions (" << in_flight_.size()
                        << " in flight, " << lost.size() << " re-submitted)";
     }
   }
 
-  // Submit one offspring: the payload is computed now (deterministic seed
-  // keyed on the birth's wave), the farm resolves faults/retries, and the
-  // completion surfaces at its simulated finish time.
-  const auto submit = [&](ea::Individual individual) {
-    const std::size_t id = births;
-    const int wave_of_birth = static_cast<int>(id / mu);
-    run.farm->stream_submit(run.make_spec(id, individual, wave_of_birth),
-                            run.local_work());
-    in_flight.emplace(id, std::move(individual));
-    ++births;
-  };
-
-  const auto save_checkpoint = [&]() {
-    if (!run.checkpoints) return;
-    DriverCheckpoint checkpoint = run.base_checkpoint(completions, archive);
-    checkpoint.births = births;
-    checkpoint.wave_started_minutes = wave_started;
-    checkpoint.wave_node_failures_base = wave_node_failures_base;
-    checkpoint.partial_wave = wave;
-    for (auto& [id, individual] : in_flight) {
-      checkpoint.in_flight.push_back(InFlightBirth{id, individual});
-    }
-    run.checkpoints->save(checkpoint);
-  };
-
   if (!resumed) {
-    run.farm->stream_begin();
+    run_.farm->stream_begin();
     // Initial wave: one random individual per worker.
-    for (std::size_t worker = 0; worker < run.num_workers; ++worker) {
-      submit(run.genome_layout.create_individual(run.rng, 0));
+    for (std::size_t worker = 0; worker < run_.num_workers; ++worker) {
+      submit(run_.genome_layout.create_individual(run_.rng, 0));
     }
   }
+}
 
-  while (std::optional<hpc::StreamCompletion> done = run.farm->stream_next()) {
-    const auto it = in_flight.find(done->id);
-    if (it == in_flight.end()) {
-      throw util::ValueError("engine: completion for unknown task id " +
-                             std::to_string(done->id));
-    }
-    ea::Individual individual = std::move(it->second);
-    in_flight.erase(it);
-    run.apply_report(individual, done->report);
-    if (individual.status != ea::EvalStatus::kOk) ++wave.failures;
-    wave.evaluated.push_back(
-        EngineRun::to_record(individual, static_cast<int>(wave_index)));
-    ++completions;
+void SteadyStateLoop::handle(const hpc::StreamCompletion& done) {
+  const EngineConfig& config = run_.config;
+  const std::size_t mu = config.population_size;
 
-    // Steady-state survivor truncation over archive + newcomer.
-    archive.push_back(std::move(individual));
-    if (archive.size() > mu) archive = run.truncate(std::move(archive));
+  const auto it = in_flight_.find(done.id);
+  if (it == in_flight_.end()) {
+    throw util::ValueError("engine: completion for unknown task id " +
+                           std::to_string(done.id));
+  }
+  ea::Individual individual = std::move(it->second);
+  in_flight_.erase(it);
+  run_.apply_report(individual, done.report);
+  if (individual.status != ea::EvalStatus::kOk) ++wave_.failures;
+  wave_.evaluated.push_back(
+      EngineRun::to_record(individual, static_cast<int>(wave_index_)));
+  ++completions_;
 
-    // Refill the idle worker immediately (no barrier).
-    if (births < run.budget) {
-      ea::Individual child =
-          variation.make_child(run, archive, static_cast<int>(births));
-      variation.after_birth(run);
-      submit(std::move(child));
-    }
+  // Steady-state survivor truncation over archive + newcomer.
+  archive_.push_back(std::move(individual));
+  if (archive_.size() > mu) archive_ = run_.truncate(std::move(archive_));
 
-    // Close the wave once mu completions landed (or the budget ran dry).
-    if (wave.evaluated.size() == mu || completions == run.budget) {
-      wave.generation = static_cast<int>(wave_index);
-      wave.makespan_minutes = run.farm->stream_now() - wave_started;
-      wave.node_failures =
-          run.farm->stream_node_failures() - wave_node_failures_base;
-      wave.mutation_std = run.context.mutation_std();
-      run.record_wave_metrics(wave);
-      run.record.generations.push_back(std::move(wave));
-      wave = GenerationRecord{};
-      ++wave_index;
-      wave_started = run.farm->stream_now();
-      wave_node_failures_base = run.farm->stream_node_failures();
-    }
-
-    if (run.checkpoints && config.checkpoint_every != 0 &&
-        completions % config.checkpoint_every == 0) {
-      save_checkpoint();
-    }
-    if (config.halt_after_evaluations &&
-        completions == *config.halt_after_evaluations) {
-      // Graceful preemption mid-wave: persist the event-loop state (the farm
-      // snapshot carries the open stream session) and stop without closing
-      // the session, exactly like a crash the checkpoint protects against.
-      save_checkpoint();
-      run.finalize(archive, static_cast<int>(wave_index), run.farm->stream_now());
-      return;
-    }
+  // Refill the idle worker immediately (no barrier).
+  if (births_ < run_.budget) {
+    ea::Individual child =
+        variation_.make_child(run_, archive_, static_cast<int>(births_));
+    variation_.after_birth(run_);
+    submit(std::move(child));
   }
 
-  const hpc::BatchReport report = run.farm->stream_end();
-  run.export_trace(report, "stream");
-  run.finalize(archive, static_cast<int>(wave_index));
+  // Close the wave once mu completions landed (or the budget ran dry).
+  if (wave_.evaluated.size() == mu || completions_ == run_.budget) {
+    wave_.generation = static_cast<int>(wave_index_);
+    wave_.makespan_minutes = run_.farm->stream_now() - wave_started_;
+    wave_.node_failures =
+        run_.farm->stream_node_failures() - wave_node_failures_base_;
+    wave_.mutation_std = run_.context.mutation_std();
+    run_.record_wave_metrics(wave_);
+    run_.record.generations.push_back(std::move(wave_));
+    wave_ = GenerationRecord{};
+    ++wave_index_;
+    wave_started_ = run_.farm->stream_now();
+    wave_node_failures_base_ = run_.farm->stream_node_failures();
+  }
+
+  if (run_.checkpoints && config.checkpoint_every != 0 &&
+      completions_ % config.checkpoint_every == 0) {
+    save_checkpoint();
+  }
+  if (config.halt_after_evaluations &&
+      completions_ == *config.halt_after_evaluations) {
+    // Graceful preemption mid-wave: persist the event-loop state (the farm
+    // snapshot carries the open stream session) and stop without closing
+    // the session, exactly like a crash the checkpoint protects against.
+    save_checkpoint();
+    halted_ = true;
+  }
+}
+
+bool SteadyStateLoop::done() const {
+  return halted_ || run_.farm->stream_pending() == 0;
+}
+
+void SteadyStateLoop::finish() {
+  if (finished_) throw util::ValueError("engine: loop already finished");
+  finished_ = true;
+  if (halted_) {
+    run_.finalize(archive_, static_cast<int>(wave_index_),
+                  run_.farm->stream_now());
+    return;
+  }
+  const hpc::BatchReport report = run_.farm->stream_end();
+  run_.export_trace(report, "stream");
+  run_.finalize(archive_, static_cast<int>(wave_index_));
 }
 
 EvolutionEngine::EvolutionEngine(EngineConfig config, const Evaluator& evaluator)

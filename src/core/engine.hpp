@@ -36,6 +36,15 @@ namespace dpho::core {
 std::uint64_t derive_eval_seed(std::uint64_t run_seed, int wave,
                                const std::vector<double>& genome);
 
+/// Injection seam for shared-pool deployments: when set, EngineRun builds
+/// its ClusterSession through this instead of make_cluster_session, letting
+/// the dpho_sched scheduler hand each run a hpc::MuxSession slice of ONE
+/// shared worker pool.  The factory's session must honor the full session
+/// contract (ordered delivery, snapshot/restore) for the run to stay
+/// byte-identical to its solo equivalent.
+using SessionFactory = std::function<std::unique_ptr<hpc::ClusterSession>(
+    const hpc::ClusterSpec&, const hpc::FarmConfig&)>;
+
 /// Mode-neutral engine configuration; the facades build one of these.
 struct EngineConfig {
   ScheduleMode mode = ScheduleMode::kGenerational;
@@ -55,6 +64,8 @@ struct EngineConfig {
   /// Which ClusterSession backend evaluates the farm's tasks: the discrete-
   /// event simulation (default) or a pool of real dpho_worker subprocesses.
   hpc::ClusterBackendConfig cluster_backend;
+  /// Overrides cluster_backend when set (see SessionFactory above).
+  SessionFactory session_factory;
   bool include_runtime_objective = false;
   std::optional<ea::Representation> representation;
   std::optional<std::filesystem::path> checkpoint_dir;
@@ -177,6 +188,55 @@ class GenerationalSchedule : public SchedulePolicy {
 class SteadyStateSchedule : public SchedulePolicy {
  public:
   void run(EngineRun& run, VariationPolicy& variation) override;
+};
+
+/// The steady-state event loop, reentrant: start() seeds (or resumes) the
+/// stream session, handle() applies exactly one completion, finish() closes
+/// the run.  SteadyStateSchedule::run is the solo driver (pump stream_next
+/// until dry); the dpho_sched scheduler interleaves N of these loops over one
+/// shared pool, feeding each from its own mux slot -- same code path, so a
+/// multiplexed run's archive matches its solo equivalent.
+class SteadyStateLoop {
+ public:
+  SteadyStateLoop(EngineRun& run, VariationPolicy& variation);
+
+  /// Loads the checkpoint (when configured and resume is set), re-submitting
+  /// in-flight work the farm could not preserve; otherwise opens the stream
+  /// and submits the initial wave (one random individual per worker).
+  void start();
+
+  /// One completion: survivor truncation, refill birth, wave close,
+  /// checkpoint cadence, halt_after_evaluations preemption.
+  void handle(const hpc::StreamCompletion& done);
+
+  /// True once the loop should stop consuming completions: gracefully
+  /// preempted, or nothing undelivered remains (budget exhausted).
+  bool done() const;
+  bool halted() const { return halted_; }
+  std::size_t completions() const { return completions_; }
+  std::size_t births() const { return births_; }
+
+  /// Closes the session and finalizes run.record.  A halted loop leaves the
+  /// stream open (the checkpoint is the resume point), exactly like the
+  /// pre-refactor graceful-preemption path.
+  void finish();
+
+ private:
+  void submit(ea::Individual individual);
+  void save_checkpoint();
+
+  EngineRun& run_;
+  VariationPolicy& variation_;
+  ea::Population archive_;
+  std::map<std::size_t, ea::Individual> in_flight_;  // birth id -> offspring
+  GenerationRecord wave_;     // the open wave (completions so far)
+  std::size_t wave_index_ = 0;
+  double wave_started_ = 0.0;
+  std::size_t wave_node_failures_base_ = 0;
+  std::size_t births_ = 0;
+  std::size_t completions_ = 0;
+  bool halted_ = false;
+  bool finished_ = false;
 };
 
 /// Sigma x= anneal_factor after each survivor selection (section 2.2.3).

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "hpc/taskfarm.hpp"
+#include "util/error.hpp"
 
 namespace dpho::hpc {
 
@@ -63,6 +64,22 @@ class ClusterSession {
                              const RemoteWorkFn& local_eval) = 0;
   virtual std::optional<StreamCompletion> stream_next() = 0;
   virtual BatchReport stream_end() = 0;
+
+  /// Non-blocking, range-scoped delivery for session sharing (hpc::TaskMux):
+  /// delivers the next in-order completion whose id lies in [lo, hi), or
+  /// nullopt when none is deliverable yet.  Each id range is one tenant's
+  /// namespace, so per-tenant delivery order is exactly what stream_next()
+  /// would produce for that tenant alone.  Backends that cannot share a
+  /// session keep the default and throw.
+  virtual std::optional<StreamCompletion> stream_try_next(std::size_t /*lo*/,
+                                                          std::size_t /*hi*/) {
+    throw util::ValueError("stream_try_next: unsupported by " + backend_name());
+  }
+
+  /// Drives backend progress (socket IO, deadlines, dispatch) for up to
+  /// `wait_seconds` without delivering anything.  No-op for backends whose
+  /// work resolves at submit time (the simulation).
+  virtual void poll(double /*wait_seconds*/) {}
 
   virtual bool stream_active() const = 0;
   virtual std::size_t stream_pending() const = 0;
@@ -101,6 +118,10 @@ class SimClusterSession final : public ClusterSession {
     return farm_.stream_next();
   }
   BatchReport stream_end() override { return farm_.stream_end(); }
+  std::optional<StreamCompletion> stream_try_next(std::size_t lo,
+                                                  std::size_t hi) override {
+    return farm_.stream_try_next(lo, hi);
+  }
 
   bool stream_active() const override { return farm_.stream_active(); }
   std::size_t stream_pending() const override { return farm_.stream_pending(); }

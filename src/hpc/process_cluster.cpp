@@ -186,19 +186,10 @@ void ProcessCluster::stream_submit(const TaskSpec& spec,
   pump(0.0);
 }
 
-std::optional<StreamCompletion> ProcessCluster::stream_next() {
-  if (!stream_active_) throw util::ValueError("no stream session active");
-  if (undelivered_.empty()) return std::nullopt;
-  // Completions are delivered in task-id order regardless of which worker
-  // finished first: the engine's breeding sequence then matches the fault-free
-  // run of the same seed bit for bit (real timing only enters the makespan).
-  const std::size_t id = *undelivered_.begin();
-  while (tasks_.at(id).phase != TaskPhase::kResolved) {
-    pump(0.002);
-  }
+StreamCompletion ProcessCluster::deliver(std::size_t id) {
   Task& task = tasks_.at(id);
   task.phase = TaskPhase::kDelivered;
-  undelivered_.erase(undelivered_.begin());
+  undelivered_.erase(id);
   stream_now_ = std::max(stream_now_, task.resolved_minutes);
   const StreamCompletion done{id, task.report};
   delivered_.push_back(done);
@@ -209,6 +200,37 @@ std::optional<StreamCompletion> ProcessCluster::stream_next() {
        {"attempts", util::Json(done.report.attempts)},
        {"cause", util::Json(to_string(done.report.cause))}});
   return done;
+}
+
+std::optional<StreamCompletion> ProcessCluster::stream_next() {
+  if (!stream_active_) throw util::ValueError("no stream session active");
+  if (undelivered_.empty()) return std::nullopt;
+  // Completions are delivered in task-id order regardless of which worker
+  // finished first: the engine's breeding sequence then matches the fault-free
+  // run of the same seed bit for bit (real timing only enters the makespan).
+  const std::size_t id = *undelivered_.begin();
+  while (tasks_.at(id).phase != TaskPhase::kResolved) {
+    pump(0.002);
+  }
+  return deliver(id);
+}
+
+std::optional<StreamCompletion> ProcessCluster::stream_try_next(std::size_t lo,
+                                                                std::size_t hi) {
+  if (!stream_active_) throw util::ValueError("no stream session active");
+  // The lowest undelivered id within the range is the only candidate: the
+  // id-order delivery contract holds per range exactly as stream_next()
+  // enforces it globally.  Unlike stream_next() this never blocks -- a
+  // not-yet-resolved candidate just reports "nothing deliverable".
+  const auto it = undelivered_.lower_bound(lo);
+  if (it == undelivered_.end() || *it >= hi) return std::nullopt;
+  if (tasks_.at(*it).phase != TaskPhase::kResolved) return std::nullopt;
+  return deliver(*it);
+}
+
+void ProcessCluster::poll(double wait_seconds) {
+  if (!stream_active_) return;
+  pump(wait_seconds);
 }
 
 BatchReport ProcessCluster::stream_end() {

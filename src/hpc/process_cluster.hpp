@@ -112,6 +112,9 @@ class ProcessCluster final : public ClusterSession {
                      const RemoteWorkFn& local_eval) override;
   std::optional<StreamCompletion> stream_next() override;
   BatchReport stream_end() override;
+  std::optional<StreamCompletion> stream_try_next(std::size_t lo,
+                                                  std::size_t hi) override;
+  void poll(double wait_seconds) override;
 
   bool stream_active() const override { return stream_active_; }
   std::size_t stream_pending() const override { return undelivered_.size(); }
@@ -180,6 +183,10 @@ class ProcessCluster final : public ClusterSession {
   void check_deadlines();
   void dispatch_ready_tasks();
   void degrade_if_stranded();
+  /// Marks `id` delivered (it must be kResolved), advances the session clock
+  /// and emits the process.delivery event -- shared by stream_next and
+  /// stream_try_next.
+  StreamCompletion deliver(std::size_t id);
   void handle_worker_death(std::size_t index, FailureCause cause);
   void requeue_or_fail(std::size_t task_id, FailureCause cause);
   void resolve_task(std::size_t task_id, TaskReport report);

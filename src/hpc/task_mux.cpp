@@ -1,0 +1,349 @@
+#include "hpc/task_mux.hpp"
+
+#include <algorithm>
+
+#include "obs/event_sink.hpp"
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace dpho::hpc {
+
+namespace {
+
+/// Mirrors the process cluster's sentinel: a snapshot entry whose result the
+/// scheduler did not hold at crash time and which must be re-submitted.
+constexpr double kUnresolvedFinishAt = -1.0;
+
+obs::Histogram& dispatch_latency() {
+  return obs::metrics().histogram("sched.mux.dispatch_latency_seconds",
+                                  obs::BucketLayout::timing_seconds());
+}
+
+}  // namespace
+
+TaskMux::TaskMux(ClusterSession& shared, TaskMuxConfig config)
+    : shared_(shared), config_(config) {
+  if (config_.slot_stride == 0) {
+    throw util::ValueError("task mux: slot stride must be positive");
+  }
+  shared_.stream_begin();
+}
+
+std::size_t TaskMux::open_slot(const SlotOptions& options) {
+  if (options.weight == 0) {
+    throw util::ValueError("task mux: slot weight must be >= 1");
+  }
+  Slot slot;
+  slot.weight = options.weight;
+  slot.max_in_flight = options.max_in_flight;
+  slots_.push_back(std::move(slot));
+  obs::metrics().gauge("sched.mux.slots_open").set(static_cast<double>(
+      std::count_if(slots_.begin(), slots_.end(),
+                    [](const Slot& s) { return s.open; })));
+  return slots_.size() - 1;
+}
+
+void TaskMux::close_slot(std::size_t slot) {
+  Slot& s = at(slot);
+  if (!s.open) return;
+  s.open = false;
+  // Queued tasks are simply dropped; outstanding ones keep occupying workers
+  // until they resolve, at which point drain_shared() discards them.
+  s.queue.clear();
+  s.ready.clear();
+  s.undelivered.clear();
+  obs::metrics().gauge("sched.mux.slots_open").set(static_cast<double>(
+      std::count_if(slots_.begin(), slots_.end(),
+                    [](const Slot& sl) { return sl.open; })));
+}
+
+bool TaskMux::slot_open(std::size_t slot) const { return at(slot).open; }
+
+void TaskMux::submit(std::size_t slot, const TaskSpec& spec,
+                     const RemoteWorkFn& work) {
+  Slot& s = at(slot);
+  if (!s.open) throw util::ValueError("task mux: slot is closed");
+  if (spec.id >= config_.slot_stride) {
+    throw util::ValueError("task mux: task id " + std::to_string(spec.id) +
+                           " exceeds the slot stride");
+  }
+  if (!s.submitted.insert(spec.id).second) {
+    throw util::ValueError("task mux: duplicate task id " +
+                           std::to_string(spec.id));
+  }
+  Pending pending;
+  pending.spec = spec;
+  pending.work = work;
+  pending.queued_at = std::chrono::steady_clock::now();
+  s.queue.push_back(std::move(pending));
+  s.undelivered.insert(spec.id);
+  forward_ready();
+}
+
+std::optional<StreamCompletion> TaskMux::try_take(std::size_t slot) {
+  Slot& s = at(slot);
+  if (s.undelivered.empty()) return std::nullopt;
+  const std::size_t lowest = *s.undelivered.begin();
+  const auto it = s.ready.find(lowest);
+  if (it == s.ready.end()) return std::nullopt;
+  const StreamCompletion done = it->second;
+  s.ready.erase(it);
+  s.undelivered.erase(s.undelivered.begin());
+  s.now_minutes = std::max(s.now_minutes, shared_.stream_now());
+  s.delivered.push_back(done);
+  return done;
+}
+
+void TaskMux::pump(double wait_seconds) {
+  shared_.poll(wait_seconds);
+  drain_shared();
+  forward_ready();
+  // Forwarding may resolve instantly (the simulation evaluates at submit
+  // time); a second drain makes those completions takeable this round.
+  drain_shared();
+}
+
+bool TaskMux::eligible(const Slot& slot) const {
+  if (!slot.open || slot.queue.empty()) return false;
+  return slot.max_in_flight == 0 || slot.outstanding < slot.max_in_flight;
+}
+
+std::size_t TaskMux::outstanding_total() const {
+  std::size_t total = 0;
+  for (const Slot& slot : slots_) total += slot.outstanding;
+  return total;
+}
+
+void TaskMux::drain_shared() {
+  // Pull every deliverable completion -- closed slots included, so a
+  // cancelled tenant's leftovers never wedge the shared session's delivery
+  // order (the simulation only releases its globally earliest finisher).
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      Slot& s = slots_[i];
+      while (std::optional<StreamCompletion> done =
+                 shared_.stream_try_next(lo(i), hi(i))) {
+        progress = true;
+        if (s.outstanding > 0) --s.outstanding;
+        if (!s.open) continue;  // cancelled: discard
+        const std::size_t local = done->id - lo(i);
+        s.ready.emplace(local, StreamCompletion{local, done->report});
+      }
+    }
+  }
+}
+
+void TaskMux::forward_ready() {
+  if (slots_.empty()) return;
+  // Never hold more unfinished work at the shared backend than it has live
+  // workers: with no backlog there, its own id-ordered dispatch reduces to
+  // "dispatch in forwarding order", i.e. to WRR order.  A fully dead pool
+  // still forwards (the process backend degrades to in-process evaluation).
+  const std::size_t capacity = std::max<std::size_t>(shared_.live_workers(), 1);
+  while (outstanding_total() < capacity) {
+    // Resume an interrupted burst first: when the capacity gate cut a slot's
+    // burst short, the remaining credit is spent before the cursor moves on,
+    // so long-run forward shares stay weight-proportional instead of
+    // collapsing toward equal shares whenever capacity < sum of weights.
+    if (burst_left_ > 0 && eligible(slots_[rr_cursor_])) {
+      forward_one(rr_cursor_);
+      --burst_left_;
+      if (burst_left_ == 0) rr_cursor_ = (rr_cursor_ + 1) % slots_.size();
+      continue;
+    }
+    burst_left_ = 0;
+    bool found = false;
+    for (std::size_t step = 0; step < slots_.size(); ++step) {
+      const std::size_t index = (rr_cursor_ + step) % slots_.size();
+      if (!eligible(slots_[index])) continue;
+      rr_cursor_ = index;
+      burst_left_ = slots_[index].weight;
+      found = true;
+      break;
+    }
+    if (!found) break;
+  }
+  // An ineligible slot forfeits the rest of its burst (its queue ran dry or
+  // its per-slot cap engaged); the next pump starts from the slot after it.
+  if (burst_left_ > 0 && !eligible(slots_[rr_cursor_])) {
+    burst_left_ = 0;
+    rr_cursor_ = (rr_cursor_ + 1) % slots_.size();
+  }
+}
+
+void TaskMux::forward_one(std::size_t slot) {
+  Slot& s = slots_[slot];
+  Pending pending = std::move(s.queue.front());
+  s.queue.pop_front();
+  TaskSpec spec = pending.spec;
+  const std::size_t local = spec.id;
+  spec.id = lo(slot) + local;
+  shared_.stream_submit(spec, pending.work);
+  ++s.outstanding;
+  forward_log_.push_back(slot);
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    pending.queued_at)
+          .count();
+  dispatch_latency().record(waited);
+  obs::metrics().counter("sched.mux.forwards_total").add(1);
+  obs::events().emit("mux.forward",
+                     {{"slot", util::Json(slot)},
+                      {"id", util::Json(local)},
+                      {"global_id", util::Json(spec.id)}});
+}
+
+std::size_t TaskMux::slot_undelivered(std::size_t slot) const {
+  return at(slot).undelivered.size();
+}
+
+std::size_t TaskMux::slot_queued(std::size_t slot) const {
+  return at(slot).queue.size();
+}
+
+std::size_t TaskMux::slot_outstanding(std::size_t slot) const {
+  return at(slot).outstanding;
+}
+
+double TaskMux::slot_now(std::size_t slot) const { return at(slot).now_minutes; }
+
+const std::vector<StreamCompletion>& TaskMux::slot_delivered(
+    std::size_t slot) const {
+  return at(slot).delivered;
+}
+
+FarmSnapshot TaskMux::slot_snapshot(std::size_t slot) const {
+  const Slot& s = at(slot);
+  FarmSnapshot snap;
+  snap.clock_minutes = shared_.clock_minutes();
+  snap.live_workers = shared_.live_workers();
+  snap.stream_active = true;
+  snap.stream_now = s.now_minutes;
+  for (const std::size_t id : s.undelivered) {
+    InFlightTask entry;
+    entry.id = id;
+    const auto ready = s.ready.find(id);
+    if (ready != s.ready.end()) {
+      entry.finish_at = std::max(0.0, ready->second.report.finish_minute);
+      entry.report = ready->second.report;
+    } else {
+      // Queued at the mux or unresolved at the shared backend: either way the
+      // result does not survive a scheduler crash and must be re-submitted.
+      entry.finish_at = kUnresolvedFinishAt;
+    }
+    snap.stream_in_flight.push_back(std::move(entry));
+  }
+  snap.stream_delivered = s.delivered;
+  return snap;
+}
+
+std::vector<std::size_t> TaskMux::slot_restore(std::size_t slot,
+                                               const FarmSnapshot& snap) {
+  Slot& s = at(slot);
+  if (!s.open) throw util::ValueError("task mux: restore into a closed slot");
+  if (!s.submitted.empty() || !s.delivered.empty()) {
+    throw util::ValueError("task mux: restore into a non-fresh slot");
+  }
+  s.now_minutes = snap.stream_now;
+  s.delivered = snap.stream_delivered;
+  for (const StreamCompletion& done : s.delivered) s.submitted.insert(done.id);
+  std::vector<std::size_t> lost;
+  for (const InFlightTask& entry : snap.stream_in_flight) {
+    if (entry.finish_at < 0.0) {
+      lost.push_back(entry.id);
+      continue;
+    }
+    s.submitted.insert(entry.id);
+    s.undelivered.insert(entry.id);
+    s.ready.emplace(entry.id, StreamCompletion{entry.id, entry.report});
+  }
+  std::sort(lost.begin(), lost.end());
+  obs::events().emit("mux.restore",
+                     {{"slot", util::Json(slot)},
+                      {"lost", util::Json(lost.size())},
+                      {"resolved", util::Json(s.ready.size())},
+                      {"delivered", util::Json(s.delivered.size())}});
+  return lost;
+}
+
+const TaskMux::Slot& TaskMux::at(std::size_t slot) const {
+  if (slot >= slots_.size()) {
+    throw util::ValueError("task mux: unknown slot " + std::to_string(slot));
+  }
+  return slots_[slot];
+}
+
+TaskMux::Slot& TaskMux::at(std::size_t slot) {
+  if (slot >= slots_.size()) {
+    throw util::ValueError("task mux: unknown slot " + std::to_string(slot));
+  }
+  return slots_[slot];
+}
+
+// --- MuxSession ------------------------------------------------------------
+
+MuxSession::MuxSession(TaskMux& mux, const SlotOptions& options)
+    : mux_(mux), slot_(mux.open_slot(options)) {}
+
+MuxSession::~MuxSession() { mux_.close_slot(slot_); }
+
+BatchReport MuxSession::run_batch(const std::vector<TaskSpec>& /*specs*/,
+                                  const RemoteWorkFn& /*local_eval*/) {
+  throw util::ValueError("mux session: run_batch is unsupported; "
+                         "multiplexed runs are stream-only");
+}
+
+void MuxSession::stream_begin() {
+  if (active_) throw util::ValueError("mux session: stream already active");
+  active_ = true;
+}
+
+void MuxSession::stream_submit(const TaskSpec& spec,
+                               const RemoteWorkFn& local_eval) {
+  if (!active_) throw util::ValueError("no stream session active");
+  mux_.submit(slot_, spec, local_eval);
+}
+
+std::optional<StreamCompletion> MuxSession::stream_next() {
+  if (!active_) throw util::ValueError("no stream session active");
+  while (true) {
+    if (std::optional<StreamCompletion> done = mux_.try_take(slot_)) {
+      return done;
+    }
+    if (mux_.slot_undelivered(slot_) == 0) return std::nullopt;
+    mux_.pump(0.002);
+  }
+}
+
+BatchReport MuxSession::stream_end() {
+  if (!active_) throw util::ValueError("no stream session active");
+  if (mux_.slot_undelivered(slot_) != 0) {
+    throw util::ValueError("stream session still has in-flight tasks");
+  }
+  const std::vector<StreamCompletion>& delivered = mux_.slot_delivered(slot_);
+  BatchReport report;
+  std::size_t num_tasks = 0;
+  for (const StreamCompletion& done : delivered) {
+    num_tasks = std::max(num_tasks, done.id + 1);
+  }
+  report.tasks.resize(num_tasks);
+  for (const StreamCompletion& done : delivered) {
+    report.tasks[done.id] = done.report;
+  }
+  report.makespan_minutes = mux_.slot_now(slot_);
+  report.node_failures = mux_.shared().stream_node_failures();
+  report.workers_remaining = mux_.shared().live_workers();
+  clock_minutes_ = mux_.slot_now(slot_);
+  active_ = false;
+  mux_.close_slot(slot_);
+  return report;
+}
+
+std::vector<std::size_t> MuxSession::restore(const FarmSnapshot& snapshot) {
+  active_ = true;
+  return mux_.slot_restore(slot_, snapshot);
+}
+
+}  // namespace dpho::hpc

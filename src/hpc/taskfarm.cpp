@@ -513,17 +513,51 @@ void DaskCluster::stream_submit(std::size_t id, WorkResult result,
       .set(static_cast<double>(stream_in_flight_.size()));
 }
 
-std::optional<StreamCompletion> DaskCluster::stream_next() {
-  if (!stream_active_) throw util::ValueError("no stream session active");
-  if (stream_in_flight_.empty()) return std::nullopt;
+namespace {
+
+/// Index of the earliest-finishing in-flight task (ties broken by id).
+std::size_t earliest_in_flight(const std::vector<InFlightTask>& in_flight) {
   std::size_t best = 0;
-  for (std::size_t i = 1; i < stream_in_flight_.size(); ++i) {
-    const InFlightTask& a = stream_in_flight_[i];
-    const InFlightTask& b = stream_in_flight_[best];
+  for (std::size_t i = 1; i < in_flight.size(); ++i) {
+    const InFlightTask& a = in_flight[i];
+    const InFlightTask& b = in_flight[best];
     if (a.finish_at < b.finish_at ||
         (a.finish_at == b.finish_at && a.id < b.id)) {
       best = i;
     }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::optional<StreamCompletion> DaskCluster::stream_next() {
+  if (!stream_active_) throw util::ValueError("no stream session active");
+  if (stream_in_flight_.empty()) return std::nullopt;
+  const std::size_t best = earliest_in_flight(stream_in_flight_);
+  const InFlightTask task = stream_in_flight_[best];
+  stream_in_flight_.erase(stream_in_flight_.begin() +
+                          static_cast<std::ptrdiff_t>(best));
+  stream_now_ = std::max(stream_now_, task.finish_at);
+  const StreamCompletion done{task.id, task.report};
+  stream_delivered_.push_back(done);
+  obs::metrics()
+      .gauge("farm.queue_depth")
+      .set(static_cast<double>(stream_in_flight_.size()));
+  return done;
+}
+
+std::optional<StreamCompletion> DaskCluster::stream_try_next(std::size_t lo,
+                                                             std::size_t hi) {
+  if (!stream_active_) throw util::ValueError("no stream session active");
+  if (stream_in_flight_.empty()) return std::nullopt;
+  // Only the globally earliest finisher may be delivered: delivering a later
+  // task out of turn would rewind stream_now for whichever tenant owns the
+  // earlier one.  When it belongs to another range the caller tries again
+  // after that tenant (or the mux, for a closed tenant) has pulled it.
+  const std::size_t best = earliest_in_flight(stream_in_flight_);
+  if (stream_in_flight_[best].id < lo || stream_in_flight_[best].id >= hi) {
+    return std::nullopt;
   }
   const InFlightTask task = stream_in_flight_[best];
   stream_in_flight_.erase(stream_in_flight_.begin() +

@@ -207,6 +207,14 @@ class DaskCluster {
   /// and advances the session clock to it; nullopt when none remain.
   std::optional<StreamCompletion> stream_next();
 
+  /// Range-scoped variant for shared sessions (hpc::TaskMux): delivers the
+  /// earliest-finishing in-flight task ONLY when its id lies in [lo, hi);
+  /// nullopt otherwise.  Restricting delivery to the globally earliest
+  /// finisher keeps the session clock monotone no matter how tenants
+  /// interleave their pulls.
+  std::optional<StreamCompletion> stream_try_next(std::size_t lo,
+                                                  std::size_t hi);
+
   /// Closes the session: advances the job clock by the makespan and folds
   /// every delivered report into a BatchReport indexed by task id.  Throws
   /// if undelivered tasks remain.

@@ -1,0 +1,154 @@
+// The dpho_sched core: N interleaved steady-state HPO runs on ONE pool.
+//
+// One single-threaded Scheduler owns the shared hpc::ClusterSession (sim or
+// process pool), wraps it in a hpc::TaskMux, and hosts each submitted run as
+// a core::SteadyStateLoop fed from its own mux slot.  A step() call is one
+// cooperative round: pump the mux (drive the pool, drain completions under
+// the fair-share policy), then hand every run its ready in-order completions.
+// Because each run's session is a MuxSession -- the full ClusterSession
+// contract scoped to a slot namespace -- an unmodified engine run produces
+// the same archive it would on a private pool (the sched determinism tests
+// pin uuid/fitness/status/generation byte-identity against solo runs).
+//
+// Durable state lives under state_dir/runs/<name>/:
+//
+//   spec.json        the submission ({"order":N,"spec":{...}})
+//   checkpoints/     the run's CheckpointManager directory
+//   timeline.jsonl   per-run JSONL event timeline
+//   status.json      last RunStatus (written on every terminal transition)
+//   result.json      the finished run's RunRecord (save_runs format)
+//   cancelled.json   marker: the run was cancelled, do not resume
+//
+// resume_all() reloads that tree after a scheduler crash or restart:
+// terminal runs are re-registered (status/result queries keep working,
+// duplicate names stay refused) and every interrupted run resumes from its
+// checkpoint exactly like the single-run --resume path -- the mux reports
+// which in-flight tasks did not survive, the loop re-submits them.
+//
+// Observability (DESIGN.md section 9): sched.runs_active gauge,
+// sched.runs_{submitted,completed,cancelled,failed}_total and
+// sched.completions_total counters, per-run sched.run.<name>.queue_depth /
+// .busy_fraction gauges, and the sched.mux.* metrics from hpc::TaskMux.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "hpc/task_mux.hpp"
+#include "obs/event_sink.hpp"
+#include "sched/protocol.hpp"
+
+namespace dpho::sched {
+
+/// A scheduler refusal with a wire-mappable code; the server layer turns
+/// these into protocol error replies.
+class SchedError : public util::Error {
+ public:
+  SchedError(ErrorCode code, const std::string& what)
+      : util::Error("sched: " + what), code_(code) {}
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+struct SchedulerOptions {
+  std::filesystem::path state_dir;
+  /// Active tenants the scheduler accepts at once.
+  std::size_t max_runs = 8;
+  /// Shared pool size (FarmConfig::job.nodes of the one shared session).
+  std::size_t pool_workers = 3;
+  hpc::ClusterSpec cluster = hpc::ClusterSpec::summit();
+  /// Fault plan / retry policy of the shared pool.
+  hpc::FarmConfig farm;
+  /// Shared pool backend: simulated farm (default) or worker subprocesses.
+  hpc::ClusterBackendConfig backend;
+};
+
+class Scheduler {
+ public:
+  /// Builds the shared session and mux immediately (a process backend spawns
+  /// its worker pool here).  `evaluator` must outlive the scheduler.
+  Scheduler(SchedulerOptions options, const core::Evaluator& evaluator);
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Registers a run and starts it (initial wave submitted to the mux).
+  /// Throws SchedError on duplicate names or when max_runs is reached.
+  RunStatus submit(const RunSpec& spec);
+
+  /// Throws SchedError{kUnknownRun} for names never submitted.
+  RunStatus status(const std::string& name) const;
+
+  /// Every known run, in submission order.
+  std::vector<RunStatus> list() const;
+
+  /// Retires an active run: its queued tasks are dropped, outstanding ones
+  /// drain into the void, other tenants are untouched.
+  RunStatus cancel(const std::string& name);
+
+  /// The finished run's RunRecord JSON (result.json).  Throws
+  /// SchedError{kNotFinished} while the run is active.
+  util::Json result(const std::string& name) const;
+
+  /// Reloads state_dir after a restart; returns the number of runs resumed
+  /// (terminal runs are re-registered but not counted).
+  std::size_t resume_all();
+
+  /// One cooperative round: pump the mux for up to `wait_seconds`, then
+  /// deliver every ready completion to its run.  Run failures are contained:
+  /// a throwing run flips to kFailed, the others keep stepping.
+  void step(double wait_seconds);
+
+  /// True when no run is active (step() has nothing to do).
+  bool idle() const { return active_runs() == 0; }
+  std::size_t active_runs() const;
+  std::size_t known_runs() const { return order_.size(); }
+
+  hpc::TaskMux& mux() { return *mux_; }
+  const SchedulerOptions& options() const { return options_; }
+
+ private:
+  struct RunState {
+    RunSpec spec;
+    std::size_t order = 0;          // submission index (resume ordering)
+    std::filesystem::path dir;      // state_dir/runs/<name>
+    core::EngineConfig config;      // stable address: EngineRun keeps a ref
+    ea::Representation layout;
+    std::size_t slot = 0;           // mux slot (valid while run is alive)
+    std::unique_ptr<core::EngineRun> run;
+    core::PerBirthAnnealing variation;
+    std::unique_ptr<core::SteadyStateLoop> loop;
+    RunPhase phase = RunPhase::kActive;
+    std::string error;
+    RunStatus last_status;          // terminal snapshot (and resume cache)
+    obs::EventSink timeline;        // per-run JSONL
+  };
+
+  RunState& find(const std::string& name);
+  const RunState& find(const std::string& name) const;
+  /// Builds + starts the engine for `state` (resume=true loads checkpoints).
+  void start_run(RunState& state, bool resume);
+  void finish_run(RunState& state);
+  void fail_run(RunState& state, const std::string& what);
+  RunStatus snapshot_status(const RunState& state) const;
+  void write_terminal(RunState& state, const char* marker);
+  void refresh_gauges();
+  std::filesystem::path run_dir(const std::string& name) const;
+
+  SchedulerOptions options_;
+  const core::Evaluator& evaluator_;
+  std::unique_ptr<hpc::ClusterSession> shared_;
+  std::unique_ptr<hpc::TaskMux> mux_;
+  std::map<std::string, std::unique_ptr<RunState>> runs_;
+  std::vector<std::string> order_;  // submission order
+  std::size_t next_order_ = 0;
+};
+
+}  // namespace dpho::sched

@@ -342,9 +342,11 @@ void Server::process(Job job) {
         reply.forces.push_back(std::move(flat));
       }
     }
-    send(job.connection, encode_eval_reply(reply));
+    // Count before the write hits the wire: a client that has its reply in
+    // hand must never observe a requests_served() that excludes it.
     requests_served_.fetch_add(1, std::memory_order_relaxed);
     obs::metrics().counter("serve.replies").add();
+    send(job.connection, encode_eval_reply(reply));
     record_timing("serve.request_seconds",
                   std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                                 job.enqueued)

@@ -94,6 +94,46 @@ TEST(Checkpoint, SaveLoadRoundTrip) {
             CheckpointManager::to_json(cp).dump());
 }
 
+TEST(Checkpoint, SiblingRunDirectoriesStayIsolated) {
+  // The multi-tenant scheduler keeps one CheckpointManager per run under
+  // state_dir/runs/<name>/checkpoints; interleaved saves, prunes, and loads
+  // must stay scoped to their own directory.
+  util::TempDir dir("ckpt-tenants");
+  const CheckpointManager a(dir.path() / "runs" / "tenant-a" / "checkpoints");
+  const CheckpointManager b(dir.path() / "runs" / "tenant-b" / "checkpoints");
+  a.save(make_checkpoint(1));
+  b.save(make_checkpoint(7));
+  a.save(make_checkpoint(2));
+  b.save(make_checkpoint(8));
+
+  // Each manager resolves its OWN latest, not the globally newest file.
+  const auto loaded_a = a.load();
+  const auto loaded_b = b.load();
+  ASSERT_TRUE(loaded_a.has_value());
+  ASSERT_TRUE(loaded_b.has_value());
+  EXPECT_EQ(loaded_a->completed_generations, 2u);
+  EXPECT_EQ(loaded_b->completed_generations, 8u);
+
+  // A fresh manager on the same directory (the scheduler's resume path)
+  // sees exactly what its tenant wrote.
+  const CheckpointManager resumed_a(dir.path() / "runs" / "tenant-a" /
+                                    "checkpoints");
+  ASSERT_TRUE(resumed_a.has_checkpoint());
+  EXPECT_EQ(resumed_a.load()->completed_generations, 2u);
+
+  // Saving (and pruning) in one tenant's directory never disturbs the other.
+  for (std::size_t gen = 3; gen < 9; ++gen) a.save(make_checkpoint(gen));
+  EXPECT_EQ(a.load()->completed_generations, 8u);
+  EXPECT_EQ(b.load()->completed_generations, 8u);
+  std::size_t b_files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(
+           dir.path() / "runs" / "tenant-b" / "checkpoints")) {
+    (void)entry;
+    ++b_files;
+  }
+  EXPECT_GT(b_files, 0u);
+}
+
 TEST(Checkpoint, NewerCheckpointWinsAndOlderOnesArePruned) {
   util::TempDir dir("ckpt-prune");
   const CheckpointManager manager(dir.path());

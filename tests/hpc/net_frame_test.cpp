@@ -222,6 +222,40 @@ TEST(NetFrame, BlockingReadFrameHonoursTheCap) {
   ::close(server);
 }
 
+TEST(NetFrame, ZeroLengthFramesAreDeliveredNotConfusedWithClose) {
+  Listener listener;
+  listener.open();
+  const int client = connect_loopback(listener.port());
+  const int server = accept_soon(listener);
+  ASSERT_GE(server, 0);
+
+  // An empty payload is a legal frame: 4 zero bytes of prefix, no body.
+  // Both the non-blocking reader and the blocking read_frame must deliver
+  // an engaged empty string -- distinguishable from nullopt (peer close).
+  ASSERT_TRUE(write_frame(client, ""));
+  ASSERT_TRUE(write_frame(client, "{\"after\":1}"));
+  FrameReader reader;
+  std::optional<std::string> frame;
+  for (int i = 0; i < 1000 && !frame; ++i) {
+    reader.drain(server);
+    frame = reader.next();
+    if (!frame) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_TRUE(frame->empty());
+  // Framing stays aligned: the next frame comes through intact.
+  EXPECT_EQ(reader.next().value_or("gone"), "{\"after\":1}");
+  EXPECT_EQ(reader.error(), FrameError::kNone);
+
+  ASSERT_TRUE(write_frame(server, ""));
+  const std::optional<std::string> blocking = read_frame(client);
+  ASSERT_TRUE(blocking.has_value());
+  EXPECT_TRUE(blocking->empty());
+
+  ::close(client);
+  ::close(server);
+}
+
 TEST(NetFrame, RebindMovesToAFreshPort) {
   Listener listener;
   listener.open();

@@ -14,6 +14,7 @@
 #include "core/evaluator.hpp"
 #include "ea/individual.hpp"
 #include "hpc/process_cluster.hpp"
+#include "hpc/task_mux.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/uuid.hpp"
@@ -303,6 +304,67 @@ TEST_F(ProcessClusterChaos, CrashRecoveryResubmitsOnlyLostTasks) {
   EXPECT_EQ(delivered_before.size() + delivered_after.size(), specs.size());
   const BatchReport report = revived.stream_end();
   EXPECT_EQ(report.tasks.size(), specs.size());
+}
+
+TEST_F(ProcessClusterChaos, TwoMuxTenantsShareOnePoolThroughTheirLifecycles) {
+  // The dpho_sched deployment shape: ONE process pool, several MuxSession
+  // tenants with overlapping lifetimes.  One tenant retires mid-flight of
+  // the other, a third arrives after both are gone -- the pool (and its
+  // workers) lives through all of it.
+  const std::vector<TaskSpec> all = make_specs(10);
+  const std::vector<TaskSpec> specs_a(all.begin(), all.begin() + 6);
+  std::vector<TaskSpec> specs_b(all.begin() + 6, all.end());
+  for (std::size_t i = 0; i < specs_b.size(); ++i) specs_b[i].id = i;
+  const auto expected_a = expected_fitness(specs_a);
+  const auto expected_b = expected_fitness(specs_b);
+
+  ProcessCluster cluster(ClusterSpec::testbed(4), farm(), config(3));
+  TaskMux mux(cluster);
+  MuxSession tenant_a(mux, SlotOptions{});
+  MuxSession tenant_b(mux, SlotOptions{.weight = 2, .max_in_flight = 0});
+  tenant_a.stream_begin();
+  tenant_b.stream_begin();
+  for (std::size_t i = 0; i < specs_a.size(); ++i) {
+    tenant_a.stream_submit(specs_a[i], local_work(*evaluator_));
+    if (i < specs_b.size()) {
+      tenant_b.stream_submit(specs_b[i], local_work(*evaluator_));
+    }
+  }
+
+  // The short tenant drains and retires first; in-order delivery and exact
+  // fitness hold even though its tasks interleaved with tenant A's on the
+  // same real workers.
+  for (std::size_t i = 0; i < specs_b.size(); ++i) {
+    const auto done = tenant_b.stream_next();
+    ASSERT_TRUE(done.has_value());
+    EXPECT_EQ(done->id, i);
+    EXPECT_EQ(done->report.fitness, expected_b[i]);
+  }
+  const BatchReport report_b = tenant_b.stream_end();
+  ASSERT_EQ(report_b.tasks.size(), specs_b.size());
+
+  // Tenant A is unaffected by its neighbour's retirement.
+  for (std::size_t i = 0; i < specs_a.size(); ++i) {
+    const auto done = tenant_a.stream_next();
+    ASSERT_TRUE(done.has_value());
+    EXPECT_EQ(done->id, i);
+    EXPECT_EQ(done->report.fitness, expected_a[i]);
+  }
+  const BatchReport report_a = tenant_a.stream_end();
+  ASSERT_EQ(report_a.tasks.size(), specs_a.size());
+  EXPECT_EQ(cluster.live_workers(), 3u);
+
+  // A late tenant gets a FRESH slot (namespaces are never reused) and the
+  // same pool keeps serving.
+  MuxSession late(mux, SlotOptions{});
+  late.stream_begin();
+  late.stream_submit(specs_a[0], local_work(*evaluator_));
+  const auto done = late.stream_next();
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(done->report.fitness, expected_a[0]);
+  late.stream_end();
+  EXPECT_EQ(mux.num_slots(), 3u);
+  EXPECT_EQ(cluster.live_workers(), 3u);
 }
 
 TEST_F(ProcessClusterChaos, RestoreRejectsMismatchedWorkerCounts) {

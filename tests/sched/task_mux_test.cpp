@@ -1,0 +1,319 @@
+// hpc::TaskMux under the microscope: disjoint tenant namespaces, ascending-
+// local-id delivery despite out-of-order finishes, the weighted-round-robin
+// bounded-dispatch-gap property (no tenant can starve another), the shared-
+// pool capacity gate, cancel isolation, and tenant-scoped snapshot/restore.
+#include "hpc/task_mux.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hpc/cluster_session.hpp"
+#include "util/error.hpp"
+
+namespace dpho::hpc {
+namespace {
+
+/// A shared simulated pool of `nodes` workers.
+SimClusterSession make_pool(std::size_t nodes) {
+  FarmConfig farm;
+  farm.job.nodes = nodes;
+  return SimClusterSession(ClusterSpec::summit(), farm);
+}
+
+/// Work whose fitness encodes (tag, eval_seed) so crosstalk is detectable
+/// and whose runtime *decreases* with the seed, so later submissions finish
+/// first.  Keyed off eval_seed, NOT spec.id: the shared pool addresses tasks
+/// by their namespaced global id (spec.id is remapped on forwarding), while
+/// the tenant's payload fields travel untouched.
+RemoteWorkFn tagged_work(double tag) {
+  return [tag](const TaskSpec& spec) {
+    WorkResult result;
+    result.fitness = {tag + static_cast<double>(spec.eval_seed)};
+    result.sim_minutes = 60.0 - static_cast<double>(spec.eval_seed % 7) * 5.0;
+    return result;
+  };
+}
+
+TaskSpec local_spec(std::size_t id) {
+  TaskSpec spec;
+  spec.id = id;
+  spec.eval_seed = id;
+  spec.uuid = "task-" + std::to_string(id);
+  return spec;
+}
+
+/// Pumps until both slots have no undelivered work, harvesting completions
+/// in take order.  Bounded so a wedged mux fails the test instead of hanging.
+std::map<std::size_t, std::vector<StreamCompletion>> drain_all(
+    TaskMux& mux, const std::vector<std::size_t>& slots) {
+  std::map<std::size_t, std::vector<StreamCompletion>> taken;
+  for (int round = 0; round < 10000; ++round) {
+    mux.pump(0.0);
+    bool pending = false;
+    for (const std::size_t slot : slots) {
+      while (std::optional<StreamCompletion> done = mux.try_take(slot)) {
+        taken[slot].push_back(*done);
+      }
+      if (mux.slot_open(slot) && mux.slot_undelivered(slot) > 0) pending = true;
+    }
+    if (!pending) return taken;
+  }
+  ADD_FAILURE() << "mux failed to drain within bounds";
+  return taken;
+}
+
+TEST(TaskMux, NamespacesKeepTenantsDisjoint) {
+  SimClusterSession pool = make_pool(3);
+  TaskMux mux(pool);
+  const std::size_t a = mux.open_slot({});
+  const std::size_t b = mux.open_slot({});
+  // Identical local ids on both slots: the mux must keep them apart.
+  for (std::size_t id = 0; id < 6; ++id) {
+    mux.submit(a, local_spec(id), tagged_work(1000.0));
+    mux.submit(b, local_spec(id), tagged_work(2000.0));
+  }
+  const auto taken = drain_all(mux, {a, b});
+  ASSERT_EQ(taken.at(a).size(), 6u);
+  ASSERT_EQ(taken.at(b).size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(taken.at(a)[i].id, i);
+    EXPECT_EQ(taken.at(b)[i].id, i);
+    ASSERT_EQ(taken.at(a)[i].report.fitness.size(), 1u);
+    EXPECT_DOUBLE_EQ(taken.at(a)[i].report.fitness[0],
+                     1000.0 + static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(taken.at(b)[i].report.fitness[0],
+                     2000.0 + static_cast<double>(i));
+  }
+}
+
+TEST(TaskMux, DeliveryIsAscendingLocalIdDespiteOutOfOrderFinishes) {
+  SimClusterSession pool = make_pool(4);
+  TaskMux mux(pool);
+  const std::size_t slot = mux.open_slot({});
+  // tagged_work makes higher ids finish earlier, so the simulated pool
+  // resolves them out of submission order; try_take must still deliver
+  // 0, 1, 2, ... (the engine's determinism contract).
+  for (std::size_t id = 0; id < 12; ++id) {
+    mux.submit(slot, local_spec(id), tagged_work(0.0));
+  }
+  const auto taken = drain_all(mux, {slot});
+  ASSERT_EQ(taken.at(slot).size(), 12u);
+  for (std::size_t i = 0; i < 12; ++i) EXPECT_EQ(taken.at(slot)[i].id, i);
+  // Undelivered work is gone; the delivered log kept take order.
+  EXPECT_EQ(mux.slot_undelivered(slot), 0u);
+  EXPECT_EQ(mux.slot_delivered(slot).size(), 12u);
+}
+
+/// The no-starvation property: between two consecutive forwards of a slot
+/// that stayed eligible throughout, at most sum(other weights) foreign
+/// forwards happen.  Checked over the full forward log for several weight
+/// mixes, with the queues kept non-empty (eligibility never lapses) until
+/// each slot's final forward.
+TEST(TaskMux, WrrDispatchGapIsBoundedForEveryWeightMix) {
+  const std::vector<std::vector<std::size_t>> mixes = {
+      {1, 1}, {1, 2, 1}, {3, 1}, {2, 3, 1, 2}};
+  for (const std::vector<std::size_t>& weights : mixes) {
+    SimClusterSession pool = make_pool(3);
+    TaskMux mux(pool);
+    std::vector<std::size_t> slots;
+    const std::size_t per_slot = 40;
+    for (const std::size_t weight : weights) {
+      slots.push_back(mux.open_slot({.weight = weight}));
+    }
+    for (std::size_t id = 0; id < per_slot; ++id) {
+      for (const std::size_t slot : slots) {
+        mux.submit(slot, local_spec(id), tagged_work(0.0));
+      }
+    }
+    drain_all(mux, slots);
+    const std::vector<std::size_t>& log = mux.forward_log();
+    const std::size_t total = per_slot * weights.size();
+    ASSERT_EQ(log.size(), total);
+
+    std::size_t weight_sum = 0;
+    for (const std::size_t w : weights) weight_sum += w;
+    for (std::size_t slot = 0; slot < weights.size(); ++slot) {
+      const std::size_t bound = weight_sum - weights[slot];
+      std::size_t forwarded = 0;
+      std::size_t last = 0;
+      bool seen = false;
+      for (std::size_t i = 0; i < log.size(); ++i) {
+        if (log[i] != slot) continue;
+        ++forwarded;
+        if (seen && forwarded <= per_slot) {
+          EXPECT_LE(i - last - 1, bound)
+              << "slot " << slot << " starved between forwards " << last
+              << " and " << i;
+        }
+        last = i;
+        seen = true;
+      }
+      EXPECT_EQ(forwarded, per_slot);
+    }
+    // Long-run shares are weight-proportional while every queue is loaded.
+    // The window must close before the HEAVIEST-share slot's queue drains
+    // (it runs dry after per_slot * weight_sum / max_weight forwards); over
+    // the full log every slot trivially holds per_slot forwards.
+    const std::size_t heaviest =
+        *std::max_element(weights.begin(), weights.end());
+    const std::size_t window = weight_sum * (per_slot / (2 * heaviest));
+    ASSERT_LE(window, log.size());
+    std::vector<std::size_t> counts(weights.size(), 0);
+    for (std::size_t i = 0; i < window; ++i) ++counts[log[i]];
+    for (std::size_t slot = 0; slot < weights.size(); ++slot) {
+      const double expected = static_cast<double>(window) *
+                              static_cast<double>(weights[slot]) /
+                              static_cast<double>(weight_sum);
+      EXPECT_NEAR(static_cast<double>(counts[slot]), expected,
+                  static_cast<double>(2 * weight_sum))
+          << "slot " << slot << " share off under weights mix";
+    }
+  }
+}
+
+TEST(TaskMux, CapacityGateNeverExceedsLiveWorkers) {
+  SimClusterSession pool = make_pool(3);
+  TaskMux mux(pool);
+  const std::size_t a = mux.open_slot({});
+  const std::size_t b = mux.open_slot({});
+  // 20 submissions race in, but only 3 workers exist: outstanding work at
+  // the shared session must never exceed the pool (the rest stays queued).
+  for (std::size_t id = 0; id < 10; ++id) {
+    mux.submit(a, local_spec(id), tagged_work(0.0));
+    mux.submit(b, local_spec(id), tagged_work(100.0));
+    EXPECT_LE(mux.slot_outstanding(a) + mux.slot_outstanding(b), 3u);
+  }
+  EXPECT_EQ(mux.slot_queued(a) + mux.slot_queued(b), 20u - 3u);
+  drain_all(mux, {a, b});
+}
+
+TEST(TaskMux, PerSlotInFlightCapHoldsWorkBack) {
+  SimClusterSession pool = make_pool(4);
+  TaskMux mux(pool);
+  const std::size_t capped = mux.open_slot({.max_in_flight = 1});
+  for (std::size_t id = 0; id < 5; ++id) {
+    mux.submit(capped, local_spec(id), tagged_work(0.0));
+    EXPECT_LE(mux.slot_outstanding(capped), 1u);
+  }
+  const auto taken = drain_all(mux, {capped});
+  EXPECT_EQ(taken.at(capped).size(), 5u);
+}
+
+TEST(TaskMux, ClosingASlotLeavesTheOtherTenantUntouched) {
+  SimClusterSession pool = make_pool(2);
+  TaskMux mux(pool);
+  const std::size_t doomed = mux.open_slot({});
+  const std::size_t survivor = mux.open_slot({});
+  for (std::size_t id = 0; id < 8; ++id) {
+    mux.submit(doomed, local_spec(id), tagged_work(1000.0));
+    mux.submit(survivor, local_spec(id), tagged_work(2000.0));
+  }
+  mux.pump(0.0);  // some of doomed's work is already at the shared pool
+  mux.close_slot(doomed);
+  EXPECT_FALSE(mux.slot_open(doomed));
+  EXPECT_EQ(mux.slot_queued(doomed), 0u);
+
+  const auto taken = drain_all(mux, {survivor});
+  ASSERT_EQ(taken.at(survivor).size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(taken.at(survivor)[i].id, i);
+    EXPECT_DOUBLE_EQ(taken.at(survivor)[i].report.fitness[0],
+                     2000.0 + static_cast<double>(i));
+  }
+  // The cancelled tenant's completions were drained into the void.
+  EXPECT_EQ(mux.try_take(doomed), std::nullopt);
+  EXPECT_EQ(mux.slot_undelivered(doomed), 0u);
+  // Closing again is idempotent; submitting into the closed slot throws.
+  mux.close_slot(doomed);
+  EXPECT_THROW(mux.submit(doomed, local_spec(99), tagged_work(0.0)),
+               util::ValueError);
+}
+
+TEST(TaskMux, SnapshotRestoreScopesRecoveryToOneTenant) {
+  SimClusterSession pool = make_pool(2);
+  TaskMux mux(pool);
+  const std::size_t slot = mux.open_slot({});
+  const std::size_t other = mux.open_slot({});
+  for (std::size_t id = 0; id < 6; ++id) {
+    mux.submit(slot, local_spec(id), tagged_work(3000.0));
+  }
+  mux.submit(other, local_spec(0), tagged_work(4000.0));
+  mux.pump(0.0);
+  // Take two, leave some resolved-but-untaken, leave the rest queued.
+  ASSERT_TRUE(mux.try_take(slot).has_value());
+  ASSERT_TRUE(mux.try_take(slot).has_value());
+  const std::size_t resolved_untaken = mux.slot_undelivered(slot) -
+                                       mux.slot_queued(slot);
+  ASSERT_GT(resolved_untaken, 0u);
+  ASSERT_GT(mux.slot_queued(slot), 0u);
+
+  const FarmSnapshot snapshot = mux.slot_snapshot(slot);
+  EXPECT_EQ(snapshot.stream_delivered.size(), 2u);
+
+  // A fresh scheduler: new pool, new mux, adopt the tenant snapshot.
+  SimClusterSession pool2 = make_pool(2);
+  TaskMux mux2(pool2);
+  const std::size_t fresh = mux2.open_slot({});
+  const std::vector<std::size_t> lost = mux2.slot_restore(fresh, snapshot);
+  // Queued + unresolved tasks are the lost set, ascending; resolved-but-
+  // untaken completions survive verbatim.
+  EXPECT_EQ(lost.size(), 6u - 2u - resolved_untaken);
+  EXPECT_TRUE(std::is_sorted(lost.begin(), lost.end()));
+  EXPECT_EQ(mux2.slot_undelivered(fresh), resolved_untaken);
+  // The survivors deliver in order with their original reports.
+  std::size_t expect_id = 2;
+  while (std::optional<StreamCompletion> done = mux2.try_take(fresh)) {
+    EXPECT_EQ(done->id, expect_id);
+    EXPECT_DOUBLE_EQ(done->report.fitness[0],
+                     3000.0 + static_cast<double>(expect_id));
+    ++expect_id;
+  }
+  EXPECT_EQ(expect_id, 2 + resolved_untaken);
+  // Restoring into a used slot is refused.
+  EXPECT_THROW(mux2.slot_restore(fresh, snapshot), util::ValueError);
+}
+
+TEST(TaskMux, ContractViolationsThrow) {
+  SimClusterSession pool = make_pool(2);
+  TaskMux mux(pool);
+  const std::size_t slot = mux.open_slot({});
+  EXPECT_THROW(mux.open_slot({.weight = 0}), util::ValueError);
+  mux.submit(slot, local_spec(1), tagged_work(0.0));
+  EXPECT_THROW(mux.submit(slot, local_spec(1), tagged_work(0.0)),
+               util::ValueError);  // duplicate id
+  EXPECT_THROW(mux.submit(slot, local_spec(mux.slot_stride()), tagged_work(0.0)),
+               util::ValueError);  // id outside the namespace
+  EXPECT_THROW(mux.slot_queued(99), util::ValueError);  // unknown slot
+  drain_all(mux, {slot});
+}
+
+TEST(TaskMux, MuxSessionAdaptsOneSlotToTheSessionContract) {
+  SimClusterSession pool = make_pool(2);
+  TaskMux mux(pool);
+  MuxSession session(mux, {.weight = 2});
+  EXPECT_THROW(session.run_batch({}, tagged_work(0.0)), util::ValueError);
+  session.stream_begin();
+  EXPECT_TRUE(session.stream_active());
+  for (std::size_t id = 0; id < 4; ++id) {
+    session.stream_submit(local_spec(id), tagged_work(500.0));
+  }
+  EXPECT_EQ(session.stream_pending(), 4u);
+  for (std::size_t id = 0; id < 4; ++id) {
+    const std::optional<StreamCompletion> done = session.stream_next();
+    ASSERT_TRUE(done.has_value());
+    EXPECT_EQ(done->id, id);
+  }
+  EXPECT_EQ(session.stream_next(), std::nullopt);
+  const BatchReport report = session.stream_end();
+  ASSERT_EQ(report.tasks.size(), 4u);
+  EXPECT_EQ(session.backend_name(), "mux+sim");
+  // stream_end retired the slot.
+  EXPECT_FALSE(mux.slot_open(session.slot()));
+}
+
+}  // namespace
+}  // namespace dpho::hpc
