@@ -1,0 +1,356 @@
+// The MD scaling wall: persistent-session stepping across box sizes.
+//
+// Exercises the zero-allocation evaluation sessions (md::ReferenceSession,
+// dp::MdSession) exactly the way a production MD loop runs them: one session
+// per run, velocity-Verlet NVE stepping, Verlet-skin topology reuse.  Two
+// sections:
+//
+//   matrix  -- atoms x threads {1,2,4,8} x potential {reference, nnp} x
+//              SIMD {on, off}: steps/sec, cumulative session steps and
+//              neighbor-rebuild counts (rebuilds < steps is the skin
+//              working), live pair counts for the NNP rows.
+//   scaling -- reference potential, single thread: per-step cost of the
+//              O(N) cell-list neighbor path vs the O(N^2) brute-force path
+//              across the same boxes (brute capped at ~16k atoms), the
+//              O(N)-vs-O(N^2) step-cost curve.
+//
+// Emits BENCH_md.json:
+//   {"bench": "md",
+//    "step_definition": "one velocity-Verlet MD step (forces via session)",
+//    "matrix": {"entries": [{"potential": ..., "atoms": ..., "threads": ...,
+//               "simd": "on"|"off", "steps_per_sec": ..., "ms_per_step": ...,
+//               "session_steps": ..., "neighbor_rebuilds": ...,
+//               "live_pairs": ...}, ...]},
+//    "scaling": {"entries": [{"atoms": ..., "neighbor_build": "cells"|"brute",
+//                "steps_per_sec": ..., "ms_per_step": ...}, ...]},
+//    "metrics": {"schema": "dpho.metrics.v1", ...}}
+//
+// The metrics block carries the md.session.* instrumentation (step/rebuild
+// timers, step/rebuild/pair counters) the sessions record.
+//
+// Usage: bench_md [--smoke] [--out FILE]
+//   --smoke  reduced scale (two box sizes, threads {1,2}); also re-reads the
+//            emitted JSON and self-validates the schema -- including
+//            rebuilds < steps on every row and populated md.session.*
+//            metric sections -- and exits nonzero on any violation.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dp/md_session.hpp"
+#include "dp/model.hpp"
+#include "hpc/thread_pool.hpp"
+#include "md/integrator.hpp"
+#include "md/potential.hpp"
+#include "md/session.hpp"
+#include "md/system.hpp"
+#include "nn/simd.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "util/fs.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dpho;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct CellResult {
+  double steps_per_sec = 0.0;
+  std::size_t session_steps = 0;
+  std::size_t neighbor_rebuilds = 0;
+  std::size_t live_pairs = 0;
+};
+
+/// NVE velocity-Verlet throughput through one session: warm (session init +
+/// first skeleton build + buffer sizing), then time-boxed stepping.
+CellResult measure_session(md::PotentialSession& session, md::SystemState state,
+                           double budget_seconds, std::size_t min_steps) {
+  const md::VelocityVerlet integrator(1.0);
+  std::vector<md::Vec3> forces(state.size());
+  session.compute(state, forces);           // session init + skeleton
+  integrator.step(state, session, forces);  // warm one full step
+
+  std::size_t steps = 0;
+  const Clock::time_point start = Clock::now();
+  double elapsed = 0.0;
+  do {
+    integrator.step(state, session, forces);
+    ++steps;
+    elapsed = seconds_since(start);
+  } while (elapsed < budget_seconds || steps < min_steps);
+
+  CellResult result;
+  result.steps_per_sec = static_cast<double>(steps) / elapsed;
+  result.session_steps = session.steps();
+  result.neighbor_rebuilds = session.neighbor_rebuilds();
+  return result;
+}
+
+/// A small NNP spec that keeps the 131k-atom box tractable while still
+/// running the full DeepPot-SE kernel (embedding, descriptor, fitting).
+dp::TrainInput bench_nnp_spec() {
+  dp::TrainInput input;
+  input.descriptor.rcut = 4.5;
+  input.descriptor.rcut_smth = 3.0;
+  input.descriptor.neuron = {4, 8};
+  input.descriptor.axis_neuron = 2;
+  input.descriptor.sel = 16;
+  input.fitting.neuron = {16};
+  return input;
+}
+
+struct MatrixEntry {
+  std::string potential;
+  std::size_t atoms = 0;
+  std::size_t threads = 0;
+  bool simd_on = false;
+  CellResult cell;
+};
+
+struct ScalingEntry {
+  std::size_t atoms = 0;
+  std::string neighbor_build;
+  double steps_per_sec = 0.0;
+};
+
+bool validate_schema(const std::filesystem::path& path,
+                     std::size_t expected_matrix_rows,
+                     std::size_t min_scaling_rows) {
+  const util::Json doc = util::Json::parse(util::read_file(path));
+  if (!doc.is_object()) return false;
+  for (const char* key :
+       {"bench", "step_definition", "matrix", "scaling", "metrics"}) {
+    if (!doc.contains(key)) {
+      std::fprintf(stderr, "BENCH_md.json: missing key %s\n", key);
+      return false;
+    }
+  }
+  const util::Json& matrix = doc.at("matrix");
+  if (!matrix.contains("entries") || !matrix.at("entries").is_array() ||
+      matrix.at("entries").as_array().size() != expected_matrix_rows) {
+    std::fprintf(stderr, "BENCH_md.json: matrix must have %zu rows\n",
+                 expected_matrix_rows);
+    return false;
+  }
+  for (const util::Json& row : matrix.at("entries").as_array()) {
+    for (const char* key :
+         {"potential", "atoms", "threads", "simd", "steps_per_sec",
+          "ms_per_step", "session_steps", "neighbor_rebuilds", "live_pairs"}) {
+      if (!row.contains(key)) {
+        std::fprintf(stderr, "BENCH_md.json: matrix row missing key %s\n", key);
+        return false;
+      }
+    }
+    if (row.number_or("steps_per_sec", 0.0) <= 0.0) {
+      std::fprintf(stderr, "BENCH_md.json: non-positive matrix throughput\n");
+      return false;
+    }
+    // The whole point of the Verlet skin: rebuilds must stay below steps.
+    if (row.number_or("neighbor_rebuilds", 1e9) >=
+        row.number_or("session_steps", 0.0)) {
+      std::fprintf(stderr,
+                   "BENCH_md.json: row has neighbor_rebuilds >= steps\n");
+      return false;
+    }
+  }
+  const util::Json& scaling = doc.at("scaling");
+  if (!scaling.contains("entries") || !scaling.at("entries").is_array() ||
+      scaling.at("entries").as_array().size() < min_scaling_rows) {
+    std::fprintf(stderr, "BENCH_md.json: scaling needs >= %zu rows\n",
+                 min_scaling_rows);
+    return false;
+  }
+  for (const util::Json& row : scaling.at("entries").as_array()) {
+    for (const char* key : {"atoms", "neighbor_build", "steps_per_sec",
+                            "ms_per_step"}) {
+      if (!row.contains(key)) {
+        std::fprintf(stderr, "BENCH_md.json: scaling row missing key %s\n",
+                     key);
+        return false;
+      }
+    }
+    if (row.number_or("steps_per_sec", 0.0) <= 0.0) {
+      std::fprintf(stderr, "BENCH_md.json: non-positive scaling throughput\n");
+      return false;
+    }
+  }
+  if (!obs::is_metrics_document(doc.at("metrics"))) {
+    std::fprintf(stderr, "BENCH_md.json: metrics block is not a valid"
+                         " dpho.metrics.v1 document\n");
+    return false;
+  }
+  const util::Json& histograms = doc.at("metrics").at("timing").at("histograms");
+  if (!histograms.contains("md.session.step_seconds") ||
+      histograms.at("md.session.step_seconds").number_or("count", 0.0) <= 0.0) {
+    std::fprintf(stderr, "BENCH_md.json: md.session.step_seconds missing or"
+                         " empty\n");
+    return false;
+  }
+  const util::Json& counters = doc.at("metrics").at("deterministic").at("counters");
+  for (const char* name :
+       {"md.session.steps_total", "md.session.rebuilds_total",
+        "md.session.pairs_total"}) {
+    if (counters.number_or(name, 0.0) <= 0.0) {
+      std::fprintf(stderr, "BENCH_md.json: counter %s missing or zero\n", name);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::filesystem::path out = "BENCH_md.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out = argv[++i];
+  }
+
+  // Box sizes: scaled_system(k) has 10k atoms at the paper's density.
+  const std::vector<std::size_t> units =
+      smoke ? std::vector<std::size_t>{26, 205}
+            : std::vector<std::size_t>{26, 205, 1638, 13107};
+  const std::vector<std::size_t> thread_counts =
+      smoke ? std::vector<std::size_t>{1, 2}
+            : std::vector<std::size_t>{1, 2, 4, 8};
+  const double budget = smoke ? 0.05 : 0.8;
+  const std::size_t min_steps = 2;
+
+  obs::metrics().reset();
+  std::printf("md sessions: %zu box sizes, budget %.2fs per cell\n",
+              units.size(), budget);
+
+  std::vector<MatrixEntry> matrix;
+  const bool simd_was_enabled = nn::simd::enabled();
+  for (const std::size_t k : units) {
+    const md::SystemSpec spec = md::SystemSpec::scaled_system(k);
+    util::Rng rng(17);
+    const md::SystemState initial = spec.create_initial_state(300.0, rng);
+    const std::size_t atoms = initial.size();
+
+    const md::ReferencePotential reference(6.5);
+    const auto nnp_model = std::make_shared<const dp::DeepPotModel>(
+        bench_nnp_spec(), initial.types, 0.0, 7);
+
+    for (const bool simd_on : {true, false}) {
+      nn::simd::set_enabled(simd_on);
+      for (const std::size_t threads : thread_counts) {
+        std::unique_ptr<hpc::ThreadPool> pool;
+        md::SessionOptions options;
+        if (threads > 1) {
+          pool = std::make_unique<hpc::ThreadPool>(threads);
+          options.pool = pool.get();
+        }
+        for (const bool nnp : {false, true}) {
+          MatrixEntry entry;
+          entry.potential = nnp ? "nnp" : "reference";
+          entry.atoms = atoms;
+          entry.threads = threads;
+          entry.simd_on = simd_on;
+          if (nnp) {
+            dp::MdSession session(nnp_model, options);
+            entry.cell = measure_session(session, initial, budget, min_steps);
+            entry.cell.live_pairs = session.last_live_pairs();
+          } else {
+            md::ReferenceSession session(reference, options);
+            entry.cell = measure_session(session, initial, budget, min_steps);
+          }
+          std::printf("  %-9s %7zu atoms simd %-3s threads %zu: %9.2f"
+                      " steps/s  (%zu rebuilds / %zu steps)\n",
+                      entry.potential.c_str(), atoms, simd_on ? "on" : "off",
+                      threads, entry.cell.steps_per_sec,
+                      entry.cell.neighbor_rebuilds, entry.cell.session_steps);
+          matrix.push_back(std::move(entry));
+        }
+      }
+    }
+  }
+  nn::simd::set_enabled(simd_was_enabled);
+
+  // O(N) cell path vs O(N^2) brute force, reference potential, one thread.
+  // The cell path needs a box >= 3 cells wide (so it starts at ~2k atoms);
+  // the brute path is capped at ~16k atoms (quadratic rebuilds).
+  std::printf("neighbor scaling (reference, 1 thread):\n");
+  std::vector<ScalingEntry> scaling;
+  for (const std::size_t k : units) {
+    const md::SystemSpec spec = md::SystemSpec::scaled_system(k);
+    util::Rng rng(17);
+    const md::SystemState initial = spec.create_initial_state(300.0, rng);
+    const md::ReferencePotential reference(6.5);
+    for (const bool cells : {true, false}) {
+      if (cells && k < 100) continue;      // box too narrow for >= 3 cells
+      if (!cells && k > 2000) continue;    // quadratic wall
+      md::SessionOptions options;
+      options.neighbor_build =
+          cells ? md::NeighborBuild::kCells : md::NeighborBuild::kBruteForce;
+      md::ReferenceSession session(reference, options);
+      ScalingEntry entry;
+      entry.atoms = initial.size();
+      entry.neighbor_build = cells ? "cells" : "brute";
+      entry.steps_per_sec =
+          measure_session(session, initial, budget, min_steps).steps_per_sec;
+      std::printf("  %-6s %7zu atoms: %9.2f steps/s  (%.3f ms/step)\n",
+                  entry.neighbor_build.c_str(), entry.atoms,
+                  entry.steps_per_sec, 1e3 / entry.steps_per_sec);
+      scaling.push_back(std::move(entry));
+    }
+  }
+
+  util::JsonObject doc;
+  doc["bench"] = "md";
+  doc["step_definition"] =
+      "one velocity-Verlet MD step (forces via session)";
+  {
+    util::JsonArray rows;
+    for (const MatrixEntry& entry : matrix) {
+      util::JsonObject row;
+      row["potential"] = entry.potential;
+      row["atoms"] = entry.atoms;
+      row["threads"] = entry.threads;
+      row["simd"] = entry.simd_on ? "on" : "off";
+      row["steps_per_sec"] = entry.cell.steps_per_sec;
+      row["ms_per_step"] = 1e3 / entry.cell.steps_per_sec;
+      row["session_steps"] = entry.cell.session_steps;
+      row["neighbor_rebuilds"] = entry.cell.neighbor_rebuilds;
+      row["live_pairs"] = entry.cell.live_pairs;
+      rows.push_back(util::Json(std::move(row)));
+    }
+    util::JsonObject section;
+    section["entries"] = util::Json(std::move(rows));
+    doc["matrix"] = util::Json(std::move(section));
+  }
+  {
+    util::JsonArray rows;
+    for (const ScalingEntry& entry : scaling) {
+      util::JsonObject row;
+      row["atoms"] = entry.atoms;
+      row["neighbor_build"] = entry.neighbor_build;
+      row["steps_per_sec"] = entry.steps_per_sec;
+      row["ms_per_step"] = 1e3 / entry.steps_per_sec;
+      rows.push_back(util::Json(std::move(row)));
+    }
+    util::JsonObject section;
+    section["entries"] = util::Json(std::move(rows));
+    doc["scaling"] = util::Json(std::move(section));
+  }
+  doc["metrics"] = obs::metrics().to_json();
+  util::write_file(out, util::Json(std::move(doc)).dump(2) + "\n");
+  std::printf("wrote %s\n", out.string().c_str());
+
+  const std::size_t expected_rows =
+      units.size() * thread_counts.size() * 2 /*potential*/ * 2 /*simd*/;
+  if (smoke && !validate_schema(out, expected_rows, smoke ? 3u : 6u)) return 1;
+  return 0;
+}

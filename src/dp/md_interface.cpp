@@ -1,47 +1,23 @@
 #include "dp/md_interface.hpp"
 
 #include <memory>
+#include <vector>
 
-#include "util/error.hpp"
+#include "dp/md_session.hpp"
 
 namespace dpho::dp {
 
-namespace {
-
-md::ForceEnergy evaluate_state(const Potential& potential,
-                               const md::SystemState& state) {
-  if (state.size() != potential.num_atoms()) {
-    throw util::ValueError("nnp force provider: atom count mismatch");
-  }
-  md::Frame frame;
-  frame.positions = state.positions;
-  frame.forces.resize(state.size());
-  frame.box_length = state.box_length;
-  return potential.evaluate(frame);
-}
-
-std::vector<double> run_md(const md::ForceProvider& provider,
-                           md::SystemState& state, double dt_fs,
-                           std::size_t steps) {
-  const md::VelocityVerlet integrator(dt_fs);
-  md::ForceEnergy current = provider(state);
-  std::vector<double> total_energy;
-  total_energy.reserve(steps + 1);
-  total_energy.push_back(current.energy + md::kinetic_energy(state));
-  for (std::size_t step = 0; step < steps; ++step) {
-    current = integrator.step(state, provider, current);
-    total_energy.push_back(current.energy + md::kinetic_energy(state));
-  }
-  return total_energy;
-}
-
-}  // namespace
-
-md::ForceProvider make_force_provider(Potential potential) {
-  // shared_ptr keeps the provider copyable (Potential itself is move-only).
-  auto shared = std::make_shared<Potential>(std::move(potential));
-  return [shared](const md::SystemState& state) -> md::ForceEnergy {
-    return evaluate_state(*shared, state);
+md::ForceProvider make_force_provider(Potential potential,
+                                      const md::SessionOptions& options) {
+  // shared_ptr keeps the provider copyable; copies share the session, so a
+  // copied closure continues the same warmed skeleton.
+  auto session =
+      std::make_shared<MdSession>(potential.share_model(), options);
+  return [session](const md::SystemState& state) -> md::ForceEnergy {
+    md::ForceEnergy out;
+    out.forces.resize(state.size());
+    out.energy = session->compute(state, out.forces);
+    return out;
   };
 }
 
@@ -50,11 +26,25 @@ md::ForceProvider make_force_provider(const DeepPotModel& model) {
 }
 
 std::vector<double> run_nnp_md(const Potential& potential, md::SystemState& state,
+                               double dt_fs, std::size_t steps,
+                               const md::SessionOptions& options) {
+  MdSession session(potential.share_model(), options);
+  const md::VelocityVerlet integrator(dt_fs);
+  std::vector<md::Vec3> forces(state.size());
+  double potential_energy = session.compute(state, forces);
+  std::vector<double> total_energy;
+  total_energy.reserve(steps + 1);
+  total_energy.push_back(potential_energy + md::kinetic_energy(state));
+  for (std::size_t step = 0; step < steps; ++step) {
+    potential_energy = integrator.step(state, session, forces);
+    total_energy.push_back(potential_energy + md::kinetic_energy(state));
+  }
+  return total_energy;
+}
+
+std::vector<double> run_nnp_md(const Potential& potential, md::SystemState& state,
                                double dt_fs, std::size_t steps) {
-  const md::ForceProvider provider = [&potential](const md::SystemState& s) {
-    return evaluate_state(potential, s);
-  };
-  return run_md(provider, state, dt_fs, steps);
+  return run_nnp_md(potential, state, dt_fs, steps, md::SessionOptions{});
 }
 
 std::vector<double> run_nnp_md(const DeepPotModel& model, md::SystemState& state,

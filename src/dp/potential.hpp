@@ -30,7 +30,13 @@
 #include "md/dataset.hpp"
 #include "md/potential.hpp"
 
+namespace dpho::md {
+struct SessionOptions;
+}  // namespace dpho::md
+
 namespace dpho::dp {
+
+class MdSession;
 
 class Potential {
  public:
@@ -62,6 +68,16 @@ class Potential {
   /// bit-identical to the serial path at any thread count.
   std::vector<md::ForceEnergy> evaluate(std::span<const md::Frame> frames,
                                         hpc::ThreadPool* pool = nullptr) const;
+
+  /// Persistent MD evaluation session sharing this model (dp/md_session.hpp):
+  /// Verlet-skin topology reuse, preallocated kernel workspace, optional
+  /// chunk-parallel force evaluation.  Defined in md_session.cpp.
+  std::unique_ptr<MdSession> make_md_session() const;
+  std::unique_ptr<MdSession> make_md_session(
+      const md::SessionOptions& options) const;
+
+  /// The shared model handle (session construction, serving caches).
+  std::shared_ptr<const DeepPotModel> share_model() const { return model_; }
 
  private:
   struct EvalScratch {

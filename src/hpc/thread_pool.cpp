@@ -22,11 +22,25 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  // Last static-loop generation this worker drained: without it a worker
+  // would busy-spin on the wait predicate between loop exhaustion and the
+  // caller clearing static_live_.
+  std::uint32_t seen_static_gen = 0;
   while (true) {
     std::function<void()> task;
     {
       std::unique_lock lock(mutex_);
-      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      wake_.wait(lock, [&] {
+        return stopping_ || !queue_.empty() ||
+               (static_live_ && static_gen_ != seen_static_gen);
+      });
+      if (static_live_ && static_gen_ != seen_static_gen) {
+        seen_static_gen = static_gen_;
+        const StaticSnapshot snap = static_desc_;
+        lock.unlock();
+        drain_static(snap);
+        continue;
+      }
       if (stopping_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -91,6 +105,83 @@ void ThreadPool::parallel_for(std::size_t count,
     });
     if (loop->error) std::rethrow_exception(loop->error);
   }
+}
+
+void ThreadPool::drain_static(const StaticSnapshot& snap) {
+  std::uint64_t control = static_control_.load(std::memory_order_relaxed);
+  while ((control >> 32) == snap.gen &&
+         (control & 0xffffffffu) < snap.count) {
+    const std::uint32_t i = static_cast<std::uint32_t>(control & 0xffffffffu);
+    if (!static_control_.compare_exchange_weak(
+            control, (std::uint64_t{snap.gen} << 32) | (i + 1u),
+            std::memory_order_acq_rel, std::memory_order_relaxed)) {
+      continue;  // `control` was reloaded by the failed CAS
+    }
+    try {
+      snap.fn(snap.ctx, i);
+    } catch (...) {
+      const std::scoped_lock lock(mutex_);
+      if (i < static_error_index_) {
+        static_error_index_ = i;
+        static_error_ = std::current_exception();
+      }
+    }
+    if (static_remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last index done: wake the waiter under the lock so the notification
+      // cannot slip between its predicate check and its wait.
+      const std::scoped_lock lock(mutex_);
+      static_done_.notify_all();
+    }
+    control = static_control_.load(std::memory_order_relaxed);
+  }
+}
+
+void ThreadPool::parallel_for_static(std::size_t count,
+                                     void (*fn)(void*, std::size_t), void* ctx) {
+  if (count == 0) return;
+  if (fn == nullptr) throw util::ValueError("parallel_for_static: fn is null");
+  if (count > 0xffffffffu) {
+    throw util::ValueError("parallel_for_static: count exceeds 2^32-1");
+  }
+  if (count == 1) {
+    fn(ctx, 0);
+    return;
+  }
+
+  const std::scoped_lock serial(static_mutex_);
+  StaticSnapshot snap;
+  snap.fn = fn;
+  snap.ctx = ctx;
+  snap.count = static_cast<std::uint32_t>(count);
+  {
+    const std::scoped_lock lock(mutex_);
+    if (++static_gen_ == 0) ++static_gen_;  // gen 0 is reserved for "never"
+    snap.gen = static_gen_;
+    static_desc_ = snap;
+    static_error_ = nullptr;
+    static_error_index_ = SIZE_MAX;
+    static_remaining_.store(snap.count, std::memory_order_relaxed);
+    static_control_.store(std::uint64_t{snap.gen} << 32,
+                          std::memory_order_release);
+    static_live_ = true;
+  }
+  wake_.notify_all();
+
+  // The caller participates, so the loop completes even when every worker is
+  // occupied by an enclosing task (nested use).
+  drain_static(snap);
+
+  std::exception_ptr error;
+  {
+    std::unique_lock lock(mutex_);
+    static_done_.wait(lock, [&] {
+      return static_remaining_.load(std::memory_order_acquire) == 0;
+    });
+    static_live_ = false;
+    error = static_error_;
+    static_error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace dpho::hpc

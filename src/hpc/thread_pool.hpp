@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -50,6 +51,17 @@ class ThreadPool {
   /// after every claimed index has finished.
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
 
+  /// Zero-allocation static fork/join: runs fn(ctx, i) for i in [0, count)
+  /// across the pool and the calling thread and waits for all.  Unlike
+  /// parallel_for nothing is enqueued -- workers observe a generation-tagged
+  /// broadcast word and claim indices with gen-checked CAS -- so steady-state
+  /// callers (the MD step path) stay allocation-free.  Concurrent calls are
+  /// serialized (one static loop at a time); nesting inside pool tasks is
+  /// safe because the caller participates.  The first exception, by lowest
+  /// index, is rethrown after every index has finished.
+  void parallel_for_static(std::size_t count, void (*fn)(void*, std::size_t),
+                           void* ctx);
+
  private:
   /// Shared state of one parallel_for: indices are claimed via `next`; the
   /// loop is complete when `remaining` reaches zero.
@@ -66,6 +78,18 @@ class ThreadPool {
   static void drain_loop(const std::shared_ptr<ForLoop>& loop, std::size_t count,
                          const std::function<void(std::size_t)>* fn);
 
+  /// Immutable per-loop descriptor of one parallel_for_static call.  Workers
+  /// copy it under mutex_ before participating, so a slow worker still
+  /// draining generation G never races the publication of G+1's fields.
+  struct StaticSnapshot {
+    void (*fn)(void*, std::size_t) = nullptr;
+    void* ctx = nullptr;
+    std::uint32_t count = 0;
+    std::uint32_t gen = 0;
+  };
+
+  void drain_static(const StaticSnapshot& snap);
+
   void worker_loop();
 
   std::vector<std::thread> threads_;
@@ -73,6 +97,20 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable wake_;
   bool stopping_ = false;
+
+  // parallel_for_static state.  The control word packs {generation, next
+  // index}; a claim succeeds only while the generation matches, so a stale
+  // worker can never claim indices of a later loop.  Generation 0 means "no
+  // loop has ever run".
+  std::mutex static_mutex_;  // serializes parallel_for_static callers
+  std::atomic<std::uint64_t> static_control_{0};
+  std::atomic<std::uint32_t> static_remaining_{0};
+  std::condition_variable static_done_;
+  bool static_live_ = false;           // guarded by mutex_
+  std::uint32_t static_gen_ = 0;       // guarded by mutex_
+  StaticSnapshot static_desc_;         // guarded by mutex_
+  std::exception_ptr static_error_;    // guarded by mutex_
+  std::size_t static_error_index_ = SIZE_MAX;  // guarded by mutex_
 };
 
 }  // namespace dpho::hpc

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "md/session.hpp"
 #include "util/error.hpp"
 
 namespace dpho::md {
@@ -27,6 +28,25 @@ ForceEnergy VelocityVerlet::step(SystemState& state, const ForceProvider& forces
     state.velocities[i] = state.velocities[i] + next.forces[i] * (0.5 * dt_ * inv_mass);
   }
   return next;
+}
+
+double VelocityVerlet::step(SystemState& state, PotentialSession& session,
+                            std::span<Vec3> forces) const {
+  const std::size_t n = state.size();
+  // Half-kick + drift.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double inv_mass = kForceToAccel / species_info(state.types[i]).mass_amu;
+    state.velocities[i] =
+        state.velocities[i] + forces[i] * (0.5 * dt_ * inv_mass);
+    state.positions[i] = state.positions[i] + state.velocities[i] * dt_;
+  }
+  // New forces in place, second half-kick.
+  const double energy = session.compute(state, forces);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double inv_mass = kForceToAccel / species_info(state.types[i]).mass_amu;
+    state.velocities[i] = state.velocities[i] + forces[i] * (0.5 * dt_ * inv_mass);
+  }
+  return energy;
 }
 
 LangevinThermostat::LangevinThermostat(double temperature_k, double friction,

@@ -2,12 +2,15 @@
 #pragma once
 
 #include <functional>
+#include <span>
 
 #include "md/potential.hpp"
 #include "md/system.hpp"
 #include "util/rng.hpp"
 
 namespace dpho::md {
+
+class PotentialSession;
 
 /// Computes potential energy and forces for the current positions.
 using ForceProvider = std::function<ForceEnergy(const SystemState&)>;
@@ -27,6 +30,12 @@ class VelocityVerlet {
   /// energy/forces evaluated at the *new* positions.
   ForceEnergy step(SystemState& state, const ForceProvider& forces,
                    const ForceEnergy& current) const;
+
+  /// Allocation-free step through a persistent session: `forces` holds the
+  /// forces at the current positions on entry and the forces at the new
+  /// positions on return.  Returns the new potential energy.
+  double step(SystemState& state, PotentialSession& session,
+              std::span<Vec3> forces) const;
 
  private:
   double dt_;

@@ -102,13 +102,20 @@ double ReferencePotential::pair_force(Species a, Species b, double r) const {
 
 ForceEnergy ReferencePotential::compute(const SystemState& state,
                                         const NeighborList& neighbors) const {
+  ForceEnergy out;
+  compute(state, neighbors, out);
+  return out;
+}
+
+void ReferencePotential::compute(const SystemState& state,
+                                 const NeighborList& neighbors,
+                                 ForceEnergy& out) const {
   if (neighbors.cutoff() < cutoff_ - 1e-12) {
     throw util::ValueError("neighbor list cutoff smaller than potential cutoff");
   }
   // Displacements are recomputed from the *current* positions so the list may
   // be a stale Verlet list (pair identities complete, distances outdated).
   const Box box(state.box_length);
-  ForceEnergy out;
   out.forces.assign(state.size(), Vec3{0.0, 0.0, 0.0});
   double energy = 0.0;
   for (std::size_t i = 0; i < state.size(); ++i) {
@@ -128,7 +135,6 @@ ForceEnergy ReferencePotential::compute(const SystemState& state,
     }
   }
   out.energy = energy;
-  return out;
 }
 
 ForceEnergy ReferencePotential::compute(const SystemState& state) const {

@@ -53,6 +53,12 @@ class ReferencePotential {
   /// Total energy and forces using a caller-provided neighbor list.
   ForceEnergy compute(const SystemState& state, const NeighborList& neighbors) const;
 
+  /// Caller-owned-output overload: identical arithmetic and summation order
+  /// as above, but writes into `out` (reusing its capacity) instead of
+  /// allocating a fresh ForceEnergy -- the per-step path of the MD sessions.
+  void compute(const SystemState& state, const NeighborList& neighbors,
+               ForceEnergy& out) const;
+
   /// Convenience overload that builds the neighbor list itself.
   ForceEnergy compute(const SystemState& state) const;
 

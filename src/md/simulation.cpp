@@ -1,7 +1,10 @@
 #include "md/simulation.hpp"
 
 #include <algorithm>
+#include <memory>
 
+#include "hpc/thread_pool.hpp"
+#include "md/session.hpp"
 #include "util/log.hpp"
 
 namespace dpho::md {
@@ -17,21 +20,38 @@ Simulation::Simulation(const SimulationConfig& config)
 FrameDataset Simulation::run() {
   util::Rng rng(util::hash_combine(config_.seed, 0xd1f7));
   const Box box(state_.box_length);
-  // Verlet list with whatever skin the box affords (0 = rebuild every step).
-  const double skin =
-      std::max(0.0, std::min(0.8, box.max_cutoff() - potential_.cutoff() - 1e-9));
-  VerletList verlet(box, potential_.cutoff(), skin);
-  const ForceProvider provider = [this, &verlet](const SystemState& s) {
-    return potential_.compute(s, verlet.update(s.positions));
-  };
+  // Persistent evaluation session: Verlet skin reuse across steps, chunked
+  // (optionally multi-threaded) force kernel, zero allocations per step.
+  SessionOptions session_options;
+  session_options.skin = std::max(0.0, config_.verlet_skin);
+  std::unique_ptr<hpc::ThreadPool> pool;
+  if (config_.num_threads > 1) {
+    pool = std::make_unique<hpc::ThreadPool>(config_.num_threads);
+    session_options.pool = pool.get();
+  }
+  ReferenceSession session(potential_, session_options);
   VelocityVerlet integrator(config_.dt_fs);
-  LangevinThermostat thermostat(config_.temperature_k, config_.langevin_friction,
-                                rng.spawn(1));
+  LangevinThermostat langevin(config_.temperature_k, config_.langevin_friction,
+                              rng.spawn(1));
+  BerendsenThermostat berendsen(config_.temperature_k, config_.berendsen_tau_fs);
+  const auto apply_thermostat = [&] {
+    switch (config_.thermostat) {
+      case Thermostat::kNone:
+        break;
+      case Thermostat::kLangevin:
+        langevin.apply(state_, config_.dt_fs);
+        break;
+      case Thermostat::kBerendsen:
+        berendsen.apply(state_, config_.dt_fs);
+        break;
+    }
+  };
 
-  ForceEnergy current = provider(state_);
+  forces_.assign(state_.size(), Vec3{0.0, 0.0, 0.0});
+  double energy = session.compute(state_, forces_);
   for (std::size_t step = 0; step < config_.equilibration_steps; ++step) {
-    current = integrator.step(state_, provider, current);
-    thermostat.apply(state_, config_.dt_fs);
+    energy = integrator.step(state_, session, forces_);
+    apply_thermostat();
   }
   util::log_info() << "md: equilibrated at T=" << kinetic_temperature(state_) << " K";
 
@@ -39,15 +59,16 @@ FrameDataset Simulation::run() {
   std::size_t produced = 0;
   std::size_t step = 0;
   while (produced < config_.num_frames) {
-    current = integrator.step(state_, provider, current);
-    thermostat.apply(state_, config_.dt_fs);
+    energy = integrator.step(state_, session, forces_);
+    apply_thermostat();
     ++step;
     if (step % config_.sample_interval == 0) {
+      wrapped_.assign(state_.positions.begin(), state_.positions.end());
+      for (auto& r : wrapped_) r = box.wrap(r);
       Frame frame;
-      frame.positions = state_.positions;
-      for (auto& r : frame.positions) r = box.wrap(r);
-      frame.forces = current.forces;
-      frame.energy = current.energy;
+      frame.positions = wrapped_;
+      frame.forces.assign(forces_.begin(), forces_.end());
+      frame.energy = energy;
       frame.box_length = state_.box_length;
       dataset.add(std::move(frame));
       ++produced;

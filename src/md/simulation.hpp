@@ -24,9 +24,21 @@ struct SimulationConfig {
   std::size_t num_frames = 100;
   double langevin_friction = 0.02;  // 1/fs
   std::uint64_t seed = 42;
+  /// Which thermostat the run applies after each Verlet step.  kNone samples
+  /// a (drifting) NVE trajectory; kBerendsen is the deterministic weak
+  /// coupling with relaxation time `berendsen_tau_fs`.
+  Thermostat thermostat = Thermostat::kLangevin;
+  double berendsen_tau_fs = 100.0;  // fs
+  /// Verlet skin in Angstrom, clamped down so cutoff + skin fits the box.
+  double verlet_skin = 0.8;
+  /// Force-evaluation threads (>1 spawns a pool for the session chunks).
+  /// Results are bit-identical at any thread count.
+  std::size_t num_threads = 1;
 };
 
-/// Thermostatted MD driver that records labelled frames.
+/// Thermostatted MD driver that records labelled frames.  Forces run through
+/// a persistent ReferenceSession (Verlet skin reuse, zero-allocation steps);
+/// the per-step force and wrapped-position buffers are preallocated members.
 class Simulation {
  public:
   explicit Simulation(const SimulationConfig& config);
@@ -41,6 +53,8 @@ class Simulation {
   SimulationConfig config_;
   ReferencePotential potential_;
   SystemState state_;
+  std::vector<Vec3> forces_;   // per-step force buffer, reused
+  std::vector<Vec3> wrapped_;  // per-sample wrapped positions, reused
 };
 
 /// Convenience wrapper used by examples and the evaluation backend:

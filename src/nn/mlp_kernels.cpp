@@ -85,19 +85,16 @@ void mlp_backward_batch(const Mlp& mlp, std::span<const double> x,
   size_layer_buffers(cache.zbar, layers, batch);
   const bool fold_curvature = cache.has_curvature;
 
-  // Parameter offsets are front-to-back; walk layers back-to-front.
-  std::vector<std::size_t> offsets(layers.size());
-  std::size_t offset = 0;
-  for (std::size_t l = 0; l < layers.size(); ++l) {
-    offsets[l] = offset;
-    offset += layers[l].in * layers[l].out + layers[l].out;
-  }
-
   const simd::Ops& ops = simd::active();
   const double* params = mlp.params().data();
   const double* ybar = out_bar.data();
+  // Parameter offsets are front-to-back; walking layers back-to-front, peel
+  // each layer's block off the total instead of materializing an offset
+  // table (this path must stay allocation-free for the MD sessions).
+  std::size_t offset = mlp.num_params();
   for (std::size_t l = layers.size(); l-- > 0;) {
     const LayerSpec& layer = layers[l];
+    offset -= layer.in * layer.out + layer.out;
     const double* sp = cache.sp[l].data();
     double* spp = fold_curvature ? cache.spp[l].data() : nullptr;
     double* zbar = cache.zbar[l].data();
@@ -109,14 +106,13 @@ void mlp_backward_batch(const Mlp& mlp, std::span<const double> x,
     }
     const double* xin = l == 0 ? x.data() : cache.y[l - 1].data();
     if (!param_grad.empty()) {
-      const std::size_t base = offsets[l];
-      double* wgrad = param_grad.data() + base;
+      double* wgrad = param_grad.data() + offset;
       double* bgrad = wgrad + layer.in * layer.out;
       ops.dense_param_grad(xin, zbar, batch, layer.in, layer.out, wgrad, bgrad);
     }
     if (l > 0 || !x_bar.empty()) {
       double* dest = l == 0 ? x_bar.data() : cache.bar_a.data();
-      ops.dense_backward_input(params + offsets[l], zbar, batch, layer.in,
+      ops.dense_backward_input(params + offset, zbar, batch, layer.in,
                                layer.out, dest);
       ybar = dest;
     }

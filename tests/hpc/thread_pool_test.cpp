@@ -6,6 +6,8 @@
 #include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <string>
+#include <thread>
 
 #include "util/error.hpp"
 
@@ -73,6 +75,123 @@ TEST(ThreadPool, DestructorDrainsQueue) {
     }
   }  // destructor joins
   EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, StaticLoopCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<int> hits(257, 0);
+  pool.parallel_for_static(
+      hits.size(),
+      [](void* ctx, std::size_t i) {
+        auto& h = *static_cast<std::vector<int>*>(ctx);
+        h[i] += 1;
+      },
+      &hits);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, StaticLoopZeroAndOneCounts) {
+  ThreadPool pool(2);
+  EXPECT_NO_THROW(pool.parallel_for_static(
+      0, [](void*, std::size_t) { FAIL(); }, nullptr));
+  int calls = 0;
+  pool.parallel_for_static(
+      1, [](void* ctx, std::size_t i) {
+        EXPECT_EQ(i, 0u);
+        ++*static_cast<int*>(ctx);
+      },
+      &calls);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, StaticLoopNullFnRejected) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for_static(4, nullptr, nullptr), util::ValueError);
+}
+
+TEST(ThreadPool, StaticLoopReusableManyGenerations) {
+  ThreadPool pool(4);
+  struct Ctx {
+    std::atomic<long> sum{0};
+  } ctx;
+  long expected = 0;
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t count = 1 + static_cast<std::size_t>(round % 17);
+    pool.parallel_for_static(
+        count,
+        [](void* c, std::size_t i) {
+          static_cast<Ctx*>(c)->sum.fetch_add(static_cast<long>(i) + 1);
+        },
+        &ctx);
+    expected += static_cast<long>(count * (count + 1) / 2);
+  }
+  EXPECT_EQ(ctx.sum.load(), expected);
+}
+
+TEST(ThreadPool, StaticLoopPropagatesLowestIndexError) {
+  ThreadPool pool(3);
+  try {
+    pool.parallel_for_static(
+        64,
+        [](void*, std::size_t i) {
+          if (i % 7 == 3) throw util::ValueError("index " + std::to_string(i));
+        },
+        nullptr);
+    FAIL() << "expected ValueError";
+  } catch (const util::ValueError& e) {
+    EXPECT_NE(std::string(e.what()).find("index 3"), std::string::npos);
+  }
+}
+
+TEST(ThreadPool, StaticLoopNestedInsidePoolTask) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  auto future = pool.submit([&pool, &total] {
+    pool.parallel_for_static(
+        32, [](void* ctx, std::size_t) {
+          static_cast<std::atomic<int>*>(ctx)->fetch_add(1);
+        },
+        &total);
+  });
+  future.get();
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ThreadPool, StaticLoopConcurrentCallersSerialize) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 3; ++t) {
+    callers.emplace_back([&pool, &total] {
+      for (int round = 0; round < 20; ++round) {
+        pool.parallel_for_static(
+            16, [](void* ctx, std::size_t) {
+              static_cast<std::atomic<int>*>(ctx)->fetch_add(1);
+            },
+            &total);
+      }
+    });
+  }
+  for (auto& c : callers) c.join();
+  EXPECT_EQ(total.load(), 3 * 20 * 16);
+}
+
+TEST(ThreadPool, StaticLoopInterleavesWithSubmittedTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> submitted{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.submit([&submitted] { submitted.fetch_add(1); }));
+  }
+  std::atomic<int> looped{0};
+  pool.parallel_for_static(
+      100, [](void* ctx, std::size_t) {
+        static_cast<std::atomic<int>*>(ctx)->fetch_add(1);
+      },
+      &looped);
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(submitted.load(), 50);
+  EXPECT_EQ(looped.load(), 100);
 }
 
 TEST(ThreadPool, SingleThreadPreservesFifoOrder) {

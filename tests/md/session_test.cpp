@@ -1,0 +1,216 @@
+#include "md/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "hpc/thread_pool.hpp"
+#include "md/integrator.hpp"
+#include "md/neighbor.hpp"
+#include "md/potential.hpp"
+#include "md/system.hpp"
+#include "support/alloc_hook.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dpho::md {
+namespace {
+
+SystemState make_state(std::size_t kcl_units, double temperature_k,
+                       std::uint64_t seed) {
+  util::Rng rng(seed);
+  return SystemSpec::scaled_system(kcl_units).create_initial_state(
+      temperature_k, rng);
+}
+
+bool bitwise_equal(const std::vector<Vec3>& a, const std::vector<Vec3>& b) {
+  if (a.size() != b.size()) return false;
+  return std::memcmp(a.data(), b.data(), a.size() * sizeof(Vec3)) == 0;
+}
+
+// Runs `steps` of NVE velocity-Verlet through a fresh session and returns the
+// final positions and forces.
+struct Trajectory {
+  SystemState state;
+  std::vector<Vec3> forces;
+  std::size_t session_steps = 0;
+  std::size_t rebuilds = 0;
+};
+
+Trajectory run_trajectory(const ReferencePotential& potential,
+                          const SessionOptions& options, std::size_t kcl_units,
+                          std::size_t steps) {
+  Trajectory out;
+  out.state = make_state(kcl_units, 400.0, 7);
+  ReferenceSession session(potential, options);
+  const VelocityVerlet integrator(1.0);
+  out.forces.assign(out.state.size(), Vec3{0.0, 0.0, 0.0});
+  session.compute(out.state, out.forces);
+  for (std::size_t step = 0; step < steps; ++step) {
+    integrator.step(out.state, session, out.forces);
+  }
+  out.session_steps = session.steps();
+  out.rebuilds = session.neighbor_rebuilds();
+  return out;
+}
+
+TEST(MakeChunkPartition, CoversRangeAndRespectsBounds) {
+  SessionOptions options;
+  options.chunk_atoms = 64;
+  options.max_chunks = 16;
+  const auto parts = make_chunk_partition(1000, options);
+  ASSERT_GE(parts.size(), 2u);
+  EXPECT_EQ(parts.front(), 0u);
+  EXPECT_EQ(parts.back(), 1000u);
+  EXPECT_LE(parts.size() - 1, 16u);
+  for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+    EXPECT_LT(parts[i], parts[i + 1]);
+  }
+}
+
+TEST(ReferenceSessionTest, MatchesDirectPotentialCompute) {
+  const SystemState state = make_state(26, 400.0, 11);  // 260 atoms
+  const ReferencePotential potential(6.5);
+  ReferenceSession session(potential, {});
+  std::vector<Vec3> forces(state.size());
+  const double energy = session.compute(state, forces);
+
+  NeighborList list;
+  list.build(Box(state.box_length), state.positions, potential.cutoff());
+  const ForceEnergy reference = potential.compute(state, list);
+  EXPECT_NEAR(energy, reference.energy,
+              1e-10 * std::max(1.0, std::abs(reference.energy)));
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    for (std::size_t k = 0; k < 3; ++k) {
+      EXPECT_NEAR(forces[i][k], reference.forces[i][k], 1e-10)
+          << "atom " << i << " component " << k;
+    }
+  }
+}
+
+TEST(ReferenceSessionTest, CallerOwnedComputeOverloadMatches) {
+  const SystemState state = make_state(8, 300.0, 3);
+  const ReferencePotential potential(6.0);
+  NeighborList list;
+  list.build(Box(state.box_length), state.positions, potential.cutoff());
+  const ForceEnergy fresh = potential.compute(state, list);
+  ForceEnergy reused;
+  potential.compute(state, list, reused);
+  EXPECT_EQ(fresh.energy, reused.energy);
+  EXPECT_TRUE(bitwise_equal(fresh.forces, reused.forces));
+}
+
+TEST(ReferenceSessionTest, SessionVsFreshRebuildBitwise) {
+  // A skinned session walking stale pair identities must produce bit-identical
+  // trajectories to a session that rebuilds its topology every step.
+  const ReferencePotential potential(6.5);
+  SessionOptions skinned;
+  skinned.skin = 0.9;
+  SessionOptions fresh;
+  fresh.skin = 0.0;
+  const Trajectory a = run_trajectory(potential, skinned, 26, 120);
+  const Trajectory b = run_trajectory(potential, fresh, 26, 120);
+  EXPECT_TRUE(bitwise_equal(a.state.positions, b.state.positions));
+  EXPECT_TRUE(bitwise_equal(a.state.velocities, b.state.velocities));
+  EXPECT_TRUE(bitwise_equal(a.forces, b.forces));
+  // The skin must actually have saved rebuilds (and the fresh run must not).
+  EXPECT_LT(a.rebuilds, a.session_steps);
+  EXPECT_EQ(b.rebuilds, b.session_steps);
+}
+
+TEST(ReferenceSessionTest, ThreadCountParityBitwise) {
+  const ReferencePotential potential(6.5);
+  SessionOptions serial;
+  serial.chunk_atoms = 16;  // force many chunks on 260 atoms
+  const Trajectory baseline = run_trajectory(potential, serial, 26, 60);
+  EXPECT_GT(baseline.session_steps, 0u);
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    hpc::ThreadPool pool(threads);
+    SessionOptions parallel = serial;
+    parallel.pool = &pool;
+    const Trajectory run = run_trajectory(potential, parallel, 26, 60);
+    EXPECT_TRUE(bitwise_equal(run.state.positions, baseline.state.positions))
+        << threads << " threads";
+    EXPECT_TRUE(bitwise_equal(run.forces, baseline.forces))
+        << threads << " threads";
+  }
+}
+
+TEST(ReferenceSessionTest, BruteForceAndCellBuildsAgreeBitwise) {
+  // 800 atoms: the box is wide enough (>= 3 cells) for the forced cell path.
+  const ReferencePotential potential(6.5);
+  SessionOptions cells;
+  cells.neighbor_build = NeighborBuild::kCells;
+  SessionOptions brute;
+  brute.neighbor_build = NeighborBuild::kBruteForce;
+  const Trajectory a = run_trajectory(potential, cells, 80, 40);
+  const Trajectory b = run_trajectory(potential, brute, 80, 40);
+  EXPECT_TRUE(bitwise_equal(a.state.positions, b.state.positions));
+  EXPECT_TRUE(bitwise_equal(a.forces, b.forces));
+}
+
+TEST(ReferenceSessionTest, NveDriftBoundedOnTwoThousandAtomBox) {
+  // 2000-atom box, cell-list neighbor path: total energy on the shifted-force
+  // surface must be conserved to a small fraction of the kinetic scale.
+  SystemState state = make_state(200, 300.0, 19);
+  const ReferencePotential potential(6.5);
+  SessionOptions options;
+  options.skin = 0.8;
+  ReferenceSession session(potential, options);
+  const VelocityVerlet integrator(1.0);
+  std::vector<Vec3> forces(state.size());
+  double energy = session.compute(state, forces);
+  const double initial_total = energy + kinetic_energy(state);
+  double max_drift = 0.0;
+  for (std::size_t step = 0; step < 150; ++step) {
+    energy = integrator.step(state, session, forces);
+    max_drift = std::max(
+        max_drift, std::abs(energy + kinetic_energy(state) - initial_total));
+  }
+  const double kinetic_scale = std::max(1.0, kinetic_energy(state));
+  EXPECT_LT(max_drift, 0.02 * kinetic_scale);
+  // O(N) path sanity: the skin must have been saving topology work.
+  EXPECT_LT(session.neighbor_rebuilds(), session.steps());
+}
+
+TEST(ReferenceSessionTest, SteadyStateStepsAllocateNothing) {
+  SystemState state = make_state(26, 300.0, 23);
+  const ReferencePotential potential(6.5);
+  hpc::ThreadPool pool(4);
+  SessionOptions options;
+  options.skin = 0.8;
+  options.chunk_atoms = 16;
+  options.pool = &pool;
+  ReferenceSession session(potential, options);
+  std::vector<Vec3> forces(state.size());
+  // Warm-up: first compute builds the skeleton and sizes all workspace.
+  for (int warm = 0; warm < 3; ++warm) {
+    session.compute(state, forces);
+    for (auto& r : state.positions) r[0] += 1e-4;
+  }
+  testsupport::reset_alloc_count();
+  for (int step = 0; step < 20; ++step) {
+    // Sub-skin drift: refresh-only steps, no topology rebuild.
+    for (auto& r : state.positions) r[0] += 1e-4;
+    session.compute(state, forces);
+  }
+  EXPECT_EQ(testsupport::alloc_count(), 0u);
+}
+
+TEST(ReferenceSessionTest, RejectsMismatchedStateOrSpan) {
+  const SystemState state = make_state(4, 300.0, 5);
+  const ReferencePotential potential(5.0);
+  ReferenceSession session(potential, {});
+  std::vector<Vec3> forces(state.size());
+  session.compute(state, forces);
+  SystemState wrong = make_state(5, 300.0, 5);
+  std::vector<Vec3> wrong_forces(wrong.size());
+  EXPECT_THROW(session.compute(wrong, wrong_forces), util::ValueError);
+  std::vector<Vec3> short_span(state.size() - 1);
+  EXPECT_THROW(session.compute(state, short_span), util::ValueError);
+}
+
+}  // namespace
+}  // namespace dpho::md

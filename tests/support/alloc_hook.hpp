@@ -1,0 +1,25 @@
+// Global operator new/delete counting hook for zero-allocation assertions.
+//
+// Linking alloc_hook.cpp into a test binary replaces the global allocation
+// functions with counting wrappers.  The count covers ALL threads, which is
+// exactly what the session zero-alloc contract needs: a pool worker that
+// allocates during a steady-state step must fail the test too.
+//
+// Usage:
+//   dpho::testsupport::reset_alloc_count();
+//   ... hot path under test (no gtest assertions in here: they allocate) ...
+//   EXPECT_EQ(dpho::testsupport::alloc_count(), 0u);
+#pragma once
+
+#include <cstddef>
+
+namespace dpho::testsupport {
+
+/// Zeroes the global allocation counter.
+void reset_alloc_count();
+
+/// Number of global operator new / new[] calls (all threads) since the last
+/// reset.
+std::size_t alloc_count();
+
+}  // namespace dpho::testsupport
